@@ -1,0 +1,168 @@
+// ABL — ablations of the design choices DESIGN.md calls out. Each series
+// compares the paper's choice against a strawman on the same workload:
+//
+//   * pivot spacing: log P (paper) vs 1 (every op a pivot: more phases,
+//     more recording IO) vs log^2 P (longer segments: more stage-2
+//     contention).
+//   * start-node hints: on (paper) vs off (all searches from the root —
+//     top lower-part levels become hot; Lemma 4.2 breaks).
+//   * Get dedup: on (paper) vs off under a duplicate-heavy batch (the
+//     §4.1 imbalance example: one module receives the whole batch).
+//   * walk budget for the range walk engine: small budgets push work into
+//     the broadcast fallback; large budgets serialize on long subranges.
+//   * queue-write variant (§2.1, future work in the paper): shared-memory
+//     write contention of the expansion engine's accumulating writes vs
+//     the walk engine's slot-unique writes.
+#include "bench_common.hpp"
+
+namespace pim::bench {
+namespace {
+
+core::PimSkipList::Options with(core::PimSkipList::Options base) { return base; }
+
+void run_succ_ablation(benchmark::State& state, core::PimSkipList::Options opts,
+                       workload::Skew skew) {
+  const u32 p = static_cast<u32>(state.range(0));
+  opts.track_contention = true;
+  sim::Machine machine(p);
+  core::PimSkipList list(machine, opts);
+  const auto data = workload::make_uniform_dataset(default_n(p), 11001);
+  list.build(data.pairs);
+  const auto keys = workload::point_batch(data, skew, u64{p} * log2p(p), 211);
+  for (auto _ : state) {
+    const auto m = sim::measure(machine, [&] { (void)list.batch_successor(keys); });
+    report(state, m, keys.size());
+    const auto& stats = list.last_pivot_stats();
+    u64 s1 = 0;
+    for (const u64 x : stats.stage1_phase_max_access) s1 = std::max(s1, x);
+    state.counters["s1_max"] = static_cast<double>(s1);
+    state.counters["s2_max"] = static_cast<double>(stats.stage2_max_access);
+    state.counters["phases"] = static_cast<double>(stats.phases);
+  }
+}
+
+void ABL_Pivots_PaperLogP(benchmark::State& state) {
+  run_succ_ablation(state, {}, workload::Skew::kUniform);
+}
+PIM_BENCH_SWEEP(ABL_Pivots_PaperLogP);
+
+void ABL_Pivots_EveryOp(benchmark::State& state) {
+  core::PimSkipList::Options opts;
+  opts.pivot_spacing = 1;
+  run_succ_ablation(state, opts, workload::Skew::kUniform);
+}
+PIM_BENCH_SWEEP(ABL_Pivots_EveryOp);
+
+void ABL_Pivots_LogSquared(benchmark::State& state) {
+  const u32 p = static_cast<u32>(state.range(0));
+  core::PimSkipList::Options opts;
+  opts.pivot_spacing = static_cast<u32>(log2p(p));
+  run_succ_ablation(state, opts, workload::Skew::kUniform);
+}
+PIM_BENCH_SWEEP(ABL_Pivots_LogSquared);
+
+void ABL_Hints_On(benchmark::State& state) {
+  run_succ_ablation(state, {}, workload::Skew::kSameSuccessor);
+}
+PIM_BENCH_SWEEP(ABL_Hints_On);
+
+void ABL_Hints_Off(benchmark::State& state) {
+  core::PimSkipList::Options opts;
+  opts.disable_hints = true;
+  run_succ_ablation(state, opts, workload::Skew::kSameSuccessor);
+}
+PIM_BENCH_SWEEP(ABL_Hints_Off);
+
+void run_get_ablation(benchmark::State& state, bool dedup) {
+  const u32 p = static_cast<u32>(state.range(0));
+  core::PimSkipList::Options opts = with({});
+  opts.disable_dedup = !dedup;
+  sim::Machine machine(p);
+  core::PimSkipList list(machine, opts);
+  const auto data = workload::make_uniform_dataset(default_n(p), 11002);
+  list.build(data.pairs);
+  // The §4.1 adversary: the whole batch queries one key.
+  const std::vector<Key> keys(u64{p} * logp(p), data.pairs[5].first);
+  for (auto _ : state) {
+    const auto m = sim::measure(machine, [&] { (void)list.batch_get(keys); });
+    report(state, m, keys.size());
+  }
+}
+
+void ABL_GetDedup_On(benchmark::State& state) { run_get_ablation(state, true); }
+PIM_BENCH_SWEEP(ABL_GetDedup_On);
+
+void ABL_GetDedup_Off(benchmark::State& state) { run_get_ablation(state, false); }
+PIM_BENCH_SWEEP(ABL_GetDedup_Off);
+
+void run_budget_ablation(benchmark::State& state, u64 budget) {
+  const u32 p = static_cast<u32>(state.range(0));
+  core::PimSkipList::Options opts;
+  opts.walk_budget = budget;
+  sim::Machine machine(p);
+  core::PimSkipList list(machine, opts);
+  const auto data = workload::make_uniform_dataset(default_n(p), 11003);
+  list.build(data.pairs);
+  rnd::Xoshiro256ss rng(223);
+  std::vector<core::PimSkipList::RangeQuery> queries;
+  for (u64 i = 0; i < u64{p} * logp(p) / 2; ++i) {
+    const u64 first = rng.below(data.pairs.size() - 8 * logp(p));
+    queries.push_back(
+        {data.pairs[first].first, data.pairs[first + 8 * logp(p) - 1].first});
+  }
+  for (auto _ : state) {
+    const auto m = sim::measure(machine, [&] { (void)list.batch_range_aggregate(queries); });
+    report(state, m, queries.size());
+  }
+}
+
+void ABL_WalkBudget_Tiny(benchmark::State& state) { run_budget_ablation(state, 4); }
+PIM_BENCH_SWEEP(ABL_WalkBudget_Tiny);
+
+void ABL_WalkBudget_Paper(benchmark::State& state) { run_budget_ablation(state, 0); }
+PIM_BENCH_SWEEP(ABL_WalkBudget_Paper);
+
+void ABL_WalkBudget_Unbounded(benchmark::State& state) {
+  run_budget_ablation(state, UINT64_MAX / 2);
+}
+PIM_BENCH_SWEEP(ABL_WalkBudget_Unbounded);
+
+void run_queue_write(benchmark::State& state, bool expand) {
+  const u32 p = static_cast<u32>(state.range(0));
+  sim::MachineOptions mopts;
+  mopts.track_write_contention = true;
+  sim::Machine machine(p, mopts);
+  core::PimSkipList list(machine);
+  const auto data = workload::make_uniform_dataset(default_n(p), 11004);
+  list.build(data.pairs);
+  rnd::Xoshiro256ss rng(227);
+  std::vector<core::PimSkipList::RangeQuery> queries;
+  for (u64 i = 0; i < 4; ++i) {
+    const u64 first = rng.below(data.pairs.size() / 2);
+    queries.push_back(
+        {data.pairs[first].first, data.pairs[first + data.pairs.size() / 4].first});
+  }
+  for (auto _ : state) {
+    const auto m = sim::measure(machine, [&] {
+      if (expand) {
+        (void)list.batch_range_aggregate_expand(queries);
+      } else {
+        (void)list.batch_range_aggregate(queries);
+      }
+    });
+    report(state, m, queries.size());
+    state.counters["wcontention"] = static_cast<double>(m.machine.write_contention);
+    state.counters["sync"] = static_cast<double>(m.machine.sync_cost);
+  }
+}
+
+void ABL_QueueWrite_ExpandEngine(benchmark::State& state) { run_queue_write(state, true); }
+PIM_BENCH_SWEEP(ABL_QueueWrite_ExpandEngine);
+
+void ABL_QueueWrite_WalkEngine(benchmark::State& state) { run_queue_write(state, false); }
+PIM_BENCH_SWEEP(ABL_QueueWrite_WalkEngine);
+
+}  // namespace
+}  // namespace pim::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,212 @@
+// CMP — the paper's qualitative comparison claims (§1, §2.2, §3.1):
+//   * vs RANGE partitioning [11, 19]: comparable on uniform workloads, but
+//     under skewed/adversarial keys the range-partitioned store loses
+//     PIM-balance (pim_time ~ Θ(batch) on the hot module) while the
+//     PIM skiplist stays at O(polylog P). Who wins: PIM skiplist, by a
+//     factor that grows ~linearly in P.
+//   * vs HASH partitioning [34]: comparable on point ops, but hash
+//     partitioning must broadcast range/successor queries (io ~ P per
+//     query batch of small ranges) where the PIM skiplist (and range
+//     partitioning) touch only the relevant modules.
+//   counters: pim (PIM time), io, bal_pim (max/avg module work; ~1 =
+//   balanced, ~P = serialized).
+#include "baseline/hash_partition_store.hpp"
+#include "baseline/range_partition_store.hpp"
+#include "bench_common.hpp"
+
+namespace pim::bench {
+namespace {
+
+template <typename Store>
+Store make_store(sim::Machine& machine, const workload::Dataset& data) {
+  Store store(machine);
+  store.build(data.pairs);
+  return store;
+}
+
+// ---- point-op workload comparison: uniform vs single-partition skew ----
+
+template <typename RunFn>
+void run_point_comparison(benchmark::State& state, workload::Skew skew, RunFn run) {
+  const u32 p = static_cast<u32>(state.range(0));
+  const u64 n = default_n(p);
+  const workload::Dataset data = workload::make_uniform_dataset(n, 9001);
+  const u64 batch = u64{p} * log2p(p);
+  const auto keys = workload::point_batch(data, skew, batch, 103);
+  run(state, p, data, keys);
+}
+
+void point_counters(benchmark::State& state, const sim::OpMetrics& m, u64 batch) {
+  report(state, m, batch);
+}
+
+void CMP_Get_PimSkiplist_Uniform(benchmark::State& state) {
+  run_point_comparison(state, workload::Skew::kUniform,
+                       [&](benchmark::State& s, u32 p, const workload::Dataset& data,
+                           const std::vector<Key>& keys) {
+                         sim::Machine machine(p);
+                         core::PimSkipList list(machine);
+                         list.build(data.pairs);
+                         for (auto _ : s) {
+                           const auto m =
+                               sim::measure(machine, [&] { (void)list.batch_get(keys); });
+                           point_counters(s, m, keys.size());
+                         }
+                       });
+}
+PIM_BENCH_SWEEP(CMP_Get_PimSkiplist_Uniform);
+
+void CMP_Get_RangePartition_Uniform(benchmark::State& state) {
+  run_point_comparison(state, workload::Skew::kUniform,
+                       [&](benchmark::State& s, u32 p, const workload::Dataset& data,
+                           const std::vector<Key>& keys) {
+                         sim::Machine machine(p);
+                         auto store = make_store<baseline::RangePartitionStore>(machine, data);
+                         for (auto _ : s) {
+                           const auto m =
+                               sim::measure(machine, [&] { (void)store.batch_get(keys); });
+                           point_counters(s, m, keys.size());
+                         }
+                       });
+}
+PIM_BENCH_SWEEP(CMP_Get_RangePartition_Uniform);
+
+void CMP_Get_PimSkiplist_SinglePartitionSkew(benchmark::State& state) {
+  run_point_comparison(state, workload::Skew::kSinglePartition,
+                       [&](benchmark::State& s, u32 p, const workload::Dataset& data,
+                           const std::vector<Key>& keys) {
+                         sim::Machine machine(p);
+                         core::PimSkipList list(machine);
+                         list.build(data.pairs);
+                         for (auto _ : s) {
+                           const auto m =
+                               sim::measure(machine, [&] { (void)list.batch_get(keys); });
+                           point_counters(s, m, keys.size());
+                         }
+                       });
+}
+PIM_BENCH_SWEEP(CMP_Get_PimSkiplist_SinglePartitionSkew);
+
+void CMP_Get_RangePartition_SinglePartitionSkew(benchmark::State& state) {
+  // The paper's headline baseline failure: the whole batch lands on one
+  // partition; pim_time degenerates to ~batch size.
+  run_point_comparison(state, workload::Skew::kSinglePartition,
+                       [&](benchmark::State& s, u32 p, const workload::Dataset& data,
+                           const std::vector<Key>& keys) {
+                         sim::Machine machine(p);
+                         auto store = make_store<baseline::RangePartitionStore>(machine, data);
+                         for (auto _ : s) {
+                           const auto m =
+                               sim::measure(machine, [&] { (void)store.batch_get(keys); });
+                           point_counters(s, m, keys.size());
+                         }
+                       });
+}
+PIM_BENCH_SWEEP(CMP_Get_RangePartition_SinglePartitionSkew);
+
+void CMP_Get_HashPartition_SinglePartitionSkew(benchmark::State& state) {
+  // Hash partitioning tolerates key skew on point ops (distinct keys
+  // spread by hash) — the control for the comparison.
+  run_point_comparison(state, workload::Skew::kSinglePartition,
+                       [&](benchmark::State& s, u32 p, const workload::Dataset& data,
+                           const std::vector<Key>& keys) {
+                         sim::Machine machine(p);
+                         auto store = make_store<baseline::HashPartitionStore>(machine, data);
+                         for (auto _ : s) {
+                           const auto m =
+                               sim::measure(machine, [&] { (void)store.batch_get(keys); });
+                           point_counters(s, m, keys.size());
+                         }
+                       });
+}
+PIM_BENCH_SWEEP(CMP_Get_HashPartition_SinglePartitionSkew);
+
+// ---- skewed inserts: range partition concentrates keys AND work ----
+
+void CMP_Upsert_PimSkiplist_Skewed(benchmark::State& state) {
+  const u32 p = static_cast<u32>(state.range(0));
+  const workload::Dataset data = workload::make_uniform_dataset(default_n(p), 9002);
+  const auto ops =
+      workload::insert_batch(data, workload::Skew::kSinglePartition, u64{p} * log2p(p), 107);
+  for (auto _ : state) {
+    sim::Machine machine(p);
+    core::PimSkipList list(machine);
+    list.build(data.pairs);
+    const auto m = sim::measure(machine, [&] { list.batch_upsert(ops); });
+    point_counters(state, m, ops.size());
+  }
+}
+PIM_BENCH_SWEEP(CMP_Upsert_PimSkiplist_Skewed);
+
+void CMP_Upsert_RangePartition_Skewed(benchmark::State& state) {
+  const u32 p = static_cast<u32>(state.range(0));
+  const workload::Dataset data = workload::make_uniform_dataset(default_n(p), 9002);
+  const auto ops =
+      workload::insert_batch(data, workload::Skew::kSinglePartition, u64{p} * log2p(p), 107);
+  for (auto _ : state) {
+    sim::Machine machine(p);
+    auto store = make_store<baseline::RangePartitionStore>(machine, data);
+    const auto m = sim::measure(machine, [&] { store.batch_upsert(ops); });
+    point_counters(state, m, ops.size());
+  }
+}
+PIM_BENCH_SWEEP(CMP_Upsert_RangePartition_Skewed);
+
+// ---- small range queries: hash partitioning must broadcast ----
+
+void CMP_Range_PimSkiplist_Small(benchmark::State& state) {
+  const u32 p = static_cast<u32>(state.range(0));
+  const workload::Dataset data = workload::make_uniform_dataset(default_n(p), 9003);
+  sim::Machine machine(p);
+  core::PimSkipList list(machine);
+  list.build(data.pairs);
+  std::vector<core::PimSkipList::RangeQuery> queries;
+  for (const auto& [lo, hi] : workload::range_batch(data, u64{p} * logp(p), logp(p), 109)) {
+    queries.push_back({lo, hi});
+  }
+  for (auto _ : state) {
+    const auto m = sim::measure(machine, [&] { (void)list.batch_range_aggregate(queries); });
+    point_counters(state, m, queries.size());
+    state.counters["io_per_query"] =
+        static_cast<double>(m.machine.io_time) / static_cast<double>(queries.size());
+  }
+}
+PIM_BENCH_SWEEP(CMP_Range_PimSkiplist_Small);
+
+void CMP_Range_RangePartition_Small(benchmark::State& state) {
+  const u32 p = static_cast<u32>(state.range(0));
+  const workload::Dataset data = workload::make_uniform_dataset(default_n(p), 9003);
+  sim::Machine machine(p);
+  auto store = make_store<baseline::RangePartitionStore>(machine, data);
+  const auto queries = workload::range_batch(data, u64{p} * logp(p), logp(p), 109);
+  for (auto _ : state) {
+    const auto m = sim::measure(machine, [&] { (void)store.batch_range_aggregate(queries); });
+    point_counters(state, m, queries.size());
+    state.counters["io_per_query"] =
+        static_cast<double>(m.machine.io_time) / static_cast<double>(queries.size());
+  }
+}
+PIM_BENCH_SWEEP(CMP_Range_RangePartition_Small);
+
+void CMP_Range_HashPartition_Small(benchmark::State& state) {
+  // Each query is a full broadcast: io grows with P even for tiny ranges.
+  const u32 p = static_cast<u32>(state.range(0));
+  const workload::Dataset data = workload::make_uniform_dataset(default_n(p), 9003);
+  sim::Machine machine(p);
+  auto store = make_store<baseline::HashPartitionStore>(machine, data);
+  const auto queries = workload::range_batch(data, u64{p} * logp(p), logp(p), 109);
+  for (auto _ : state) {
+    const auto m = sim::measure(machine, [&] {
+      for (const auto& [lo, hi] : queries) (void)store.range_aggregate(lo, hi);
+    });
+    point_counters(state, m, queries.size());
+    state.counters["io_per_query"] =
+        static_cast<double>(m.machine.io_time) / static_cast<double>(queries.size());
+  }
+}
+PIM_BENCH_SWEEP(CMP_Range_HashPartition_Small);
+
+}  // namespace
+}  // namespace pim::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,81 @@
+// Shared bench scaffolding.
+//
+// These benches validate the paper's *model metrics* (IO time, PIM time,
+// rounds, CPU work/depth), which the simulator computes deterministically —
+// host wall-clock is irrelevant, so every benchmark runs one iteration and
+// reports the metrics as counters. The `*_n` counters are the raw metric
+// divided by the paper's claimed bound: a flat series across the P sweep
+// means the shape of the bound holds.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "common/math_util.hpp"
+#include "core/pim_skiplist.hpp"
+#include "sim/measure.hpp"
+#include "workload/generators.hpp"
+
+namespace pim::bench {
+
+inline u64 logp(u64 p) { return log2_at_least1(p); }
+inline u64 log2p(u64 p) { return logp(p) * logp(p); }
+inline u64 log3p(u64 p) { return logp(p) * logp(p) * logp(p); }
+
+/// Structure size used for a P-module machine: keeps n/P fixed so that
+/// per-module load is comparable across the sweep.
+inline u64 default_n(u32 p) { return std::max<u64>(1u << 13, u64{512} * p); }
+
+struct Fixture {
+  std::unique_ptr<sim::Machine> machine;
+  std::unique_ptr<core::PimSkipList> list;
+  workload::Dataset data;
+};
+
+inline Fixture make_fixture(u32 modules, u64 n, u64 seed,
+                            core::PimSkipList::Options opts = {}) {
+  Fixture f;
+  f.machine = std::make_unique<sim::Machine>(modules);
+  f.list = std::make_unique<core::PimSkipList>(*f.machine, opts);
+  f.data = workload::make_uniform_dataset(n, seed);
+  f.list->build(f.data.pairs);
+  return f;
+}
+
+/// Standard counters: raw machine metrics plus per-op CPU work.
+inline void report(benchmark::State& state, const sim::OpMetrics& m, u64 batch) {
+  state.counters["io"] = static_cast<double>(m.machine.io_time);
+  state.counters["pim"] = static_cast<double>(m.machine.pim_time);
+  state.counters["rounds"] = static_cast<double>(m.machine.rounds);
+  state.counters["msgs"] = static_cast<double>(m.machine.messages);
+  state.counters["cpuW_op"] =
+      batch == 0 ? 0.0 : static_cast<double>(m.cpu_work) / static_cast<double>(batch);
+  state.counters["depth"] = static_cast<double>(m.cpu_depth);
+  state.counters["M"] = static_cast<double>(m.machine.shared_mem);
+  // PIM-balance check (§2.1): io_time / (messages/P) and
+  // pim_time / (total work/P); O(1) values mean PIM-balanced.
+  const double p = static_cast<double>(state.range(0));
+  if (m.machine.messages > 0) {
+    state.counters["bal_io"] =
+        static_cast<double>(m.machine.io_time) / (static_cast<double>(m.machine.messages) / p);
+  }
+  if (m.machine.pim_work_total > 0) {
+    state.counters["bal_pim"] = static_cast<double>(m.machine.pim_time) /
+                                (static_cast<double>(m.machine.pim_work_total) / p);
+  }
+}
+
+/// Keys sampled uniformly from the stored key set (Get/Update hits).
+inline std::vector<Key> stored_keys_sample(const workload::Dataset& data, u64 size, u64 seed) {
+  rnd::Xoshiro256ss rng(seed);
+  std::vector<Key> keys(size);
+  for (auto& k : keys) k = data.pairs[rng.below(data.pairs.size())].first;
+  return keys;
+}
+
+}  // namespace pim::bench
+
+/// The standard module-count sweep.
+#define PIM_BENCH_SWEEP(fn) \
+  BENCHMARK(fn)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Arg(64)->Arg(128)->Arg(256)->Iterations(1)

@@ -1,0 +1,94 @@
+// F1 — Fig. 1 (the PIM model itself): machine mechanics under crafted
+// message patterns, demonstrating the h-relation/IO-time/round accounting
+// the rest of the benches rely on.
+//   * scatter: B messages to random modules -> h ~ Θ(B/P + log P/loglog P)
+//   * hotspot: B messages to ONE module -> h = B (the imbalance the
+//     paper's algorithms must avoid)
+//   * broadcast: one message per module -> h = 1
+//   * forward chain: k-hop PIM->CPU->PIM routing -> k rounds, io 2k
+#include "bench_common.hpp"
+
+namespace pim::bench {
+namespace {
+
+sim::Handler g_sink = [](sim::ModuleCtx& ctx, std::span<const u64>) { ctx.charge(1); };
+
+void F1_Scatter(benchmark::State& state) {
+  const u32 p = static_cast<u32>(state.range(0));
+  const u64 b = u64{p} * logp(p);
+  rnd::Xoshiro256ss rng(61);
+  for (auto _ : state) {
+    sim::Machine machine(p);
+    machine.mailbox().assign(1, 0);
+    const auto m = sim::measure(machine, [&] {
+      for (u64 i = 0; i < b; ++i) {
+        machine.send(static_cast<ModuleId>(rng.below(p)), &g_sink, {});
+      }
+      machine.run_until_quiescent();
+    });
+    report(state, m, b);
+    state.counters["h_n"] = static_cast<double>(m.machine.io_time) / (b / p + logp(p));
+  }
+}
+PIM_BENCH_SWEEP(F1_Scatter);
+
+void F1_Hotspot(benchmark::State& state) {
+  const u32 p = static_cast<u32>(state.range(0));
+  const u64 b = u64{p} * logp(p);
+  for (auto _ : state) {
+    sim::Machine machine(p);
+    machine.mailbox().assign(1, 0);
+    const auto m = sim::measure(machine, [&] {
+      for (u64 i = 0; i < b; ++i) machine.send(0, &g_sink, {});
+      machine.run_until_quiescent();
+    });
+    report(state, m, b);
+    state.counters["h_over_B"] = static_cast<double>(m.machine.io_time) / b;  // ~1: imbalanced
+  }
+}
+PIM_BENCH_SWEEP(F1_Hotspot);
+
+void F1_Broadcast(benchmark::State& state) {
+  const u32 p = static_cast<u32>(state.range(0));
+  for (auto _ : state) {
+    sim::Machine machine(p);
+    machine.mailbox().assign(1, 0);
+    const auto m = sim::measure(machine, [&] {
+      machine.broadcast(&g_sink, {});
+      machine.run_until_quiescent();
+    });
+    report(state, m, p);  // io should be exactly 1
+  }
+}
+PIM_BENCH_SWEEP(F1_Broadcast);
+
+void F1_ForwardChain(benchmark::State& state) {
+  const u32 p = static_cast<u32>(state.range(0));
+  const u64 hops = logp(p);
+  sim::Handler chain = [&](sim::ModuleCtx& ctx, std::span<const u64> a) {
+    ctx.charge(1);
+    if (a[0] == 0) {
+      ctx.reply(0, 1);
+      return;
+    }
+    const u64 next[1] = {a[0] - 1};
+    ctx.forward((ctx.id() + 1) % ctx.modules(), &chain, std::span<const u64>(next, 1));
+  };
+  for (auto _ : state) {
+    sim::Machine machine(p);
+    machine.mailbox().assign(1, 0);
+    const auto m = sim::measure(machine, [&] {
+      machine.send(0, &chain, {hops});
+      machine.run_until_quiescent();
+    });
+    report(state, m, hops);
+    state.counters["rounds_per_hop"] =
+        static_cast<double>(m.machine.rounds) / static_cast<double>(hops + 1);
+  }
+}
+PIM_BENCH_SWEEP(F1_ForwardChain);
+
+}  // namespace
+}  // namespace pim::bench
+
+BENCHMARK_MAIN();

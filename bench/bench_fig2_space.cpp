@@ -1,0 +1,72 @@
+// F2/T31 — Fig. 2 structure + Theorem 3.1: the skiplist takes O(n) words
+// total and O(n/P) words whp per module (lower-part share + replicated
+// upper part + hash table + leaf index).
+//   counters: maxmod_n = max module words / (n/P)  (flat = Θ(n/P) holds)
+//             upper_n  = upper-part words / (n/P)  (upper part is O(n/P))
+//             total_n  = total words / n           (flat = Θ(n) holds)
+//             skew     = max module words / mean   (~1 = balanced)
+#include "bench_common.hpp"
+
+namespace pim::bench {
+namespace {
+
+void space_counters(benchmark::State& state, const core::PimSkipList& list, u32 p, u64 n) {
+  u64 max_mod = 0, total = 0;
+  for (ModuleId m = 0; m < p; ++m) {
+    const u64 words = list.module_space_words(m);
+    max_mod = std::max(max_mod, words);
+    total += words;
+  }
+  const double per = static_cast<double>(n) / p;
+  state.counters["maxmod_n"] = static_cast<double>(max_mod) / per;
+  state.counters["upper_n"] = static_cast<double>(list.upper_part_words()) / per;
+  state.counters["upper_nodes"] = static_cast<double>(list.upper_part_nodes());
+  state.counters["total_n"] = static_cast<double>(total) / n;
+  state.counters["skew"] = static_cast<double>(max_mod) / (static_cast<double>(total) / p);
+}
+
+void F2_Space_SweepP(benchmark::State& state) {
+  const u32 p = static_cast<u32>(state.range(0));
+  const u64 n = default_n(p);
+  auto f = make_fixture(p, n, 5001);
+  for (auto _ : state) {
+    space_counters(state, *f.list, p, n);
+  }
+}
+PIM_BENCH_SWEEP(F2_Space_SweepP);
+
+void F2_Space_SweepN(benchmark::State& state) {
+  const u32 p = 64;
+  const u64 n = static_cast<u64>(state.range(0));
+  auto f = make_fixture(p, n, 5002);
+  for (auto _ : state) {
+    space_counters(state, *f.list, p, n);
+  }
+  state.counters["io"] = 0;  // machine-metric columns are not meaningful here
+}
+BENCHMARK(F2_Space_SweepN)->Arg(1 << 13)->Arg(1 << 15)->Arg(1 << 17)->Arg(1 << 19)->Iterations(1);
+
+void F2_Space_AfterChurn(benchmark::State& state) {
+  // Space accounting must stay O(n/P) after heavy insert/delete churn
+  // (arena free lists, hash shrink behavior, meta recharges).
+  const u32 p = static_cast<u32>(state.range(0));
+  const u64 n = default_n(p);
+  auto f = make_fixture(p, n, 5003);
+  rnd::Xoshiro256ss rng(67);
+  for (int round = 0; round < 4; ++round) {
+    const auto ins = workload::insert_batch(f.data, workload::Skew::kUniform, n / 8, rng());
+    f.list->batch_upsert(ins);
+    std::vector<Key> doomed;
+    for (const auto& [k, v] : ins) doomed.push_back(k);
+    f.list->batch_delete(doomed);
+  }
+  for (auto _ : state) {
+    space_counters(state, *f.list, p, f.list->size());
+  }
+}
+PIM_BENCH_SWEEP(F2_Space_AfterChurn);
+
+}  // namespace
+}  // namespace pim::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,83 @@
+// F3/L42 — Fig. 3 + Lemma 4.2: per-node contention in the pivot
+// divide-and-conquer.
+//   claims: in stage 1, no lower-part node is accessed more than 3 times
+//   in any phase; in stage 2, contention is bounded by the segment length
+//   O(log P); the naive batch hits Θ(batch size) contention on one node
+//   under the same-successor adversary.
+//   counters: s1_max   — max accesses to any node in any stage-1 phase
+//             s2_max   — max accesses in stage 2
+//             s2_max_n — s2_max / log P
+//             naive_max / naive_max_n (vs batch size)
+#include "bench_common.hpp"
+
+namespace pim::bench {
+namespace {
+
+void F3_PivotContention(benchmark::State& state) {
+  const u32 p = static_cast<u32>(state.range(0));
+  core::PimSkipList::Options opts;
+  opts.track_contention = true;
+  auto f = make_fixture(p, default_n(p), 6001, opts);
+  const u64 batch = u64{p} * log2p(p);
+  const auto keys =
+      workload::point_batch(f.data, workload::Skew::kSameSuccessor, batch, 71);
+  for (auto _ : state) {
+    const auto m = sim::measure(*f.machine, [&] { (void)f.list->batch_successor(keys); });
+    report(state, m, keys.size());
+    const auto& stats = f.list->last_pivot_stats();
+    u64 s1_max = 0;
+    for (const u64 x : stats.stage1_phase_max_access) s1_max = std::max(s1_max, x);
+    state.counters["s1_max"] = static_cast<double>(s1_max);  // Lemma 4.2: <= 3
+    state.counters["s2_max"] = static_cast<double>(stats.stage2_max_access);
+    state.counters["s2_max_n"] =
+        static_cast<double>(stats.stage2_max_access) / logp(p);
+    state.counters["phases"] = static_cast<double>(stats.phases);
+  }
+}
+PIM_BENCH_SWEEP(F3_PivotContention);
+
+void F3_NaiveContention(benchmark::State& state) {
+  const u32 p = static_cast<u32>(state.range(0));
+  core::PimSkipList::Options opts;
+  opts.track_contention = true;
+  auto f = make_fixture(p, default_n(p), 6002, opts);
+  // Keep the naive batch smaller: it serializes by design.
+  const u64 batch = u64{p} * logp(p);
+  const auto keys =
+      workload::point_batch(f.data, workload::Skew::kSameSuccessor, batch, 73);
+  for (auto _ : state) {
+    const auto m = sim::measure(*f.machine, [&] { (void)f.list->batch_successor_naive(keys); });
+    report(state, m, keys.size());
+    state.counters["naive_max"] = static_cast<double>(f.list->last_pivot_stats().stage2_max_access);
+    state.counters["naive_max_n"] =
+        static_cast<double>(f.list->last_pivot_stats().stage2_max_access) /
+        static_cast<double>(keys.size());
+  }
+}
+PIM_BENCH_SWEEP(F3_NaiveContention);
+
+void F3_UniformContention(benchmark::State& state) {
+  // Under uniform queries contention is naturally low; this is the
+  // control series.
+  const u32 p = static_cast<u32>(state.range(0));
+  core::PimSkipList::Options opts;
+  opts.track_contention = true;
+  auto f = make_fixture(p, default_n(p), 6003, opts);
+  const u64 batch = u64{p} * log2p(p);
+  const auto keys = workload::point_batch(f.data, workload::Skew::kUniform, batch, 79);
+  for (auto _ : state) {
+    const auto m = sim::measure(*f.machine, [&] { (void)f.list->batch_successor(keys); });
+    report(state, m, keys.size());
+    const auto& stats = f.list->last_pivot_stats();
+    u64 s1_max = 0;
+    for (const u64 x : stats.stage1_phase_max_access) s1_max = std::max(s1_max, x);
+    state.counters["s1_max"] = static_cast<double>(s1_max);
+    state.counters["s2_max"] = static_cast<double>(stats.stage2_max_access);
+  }
+}
+PIM_BENCH_SWEEP(F3_UniformContention);
+
+}  // namespace
+}  // namespace pim::bench
+
+BENCHMARK_MAIN();

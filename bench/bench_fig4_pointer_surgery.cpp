@@ -1,0 +1,104 @@
+// F4 — Fig. 4: batch pointer surgery.
+//   Insert side: Algorithm 1 wires all horizontal pointers of a batch of
+//   mutually-adjacent new nodes with independent RemoteWrites — one
+//   bulk-synchronous write round, messages O(1) per new node per level.
+//   Delete side: removing an interleaved subset produces long marked runs
+//   spliced by CPU-side list contraction — rounds stay O(polylog),
+//   messages O(1) per deleted node per level.
+//   counters: msg_op (messages per op), wire_rounds / splice rounds.
+#include "bench_common.hpp"
+
+namespace pim::bench {
+namespace {
+
+void F4_InsertInterleavedRuns(benchmark::State& state) {
+  // Existing keys at even positions; insert every odd position, creating
+  // maximal new-new and new-old pointer mixes at level 0.
+  const u32 p = static_cast<u32>(state.range(0));
+  const u64 batch = u64{p} * log2p(p);
+  for (auto _ : state) {
+    sim::Machine machine(p);
+    core::PimSkipList list(machine);
+    std::vector<std::pair<Key, Value>> even;
+    for (u64 i = 0; i < batch; ++i) even.push_back({static_cast<Key>(2 * i), i});
+    list.build(even);
+    std::vector<std::pair<Key, Value>> odd;
+    for (u64 i = 0; i < batch; ++i) odd.push_back({static_cast<Key>(2 * i + 1), i});
+    const auto m = sim::measure(machine, [&] { list.batch_upsert(odd); });
+    report(state, m, batch);
+    state.counters["msg_op"] =
+        static_cast<double>(m.machine.messages) / static_cast<double>(batch);
+    list.check_invariants();
+  }
+}
+PIM_BENCH_SWEEP(F4_InsertInterleavedRuns);
+
+void F4_InsertSolidRun(benchmark::State& state) {
+  // All new nodes form ONE run between two old keys: Algorithm 1 chains
+  // new->new pointers almost everywhere (the blue chain in Fig. 4).
+  const u32 p = static_cast<u32>(state.range(0));
+  const u64 batch = u64{p} * log2p(p);
+  for (auto _ : state) {
+    sim::Machine machine(p);
+    core::PimSkipList list(machine);
+    std::vector<std::pair<Key, Value>> ends = {{0, 0},
+                                               {static_cast<Key>(batch + 1), 0}};
+    list.build(ends);
+    std::vector<std::pair<Key, Value>> run;
+    for (u64 i = 1; i <= batch; ++i) run.push_back({static_cast<Key>(i), i});
+    const auto m = sim::measure(machine, [&] { list.batch_upsert(run); });
+    report(state, m, batch);
+    state.counters["msg_op"] =
+        static_cast<double>(m.machine.messages) / static_cast<double>(batch);
+    list.check_invariants();
+  }
+}
+PIM_BENCH_SWEEP(F4_InsertSolidRun);
+
+void F4_DeleteInterleaved(benchmark::State& state) {
+  // Delete every other key: every splice write joins two survivors.
+  const u32 p = static_cast<u32>(state.range(0));
+  const u64 batch = u64{p} * log2p(p);
+  for (auto _ : state) {
+    sim::Machine machine(p);
+    core::PimSkipList list(machine);
+    std::vector<std::pair<Key, Value>> all;
+    for (u64 i = 0; i < 2 * batch; ++i) all.push_back({static_cast<Key>(i), i});
+    list.build(all);
+    std::vector<Key> doomed;
+    for (u64 i = 1; i < 2 * batch; i += 2) doomed.push_back(static_cast<Key>(i));
+    const auto m = sim::measure(machine, [&] { (void)list.batch_delete(doomed); });
+    report(state, m, doomed.size());
+    state.counters["msg_op"] =
+        static_cast<double>(m.machine.messages) / static_cast<double>(doomed.size());
+    list.check_invariants();
+  }
+}
+PIM_BENCH_SWEEP(F4_DeleteInterleaved);
+
+void F4_DeleteSolidRun(benchmark::State& state) {
+  // One huge marked run: the list-contraction case (green pointer in
+  // Fig. 4 spans the whole run).
+  const u32 p = static_cast<u32>(state.range(0));
+  const u64 batch = u64{p} * log2p(p);
+  for (auto _ : state) {
+    sim::Machine machine(p);
+    core::PimSkipList list(machine);
+    std::vector<std::pair<Key, Value>> all;
+    for (u64 i = 0; i < batch + 2; ++i) all.push_back({static_cast<Key>(i), i});
+    list.build(all);
+    std::vector<Key> doomed;
+    for (u64 i = 1; i <= batch; ++i) doomed.push_back(static_cast<Key>(i));
+    const auto m = sim::measure(machine, [&] { (void)list.batch_delete(doomed); });
+    report(state, m, doomed.size());
+    state.counters["msg_op"] =
+        static_cast<double>(m.machine.messages) / static_cast<double>(doomed.size());
+    list.check_invariants();
+  }
+}
+PIM_BENCH_SWEEP(F4_DeleteSolidRun);
+
+}  // namespace
+}  // namespace pim::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,108 @@
+// L21/L22 — Lemmas 2.1 and 2.2 (the balancing engine behind every whp
+// bound in the paper).
+//   Lemma 2.1: T = Ω(P log P) balls into P bins -> Θ(T/P) per bin whp.
+//   Lemma 2.2: weighted balls, total W, max weight W/(P log P) -> O(W/P)
+//   per bin whp.
+//   Also the NEGATIVE control the paper cites [6]: T = P balls gives
+//   Θ(log P / log log P) max load — why a batch must be Ω(P log P).
+//   counters: max_n = max bin load / (T/P); trials report the worst of 32
+//   seeds (whp means every seed should be within a small constant).
+#include <cmath>
+
+#include "bench_common.hpp"
+
+namespace pim::bench {
+namespace {
+
+constexpr int kTrials = 32;
+
+void L21_UnweightedBalls(benchmark::State& state) {
+  const u32 p = static_cast<u32>(state.range(0));
+  const u64 t = u64{p} * logp(p);
+  for (auto _ : state) {
+    double worst = 0;
+    for (int trial = 0; trial < kTrials; ++trial) {
+      rnd::Xoshiro256ss rng(1000 + trial);
+      std::vector<u64> bins(p, 0);
+      for (u64 i = 0; i < t; ++i) ++bins[rng.below(p)];
+      u64 max_load = 0;
+      for (const u64 b : bins) max_load = std::max(max_load, b);
+      worst = std::max(worst, static_cast<double>(max_load) / (static_cast<double>(t) / p));
+    }
+    state.counters["max_n"] = worst;  // should stay a small constant
+  }
+}
+PIM_BENCH_SWEEP(L21_UnweightedBalls);
+
+void L22_WeightedBalls(benchmark::State& state) {
+  const u32 p = static_cast<u32>(state.range(0));
+  // Balls with the maximum allowed weight W/(P log P): the adversarial
+  // extreme of the lemma's precondition.
+  const u64 balls = u64{p} * logp(p);
+  for (auto _ : state) {
+    double worst = 0;
+    for (int trial = 0; trial < kTrials; ++trial) {
+      rnd::Xoshiro256ss rng(2000 + trial);
+      std::vector<double> bins(p, 0.0);
+      double total = 0;
+      const double cap = 1.0;  // each ball at the cap; W = balls * cap
+      for (u64 i = 0; i < balls; ++i) {
+        const double w = (i % 2 == 0) ? cap : cap * rng.uniform01();
+        bins[rng.below(p)] += w;
+        total += w;
+      }
+      double max_load = 0;
+      for (const double b : bins) max_load = std::max(max_load, b);
+      worst = std::max(worst, max_load / (total / p));
+    }
+    state.counters["max_n"] = worst;
+  }
+}
+PIM_BENCH_SWEEP(L22_WeightedBalls);
+
+void L_Negative_PBallsOnly(benchmark::State& state) {
+  // T = P balls: max load grows like log P / log log P [6] — the reason
+  // the paper's minimum batch sizes exist. max_n here GROWS with P.
+  const u32 p = static_cast<u32>(state.range(0));
+  for (auto _ : state) {
+    double worst = 0;
+    for (int trial = 0; trial < kTrials; ++trial) {
+      rnd::Xoshiro256ss rng(3000 + trial);
+      std::vector<u64> bins(p, 0);
+      for (u64 i = 0; i < p; ++i) ++bins[rng.below(p)];
+      u64 max_load = 0;
+      for (const u64 b : bins) max_load = std::max(max_load, b);
+      worst = std::max(worst, static_cast<double>(max_load));
+    }
+    state.counters["max_load"] = worst;
+    const double lp = std::log2(static_cast<double>(p));
+    state.counters["theory"] = lp / std::log2(std::max(2.0, lp));
+  }
+}
+PIM_BENCH_SWEEP(L_Negative_PBallsOnly);
+
+void L21_PlacementHashOnAdversarialKeys(benchmark::State& state) {
+  // The same bound must hold for the structure's keyed placement hash on
+  // adversarial (sequential) keys, not just true randomness — this is
+  // what the lower-part distribution relies on.
+  const u32 p = static_cast<u32>(state.range(0));
+  const u64 t = u64{p} * logp(p);
+  for (auto _ : state) {
+    double worst = 0;
+    for (int trial = 0; trial < kTrials; ++trial) {
+      rnd::PlacementHash place(4000 + trial, p);
+      std::vector<u64> bins(p, 0);
+      for (u64 k = 0; k < t; ++k) ++bins[place.module_of(static_cast<Key>(k), 0)];
+      u64 max_load = 0;
+      for (const u64 b : bins) max_load = std::max(max_load, b);
+      worst = std::max(worst, static_cast<double>(max_load) / (static_cast<double>(t) / p));
+    }
+    state.counters["max_n"] = worst;
+  }
+}
+PIM_BENCH_SWEEP(L21_PlacementHashOnAdversarialKeys);
+
+}  // namespace
+}  // namespace pim::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,65 @@
+// NVB — §4.2's imbalanced-batch example: under the same-successor
+// adversary, the naive batch search (all queries from the root, no
+// pivots) contends on the nodes of ONE search path — IO time degenerates
+// toward Θ(batch), eliminating parallelism — while the pivot-balanced
+// version stays at O(log^3 P).
+//   Who wins: balanced, by a factor growing roughly like batch/log^3 P.
+//   counters: io, pim, speedup vs naive is read across the pair of rows.
+#include "bench_common.hpp"
+
+namespace pim::bench {
+namespace {
+
+std::vector<Key> adversary_batch(const workload::Dataset& data, u32 p) {
+  // Batch of P log P distinct keys, one shared successor (kept at
+  // P log P, not P log^2 P, so the naive run finishes in sane host time
+  // at P=256; the balanced run uses the identical batch).
+  return workload::point_batch(data, workload::Skew::kSameSuccessor, u64{p} * logp(p), 113);
+}
+
+void NVB_Naive(benchmark::State& state) {
+  const u32 p = static_cast<u32>(state.range(0));
+  auto f = make_fixture(p, default_n(p), 10001);
+  const auto keys = adversary_batch(f.data, p);
+  for (auto _ : state) {
+    const auto m = sim::measure(*f.machine, [&] { (void)f.list->batch_successor_naive(keys); });
+    report(state, m, keys.size());
+    state.counters["io_per_op"] =
+        static_cast<double>(m.machine.io_time) / static_cast<double>(keys.size());
+  }
+}
+PIM_BENCH_SWEEP(NVB_Naive);
+
+void NVB_Balanced(benchmark::State& state) {
+  const u32 p = static_cast<u32>(state.range(0));
+  auto f = make_fixture(p, default_n(p), 10001);
+  const auto keys = adversary_batch(f.data, p);
+  for (auto _ : state) {
+    const auto m = sim::measure(*f.machine, [&] { (void)f.list->batch_successor(keys); });
+    report(state, m, keys.size());
+    state.counters["io_per_op"] =
+        static_cast<double>(m.machine.io_time) / static_cast<double>(keys.size());
+  }
+}
+PIM_BENCH_SWEEP(NVB_Balanced);
+
+void NVB_Naive_Uniform(benchmark::State& state) {
+  // Control: under uniform keys the naive approach is fine — the gap only
+  // opens under the adversary.
+  const u32 p = static_cast<u32>(state.range(0));
+  auto f = make_fixture(p, default_n(p), 10002);
+  const auto keys =
+      workload::point_batch(f.data, workload::Skew::kUniform, u64{p} * logp(p), 127);
+  for (auto _ : state) {
+    const auto m = sim::measure(*f.machine, [&] { (void)f.list->batch_successor_naive(keys); });
+    report(state, m, keys.size());
+    state.counters["io_per_op"] =
+        static_cast<double>(m.machine.io_time) / static_cast<double>(keys.size());
+  }
+}
+PIM_BENCH_SWEEP(NVB_Naive_Uniform);
+
+}  // namespace
+}  // namespace pim::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,84 @@
+// T1-DEL — Table 1 row 4 (Theorem 4.5): batched Delete with batch size
+// P log^2 P.
+//   claims: IO O(log^2 P) whp, PIM time O(log^2 P) whp, CPU work/op O(1)
+//   expected, CPU depth O(log P) whp (list contraction).
+// Variants: scattered keys vs one long consecutive run (the list
+// contraction stress case, Fig. 4) vs misses-heavy.
+#include "bench_common.hpp"
+
+namespace pim::bench {
+namespace {
+
+void normalize_delete(benchmark::State& state, const sim::OpMetrics& m, u64 batch) {
+  const u64 p = static_cast<u64>(state.range(0));
+  state.counters["io_n"] = static_cast<double>(m.machine.io_time) / log2p(p);
+  state.counters["pim_n"] = static_cast<double>(m.machine.pim_time) / log2p(p);
+  state.counters["depth_n"] = static_cast<double>(m.cpu_depth) / logp(p);
+  state.counters["cpuW_op"] = static_cast<double>(m.cpu_work) / static_cast<double>(batch);
+  state.counters["M_n"] = static_cast<double>(m.machine.shared_mem) / (static_cast<double>(p) * log2p(p));
+}
+
+void T1_Delete_Scattered(benchmark::State& state) {
+  const u32 p = static_cast<u32>(state.range(0));
+  const u64 batch = u64{p} * log2p(p);
+  const u64 n = std::max<u64>(default_n(p), 2 * batch);
+  for (auto _ : state) {
+    auto f = make_fixture(p, n, 4001);
+    // Every other stored key, up to the batch size.
+    std::vector<Key> doomed;
+    for (u64 i = 0; i < f.data.pairs.size() && doomed.size() < batch; i += 2) {
+      doomed.push_back(f.data.pairs[i].first);
+    }
+    const auto m = sim::measure(*f.machine, [&] { (void)f.list->batch_delete(doomed); });
+    report(state, m, doomed.size());
+    normalize_delete(state, m, doomed.size());
+  }
+}
+PIM_BENCH_SWEEP(T1_Delete_Scattered);
+
+void T1_Delete_ConsecutiveRun(benchmark::State& state) {
+  const u32 p = static_cast<u32>(state.range(0));
+  const u64 batch = u64{p} * log2p(p);
+  const u64 n = std::max<u64>(default_n(p), 2 * batch);
+  for (auto _ : state) {
+    auto f = make_fixture(p, n, 4002);
+    // One maximal run of consecutive stored keys: worst case for splicing.
+    std::vector<Key> doomed;
+    const u64 start = f.data.pairs.size() / 4;
+    for (u64 i = start; i < f.data.pairs.size() && doomed.size() < batch; ++i) {
+      doomed.push_back(f.data.pairs[i].first);
+    }
+    const auto m = sim::measure(*f.machine, [&] { (void)f.list->batch_delete(doomed); });
+    report(state, m, doomed.size());
+    normalize_delete(state, m, doomed.size());
+  }
+}
+PIM_BENCH_SWEEP(T1_Delete_ConsecutiveRun);
+
+void T1_Delete_MostlyMisses(benchmark::State& state) {
+  const u32 p = static_cast<u32>(state.range(0));
+  const u64 batch = u64{p} * log2p(p);
+  const u64 n = default_n(p);
+  for (auto _ : state) {
+    auto f = make_fixture(p, n, 4003);
+    // 90% absent keys: deletes of non-existent keys must stay cheap.
+    rnd::Xoshiro256ss rng(59);
+    std::vector<Key> doomed;
+    for (u64 i = 0; i < batch; ++i) {
+      if (i % 10 == 0) {
+        doomed.push_back(f.data.pairs[rng.below(f.data.pairs.size())].first);
+      } else {
+        doomed.push_back(rng.range(2'000'000'000, 3'000'000'000));
+      }
+    }
+    const auto m = sim::measure(*f.machine, [&] { (void)f.list->batch_delete(doomed); });
+    report(state, m, doomed.size());
+    normalize_delete(state, m, doomed.size());
+  }
+}
+PIM_BENCH_SWEEP(T1_Delete_MostlyMisses);
+
+}  // namespace
+}  // namespace pim::bench
+
+BENCHMARK_MAIN();

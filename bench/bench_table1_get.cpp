@@ -1,0 +1,79 @@
+// T1-GET — Table 1 row 1 (Theorem 4.1): batched Get / Update with batch
+// size P log P.
+//   claims: IO O(log P) whp, PIM time O(log P) whp, CPU work/op O(1)
+//   expected, CPU depth O(log P) whp, M = Θ(P log P).
+// Normalized counters (io_n = io/log P, ...) should stay ~flat across the
+// P sweep and be independent of duplicates/skew.
+#include "bench_common.hpp"
+
+namespace pim::bench {
+namespace {
+
+void normalize_get(benchmark::State& state, const sim::OpMetrics& m) {
+  const u64 p = static_cast<u64>(state.range(0));
+  state.counters["io_n"] = static_cast<double>(m.machine.io_time) / logp(p);
+  state.counters["pim_n"] = static_cast<double>(m.machine.pim_time) / logp(p);
+  state.counters["depth_n"] = static_cast<double>(m.cpu_depth) / logp(p);
+  state.counters["M_n"] = static_cast<double>(m.machine.shared_mem) / (static_cast<double>(p) * logp(p));
+}
+
+void T1_Get_UniformHits(benchmark::State& state) {
+  const u32 p = static_cast<u32>(state.range(0));
+  auto f = make_fixture(p, default_n(p), 1001);
+  const u64 batch = u64{p} * logp(p);
+  const auto keys = stored_keys_sample(f.data, batch, 17);
+  for (auto _ : state) {
+    const auto m = sim::measure(*f.machine, [&] { (void)f.list->batch_get(keys); });
+    report(state, m, batch);
+    normalize_get(state, m);
+  }
+}
+PIM_BENCH_SWEEP(T1_Get_UniformHits);
+
+void T1_Get_AllSameKey(benchmark::State& state) {
+  // Adversarial duplicates: the whole batch queries ONE key. Dedup must
+  // keep the metrics flat (skew-independence).
+  const u32 p = static_cast<u32>(state.range(0));
+  auto f = make_fixture(p, default_n(p), 1002);
+  const u64 batch = u64{p} * logp(p);
+  const std::vector<Key> keys(batch, f.data.pairs[7].first);
+  for (auto _ : state) {
+    const auto m = sim::measure(*f.machine, [&] { (void)f.list->batch_get(keys); });
+    report(state, m, batch);
+    normalize_get(state, m);
+  }
+}
+PIM_BENCH_SWEEP(T1_Get_AllSameKey);
+
+void T1_Get_Zipf(benchmark::State& state) {
+  const u32 p = static_cast<u32>(state.range(0));
+  auto f = make_fixture(p, default_n(p), 1003);
+  const u64 batch = u64{p} * logp(p);
+  const auto keys = workload::point_batch(f.data, workload::Skew::kZipf, batch, 19);
+  for (auto _ : state) {
+    const auto m = sim::measure(*f.machine, [&] { (void)f.list->batch_get(keys); });
+    report(state, m, batch);
+    normalize_get(state, m);
+  }
+}
+PIM_BENCH_SWEEP(T1_Get_Zipf);
+
+void T1_Update_UniformHits(benchmark::State& state) {
+  const u32 p = static_cast<u32>(state.range(0));
+  auto f = make_fixture(p, default_n(p), 1004);
+  const u64 batch = u64{p} * logp(p);
+  const auto keys = stored_keys_sample(f.data, batch, 23);
+  std::vector<std::pair<Key, Value>> ops(batch);
+  for (u64 i = 0; i < batch; ++i) ops[i] = {keys[i], i};
+  for (auto _ : state) {
+    const auto m = sim::measure(*f.machine, [&] { (void)f.list->batch_update(ops); });
+    report(state, m, batch);
+    normalize_get(state, m);
+  }
+}
+PIM_BENCH_SWEEP(T1_Update_UniformHits);
+
+}  // namespace
+}  // namespace pim::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,79 @@
+// T1-SUCC — Table 1 row 2 (Theorem 4.3): batched Successor/Predecessor
+// with batch size P log^2 P.
+//   claims: IO O(log^3 P) whp, PIM time O(log^2 P · log n) whp, CPU
+//   work/op O(log P) expected, CPU depth O(log^2 P) whp, M = Θ(P log^2 P).
+// The key property: the same flat normalized series under uniform AND the
+// same-successor adversary (skew independence).
+#include "bench_common.hpp"
+
+namespace pim::bench {
+namespace {
+
+void normalize_succ(benchmark::State& state, const sim::OpMetrics& m, u64 n, u64 batch) {
+  const u64 p = static_cast<u64>(state.range(0));
+  state.counters["io_n"] = static_cast<double>(m.machine.io_time) / log3p(p);
+  state.counters["pim_n"] =
+      static_cast<double>(m.machine.pim_time) / (log2p(p) * ceil_log2(n + 2));
+  state.counters["depth_n"] = static_cast<double>(m.cpu_depth) / log2p(p);
+  state.counters["cpuW_op_n"] =
+      static_cast<double>(m.cpu_work) / static_cast<double>(batch) / logp(p);
+  state.counters["M_n"] = static_cast<double>(m.machine.shared_mem) / (static_cast<double>(p) * log2p(p));
+}
+
+void run_successor(benchmark::State& state, workload::Skew skew) {
+  const u32 p = static_cast<u32>(state.range(0));
+  const u64 n = default_n(p);
+  auto f = make_fixture(p, n, 2001);
+  const u64 batch = u64{p} * log2p(p);
+  const auto keys = workload::point_batch(f.data, skew, batch, 29);
+  for (auto _ : state) {
+    const auto m = sim::measure(*f.machine, [&] { (void)f.list->batch_successor(keys); });
+    report(state, m, keys.size());
+    normalize_succ(state, m, n, keys.size());
+  }
+}
+
+void T1_Succ_Uniform(benchmark::State& state) { run_successor(state, workload::Skew::kUniform); }
+PIM_BENCH_SWEEP(T1_Succ_Uniform);
+
+void T1_Succ_SameSuccessorAdversary(benchmark::State& state) {
+  run_successor(state, workload::Skew::kSameSuccessor);
+}
+PIM_BENCH_SWEEP(T1_Succ_SameSuccessorAdversary);
+
+void T1_Pred_Uniform(benchmark::State& state) {
+  const u32 p = static_cast<u32>(state.range(0));
+  const u64 n = default_n(p);
+  auto f = make_fixture(p, n, 2002);
+  const u64 batch = u64{p} * log2p(p);
+  const auto keys = workload::point_batch(f.data, workload::Skew::kUniform, batch, 31);
+  for (auto _ : state) {
+    const auto m = sim::measure(*f.machine, [&] { (void)f.list->batch_predecessor(keys); });
+    report(state, m, keys.size());
+    normalize_succ(state, m, n, keys.size());
+  }
+}
+PIM_BENCH_SWEEP(T1_Pred_Uniform);
+
+// Ablation: how much of the IO bound comes from pivot recording? Compare
+// the number of bulk-synchronous rounds as P grows (rounds ~ O(log^2 P):
+// log P phases x O(log P) steps each).
+void T1_Succ_RoundsBreakdown(benchmark::State& state) {
+  const u32 p = static_cast<u32>(state.range(0));
+  const u64 n = default_n(p);
+  auto f = make_fixture(p, n, 2003);
+  const u64 batch = u64{p} * log2p(p);
+  const auto keys = workload::point_batch(f.data, workload::Skew::kUniform, batch, 37);
+  for (auto _ : state) {
+    const auto m = sim::measure(*f.machine, [&] { (void)f.list->batch_successor(keys); });
+    report(state, m, keys.size());
+    state.counters["rounds_n"] = static_cast<double>(m.machine.rounds) / log2p(p);
+    state.counters["phases"] = static_cast<double>(f.list->last_pivot_stats().phases);
+  }
+}
+PIM_BENCH_SWEEP(T1_Succ_RoundsBreakdown);
+
+}  // namespace
+}  // namespace pim::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,82 @@
+// T1-UPS — Table 1 row 3 (Theorem 4.4): batched Upsert with batch size
+// P log^2 P.
+//   claims: IO O(log^3 P) whp, PIM time O(log^2 P · log n) whp, CPU
+//   work/op O(log P) expected, CPU depth O(log^2 P) whp.
+// Variants: fresh inserts (uniform), update-only (falls back to the Get
+// machinery), skewed inserts into one gap (adversarial adjacency: long
+// runs of mutually-linked new nodes), and a mixed batch.
+#include "bench_common.hpp"
+
+namespace pim::bench {
+namespace {
+
+void normalize_upsert(benchmark::State& state, const sim::OpMetrics& m, u64 n, u64 batch) {
+  const u64 p = static_cast<u64>(state.range(0));
+  state.counters["io_n"] = static_cast<double>(m.machine.io_time) / log3p(p);
+  state.counters["pim_n"] =
+      static_cast<double>(m.machine.pim_time) / (log2p(p) * ceil_log2(n + 2));
+  state.counters["depth_n"] = static_cast<double>(m.cpu_depth) / log2p(p);
+  state.counters["cpuW_op_n"] =
+      static_cast<double>(m.cpu_work) / static_cast<double>(batch) / logp(p);
+  state.counters["M_n"] = static_cast<double>(m.machine.shared_mem) / (static_cast<double>(p) * log2p(p));
+}
+
+void run_upsert(benchmark::State& state, workload::Skew skew) {
+  const u32 p = static_cast<u32>(state.range(0));
+  const u64 n = default_n(p);
+  const u64 batch = u64{p} * log2p(p);
+  for (auto _ : state) {
+    auto f = make_fixture(p, n, 3001);  // fresh structure per iteration
+    const auto ops = workload::insert_batch(f.data, skew, batch, 41);
+    const auto m = sim::measure(*f.machine, [&] { f.list->batch_upsert(ops); });
+    report(state, m, ops.size());
+    normalize_upsert(state, m, n, ops.size());
+  }
+}
+
+void T1_Upsert_FreshUniform(benchmark::State& state) {
+  run_upsert(state, workload::Skew::kUniform);
+}
+PIM_BENCH_SWEEP(T1_Upsert_FreshUniform);
+
+void T1_Upsert_AdversarialOneGap(benchmark::State& state) {
+  run_upsert(state, workload::Skew::kSameSuccessor);
+}
+PIM_BENCH_SWEEP(T1_Upsert_AdversarialOneGap);
+
+void T1_Upsert_UpdateOnly(benchmark::State& state) {
+  const u32 p = static_cast<u32>(state.range(0));
+  const u64 n = default_n(p);
+  auto f = make_fixture(p, n, 3002);
+  const u64 batch = u64{p} * log2p(p);
+  const auto keys = stored_keys_sample(f.data, batch, 43);
+  std::vector<std::pair<Key, Value>> ops(batch);
+  for (u64 i = 0; i < batch; ++i) ops[i] = {keys[i], i};
+  for (auto _ : state) {
+    const auto m = sim::measure(*f.machine, [&] { f.list->batch_upsert(ops); });
+    report(state, m, batch);
+    normalize_upsert(state, m, n, batch);
+  }
+}
+PIM_BENCH_SWEEP(T1_Upsert_UpdateOnly);
+
+void T1_Upsert_MixedHalfAndHalf(benchmark::State& state) {
+  const u32 p = static_cast<u32>(state.range(0));
+  const u64 n = default_n(p);
+  const u64 batch = u64{p} * log2p(p);
+  for (auto _ : state) {
+    auto f = make_fixture(p, n, 3003);
+    auto ops = workload::insert_batch(f.data, workload::Skew::kUniform, batch / 2, 47);
+    const auto hits = stored_keys_sample(f.data, batch - batch / 2, 53);
+    for (u64 i = 0; i < hits.size(); ++i) ops.push_back({hits[i], i});
+    const auto m = sim::measure(*f.machine, [&] { f.list->batch_upsert(ops); });
+    report(state, m, ops.size());
+    normalize_upsert(state, m, n, ops.size());
+  }
+}
+PIM_BENCH_SWEEP(T1_Upsert_MixedHalfAndHalf);
+
+}  // namespace
+}  // namespace pim::bench
+
+BENCHMARK_MAIN();

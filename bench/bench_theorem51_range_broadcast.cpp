@@ -1,0 +1,85 @@
+// T51 — Theorem 5.1: broadcast-based range operations over K = Ω(P log P)
+// covered pairs.
+//   claims: O(1) IO time (h=1 broadcast + per-module partials), O(1)
+//   bulk-synchronous rounds, O(K/P + log n) whp PIM time; value-returning
+//   ops add O(K/P) whp IO time.
+//   counters: pim_n = pim / (K/P + log n); collect_io_n = io / (K/P).
+#include "bench_common.hpp"
+
+namespace pim::bench {
+namespace {
+
+/// Picks an inclusive key range covering ~target_k stored pairs.
+std::pair<Key, Key> range_covering(const workload::Dataset& data, u64 target_k) {
+  const u64 n = data.pairs.size();
+  const u64 first = n / 5;
+  const u64 last = std::min(n - 1, first + target_k - 1);
+  return {data.pairs[first].first, data.pairs[last].first};
+}
+
+void T51_AggregateSweepP(benchmark::State& state) {
+  const u32 p = static_cast<u32>(state.range(0));
+  const u64 n = default_n(p);
+  auto f = make_fixture(p, n, 7001);
+  const u64 k = u64{p} * logp(p) * 4;  // K = Ω(P log P)
+  const auto [lo, hi] = range_covering(f.data, k);
+  for (auto _ : state) {
+    const auto m = sim::measure(*f.machine, [&] { (void)f.list->range_count_broadcast(lo, hi); });
+    report(state, m, k);
+    state.counters["pim_n"] = static_cast<double>(m.machine.pim_time) /
+                              (static_cast<double>(k) / p + ceil_log2(n + 2));
+  }
+}
+PIM_BENCH_SWEEP(T51_AggregateSweepP);
+
+void T51_AggregateSweepK(benchmark::State& state) {
+  const u32 p = 64;
+  const u64 n = 1u << 17;
+  auto f = make_fixture(p, n, 7002);
+  const u64 k = static_cast<u64>(state.range(0));
+  const auto [lo, hi] = range_covering(f.data, k);
+  for (auto _ : state) {
+    const auto m = sim::measure(*f.machine, [&] { (void)f.list->range_count_broadcast(lo, hi); });
+    report(state, m, k);
+    state.counters["pim_n"] = static_cast<double>(m.machine.pim_time) /
+                              (static_cast<double>(k) / p + ceil_log2(n + 2));
+  }
+}
+BENCHMARK(T51_AggregateSweepK)->Arg(1 << 9)->Arg(1 << 11)->Arg(1 << 13)->Arg(1 << 15)->Iterations(1);
+
+void T51_CollectSweepP(benchmark::State& state) {
+  const u32 p = static_cast<u32>(state.range(0));
+  const u64 n = default_n(p);
+  auto f = make_fixture(p, n, 7003);
+  const u64 k = u64{p} * logp(p) * 4;
+  const auto [lo, hi] = range_covering(f.data, k);
+  for (auto _ : state) {
+    const auto m =
+        sim::measure(*f.machine, [&] { (void)f.list->range_collect_broadcast(lo, hi); });
+    report(state, m, k);
+    state.counters["collect_io_n"] =
+        static_cast<double>(m.machine.io_time) / (static_cast<double>(k) / p + 1);
+  }
+}
+PIM_BENCH_SWEEP(T51_CollectSweepP);
+
+void T51_FetchAddSweepP(benchmark::State& state) {
+  const u32 p = static_cast<u32>(state.range(0));
+  const u64 n = default_n(p);
+  auto f = make_fixture(p, n, 7004);
+  const u64 k = u64{p} * logp(p) * 4;
+  const auto [lo, hi] = range_covering(f.data, k);
+  for (auto _ : state) {
+    const auto m =
+        sim::measure(*f.machine, [&] { (void)f.list->range_fetch_add_broadcast(lo, hi, 1); });
+    report(state, m, k);
+    state.counters["pim_n"] = static_cast<double>(m.machine.pim_time) /
+                              (static_cast<double>(k) / p + ceil_log2(n + 2));
+  }
+}
+PIM_BENCH_SWEEP(T51_FetchAddSweepP);
+
+}  // namespace
+}  // namespace pim::bench
+
+BENCHMARK_MAIN();

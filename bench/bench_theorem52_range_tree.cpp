@@ -1,0 +1,160 @@
+// T52 — Theorem 5.2: tree-structure-based batched range operations.
+//   Batch of range queries covering κ = Ω(P log P) pairs total:
+//   IO O(κ/P + log^3 P) whp, PIM O((κ/P + log^2 P) · log n) whp.
+//   Variants: many small ranges (walks only), few huge ranges (exercises
+//   the §5.1 broadcast fallback the paper suggests for large subranges),
+//   and heavily overlapping ranges (disjointification).
+//   counters: io_n = io / (κ/P + log^3 P);  pim_n = pim / ((κ/P + log^2 P)·log n)
+#include "bench_common.hpp"
+
+namespace pim::bench {
+namespace {
+
+void normalize_t52(benchmark::State& state, const sim::OpMetrics& m, u64 kappa, u64 n) {
+  const u64 p = static_cast<u64>(state.range(0));
+  state.counters["kappa"] = static_cast<double>(kappa);
+  state.counters["io_n"] =
+      static_cast<double>(m.machine.io_time) / (static_cast<double>(kappa) / p + log3p(p));
+  state.counters["pim_n"] =
+      static_cast<double>(m.machine.pim_time) /
+      ((static_cast<double>(kappa) / p + log2p(p)) * ceil_log2(n + 2));
+}
+
+/// Queries each spanning `span` consecutive stored keys, starting at
+/// random stored positions.
+std::vector<core::PimSkipList::RangeQuery> make_queries(const workload::Dataset& data,
+                                                        u64 count, u64 span, u64 seed) {
+  rnd::Xoshiro256ss rng(seed);
+  std::vector<core::PimSkipList::RangeQuery> queries;
+  const u64 n = data.pairs.size();
+  for (u64 i = 0; i < count; ++i) {
+    const u64 first = rng.below(n - std::min(n - 1, span));
+    const u64 last = std::min(n - 1, first + span - 1);
+    queries.push_back({data.pairs[first].first, data.pairs[last].first});
+  }
+  return queries;
+}
+
+u64 total_covered(const workload::Dataset& data,
+                  std::span<const core::PimSkipList::RangeQuery> queries) {
+  u64 kappa = 0;
+  for (const auto& q : queries) {
+    const auto lo = std::lower_bound(
+        data.pairs.begin(), data.pairs.end(), q.lo,
+        [](const std::pair<Key, Value>& p, Key k) { return p.first < k; });
+    const auto hi = std::upper_bound(
+        data.pairs.begin(), data.pairs.end(), q.hi,
+        [](Key k, const std::pair<Key, Value>& p) { return k < p.first; });
+    kappa += static_cast<u64>(hi - lo);
+  }
+  return kappa;
+}
+
+void T52_ManySmallRanges(benchmark::State& state) {
+  const u32 p = static_cast<u32>(state.range(0));
+  const u64 n = default_n(p);
+  auto f = make_fixture(p, n, 8001);
+  // Batch of P log P queries of ~2 log P keys each (all within walk budget).
+  const auto queries = make_queries(f.data, u64{p} * logp(p), 2 * logp(p), 83);
+  const u64 kappa = total_covered(f.data, queries);
+  for (auto _ : state) {
+    const auto m = sim::measure(*f.machine, [&] { (void)f.list->batch_range_aggregate(queries); });
+    report(state, m, queries.size());
+    normalize_t52(state, m, kappa, n);
+  }
+}
+PIM_BENCH_SWEEP(T52_ManySmallRanges);
+
+void T52_FewHugeRanges(benchmark::State& state) {
+  const u32 p = static_cast<u32>(state.range(0));
+  const u64 n = default_n(p);
+  auto f = make_fixture(p, n, 8002);
+  // A handful of ranges each covering ~n/8 keys: exceeds the walk budget,
+  // exercising the broadcast fallback.
+  const auto queries = make_queries(f.data, 8, n / 8, 89);
+  const u64 kappa = total_covered(f.data, queries);
+  for (auto _ : state) {
+    const auto m = sim::measure(*f.machine, [&] { (void)f.list->batch_range_aggregate(queries); });
+    report(state, m, queries.size());
+    normalize_t52(state, m, kappa, n);
+  }
+}
+PIM_BENCH_SWEEP(T52_FewHugeRanges);
+
+void T52_OverlappingRanges(benchmark::State& state) {
+  const u32 p = static_cast<u32>(state.range(0));
+  const u64 n = default_n(p);
+  auto f = make_fixture(p, n, 8003);
+  // All queries overlap one hot region: disjointification must not blow
+  // up the executed work (each elementary subrange runs once).
+  rnd::Xoshiro256ss rng(97);
+  std::vector<core::PimSkipList::RangeQuery> queries;
+  const u64 center = f.data.pairs.size() / 2;
+  for (u64 i = 0; i < u64{p} * logp(p); ++i) {
+    const u64 first = center - rng.below(4 * logp(p) + 1);
+    const u64 last = center + rng.below(4 * logp(p) + 1);
+    queries.push_back({f.data.pairs[first].first, f.data.pairs[last].first});
+  }
+  const u64 kappa = total_covered(f.data, queries);
+  for (auto _ : state) {
+    const auto m = sim::measure(*f.machine, [&] { (void)f.list->batch_range_aggregate(queries); });
+    report(state, m, queries.size());
+    normalize_t52(state, m, kappa, n);
+  }
+}
+PIM_BENCH_SWEEP(T52_OverlappingRanges);
+
+// Ablation: walk+fallback engine vs the faithful expansion engine on the
+// same workloads — the expansion engine should match or beat the walk
+// engine's IO on huge ranges (no broadcast fallback, no serial walking).
+void T52_Expand_ManySmallRanges(benchmark::State& state) {
+  const u32 p = static_cast<u32>(state.range(0));
+  const u64 n = default_n(p);
+  auto f = make_fixture(p, n, 8001);
+  const auto queries = make_queries(f.data, u64{p} * logp(p), 2 * logp(p), 83);
+  const u64 kappa = total_covered(f.data, queries);
+  for (auto _ : state) {
+    const auto m =
+        sim::measure(*f.machine, [&] { (void)f.list->batch_range_aggregate_expand(queries); });
+    report(state, m, queries.size());
+    normalize_t52(state, m, kappa, n);
+  }
+}
+PIM_BENCH_SWEEP(T52_Expand_ManySmallRanges);
+
+void T52_Expand_FewHugeRanges(benchmark::State& state) {
+  const u32 p = static_cast<u32>(state.range(0));
+  const u64 n = default_n(p);
+  auto f = make_fixture(p, n, 8002);
+  const auto queries = make_queries(f.data, 8, n / 8, 89);
+  const u64 kappa = total_covered(f.data, queries);
+  for (auto _ : state) {
+    const auto m =
+        sim::measure(*f.machine, [&] { (void)f.list->batch_range_aggregate_expand(queries); });
+    report(state, m, queries.size());
+    normalize_t52(state, m, kappa, n);
+  }
+}
+PIM_BENCH_SWEEP(T52_Expand_FewHugeRanges);
+
+void T52_SweepKappa(benchmark::State& state) {
+  const u32 p = 64;
+  const u64 n = 1u << 17;
+  auto f = make_fixture(p, n, 8004);
+  const u64 span = static_cast<u64>(state.range(0));
+  const auto queries = make_queries(f.data, u64{p} * logp(p), span, 101);
+  const u64 kappa = total_covered(f.data, queries);
+  for (auto _ : state) {
+    const auto m = sim::measure(*f.machine, [&] { (void)f.list->batch_range_aggregate(queries); });
+    report(state, m, queries.size());
+    state.counters["kappa"] = static_cast<double>(kappa);
+    state.counters["io_per_kappa_P"] =
+        static_cast<double>(m.machine.io_time) / (static_cast<double>(kappa) / p + log3p(p));
+  }
+}
+BENCHMARK(T52_SweepKappa)->Arg(4)->Arg(16)->Arg(64)->Arg(256)->Iterations(1);
+
+}  // namespace
+}  // namespace pim::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,100 @@
+// Adversarial key-value workload: the paper's headline comparison, live.
+//
+// An adversary aims every batch at the data structure's weak spot:
+//  * all Successor queries share one successor (§4.2's example), and
+//  * all inserts fall inside one narrow key interval.
+// A range-partitioned store (Liu et al. / Choe et al. style) funnels that
+// load onto one PIM module — PIM time degenerates to ~batch size. The
+// PIM skiplist keeps every batch within polylog(P) PIM time regardless.
+//
+//   ./adversarial_kv [P]
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "baseline/range_partition_store.hpp"
+#include "core/pim_skiplist.hpp"
+#include "sim/measure.hpp"
+#include "workload/generators.hpp"
+
+using namespace pim;
+
+int main(int argc, char** argv) {
+  const u32 modules = argc > 1 ? static_cast<u32>(std::atoi(argv[1])) : 64;
+  const u64 logp = std::max<u32>(1, ceil_log2(modules));
+  const u64 n = 512 * modules;
+  const u64 batch = modules * logp * logp;
+
+  const auto data = workload::make_uniform_dataset(n, 7);
+  std::printf("P=%u modules, n=%llu keys, batch=%llu ops\n\n", modules,
+              (unsigned long long)n, (unsigned long long)batch);
+
+  sim::Machine pim_machine(modules);
+  core::PimSkipList skiplist(pim_machine);
+  skiplist.build(data.pairs);
+
+  sim::Machine base_machine(modules);
+  baseline::RangePartitionStore partitioned(base_machine);
+  partitioned.build(data.pairs);
+
+  std::printf("%-34s %-14s %-14s %-10s\n", "batch (adversarial)", "PIM-skiplist",
+              "range-partition", "advantage");
+
+  // ---- same-successor Successor batch ----
+  {
+    const auto keys = workload::point_batch(data, workload::Skew::kSameSuccessor, batch, 11);
+    const auto ours =
+        sim::measure(pim_machine, [&] { (void)skiplist.batch_successor(keys); });
+    const auto theirs =
+        sim::measure(base_machine, [&] { (void)partitioned.batch_successor(keys); });
+    std::printf("%-34s pim=%-10llu pim=%-10llu %.1fx\n", "successor, one shared answer",
+                (unsigned long long)ours.machine.pim_time,
+                (unsigned long long)theirs.machine.pim_time,
+                static_cast<double>(theirs.machine.pim_time) /
+                    std::max<u64>(1, ours.machine.pim_time));
+  }
+
+  // ---- single-interval Get storm ----
+  {
+    const auto keys =
+        workload::point_batch(data, workload::Skew::kSinglePartition, batch, 13, 0.99, modules);
+    const auto ours = sim::measure(pim_machine, [&] { (void)skiplist.batch_get(keys); });
+    const auto theirs = sim::measure(base_machine, [&] { (void)partitioned.batch_get(keys); });
+    std::printf("%-34s pim=%-10llu pim=%-10llu %.1fx\n", "get, one narrow interval",
+                (unsigned long long)ours.machine.pim_time,
+                (unsigned long long)theirs.machine.pim_time,
+                static_cast<double>(theirs.machine.pim_time) /
+                    std::max<u64>(1, ours.machine.pim_time));
+  }
+
+  // ---- skewed insert flood ----
+  {
+    const auto ops =
+        workload::insert_batch(data, workload::Skew::kSinglePartition, batch, 17, modules);
+    const auto ours = sim::measure(pim_machine, [&] { skiplist.batch_upsert(ops); });
+    const auto theirs = sim::measure(base_machine, [&] { partitioned.batch_upsert(ops); });
+    std::printf("%-34s pim=%-10llu pim=%-10llu %.1fx\n", "insert flood, one interval",
+                (unsigned long long)ours.machine.pim_time,
+                (unsigned long long)theirs.machine.pim_time,
+                static_cast<double>(theirs.machine.pim_time) /
+                    std::max<u64>(1, ours.machine.pim_time));
+  }
+
+  // ---- where range partitioning keeps its edge: tiny uniform ranges ----
+  {
+    const auto ranges = workload::range_batch(data, modules, logp, 19);
+    std::vector<core::PimSkipList::RangeQuery> queries;
+    for (const auto& [lo, hi] : ranges) queries.push_back({lo, hi});
+    const auto ours =
+        sim::measure(pim_machine, [&] { (void)skiplist.batch_range_aggregate(queries); });
+    const auto theirs =
+        sim::measure(base_machine, [&] { (void)partitioned.batch_range_aggregate(ranges); });
+    std::printf("%-34s io =%-10llu io =%-10llu (their strength on uniform data)\n",
+                "small uniform range queries", (unsigned long long)ours.machine.io_time,
+                (unsigned long long)theirs.machine.io_time);
+  }
+
+  std::printf(
+      "\nThe PIM skiplist's guarantee (paper Table 1): batch cost independent of key skew.\n");
+  return 0;
+}

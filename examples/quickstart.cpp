@@ -1,0 +1,117 @@
+// Quickstart: build a PIM machine, load a skiplist, and run each batch
+// operation, printing results and the PIM-model cost of every batch.
+//
+//   ./quickstart [P]
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "core/pim_skiplist.hpp"
+#include "sim/measure.hpp"
+
+using namespace pim;
+
+namespace {
+
+void print_cost(const char* what, const sim::OpMetrics& m) {
+  std::printf("  %-28s io=%-6llu pim=%-6llu rounds=%-4llu cpu_work=%-8llu cpu_depth=%llu\n",
+              what, static_cast<unsigned long long>(m.machine.io_time),
+              static_cast<unsigned long long>(m.machine.pim_time),
+              static_cast<unsigned long long>(m.machine.rounds),
+              static_cast<unsigned long long>(m.cpu_work),
+              static_cast<unsigned long long>(m.cpu_depth));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const u32 modules = argc > 1 ? static_cast<u32>(std::atoi(argv[1])) : 16;
+  std::printf("PIM machine with P=%u modules (h_low = log2 P = %u)\n", modules,
+              std::max<u32>(1, ceil_log2(modules)));
+
+  sim::Machine machine(modules);
+  core::PimSkipList list(machine);
+
+  // Bulk-load some sorted data (offline; not metered).
+  std::vector<std::pair<Key, Value>> initial;
+  for (Key k = 0; k < 1000; ++k) initial.push_back({k * 10, static_cast<Value>(k)});
+  list.build(initial);
+  std::printf("built %llu keys; max module space = ", (unsigned long long)list.size());
+  u64 max_space = 0;
+  for (ModuleId m = 0; m < modules; ++m)
+    max_space = std::max(max_space, list.module_space_words(m));
+  std::printf("%llu words (Θ(n/P))\n\n", (unsigned long long)max_space);
+
+  // ---- batched Get ----
+  std::vector<Key> keys = {0, 10, 55, 990, 5550, 9990, 123456};
+  auto cost = sim::measure(machine, [&] {
+    const auto results = list.batch_get(keys);
+    for (u64 i = 0; i < keys.size(); ++i) {
+      if (results[i].found) {
+        std::printf("  get(%lld) -> value %llu\n", static_cast<long long>(keys[i]),
+                    (unsigned long long)results[i].value);
+      } else {
+        std::printf("  get(%lld) -> miss\n", static_cast<long long>(keys[i]));
+      }
+    }
+  });
+  print_cost("batch_get", cost);
+
+  // ---- batched Successor ----
+  std::vector<Key> probes = {-5, 4, 5551, 9991, 99999};
+  cost = sim::measure(machine, [&] {
+    const auto succ = list.batch_successor(probes);
+    for (u64 i = 0; i < probes.size(); ++i) {
+      if (succ[i].found) {
+        std::printf("  successor(%lld) -> %lld\n", static_cast<long long>(probes[i]),
+                    static_cast<long long>(succ[i].key));
+      } else {
+        std::printf("  successor(%lld) -> none\n", static_cast<long long>(probes[i]));
+      }
+    }
+  });
+  print_cost("batch_successor", cost);
+
+  // ---- batched Upsert (inserts + updates) ----
+  std::vector<std::pair<Key, Value>> ups;
+  for (Key k = 0; k < 500; ++k) ups.push_back({k * 10 + 5, 7'000'000 + k});  // new keys
+  for (Key k = 0; k < 100; ++k) ups.push_back({k * 10, 42});                 // updates
+  cost = sim::measure(machine, [&] { list.batch_upsert(ups); });
+  std::printf("  upserted %zu ops; size now %llu\n", ups.size(),
+              (unsigned long long)list.size());
+  print_cost("batch_upsert", cost);
+
+  // ---- range aggregate (broadcast, Thm 5.1) ----
+  cost = sim::measure(machine, [&] {
+    const auto agg = list.range_count_broadcast(100, 2000);
+    std::printf("  range [100, 2000]: count=%llu sum=%llu\n",
+                (unsigned long long)agg.count, (unsigned long long)agg.sum);
+  });
+  print_cost("range_count_broadcast", cost);
+
+  // ---- batched range aggregates (tree-based, Thm 5.2) ----
+  std::vector<core::PimSkipList::RangeQuery> queries = {
+      {0, 100}, {50, 555}, {5000, 6000}, {9000, 12000}};
+  cost = sim::measure(machine, [&] {
+    const auto aggs = list.batch_range_aggregate(queries);
+    for (u64 i = 0; i < queries.size(); ++i) {
+      std::printf("  range [%lld, %lld]: count=%llu\n",
+                  static_cast<long long>(queries[i].lo),
+                  static_cast<long long>(queries[i].hi),
+                  (unsigned long long)aggs[i].count);
+    }
+  });
+  print_cost("batch_range_aggregate", cost);
+
+  // ---- batched Delete ----
+  std::vector<Key> doomed;
+  for (Key k = 0; k < 200; ++k) doomed.push_back(k * 10);
+  cost = sim::measure(machine, [&] { (void)list.batch_delete(doomed); });
+  std::printf("  deleted %zu keys; size now %llu\n", doomed.size(),
+              (unsigned long long)list.size());
+  print_cost("batch_delete", cost);
+
+  list.check_invariants();
+  std::printf("\ninvariants OK\n");
+  return 0;
+}

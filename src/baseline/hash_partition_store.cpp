@@ -1,0 +1,208 @@
+#include "baseline/hash_partition_store.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/math_util.hpp"
+#include "parallel/cost_model.hpp"
+#include "parallel/fork_join.hpp"
+#include "parallel/semisort.hpp"
+
+namespace pim::baseline {
+
+HashPartitionStore::HashPartitionStore(sim::Machine& machine)
+    : HashPartitionStore(machine, Options{}) {}
+
+HashPartitionStore::HashPartitionStore(sim::Machine& machine, Options opts)
+    : machine_(machine), opts_(opts), rng_(opts.seed), hash_(rng_()) {
+  const u32 p = machine.modules();
+  state_.reserve(p);
+  for (u32 m = 0; m < p; ++m) state_.emplace_back(rng_());
+
+  h_get_ = [this](sim::ModuleCtx& ctx, std::span<const u64> a) {
+    const auto hit = state_[ctx.id()].find(static_cast<Key>(a[1]));
+    ctx.charge(hit.work);
+    const u64 out[2] = {hit.found ? 1u : 0u, hit.value};
+    ctx.reply_block(a[0], out);
+  };
+
+  h_upsert_ = [this](sim::ModuleCtx& ctx, std::span<const u64> a) {
+    auto& st = state_[ctx.id()];
+    const u64 before = st.size();
+    ctx.charge(st.upsert(static_cast<Key>(a[1]), a[2]));
+    ctx.reply(a[0], st.size() > before ? 1 : 0);
+  };
+
+  h_delete_ = [this](sim::ModuleCtx& ctx, std::span<const u64> a) {
+    bool erased = false;
+    ctx.charge(state_[ctx.id()].erase(static_cast<Key>(a[1]), &erased));
+    ctx.reply(a[0], erased ? 1 : 0);
+  };
+
+  // Local successor candidate; the CPU combines the P candidates.
+  h_succ_ = [this](sim::ModuleCtx& ctx, std::span<const u64> a) {
+    const auto hit = state_[ctx.id()].successor(static_cast<Key>(a[1]));
+    ctx.charge(hit.work);
+    const u64 base = a[0] + 3ull * ctx.id();
+    const u64 out[3] = {hit.found ? 1u : 0u, static_cast<u64>(hit.key), hit.value};
+    ctx.reply_block(base, out);
+  };
+
+  h_range_ = [this](sim::ModuleCtx& ctx, std::span<const u64> a) {
+    const Key lo = static_cast<Key>(a[1]);
+    const Key hi = static_cast<Key>(a[2]);
+    u64 count = 0, sum = 0;
+    ctx.charge(state_[ctx.id()].scan_from(lo, [&](Key k, u64 v) {
+      if (k > hi) return false;
+      ++count;
+      sum += v;
+      return true;
+    }));
+    const u64 out[2] = {count, sum};
+    ctx.reply_block(a[0] + 2ull * ctx.id(), out);
+  };
+}
+
+void HashPartitionStore::build(std::span<const std::pair<Key, Value>> sorted_unique) {
+  for (const auto& [k, v] : sorted_unique) {
+    state_[home_of(k)].upsert(k, v);
+    ++size_;
+  }
+}
+
+std::vector<HashPartitionStore::GetResult> HashPartitionStore::batch_get(
+    std::span<const Key> keys) {
+  const u64 n = keys.size();
+  std::vector<GetResult> out(n);
+  if (n == 0) return out;
+  const auto dd = par::dedup_keys(keys, rnd::KeyedHash(rng_()));
+  const u64 d = dd.representatives.size();
+  machine_.mailbox().assign(2 * d, 0);
+  par::charged_region(ceil_log2(d + 2), [&] {
+    for (u64 g = 0; g < d; ++g) {
+      const Key key = keys[dd.representatives[g]];
+      const u64 args[2] = {2 * g, static_cast<u64>(key)};
+      machine_.send(home_of(key), &h_get_, std::span<const u64>(args, 2));
+      par::charge_work(1);
+    }
+  });
+  machine_.run_until_quiescent();
+  const auto& mail = machine_.mailbox();
+  par::parallel_for(n, [&](u64 i) {
+    out[i].found = mail[2 * dd.group_of[i]] != 0;
+    out[i].value = mail[2 * dd.group_of[i] + 1];
+    par::charge_work(1);
+  });
+  return out;
+}
+
+void HashPartitionStore::batch_upsert(std::span<const std::pair<Key, Value>> ops) {
+  const u64 n = ops.size();
+  if (n == 0) return;
+  std::vector<Key> keys(n);
+  par::parallel_for(n, [&](u64 i) {
+    keys[i] = ops[i].first;
+    par::charge_work(1);
+  });
+  const auto dd = par::dedup_keys(std::span<const Key>(keys), rnd::KeyedHash(rng_()));
+  const u64 d = dd.representatives.size();
+  machine_.mailbox().assign(d, 0);
+  par::charged_region(ceil_log2(d + 2), [&] {
+    for (u64 g = 0; g < d; ++g) {
+      const auto& [key, value] = ops[dd.representatives[g]];
+      const u64 args[3] = {g, static_cast<u64>(key), value};
+      machine_.send(home_of(key), &h_upsert_, std::span<const u64>(args, 3));
+      par::charge_work(1);
+    }
+  });
+  machine_.run_until_quiescent();
+  const auto& mail = machine_.mailbox();
+  for (u64 g = 0; g < d; ++g) size_ += mail[g];
+}
+
+std::vector<u8> HashPartitionStore::batch_delete(std::span<const Key> keys) {
+  const u64 n = keys.size();
+  std::vector<u8> out(n, 0);
+  if (n == 0) return out;
+  const auto dd = par::dedup_keys(keys, rnd::KeyedHash(rng_()));
+  const u64 d = dd.representatives.size();
+  machine_.mailbox().assign(d, 0);
+  par::charged_region(ceil_log2(d + 2), [&] {
+    for (u64 g = 0; g < d; ++g) {
+      const Key key = keys[dd.representatives[g]];
+      const u64 args[2] = {g, static_cast<u64>(key)};
+      machine_.send(home_of(key), &h_delete_, std::span<const u64>(args, 2));
+      par::charge_work(1);
+    }
+  });
+  machine_.run_until_quiescent();
+  const auto& mail = machine_.mailbox();
+  for (u64 g = 0; g < d; ++g) size_ -= mail[g];
+  par::parallel_for(n, [&](u64 i) {
+    out[i] = static_cast<u8>(mail[dd.group_of[i]]);
+    par::charge_work(1);
+  });
+  return out;
+}
+
+std::vector<HashPartitionStore::NearResult> HashPartitionStore::batch_successor(
+    std::span<const Key> keys) {
+  const u64 n = keys.size();
+  std::vector<NearResult> out(n);
+  if (n == 0) return out;
+  const u32 p = machine_.modules();
+  const auto dd = par::dedup_keys(keys, rnd::KeyedHash(rng_()));
+  const u64 d = dd.representatives.size();
+  machine_.mailbox().assign(3ull * p * d, 0);
+  par::charged_region(ceil_log2(d + 2), [&] {
+    for (u64 g = 0; g < d; ++g) {
+      const Key key = keys[dd.representatives[g]];
+      const u64 args[2] = {3ull * p * g, static_cast<u64>(key)};
+      machine_.broadcast(&h_succ_, std::span<const u64>(args, 2));
+      par::charge_work(1);
+    }
+  });
+  machine_.run_until_quiescent();
+  const auto& mail = machine_.mailbox();
+  std::vector<NearResult> per_group(d);
+  par::parallel_for(d, [&](u64 g) {
+    NearResult best;
+    for (u32 m = 0; m < p; ++m) {
+      const u64 base = 3ull * p * g + 3ull * m;
+      if (mail[base] == 0) continue;
+      const Key k = static_cast<Key>(mail[base + 1]);
+      if (!best.found || k < best.key) {
+        best.found = true;
+        best.key = k;
+        best.value = mail[base + 2];
+      }
+      par::charge_work(1);
+    }
+    per_group[g] = best;
+  });
+  par::parallel_for(n, [&](u64 i) {
+    out[i] = per_group[dd.group_of[i]];
+    par::charge_work(1);
+  });
+  return out;
+}
+
+HashPartitionStore::RangeAgg HashPartitionStore::range_aggregate(Key lo, Key hi) {
+  PIM_CHECK(lo <= hi, "range_aggregate: lo > hi");
+  const u32 p = machine_.modules();
+  machine_.mailbox().assign(2ull * p, 0);
+  const u64 args[3] = {0, static_cast<u64>(lo), static_cast<u64>(hi)};
+  machine_.broadcast(&h_range_, std::span<const u64>(args, 3));
+  par::charge_work(1);
+  machine_.run_until_quiescent();
+  RangeAgg agg;
+  const auto& mail = machine_.mailbox();
+  for (u32 m = 0; m < p; ++m) {
+    agg.count += mail[2ull * m];
+    agg.sum += mail[2ull * m + 1];
+    par::charge_work(1);
+  }
+  return agg;
+}
+
+}  // namespace pim::baseline

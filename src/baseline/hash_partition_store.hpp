@@ -1,0 +1,81 @@
+// Baseline: coarse hash-partitioned store (paper §2.2/§3.1, after Ziegler
+// et al. [34]).
+//
+// Each key lives on module hash(key): point operations are perfectly
+// balanced for distinct keys, but there is no order locality — Successor
+// and range operations must be broadcast to all P modules and combined on
+// the CPU side (paper: "coarse-grain partitioning by hash has low range
+// query performance because range queries must be broadcasted").
+#pragma once
+
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+#include "pimds/local_index.hpp"
+#include "random/hash_fn.hpp"
+#include "random/rng.hpp"
+#include "sim/machine.hpp"
+
+namespace pim::baseline {
+
+class HashPartitionStore {
+ public:
+  struct Options {
+    u64 seed = 0x4A5DF00Dull;
+  };
+
+  HashPartitionStore(sim::Machine& machine, Options opts);
+  explicit HashPartitionStore(sim::Machine& machine);
+
+  void build(std::span<const std::pair<Key, Value>> sorted_unique);
+
+  struct GetResult {
+    bool found = false;
+    Value value = 0;
+  };
+  std::vector<GetResult> batch_get(std::span<const Key> keys);
+  void batch_upsert(std::span<const std::pair<Key, Value>> ops);
+  std::vector<u8> batch_delete(std::span<const Key> keys);
+
+  struct NearResult {
+    bool found = false;
+    Key key = 0;
+    Value value = 0;
+  };
+  /// Broadcast per distinct key: each module answers its local successor,
+  /// the CPU keeps the minimum. P messages per query.
+  std::vector<NearResult> batch_successor(std::span<const Key> keys);
+
+  struct RangeAgg {
+    u64 count = 0;
+    u64 sum = 0;
+  };
+  /// Broadcast: every module scans its local keys in range.
+  RangeAgg range_aggregate(Key lo, Key hi);
+
+  u64 size() const { return size_; }
+  u64 module_space_words(ModuleId m) const { return state_[m].words(); }
+  u64 module_keys(ModuleId m) const { return state_[m].size(); }
+
+ private:
+  ModuleId home_of(Key key) const {
+    return static_cast<ModuleId>(hash_(static_cast<u64>(key)) % machine_.modules());
+  }
+
+  sim::Machine& machine_;
+  Options opts_;
+  rnd::Xoshiro256ss rng_;
+  rnd::KeyedHash hash_;
+  std::vector<pimds::LocalOrderedIndex> state_;
+  u64 size_ = 0;
+
+  sim::Handler h_get_;
+  sim::Handler h_upsert_;
+  sim::Handler h_delete_;
+  sim::Handler h_succ_;
+  sim::Handler h_range_;
+};
+
+}  // namespace pim::baseline

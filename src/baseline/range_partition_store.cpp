@@ -1,0 +1,262 @@
+#include "baseline/range_partition_store.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/math_util.hpp"
+#include "parallel/cost_model.hpp"
+#include "parallel/fork_join.hpp"
+#include "parallel/semisort.hpp"
+#include "random/hash_fn.hpp"
+
+namespace pim::baseline {
+
+RangePartitionStore::RangePartitionStore(sim::Machine& machine)
+    : RangePartitionStore(machine, Options{}) {}
+
+RangePartitionStore::RangePartitionStore(sim::Machine& machine, Options opts)
+    : machine_(machine), opts_(opts), rng_(opts.seed) {
+  const u32 p = machine.modules();
+  state_.reserve(p);
+  for (u32 m = 0; m < p; ++m) state_.emplace_back(rng_());
+  // Even key-domain splitters until build() provides quantiles.
+  splitters_.resize(p > 0 ? p - 1 : 0);
+  const __int128 span = static_cast<__int128>(opts.domain_hi) - opts.domain_lo;
+  for (u32 m = 0; m + 1 < p; ++m) {
+    splitters_[m] = static_cast<Key>(opts.domain_lo + span * (m + 1) / p);
+  }
+
+  h_get_ = [this](sim::ModuleCtx& ctx, std::span<const u64> a) {
+    const auto hit = state_[ctx.id()].find(static_cast<Key>(a[1]));
+    ctx.charge(hit.work);
+    const u64 out[2] = {hit.found ? 1u : 0u, hit.value};
+    ctx.reply_block(a[0], out);
+  };
+
+  h_upsert_ = [this](sim::ModuleCtx& ctx, std::span<const u64> a) {
+    auto& st = state_[ctx.id()];
+    const u64 before = st.size();
+    ctx.charge(st.upsert(static_cast<Key>(a[1]), a[2]));
+    ctx.reply(a[0], st.size() > before ? 1 : 0);
+  };
+
+  h_delete_ = [this](sim::ModuleCtx& ctx, std::span<const u64> a) {
+    bool erased = false;
+    ctx.charge(state_[ctx.id()].erase(static_cast<Key>(a[1]), &erased));
+    ctx.reply(a[0], erased ? 1 : 0);
+  };
+
+  // Successor may run off the end of a partition; chase the next one.
+  h_succ_ = [this](sim::ModuleCtx& ctx, std::span<const u64> a) {
+    const auto hit = state_[ctx.id()].successor(static_cast<Key>(a[1]));
+    ctx.charge(hit.work);
+    if (hit.found) {
+      const u64 out[3] = {1, static_cast<u64>(hit.key), hit.value};
+      ctx.reply_block(a[0], out);
+      return;
+    }
+    if (ctx.id() + 1 < ctx.modules()) {
+      ctx.forward(ctx.id() + 1, &h_succ_, a);
+      return;
+    }
+    const u64 out[3] = {0, 0, 0};
+    ctx.reply_block(a[0], out);
+  };
+
+  h_range_ = [this](sim::ModuleCtx& ctx, std::span<const u64> a) {
+    const Key lo = static_cast<Key>(a[1]);
+    const Key hi = static_cast<Key>(a[2]);
+    u64 count = 0, sum = 0;
+    ctx.charge(state_[ctx.id()].scan_from(lo, [&](Key k, u64 v) {
+      if (k > hi) return false;
+      ++count;
+      sum += v;
+      return true;
+    }));
+    const u64 out[2] = {count, sum};
+    ctx.reply_block(a[0], out);
+  };
+}
+
+ModuleId RangePartitionStore::partition_of(Key key) const {
+  const auto it = std::upper_bound(splitters_.begin(), splitters_.end(), key);
+  par::charge_work(ceil_log2(splitters_.size() + 2));
+  return static_cast<ModuleId>(it - splitters_.begin());
+}
+
+void RangePartitionStore::build(std::span<const std::pair<Key, Value>> sorted_unique) {
+  const u64 n = sorted_unique.size();
+  const u32 p = machine_.modules();
+  if (n >= p) {
+    for (u32 m = 0; m + 1 < p; ++m) splitters_[m] = sorted_unique[(m + 1) * n / p].first;
+  }
+  for (const auto& [k, v] : sorted_unique) {
+    state_[partition_of(k)].upsert(k, v);
+    ++size_;
+  }
+}
+
+std::vector<RangePartitionStore::GetResult> RangePartitionStore::batch_get(
+    std::span<const Key> keys) {
+  const u64 n = keys.size();
+  std::vector<GetResult> out(n);
+  if (n == 0) return out;
+  const auto dd = par::dedup_keys(keys, rnd::KeyedHash(rng_()));
+  const u64 d = dd.representatives.size();
+  machine_.mailbox().assign(2 * d, 0);
+  par::charged_region(ceil_log2(d + 2), [&] {
+    for (u64 g = 0; g < d; ++g) {
+      const Key key = keys[dd.representatives[g]];
+      const u64 args[2] = {2 * g, static_cast<u64>(key)};
+      machine_.send(partition_of(key), &h_get_, std::span<const u64>(args, 2));
+      par::charge_work(1);
+    }
+  });
+  machine_.run_until_quiescent();
+  const auto& mail = machine_.mailbox();
+  par::parallel_for(n, [&](u64 i) {
+    out[i].found = mail[2 * dd.group_of[i]] != 0;
+    out[i].value = mail[2 * dd.group_of[i] + 1];
+    par::charge_work(1);
+  });
+  return out;
+}
+
+void RangePartitionStore::batch_upsert(std::span<const std::pair<Key, Value>> ops) {
+  const u64 n = ops.size();
+  if (n == 0) return;
+  std::vector<Key> keys(n);
+  par::parallel_for(n, [&](u64 i) {
+    keys[i] = ops[i].first;
+    par::charge_work(1);
+  });
+  const auto dd = par::dedup_keys(std::span<const Key>(keys), rnd::KeyedHash(rng_()));
+  const u64 d = dd.representatives.size();
+  machine_.mailbox().assign(d, 0);
+  par::charged_region(ceil_log2(d + 2), [&] {
+    for (u64 g = 0; g < d; ++g) {
+      const auto& [key, value] = ops[dd.representatives[g]];
+      const u64 args[3] = {g, static_cast<u64>(key), value};
+      machine_.send(partition_of(key), &h_upsert_, std::span<const u64>(args, 3));
+      par::charge_work(1);
+    }
+  });
+  machine_.run_until_quiescent();
+  const auto& mail = machine_.mailbox();
+  for (u64 g = 0; g < d; ++g) size_ += mail[g];
+}
+
+std::vector<u8> RangePartitionStore::batch_delete(std::span<const Key> keys) {
+  const u64 n = keys.size();
+  std::vector<u8> out(n, 0);
+  if (n == 0) return out;
+  const auto dd = par::dedup_keys(keys, rnd::KeyedHash(rng_()));
+  const u64 d = dd.representatives.size();
+  machine_.mailbox().assign(d, 0);
+  par::charged_region(ceil_log2(d + 2), [&] {
+    for (u64 g = 0; g < d; ++g) {
+      const Key key = keys[dd.representatives[g]];
+      const u64 args[2] = {g, static_cast<u64>(key)};
+      machine_.send(partition_of(key), &h_delete_, std::span<const u64>(args, 2));
+      par::charge_work(1);
+    }
+  });
+  machine_.run_until_quiescent();
+  const auto& mail = machine_.mailbox();
+  for (u64 g = 0; g < d; ++g) size_ -= mail[g];
+  par::parallel_for(n, [&](u64 i) {
+    out[i] = static_cast<u8>(mail[dd.group_of[i]]);
+    par::charge_work(1);
+  });
+  return out;
+}
+
+std::vector<RangePartitionStore::NearResult> RangePartitionStore::batch_successor(
+    std::span<const Key> keys) {
+  const u64 n = keys.size();
+  std::vector<NearResult> out(n);
+  if (n == 0) return out;
+  const auto dd = par::dedup_keys(keys, rnd::KeyedHash(rng_()));
+  const u64 d = dd.representatives.size();
+  machine_.mailbox().assign(3 * d, 0);
+  par::charged_region(ceil_log2(d + 2), [&] {
+    for (u64 g = 0; g < d; ++g) {
+      const Key key = keys[dd.representatives[g]];
+      const u64 args[2] = {3 * g, static_cast<u64>(key)};
+      machine_.send(partition_of(key), &h_succ_, std::span<const u64>(args, 2));
+      par::charge_work(1);
+    }
+  });
+  machine_.run_until_quiescent();
+  const auto& mail = machine_.mailbox();
+  par::parallel_for(n, [&](u64 i) {
+    const u64 base = 3 * dd.group_of[i];
+    out[i].found = mail[base] != 0;
+    out[i].key = static_cast<Key>(mail[base + 1]);
+    out[i].value = mail[base + 2];
+    par::charge_work(1);
+  });
+  return out;
+}
+
+RangePartitionStore::RangeAgg RangePartitionStore::range_aggregate(Key lo, Key hi) {
+  PIM_CHECK(lo <= hi, "range_aggregate: lo > hi");
+  const ModuleId first = partition_of(lo);
+  const ModuleId last = partition_of(hi);
+  machine_.mailbox().assign(2 * (last - first + 1), 0);
+  for (ModuleId m = first; m <= last; ++m) {
+    const u64 args[3] = {2ull * (m - first), static_cast<u64>(lo), static_cast<u64>(hi)};
+    machine_.send(m, &h_range_, std::span<const u64>(args, 3));
+    par::charge_work(1);
+  }
+  machine_.run_until_quiescent();
+  RangeAgg agg;
+  const auto& mail = machine_.mailbox();
+  for (ModuleId m = first; m <= last; ++m) {
+    agg.count += mail[2ull * (m - first)];
+    agg.sum += mail[2ull * (m - first) + 1];
+    par::charge_work(1);
+  }
+  return agg;
+}
+
+std::vector<RangePartitionStore::RangeAgg> RangePartitionStore::batch_range_aggregate(
+    std::span<const std::pair<Key, Key>> queries) {
+  const u64 q = queries.size();
+  std::vector<RangeAgg> out(q);
+  if (q == 0) return out;
+  // One message per (query, overlapping partition).
+  std::vector<u64> base(q);
+  u64 total = 0;
+  std::vector<std::pair<ModuleId, ModuleId>> span_of(q);
+  for (u64 i = 0; i < q; ++i) {
+    PIM_CHECK(queries[i].first <= queries[i].second, "range query with lo > hi");
+    span_of[i] = {partition_of(queries[i].first), partition_of(queries[i].second)};
+    base[i] = total;
+    total += 2ull * (span_of[i].second - span_of[i].first + 1);
+  }
+  machine_.mailbox().assign(total, 0);
+  par::charged_region(ceil_log2(q + 2), [&] {
+    for (u64 i = 0; i < q; ++i) {
+      for (ModuleId m = span_of[i].first; m <= span_of[i].second; ++m) {
+        const u64 args[3] = {base[i] + 2ull * (m - span_of[i].first),
+                             static_cast<u64>(queries[i].first),
+                             static_cast<u64>(queries[i].second)};
+        machine_.send(m, &h_range_, std::span<const u64>(args, 3));
+        par::charge_work(1);
+      }
+    }
+  });
+  machine_.run_until_quiescent();
+  const auto& mail = machine_.mailbox();
+  for (u64 i = 0; i < q; ++i) {
+    for (ModuleId m = span_of[i].first; m <= span_of[i].second; ++m) {
+      out[i].count += mail[base[i] + 2ull * (m - span_of[i].first)];
+      out[i].sum += mail[base[i] + 2ull * (m - span_of[i].first) + 1];
+      par::charge_work(1);
+    }
+  }
+  return out;
+}
+
+}  // namespace pim::baseline

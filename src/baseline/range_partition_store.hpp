@@ -1,0 +1,86 @@
+// Baseline: range-partitioned ordered store (paper §2.2/§3.1; the design
+// of Liu et al. [19] and Choe et al. [11]).
+//
+// Keys are partitioned into P contiguous ranges by splitters fixed at
+// build time; module m keeps its range in a local sequential skiplist.
+// Point operations route by splitter lookup; a Successor that runs off
+// the end of its partition forwards to the next one; a range operation
+// touches exactly the overlapping partitions (the strength of this
+// design). There is no rebalancing — under adversarial or skewed key
+// distributions every operation can land on one module, which is exactly
+// the PIM-imbalance the paper's structure eliminates (bench CMP).
+#pragma once
+
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+#include "pimds/local_index.hpp"
+#include "random/rng.hpp"
+#include "sim/machine.hpp"
+
+namespace pim::baseline {
+
+class RangePartitionStore {
+ public:
+  struct Options {
+    u64 seed = 0xBA5E11E5ull;
+    /// Key domain used to place splitters when build() gets no data.
+    Key domain_lo = 0;
+    Key domain_hi = 1'000'000'000;
+  };
+
+  RangePartitionStore(sim::Machine& machine, Options opts);
+  explicit RangePartitionStore(sim::Machine& machine);
+
+  /// Offline bulk build; splitters become the input's P-quantiles.
+  void build(std::span<const std::pair<Key, Value>> sorted_unique);
+
+  struct GetResult {
+    bool found = false;
+    Value value = 0;
+  };
+  std::vector<GetResult> batch_get(std::span<const Key> keys);
+  void batch_upsert(std::span<const std::pair<Key, Value>> ops);
+  std::vector<u8> batch_delete(std::span<const Key> keys);
+
+  struct NearResult {
+    bool found = false;
+    Key key = 0;
+    Value value = 0;
+  };
+  std::vector<NearResult> batch_successor(std::span<const Key> keys);
+
+  struct RangeAgg {
+    u64 count = 0;
+    u64 sum = 0;
+  };
+  /// Sent only to the partitions overlapping [lo, hi].
+  RangeAgg range_aggregate(Key lo, Key hi);
+  std::vector<RangeAgg> batch_range_aggregate(
+      std::span<const std::pair<Key, Key>> queries);
+
+  u64 size() const { return size_; }
+  u64 module_space_words(ModuleId m) const { return state_[m].words(); }
+  /// Number of keys currently stored on module m (imbalance diagnostics).
+  u64 module_keys(ModuleId m) const { return state_[m].size(); }
+
+ private:
+  ModuleId partition_of(Key key) const;
+
+  sim::Machine& machine_;
+  Options opts_;
+  rnd::Xoshiro256ss rng_;
+  std::vector<Key> splitters_;  // size P-1; module m owns [s[m-1], s[m])
+  std::vector<pimds::LocalOrderedIndex> state_;
+  u64 size_ = 0;
+
+  sim::Handler h_get_;
+  sim::Handler h_upsert_;
+  sim::Handler h_delete_;
+  sim::Handler h_succ_;
+  sim::Handler h_range_;
+};
+
+}  // namespace pim::baseline

@@ -1,0 +1,36 @@
+// Error handling: PIM_CHECK is an always-on invariant assertion (simulators
+// must not silently corrupt; the cost is negligible next to simulation
+// bookkeeping). PIM_DCHECK compiles out in release builds for hot paths.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace pim {
+
+[[noreturn]] inline void fatal(const char* file, int line, const std::string& msg) {
+  std::string full = std::string(file) + ":" + std::to_string(line) + ": " + msg;
+  // Throwing keeps death-tests and error-path unit tests cheap; nothing in
+  // the library swallows this type.
+  throw std::logic_error(full);
+}
+
+}  // namespace pim
+
+#define PIM_CHECK(cond, msg)                                  \
+  do {                                                        \
+    if (!(cond)) [[unlikely]] {                               \
+      ::pim::fatal(__FILE__, __LINE__,                        \
+                   std::string("PIM_CHECK failed: " #cond " — ") + (msg)); \
+    }                                                         \
+  } while (0)
+
+#ifndef NDEBUG
+#define PIM_DCHECK(cond, msg) PIM_CHECK(cond, msg)
+#else
+#define PIM_DCHECK(cond, msg) \
+  do {                        \
+  } while (0)
+#endif

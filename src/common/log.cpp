@@ -1,0 +1,31 @@
+#include "common/log.hpp"
+
+#include <atomic>
+
+namespace pim {
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel log_level() { return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed)); }
+
+void set_log_level(LogLevel level) { g_level.store(static_cast<int>(level), std::memory_order_relaxed); }
+
+void log_message(LogLevel level, const std::string& msg) {
+  std::fprintf(stderr, "[pim %s] %s\n", level_name(level), msg.c_str());
+}
+
+}  // namespace pim

@@ -1,0 +1,26 @@
+// Minimal leveled logger. The library itself logs nothing at Info by
+// default; benches and examples raise the level for progress output.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace pim {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+void log_message(LogLevel level, const std::string& msg);
+
+}  // namespace pim
+
+#define PIM_LOG(level, msg)                              \
+  do {                                                   \
+    if (static_cast<int>(level) >= static_cast<int>(::pim::log_level())) \
+      ::pim::log_message(level, (msg));                  \
+  } while (0)
+
+#define PIM_LOG_INFO(msg) PIM_LOG(::pim::LogLevel::kInfo, msg)
+#define PIM_LOG_WARN(msg) PIM_LOG(::pim::LogLevel::kWarn, msg)

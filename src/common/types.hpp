@@ -1,0 +1,38 @@
+// Fundamental fixed-width types and small helpers shared by every module.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace pim {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+/// Key type of the ordered structures. Signed so that the -inf sentinel
+/// (kMinKey) is representable and ordinary workloads can use the full
+/// non-negative range.
+using Key = i64;
+/// Value payload stored with each key.
+using Value = u64;
+
+/// Sentinel key of the head tower (the paper's "-inf" node).
+inline constexpr Key kMinKey = INT64_MIN;
+/// Largest representable key; usable as an exclusive upper bound.
+inline constexpr Key kMaxKey = INT64_MAX;
+
+/// Number of PIM modules in a machine.
+using ModuleId = u32;
+
+/// A slot index inside one module's node arena.
+using Slot = u32;
+
+inline constexpr Slot kNullSlot = UINT32_MAX;
+
+}  // namespace pim

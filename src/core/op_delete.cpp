@@ -1,0 +1,268 @@
+// Batched Delete (§4.4).
+//
+// Phase A: hash-route each key to its leaf's module (the §4.1 shortcut —
+// deleted keys must exist, so no search is needed); the module reports
+// whether the key exists and how many tower nodes it has.
+// Phase B: the leaf module marks the leaf (removing it from its hash
+// table and local leaf index), forwards mark tasks to every lower-part
+// tower node using the addresses stored in the leaf (paper §4.3 step 5),
+// walks the replicated upper chain locally, and reports every marked
+// node's (left, right, right_key, level) to shared memory.
+// Splice: consecutive marked nodes can form arbitrarily long runs, so the
+// CPU builds a local copy of the marked nodes plus their unmarked run
+// boundaries, runs randomized parallel list contraction (O(log) rounds
+// whp), and issues one RemoteWrite per surviving boundary link. Finally
+// every marked node is freed (upper nodes by broadcast, once per replica).
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/math_util.hpp"
+#include "core/pim_skiplist.hpp"
+#include "parallel/fork_join.hpp"
+#include "parallel/list_contraction.hpp"
+#include "parallel/semisort.hpp"
+
+namespace pim::core {
+
+namespace {
+constexpr u64 kProbeStride = 4;   // [found, leaf_gptr, tower_count, upper_count]
+constexpr u64 kReportStride = 6;  // [present, gptr, left, right, right_key, level]
+}  // namespace
+
+void PimSkipList::init_delete_handlers() {
+  h_delete_start_ = [this](sim::ModuleCtx& ctx, std::span<const u64> a) {
+    const u64 res_slot = a[0];
+    const Key key = static_cast<Key>(a[1]);
+    auto& st = state_[ctx.id()];
+    const auto hit = st.key_to_leaf.find(key);
+    ctx.charge(hit.work);
+    if (!hit.found) {
+      const u64 out[kProbeStride] = {0, 0, 0, 0};
+      ctx.reply_block(res_slot, out);
+      return;
+    }
+    const Slot leaf = static_cast<Slot>(hit.value);
+    const LeafMeta* meta = st.arena.find_leaf_meta(leaf);
+    const u64 tower_count = meta == nullptr ? 0 : meta->tower.size();
+    const u64 upper_count =
+        (meta != nullptr && meta->upper_base != kNullSlot)
+            ? meta->upper_top_level - h_low_ + 1
+            : 0;
+    ctx.charge(1);
+    const u64 out[kProbeStride] = {1, GPtr{ctx.id(), leaf}.encode(), tower_count, upper_count};
+    ctx.reply_block(res_slot, out);
+  };
+
+  h_mark_ = [this](sim::ModuleCtx& ctx, std::span<const u64> a) {
+    const Slot slot = static_cast<Slot>(a[0]);
+    const u64 report_slot = a[1];
+    Node& node = state_[ctx.id()].arena.at(slot);
+    node.flags |= kFlagDeleted;
+    ctx.charge(1);
+    const u64 out[kReportStride] = {1,
+                                    GPtr{ctx.id(), slot}.encode(),
+                                    node.left.encode(),
+                                    node.right.encode(),
+                                    static_cast<u64>(node.right_key),
+                                    node.level};
+    ctx.reply_block(report_slot, out);
+  };
+
+  h_delete_spread_ = [this](sim::ModuleCtx& ctx, std::span<const u64> a) {
+    const Slot leaf_slot = static_cast<Slot>(a[0]);
+    const u64 report_base = a[1];
+    auto& st = state_[ctx.id()];
+    Node& leaf = st.arena.at(leaf_slot);
+    leaf.flags |= kFlagDeleted;
+    ctx.charge(1);
+    ctx.charge(st.key_to_leaf.erase(leaf.key).work);
+    bool erased = false;
+    ctx.charge(st.leaf_index.erase(leaf.key, &erased));
+    PIM_CHECK(erased, "leaf missing from local index");
+
+    const u64 out[kReportStride] = {1,
+                                    GPtr{ctx.id(), leaf_slot}.encode(),
+                                    leaf.left.encode(),
+                                    leaf.right.encode(),
+                                    static_cast<u64>(leaf.right_key),
+                                    0};
+    ctx.reply_block(report_base, out);
+
+    const LeafMeta* meta = st.arena.find_leaf_meta(leaf_slot);
+    u64 entry = 1;
+    if (meta != nullptr) {
+      for (const GPtr& t : meta->tower) {
+        const u64 args[2] = {t.slot, report_base + entry * kReportStride};
+        ctx.forward(t.module, &h_mark_, std::span<const u64>(args, 2));
+        ++entry;
+      }
+      if (meta->upper_base != kNullSlot) {
+        // Upper chain: replicated, so readable locally. Marking/freeing of
+        // the replicas is done by CPU-side broadcasts afterwards.
+        GPtr up = GPtr::replicated(meta->upper_base);
+        while (!up.is_null()) {
+          const Node& un = node_at(up);
+          ctx.charge(1);
+          const u64 rep[kReportStride] = {1,
+                                          up.encode(),
+                                          un.left.encode(),
+                                          un.right.encode(),
+                                          static_cast<u64>(un.right_key),
+                                          un.level};
+          ctx.reply_block(report_base + entry * kReportStride, rep);
+          ++entry;
+          up = un.up;
+        }
+      }
+    }
+  };
+}
+
+std::vector<u8> PimSkipList::batch_delete(std::span<const Key> keys) {
+  const u64 n = keys.size();
+  std::vector<u8> out(n, 0);
+  if (n == 0) return out;
+
+  const auto dd = par::dedup_keys(keys, rnd::KeyedHash(rng_()));
+  const u64 d = dd.representatives.size();
+
+  // ---- Phase A: probe ----
+  machine_.mailbox().assign(d * kProbeStride, 0);
+  par::charge_work(d * kProbeStride);
+  par::charged_region(ceil_log2(d + 2), [&] {
+    for (u64 g = 0; g < d; ++g) {
+      const Key key = keys[dd.representatives[g]];
+      const u64 args[2] = {g * kProbeStride, static_cast<u64>(key)};
+      machine_.send(placement_.module_of(key, 0), &h_delete_start_,
+                    std::span<const u64>(args, 2));
+      par::charge_work(1);
+    }
+  });
+  machine_.run_until_quiescent();
+
+  std::vector<u8> found(d);
+  std::vector<GPtr> leaf(d);
+  std::vector<u64> entries(d);
+  {
+    const auto& mail = machine_.mailbox();
+    par::parallel_for(d, [&](u64 g) {
+      found[g] = static_cast<u8>(mail[g * kProbeStride]);
+      leaf[g] = GPtr::decode(mail[g * kProbeStride + 1]);
+      entries[g] =
+          found[g] ? 1 + mail[g * kProbeStride + 2] + mail[g * kProbeStride + 3] : 0;
+      par::charge_work(1);
+    });
+  }
+  std::vector<u64> report_off(entries);
+  const u64 total_entries = par::scan_exclusive_sum(std::span<u64>(report_off));
+
+  if (total_entries > 0) {
+    // ---- Phase B: mark + report ----
+    machine_.mailbox().assign(total_entries * kReportStride, 0);
+    par::charge_work(total_entries * kReportStride);
+    par::charged_region(ceil_log2(d + 2), [&] {
+      for (u64 g = 0; g < d; ++g) {
+        if (!found[g]) continue;
+        const u64 args[2] = {leaf[g].slot, report_off[g] * kReportStride};
+        machine_.send(leaf[g].module, &h_delete_spread_, std::span<const u64>(args, 2));
+        par::charge_work(1);
+      }
+    });
+    machine_.run_until_quiescent();
+
+    // ---- build the local contraction graph ----
+    struct LocalInfo {
+      GPtr gptr;
+      Key key_if_known = kMaxKey;  // key of the node (for right_key rewrite)
+      bool has_prev = false;       // appeared as someone's right neighbor
+      bool has_next = false;       // appeared as someone's left neighbor
+    };
+    std::unordered_map<u64, u64> index;  // gptr -> local idx
+    std::vector<par::ContractionNode> graph;
+    std::vector<LocalInfo> info;
+    auto local_of = [&](GPtr p) -> u64 {
+      const auto [it, inserted] = index.try_emplace(p.encode(), graph.size());
+      if (inserted) {
+        graph.push_back({});
+        info.push_back(LocalInfo{p});
+      }
+      par::charge_work(1);
+      return it->second;
+    };
+
+    const auto& mail = machine_.mailbox();
+    for (u64 e = 0; e < total_entries; ++e) {
+      const u64 base = e * kReportStride;
+      PIM_CHECK(mail[base] == 1, "missing delete report entry");
+      const GPtr self = GPtr::decode(mail[base + 1]);
+      const GPtr left = GPtr::decode(mail[base + 2]);
+      const GPtr right = GPtr::decode(mail[base + 3]);
+      const Key right_key = static_cast<Key>(mail[base + 4]);
+      const u64 me = local_of(self);
+      graph[me].marked = true;
+      if (!left.is_null()) {
+        const u64 l = local_of(left);
+        graph[me].prev = l;
+        graph[l].next = me;
+        info[l].has_next = true;
+      }
+      if (!right.is_null()) {
+        const u64 r = local_of(right);
+        graph[me].next = r;
+        graph[r].prev = me;
+        info[r].has_prev = true;
+        info[r].key_if_known = right_key;
+      }
+      par::charge_work(1);
+    }
+
+    // ---- contract ----
+    par::contract_lists(std::span<par::ContractionNode>(graph), rng_());
+
+    // ---- splice writes to surviving boundaries ----
+    par::charged_region(ceil_log2(graph.size() + 2), [&] {
+      for (u64 v = 0; v < graph.size(); ++v) {
+        if (graph[v].marked) continue;
+        const LocalInfo& me = info[v];
+        if (me.has_next) {
+          if (graph[v].next == par::kNullIndex) {
+            remote_write(me.gptr, kWRight, GPtr::null().encode(), static_cast<u64>(kMaxKey));
+          } else {
+            const u64 r = graph[v].next;
+            PIM_CHECK(!graph[r].marked, "contraction left a marked neighbor");
+            PIM_CHECK(info[r].key_if_known != kMaxKey || true, "");
+            remote_write(me.gptr, kWRight, info[r].gptr.encode(),
+                         static_cast<u64>(info[r].key_if_known));
+          }
+        }
+        if (me.has_prev) {
+          if (graph[v].prev == par::kNullIndex) {
+            remote_write(me.gptr, kWLeft, GPtr::null().encode());
+          } else {
+            remote_write(me.gptr, kWLeft, info[graph[v].prev].gptr.encode());
+          }
+        }
+        par::charge_work(1);
+      }
+      // ---- free the marked nodes ----
+      for (u64 v = 0; v < graph.size(); ++v) {
+        if (!graph[v].marked) continue;
+        remote_write(info[v].gptr, kWFree, 0);
+        par::charge_work(1);
+      }
+    });
+    machine_.run_until_quiescent();
+  }
+
+  // ---- results ----
+  u64 erased_total = 0;
+  for (u64 g = 0; g < d; ++g) erased_total += found[g];
+  size_ -= erased_total;
+  par::parallel_for(n, [&](u64 i) {
+    out[i] = found[dd.group_of[i]];
+    par::charge_work(1);
+  });
+  return out;
+}
+
+}  // namespace pim::core

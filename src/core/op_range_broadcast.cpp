@@ -1,0 +1,244 @@
+// Broadcast-based range operations (§5.1, Theorem 5.1).
+//
+// The operation is broadcast to all P modules (an h=1 relation). Each
+// module finds the *local successor* of LKey — upper-part search in its
+// replica (O(log n)), then its local leaf list (maintained by the
+// per-module ordered index; DESIGN.md §2) — and streams its local
+// key-value pairs in [LKey, RKey], applying the function. Aggregates
+// return per-module partials (one message each); collects return one
+// message per pair, O(K/P) per module whp.
+#include <algorithm>
+
+#include "common/math_util.hpp"
+#include "core/pim_skiplist.hpp"
+#include "parallel/fork_join.hpp"
+#include "parallel/scan.hpp"
+#include "parallel/sort.hpp"
+
+namespace pim::core {
+
+namespace {
+enum RangeFn : u64 {
+  kAgg = 0,       // count + sum of values
+  kFetchAdd = 1,  // add arg to each value; partials are count + sum of OLD values
+  kAssign = 2,    // set each value to arg; partials are count + sum of OLD values
+};
+}  // namespace
+
+void PimSkipList::init_range_handlers() {
+  // args: [lo, hi, fn, arg, slot_base]  -> reply {count, agg} at
+  // slot_base + 2*module.
+  h_range_bcast_ = [this](sim::ModuleCtx& ctx, std::span<const u64> a) {
+    const Key lo = static_cast<Key>(a[0]);
+    const Key hi = static_cast<Key>(a[1]);
+    const RangeFn fn = static_cast<RangeFn>(a[2]);
+    const u64 arg = a[3];
+    const u64 slot_base = a[4];
+    auto& st = state_[ctx.id()];
+
+    // Step 1 (paper): search the local replica of the upper part down to
+    // the upper-leaf level for the range start.
+    {
+      GPtr cur = head_at(top_level_);
+      while (true) {
+        const Node& nd = node_at(cur);
+        ctx.charge(1);
+        if (nd.right_key < lo) {
+          cur = nd.right;
+          continue;
+        }
+        if (nd.level == h_low_) break;
+        cur = nd.down;
+      }
+    }
+    // Steps 2–3: enter the local leaf list and stream the range.
+    u64 count = 0;
+    u64 agg = 0;
+    const u64 work = st.leaf_index.scan_from(lo, [&](Key key, u64 leaf_slot) {
+      if (key > hi) return false;
+      Node& leaf = st.arena.at(leaf_slot);
+      ++count;
+      switch (fn) {
+        case kAgg:
+          agg += leaf.value;
+          break;
+        case kFetchAdd:
+          agg += leaf.value;
+          leaf.value += arg;
+          break;
+        case kAssign:
+          agg += leaf.value;
+          leaf.value = arg;
+          break;
+      }
+      return true;
+    });
+    ctx.charge(work);
+    const u64 out[2] = {count, agg};
+    ctx.reply_block(slot_base + 2 * static_cast<u64>(ctx.id()), out);
+  };
+
+  // args: [lo, hi, out_slot] -> one {key, value} reply per local pair,
+  // written at out_slot, out_slot+2, ...
+  h_range_collect_ = [this](sim::ModuleCtx& ctx, std::span<const u64> a) {
+    const Key lo = static_cast<Key>(a[0]);
+    const Key hi = static_cast<Key>(a[1]);
+    u64 out_slot = a[2];
+    auto& st = state_[ctx.id()];
+    {
+      GPtr cur = head_at(top_level_);
+      while (true) {
+        const Node& nd = node_at(cur);
+        ctx.charge(1);
+        if (nd.right_key < lo) {
+          cur = nd.right;
+          continue;
+        }
+        if (nd.level == h_low_) break;
+        cur = nd.down;
+      }
+    }
+    const u64 work = st.leaf_index.scan_from(lo, [&](Key key, u64 leaf_slot) {
+      if (key > hi) return false;
+      const Node& leaf = st.arena.at(leaf_slot);
+      const u64 pair[2] = {static_cast<u64>(key), leaf.value};
+      ctx.reply_block(out_slot, pair);
+      out_slot += 2;
+      return true;
+    });
+    ctx.charge(work);
+  };
+
+  // Tree-range leaf walk; see op_range_tree.cpp for the driver.
+  // args: [cur_gptr, hi, count, sum, budget, res_slot]
+  h_range_walk_ = [this](sim::ModuleCtx& ctx, std::span<const u64> a) {
+    GPtr cur = GPtr::decode(a[0]);
+    const Key hi = static_cast<Key>(a[1]);
+    u64 count = a[2];
+    u64 sum = a[3];
+    u64 budget = a[4];
+    const u64 res_slot = a[5];
+    while (true) {
+      PIM_DCHECK(cur.module == ctx.id(), "range walk on wrong module");
+      const Node& leaf = state_[ctx.id()].arena.at(cur.slot);
+      ctx.charge(1);
+      ++count;
+      sum += leaf.value;
+      if (leaf.right_key > hi) {
+        const u64 out[4] = {1, count, sum, 0};
+        ctx.reply_block(res_slot, out);
+        return;
+      }
+      if (--budget == 0) {
+        // Out of hops: report the resume key; the driver falls back to the
+        // §5.1 broadcast algorithm for the remainder (the paper's noted
+        // alternative for large subranges).
+        const u64 out[4] = {0, count, sum, static_cast<u64>(leaf.right_key)};
+        ctx.reply_block(res_slot, out);
+        return;
+      }
+      const GPtr next = leaf.right;
+      if (next.module == ctx.id()) {
+        cur = next;
+        continue;
+      }
+      const u64 fwd[6] = {next.encode(), a[1], count, sum, budget, res_slot};
+      ctx.forward(next.module, &h_range_walk_, std::span<const u64>(fwd, 6));
+      return;
+    }
+  };
+}
+
+// ---------------- drivers ----------------
+
+PimSkipList::RangeAgg PimSkipList::range_count_broadcast(Key lo, Key hi) {
+  PIM_CHECK(lo <= hi, "range_count_broadcast: lo > hi");
+  const u32 p = machine_.modules();
+  machine_.mailbox().assign(2 * p, 0);
+  par::charge_work(2 * p);
+  const u64 args[5] = {static_cast<u64>(lo), static_cast<u64>(hi), kAgg, 0, 0};
+  machine_.broadcast(&h_range_bcast_, std::span<const u64>(args, 5));
+  par::charge_work(1);
+  machine_.run_until_quiescent();
+
+  RangeAgg agg;
+  const auto& mail = machine_.mailbox();
+  for (u32 m = 0; m < p; ++m) {
+    agg.count += mail[2 * m];
+    agg.sum += mail[2 * m + 1];
+    par::charge_work(1);
+  }
+  return agg;
+}
+
+PimSkipList::RangeAgg PimSkipList::range_fetch_add_broadcast(Key lo, Key hi, u64 delta) {
+  PIM_CHECK(lo <= hi, "range_fetch_add_broadcast: lo > hi");
+  const u32 p = machine_.modules();
+  machine_.mailbox().assign(2 * p, 0);
+  par::charge_work(2 * p);
+  const u64 args[5] = {static_cast<u64>(lo), static_cast<u64>(hi), kFetchAdd, delta, 0};
+  machine_.broadcast(&h_range_bcast_, std::span<const u64>(args, 5));
+  par::charge_work(1);
+  machine_.run_until_quiescent();
+
+  RangeAgg agg;
+  const auto& mail = machine_.mailbox();
+  for (u32 m = 0; m < p; ++m) {
+    agg.count += mail[2 * m];
+    agg.sum += mail[2 * m + 1];
+    par::charge_work(1);
+  }
+  return agg;
+}
+
+std::vector<std::pair<Key, Value>> PimSkipList::range_collect_broadcast(Key lo, Key hi) {
+  PIM_CHECK(lo <= hi, "range_collect_broadcast: lo > hi");
+  const u32 p = machine_.modules();
+
+  // Pass 1: per-module counts.
+  machine_.mailbox().assign(2 * p, 0);
+  par::charge_work(2 * p);
+  {
+    const u64 args[5] = {static_cast<u64>(lo), static_cast<u64>(hi), kAgg, 0, 0};
+    machine_.broadcast(&h_range_bcast_, std::span<const u64>(args, 5));
+    par::charge_work(1);
+  }
+  machine_.run_until_quiescent();
+
+  std::vector<u64> offsets(p);
+  {
+    const auto& mail = machine_.mailbox();
+    for (u32 m = 0; m < p; ++m) {
+      offsets[m] = 2 * mail[2 * m];
+      par::charge_work(1);
+    }
+  }
+  const u64 total_words = par::scan_exclusive_sum(std::span<u64>(offsets));
+
+  // Pass 2: fetch the pairs to the CPU side, each to its exact slot.
+  machine_.mailbox().assign(total_words, 0);
+  par::charge_work(total_words);
+  par::charged_region(ceil_log2(p + 2), [&] {
+    for (u32 m = 0; m < p; ++m) {
+      const u64 args[3] = {static_cast<u64>(lo), static_cast<u64>(hi), offsets[m]};
+      machine_.send(m, &h_range_collect_, std::span<const u64>(args, 3));
+      par::charge_work(1);
+    }
+  });
+  machine_.run_until_quiescent();
+
+  std::vector<std::pair<Key, Value>> out(total_words / 2);
+  {
+    const auto& mail = machine_.mailbox();
+    par::parallel_for(out.size(), [&](u64 i) {
+      out[i] = {static_cast<Key>(mail[2 * i]), mail[2 * i + 1]};
+      par::charge_work(1);
+    });
+  }
+  // The paper labels results with in-range indexes via a tree prefix sum;
+  // we return them key-sorted with a CPU-side sort instead (DESIGN.md §2).
+  par::parallel_sort(out);
+  return out;
+}
+
+}  // namespace pim::core

@@ -1,0 +1,320 @@
+// Tree-structure-based batched range aggregation (§5.2, Theorem 5.2).
+//
+// Two engines with the same contract:
+//
+// batch_range_aggregate — walk engine:
+//  1. CPU: split the (possibly overlapping) query batch into disjoint
+//     ascending elementary subranges (paper step 1); each query covers a
+//     contiguous run of subranges.
+//  2. Pivot-balanced batched Successor on the subrange left endpoints
+//     (reuses §4.2) to find each subrange's first leaf.
+//  3. Leaf walks: each subrange streams its leaves left to right along the
+//     level-0 list, carrying its running (count, sum) in the task payload.
+//     Walks carry a hop budget of Θ(log^2 P); a subrange that exhausts it
+//     is finished by the §5.1 broadcast algorithm — the paper's own
+//     suggestion for large subranges.
+//  4. CPU: prefix sums over subrange aggregates answer every query.
+//
+// batch_range_aggregate_expand — expansion engine (the paper's naive
+// range search, faithfully):
+//  2'. Per subrange, one task walks the local replica of the upper part
+//      from the root to the in-range run of upper leaves (level h_low) and
+//      spawns a child walk into the lower part under each of them.
+//  3'. A child walk at level l visits the level-l nodes under its parent
+//      (bounded by the parent's right neighbor's key), spawning
+//      grandchildren; level-0 segments accumulate (count, sum) in their
+//      task payload and flush with accumulating shared-memory writes.
+//      Every hop is an independent constant-size task on a random module,
+//      so even one huge subrange expands in parallel — no fallback.
+#include <algorithm>
+
+#include "common/math_util.hpp"
+#include "core/pim_skiplist.hpp"
+#include "parallel/fork_join.hpp"
+#include "parallel/scan.hpp"
+#include "parallel/sequence_ops.hpp"
+#include "parallel/sort.hpp"
+
+namespace pim::core {
+
+namespace {
+
+/// Disjoint elementary subranges covering a query batch, plus the mapping
+/// back to queries.
+struct SubrangePlan {
+  std::vector<Key> sub_lo, sub_hi;   // inclusive, ascending, disjoint
+  std::vector<u64> q_first, q_last;  // per query: cell run [first, last)
+  std::vector<u64> cell_to_sub;      // cell -> dense subrange id or UINT64_MAX
+  u64 cells = 0;
+};
+
+SubrangePlan plan_subranges(std::span<const PimSkipList::RangeQuery> queries) {
+  SubrangePlan plan;
+  const u64 q = queries.size();
+  std::vector<Key> breakpoints;
+  breakpoints.reserve(2 * q);
+  for (const auto& query : queries) {
+    PIM_CHECK(query.lo <= query.hi, "range query with lo > hi");
+    PIM_CHECK(query.hi < kMaxKey, "range hi too large");
+    breakpoints.push_back(query.lo);
+    breakpoints.push_back(query.hi + 1);
+    par::charge_work(1);
+  }
+  par::parallel_sort(breakpoints);
+  breakpoints.erase(std::unique(breakpoints.begin(), breakpoints.end()), breakpoints.end());
+  par::charge_work(breakpoints.size());
+
+  plan.cells = breakpoints.size() - 1;
+  std::vector<i64> coverage(plan.cells + 1, 0);
+  auto bp_index = [&](Key k) {
+    return static_cast<u64>(std::lower_bound(breakpoints.begin(), breakpoints.end(), k) -
+                            breakpoints.begin());
+  };
+  plan.q_first.resize(q);
+  plan.q_last.resize(q);
+  for (u64 i = 0; i < q; ++i) {
+    plan.q_first[i] = bp_index(queries[i].lo);
+    plan.q_last[i] = bp_index(queries[i].hi + 1);  // exclusive
+    ++coverage[plan.q_first[i]];
+    --coverage[plan.q_last[i]];
+    par::charge_work(ceil_log2(plan.cells + 2));
+  }
+  for (u64 c = 1; c <= plan.cells; ++c) coverage[c] += coverage[c - 1];
+  par::charge_work(plan.cells);
+
+  const std::vector<u64> covered =
+      par::pack_index(plan.cells, [&](u64 c) { return coverage[c] > 0; });
+  plan.cell_to_sub.assign(plan.cells, UINT64_MAX);
+  plan.sub_lo.resize(covered.size());
+  plan.sub_hi.resize(covered.size());
+  par::parallel_for(covered.size(), [&](u64 j) {
+    plan.cell_to_sub[covered[j]] = j;
+    plan.sub_lo[j] = breakpoints[covered[j]];
+    plan.sub_hi[j] = breakpoints[covered[j] + 1] - 1;
+    par::charge_work(1);
+  });
+  return plan;
+}
+
+/// Combines per-subrange aggregates into per-query answers via prefix
+/// sums over the cells.
+std::vector<PimSkipList::RangeAgg> combine(const SubrangePlan& plan,
+                                           std::span<const PimSkipList::RangeAgg> sub_agg,
+                                           u64 queries) {
+  std::vector<u64> count_prefix(plan.cells + 1, 0), sum_prefix(plan.cells + 1, 0);
+  for (u64 c = 0; c < plan.cells; ++c) {
+    const u64 j = plan.cell_to_sub[c];
+    count_prefix[c + 1] = count_prefix[c] + (j == UINT64_MAX ? 0 : sub_agg[j].count);
+    sum_prefix[c + 1] = sum_prefix[c] + (j == UINT64_MAX ? 0 : sub_agg[j].sum);
+    par::charge_work(1);
+  }
+  std::vector<PimSkipList::RangeAgg> out(queries);
+  par::parallel_for(queries, [&](u64 i) {
+    out[i].count = count_prefix[plan.q_last[i]] - count_prefix[plan.q_first[i]];
+    out[i].sum = sum_prefix[plan.q_last[i]] - sum_prefix[plan.q_first[i]];
+    par::charge_work(1);
+  });
+  return out;
+}
+
+}  // namespace
+
+// ---------------- walk engine ----------------
+
+std::vector<PimSkipList::RangeAgg> PimSkipList::batch_range_aggregate(
+    std::span<const RangeQuery> queries) {
+  const u64 q = queries.size();
+  if (q == 0) return {};
+  const SubrangePlan plan = plan_subranges(queries);
+  const u64 s = plan.sub_lo.size();
+
+  // ---- start leaves via the pivot-balanced batched successor ----
+  const auto starts = pivot_batch_search(std::span<const Key>(plan.sub_lo), {});
+
+  // ---- leaf walks with budget, then broadcast fallback ----
+  const u32 logp = log2_at_least1(machine_.modules());
+  const u64 budget =
+      opts_.walk_budget != 0 ? opts_.walk_budget : std::max<u64>(8, 4ull * logp * logp);
+  constexpr u64 kWalkStride = 4;  // [done, count, sum, resume_key]
+  machine_.mailbox().assign(s * kWalkStride, 0);
+  par::charge_work(s * kWalkStride);
+
+  std::vector<u8> launched(s, 0);
+  par::charged_region(ceil_log2(s + 2), [&] {
+    for (u64 j = 0; j < s; ++j) {
+      const SearchResult& r = starts[j];
+      if (r.succ.is_null() || r.succ_key > plan.sub_hi[j]) continue;  // empty subrange
+      const u64 args[6] = {r.succ.encode(), static_cast<u64>(plan.sub_hi[j]), 0, 0,
+                           budget,          j * kWalkStride};
+      machine_.send(r.succ.module, &h_range_walk_, std::span<const u64>(args, 6));
+      launched[j] = 1;
+      par::charge_work(1);
+    }
+  });
+  machine_.run_until_quiescent();
+
+  std::vector<RangeAgg> sub_agg(s);
+  std::vector<u64> unfinished;
+  std::vector<Key> resume_key;
+  {
+    const auto& mail = machine_.mailbox();
+    for (u64 j = 0; j < s; ++j) {
+      if (!launched[j]) continue;
+      sub_agg[j].count = mail[j * kWalkStride + 1];
+      sub_agg[j].sum = mail[j * kWalkStride + 2];
+      if (mail[j * kWalkStride] == 0) {
+        unfinished.push_back(j);
+        resume_key.push_back(static_cast<Key>(mail[j * kWalkStride + 3]));
+      }
+      par::charge_work(1);
+    }
+  }
+  if (!unfinished.empty()) {
+    // §5.1 fallback for the large subranges: all broadcasts share one
+    // bulk-synchronous round.
+    const u32 p = machine_.modules();
+    machine_.mailbox().assign(unfinished.size() * 2 * p, 0);
+    par::charge_work(unfinished.size() * 2 * p);
+    for (u64 u = 0; u < unfinished.size(); ++u) {
+      const u64 args[5] = {static_cast<u64>(resume_key[u]),
+                           static_cast<u64>(plan.sub_hi[unfinished[u]]), /*kAgg*/ 0, 0,
+                           u * 2 * p};
+      machine_.broadcast(&h_range_bcast_, std::span<const u64>(args, 5));
+      par::charge_work(1);
+    }
+    machine_.run_until_quiescent();
+    const auto& mail = machine_.mailbox();
+    for (u64 u = 0; u < unfinished.size(); ++u) {
+      for (u32 m = 0; m < p; ++m) {
+        sub_agg[unfinished[u]].count += mail[u * 2 * p + 2 * m];
+        sub_agg[unfinished[u]].sum += mail[u * 2 * p + 2 * m + 1];
+        par::charge_work(1);
+      }
+    }
+  }
+
+  return combine(plan, sub_agg, q);
+}
+
+// ---------------- expansion engine ----------------
+
+void PimSkipList::init_expand_handlers() {
+  // Lower-part walk at one level: visits the nodes under one parent
+  // (keys < bound), spawns a child walk under each node that can hold
+  // in-range descendants, accumulates leaf aggregates in the payload.
+  // args: [cur, bound, lo, hi, slot_base, count, sum]
+  h_range_expand_ = [this](sim::ModuleCtx& ctx, std::span<const u64> a) {
+    GPtr cur = GPtr::decode(a[0]);
+    const Key bound = static_cast<Key>(a[1]);
+    const Key lo = static_cast<Key>(a[2]);
+    const Key hi = static_cast<Key>(a[3]);
+    const u64 slot_base = a[4];
+    u64 count = a[5];
+    u64 sum = a[6];
+    while (true) {
+      PIM_DCHECK(cur.module == ctx.id(), "expansion on wrong module");
+      const Node& nd = node_at(cur);
+      ctx.charge(1);
+      probe_touch(cur);
+      if (nd.level == 0) {
+        if (nd.key >= lo && nd.key <= hi) {
+          ++count;
+          sum += nd.value;
+        }
+      } else if (nd.right_key > lo) {
+        // Descendants of nd span [nd.key, nd.right_key): worth expanding.
+        const Key child_bound = std::min<Key>(nd.right_key, hi == kMaxKey ? kMaxKey : hi + 1);
+        const GPtr child = nd.down;
+        const u64 spawn[7] = {child.encode(), static_cast<u64>(child_bound), a[2], a[3],
+                              slot_base,      0,                             0};
+        // Each spawned walk is an independent constant-size task (the
+        // paper counts O(1) messages per search-area node).
+        ctx.forward(child.module, &h_range_expand_, std::span<const u64>(spawn, 7));
+      }
+      if (nd.right_key >= bound || nd.right.is_null()) {
+        if (nd.level == 0 && (count != 0 || sum != 0)) {
+          ctx.reply_add(slot_base, count);
+          ctx.reply_add(slot_base + 1, sum);
+        }
+        return;
+      }
+      const GPtr next = nd.right;
+      if (next.module == ctx.id()) {
+        cur = next;
+        continue;
+      }
+      const u64 fwd[7] = {next.encode(), a[1], a[2], a[3], slot_base, count, sum};
+      ctx.forward(next.module, &h_range_expand_, std::span<const u64>(fwd, 7));
+      return;
+    }
+  };
+
+  // Upper-part stage: local walk from the root to the in-range run of
+  // upper leaves; spawns one lower walk under each (including the
+  // predecessor, whose children straddle lo).
+  // args: [lo, hi, slot_base]
+  h_range_top_ = [this](sim::ModuleCtx& ctx, std::span<const u64> a) {
+    const Key lo = static_cast<Key>(a[0]);
+    const Key hi = static_cast<Key>(a[1]);
+    const u64 slot_base = a[2];
+    GPtr cur = head_at(top_level_);
+    while (true) {
+      const Node& nd = node_at(cur);
+      ctx.charge(1);
+      if (nd.right_key < lo) {
+        cur = nd.right;
+        continue;
+      }
+      if (nd.level == h_low_) break;
+      cur = nd.down;
+    }
+    // cur = level-h_low predecessor of lo; walk the in-range run.
+    while (true) {
+      const Node& nd = node_at(cur);
+      ctx.charge(1);
+      if (nd.right_key > lo) {
+        const Key child_bound = std::min<Key>(nd.right_key, hi == kMaxKey ? kMaxKey : hi + 1);
+        const u64 spawn[7] = {nd.down.encode(), static_cast<u64>(child_bound),
+                              a[0],             a[1],
+                              slot_base,        0,
+                              0};
+        ctx.forward(nd.down.module, &h_range_expand_, std::span<const u64>(spawn, 7));
+      }
+      if (nd.right_key > hi || nd.right.is_null()) return;
+      cur = nd.right;  // upper rights are replicated: stays local
+    }
+  };
+}
+
+std::vector<PimSkipList::RangeAgg> PimSkipList::batch_range_aggregate_expand(
+    std::span<const RangeQuery> queries) {
+  const u64 q = queries.size();
+  if (q == 0) return {};
+  const SubrangePlan plan = plan_subranges(queries);
+  const u64 s = plan.sub_lo.size();
+
+  machine_.mailbox().assign(2 * s, 0);
+  par::charge_work(2 * s);
+  par::charged_region(ceil_log2(s + 2), [&] {
+    for (u64 j = 0; j < s; ++j) {
+      const u64 args[3] = {static_cast<u64>(plan.sub_lo[j]), static_cast<u64>(plan.sub_hi[j]),
+                           2 * j};
+      machine_.send(random_module(), &h_range_top_, std::span<const u64>(args, 3));
+      par::charge_work(1);
+    }
+  });
+  machine_.run_until_quiescent();
+
+  std::vector<RangeAgg> sub_agg(s);
+  {
+    const auto& mail = machine_.mailbox();
+    par::parallel_for(s, [&](u64 j) {
+      sub_agg[j].count = mail[2 * j];
+      sub_agg[j].sum = mail[2 * j + 1];
+      par::charge_work(1);
+    });
+  }
+  return combine(plan, sub_agg, q);
+}
+
+}  // namespace pim::core

@@ -1,0 +1,530 @@
+// Predecessor/Successor search (§4.2).
+//
+// Single search: standard skiplist descent. The upper part is replicated,
+// so the task starts on a random module and traverses locally; every
+// lower-part node lives on hash(key, level)'s module, so each lower hop
+// forwards the task (the model's PIM→CPU→PIM offload). Each node caches
+// its right neighbor's key, so "go right while right.key < k" is local.
+//
+// Batched search: two stages.
+//   Stage 1 (Fig. 3): sort keys, pick pivots (every log P-th key plus the
+//   extremes), and execute them in O(log P) divide-and-conquer phases.
+//   Each phase executes segment medians, starting from the deepest
+//   lower-part node shared by the two segment-end search paths (or
+//   directly reusing the answer when the end predecessors coincide).
+//   Lemma 4.2: no lower-part node is accessed more than 3 times per phase.
+//   Stage 2: every remaining operation runs with the start hint derived
+//   from its segment's pivot paths; per-node contention is bounded by the
+//   segment length log P, so Lemma 2.2 gives O(log^2 P) whp IO time per
+//   step.
+//
+// Path recording: a search records, for lower-part levels <= its record
+// ceiling, the node it descends from (that level's predecessor) plus that
+// node's right pointer and key — what stage hints and Upsert's Algorithm 1
+// consume. A search started from a hint at level L only traverses levels
+// <= L; the driver *completes* its recorded path afterwards by copying
+// levels above L from the bracketing pivot's (already complete) path —
+// valid because bracketed keys share exactly those predecessors (the
+// per-level search-path prefix property behind Lemma 4.2).
+#include <algorithm>
+
+#include "common/math_util.hpp"
+#include "core/pim_skiplist.hpp"
+#include "parallel/fork_join.hpp"
+#include "parallel/semisort.hpp"
+#include "parallel/sort.hpp"
+
+namespace pim::core {
+
+namespace {
+
+constexpr u64 kResStride = 8;
+constexpr u64 kPathStride = 4;
+
+/// flags word: low 16 bits = record ceiling + 1 (0 = no recording),
+/// bits 16.. = current path position.
+u64 pack_flags(u32 rec_plus1, u64 path_pos) { return rec_plus1 | (path_pos << 16); }
+
+}  // namespace
+
+// ---------------- module-side search step ----------------
+
+void PimSkipList::search_step(sim::ModuleCtx& ctx, std::span<const u64> args) {
+  const Key key = static_cast<Key>(args[0]);
+  u64 pack = args[1];
+  const u32 rec_plus1 = static_cast<u32>(pack & 0xFFFF);
+  u64 path_pos = pack >> 16;
+  GPtr cur = GPtr::decode(args[2]);
+  const u64 res_slot = args[3];
+  const u64 path_base = args[4];
+  const u64 path_cap = args[5];
+
+  if (cur.is_null()) cur = head_at(top_level_);
+
+  while (true) {
+    PIM_DCHECK(cur.is_replicated() || cur.module == ctx.id(), "search on wrong module");
+    const Node& nd = node_at(cur);
+    ctx.charge(1);
+    probe_touch(cur);
+
+    // Record every visited lower-part node at a level under the record
+    // ceiling. Entries appear in visit order (levels non-increasing); the
+    // LAST entry at a level is that level's predecessor (descend point),
+    // which is what Algorithm 1 consumes; the full sequence is what hint
+    // generation compares (the paper's lowest-common-node rule).
+    if (rec_plus1 != 0 && nd.level < rec_plus1 && !cur.is_replicated()) {
+      PIM_CHECK(path_pos < path_cap, "search path exceeded its recording capacity");
+      const u64 entry[kPathStride] = {cur.encode(), nd.level, nd.right.encode(),
+                                      static_cast<u64>(nd.right_key)};
+      ctx.reply_block(path_base + path_pos * kPathStride, entry);
+      ++path_pos;
+      pack = pack_flags(rec_plus1, path_pos);
+    }
+
+    if (nd.right_key < key) {
+      const GPtr next = nd.right;
+      if (next.is_replicated() || next.module == ctx.id()) {
+        cur = next;
+        continue;
+      }
+      const u64 fwd[6] = {args[0], pack_flags(rec_plus1, path_pos), next.encode(),
+                          res_slot, path_base, path_cap};
+      ctx.forward(next.module, &h_search_, std::span<const u64>(fwd, 6));
+      return;
+    }
+
+    if (nd.level == 0) {
+      const u64 out[kResStride] = {1,
+                                   cur.encode(),
+                                   static_cast<u64>(nd.key),
+                                   nd.value,
+                                   nd.right.encode(),
+                                   static_cast<u64>(nd.right_key),
+                                   path_pos,
+                                   0};
+      ctx.reply_block(res_slot, out);
+      return;
+    }
+
+    const GPtr next = nd.down;
+    if (next.is_replicated() || next.module == ctx.id()) {
+      cur = next;
+      continue;
+    }
+    const u64 fwd[6] = {args[0], pack_flags(rec_plus1, path_pos), next.encode(),
+                        res_slot, path_base, path_cap};
+    ctx.forward(next.module, &h_search_, std::span<const u64>(fwd, 6));
+    return;
+  }
+}
+
+// ---------------- CPU-side launch / readback ----------------
+
+void PimSkipList::launch_search(u64 /*op_id*/, Key key, GPtr start, u32 record_max_level,
+                                u64 result_slot, u64 path_slot, u64 path_cap) {
+  const u32 rec_plus1 = path_cap == 0 ? 0 : record_max_level + 1;
+  const u64 args[6] = {static_cast<u64>(key), pack_flags(rec_plus1, 0),
+                       start.encode(), result_slot, path_slot, path_cap};
+  const ModuleId target =
+      (start.is_null() || start.is_replicated()) ? random_module() : start.module;
+  machine_.send(target, &h_search_, std::span<const u64>(args, 6));
+  par::charge_work(1);
+}
+
+PimSkipList::SearchResult PimSkipList::read_result(u64 result_slot) const {
+  const auto& mail = machine_.mailbox();
+  SearchResult r;
+  r.done = mail[result_slot] != 0;
+  r.pred = GPtr::decode(mail[result_slot + 1]);
+  r.pred_key = static_cast<Key>(mail[result_slot + 2]);
+  r.pred_value = mail[result_slot + 3];
+  r.succ = GPtr::decode(mail[result_slot + 4]);
+  r.succ_key = static_cast<Key>(mail[result_slot + 5]);
+  r.path_len = static_cast<u32>(mail[result_slot + 6]);
+  return r;
+}
+
+PimSkipList::PathEntry PimSkipList::read_path_entry(u64 slot) const {
+  const auto& mail = machine_.mailbox();
+  PathEntry e;
+  e.node = GPtr::decode(mail[slot]);
+  e.level = static_cast<u32>(mail[slot + 1]);
+  e.right = GPtr::decode(mail[slot + 2]);
+  e.right_key = static_cast<Key>(mail[slot + 3]);
+  return e;
+}
+
+// ---------------- pivot-balanced batch search ----------------
+
+std::vector<PimSkipList::SearchResult> PimSkipList::pivot_batch_search(
+    std::span<const Key> sorted_keys, std::span<const u32> record_heights,
+    std::vector<std::vector<PathEntry>>* paths_out) {
+  const u64 n = sorted_keys.size();
+  std::vector<SearchResult> results(n);
+  pivot_stats_ = PivotStats{};
+  if (n == 0) return results;
+
+  const u32 logp = log2_at_least1(machine_.modules());
+  const u64 spacing = opts_.pivot_spacing == 0 ? logp : opts_.pivot_spacing;
+  const bool record_all = !record_heights.empty();
+  const u32 lower_top = h_low_ - 1;  // highest recorded level
+
+  // Pivot set: every `spacing`-th index (the paper: every log P-th), plus
+  // the last.
+  std::vector<u64> pivots;
+  for (u64 i = 0; i < n; i += spacing) pivots.push_back(i);
+  if (pivots.back() != n - 1) pivots.push_back(n - 1);
+  std::vector<u8> is_pivot(n, 0);
+  for (u64 p : pivots) is_pivot[p] = 1;
+  par::charge_work(pivots.size());
+
+  // Record ceiling per op (lower-part levels only; upper-part
+  // predecessors for tall Upserts come from a separate local query).
+  std::vector<u32> rec_max(n, 0);
+  std::vector<u64> path_cap(n, 0);
+  par::parallel_for(n, [&](u64 i) {
+    u32 rm = 0;
+    bool recorded = false;
+    if (record_all) {
+      rm = std::min(record_heights[i], lower_top);
+      recorded = true;
+    }
+    if (is_pivot[i]) {
+      rm = lower_top;
+      recorded = true;
+    }
+    rec_max[i] = rm;
+    // Capacity covers descends AND right-hops at levels <= rm; run lengths
+    // per level are geometric, so this is a whp bound (checked at record
+    // time by the handler).
+    path_cap[i] = recorded ? 6ull * (rm + 2) + 24 : 0;
+    par::charge_work(1);
+  });
+
+  // Mailbox layout: [results | paths]; path offsets by prefix sum.
+  std::vector<u64> path_off(n);
+  par::parallel_for(n, [&](u64 i) {
+    path_off[i] = path_cap[i] * kPathStride;
+    par::charge_work(1);
+  });
+  const u64 path_words = par::scan_exclusive_sum(std::span<u64>(path_off));
+  const u64 path_base = n * kResStride;
+  machine_.mailbox().assign(path_base + path_words, 0);
+  par::charge_work(path_base + path_words);
+
+  auto res_slot = [&](u64 i) { return i * kResStride; };
+  auto path_slot = [&](u64 i) { return path_base + path_off[i]; };
+
+  // ---- path utilities (CPU side; all reads/writes hit shared memory) ----
+
+  struct Hint {
+    bool answered = false;
+    GPtr start;  // null = from root
+  };
+  // Hint for keys bracketed by executed ops lo/hi: their recorded visit
+  // sequences share a positional prefix (search paths in the pointer tree
+  // cannot re-converge after diverging); the hint is the deepest shared
+  // node — exactly the paper's "lowest common lower-part node".
+  auto make_hint = [&](u64 lo, u64 hi) -> Hint {
+    Hint h;
+    if (opts_.disable_hints) return h;  // ablation: always from the root
+    const SearchResult a = read_result(res_slot(lo));
+    const SearchResult b = read_result(res_slot(hi));
+    PIM_CHECK(a.done && b.done, "hint from unexecuted pivot");
+    par::charge_work(1);
+    if (a.pred == b.pred) {
+      h.answered = true;
+      return h;
+    }
+    const u64 len = std::min<u64>(a.path_len, b.path_len);
+    for (u64 e = 0; e < len; ++e) {
+      const PathEntry ea = read_path_entry(path_slot(lo) + e * kPathStride);
+      const PathEntry eb = read_path_entry(path_slot(hi) + e * kPathStride);
+      par::charge_work(1);
+      if (!(ea.node == eb.node)) break;
+      h.start = ea.node;
+    }
+    return h;
+  };
+
+  // Copies the result block and the deepest `path_cap[to]` path entries of
+  // `from` into `to`'s slots (used when a whole bracket shares one
+  // predecessor — the paths are then identical by the prefix property).
+  auto copy_answer = [&](u64 from, u64 to) {
+    auto& mail = machine_.mailbox();
+    const SearchResult r = read_result(res_slot(from));
+    mail[res_slot(to)] = 1;
+    mail[res_slot(to) + 1] = r.pred.encode();
+    mail[res_slot(to) + 2] = static_cast<u64>(r.pred_key);
+    mail[res_slot(to) + 3] = r.pred_value;
+    mail[res_slot(to) + 4] = r.succ.encode();
+    mail[res_slot(to) + 5] = static_cast<u64>(r.succ_key);
+    const u64 want = std::min<u64>(r.path_len, path_cap[to]);
+    const u64 src_first = r.path_len - want;  // deepest `want` entries
+    for (u64 w = 0; w < want * kPathStride; ++w) {
+      mail[path_slot(to) + w] = mail[path_slot(from) + (src_first * kPathStride) + w];
+    }
+    mail[res_slot(to) + 6] = want;
+    par::charge_work(2 + want * kPathStride);
+  };
+
+  // A search launched from a hint recorded only the nodes from the hint
+  // down. The tree-path from the root to the hint node is unique, so the
+  // parent's recorded prefix (strictly before the hint node, filtered to
+  // the op's record ceiling) completes the op's path exactly.
+  auto complete_path = [&](u64 op, u64 parent, GPtr hint_node) {
+    if (path_cap[op] == 0 || hint_node.is_null()) return;
+    const SearchResult rp = read_result(res_slot(parent));
+    std::vector<PathEntry> prefix;
+    bool found_hint = false;
+    for (u64 e = 0; e < rp.path_len; ++e) {
+      const PathEntry pe = read_path_entry(path_slot(parent) + e * kPathStride);
+      par::charge_work(1);
+      if (pe.node == hint_node) {
+        found_hint = true;
+        break;
+      }
+      if (pe.level <= rec_max[op]) prefix.push_back(pe);
+    }
+    PIM_CHECK(found_hint, "hint node missing from parent path");
+    if (prefix.empty()) return;
+    auto& mail = machine_.mailbox();
+    const SearchResult r = read_result(res_slot(op));
+    const u64 old_len = r.path_len;
+    const u64 new_len = old_len + prefix.size();
+    PIM_CHECK(new_len <= path_cap[op], "path completion overflow");
+    for (i64 e = static_cast<i64>(old_len) - 1; e >= 0; --e) {
+      for (u64 w = 0; w < kPathStride; ++w) {
+        mail[path_slot(op) + (e + prefix.size()) * kPathStride + w] =
+            mail[path_slot(op) + e * kPathStride + w];
+      }
+    }
+    for (u64 e = 0; e < prefix.size(); ++e) {
+      const PathEntry& pe = prefix[e];
+      mail[path_slot(op) + e * kPathStride + 0] = pe.node.encode();
+      mail[path_slot(op) + e * kPathStride + 1] = pe.level;
+      mail[path_slot(op) + e * kPathStride + 2] = pe.right.encode();
+      mail[path_slot(op) + e * kPathStride + 3] = static_cast<u64>(pe.right_key);
+    }
+    mail[res_slot(op) + 6] = new_len;
+    par::charge_work(new_len * kPathStride);
+  };
+
+  struct Launch {
+    u64 op;
+    u64 parent;
+    GPtr hint;
+  };
+
+  // ---- Stage 1: divide-and-conquer over pivots ----
+  const u64 m = pivots.size();
+  launch_search(pivots.front(), sorted_keys[pivots.front()], GPtr::null(),
+                rec_max[pivots.front()], res_slot(pivots.front()), path_slot(pivots.front()),
+                path_cap[pivots.front()]);
+  if (m > 1) {
+    launch_search(pivots.back(), sorted_keys[pivots.back()], GPtr::null(),
+                  rec_max[pivots.back()], res_slot(pivots.back()), path_slot(pivots.back()),
+                  path_cap[pivots.back()]);
+  }
+  probe_reset();
+  machine_.run_until_quiescent();
+  ++pivot_stats_.phases;
+  if (opts_.track_contention) {
+    pivot_stats_.stage1_phase_max_access.push_back(probe_max());
+    probe_reset();
+  }
+
+  struct Segment {
+    u64 lo;
+    u64 hi;
+  };  // indices into `pivots`
+  std::vector<Segment> segments;
+  if (m > 1) segments.push_back({0, m - 1});
+
+  std::vector<Launch> launches;
+  while (!segments.empty()) {
+    std::vector<Segment> next_round;
+    launches.clear();
+    for (const Segment& seg : segments) {
+      if (seg.hi - seg.lo <= 1) continue;
+      const u64 mid = (seg.lo + seg.hi) / 2;
+      const u64 op = pivots[mid];
+      const Hint hint = make_hint(pivots[seg.lo], pivots[seg.hi]);
+      if (hint.answered) {
+        copy_answer(pivots[seg.lo], op);
+      } else {
+        launch_search(op, sorted_keys[op], hint.start, rec_max[op], res_slot(op), path_slot(op),
+                      path_cap[op]);
+        launches.push_back({op, pivots[seg.lo], hint.start});
+      }
+      next_round.push_back({seg.lo, mid});
+      next_round.push_back({mid, seg.hi});
+    }
+    if (!launches.empty()) machine_.run_until_quiescent();
+    for (const Launch& l : launches) complete_path(l.op, l.parent, l.hint);
+    if (!next_round.empty()) {
+      ++pivot_stats_.phases;
+      if (opts_.track_contention) {
+        pivot_stats_.stage1_phase_max_access.push_back(probe_max());
+        probe_reset();
+      }
+    }
+    par::charge_depth(1);
+    segments.swap(next_round);
+  }
+
+  // ---- Stage 2: all remaining operations with segment hints ----
+  launches.clear();
+  for (u64 s = 0; s + 1 < pivots.size(); ++s) {
+    const u64 lo = pivots[s];
+    const u64 hi = pivots[s + 1];
+    if (hi - lo <= 1) continue;
+    const Hint hint = make_hint(lo, hi);
+    for (u64 i = lo + 1; i < hi; ++i) {
+      if (hint.answered) {
+        copy_answer(lo, i);
+      } else {
+        launch_search(i, sorted_keys[i], hint.start, rec_max[i], res_slot(i), path_slot(i),
+                      path_cap[i]);
+        launches.push_back({i, lo, hint.start});
+      }
+    }
+  }
+  if (!launches.empty()) machine_.run_until_quiescent();
+  for (const Launch& l : launches) complete_path(l.op, l.parent, l.hint);
+  if (opts_.track_contention) {
+    pivot_stats_.stage2_max_access = probe_max();
+    probe_reset();
+  }
+
+  par::parallel_for(n, [&](u64 i) {
+    results[i] = read_result(res_slot(i));
+    PIM_CHECK(results[i].done, "batch search left an operation unexecuted");
+    par::charge_work(1);
+  });
+
+  // Copy the recorded per-level predecessor entries out of shared memory
+  // (the mailbox is reused by the caller's next phase).
+  if (paths_out != nullptr && record_all) {
+    paths_out->assign(n, {});
+    par::parallel_for(n, [&](u64 i) {
+      const u32 want = std::min(record_heights[i], lower_top);
+      auto& dst = (*paths_out)[i];
+      dst.assign(want + 1, PathEntry{});
+      for (u64 e = 0; e < results[i].path_len; ++e) {
+        const PathEntry pe = read_path_entry(path_slot(i) + e * kPathStride);
+        if (pe.level <= want) dst[pe.level] = pe;
+        par::charge_work(1);
+      }
+      for (u32 lv = 0; lv <= want; ++lv) {
+        PIM_CHECK(!dst[lv].node.is_null(), "missing lower predecessor entry");
+      }
+    });
+  }
+  return results;
+}
+
+// ---------------- public Successor / Predecessor ----------------
+
+std::vector<PimSkipList::NearResult> PimSkipList::batch_near(std::span<const Key> keys,
+                                                             bool successor_mode) {
+  const u64 n = keys.size();
+  std::vector<NearResult> out(n);
+  if (n == 0) return out;
+
+  // Dedup (duplicates would defeat pivot spacing), then sort the distinct
+  // keys — the CPU-side sort the paper charges O(log P) work per op for.
+  const auto dd = par::dedup_keys(keys, rnd::KeyedHash(rng_()));
+  const u64 d = dd.representatives.size();
+  std::vector<std::pair<Key, u64>> order(d);  // (key, group id)
+  par::parallel_for(d, [&](u64 g) {
+    order[g] = {keys[dd.representatives[g]], g};
+    par::charge_work(1);
+  });
+  par::parallel_sort(order);
+
+  std::vector<Key> sorted_keys(d);
+  par::parallel_for(d, [&](u64 j) {
+    sorted_keys[j] = order[j].first;
+    par::charge_work(1);
+  });
+
+  const auto found = pivot_batch_search(std::span<const Key>(sorted_keys), {});
+
+  // Interpret as successor or predecessor and scatter back through the
+  // sort permutation and the dedup groups.
+  std::vector<NearResult> per_group(d);
+  par::parallel_for(d, [&](u64 j) {
+    const SearchResult& r = found[j];
+    NearResult nr;
+    if (successor_mode) {
+      if (!r.succ.is_null()) {
+        nr.found = true;
+        nr.key = r.succ_key;
+        nr.node = r.succ;
+      }
+    } else {
+      if (!r.succ.is_null() && r.succ_key == sorted_keys[j]) {
+        nr.found = true;
+        nr.key = r.succ_key;
+        nr.node = r.succ;
+      } else if (r.pred_key != kMinKey) {
+        nr.found = true;
+        nr.key = r.pred_key;
+        nr.node = r.pred;
+      }
+    }
+    per_group[order[j].second] = nr;
+    par::charge_work(1);
+  });
+  par::parallel_for(n, [&](u64 i) {
+    out[i] = per_group[dd.group_of[i]];
+    par::charge_work(1);
+  });
+  return out;
+}
+
+std::vector<PimSkipList::NearResult> PimSkipList::batch_successor(std::span<const Key> keys) {
+  return batch_near(keys, /*successor_mode=*/true);
+}
+
+std::vector<PimSkipList::NearResult> PimSkipList::batch_predecessor(std::span<const Key> keys) {
+  return batch_near(keys, /*successor_mode=*/false);
+}
+
+std::vector<PimSkipList::NearResult> PimSkipList::batch_successor_naive(
+    std::span<const Key> keys) {
+  // §4.2's PIM-imbalanced strawman: every query descends from the root
+  // concurrently; no dedup, no pivots, no hints.
+  const u64 n = keys.size();
+  std::vector<NearResult> out(n);
+  if (n == 0) return out;
+  machine_.mailbox().assign(n * kResStride, 0);
+  par::charge_work(n * kResStride);
+  probe_reset();
+  par::charged_region(ceil_log2(n + 2), [&] {
+    for (u64 i = 0; i < n; ++i) {
+      launch_search(i, keys[i], GPtr::null(), 0, i * kResStride, 0, 0);
+    }
+  });
+  machine_.run_until_quiescent();
+  pivot_stats_ = PivotStats{};
+  pivot_stats_.phases = 1;
+  if (opts_.track_contention) {
+    pivot_stats_.stage2_max_access = probe_max();
+    probe_reset();
+  }
+  par::parallel_for(n, [&](u64 i) {
+    const SearchResult r = read_result(i * kResStride);
+    PIM_CHECK(r.done, "naive search left an operation unexecuted");
+    if (!r.succ.is_null()) {
+      out[i].found = true;
+      out[i].key = r.succ_key;
+      out[i].node = r.succ;
+    }
+    par::charge_work(1);
+  });
+  return out;
+}
+
+}  // namespace pim::core

@@ -1,0 +1,275 @@
+// Batched Upsert (§4.3): Update first, then batch-Insert the missing keys.
+//
+// Insert pipeline (one batch):
+//   1. dedup + update phase (reuses the §4.1 machinery),
+//   2. CPU draws tower heights,
+//   3. allocation phase — lower-part nodes go to hash(key, level)'s module
+//      (hash table + local leaf index updated at the leaf), upper-part
+//      nodes are broadcast-allocated into every replica,
+//   4. vertical wiring + leaf tower metadata (consumed later by Delete),
+//   5. recorded batched Predecessor (pivot-balanced, §4.2) for per-level
+//      lower-part predecessors; a local upper-part walk supplies
+//      predecessors for levels >= h_low of tall towers,
+//   6. Algorithm 1 builds every horizontal pointer with independent
+//      RemoteWrites (Fig. 4): runs of new nodes sharing a predecessor are
+//      chained to each other and the run ends splice into the old list.
+#include <algorithm>
+
+#include "common/math_util.hpp"
+#include "core/pim_skiplist.hpp"
+#include "parallel/fork_join.hpp"
+#include "parallel/semisort.hpp"
+#include "parallel/sort.hpp"
+
+namespace pim::core {
+
+namespace {
+constexpr u64 kPathStride = 4;
+}
+
+void PimSkipList::init_upsert_handlers() {
+  // Local upper-part predecessor walk for a tall inserted tower: records
+  // the descend node (that level's predecessor) with its right pointer and
+  // key for every level in [h_low, top_needed]. Purely local to the
+  // executing module's replica; O(log n) work, O(1) request messages.
+  h_upper_preds_ = [this](sim::ModuleCtx& ctx, std::span<const u64> a) {
+    const Key key = static_cast<Key>(a[0]);
+    const u32 top_needed = static_cast<u32>(a[1]);
+    const u64 ret_base = a[2];
+    GPtr cur = head_at(top_level_);
+    while (true) {
+      const Node& nd = node_at(cur);
+      ctx.charge(1);
+      if (nd.right_key < key) {
+        cur = nd.right;  // upper-part rights are replicated: stays local
+        PIM_DCHECK(cur.is_replicated(), "upper walk left the upper part");
+        continue;
+      }
+      if (nd.level <= top_needed) {
+        const u64 entry[kPathStride] = {cur.encode(), nd.level, nd.right.encode(),
+                                        static_cast<u64>(nd.right_key)};
+        ctx.reply_block(ret_base + (nd.level - h_low_) * kPathStride, entry);
+      }
+      if (nd.level == h_low_) return;  // lower part handled by the batch search
+      cur = nd.down;
+    }
+  };
+}
+
+void PimSkipList::batch_upsert(std::span<const std::pair<Key, Value>> ops) {
+  const u64 n = ops.size();
+  if (n == 0) return;
+
+  // ---- dedup + Update phase ----
+  std::vector<Key> keys(n);
+  par::parallel_for(n, [&](u64 i) {
+    keys[i] = ops[i].first;
+    PIM_CHECK(keys[i] != kMinKey && keys[i] != kMaxKey, "reserved key");
+    par::charge_work(1);
+  });
+  const auto dd = par::dedup_keys(std::span<const Key>(keys), rnd::KeyedHash(rng_()));
+  const u64 d = dd.representatives.size();
+
+  machine_.mailbox().assign(d, 0);
+  par::charge_work(d);
+  par::charged_region(ceil_log2(d + 2), [&] {
+    for (u64 g = 0; g < d; ++g) {
+      const auto& [key, value] = ops[dd.representatives[g]];
+      const u64 args[3] = {g, static_cast<u64>(key), value};
+      machine_.send(placement_.module_of(key, 0), &h_update_, std::span<const u64>(args, 3));
+      par::charge_work(1);
+    }
+  });
+  machine_.run_until_quiescent();
+
+  // ---- the insert subset, sorted by key ----
+  std::vector<std::pair<Key, Value>> inserts;
+  {
+    const auto& mail = machine_.mailbox();
+    std::vector<u64> missing = par::pack_index(d, [&](u64 g) { return mail[g] == 0; });
+    inserts.resize(missing.size());
+    par::parallel_for(missing.size(), [&](u64 j) {
+      inserts[j] = ops[dd.representatives[missing[j]]];
+      par::charge_work(1);
+    });
+  }
+  const u64 b = inserts.size();
+  if (b == 0) return;
+  par::parallel_sort(inserts);
+
+  // ---- tower heights ----
+  std::vector<u32> height(b);
+  for (u64 i = 0; i < b; ++i) {
+    height[i] = draw_height();
+    par::charge_work(1);
+  }
+  u32 max_height = 0;
+  for (u64 i = 0; i < b; ++i) max_height = std::max(max_height, height[i]);
+
+  // ---- allocation phase ----
+  const u32 lower_top = h_low_ - 1;
+  std::vector<u64> lower_off(b), upper_off(b);
+  par::parallel_for(b, [&](u64 i) {
+    lower_off[i] = std::min(height[i], lower_top) + 1;
+    upper_off[i] = height[i] >= h_low_ ? height[i] - h_low_ + 1 : 0;
+    par::charge_work(1);
+  });
+  const u64 lower_total = par::scan_exclusive_sum(std::span<u64>(lower_off));
+  const u64 upper_total = par::scan_exclusive_sum(std::span<u64>(upper_off));
+  machine_.mailbox().assign(lower_total + upper_total, 0);
+  par::charge_work(lower_total + upper_total);
+
+  par::charged_region(ceil_log2(b + 2), [&] {
+    for (u64 i = 0; i < b; ++i) {
+      const auto& [key, value] = inserts[i];
+      for (u32 lv = 0; lv <= std::min(height[i], lower_top); ++lv) {
+        const u64 args[4] = {lower_off[i] + lv, static_cast<u64>(key), lv, value};
+        machine_.send(placement_.module_of(key, lv), &h_alloc_lower_,
+                      std::span<const u64>(args, 4));
+        par::charge_work(1);
+      }
+      for (u32 lv = h_low_; lv <= height[i]; ++lv) {
+        const u64 args[3] = {lower_total + upper_off[i] + (lv - h_low_),
+                             static_cast<u64>(key), lv};
+        machine_.broadcast(&h_alloc_upper_, std::span<const u64>(args, 3));
+        par::charge_work(1);
+      }
+    }
+  });
+  machine_.run_until_quiescent();
+
+  // Decode allocated towers.
+  std::vector<std::vector<GPtr>> tower(b);
+  {
+    const auto& mail = machine_.mailbox();
+    par::parallel_for(b, [&](u64 i) {
+      const Key key = inserts[i].first;
+      tower[i].resize(height[i] + 1);
+      for (u32 lv = 0; lv <= std::min(height[i], lower_top); ++lv) {
+        tower[i][lv] = GPtr{placement_.module_of(key, lv),
+                            static_cast<Slot>(mail[lower_off[i] + lv])};
+      }
+      for (u32 lv = h_low_; lv <= height[i]; ++lv) {
+        tower[i][lv] =
+            GPtr::replicated(static_cast<Slot>(mail[lower_total + upper_off[i] + (lv - h_low_)]));
+      }
+      par::charge_work(tower[i].size());
+    });
+  }
+
+  // ---- raise top level + vertical wiring + leaf metadata ----
+  if (max_height > top_level_) {
+    remote_write(GPtr::replicated(0), kWRaiseTop, max_height);
+  }
+  par::charged_region(ceil_log2(b + 2), [&] {
+    for (u64 i = 0; i < b; ++i) {
+      const GPtr leaf = tower[i][0];
+      for (u32 lv = 1; lv <= height[i]; ++lv) {
+        remote_write(tower[i][lv], kWDown, tower[i][lv - 1].encode());
+        remote_write(tower[i][lv - 1], kWUp, tower[i][lv].encode());
+        par::charge_work(2);
+      }
+      // Leaf tower metadata (kWTowerAppend messages are FIFO per module,
+      // so entries land in ascending level order).
+      for (u32 lv = 1; lv <= std::min(height[i], lower_top); ++lv) {
+        remote_write(leaf, kWTowerAppend, tower[i][lv].encode());
+        par::charge_work(1);
+      }
+      if (height[i] >= h_low_) {
+        remote_write(leaf, kWUpperInfo, tower[i][h_low_].slot, height[i]);
+        par::charge_work(1);
+      }
+    }
+  });
+  machine_.run_until_quiescent();
+
+  // ---- recorded batched Predecessor (lower part) ----
+  std::vector<Key> sorted_keys(b);
+  par::parallel_for(b, [&](u64 i) {
+    sorted_keys[i] = inserts[i].first;
+    par::charge_work(1);
+  });
+  // lower_pred[i][lv] is the level-lv predecessor entry of key i, valid
+  // for lv <= min(height[i], h_low-1).
+  std::vector<std::vector<PathEntry>> lower_pred;
+  pivot_batch_search(std::span<const Key>(sorted_keys), std::span<const u32>(height),
+                     &lower_pred);
+
+  // ---- upper-part predecessors for tall towers ----
+  std::vector<std::vector<PathEntry>> upper_pred(b);
+  {
+    std::vector<u64> tall = par::pack_index(b, [&](u64 i) { return height[i] >= h_low_; });
+    if (!tall.empty()) {
+      std::vector<u64> off(tall.size());
+      par::parallel_for(tall.size(), [&](u64 t) {
+        off[t] = (height[tall[t]] - h_low_ + 1) * kPathStride;
+        par::charge_work(1);
+      });
+      const u64 total = par::scan_exclusive_sum(std::span<u64>(off));
+      machine_.mailbox().assign(total, 0);
+      par::charge_work(total);
+      par::charged_region(ceil_log2(tall.size() + 2), [&] {
+        for (u64 t = 0; t < tall.size(); ++t) {
+          const u64 i = tall[t];
+          const u64 args[3] = {static_cast<u64>(inserts[i].first), height[i], off[t]};
+          machine_.send(random_module(), &h_upper_preds_, std::span<const u64>(args, 3));
+          par::charge_work(1);
+        }
+      });
+      machine_.run_until_quiescent();
+      par::parallel_for(tall.size(), [&](u64 t) {
+        const u64 i = tall[t];
+        upper_pred[i].resize(height[i] - h_low_ + 1);
+        for (u32 lv = h_low_; lv <= height[i]; ++lv) {
+          upper_pred[i][lv - h_low_] = read_path_entry(off[t] + (lv - h_low_) * kPathStride);
+          PIM_CHECK(!upper_pred[i][lv - h_low_].node.is_null(), "missing upper predecessor");
+          par::charge_work(1);
+        }
+      });
+    }
+  }
+
+  // ---- Algorithm 1: construct horizontal pointers ----
+  struct Item {
+    GPtr cur;
+    Key key;
+    GPtr pred;
+    GPtr succ;
+    Key succ_key;
+  };
+  par::charged_region(2 * ceil_log2(b + 2), [&] {
+    for (u32 lv = 0; lv <= max_height; ++lv) {
+      std::vector<Item> row;  // ascending key order (inserts is sorted)
+      for (u64 i = 0; i < b; ++i) {
+        if (height[i] < lv) continue;
+        const PathEntry pe =
+            lv < h_low_ ? lower_pred[i][lv] : upper_pred[i][lv - h_low_];
+        row.push_back(Item{tower[i][lv], inserts[i].first, pe.node, pe.right, pe.right_key});
+        par::charge_work(1);
+      }
+      for (u64 j = 0; j < row.size(); ++j) {
+        const Item& it = row[j];
+        const bool right_end = (j + 1 == row.size()) || !(row[j + 1].succ == it.succ);
+        if (right_end) {
+          remote_write(it.cur, kWRight, it.succ.encode(), static_cast<u64>(it.succ_key));
+          if (!it.succ.is_null()) remote_write(it.succ, kWLeft, it.cur.encode());
+        } else {
+          remote_write(it.cur, kWRight, row[j + 1].cur.encode(),
+                       static_cast<u64>(row[j + 1].key));
+          remote_write(row[j + 1].cur, kWLeft, it.cur.encode());
+        }
+        const bool left_end = (j == 0) || !(row[j - 1].pred == it.pred);
+        if (left_end) {
+          remote_write(it.pred, kWRight, it.cur.encode(), static_cast<u64>(it.key));
+          remote_write(it.cur, kWLeft, it.pred.encode());
+        }
+        par::charge_work(4);
+      }
+    }
+  });
+  machine_.run_until_quiescent();
+
+  size_ += b;
+}
+
+}  // namespace pim::core

@@ -1,0 +1,319 @@
+// PimSkipList — the paper's PIM-balanced batch-parallel skiplist (§3–§5).
+//
+// Structure (Fig. 2): the skiplist is split at height h_low = log2(P).
+// Levels >= h_low (the upper part) are replicated in every PIM module;
+// levels < h_low (the lower part) are distributed across modules by a
+// private hash of (key, level). Each module additionally keeps
+//  * a de-amortized hash table key -> leaf slot (O(1) whp point access),
+//  * an ordered index over its local leaves (the paper's local-left /
+//    local-right leaf list + next-leaf pointers; see DESIGN.md §2 for the
+//    maintenance substitution).
+//
+// All mutating/querying entry points are *batch* operations executed in
+// bulk-synchronous rounds on a sim::Machine, following the paper's
+// PIM-balanced algorithms:
+//  * Get/Update (§4.1): CPU-side semisort dedup, then hash-routed tasks.
+//  * Predecessor/Successor (§4.2): two stages — pivot divide-and-conquer
+//    with recorded lower-part search paths (contention <= 3 per node per
+//    phase, Lemma 4.2), then all operations with start-node hints.
+//  * Upsert (§4.3): update-then-insert; batch insert allocates towers,
+//    runs a recorded batched predecessor, and wires horizontal pointers
+//    with Algorithm 1.
+//  * Delete (§4.4): hash-routed marking of whole towers via leaf-stored
+//    tower addresses, then CPU-side randomized list contraction to splice
+//    out arbitrary runs, then remote boundary writes.
+//  * Range operations (§5): broadcast-based (Thm 5.1) and tree-based
+//    batched (Thm 5.2, with the paper's §5.1 fallback for large
+//    subranges).
+//
+// Metrics: wrap calls in sim::measure() to obtain IO time, PIM time,
+// rounds, and CPU work/depth per batch.
+#pragma once
+
+#include <span>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/node.hpp"
+#include "pimds/deamortized_hash.hpp"
+#include "pimds/local_index.hpp"
+#include "random/hash_fn.hpp"
+#include "random/rng.hpp"
+#include "sim/machine.hpp"
+
+namespace pim::core {
+
+class PimSkipList {
+ public:
+  struct Options {
+    /// Private seed for placement hashes, tower heights, and per-module
+    /// substrates. The adversary (workload) must not observe it.
+    u64 seed = 0x5EEDF00Dull;
+    /// Head tower cap; supports n well past 2^36.
+    u32 max_level = 40;
+    /// Enable the per-phase node-access probe (Lemma 4.2 / Fig. 3
+    /// instrumentation). Adds bookkeeping work outside the cost model.
+    bool track_contention = false;
+
+    // ---- ablation knobs (defaults reproduce the paper's algorithms) ----
+    /// Pivot spacing in the batched search (0 = the paper's log P).
+    u32 pivot_spacing = 0;
+    /// Disable start-node hints: every search descends from the root
+    /// (isolates the hint mechanism's contribution to Lemma 4.2).
+    bool disable_hints = false;
+    /// Leaf-walk hop budget for the walk-engine batched range op
+    /// (0 = the default 4 log^2 P).
+    u64 walk_budget = 0;
+    /// Skip the CPU-side semisort dedup in Get/Update (isolates dedup's
+    /// role under duplicate-heavy batches).
+    bool disable_dedup = false;
+  };
+
+  PimSkipList(sim::Machine& machine, Options opts);
+  explicit PimSkipList(sim::Machine& machine);
+
+  // The machine holds handler pointers that capture `this`: the structure
+  // is pinned in place for its lifetime.
+  PimSkipList(const PimSkipList&) = delete;
+  PimSkipList& operator=(const PimSkipList&) = delete;
+  PimSkipList(PimSkipList&&) = delete;
+  PimSkipList& operator=(PimSkipList&&) = delete;
+
+  // ---------------- bulk build (offline, not metered) ----------------
+
+  /// Builds the structure from strictly-increasing unique keys. Used to
+  /// reach a target size before measurement; costs are not charged.
+  void build(std::span<const std::pair<Key, Value>> sorted_unique);
+
+  // ---------------- batch point operations ----------------
+
+  struct GetResult {
+    bool found = false;
+    Value value = 0;
+  };
+  /// Batched Get (§4.1). Duplicate keys are deduplicated on the CPU side;
+  /// every position still receives its result.
+  std::vector<GetResult> batch_get(std::span<const Key> keys);
+
+  /// Batched Update (§4.1): sets value for existing keys; returns found
+  /// flags. Duplicate keys: the first occurrence in the batch wins.
+  std::vector<u8> batch_update(std::span<const std::pair<Key, Value>> ops);
+
+  struct NearResult {
+    bool found = false;
+    Key key = 0;
+    GPtr node;  // leaf of the answer (null if !found)
+  };
+  /// Batched Successor: smallest key >= query (§4.2, pivot-balanced).
+  std::vector<NearResult> batch_successor(std::span<const Key> keys);
+  /// Batched Predecessor: largest key <= query.
+  std::vector<NearResult> batch_predecessor(std::span<const Key> keys);
+  /// The §4.2 *unbalanced* strawman: every query runs the naive search
+  /// concurrently with no pivots (kept for the Fig. 3 / §4.2 comparison).
+  std::vector<NearResult> batch_successor_naive(std::span<const Key> keys);
+
+  /// Batched Upsert (§4.3): updates existing keys, inserts the rest.
+  /// Duplicate keys in the batch: first occurrence wins.
+  void batch_upsert(std::span<const std::pair<Key, Value>> ops);
+
+  /// Batched Delete (§4.4); returns per-position erased flags.
+  std::vector<u8> batch_delete(std::span<const Key> keys);
+
+  // ---------------- range operations ----------------
+
+  struct RangeAgg {
+    u64 count = 0;
+    u64 sum = 0;
+  };
+  /// Broadcast-based range ops (§5.1, Thm 5.1) over inclusive [lo, hi].
+  RangeAgg range_count_broadcast(Key lo, Key hi);
+  /// Adds delta to every value in range; returns count and sum of OLD values.
+  RangeAgg range_fetch_add_broadcast(Key lo, Key hi, u64 delta);
+  /// Returns all (key, value) pairs in range, sorted by key.
+  std::vector<std::pair<Key, Value>> range_collect_broadcast(Key lo, Key hi);
+
+  struct RangeQuery {
+    Key lo;
+    Key hi;  // inclusive
+  };
+  /// Tree-structure-based batched range aggregation (§5.2, Thm 5.2):
+  /// count+sum per query. Overlapping queries both count shared keys.
+  /// Engine: pivot-balanced successor searches + leaf walks with a hop
+  /// budget, falling back to §5.1 broadcasts for oversized subranges (the
+  /// paper's suggested alternative).
+  std::vector<RangeAgg> batch_range_aggregate(std::span<const RangeQuery> queries);
+
+  /// Same contract as batch_range_aggregate, different engine: the
+  /// paper's *naive range search* done faithfully — per subrange, a local
+  /// upper-part walk marks the in-range upper leaves, then child walks
+  /// expand level by level through the lower part in parallel (each hop a
+  /// constant-size task), accumulating partial aggregates along level-0
+  /// segments. No broadcast fallback needed at any size. The ablation
+  /// bench compares the two engines.
+  std::vector<RangeAgg> batch_range_aggregate_expand(std::span<const RangeQuery> queries);
+
+  // ---------------- introspection ----------------
+
+  u64 size() const { return size_; }
+  u32 modules() const { return machine_.modules(); }
+  u32 h_low() const { return h_low_; }
+  u32 top_level() const { return top_level_; }
+  sim::Machine& machine() { return machine_; }
+
+  /// Accounted local-memory words of module m: its lower-part nodes, its
+  /// replica of the upper part, its hash table and its leaf index
+  /// (Theorem 3.1: O(n/P) whp).
+  u64 module_space_words(ModuleId m) const;
+  u64 upper_part_words() const { return upper_.words(); }
+  u64 upper_part_nodes() const { return upper_.live_nodes(); }
+  u64 total_words() const;
+
+  /// Full structural validation (order, pointer symmetry, caches,
+  /// placement, replication, hash/index agreement). Throws on violation.
+  /// Offline — walks the structure directly.
+  void check_invariants() const;
+
+  /// Stats of the most recent batch_successor / batch_predecessor /
+  /// pivot-driven range call (Lemma 4.2 instrumentation; requires
+  /// Options::track_contention).
+  struct PivotStats {
+    u64 phases = 0;
+    /// Max accesses to any single lower-part node, per stage-1 phase.
+    std::vector<u64> stage1_phase_max_access;
+    /// Max accesses to any single lower-part node in stage 2.
+    u64 stage2_max_access = 0;
+  };
+  const PivotStats& last_pivot_stats() const { return pivot_stats_; }
+
+ private:
+  // ----- module-local state -----
+  struct ModuleState {
+    NodeArena arena;  // lower-part nodes
+    pimds::DeamortizedHash key_to_leaf;
+    pimds::LocalOrderedIndex leaf_index;  // key -> leaf slot, module-local order
+    std::unordered_map<u64, u32> probe;   // contention probe: gptr -> accesses
+
+    ModuleState(u64 hash_seed, u64 index_seed)
+        : key_to_leaf(hash_seed), leaf_index(index_seed) {}
+  };
+
+  // ----- node access -----
+  Node& node_at(GPtr p);
+  const Node& node_at(GPtr p) const;
+  GPtr lower_gptr(Key key, u32 level) const;
+  /// Module that must execute a task touching p (replicated nodes are
+  /// readable locally by `executing`).
+  ModuleId route_of(GPtr p, ModuleId executing) const {
+    return p.is_replicated() ? executing : p.module;
+  }
+
+  void probe_touch(GPtr p);
+  void probe_reset();
+  u64 probe_max() const;
+
+  // ----- search machinery (op_successor.cpp) -----
+  struct SearchLayout;  // mailbox layout for a search wave
+  void search_step(sim::ModuleCtx& ctx, std::span<const u64> args);
+  void launch_search(u64 op_id, Key key, GPtr start, u32 record_max_level, u64 result_slot,
+                     u64 path_slot, u64 path_cap);
+  struct PathEntry {
+    GPtr node;
+    u32 level;
+    GPtr right;
+    Key right_key;
+  };
+  struct SearchResult {
+    bool done = false;
+    GPtr pred;
+    Key pred_key = 0;
+    Value pred_value = 0;
+    GPtr succ;
+    Key succ_key = 0;
+    u32 path_len = 0;
+  };
+  SearchResult read_result(u64 result_slot) const;
+  PathEntry read_path_entry(u64 slot) const;
+
+  /// Runs the full two-stage pivot-balanced predecessor search over
+  /// sorted, deduplicated keys; fills per-key SearchResult. Core of
+  /// Successor/Predecessor/Upsert/tree-range. record_heights: if
+  /// non-empty, per-key record ceiling for path recording (Upsert);
+  /// otherwise paths are recorded (to h_low-1) only for pivots. When
+  /// paths_out is non-null and recording is on, (*paths_out)[i][lv] is the
+  /// level-lv predecessor entry of key i for lv <= min(record_heights[i],
+  /// h_low-1), copied out of shared memory before the mailbox is reused.
+  std::vector<SearchResult> pivot_batch_search(
+      std::span<const Key> sorted_keys, std::span<const u32> record_heights,
+      std::vector<std::vector<PathEntry>>* paths_out = nullptr);
+
+  std::vector<NearResult> batch_near(std::span<const Key> keys, bool successor_mode);
+
+  // ----- write / alloc handlers (skiplist.cpp) -----
+  enum WriteField : u64 {
+    kWRight = 1,      // a = right gptr, b = right key
+    kWLeft = 2,       // a = left gptr
+    kWUp = 3,         // a = up gptr
+    kWDown = 4,       // a = down gptr
+    kWValue = 5,      // a = value
+    kWMark = 6,       // set deleted flag
+    kWFree = 7,       // release node (and hash/index cleanup if leaf: no)
+    kWTowerAppend = 8,  // a = tower gptr (leaf meta)
+    kWUpperInfo = 9,    // a = upper base slot, b = top level (leaf meta)
+    kWRaiseTop = 10,    // a = new top level (structure metadata)
+  };
+  /// Sends (or broadcasts, for replicated targets) a field write.
+  void remote_write(GPtr target, WriteField field, u64 a, u64 b = 0);
+  void apply_write(sim::ModuleCtx& ctx, std::span<const u64> args);
+
+  // ----- handler wiring (one init per translation unit) -----
+  void init_upsert_handlers();  // op_upsert.cpp
+  void init_delete_handlers();  // op_delete.cpp
+  void init_range_handlers();   // op_range_broadcast.cpp
+  void init_expand_handlers();  // op_range_tree.cpp
+
+  // ----- drivers’ helpers -----
+  u32 draw_height() { return rng_.geometric_levels(opts_.max_level - 1); }
+  GPtr head_at(u32 level) const;
+  ModuleId random_module() { return static_cast<ModuleId>(rng_.below(machine_.modules())); }
+
+  /// Offline leaf insertion shared by build() (direct, no messages).
+  void offline_insert_tower(Key key, Value value, u32 height);
+
+  // ----- members -----
+  sim::Machine& machine_;
+  Options opts_;
+  u32 h_low_;
+  u32 top_level_;
+  u64 size_ = 0;
+  rnd::PlacementHash placement_;
+  rnd::Xoshiro256ss rng_;
+  std::vector<ModuleState> state_;
+  NodeArena upper_;                // single physical copy of the upper part
+  std::vector<Slot> head_upper_;   // head slots for levels h_low..max_level
+  std::vector<GPtr> head_lower_;   // head gptrs for levels 0..h_low-1
+
+  PivotStats pivot_stats_;
+
+  // handlers (implementation notes in the .cpp files)
+  sim::Handler h_get_;
+  sim::Handler h_update_;
+  sim::Handler h_search_;
+  sim::Handler h_upper_preds_;
+  sim::Handler h_alloc_lower_;
+  sim::Handler h_alloc_upper_;
+  sim::Handler h_write_;
+  sim::Handler h_delete_start_;
+  sim::Handler h_delete_spread_;
+  sim::Handler h_mark_;
+  sim::Handler h_range_bcast_;
+  sim::Handler h_range_collect_;
+  sim::Handler h_range_walk_;
+  sim::Handler h_range_top_;     // expansion engine: upper-part stage
+  sim::Handler h_range_expand_;  // expansion engine: lower-part walks
+
+  friend struct SkipListTestPeer;
+};
+
+}  // namespace pim::core

@@ -1,0 +1,23 @@
+#include "parallel/cost_model.hpp"
+
+namespace pim::par {
+namespace detail {
+
+CostCounters*& tls_cost_slot() {
+  thread_local CostCounters* slot = nullptr;
+  return slot;
+}
+
+}  // namespace detail
+
+CostCounters& current_cost() {
+  CostCounters*& slot = detail::tls_cost_slot();
+  if (slot == nullptr) {
+    // Per-thread sink for charges outside any CostScope (e.g., test setup).
+    thread_local CostCounters sink;
+    return sink;
+  }
+  return *slot;
+}
+
+}  // namespace pim::par

@@ -1,0 +1,79 @@
+#include "parallel/list_contraction.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/math_util.hpp"
+#include "parallel/cost_model.hpp"
+#include "parallel/fork_join.hpp"
+#include "parallel/sequence_ops.hpp"
+#include "random/hash_fn.hpp"
+
+namespace pim::par {
+namespace {
+
+/// Priority of node i in round r. Fresh priorities each round keep the
+/// adversary (who fixed the list shape in advance) from correlating with
+/// the contraction order.
+u64 priority(const rnd::KeyedHash& hash, u64 node, u64 round) { return hash(node, round); }
+
+}  // namespace
+
+ContractionStats contract_lists(std::span<ContractionNode> nodes, u64 seed) {
+  const u64 n = nodes.size();
+  ContractionStats stats;
+  const rnd::KeyedHash hash(seed);
+
+  // Depth charged analytically as O(log n) whp — the bound of the cited
+  // binary-forking list contraction [9, 28] (DESIGN.md §2).
+  return charged_region(4 * ceil_log2(n + 2), [&]() -> ContractionStats {
+    // Active set: marked nodes still linked in.
+    std::vector<u64> active = pack_index(n, [&](u64 i) { return nodes[i].marked; });
+
+    while (!active.empty()) {
+      ++stats.rounds;
+      stats.total_work += active.size();
+
+      // Decide: a node splices iff its priority beats both marked
+      // neighbors' priorities (ends / unmarked neighbors lose ties by
+      // construction). Decisions are read-only w.r.t. the links.
+      std::vector<u8> splice(active.size());
+      parallel_for(active.size(), [&](u64 k) {
+        const u64 i = active[k];
+        const u64 p = priority(hash, i, stats.rounds);
+        const u64 prev = nodes[i].prev;
+        const u64 next = nodes[i].next;
+        const bool beats_prev =
+            prev == kNullIndex || !nodes[prev].marked || priority(hash, prev, stats.rounds) < p;
+        const bool beats_next =
+            next == kNullIndex || !nodes[next].marked || priority(hash, next, stats.rounds) < p;
+        splice[k] = (beats_prev && beats_next) ? 1 : 0;
+        charge_work(1);
+      });
+
+      // Apply: adjacent nodes cannot both splice, so the link updates of
+      // distinct splicers never touch the same field.
+      parallel_for(active.size(), [&](u64 k) {
+        if (!splice[k]) return;
+        const u64 i = active[k];
+        const u64 prev = nodes[i].prev;
+        const u64 next = nodes[i].next;
+        if (prev != kNullIndex) nodes[prev].next = next;
+        if (next != kNullIndex) nodes[next].prev = prev;
+        charge_work(1);
+      });
+
+      // Compact the active set.
+      std::vector<u64> still;
+      still.reserve(active.size());
+      for (u64 k = 0; k < active.size(); ++k) {
+        if (!splice[k]) still.push_back(active[k]);
+        charge_work(1);
+      }
+      active.swap(still);
+    }
+    return stats;
+  });
+}
+
+}  // namespace pim::par

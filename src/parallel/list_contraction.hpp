@@ -1,0 +1,44 @@
+// Randomized parallel list contraction (splicing marked nodes out of
+// doubly-linked lists).
+//
+// Used by the skiplist's batched Delete (paper §4.4): up to the whole
+// batch can form consecutive runs in a horizontal linked list, so nodes
+// cannot be spliced out independently. The CPU side copies the marked
+// nodes (plus run boundaries) locally and contracts: in each round every
+// still-linked marked node whose random priority is a strict local
+// maximum among its marked neighbors splices itself out; two adjacent
+// nodes can never both be local maxima, so all splices in a round commute.
+// A constant expected fraction of nodes retires per round, giving O(log m)
+// rounds whp and O(m) expected work [9, 28].
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "random/rng.hpp"
+
+namespace pim::par {
+
+/// One node of the local contraction graph. prev/next are indices into the
+/// node array, or kNullIndex at list ends / unmarked boundary sentinels.
+inline constexpr u64 kNullIndex = UINT64_MAX;
+
+struct ContractionNode {
+  u64 prev = kNullIndex;
+  u64 next = kNullIndex;
+  bool marked = false;  // marked nodes get spliced out
+};
+
+struct ContractionStats {
+  u64 rounds = 0;
+  u64 total_work = 0;  // node-visits summed over rounds
+};
+
+/// Splices every marked node out of its list, in place: after the call,
+/// following prev/next from any unmarked node skips all marked nodes.
+/// Deterministic given `seed`. Returns round/work statistics so callers
+/// (and tests) can check the O(log m) whp round bound.
+ContractionStats contract_lists(std::span<ContractionNode> nodes, u64 seed);
+
+}  // namespace pim::par

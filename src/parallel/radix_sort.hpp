@@ -1,0 +1,99 @@
+// Parallel stable LSD radix sort for integer keys.
+//
+// The linear-work companion to parallel_sort: semisort-style grouping and
+// integer sorting in the binary-forking model [9, 18] have O(n) expected
+// work — a comparison sort's O(n log n) would break Table 1's O(1)
+// CPU-work-per-op claims wherever the paper uses them. dedup_keys uses a
+// hash table; this sort serves workloads that need *ordered* integer
+// output at linear work (and is exercised by tests/benches as a
+// substrate).
+//
+// Passes of 8 bits; each pass: per-block histograms, an exclusive scan
+// over (digit, block) counts, then a stable scatter. Work O(n) per pass
+// counted from real operations; depth charged analytically as O(log n)
+// per pass (DESIGN.md §2 convention).
+#pragma once
+
+#include <algorithm>
+#include <span>
+#include <vector>
+
+#include "common/math_util.hpp"
+#include "common/types.hpp"
+#include "parallel/cost_model.hpp"
+#include "parallel/fork_join.hpp"
+
+namespace pim::par {
+
+namespace detail {
+
+template <typename T, typename KeyFn>
+void radix_pass(std::span<T> src, std::span<T> dst, const KeyFn& key_of, u32 shift) {
+  constexpr u64 kRadix = 256;
+  const u64 n = src.size();
+  const u64 block = std::max<u64>(u64{4096}, ceil_div(n, u64{8} * ThreadPool::instance().lanes()));
+  const u64 blocks = ceil_div(n, block);
+
+  // Per-block digit histograms.
+  std::vector<u64> counts(blocks * kRadix, 0);
+  parallel_for(blocks, [&](u64 b) {
+    u64* histogram = counts.data() + b * kRadix;
+    const u64 hi = std::min(n, (b + 1) * block);
+    for (u64 i = b * block; i < hi; ++i) {
+      ++histogram[(key_of(src[i]) >> shift) & 0xFF];
+      charge_work(1);
+    }
+  });
+
+  // Exclusive scan in (digit-major, block-minor) order gives each block
+  // its stable write cursor per digit.
+  u64 total = 0;
+  for (u64 digit = 0; digit < kRadix; ++digit) {
+    for (u64 b = 0; b < blocks; ++b) {
+      const u64 c = counts[b * kRadix + digit];
+      counts[b * kRadix + digit] = total;
+      total += c;
+    }
+  }
+  charge_work(kRadix * blocks);
+
+  // Stable scatter.
+  parallel_for(blocks, [&](u64 b) {
+    u64* cursor = counts.data() + b * kRadix;
+    const u64 hi = std::min(n, (b + 1) * block);
+    for (u64 i = b * block; i < hi; ++i) {
+      dst[cursor[(key_of(src[i]) >> shift) & 0xFF]++] = src[i];
+      charge_work(1);
+    }
+  });
+}
+
+}  // namespace detail
+
+/// Stable sort of `data` by the u64 key key_of(element), ascending.
+/// `max_key_bits` bounds the key range (fewer passes for small keys).
+template <typename T, typename KeyFn>
+void radix_sort(std::span<T> data, KeyFn key_of, u32 max_key_bits = 64) {
+  const u64 n = data.size();
+  if (n <= 1) return;
+  const u32 passes = ceil_div(std::min<u32>(max_key_bits, 64), 8);
+  charged_region(u64{passes} * 2 * ceil_log2(n + 2), [&] {
+    std::vector<T> buffer(n);
+    std::span<T> a = data;
+    std::span<T> b(buffer);
+    for (u32 pass = 0; pass < passes; ++pass) {
+      detail::radix_pass(a, b, key_of, pass * 8);
+      std::swap(a, b);
+    }
+    if (passes % 2 == 1) {
+      parallel_for(n, [&](u64 i) { data[i] = buffer[i]; }, 1u << 14);
+    }
+  });
+}
+
+/// Sorts unsigned 64-bit integers ascending in linear work.
+inline void radix_sort_u64(std::span<u64> data, u32 max_key_bits = 64) {
+  radix_sort(data, [](u64 x) { return x; }, max_key_bits);
+}
+
+}  // namespace pim::par

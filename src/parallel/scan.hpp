@@ -1,0 +1,89 @@
+// Parallel prefix sums (scans) over contiguous sequences.
+//
+// Blocked two-pass implementation: per-block sums, scan of block sums,
+// per-block local scans. Work is O(n) (counted from real operations);
+// depth is charged analytically as O(log n) — the bound of the cited
+// binary-forking scan [9] — per the cost-model convention documented in
+// DESIGN.md §2.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/math_util.hpp"
+#include "common/types.hpp"
+#include "parallel/cost_model.hpp"
+#include "parallel/fork_join.hpp"
+
+namespace pim::par {
+
+/// Exclusive scan in place: data[i] becomes op(data[0..i)); returns the
+/// total reduction of all elements.
+template <typename T, typename Op>
+T scan_exclusive(std::span<T> data, T identity, Op op) {
+  const u64 n = data.size();
+  return charged_region(2 * ceil_log2(n + 2), [&]() -> T {
+    if (n == 0) return identity;
+    const u64 block = std::max<u64>(u64{2048}, ceil_div(n, u64{8} * ThreadPool::instance().lanes()));
+    const u64 blocks = ceil_div(n, block);
+    std::vector<T> sums(blocks, identity);
+    parallel_for(blocks, [&](u64 b) {
+      T acc = identity;
+      const u64 hi = std::min(n, (b + 1) * block);
+      for (u64 i = b * block; i < hi; ++i) {
+        acc = op(acc, data[i]);
+        charge_work(1);
+      }
+      sums[b] = acc;
+    });
+    T total = identity;
+    for (u64 b = 0; b < blocks; ++b) {
+      const T s = sums[b];
+      sums[b] = total;
+      total = op(total, s);
+      charge_work(1);
+    }
+    parallel_for(blocks, [&](u64 b) {
+      T acc = sums[b];
+      const u64 hi = std::min(n, (b + 1) * block);
+      for (u64 i = b * block; i < hi; ++i) {
+        const T v = data[i];
+        data[i] = acc;
+        acc = op(acc, v);
+        charge_work(1);
+      }
+    });
+    return total;
+  });
+}
+
+/// Exclusive prefix sum of u64 values; returns total.
+inline u64 scan_exclusive_sum(std::span<u64> data) {
+  return scan_exclusive(data, u64{0}, [](u64 a, u64 b) { return a + b; });
+}
+
+/// Parallel reduction.
+template <typename T, typename Op>
+T reduce(std::span<const T> data, T identity, Op op) {
+  const u64 n = data.size();
+  return charged_region(ceil_log2(n + 2), [&]() -> T {
+    if (n == 0) return identity;
+    const u64 block = std::max<u64>(u64{2048}, ceil_div(n, u64{8} * ThreadPool::instance().lanes()));
+    const u64 blocks = ceil_div(n, block);
+    std::vector<T> sums(blocks, identity);
+    parallel_for(blocks, [&](u64 b) {
+      T acc = identity;
+      const u64 hi = std::min(n, (b + 1) * block);
+      for (u64 i = b * block; i < hi; ++i) {
+        acc = op(acc, data[i]);
+        charge_work(1);
+      }
+      sums[b] = acc;
+    });
+    T total = identity;
+    for (u64 b = 0; b < blocks; ++b) total = op(total, sums[b]);
+    return total;
+  });
+}
+
+}  // namespace pim::par

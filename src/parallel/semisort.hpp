@@ -1,0 +1,106 @@
+// Linear-work semisort / deduplication by key.
+//
+// The paper's batched Get/Update starts with a parallel semisort [9, 18]
+// to collapse duplicate keys, so that the per-operation CPU work stays
+// O(1) expected. A comparison sort would cost O(log B) per element, which
+// would break Table 1's CPU-work column — hence this hash-based grouping:
+// keys are inserted into a linear-probing table keyed by a salted hash;
+// the first occurrence of each key becomes the group representative.
+// Expected work O(n); depth charged analytically as O(log n) whp [18].
+#pragma once
+
+#include <atomic>
+#include <span>
+#include <vector>
+
+#include "common/math_util.hpp"
+#include "common/types.hpp"
+#include "parallel/cost_model.hpp"
+#include "parallel/fork_join.hpp"
+#include "parallel/sequence_ops.hpp"
+#include "random/hash_fn.hpp"
+
+namespace pim::par {
+
+/// Result of deduplicating a sequence of keys.
+struct DedupResult {
+  /// Indices (into the input) of the first occurrence of each distinct
+  /// key, in input order of first occurrence rank after packing.
+  std::vector<u64> representatives;
+  /// For every input position, the position in `representatives` of its
+  /// key's representative.
+  std::vector<u64> group_of;
+};
+
+/// Deduplicates keys[0..n). Expected O(n) work; O(log n) depth.
+template <typename K, typename KeyHash>
+DedupResult dedup_keys(std::span<const K> keys, const KeyHash& hash) {
+  const u64 n = keys.size();
+  return charged_region(2 * ceil_log2(n + 2), [&]() -> DedupResult {
+    DedupResult result;
+    result.group_of.assign(n, 0);
+    if (n == 0) return result;
+
+    const u64 capacity = next_pow2(2 * n);
+    const u64 mask = capacity - 1;
+    constexpr u64 kEmpty = UINT64_MAX;
+    // slot -> index of the winning (first-seen) input position.
+    std::vector<std::atomic<u64>> table(capacity);
+    parallel_for(capacity, [&](u64 i) { table[i].store(kEmpty, std::memory_order_relaxed); },
+                 1u << 14);
+
+    // Insert each position; the smallest input index wins a slot so the
+    // result is deterministic regardless of execution interleaving.
+    parallel_for(n, [&](u64 i) {
+      u64 slot = hash(static_cast<u64>(keys[i])) & mask;
+      while (true) {
+        charge_work(1);
+        u64 cur = table[slot].load(std::memory_order_acquire);
+        if (cur == kEmpty) {
+          if (table[slot].compare_exchange_strong(cur, i, std::memory_order_acq_rel)) break;
+        }
+        if (cur != kEmpty) {
+          if (keys[cur] == keys[i]) {
+            // Same key: keep the smaller index as winner.
+            while (cur > i && !table[slot].compare_exchange_weak(cur, i, std::memory_order_acq_rel)) {
+              if (cur == kEmpty || keys[cur] != keys[i]) break;
+            }
+            if (keys[table[slot].load(std::memory_order_acquire)] == keys[i]) break;
+          }
+          slot = (slot + 1) & mask;
+        }
+      }
+    });
+
+    // A position is a representative iff it won its key's slot.
+    std::vector<u64> winner_of(n);
+    parallel_for(n, [&](u64 i) {
+      u64 slot = hash(static_cast<u64>(keys[i])) & mask;
+      while (true) {
+        charge_work(1);
+        const u64 cur = table[slot].load(std::memory_order_acquire);
+        PIM_DCHECK(cur != kEmpty, "dedup: key vanished from table");
+        if (keys[cur] == keys[i]) {
+          winner_of[i] = cur;
+          break;
+        }
+        slot = (slot + 1) & mask;
+      }
+    });
+
+    result.representatives = pack_index(n, [&](u64 i) { return winner_of[i] == i; });
+    // rank of each representative among representatives
+    std::vector<u64> rank(n, 0);
+    parallel_for(result.representatives.size(), [&](u64 r) {
+      rank[result.representatives[r]] = r;
+      charge_work(1);
+    });
+    parallel_for(n, [&](u64 i) {
+      result.group_of[i] = rank[winner_of[i]];
+      charge_work(1);
+    });
+    return result;
+  });
+}
+
+}  // namespace pim::par

@@ -1,0 +1,62 @@
+// Parallel sequence operations built on scan: pack (filter), map, tabulate.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "parallel/fork_join.hpp"
+#include "parallel/scan.hpp"
+
+namespace pim::par {
+
+/// Returns the elements of data whose keep flag is set, preserving order.
+/// Work O(n), depth O(log n).
+template <typename T, typename Keep>
+std::vector<T> pack(std::span<const T> data, Keep keep) {
+  const u64 n = data.size();
+  std::vector<u64> offsets(n);
+  parallel_for(n, [&](u64 i) {
+    offsets[i] = keep(data[i]) ? 1 : 0;
+    charge_work(1);
+  });
+  const u64 total = scan_exclusive_sum(offsets);
+  std::vector<T> out(total);
+  parallel_for(n, [&](u64 i) {
+    const bool kept = (i + 1 < n ? offsets[i + 1] : total) != offsets[i];
+    if (kept) out[offsets[i]] = data[i];
+    charge_work(1);
+  });
+  return out;
+}
+
+/// Returns indices i in [0, n) with keep(i) true, in increasing order.
+template <typename Keep>
+std::vector<u64> pack_index(u64 n, Keep keep) {
+  std::vector<u64> offsets(n);
+  parallel_for(n, [&](u64 i) {
+    offsets[i] = keep(i) ? 1 : 0;
+    charge_work(1);
+  });
+  const u64 total = scan_exclusive_sum(offsets);
+  std::vector<u64> out(total);
+  parallel_for(n, [&](u64 i) {
+    const bool kept = (i + 1 < n ? offsets[i + 1] : total) != offsets[i];
+    if (kept) out[offsets[i]] = i;
+    charge_work(1);
+  });
+  return out;
+}
+
+/// out[i] = fn(i) for i in [0, n).
+template <typename T, typename Fn>
+std::vector<T> tabulate(u64 n, Fn fn) {
+  std::vector<T> out(n);
+  parallel_for(n, [&](u64 i) {
+    out[i] = fn(i);
+    charge_work(1);
+  });
+  return out;
+}
+
+}  // namespace pim::par

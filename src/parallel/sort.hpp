@@ -1,0 +1,95 @@
+// Parallel comparison sort.
+//
+// Blocked merge sort: sort ~8*lanes blocks in parallel, then log(blocks)
+// rounds of pairwise merges. Work is counted from real comparisons plus
+// one unit per element move; depth is charged analytically as O(log n)
+// whp, the bound of the binary-forking sort the paper cites [9]
+// (DESIGN.md §2 documents this convention).
+#pragma once
+
+#include <algorithm>
+#include <span>
+#include <vector>
+
+#include "common/math_util.hpp"
+#include "common/types.hpp"
+#include "parallel/cost_model.hpp"
+#include "parallel/fork_join.hpp"
+
+namespace pim::par {
+
+namespace detail {
+
+/// Comparator wrapper that charges one work unit per comparison.
+template <typename Less>
+struct CountingLess {
+  Less less;
+  template <typename T>
+  bool operator()(const T& a, const T& b) const {
+    charge_work(1);
+    return less(a, b);
+  }
+};
+
+}  // namespace detail
+
+template <typename T, typename Less>
+void parallel_sort(std::span<T> data, Less less) {
+  const u64 n = data.size();
+  charged_region(ceil_log2(n + 2), [&] {
+    if (n <= 1) return;
+    detail::CountingLess<Less> cless{less};
+    const u64 lanes = ThreadPool::instance().lanes();
+    const u64 min_block = 1u << 13;
+    if (n <= min_block || lanes == 1) {
+      std::sort(data.begin(), data.end(), cless);
+      return;
+    }
+    const u64 blocks_pow2 = next_pow2(std::min<u64>(ceil_div(n, min_block), 4 * lanes));
+    const u64 block = ceil_div(n, blocks_pow2);
+    parallel_for(blocks_pow2, [&](u64 b) {
+      const u64 lo = std::min(n, b * block);
+      const u64 hi = std::min(n, (b + 1) * block);
+      std::sort(data.begin() + lo, data.begin() + hi, cless);
+    });
+    std::vector<T> buffer(data.begin(), data.end());
+    u64 width = block;
+    bool into_buffer = true;
+    while (width < n) {
+      std::span<T> from = into_buffer ? std::span<T>(data) : std::span<T>(buffer);
+      std::span<T> to = into_buffer ? std::span<T>(buffer) : std::span<T>(data);
+      const u64 pairs = ceil_div(n, 2 * width);
+      parallel_for(pairs, [&](u64 p) {
+        const u64 lo = p * 2 * width;
+        const u64 mid = std::min(n, lo + width);
+        const u64 hi = std::min(n, lo + 2 * width);
+        std::merge(from.begin() + lo, from.begin() + mid, from.begin() + mid, from.begin() + hi,
+                   to.begin() + lo, cless);
+        charge_work(hi - lo);
+      });
+      width *= 2;
+      into_buffer = !into_buffer;
+    }
+    if (into_buffer == false) {
+      // Result currently in buffer; copy back.
+      parallel_for(n, [&](u64 i) { data[i] = buffer[i]; }, 1u << 14);
+    }
+  });
+}
+
+template <typename T>
+void parallel_sort(std::span<T> data) {
+  parallel_sort(data, std::less<T>{});
+}
+
+template <typename T, typename Less>
+void parallel_sort(std::vector<T>& data, Less less) {
+  parallel_sort(std::span<T>(data), less);
+}
+
+template <typename T>
+void parallel_sort(std::vector<T>& data) {
+  parallel_sort(std::span<T>(data), std::less<T>{});
+}
+
+}  // namespace pim::par

@@ -1,0 +1,101 @@
+#include "parallel/thread_pool.hpp"
+
+#include <atomic>
+#include <cstdlib>
+
+namespace pim::par {
+namespace {
+
+thread_local bool tls_on_worker = false;
+
+u32 default_workers() {
+  if (const char* env = std::getenv("PIM_NUM_THREADS")) {
+    const long requested = std::strtol(env, nullptr, 10);
+    if (requested >= 1) return static_cast<u32>(requested - 1);
+  }
+  const u32 hw = std::thread::hardware_concurrency();
+  return hw > 1 ? hw - 1 : 0;
+}
+
+}  // namespace
+
+ThreadPool& ThreadPool::instance() {
+  static ThreadPool pool{default_workers()};
+  return pool;
+}
+
+ThreadPool::ThreadPool(u32 workers) {
+  threads_.reserve(workers);
+  for (u32 i = 0; i < workers; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mu_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+bool ThreadPool::on_worker() { return tls_on_worker; }
+
+void ThreadPool::run_batch(const std::function<void(u32)>& task, u32 count) {
+  if (count == 0) return;
+  // Reentrant (nested) regions and pools with no workers run inline.
+  if (threads_.empty() || on_worker()) {
+    for (u32 i = 0; i < count; ++i) task(i);
+    return;
+  }
+
+  Batch batch;
+  batch.task = &task;
+  batch.count = count;
+  {
+    std::lock_guard lock(mu_);
+    batch_ = &batch;
+    ++batch_epoch_;
+  }
+  cv_work_.notify_all();
+
+  // The calling thread participates.
+  for (u32 i = batch.next.fetch_add(1); i < count; i = batch.next.fetch_add(1)) {
+    (*batch.task)(i);
+    batch.done.fetch_add(1, std::memory_order_acq_rel);
+  }
+
+  // Wait until every task completed AND every worker has released its
+  // reference to `batch` (it is a stack object).
+  std::unique_lock lock(mu_);
+  cv_done_.wait(lock, [&] {
+    return batch.done.load(std::memory_order_acquire) == count &&
+           batch.refs.load(std::memory_order_acquire) == 0;
+  });
+  batch_ = nullptr;
+}
+
+void ThreadPool::worker_loop() {
+  tls_on_worker = true;
+  u64 seen_epoch = 0;
+  while (true) {
+    Batch* batch = nullptr;
+    {
+      std::unique_lock lock(mu_);
+      cv_work_.wait(lock, [&] { return stop_ || (batch_ != nullptr && batch_epoch_ != seen_epoch); });
+      if (stop_) return;
+      batch = batch_;
+      seen_epoch = batch_epoch_;
+      batch->refs.fetch_add(1, std::memory_order_acq_rel);
+    }
+    for (u32 i = batch->next.fetch_add(1); i < batch->count; i = batch->next.fetch_add(1)) {
+      (*batch->task)(i);
+      batch->done.fetch_add(1, std::memory_order_acq_rel);
+    }
+    batch->refs.fetch_sub(1, std::memory_order_acq_rel);
+    cv_done_.notify_one();
+  }
+}
+
+}  // namespace pim::par

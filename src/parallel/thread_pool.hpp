@@ -1,0 +1,67 @@
+// A small fixed-size thread pool used by the fork-join layer.
+//
+// Scheduling here is an execution detail: the cost model (work/depth) is
+// computed structurally and is identical whether a loop runs on 1 or N
+// host threads. The pool exists so that large simulations exploit the
+// host's cores when it has any to spare.
+//
+// Nested parallel regions execute inline on the worker that encounters
+// them (no blocking a worker on another worker), which is deadlock-free
+// and keeps the accounting unchanged.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace pim::par {
+
+class ThreadPool {
+ public:
+  /// The process-wide pool. Size: hardware_concurrency - 1 workers (the
+  /// calling thread always participates), overridable with
+  /// PIM_NUM_THREADS before first use.
+  static ThreadPool& instance();
+
+  explicit ThreadPool(u32 workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total execution lanes = workers + the calling thread.
+  u32 lanes() const { return static_cast<u32>(threads_.size()) + 1; }
+
+  /// Runs tasks[0..count) across the pool and the calling thread; returns
+  /// when all have completed. Reentrant calls run everything inline.
+  void run_batch(const std::function<void(u32)>& task, u32 count);
+
+  /// True if the current thread is one of this pool's workers.
+  static bool on_worker();
+
+ private:
+  struct Batch {
+    const std::function<void(u32)>* task = nullptr;
+    u32 count = 0;
+    std::atomic<u32> next{0};
+    std::atomic<u32> done{0};
+    std::atomic<u32> refs{0};  // workers currently holding a pointer
+  };
+
+  void worker_loop();
+
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  Batch* batch_ = nullptr;  // guarded by mu_ for pointer handoff
+  u64 batch_epoch_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace pim::par

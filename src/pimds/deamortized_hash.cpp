@@ -1,0 +1,199 @@
+#include "pimds/deamortized_hash.hpp"
+
+#include <algorithm>
+
+namespace pim::pimds {
+namespace {
+
+/// Eviction steps performed per public operation. Constant, so per-op work
+/// is constant outside rehashes.
+constexpr u64 kStepsPerOp = 4;
+
+}  // namespace
+
+DeamortizedHash::DeamortizedHash(u64 seed, u64 initial_capacity) : seeder_(seed) {
+  capacity_ = next_pow2(std::max<u64>(initial_capacity, 8));
+  table1_.assign(capacity_, Entry{});
+  table2_.assign(capacity_, Entry{});
+  h1_ = rnd::KeyedHash(seeder_());
+  h2_ = rnd::KeyedHash(seeder_());
+}
+
+void DeamortizedHash::reserve(u64 expected) {
+  const u64 needed = next_pow2(std::max<u64>(8, 2 * expected + 1));
+  if (needed > capacity_) rehash(needed, /*count_event=*/false);
+}
+
+u64 DeamortizedHash::upsert(Key key, u64 value) {
+  u64 work = 2;
+  Entry& e1 = table1_[slot1(key)];
+  if (e1.used && e1.key == key) {
+    e1.value = value;
+    return work + settle(kStepsPerOp);
+  }
+  Entry& e2 = table2_[slot2(key)];
+  if (e2.used && e2.key == key) {
+    e2.value = value;
+    return work + settle(kStepsPerOp);
+  }
+  // Pending queue may already hold this key.
+  for (auto& p : pending_) {
+    ++work;
+    if (p.key == key) {
+      p.value = value;
+      return work + settle(kStepsPerOp);
+    }
+  }
+  pending_.push_back(Pending{key, value});
+  ++size_;
+  ++work;
+  // Grow before the table saturates; 2*capacity_ slots total.
+  if (2 * size_ > capacity_) {  // load factor 0.5 over both tables
+    work += rehash(capacity_ * 2);
+  }
+  return work + settle(kStepsPerOp);
+}
+
+DeamortizedHash::FindResult DeamortizedHash::find(Key key) const {
+  FindResult r;
+  r.work = 2;
+  const Entry& e1 = table1_[slot1(key)];
+  if (e1.used && e1.key == key) {
+    r.found = true;
+    r.value = e1.value;
+    return r;
+  }
+  const Entry& e2 = table2_[slot2(key)];
+  if (e2.used && e2.key == key) {
+    r.found = true;
+    r.value = e2.value;
+    return r;
+  }
+  for (const auto& p : pending_) {
+    ++r.work;
+    if (p.key == key) {
+      r.found = true;
+      r.value = p.value;
+      return r;
+    }
+  }
+  return r;
+}
+
+DeamortizedHash::EraseResult DeamortizedHash::erase(Key key) {
+  EraseResult r;
+  r.work = 2;
+  Entry& e1 = table1_[slot1(key)];
+  if (e1.used && e1.key == key) {
+    e1.used = false;
+    --size_;
+    r.erased = true;
+    r.work += settle(kStepsPerOp);
+    return r;
+  }
+  Entry& e2 = table2_[slot2(key)];
+  if (e2.used && e2.key == key) {
+    e2.used = false;
+    --size_;
+    r.erased = true;
+    r.work += settle(kStepsPerOp);
+    return r;
+  }
+  for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+    ++r.work;
+    if (it->key == key) {
+      pending_.erase(it);
+      --size_;
+      r.erased = true;
+      r.work += settle(kStepsPerOp);
+      return r;
+    }
+  }
+  r.work += settle(kStepsPerOp);
+  return r;
+}
+
+u64 DeamortizedHash::settle(u64 steps) {
+  u64 work = 0;
+  while (steps > 0 && !pending_.empty()) {
+    Pending p = pending_.front();
+    pending_.pop_front();
+    // Try to place p, evicting along the cuckoo path for up to the
+    // remaining step budget.
+    u32 side = 0;
+    bool placed = false;
+    while (steps > 0) {
+      --steps;
+      ++work;
+      Entry& e = side == 0 ? table1_[slot1(p.key)] : table2_[slot2(p.key)];
+      if (!e.used) {
+        e = Entry{p.key, p.value, true};
+        placed = true;
+        break;
+      }
+      std::swap(e.key, p.key);
+      std::swap(e.value, p.value);
+      side ^= 1;
+    }
+    if (!placed) {
+      pending_.push_front(p);
+      break;
+    }
+  }
+  if (pending_.size() > max_pending()) {
+    // The cuckoo graph is unlucky for the current seeds: rebuild.
+    work += rehash(capacity_ * 2);
+  }
+  return work;
+}
+
+u64 DeamortizedHash::rehash(u64 new_capacity, bool count_event) {
+  if (count_event) ++rehashes_;
+  std::vector<Pending> all;
+  all.reserve(size_);
+  for (const auto& e : table1_)
+    if (e.used) all.push_back(Pending{e.key, e.value});
+  for (const auto& e : table2_)
+    if (e.used) all.push_back(Pending{e.key, e.value});
+  for (const auto& p : pending_) all.push_back(p);
+  u64 work = 2 * capacity_ + pending_.size();
+
+  for (int attempt = 0;; ++attempt) {
+    PIM_CHECK(attempt < 64, "cuckoo rehash failed 64 times");
+    capacity_ = std::max(next_pow2(new_capacity), u64{8});
+    table1_.assign(capacity_, Entry{});
+    table2_.assign(capacity_, Entry{});
+    pending_.clear();
+    h1_ = rnd::KeyedHash(seeder_());
+    h2_ = rnd::KeyedHash(seeder_());
+    bool ok = true;
+    for (const auto& p : all) {
+      // Standard bounded cuckoo insertion during rebuild.
+      Pending cur = p;
+      u32 side = 0;
+      bool placed = false;
+      for (u64 tries = 0; tries < 4 + 2 * floor_log2(capacity_); ++tries) {
+        ++work;
+        Entry& e = side == 0 ? table1_[slot1(cur.key)] : table2_[slot2(cur.key)];
+        if (!e.used) {
+          e = Entry{cur.key, cur.value, true};
+          placed = true;
+          break;
+        }
+        std::swap(e.key, cur.key);
+        std::swap(e.value, cur.value);
+        side ^= 1;
+      }
+      if (!placed) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) break;
+    // Retry with fresh seeds (and more space, to guarantee progress).
+    new_capacity = capacity_ * 2;
+  }
+  return work;
+}
+
+}  // namespace pim::pimds

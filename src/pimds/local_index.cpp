@@ -1,0 +1,181 @@
+#include "pimds/local_index.hpp"
+
+#include <cstdlib>
+#include <new>
+#include <utility>
+
+namespace pim::pimds {
+
+namespace {
+u64 node_words(u32 height) { return 3 + height; }
+}  // namespace
+
+LocalOrderedIndex::LocalOrderedIndex(u64 seed) : rng_(seed) {
+  head_ = make_node(kMinKey, 0, kMaxHeight);
+  words_ = node_words(kMaxHeight);
+}
+
+LocalOrderedIndex::~LocalOrderedIndex() {
+  Node* node = head_;
+  while (node != nullptr) {
+    Node* next = node->next[0];
+    free_node(node);
+    node = next;
+  }
+}
+
+LocalOrderedIndex::LocalOrderedIndex(LocalOrderedIndex&& other) noexcept
+    : head_(std::exchange(other.head_, nullptr)),
+      rng_(other.rng_),
+      size_(std::exchange(other.size_, 0)),
+      words_(std::exchange(other.words_, 0)),
+      height_(std::exchange(other.height_, 1)) {}
+
+LocalOrderedIndex& LocalOrderedIndex::operator=(LocalOrderedIndex&& other) noexcept {
+  if (this != &other) {
+    Node* node = head_;
+    while (node != nullptr) {
+      Node* next = node->next[0];
+      free_node(node);
+      node = next;
+    }
+    head_ = std::exchange(other.head_, nullptr);
+    rng_ = other.rng_;
+    size_ = std::exchange(other.size_, 0);
+    words_ = std::exchange(other.words_, 0);
+    height_ = std::exchange(other.height_, 1);
+  }
+  return *this;
+}
+
+LocalOrderedIndex::Node* LocalOrderedIndex::make_node(Key key, u64 value, u32 height) {
+  const size_t bytes = sizeof(Node) + (height - 1) * sizeof(Node*);
+  void* mem = ::operator new(bytes);
+  Node* node = static_cast<Node*>(mem);
+  node->key = key;
+  node->value = value;
+  node->height = height;
+  for (u32 i = 0; i < height; ++i) node->next[i] = nullptr;
+  return node;
+}
+
+void LocalOrderedIndex::free_node(Node* node) { ::operator delete(static_cast<void*>(node)); }
+
+const LocalOrderedIndex::Node* LocalOrderedIndex::search_geq(Key k, u64* work) const {
+  const Node* node = head_;
+  for (i32 level = static_cast<i32>(height_) - 1; level >= 0; --level) {
+    while (node->next[level] != nullptr && node->next[level]->key < k) {
+      node = node->next[level];
+      ++*work;
+    }
+    ++*work;
+  }
+  return node->next[0];
+}
+
+u64 LocalOrderedIndex::upsert(Key key, u64 value) {
+  PIM_CHECK(key != kMinKey, "kMinKey is reserved for the head sentinel");
+  u64 work = 0;
+  Node* update[kMaxHeight];
+  Node* node = head_;
+  for (i32 level = static_cast<i32>(height_) - 1; level >= 0; --level) {
+    while (node->next[level] != nullptr && node->next[level]->key < key) {
+      node = node->next[level];
+      ++work;
+    }
+    update[level] = node;
+    ++work;
+  }
+  Node* hit = node->next[0];
+  if (hit != nullptr && hit->key == key) {
+    hit->value = value;
+    return work + 1;
+  }
+
+  const u32 height = 1 + rng_.geometric_levels(kMaxHeight - 1);
+  if (height > height_) {
+    for (u32 level = height_; level < height; ++level) update[level] = head_;
+    height_ = height;
+  }
+  Node* fresh = make_node(key, value, height);
+  for (u32 level = 0; level < height; ++level) {
+    fresh->next[level] = update[level]->next[level];
+    update[level]->next[level] = fresh;
+    ++work;
+  }
+  ++size_;
+  words_ += node_words(height);
+  return work;
+}
+
+u64 LocalOrderedIndex::erase(Key key, bool* erased) {
+  u64 work = 0;
+  Node* update[kMaxHeight];
+  Node* node = head_;
+  for (i32 level = static_cast<i32>(height_) - 1; level >= 0; --level) {
+    while (node->next[level] != nullptr && node->next[level]->key < key) {
+      node = node->next[level];
+      ++work;
+    }
+    update[level] = node;
+    ++work;
+  }
+  Node* hit = node->next[0];
+  if (hit == nullptr || hit->key != key) {
+    if (erased != nullptr) *erased = false;
+    return work;
+  }
+  for (u32 level = 0; level < hit->height; ++level) {
+    if (update[level]->next[level] == hit) {
+      update[level]->next[level] = hit->next[level];
+      ++work;
+    }
+  }
+  words_ -= node_words(hit->height);
+  free_node(hit);
+  --size_;
+  while (height_ > 1 && head_->next[height_ - 1] == nullptr) --height_;
+  if (erased != nullptr) *erased = true;
+  return work;
+}
+
+LocalOrderedIndex::FindResult LocalOrderedIndex::find(Key key) const {
+  FindResult r;
+  const Node* node = search_geq(key, &r.work);
+  if (node != nullptr && node->key == key) {
+    r.found = true;
+    r.value = node->value;
+  }
+  return r;
+}
+
+LocalOrderedIndex::SuccResult LocalOrderedIndex::successor(Key k) const {
+  SuccResult r;
+  const Node* node = search_geq(k, &r.work);
+  if (node != nullptr) {
+    r.found = true;
+    r.key = node->key;
+    r.value = node->value;
+  }
+  return r;
+}
+
+LocalOrderedIndex::SuccResult LocalOrderedIndex::predecessor(Key k) const {
+  SuccResult r;
+  const Node* node = head_;
+  for (i32 level = static_cast<i32>(height_) - 1; level >= 0; --level) {
+    while (node->next[level] != nullptr && node->next[level]->key <= k) {
+      node = node->next[level];
+      ++r.work;
+    }
+    ++r.work;
+  }
+  if (node != head_) {
+    r.found = true;
+    r.key = node->key;
+    r.value = node->value;
+  }
+  return r;
+}
+
+}  // namespace pim::pimds

@@ -1,0 +1,102 @@
+// Per-module ordered index: a sequential skiplist over one module's local
+// keys.
+//
+// Two users:
+//  * pim::core — each module keeps its local leaves in key order (the
+//    paper's local-left / local-right leaf list); this index maintains
+//    that order and answers the local-successor queries that broadcast
+//    range operations start from (DESIGN.md documents this as the
+//    maintenance mechanism behind the paper's next-leaf pointers).
+//  * pim::baseline — the range-partitioned skiplist stores each
+//    partition's keys in one of these.
+//
+// Operations return unit-work counts (link traversals) so the module-side
+// caller can charge the simulator.
+#pragma once
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+#include "random/rng.hpp"
+
+namespace pim::pimds {
+
+class LocalOrderedIndex {
+ public:
+  explicit LocalOrderedIndex(u64 seed);
+  ~LocalOrderedIndex();
+
+  LocalOrderedIndex(const LocalOrderedIndex&) = delete;
+  LocalOrderedIndex& operator=(const LocalOrderedIndex&) = delete;
+  LocalOrderedIndex(LocalOrderedIndex&& other) noexcept;
+  LocalOrderedIndex& operator=(LocalOrderedIndex&& other) noexcept;
+
+  struct FindResult {
+    bool found = false;
+    u64 value = 0;
+    u64 work = 0;
+  };
+  struct SuccResult {
+    bool found = false;
+    Key key = 0;
+    u64 value = 0;
+    u64 work = 0;
+  };
+
+  /// Inserts or overwrites; returns unit-work.
+  u64 upsert(Key key, u64 value);
+
+  /// Removes key if present; returns unit-work (erased flag via pointer).
+  u64 erase(Key key, bool* erased = nullptr);
+
+  FindResult find(Key key) const;
+
+  /// Smallest key >= k (the module-local successor).
+  SuccResult successor(Key k) const;
+  /// Largest key <= k.
+  SuccResult predecessor(Key k) const;
+
+  /// Visits (key, value) pairs in ascending order starting from the
+  /// smallest key >= from, while fn(key, value) returns true. Returns
+  /// unit-work (search + one per visited pair).
+  template <typename Fn>
+  u64 scan_from(Key from, Fn&& fn) const {
+    u64 work = 0;
+    const Node* node = search_geq(from, &work);
+    while (node != nullptr) {
+      ++work;
+      if (!fn(node->key, node->value)) break;
+      node = node->next[0];
+    }
+    return work;
+  }
+
+  u64 size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Accounted footprint in machine words (~tower sizes + entries).
+  u64 words() const { return words_; }
+
+ private:
+  static constexpr u32 kMaxHeight = 40;
+
+  struct Node {
+    Key key;
+    u64 value;
+    u32 height;
+    Node* next[1];  // flexible array: height pointers
+  };
+
+  Node* make_node(Key key, u64 value, u32 height);
+  static void free_node(Node* node);
+
+  /// First node with key >= k, or nullptr; adds traversal work to *work.
+  const Node* search_geq(Key k, u64* work) const;
+
+  Node* head_ = nullptr;  // sentinel, full height
+  mutable rnd::Xoshiro256ss rng_;
+  u64 size_ = 0;
+  u64 words_ = 0;
+  u32 height_ = 1;  // current max used height
+};
+
+}  // namespace pim::pimds

@@ -1,0 +1,63 @@
+// Keyed hash functions.
+//
+// The skiplist places the lower-part node (key, level) on module
+// hash(key, level) mod P, and each module's local hash table needs an
+// independent function. Both are built on a strong 64-bit finalizer
+// (a murmur3/xxhash-style avalanche mix) keyed by a private seed. The
+// adversary chooses keys before the structure draws its seed, so whp
+// balls-in-bins bounds (Lemmas 2.1/2.2) apply to any fixed key set.
+#pragma once
+
+#include "common/types.hpp"
+#include "random/rng.hpp"
+
+namespace pim::rnd {
+
+/// Strong 64-bit mixer (xxhash3-style avalanche).
+constexpr u64 mix64(u64 x) {
+  x ^= x >> 32;
+  x *= 0xD6E8FEB86659FD93ull;
+  x ^= x >> 32;
+  x *= 0xD6E8FEB86659FD93ull;
+  x ^= x >> 32;
+  return x;
+}
+
+/// Combines two words into one hash (order-sensitive).
+constexpr u64 mix2(u64 a, u64 b) { return mix64(a + 0x9E3779B97F4A7C15ull * (b + 1)); }
+
+/// A keyed hash family: each instance (seed) is one function from the
+/// family. Cheap to copy; stateless apart from the seed.
+class KeyedHash {
+ public:
+  KeyedHash() = default;
+  explicit KeyedHash(u64 seed) : seed_(mix64(seed ^ 0x2545F4914F6CDD1Dull)) {}
+
+  u64 operator()(u64 x) const { return mix64(x ^ seed_); }
+  u64 operator()(u64 a, u64 b) const { return mix64(mix2(a ^ seed_, b)); }
+
+  u64 seed() const { return seed_; }
+
+ private:
+  u64 seed_ = 0x9E3779B97F4A7C15ull;
+};
+
+/// Maps (key, level) pairs to modules; this is the paper's random placement
+/// of lower-part nodes.
+class PlacementHash {
+ public:
+  PlacementHash() = default;
+  PlacementHash(u64 seed, u32 modules) : hash_(seed), modules_(modules) {}
+
+  ModuleId module_of(Key key, u32 level) const {
+    return static_cast<ModuleId>(hash_(static_cast<u64>(key), level) % modules_);
+  }
+
+  u32 modules() const { return modules_; }
+
+ private:
+  KeyedHash hash_;
+  u32 modules_ = 1;
+};
+
+}  // namespace pim::rnd

@@ -1,0 +1,109 @@
+// Deterministic, seedable random number generation.
+//
+// Two generators:
+//  * SplitMix64 — tiny state, used for seeding and cheap stateless hashes.
+//  * Xoshiro256ss — the workhorse generator (xoshiro256**), fast and with
+//    solid statistical quality; satisfies std::uniform_random_bit_generator
+//    so it composes with <random> distributions when needed.
+//
+// Everything in the library that draws random bits takes an explicit
+// generator or seed: runs are reproducible and the adversary (workload
+// generators) can be kept blind to the structure's private seeds, as the
+// paper's adversary model requires.
+#pragma once
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace pim::rnd {
+
+/// SplitMix64 step: advances *state and returns the next 64-bit output.
+constexpr u64 splitmix64(u64& state) {
+  state += 0x9E3779B97F4A7C15ull;
+  u64 z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+class Xoshiro256ss {
+ public:
+  using result_type = u64;
+
+  explicit Xoshiro256ss(u64 seed = 0x5DEECE66Dull) { reseed(seed); }
+
+  void reseed(u64 seed) {
+    // Seed expansion through SplitMix64, as recommended by the xoshiro
+    // authors, so nearby seeds yield uncorrelated streams.
+    u64 sm = seed;
+    for (auto& word : s_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return UINT64_MAX; }
+
+  result_type operator()() {
+    const u64 result = rotl(s_[1] * 5, 7) * 9;
+    const u64 t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be nonzero. Uses Lemire's
+  /// multiply-shift rejection method (unbiased).
+  u64 below(u64 bound) {
+    PIM_DCHECK(bound != 0, "below(0)");
+    u64 x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    u64 low = static_cast<u64>(m);
+    if (low < bound) {
+      const u64 threshold = (0 - bound) % bound;
+      while (low < threshold) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * bound;
+        low = static_cast<u64>(m);
+      }
+    }
+    return static_cast<u64>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  i64 range(i64 lo, i64 hi) {
+    PIM_DCHECK(lo <= hi, "range: lo > hi");
+    const u64 span = static_cast<u64>(hi) - static_cast<u64>(lo) + 1;
+    if (span == 0) return static_cast<i64>((*this)());  // full 64-bit range
+    return static_cast<i64>(static_cast<u64>(lo) + below(span));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform01() { return static_cast<double>((*this)() >> 11) * 0x1.0p-53; }
+
+  /// Fair coin.
+  bool coin() { return ((*this)() >> 63) != 0; }
+
+  /// Geometric(1/2) level draw, capped: returns the number of heads before
+  /// the first tail, at most `cap`. This is the skip-list tower height
+  /// above the leaf level.
+  u32 geometric_levels(u32 cap) {
+    u32 levels = 0;
+    while (levels < cap && coin()) ++levels;
+    return levels;
+  }
+
+  /// Split off an independently-seeded child generator (for per-thread or
+  /// per-phase streams).
+  Xoshiro256ss split() {
+    return Xoshiro256ss{(*this)() ^ 0xA3EC647659359ACDull};
+  }
+
+ private:
+  static constexpr u64 rotl(u64 x, int k) { return (x << k) | (x >> (64 - k)); }
+  u64 s_[4] = {};
+};
+
+}  // namespace pim::rnd

@@ -1,0 +1,67 @@
+// Zipf-distributed sampler over {0, ..., n-1} with exponent theta.
+//
+// Used by the workload generators to produce skewed key popularity — the
+// regime where range-partitioned baselines lose PIM-balance. Sampling uses
+// the rejection-inversion method of Hörmann & Derflinger, which needs no
+// O(n) table and is exact for any n and theta > 0.
+#pragma once
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+#include "random/rng.hpp"
+
+namespace pim::rnd {
+
+class ZipfSampler {
+ public:
+  /// n: universe size (ranks 0..n-1, rank 0 most popular).
+  /// theta: skew exponent; theta ~ 0.99 is the YCSB default, larger is
+  /// more skewed. theta must be > 0 and != 1 is handled via the general
+  /// harmonic forms below.
+  ZipfSampler(u64 n, double theta) : n_(n), theta_(theta) {
+    PIM_CHECK(n >= 1, "ZipfSampler needs n >= 1");
+    PIM_CHECK(theta > 0.0, "ZipfSampler needs theta > 0");
+    h_x1_ = h(1.5) - 1.0;
+    h_n_ = h(static_cast<double>(n) + 0.5);
+    s_ = 2.0 - h_inv(h(2.5) - std::pow(2.0, -theta));
+  }
+
+  /// Draws a rank in [0, n).
+  u64 operator()(Xoshiro256ss& rng) const {
+    while (true) {
+      const double u = h_n_ + rng.uniform01() * (h_x1_ - h_n_);
+      const double x = h_inv(u);
+      u64 k = static_cast<u64>(x + 0.5);
+      if (k < 1) k = 1;
+      if (k > n_) k = n_;
+      const double kd = static_cast<double>(k);
+      if (kd - x <= s_ || u >= h(kd + 0.5) - std::pow(kd, -theta_)) {
+        return k - 1;
+      }
+    }
+  }
+
+  u64 universe() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  // H(x) = integral of x^-theta; closed forms for theta == 1 and != 1.
+  double h(double x) const {
+    if (std::abs(theta_ - 1.0) < 1e-12) return std::log(x);
+    return (std::pow(x, 1.0 - theta_) - 1.0) / (1.0 - theta_);
+  }
+  double h_inv(double y) const {
+    if (std::abs(theta_ - 1.0) < 1e-12) return std::exp(y);
+    return std::pow(1.0 + y * (1.0 - theta_), 1.0 / (1.0 - theta_));
+  }
+
+  u64 n_;
+  double theta_;
+  double h_x1_;
+  double h_n_;
+  double s_;
+};
+
+}  // namespace pim::rnd

@@ -1,0 +1,231 @@
+#include "sim/machine.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "parallel/thread_pool.hpp"
+
+namespace pim::sim {
+
+// ---------------- ModuleCtx ----------------
+
+u32 ModuleCtx::modules() const { return machine_.modules(); }
+
+void ModuleCtx::charge(u64 w) {
+  if (machine_.offline_) return;
+  machine_.per_module_[id_].work += w;
+}
+
+void ModuleCtx::reply(u64 slot, u64 value) {
+  PIM_CHECK(slot < machine_.mailbox_.size(), "reply: mailbox slot out of range");
+  if (out_ != nullptr) {
+    PendingWrite w{slot, {value}, 1, false};
+    out_->writes.push_back(w);
+  } else {
+    machine_.mailbox_[slot] = value;
+    machine_.note_slot_write(slot);
+  }
+  if (!machine_.offline_) machine_.count_out(id_);
+}
+
+void ModuleCtx::reply_block(u64 slot, std::span<const u64> values) {
+  PIM_CHECK(values.size() <= kMaxTaskArgs, "reply_block exceeds constant message size");
+  PIM_CHECK(slot + values.size() <= machine_.mailbox_.size(), "reply_block: mailbox overflow");
+  if (out_ != nullptr) {
+    PendingWrite w{slot, {}, static_cast<u32>(values.size()), false};
+    std::copy(values.begin(), values.end(), w.words);
+    out_->writes.push_back(w);
+  } else {
+    std::copy(values.begin(), values.end(), machine_.mailbox_.begin() + static_cast<i64>(slot));
+    machine_.note_slot_write(slot);
+  }
+  if (!machine_.offline_) machine_.count_out(id_);
+}
+
+void ModuleCtx::reply_add(u64 slot, u64 delta) {
+  PIM_CHECK(slot < machine_.mailbox_.size(), "reply_add: mailbox slot out of range");
+  if (out_ != nullptr) {
+    PendingWrite w{slot, {delta}, 1, true};
+    out_->writes.push_back(w);
+  } else {
+    machine_.mailbox_[slot] += delta;
+    machine_.note_slot_write(slot);
+  }
+  if (!machine_.offline_) machine_.count_out(id_);
+}
+
+void ModuleCtx::forward(ModuleId m, const Handler* fn, std::span<const u64> args) {
+  PIM_CHECK(m < machine_.modules(), "forward: bad module id");
+  if (out_ != nullptr) {
+    out_->forwards.push_back(Message{m, make_task(fn, args)});
+  } else {
+    machine_.enqueue_pending(m, make_task(fn, args));
+  }
+  if (!machine_.offline_) machine_.count_out(id_);  // module -> CPU hop, this round
+  // The CPU -> m hop is charged when the task is delivered next round.
+}
+
+void ModuleCtx::add_space(i64 words) {
+  auto& space = machine_.per_module_[id_].space_words;
+  if (words < 0) {
+    const u64 dec = static_cast<u64>(-words);
+    PIM_CHECK(space >= dec, "module space underflow");
+    space -= dec;
+  } else {
+    space += static_cast<u64>(words);
+  }
+}
+
+// ---------------- Machine ----------------
+
+Machine::Machine(u32 modules, MachineOptions options)
+    : per_module_(modules), pending_(modules), options_(options), shuffle_rng_(options.shuffle_seed) {
+  PIM_CHECK(modules >= 1, "machine needs at least one module");
+}
+
+void Machine::enqueue_pending(ModuleId m, Task task) {
+  pending_[m].push_back(task);
+  ++pending_total_;
+}
+
+void Machine::count_out(ModuleId m, u64 n) {
+  // messages_ is folded in at the barrier (round_out is per-module and
+  // only touched by the module's own execution lane).
+  per_module_[m].round_out += n;
+}
+
+void Machine::note_slot_write(u64 slot) {
+  if (!options_.track_write_contention || offline_) return;
+  ++round_slot_writes_[slot];
+}
+
+void Machine::send(ModuleId m, const Handler* fn, std::span<const u64> args) {
+  PIM_CHECK(m < modules(), "send: bad module id");
+  enqueue_pending(m, make_task(fn, args));
+}
+
+void Machine::broadcast(const Handler* fn, std::span<const u64> args) {
+  Task task = make_task(fn, args);
+  for (ModuleId m = 0; m < modules(); ++m) enqueue_pending(m, task);
+}
+
+void Machine::execute_module(ModuleId m, ModuleCtx& ctx) {
+  auto& pm = per_module_[m];
+  // Only the tasks present at round start run this round.
+  u64 budget = pm.queue.size();
+  while (budget-- > 0) {
+    Task task = pm.queue.front();
+    pm.queue.pop_front();
+    PIM_CHECK(task.fn != nullptr, "null task handler");
+    (*task.fn)(ctx, task.arg_span());
+  }
+}
+
+void Machine::apply_write(const ModuleCtx::PendingWrite& w) {
+  if (w.add) {
+    mailbox_[w.slot] += w.words[0];
+  } else {
+    std::copy(w.words, w.words + w.n, mailbox_.begin() + static_cast<i64>(w.slot));
+  }
+  note_slot_write(w.slot);
+}
+
+void Machine::run_round() {
+  PIM_CHECK(!in_round_, "run_round is not reentrant");
+  in_round_ = true;
+  round_slot_writes_.clear();
+
+  // Deliver: move pending into module queues; count incoming messages.
+  for (ModuleId m = 0; m < modules(); ++m) {
+    auto& pm = per_module_[m];
+    pm.round_in = pending_[m].size();
+    pm.round_out = 0;
+    for (auto& task : pending_[m]) pm.queue.push_back(task);
+    pending_[m].clear();
+  }
+  pending_total_ = 0;
+
+  // Execute. Tasks emitted during execution (forwards) land in pending_
+  // for next round; replies become visible at the barrier.
+  if (options_.order == ExecOrder::kParallel && modules() > 1) {
+    // Concurrent module execution with buffered side effects, merged in
+    // module order below — bit-identical to sequential execution.
+    std::vector<ModuleCtx::OutBuffer> buffers(modules());
+    par::ThreadPool::instance().run_batch(
+        [&](u32 m) {
+          ModuleCtx ctx(*this, m, &buffers[m]);
+          execute_module(m, ctx);
+        },
+        modules());
+    for (ModuleId m = 0; m < modules(); ++m) {
+      for (const auto& w : buffers[m].writes) apply_write(w);
+      for (const auto& msg : buffers[m].forwards) enqueue_pending(msg.target, msg.task);
+    }
+  } else {
+    std::vector<ModuleId> order(modules());
+    std::iota(order.begin(), order.end(), 0u);
+    if (options_.order == ExecOrder::kShuffled) {
+      for (u32 i = modules(); i > 1; --i) std::swap(order[i - 1], order[shuffle_rng_.below(i)]);
+    }
+    for (ModuleId m : order) {
+      ModuleCtx ctx(*this, m);
+      execute_module(m, ctx);
+    }
+  }
+
+  // Barrier: h_r = max over modules of (in + out); fold message counts.
+  u64 h = 0;
+  for (const auto& pm : per_module_) {
+    h = std::max(h, pm.round_in + pm.round_out);
+    messages_ += pm.round_in + pm.round_out;
+  }
+  last_round_h_ = h;
+  io_time_ += h;
+  ++rounds_;
+  mailbox_highwater_ = std::max<u64>(mailbox_highwater_, mailbox_.size());
+  if (options_.track_write_contention) {
+    u32 max_writes = 0;
+    for (const auto& [slot, count] : round_slot_writes_) max_writes = std::max(max_writes, count);
+    write_contention_ += max_writes;
+  }
+  in_round_ = false;
+}
+
+u64 Machine::run_until_quiescent() {
+  u64 executed = 0;
+  while (!idle()) {
+    PIM_CHECK(executed < options_.max_rounds_per_drain, "run_until_quiescent: round limit hit");
+    run_round();
+    ++executed;
+  }
+  return executed;
+}
+
+Snapshot Machine::snapshot() const {
+  Snapshot s;
+  s.io_time = io_time_;
+  s.rounds = rounds_;
+  s.messages = messages_;
+  s.write_contention = write_contention_;
+  s.module_work.resize(modules());
+  for (ModuleId m = 0; m < modules(); ++m) s.module_work[m] = per_module_[m].work;
+  return s;
+}
+
+MachineDelta Machine::delta(const Snapshot& since) const {
+  MachineDelta d;
+  d.io_time = io_time_ - since.io_time;
+  d.rounds = rounds_ - since.rounds;
+  d.messages = messages_ - since.messages;
+  d.write_contention = write_contention_ - since.write_contention;
+  d.sync_cost = d.rounds * log2_at_least1(modules());
+  PIM_CHECK(since.module_work.size() == per_module_.size(), "snapshot from another machine");
+  for (ModuleId m = 0; m < modules(); ++m) {
+    const u64 w = per_module_[m].work - since.module_work[m];
+    d.pim_time = std::max(d.pim_time, w);
+    d.pim_work_total += w;
+  }
+  return d;
+}
+
+}  // namespace pim::sim

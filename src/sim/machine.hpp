@@ -1,0 +1,226 @@
+// The PIM machine simulator.
+//
+// Implements the model of paper §2.1 (Fig. 1): P PIM modules (core + local
+// memory) connected to the CPU side by a network operating in
+// bulk-synchronous rounds. The simulator executes module tasks and
+// accounts, exactly as the model defines them:
+//
+//   * h-relations: in each round, h_r = max over modules of (messages
+//     delivered to + sent from that module); IO time accumulates Σ h_r.
+//   * PIM time: handlers call ctx.charge(w) for local work; per-module
+//     cumulative counters give max-over-modules for any measured span.
+//   * synchronization: each barrier costs log P; MachineDelta reports
+//     rounds · log P as sync_cost (the paper separates this from IO time
+//     and lets it dominate only for Theorem 5.1-style O(1)-IO operations).
+//   * forwards (PIM→PIM offload): routed through the CPU side — the
+//     outgoing hop is charged to the sender in the current round and the
+//     incoming hop to the receiver in the next round, matching the paper's
+//     "return a value to shared memory, which causes the offload from the
+//     CPU side".
+//   * queue-write variant (§2.1 discussion, left as future work by the
+//     paper): optionally counts, per round, the maximum number of writes
+//     landing on one shared-memory word; Σ over rounds is reported as
+//     write_contention.
+//
+// Execution order within a round is module-by-module FIFO by default and
+// deterministic. Two more executors exist: kShuffled (random module order,
+// used by tests to verify order-independence) and kParallel (modules run
+// concurrently on the host thread pool with buffered side effects —
+// results and metrics are bit-identical to sequential execution; handlers
+// must only touch their own module's state, which is the model's
+// discipline anyway).
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/math_util.hpp"
+#include "common/types.hpp"
+#include "random/rng.hpp"
+#include "sim/message.hpp"
+#include "sim/metrics.hpp"
+
+namespace pim::sim {
+
+class Machine;
+
+/// Execution-order policy for module processing within a round.
+enum class ExecOrder {
+  kSequential,  // modules 0..P-1 in order (default, deterministic)
+  kShuffled,    // random module order each round (order-independence tests)
+  kParallel,    // host-parallel with buffered side effects (deterministic)
+};
+
+struct MachineOptions {
+  ExecOrder order = ExecOrder::kSequential;
+  u64 shuffle_seed = 0xC0FFEEull;
+  /// Count per-round max writes to a single shared-memory word (the
+  /// queue-write model variant).
+  bool track_write_contention = false;
+  /// Safety valve for run_until_quiescent.
+  u64 max_rounds_per_drain = 1u << 22;
+};
+
+/// Handle given to module task handlers. All communication and accounting
+/// goes through this object.
+class ModuleCtx {
+ public:
+  ModuleId id() const { return id_; }
+  u32 modules() const;
+
+  /// Charge local work on this PIM core.
+  void charge(u64 w);
+
+  /// Write one word into the CPU-side mailbox (shared memory). Counts one
+  /// module→CPU message.
+  void reply(u64 slot, u64 value);
+
+  /// Write up to kMaxTaskArgs consecutive words starting at `slot`;
+  /// counts one message (messages carry a constant number of words).
+  void reply_block(u64 slot, std::span<const u64> values);
+
+  /// Accumulate into a shared-memory word (the model allows concurrent
+  /// writes; see §2.1's queue-write discussion). Counts one message.
+  void reply_add(u64 slot, u64 delta);
+
+  /// Offload a task to another module via the CPU side (2 message hops:
+  /// out now, in next round). Forwarding to self is allowed (the task is
+  /// re-queued next round; both hops are still charged, matching the
+  /// model's routing through shared memory).
+  void forward(ModuleId m, const Handler* fn, std::span<const u64> args);
+  void forward(ModuleId m, const Handler* fn, std::initializer_list<u64> args) {
+    forward(m, fn, std::span<const u64>(args.begin(), args.size()));
+  }
+
+  /// Adjust this module's accounted local-memory footprint (words).
+  void add_space(i64 words);
+
+ private:
+  friend class Machine;
+
+  /// Buffered side effect (parallel executor).
+  struct PendingWrite {
+    u64 slot;
+    u64 words[kMaxTaskArgs];
+    u32 n;
+    bool add;
+  };
+  struct OutBuffer {
+    std::vector<PendingWrite> writes;
+    std::vector<Message> forwards;
+  };
+
+  ModuleCtx(Machine& machine, ModuleId id, OutBuffer* out = nullptr)
+      : machine_(machine), id_(id), out_(out) {}
+  Machine& machine_;
+  ModuleId id_;
+  OutBuffer* out_;
+};
+
+class Machine {
+ public:
+  explicit Machine(u32 modules, MachineOptions options = {});
+
+  u32 modules() const { return static_cast<u32>(per_module_.size()); }
+
+  // ---- CPU-side message injection (delivered next round) ----
+
+  void send(ModuleId m, const Handler* fn, std::span<const u64> args);
+  void send(ModuleId m, const Handler* fn, std::initializer_list<u64> args) {
+    send(m, fn, std::span<const u64>(args.begin(), args.size()));
+  }
+  /// One message to every module (an h=1 relation on its own).
+  void broadcast(const Handler* fn, std::span<const u64> args);
+  void broadcast(const Handler* fn, std::initializer_list<u64> args) {
+    broadcast(fn, std::span<const u64>(args.begin(), args.size()));
+  }
+
+  // ---- round execution ----
+
+  /// True if no messages are pending delivery.
+  bool idle() const { return pending_total_ == 0; }
+
+  /// Executes one bulk-synchronous round: delivers all pending messages,
+  /// runs module handlers, performs barrier accounting.
+  void run_round();
+
+  /// Runs rounds until idle. Returns the number of rounds executed.
+  u64 run_until_quiescent();
+
+  // ---- shared-memory mailbox (CPU side) ----
+
+  std::vector<u64>& mailbox() { return mailbox_; }
+  const std::vector<u64>& mailbox() const { return mailbox_; }
+
+  // ---- metrics ----
+
+  Snapshot snapshot() const;
+  MachineDelta delta(const Snapshot& since) const;
+  u64 io_time() const { return io_time_; }
+  u64 rounds() const { return rounds_; }
+  u64 messages() const { return messages_; }
+  u64 write_contention() const { return write_contention_; }
+  /// Largest mailbox (CPU shared memory) size observed at any barrier
+  /// since the last reset — the measured "M needed" of an operation
+  /// (Table 1's last column). measure() resets it automatically.
+  u64 mailbox_highwater() const { return mailbox_highwater_; }
+  void reset_mailbox_highwater() { mailbox_highwater_ = 0; }
+  u64 module_work(ModuleId m) const { return per_module_[m].work; }
+  u64 module_space(ModuleId m) const { return per_module_[m].space_words; }
+  /// h of the most recently completed round (diagnostics/tests).
+  u64 last_round_h() const { return last_round_h_; }
+
+  /// Construction/testing escape hatch: a context whose charges and
+  /// messages are NOT counted. Used only for offline bulk-build and test
+  /// setup; never inside measured operations.
+  ModuleCtx offline_ctx(ModuleId m) {
+    PIM_CHECK(m < modules(), "offline_ctx: bad module");
+    offline_ = true;
+    return ModuleCtx(*this, m);
+  }
+  /// Re-enables accounting after offline construction.
+  void finish_offline() { offline_ = false; }
+  bool offline() const { return offline_; }
+
+ private:
+  friend class ModuleCtx;
+
+  struct PerModule {
+    std::deque<Task> queue;  // delivered, not yet executed
+    u64 work = 0;            // cumulative local work
+    u64 space_words = 0;     // accounted local memory footprint
+    u64 round_in = 0;        // messages delivered this round
+    u64 round_out = 0;       // messages sent this round
+  };
+
+  void enqueue_pending(ModuleId m, Task task);
+  void count_out(ModuleId m, u64 n = 1);
+  void note_slot_write(u64 slot);
+  void apply_write(const ModuleCtx::PendingWrite& w);
+  void execute_module(ModuleId m, ModuleCtx& ctx);
+
+  std::vector<PerModule> per_module_;
+  // Messages injected by the CPU (or forwarded) since the last round
+  // started; delivered at the next run_round.
+  std::vector<std::vector<Task>> pending_;
+  u64 pending_total_ = 0;
+  std::vector<u64> mailbox_;
+
+  MachineOptions options_;
+  rnd::Xoshiro256ss shuffle_rng_;
+
+  u64 io_time_ = 0;
+  u64 rounds_ = 0;
+  u64 messages_ = 0;
+  u64 write_contention_ = 0;
+  u64 mailbox_highwater_ = 0;
+  u64 last_round_h_ = 0;
+  std::unordered_map<u64, u32> round_slot_writes_;  // queue-write tracking
+  bool offline_ = false;
+  bool in_round_ = false;
+};
+
+}  // namespace pim::sim

@@ -1,0 +1,31 @@
+// Helper to measure one operation's full PIM-model cost: machine delta
+// (IO time, rounds, PIM time) plus CPU work/depth from the cost model.
+#pragma once
+
+#include "parallel/cost_model.hpp"
+#include "sim/machine.hpp"
+#include "sim/metrics.hpp"
+
+namespace pim::sim {
+
+/// Runs `fn` and returns its cost. All CPU-side charges made by fn (on
+/// this thread and through pim::par primitives) and all machine activity
+/// are attributed to the returned OpMetrics.
+template <typename Fn>
+OpMetrics measure(Machine& machine, Fn&& fn) {
+  const Snapshot before = machine.snapshot();
+  machine.reset_mailbox_highwater();
+  par::CostCounters cpu;
+  {
+    par::CostScope scope(cpu);
+    fn();
+  }
+  OpMetrics m;
+  m.machine = machine.delta(before);
+  m.machine.shared_mem = machine.mailbox_highwater();
+  m.cpu_work = cpu.work;
+  m.cpu_depth = cpu.depth;
+  return m;
+}
+
+}  // namespace pim::sim

@@ -1,0 +1,52 @@
+// Message and task types for the simulated PIM network.
+//
+// Per the model (paper §2.1): a CPU core offloads work with a TaskSend
+// instruction naming a PIM module and a task (function + arguments); each
+// message carries a constant number of words; tasks write their results
+// back to shared memory. A PIM module "offloads to another module" by
+// returning to shared memory, which re-offloads from the CPU side — the
+// simulator's `forward` models exactly that two-hop route.
+#pragma once
+
+#include <functional>
+#include <span>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace pim::sim {
+
+class ModuleCtx;
+
+/// Module-side task body. Handlers live in the owning data structure (as
+/// std::function members, typically lambdas capturing the structure) and
+/// must outlive any machine round that can still deliver them.
+using Handler = std::function<void(ModuleCtx&, std::span<const u64>)>;
+
+/// Maximum argument words per message. The model requires constant-size
+/// messages; this is that constant. PIM_CHECKed at send time.
+inline constexpr u32 kMaxTaskArgs = 8;
+
+struct Task {
+  const Handler* fn = nullptr;
+  u32 nargs = 0;
+  u64 args[kMaxTaskArgs] = {};
+
+  std::span<const u64> arg_span() const { return {args, nargs}; }
+};
+
+struct Message {
+  ModuleId target = 0;
+  Task task;
+};
+
+inline Task make_task(const Handler* fn, std::span<const u64> args) {
+  PIM_CHECK(args.size() <= kMaxTaskArgs, "task exceeds constant message size");
+  Task t;
+  t.fn = fn;
+  t.nargs = static_cast<u32>(args.size());
+  for (u32 i = 0; i < t.nargs; ++i) t.args[i] = args[i];
+  return t;
+}
+
+}  // namespace pim::sim

@@ -1,0 +1,64 @@
+// Cumulative machine counters and span deltas.
+//
+// The PIM model's metrics (paper §2.1):
+//   * IO time      = Σ_r h_r, where h_r = max over PIM modules of messages
+//                    to/from that module in bulk-synchronous round r.
+//   * rounds       = number of bulk-synchronous rounds (each barrier costs
+//                    log P; reported separately).
+//   * PIM time     = max over modules of local work.
+//   * messages     = total messages (the "I" in the PIM-balance test:
+//                    an algorithm is PIM-balanced if IO time = O(I/P) and
+//                    PIM time = O(W/P)).
+// CPU work/depth come from the pim::par cost model and are combined with a
+// machine delta in OpMetrics by the operation drivers.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace pim::sim {
+
+/// Snapshot of a machine's cumulative counters.
+struct Snapshot {
+  u64 io_time = 0;
+  u64 rounds = 0;
+  u64 messages = 0;
+  u64 write_contention = 0;
+  std::vector<u64> module_work;  // cumulative local work per module
+};
+
+/// Difference between two snapshots — the machine-side cost of one
+/// measured span (e.g., one batch operation).
+struct MachineDelta {
+  u64 io_time = 0;
+  u64 rounds = 0;
+  u64 messages = 0;
+  u64 pim_time = 0;           // max over modules of work in the span
+  u64 pim_work_total = 0;     // total PIM work in the span
+  u64 sync_cost = 0;          // rounds * log P (the paper's barrier cost)
+  u64 write_contention = 0;   // queue-write variant (0 unless tracked)
+  u64 shared_mem = 0;         // mailbox high-water during the span (M needed)
+};
+
+/// Full cost of one batch operation: machine delta + CPU work/depth.
+struct OpMetrics {
+  MachineDelta machine;
+  u64 cpu_work = 0;
+  u64 cpu_depth = 0;
+
+  OpMetrics& operator+=(const OpMetrics& o) {
+    machine.io_time += o.machine.io_time;
+    machine.rounds += o.machine.rounds;
+    machine.messages += o.machine.messages;
+    machine.pim_time += o.machine.pim_time;
+    machine.pim_work_total += o.machine.pim_work_total;
+    machine.sync_cost += o.machine.sync_cost;
+    machine.write_contention += o.machine.write_contention;
+    cpu_work += o.cpu_work;
+    cpu_depth += o.cpu_depth;
+    return *this;
+  }
+};
+
+}  // namespace pim::sim

@@ -1,0 +1,144 @@
+#include "workload/generators.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/error.hpp"
+#include "random/hash_fn.hpp"
+
+namespace pim::workload {
+
+Dataset make_uniform_dataset(u64 n, u64 seed, Key domain_lo, Key domain_hi) {
+  Dataset data;
+  data.domain_lo = domain_lo;
+  data.domain_hi = domain_hi;
+  rnd::Xoshiro256ss rng(seed);
+  std::map<Key, Value> m;
+  while (m.size() < n) m.emplace(rng.range(domain_lo, domain_hi), rng());
+  data.pairs.assign(m.begin(), m.end());
+  return data;
+}
+
+namespace {
+
+/// The widest gap between consecutive stored keys (or the whole domain
+/// when empty) — the adversary's favorite place to aim successor queries.
+std::pair<Key, Key> widest_gap(const Dataset& data) {
+  if (data.pairs.empty()) return {data.domain_lo, data.domain_hi};
+  Key best_lo = data.domain_lo;
+  Key best_hi = data.pairs.front().first;
+  auto consider = [&](Key lo, Key hi) {
+    if (hi - lo > best_hi - best_lo) {
+      best_lo = lo;
+      best_hi = hi;
+    }
+  };
+  for (u64 i = 0; i + 1 < data.pairs.size(); ++i) {
+    consider(data.pairs[i].first, data.pairs[i + 1].first);
+  }
+  consider(data.pairs.back().first, data.domain_hi);
+  return {best_lo, best_hi};
+}
+
+std::vector<Key> distinct_keys_in(Key lo, Key hi, u64 size, rnd::Xoshiro256ss& rng) {
+  PIM_CHECK(hi > lo, "empty interval");
+  std::set<Key> keys;
+  const u64 span = static_cast<u64>(hi - lo);
+  if (span <= size) {
+    // Degenerate: take every key in the interval (batch shrinks).
+    for (Key k = lo; k < hi; ++k) keys.insert(k);
+  } else {
+    while (keys.size() < size) keys.insert(lo + static_cast<Key>(rng.below(span)));
+  }
+  return {keys.begin(), keys.end()};
+}
+
+}  // namespace
+
+std::vector<Key> point_batch(const Dataset& data, Skew skew, u64 size, u64 seed,
+                             double zipf_theta, u32 parts) {
+  rnd::Xoshiro256ss rng(seed);
+  std::vector<Key> out;
+  out.reserve(size);
+  switch (skew) {
+    case Skew::kUniform:
+      for (u64 i = 0; i < size; ++i) out.push_back(rng.range(data.domain_lo, data.domain_hi));
+      break;
+    case Skew::kZipf: {
+      PIM_CHECK(!data.pairs.empty(), "Zipf batch needs stored keys");
+      rnd::ZipfSampler zipf(data.pairs.size(), zipf_theta);
+      // Rank -> key via a fixed pseudo-random permutation of the stored
+      // keys, so popular keys are spread over the key space.
+      for (u64 i = 0; i < size; ++i) {
+        const u64 rank = zipf(rng);
+        const u64 idx = rnd::mix2(rank, 0x5eedu) % data.pairs.size();
+        out.push_back(data.pairs[idx].first);
+      }
+      break;
+    }
+    case Skew::kSameSuccessor: {
+      const auto [lo, hi] = widest_gap(data);
+      out = distinct_keys_in(lo + 1, hi, size, rng);
+      break;
+    }
+    case Skew::kSinglePartition: {
+      const __int128 span =
+          (static_cast<__int128>(data.domain_hi) - data.domain_lo) / std::max<u32>(parts, 1);
+      const Key lo = data.domain_lo + static_cast<Key>(span);  // inside partition 1
+      const Key hi = lo + static_cast<Key>(span);
+      for (u64 i = 0; i < size; ++i) out.push_back(rng.range(lo, hi - 1));
+      break;
+    }
+  }
+  return out;
+}
+
+std::vector<std::pair<Key, Value>> insert_batch(const Dataset& data, Skew skew, u64 size,
+                                                u64 seed, u32 parts) {
+  rnd::Xoshiro256ss rng(seed);
+  std::set<Key> existing;
+  for (const auto& [k, v] : data.pairs) existing.insert(k);
+  std::vector<std::pair<Key, Value>> out;
+  out.reserve(size);
+  Key lo = data.domain_lo, hi = data.domain_hi;
+  if (skew == Skew::kSinglePartition) {
+    const __int128 span =
+        (static_cast<__int128>(data.domain_hi) - data.domain_lo) / std::max<u32>(parts, 1);
+    lo = data.domain_lo + static_cast<Key>(span);
+    hi = lo + static_cast<Key>(span);
+  } else if (skew == Skew::kSameSuccessor) {
+    const auto gap = widest_gap(data);
+    lo = gap.first + 1;
+    hi = gap.second;
+  }
+  std::set<Key> fresh;
+  while (fresh.size() < size) {
+    const Key k = rng.range(lo, hi - 1);
+    if (existing.count(k) == 0) fresh.insert(k);
+  }
+  for (const Key k : fresh) out.push_back({k, rng()});
+  return out;
+}
+
+std::vector<std::pair<Key, Key>> range_batch(const Dataset& data, u64 count, u64 avg_span,
+                                             u64 seed) {
+  rnd::Xoshiro256ss rng(seed);
+  // Express span in key-space units using the dataset's density.
+  const double density =
+      data.pairs.empty()
+          ? 1.0
+          : static_cast<double>(data.domain_hi - data.domain_lo) / data.pairs.size();
+  std::vector<std::pair<Key, Key>> out;
+  out.reserve(count);
+  for (u64 i = 0; i < count; ++i) {
+    const Key lo = rng.range(data.domain_lo, data.domain_hi);
+    const u64 width = 1 + rng.below(std::max<u64>(1, 2 * avg_span));
+    const Key hi =
+        std::min<Key>(data.domain_hi, lo + static_cast<Key>(width * density) + 1);
+    out.push_back({lo, hi});
+  }
+  return out;
+}
+
+}  // namespace pim::workload

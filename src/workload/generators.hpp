@@ -1,0 +1,54 @@
+// Workload generation for tests, examples and benches.
+//
+// The paper's adversary model (§2.1): batches are same-operation, have a
+// minimum size, and may be chosen adversarially — but cannot depend on the
+// structure's random choices. Every generator here uses only public
+// information (the key set and domain) plus its own seed, never a
+// structure's private seeds.
+#pragma once
+
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+#include "random/rng.hpp"
+#include "random/zipf.hpp"
+
+namespace pim::workload {
+
+enum class Skew {
+  kUniform,          // uniform over the domain
+  kZipf,             // Zipf-ranked popularity over the existing keys
+  kSameSuccessor,    // §4.2 adversary: distinct keys, one shared successor
+  kSinglePartition,  // all keys inside one narrow key interval
+};
+
+struct Dataset {
+  Key domain_lo = 0;
+  Key domain_hi = 1'000'000'000;
+  /// The currently-stored keys, sorted (what an adversary can observe).
+  std::vector<std::pair<Key, Value>> pairs;
+};
+
+/// n sorted unique (key, value) pairs uniform over [domain_lo, domain_hi].
+Dataset make_uniform_dataset(u64 n, u64 seed, Key domain_lo = 0,
+                             Key domain_hi = 1'000'000'000);
+
+/// A batch of point-query keys drawn per `skew`. For kSameSuccessor, the
+/// batch consists of `size` distinct keys inside the widest gap between
+/// stored keys — every query has the same successor. For kSinglePartition,
+/// keys are confined to a 1/P-fraction interval of the domain (`parts`
+/// controls the fraction).
+std::vector<Key> point_batch(const Dataset& data, Skew skew, u64 size, u64 seed,
+                             double zipf_theta = 0.99, u32 parts = 64);
+
+/// A batch of fresh (not currently stored) keys to insert, per skew.
+std::vector<std::pair<Key, Value>> insert_batch(const Dataset& data, Skew skew, u64 size,
+                                                u64 seed, u32 parts = 64);
+
+/// A batch of inclusive range queries with expected span `avg_span` keys.
+std::vector<std::pair<Key, Key>> range_batch(const Dataset& data, u64 count, u64 avg_span,
+                                             u64 seed);
+
+}  // namespace pim::workload

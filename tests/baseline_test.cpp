@@ -1,0 +1,227 @@
+// Differential tests for the baseline stores (range-partitioned and
+// hash-partitioned), so the comparison benches compare correct systems.
+#include <gtest/gtest.h>
+
+#include "baseline/hash_partition_store.hpp"
+#include "baseline/range_partition_store.hpp"
+#include "test_util.hpp"
+
+namespace pim::baseline {
+namespace {
+
+using test::RefModel;
+
+class BaselineStores : public ::testing::TestWithParam<u32> {};
+
+TEST_P(BaselineStores, RangePartitionPointOps) {
+  sim::Machine machine(GetParam());
+  RangePartitionStore store(machine);
+  RefModel ref;
+  rnd::Xoshiro256ss rng(81);
+  const auto pairs = test::make_sorted_pairs(400, rng);
+  store.build(pairs);
+  for (const auto& [k, v] : pairs) ref.upsert(k, v);
+
+  // Upserts (inserts + updates).
+  std::vector<std::pair<Key, Value>> ups;
+  for (int i = 0; i < 200; ++i) ups.push_back({rng.range(0, 1'000'000'000), rng()});
+  store.batch_upsert(ups);
+  {
+    std::set<Key> seen;
+    for (const auto& [k, v] : ups) {
+      if (seen.insert(k).second) ref.upsert(k, v);
+    }
+  }
+  EXPECT_EQ(store.size(), ref.size());
+
+  // Gets.
+  auto keys = test::random_keys(300, rng);
+  for (const auto& [k, v] : ups) keys.push_back(k);
+  const auto results = store.batch_get(keys);
+  for (u64 i = 0; i < keys.size(); ++i) {
+    Value v;
+    const bool found = ref.get(keys[i], &v);
+    ASSERT_EQ(results[i].found, found) << keys[i];
+    if (found) EXPECT_EQ(results[i].value, v);
+  }
+
+  // Deletes.
+  std::vector<Key> dels;
+  for (int i = 0; i < 100; ++i) dels.push_back(keys[rng.below(keys.size())]);
+  const auto erased = store.batch_delete(dels);
+  {
+    std::set<Key> seen;
+    for (u64 i = 0; i < dels.size(); ++i) {
+      const bool expect = ref.map().count(dels[i]) > 0 || seen.count(dels[i]) > 0;
+      EXPECT_EQ(static_cast<bool>(erased[i]), expect);
+      if (ref.erase(dels[i])) seen.insert(dels[i]);
+    }
+  }
+  EXPECT_EQ(store.size(), ref.size());
+}
+
+TEST_P(BaselineStores, RangePartitionSuccessorCrossesPartitions) {
+  sim::Machine machine(GetParam());
+  RangePartitionStore store(machine);
+  RefModel ref;
+  rnd::Xoshiro256ss rng(83);
+  const auto pairs = test::make_sorted_pairs(300, rng);
+  store.build(pairs);
+  for (const auto& [k, v] : pairs) ref.upsert(k, v);
+
+  auto keys = test::random_keys(400, rng, -100, 1'100'000'000);
+  keys.push_back(pairs.back().first + 1);  // past the last partition
+  const auto succ = store.batch_successor(keys);
+  for (u64 i = 0; i < keys.size(); ++i) {
+    Key expect;
+    const bool found = ref.successor(keys[i], &expect);
+    ASSERT_EQ(succ[i].found, found) << keys[i];
+    if (found) EXPECT_EQ(succ[i].key, expect);
+  }
+}
+
+TEST_P(BaselineStores, RangePartitionRangeAggregate) {
+  sim::Machine machine(GetParam());
+  RangePartitionStore store(machine);
+  RefModel ref;
+  rnd::Xoshiro256ss rng(87);
+  const auto pairs = test::make_sorted_pairs(500, rng, 0, 1'000'000'000);
+  store.build(pairs);
+  for (const auto& [k, v] : pairs) ref.upsert(k, v);
+
+  for (int t = 0; t < 20; ++t) {
+    const Key lo = rng.range(0, 1'000'000'000);
+    const Key hi = rng.range(lo, 1'000'000'000);
+    const auto agg = store.range_aggregate(lo, hi);
+    const auto [count, sum] = ref.range_count_sum(lo, hi);
+    EXPECT_EQ(agg.count, count);
+    EXPECT_EQ(agg.sum, sum);
+  }
+
+  std::vector<std::pair<Key, Key>> queries;
+  for (int t = 0; t < 30; ++t) {
+    const Key lo = rng.range(0, 1'000'000'000);
+    queries.push_back({lo, std::min<Key>(1'000'000'000, lo + 50'000'000)});
+  }
+  const auto got = store.batch_range_aggregate(queries);
+  for (u64 i = 0; i < queries.size(); ++i) {
+    const auto [count, sum] = ref.range_count_sum(queries[i].first, queries[i].second);
+    EXPECT_EQ(got[i].count, count);
+    EXPECT_EQ(got[i].sum, sum);
+  }
+}
+
+TEST_P(BaselineStores, RangePartitionSkewConcentratesKeys) {
+  // The documented weakness: all inserts into one narrow interval land on
+  // one module.
+  const u32 p = GetParam();
+  if (p < 4) GTEST_SKIP();
+  sim::Machine machine(p);
+  RangePartitionStore store(machine);
+  rnd::Xoshiro256ss rng(89);
+  const auto pairs = test::make_sorted_pairs(p * 40, rng);
+  store.build(pairs);
+
+  std::vector<std::pair<Key, Value>> skewed;
+  const Key base = pairs[pairs.size() / 2].first;
+  for (int i = 1; i <= 200; ++i) skewed.push_back({base + i, 1});
+  store.batch_upsert(skewed);
+
+  u64 max_keys = 0, total = 0;
+  for (u32 m = 0; m < p; ++m) {
+    max_keys = std::max(max_keys, store.module_keys(m));
+    total += store.module_keys(m);
+  }
+  EXPECT_EQ(total, store.size());
+  EXPECT_GT(max_keys, 200u);  // one module absorbed the skewed run
+}
+
+TEST_P(BaselineStores, HashPartitionPointOps) {
+  sim::Machine machine(GetParam());
+  HashPartitionStore store(machine);
+  RefModel ref;
+  rnd::Xoshiro256ss rng(91);
+  const auto pairs = test::make_sorted_pairs(400, rng);
+  store.build(pairs);
+  for (const auto& [k, v] : pairs) ref.upsert(k, v);
+
+  std::vector<std::pair<Key, Value>> ups;
+  for (int i = 0; i < 200; ++i) ups.push_back({rng.range(0, 1'000'000'000), rng()});
+  store.batch_upsert(ups);
+  {
+    std::set<Key> seen;
+    for (const auto& [k, v] : ups) {
+      if (seen.insert(k).second) ref.upsert(k, v);
+    }
+  }
+  EXPECT_EQ(store.size(), ref.size());
+
+  auto keys = test::random_keys(300, rng);
+  const auto results = store.batch_get(keys);
+  for (u64 i = 0; i < keys.size(); ++i) {
+    Value v;
+    EXPECT_EQ(results[i].found, ref.get(keys[i], &v));
+  }
+
+  std::vector<Key> dels;
+  for (const auto& [k, v] : pairs) dels.push_back(k);
+  store.batch_delete(dels);
+  for (const Key k : dels) ref.erase(k);
+  EXPECT_EQ(store.size(), ref.size());
+}
+
+TEST_P(BaselineStores, HashPartitionSuccessorByBroadcast) {
+  sim::Machine machine(GetParam());
+  HashPartitionStore store(machine);
+  RefModel ref;
+  rnd::Xoshiro256ss rng(93);
+  const auto pairs = test::make_sorted_pairs(200, rng);
+  store.build(pairs);
+  for (const auto& [k, v] : pairs) ref.upsert(k, v);
+
+  const auto keys = test::random_keys(150, rng, -100, 1'100'000'000);
+  const auto succ = store.batch_successor(keys);
+  for (u64 i = 0; i < keys.size(); ++i) {
+    Key expect;
+    const bool found = ref.successor(keys[i], &expect);
+    ASSERT_EQ(succ[i].found, found) << keys[i];
+    if (found) EXPECT_EQ(succ[i].key, expect);
+  }
+}
+
+TEST_P(BaselineStores, HashPartitionRangeAggregate) {
+  sim::Machine machine(GetParam());
+  HashPartitionStore store(machine);
+  RefModel ref;
+  rnd::Xoshiro256ss rng(97);
+  const auto pairs = test::make_sorted_pairs(500, rng, 0, 100'000);
+  store.build(pairs);
+  for (const auto& [k, v] : pairs) ref.upsert(k, v);
+
+  for (int t = 0; t < 20; ++t) {
+    const Key lo = rng.range(0, 100'000);
+    const Key hi = rng.range(lo, 100'000);
+    const auto agg = store.range_aggregate(lo, hi);
+    const auto [count, sum] = ref.range_count_sum(lo, hi);
+    EXPECT_EQ(agg.count, count);
+    EXPECT_EQ(agg.sum, sum);
+  }
+}
+
+TEST_P(BaselineStores, HashPartitionBalancesSkewedKeys) {
+  const u32 p = GetParam();
+  if (p < 4) GTEST_SKIP();
+  sim::Machine machine(p);
+  HashPartitionStore store(machine);
+  std::vector<std::pair<Key, Value>> run;
+  for (Key k = 0; k < static_cast<Key>(p) * 64; ++k) run.push_back({k, 1});
+  store.build(run);
+  u64 max_keys = 0;
+  for (u32 m = 0; m < p; ++m) max_keys = std::max(max_keys, store.module_keys(m));
+  EXPECT_LT(max_keys, 64u * 4);  // near-even split despite sequential keys
+}
+
+INSTANTIATE_TEST_SUITE_P(Modules, BaselineStores, ::testing::Values(1u, 2u, 4u, 8u, 16u, 32u));
+
+}  // namespace
+}  // namespace pim::baseline

@@ -1,0 +1,100 @@
+// Lemma 4.2 and PIM-balance property tests (the paper's key balancing
+// guarantees, asserted — not just benched).
+#include <gtest/gtest.h>
+
+#include "core/pim_skiplist.hpp"
+#include "sim/measure.hpp"
+#include "test_util.hpp"
+#include "workload/generators.hpp"
+
+namespace pim::core {
+namespace {
+
+class Contention : public ::testing::TestWithParam<u32> {};
+
+PimSkipList::Options tracked() {
+  PimSkipList::Options opts;
+  opts.track_contention = true;
+  return opts;
+}
+
+TEST_P(Contention, Lemma42Stage1AtMostThreeAccessesPerPhase) {
+  const u32 p = GetParam();
+  sim::Machine machine(p);
+  PimSkipList list(machine, tracked());
+  const auto data = workload::make_uniform_dataset(512 * p, 131);
+  list.build(data.pairs);
+
+  const u64 batch = u64{p} * log2_at_least1(p) * log2_at_least1(p);
+  for (const auto skew :
+       {workload::Skew::kUniform, workload::Skew::kSameSuccessor, workload::Skew::kZipf}) {
+    const auto keys = workload::point_batch(data, skew, batch, 137);
+    (void)list.batch_successor(keys);
+    const auto& stats = list.last_pivot_stats();
+    for (u64 phase = 0; phase < stats.stage1_phase_max_access.size(); ++phase) {
+      EXPECT_LE(stats.stage1_phase_max_access[phase], 3u)
+          << "Lemma 4.2 violated in phase " << phase << " (skew " << static_cast<int>(skew)
+          << ")";
+    }
+  }
+}
+
+TEST_P(Contention, Stage2ContentionBoundedBySegmentLength) {
+  const u32 p = GetParam();
+  if (p < 4) GTEST_SKIP();
+  sim::Machine machine(p);
+  PimSkipList list(machine, tracked());
+  const auto data = workload::make_uniform_dataset(512 * p, 139);
+  list.build(data.pairs);
+
+  const u64 logp = log2_at_least1(p);
+  const auto keys =
+      workload::point_batch(data, workload::Skew::kUniform, u64{p} * logp * logp, 149);
+  (void)list.batch_successor(keys);
+  // O(log P) with a generous constant (the whp bound).
+  EXPECT_LE(list.last_pivot_stats().stage2_max_access, 8 * logp + 8);
+}
+
+TEST_P(Contention, AdversaryCannotUnbalancePimTime) {
+  // PIM-balance under the same-successor adversary: max module work stays
+  // within a polylog factor of the mean (a serialized batch would be ~P x).
+  const u32 p = GetParam();
+  if (p < 8) GTEST_SKIP();
+  sim::Machine machine(p);
+  PimSkipList list(machine, tracked());
+  const auto data = workload::make_uniform_dataset(512 * p, 151);
+  list.build(data.pairs);
+
+  const u64 logp = log2_at_least1(p);
+  const auto keys =
+      workload::point_batch(data, workload::Skew::kSameSuccessor, u64{p} * logp * logp, 157);
+  const auto m = sim::measure(machine, [&] { (void)list.batch_successor(keys); });
+  const double mean =
+      static_cast<double>(m.machine.pim_work_total) / static_cast<double>(p);
+  if (mean >= 1.0) {
+    EXPECT_LT(static_cast<double>(m.machine.pim_time), 40.0 * logp * std::max(1.0, mean))
+        << "adversarial batch unbalanced the PIM side";
+  }
+}
+
+TEST_P(Contention, NaiveBatchSerializesUnderAdversary) {
+  // The §4.2 negative result our balanced algorithm fixes: naive batching
+  // funnels the whole batch through one search path.
+  const u32 p = GetParam();
+  if (p < 8) GTEST_SKIP();
+  sim::Machine machine(p);
+  PimSkipList list(machine, tracked());
+  const auto data = workload::make_uniform_dataset(512 * p, 163);
+  list.build(data.pairs);
+
+  const u64 batch = u64{p} * log2_at_least1(p);
+  const auto keys = workload::point_batch(data, workload::Skew::kSameSuccessor, batch, 167);
+  (void)list.batch_successor_naive(keys);
+  // Every query visits the shared successor's leaf: contention ~ batch.
+  EXPECT_GE(list.last_pivot_stats().stage2_max_access, keys.size() / 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Modules, Contention, ::testing::Values(4u, 8u, 16u, 32u, 64u));
+
+}  // namespace
+}  // namespace pim::core

@@ -1,0 +1,136 @@
+// Executor equivalence and model-variant tests: the parallel (threaded)
+// module executor must produce bit-identical results and metrics to the
+// sequential one, across full skiplist workloads; the queue-write variant
+// must track shared-memory write contention.
+#include <gtest/gtest.h>
+
+#include "core/pim_skiplist.hpp"
+#include "sim/measure.hpp"
+#include "test_util.hpp"
+#include "workload/generators.hpp"
+
+namespace pim::sim {
+namespace {
+
+TEST(ParallelExecutor, EquivalentOnRawMessagePatterns) {
+  auto run = [](ExecOrder order) {
+    MachineOptions opts;
+    opts.order = order;
+    Machine machine(16, opts);
+    machine.mailbox().assign(256, 0);
+    Handler bounce = [&bounce](ModuleCtx& ctx, std::span<const u64> a) {
+      ctx.charge(1 + a[1] % 3);
+      if (a[1] == 0) {
+        ctx.reply(a[0], ctx.id() + 1000);
+        ctx.reply_add(a[0] % 7, 1);
+        return;
+      }
+      const u64 next[2] = {a[0], a[1] - 1};
+      ctx.forward((ctx.id() * 3 + 1) % ctx.modules(), &bounce, std::span<const u64>(next, 2));
+    };
+    for (u32 m = 0; m < 16; ++m) {
+      for (u64 i = 0; i < 8; ++i) machine.send(m, &bounce, {16 * i + m + 8, i});
+    }
+    machine.run_until_quiescent();
+    return std::make_tuple(machine.mailbox(), machine.io_time(), machine.messages(),
+                           machine.rounds());
+  };
+  EXPECT_EQ(run(ExecOrder::kSequential), run(ExecOrder::kParallel));
+}
+
+TEST(ParallelExecutor, SkipListWorkloadBitIdentical) {
+  auto run = [](ExecOrder order) {
+    MachineOptions mopts;
+    mopts.order = order;
+    Machine machine(16, mopts);
+    core::PimSkipList list(machine);
+    rnd::Xoshiro256ss rng(271);
+    const auto pairs = test::make_sorted_pairs(600, rng);
+    list.build(pairs);
+
+    std::vector<std::pair<Key, Value>> ups;
+    for (int i = 0; i < 200; ++i) ups.push_back({rng.range(0, 1'000'000'000), rng()});
+    list.batch_upsert(ups);
+
+    const auto keys = test::random_keys(300, rng);
+    const auto succ = list.batch_successor(keys);
+
+    std::vector<Key> dels;
+    for (int i = 0; i < 100; ++i) dels.push_back(ups[i].first);
+    list.batch_delete(dels);
+    list.check_invariants();
+
+    std::vector<Key> succ_keys;
+    for (const auto& s : succ) succ_keys.push_back(s.found ? s.key : kMinKey);
+    return std::make_tuple(succ_keys, list.size(), machine.io_time(), machine.messages(),
+                           machine.rounds());
+  };
+  EXPECT_EQ(run(ExecOrder::kSequential), run(ExecOrder::kParallel));
+}
+
+TEST(ParallelExecutor, RangeEnginesBitIdentical) {
+  auto run = [](ExecOrder order) {
+    MachineOptions mopts;
+    mopts.order = order;
+    Machine machine(8, mopts);
+    core::PimSkipList list(machine);
+    rnd::Xoshiro256ss rng(277);
+    const auto pairs = test::make_sorted_pairs(500, rng, 0, 100'000);
+    list.build(pairs);
+    std::vector<core::PimSkipList::RangeQuery> queries;
+    for (int t = 0; t < 30; ++t) {
+      const Key lo = rng.range(0, 100'000);
+      queries.push_back({lo, std::min<Key>(100'000, lo + 5000)});
+    }
+    std::vector<u64> counts;
+    for (const auto& agg : list.batch_range_aggregate_expand(queries)) counts.push_back(agg.count);
+    return std::make_tuple(counts, machine.io_time(), machine.messages());
+  };
+  EXPECT_EQ(run(ExecOrder::kSequential), run(ExecOrder::kParallel));
+}
+
+TEST(QueueWriteModel, TracksMaxWritesPerWord) {
+  MachineOptions opts;
+  opts.track_write_contention = true;
+  Machine machine(4, opts);
+  machine.mailbox().assign(4, 0);
+  Handler hot = [](ModuleCtx& ctx, std::span<const u64>) { ctx.reply_add(0, 1); };
+  Handler cold = [](ModuleCtx& ctx, std::span<const u64>) { ctx.reply_add(ctx.id(), 1); };
+  // Round 1: all four modules write word 0 -> contention 4.
+  machine.broadcast(&hot, {});
+  machine.run_round();
+  EXPECT_EQ(machine.write_contention(), 4u);
+  // Round 2: each writes its own word -> contention 1.
+  machine.broadcast(&cold, {});
+  machine.run_round();
+  EXPECT_EQ(machine.write_contention(), 5u);
+}
+
+TEST(QueueWriteModel, OffByDefault) {
+  Machine machine(4);
+  machine.mailbox().assign(1, 0);
+  Handler hot = [](ModuleCtx& ctx, std::span<const u64>) { ctx.reply_add(0, 1); };
+  machine.broadcast(&hot, {});
+  machine.run_round();
+  EXPECT_EQ(machine.write_contention(), 0u);
+}
+
+TEST(SyncCost, RoundsTimesLogP) {
+  Machine machine(16);
+  machine.mailbox().assign(1, 0);
+  Handler hop = [&hop](ModuleCtx& ctx, std::span<const u64> a) {
+    if (a[0] > 0) {
+      const u64 next[1] = {a[0] - 1};
+      ctx.forward((ctx.id() + 1) % ctx.modules(), &hop, std::span<const u64>(next, 1));
+    }
+  };
+  const Snapshot before = machine.snapshot();
+  machine.send(0, &hop, {4ull});
+  machine.run_until_quiescent();
+  const MachineDelta d = machine.delta(before);
+  EXPECT_EQ(d.rounds, 5u);
+  EXPECT_EQ(d.sync_cost, 5u * 4u);  // log2(16) = 4 per barrier
+}
+
+}  // namespace
+}  // namespace pim::sim

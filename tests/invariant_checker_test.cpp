@@ -1,0 +1,113 @@
+// Failure injection: the invariant checker must catch every class of
+// structural corruption it claims to check — otherwise the hundreds of
+// "check_invariants() passed" assertions elsewhere prove nothing.
+#include <gtest/gtest.h>
+
+#include "core/pim_skiplist.hpp"
+#include "test_util.hpp"
+
+namespace pim::core {
+
+/// Test-only backdoor (befriended by PimSkipList).
+struct SkipListTestPeer {
+  static Node& node(PimSkipList& list, GPtr p) { return list.node_at(p); }
+  static GPtr head0(PimSkipList& list) { return list.head_at(0); }
+  static GPtr nth_leaf(PimSkipList& list, u64 n) {
+    GPtr cur = list.head_at(0);
+    for (u64 i = 0; i < n + 1; ++i) cur = list.node_at(cur).right;
+    return cur;
+  }
+  static pimds::DeamortizedHash& hash_of(PimSkipList& list, ModuleId m) {
+    return list.state_[m].key_to_leaf;
+  }
+  static pimds::LocalOrderedIndex& index_of(PimSkipList& list, ModuleId m) {
+    return list.state_[m].leaf_index;
+  }
+};
+
+namespace {
+
+void build_small(PimSkipList& list) {
+  std::vector<std::pair<Key, Value>> pairs;
+  for (Key k = 1; k <= 200; ++k) pairs.push_back({k * 10, static_cast<Value>(k)});
+  list.build(pairs);
+  list.check_invariants();  // sanity: clean structure passes
+}
+
+TEST(InvariantChecker, CatchesStaleRightKeyCache) {
+  sim::Machine machine(8);
+  PimSkipList list(machine);
+  build_small(list);
+  const GPtr leaf = SkipListTestPeer::nth_leaf(list, 5);
+  SkipListTestPeer::node(list, leaf).right_key += 1;
+  EXPECT_THROW(list.check_invariants(), std::logic_error);
+}
+
+TEST(InvariantChecker, CatchesBrokenLeftRightSymmetry) {
+  sim::Machine machine(8);
+  PimSkipList list(machine);
+  build_small(list);
+  const GPtr leaf = SkipListTestPeer::nth_leaf(list, 7);
+  Node& node = SkipListTestPeer::node(list, leaf);
+  SkipListTestPeer::node(list, node.right).left = leaf == node.right ? leaf : node.left;
+  EXPECT_THROW(list.check_invariants(), std::logic_error);
+}
+
+TEST(InvariantChecker, CatchesOrderViolation) {
+  sim::Machine machine(8);
+  PimSkipList list(machine);
+  build_small(list);
+  const GPtr leaf = SkipListTestPeer::nth_leaf(list, 3);
+  // Swap a key out of order (also desyncs the hash table).
+  SkipListTestPeer::node(list, leaf).key = 100'000;
+  EXPECT_THROW(list.check_invariants(), std::logic_error);
+}
+
+TEST(InvariantChecker, CatchesHashTableDesync) {
+  sim::Machine machine(8);
+  PimSkipList list(machine);
+  build_small(list);
+  const GPtr leaf = SkipListTestPeer::nth_leaf(list, 11);
+  const Key key = SkipListTestPeer::node(list, leaf).key;
+  SkipListTestPeer::hash_of(list, leaf.module).erase(key);
+  EXPECT_THROW(list.check_invariants(), std::logic_error);
+}
+
+TEST(InvariantChecker, CatchesLeafIndexDesync) {
+  sim::Machine machine(8);
+  PimSkipList list(machine);
+  build_small(list);
+  const GPtr leaf = SkipListTestPeer::nth_leaf(list, 13);
+  const Key key = SkipListTestPeer::node(list, leaf).key;
+  SkipListTestPeer::index_of(list, leaf.module).erase(key);
+  EXPECT_THROW(list.check_invariants(), std::logic_error);
+}
+
+TEST(InvariantChecker, CatchesBrokenUpPointer) {
+  sim::Machine machine(8);
+  PimSkipList list(machine);
+  build_small(list);
+  // Find a leaf with a tower (up non-null) and cut its up/down symmetry.
+  for (u64 i = 0; i < 200; ++i) {
+    const GPtr leaf = SkipListTestPeer::nth_leaf(list, i);
+    Node& node = SkipListTestPeer::node(list, leaf);
+    if (!node.up.is_null()) {
+      SkipListTestPeer::node(list, node.up).down = GPtr::null();
+      EXPECT_THROW(list.check_invariants(), std::logic_error);
+      return;
+    }
+  }
+  FAIL() << "no tower found in 200 keys (p=1/2 heights: impossible)";
+}
+
+TEST(InvariantChecker, CatchesDanglingDeletedFlag) {
+  sim::Machine machine(8);
+  PimSkipList list(machine);
+  build_small(list);
+  const GPtr leaf = SkipListTestPeer::nth_leaf(list, 2);
+  SkipListTestPeer::node(list, leaf).flags |= kFlagDeleted;
+  EXPECT_THROW(list.check_invariants(), std::logic_error);
+}
+
+}  // namespace
+}  // namespace pim::core

@@ -1,0 +1,153 @@
+// Tests for randomized parallel list contraction, including the round
+// bound Lemma-style property (O(log m) whp rounds).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/math_util.hpp"
+#include "parallel/list_contraction.hpp"
+#include "random/rng.hpp"
+
+namespace pim::par {
+namespace {
+
+/// Builds a single chain 0 -> 1 -> ... -> n-1 with the given marks.
+std::vector<ContractionNode> make_chain(const std::vector<bool>& marked) {
+  const u64 n = marked.size();
+  std::vector<ContractionNode> nodes(n);
+  for (u64 i = 0; i < n; ++i) {
+    nodes[i].prev = i == 0 ? kNullIndex : i - 1;
+    nodes[i].next = i + 1 == n ? kNullIndex : i + 1;
+    nodes[i].marked = marked[i];
+  }
+  return nodes;
+}
+
+/// Checks that the unmarked nodes form the original order with all marked
+/// ones spliced out.
+void expect_spliced(const std::vector<ContractionNode>& nodes,
+                    const std::vector<bool>& marked) {
+  const u64 n = nodes.size();
+  std::vector<u64> expect;
+  for (u64 i = 0; i < n; ++i) {
+    if (!marked[i]) expect.push_back(i);
+  }
+  if (expect.empty()) return;
+  // Walk forward from the first unmarked node.
+  u64 cur = expect.front();
+  EXPECT_EQ(nodes[cur].prev, kNullIndex);
+  for (u64 j = 0; j < expect.size(); ++j) {
+    ASSERT_EQ(cur, expect[j]);
+    const u64 next = nodes[cur].next;
+    if (j + 1 < expect.size()) {
+      ASSERT_EQ(next, expect[j + 1]);
+      EXPECT_EQ(nodes[next].prev, cur);
+      cur = next;
+    } else {
+      EXPECT_EQ(next, kNullIndex);
+    }
+  }
+}
+
+TEST(ListContraction, EmptyAndNoMarks) {
+  std::vector<ContractionNode> empty;
+  const auto stats = contract_lists(std::span<ContractionNode>(empty), 1);
+  EXPECT_EQ(stats.rounds, 0u);
+
+  std::vector<bool> marked(10, false);
+  auto nodes = make_chain(marked);
+  contract_lists(std::span<ContractionNode>(nodes), 2);
+  expect_spliced(nodes, marked);
+}
+
+TEST(ListContraction, SingleMarkedNode) {
+  std::vector<bool> marked(5, false);
+  marked[2] = true;
+  auto nodes = make_chain(marked);
+  contract_lists(std::span<ContractionNode>(nodes), 3);
+  expect_spliced(nodes, marked);
+}
+
+TEST(ListContraction, EntireChainMarked) {
+  std::vector<bool> marked(1000, true);
+  auto nodes = make_chain(marked);
+  contract_lists(std::span<ContractionNode>(nodes), 4);
+  expect_spliced(nodes, marked);
+}
+
+TEST(ListContraction, AlternatingMarks) {
+  std::vector<bool> marked(501);
+  for (u64 i = 0; i < marked.size(); ++i) marked[i] = (i % 2 == 1);
+  auto nodes = make_chain(marked);
+  contract_lists(std::span<ContractionNode>(nodes), 5);
+  expect_spliced(nodes, marked);
+}
+
+TEST(ListContraction, LongMarkedRuns) {
+  std::vector<bool> marked(2000, false);
+  for (u64 i = 100; i < 900; ++i) marked[i] = true;
+  for (u64 i = 1200; i < 1900; ++i) marked[i] = true;
+  auto nodes = make_chain(marked);
+  contract_lists(std::span<ContractionNode>(nodes), 6);
+  expect_spliced(nodes, marked);
+}
+
+TEST(ListContraction, RandomMarksManySeeds) {
+  rnd::Xoshiro256ss rng(77);
+  for (int trial = 0; trial < 30; ++trial) {
+    const u64 n = 1 + rng.below(500);
+    std::vector<bool> marked(n);
+    for (u64 i = 0; i < n; ++i) marked[i] = rng.coin();
+    auto nodes = make_chain(marked);
+    contract_lists(std::span<ContractionNode>(nodes), rng());
+    expect_spliced(nodes, marked);
+  }
+}
+
+TEST(ListContraction, MultipleDisjointLists) {
+  // Three separate chains inside one node array.
+  std::vector<ContractionNode> nodes(30);
+  auto link_chain = [&](u64 lo, u64 hi) {
+    for (u64 i = lo; i < hi; ++i) {
+      nodes[i].prev = i == lo ? kNullIndex : i - 1;
+      nodes[i].next = i + 1 == hi ? kNullIndex : i + 1;
+      nodes[i].marked = (i - lo) % 3 == 1;
+    }
+  };
+  link_chain(0, 10);
+  link_chain(10, 17);
+  link_chain(17, 30);
+  contract_lists(std::span<ContractionNode>(nodes), 9);
+  // Spot-check a middle chain boundary survived intact.
+  EXPECT_EQ(nodes[10].prev, kNullIndex);
+  EXPECT_FALSE(nodes[10].marked);
+}
+
+TEST(ListContraction, RoundBoundIsLogarithmicWhp) {
+  rnd::Xoshiro256ss rng(123);
+  for (const u64 n : {1000u, 10'000u, 100'000u}) {
+    std::vector<bool> marked(n, true);
+    auto nodes = make_chain(marked);
+    const auto stats = contract_lists(std::span<ContractionNode>(nodes), rng());
+    EXPECT_LE(stats.rounds, 6 * ceil_log2(n) + 10) << "n=" << n;
+    // Work is linear in expectation (geometric decay of the active set).
+    EXPECT_LE(stats.total_work, 8 * n) << "n=" << n;
+  }
+}
+
+TEST(ListContraction, DeterministicGivenSeed) {
+  std::vector<bool> marked(200);
+  for (u64 i = 0; i < 200; ++i) marked[i] = (i % 3 != 0);
+  auto a = make_chain(marked);
+  auto b = make_chain(marked);
+  const auto sa = contract_lists(std::span<ContractionNode>(a), 42);
+  const auto sb = contract_lists(std::span<ContractionNode>(b), 42);
+  EXPECT_EQ(sa.rounds, sb.rounds);
+  for (u64 i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].prev, b[i].prev);
+    EXPECT_EQ(a[i].next, b[i].next);
+  }
+}
+
+}  // namespace
+}  // namespace pim::par

@@ -1,0 +1,131 @@
+// Contract tests for the metrics the benches rely on: mailbox high-water
+// (Table 1's M column), sync cost, OpMetrics accumulation, and batch
+// semantics the docs promise (first-occurrence-wins on duplicates).
+#include <gtest/gtest.h>
+
+#include "core/pim_skiplist.hpp"
+#include "sim/measure.hpp"
+#include "test_util.hpp"
+
+namespace pim::core {
+namespace {
+
+TEST(MetricsContract, GetSharedMemIsThetaPlogP) {
+  for (const u32 p : {8u, 32u, 128u}) {
+    sim::Machine machine(p);
+    PimSkipList list(machine);
+    rnd::Xoshiro256ss rng(p);
+    const auto pairs = test::make_sorted_pairs(512 * p, rng);
+    list.build(pairs);
+    const u64 batch = u64{p} * log2_at_least1(p);
+    std::vector<Key> keys(batch);
+    for (auto& k : keys) k = pairs[rng.below(pairs.size())].first;
+    const auto m = sim::measure(machine, [&] { (void)list.batch_get(keys); });
+    // Result blocks: 2 words per distinct key -> M = 2 * P log P exactly
+    // when all keys are distinct (they nearly are).
+    EXPECT_GE(m.machine.shared_mem, batch);
+    EXPECT_LE(m.machine.shared_mem, 3 * batch);
+  }
+}
+
+TEST(MetricsContract, SuccessorSharedMemIsPpolylog) {
+  const u32 p = 64;
+  sim::Machine machine(p);
+  PimSkipList list(machine);
+  rnd::Xoshiro256ss rng(3);
+  const auto pairs = test::make_sorted_pairs(512 * p, rng);
+  list.build(pairs);
+  const u64 logp = log2_at_least1(p);
+  const auto keys = test::random_keys(p * logp * logp, rng);
+  const auto m = sim::measure(machine, [&] { (void)list.batch_successor(keys); });
+  // Θ(P log^2 P) with the implementation's recording constant (< 100).
+  EXPECT_GE(m.machine.shared_mem, u64{p} * logp * logp);
+  EXPECT_LE(m.machine.shared_mem, 100 * u64{p} * logp * logp);
+}
+
+TEST(MetricsContract, MeasureResetsHighwaterBetweenOps) {
+  sim::Machine machine(8);
+  PimSkipList list(machine);
+  rnd::Xoshiro256ss rng(5);
+  const auto pairs = test::make_sorted_pairs(1000, rng);
+  list.build(pairs);
+
+  // A big op first...
+  const auto keys = test::random_keys(4000, rng);
+  (void)sim::measure(machine, [&] { (void)list.batch_successor(keys); });
+  // ...must not inflate the M of a subsequent small op.
+  const auto small = sim::measure(machine, [&] {
+    (void)list.batch_get(std::vector<Key>{pairs[0].first});
+  });
+  EXPECT_LE(small.machine.shared_mem, 16u);
+}
+
+TEST(MetricsContract, OpMetricsAccumulate) {
+  sim::OpMetrics total;
+  sim::OpMetrics a;
+  a.machine.io_time = 3;
+  a.machine.rounds = 2;
+  a.machine.sync_cost = 8;
+  a.cpu_work = 10;
+  sim::OpMetrics b;
+  b.machine.io_time = 4;
+  b.machine.pim_time = 7;
+  b.machine.write_contention = 5;
+  b.cpu_depth = 6;
+  total += a;
+  total += b;
+  EXPECT_EQ(total.machine.io_time, 7u);
+  EXPECT_EQ(total.machine.rounds, 2u);
+  EXPECT_EQ(total.machine.sync_cost, 8u);
+  EXPECT_EQ(total.machine.pim_time, 7u);
+  EXPECT_EQ(total.machine.write_contention, 5u);
+  EXPECT_EQ(total.cpu_work, 10u);
+  EXPECT_EQ(total.cpu_depth, 6u);
+}
+
+TEST(MetricsContract, UpsertDuplicatesFirstOccurrenceWins) {
+  sim::Machine machine(8);
+  PimSkipList list(machine);
+  std::vector<std::pair<Key, Value>> batch = {{7, 100}, {7, 200}, {7, 300}};
+  list.batch_upsert(batch);
+  const auto got = list.batch_get(std::vector<Key>{7});
+  ASSERT_TRUE(got[0].found);
+  EXPECT_EQ(got[0].value, 100u);
+  EXPECT_EQ(list.size(), 1u);
+}
+
+TEST(MetricsContract, UpdateDuplicatesFirstOccurrenceWins) {
+  sim::Machine machine(8);
+  PimSkipList list(machine);
+  list.batch_upsert(std::vector<std::pair<Key, Value>>{{7, 1}});
+  const auto found =
+      list.batch_update(std::vector<std::pair<Key, Value>>{{7, 50}, {7, 60}});
+  EXPECT_TRUE(found[0]);
+  EXPECT_TRUE(found[1]);  // duplicates report the representative's result
+  const auto got = list.batch_get(std::vector<Key>{7});
+  EXPECT_EQ(got[0].value, 50u);
+}
+
+TEST(MetricsContract, PimBalanceHoldsOnUniformSuccessor) {
+  // The §2.1 definition directly: IO time = O(I/P), PIM time = O(W/P).
+  const u32 p = 64;
+  sim::Machine machine(p);
+  PimSkipList list(machine);
+  rnd::Xoshiro256ss rng(9);
+  const auto pairs = test::make_sorted_pairs(512 * p, rng);
+  list.build(pairs);
+  const u64 logp = log2_at_least1(p);
+  const auto keys = test::random_keys(p * logp * logp, rng);
+  const auto m = sim::measure(machine, [&] { (void)list.batch_successor(keys); });
+  const double io_balance =
+      static_cast<double>(m.machine.io_time) /
+      (static_cast<double>(m.machine.messages) / p);
+  const double pim_balance =
+      static_cast<double>(m.machine.pim_time) /
+      (static_cast<double>(m.machine.pim_work_total) / p);
+  EXPECT_LT(io_balance, 8.0);
+  EXPECT_LT(pim_balance, 8.0);
+}
+
+}  // namespace
+}  // namespace pim::core

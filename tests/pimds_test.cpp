@@ -1,0 +1,221 @@
+// Tests for the per-module substrates: de-amortized cuckoo hash table and
+// the local ordered index (sequential skiplist).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "pimds/deamortized_hash.hpp"
+#include "pimds/local_index.hpp"
+#include "random/rng.hpp"
+
+namespace pim::pimds {
+namespace {
+
+TEST(DeamortizedHash, InsertFindEraseBasic) {
+  DeamortizedHash table(1);
+  EXPECT_TRUE(table.empty());
+  table.upsert(5, 50);
+  table.upsert(6, 60);
+  EXPECT_EQ(table.size(), 2u);
+  EXPECT_TRUE(table.find(5).found);
+  EXPECT_EQ(table.find(5).value, 50u);
+  EXPECT_FALSE(table.find(7).found);
+  EXPECT_TRUE(table.erase(5).erased);
+  EXPECT_FALSE(table.erase(5).erased);
+  EXPECT_FALSE(table.find(5).found);
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(DeamortizedHash, UpsertOverwrites) {
+  DeamortizedHash table(2);
+  table.upsert(5, 50);
+  table.upsert(5, 51);
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_EQ(table.find(5).value, 51u);
+}
+
+TEST(DeamortizedHash, DifferentialAgainstUnorderedMap) {
+  DeamortizedHash table(3);
+  std::unordered_map<Key, u64> ref;
+  rnd::Xoshiro256ss rng(3);
+  for (int step = 0; step < 50'000; ++step) {
+    const Key k = static_cast<Key>(rng.below(5000));
+    switch (rng.below(3)) {
+      case 0: {
+        const u64 v = rng();
+        table.upsert(k, v);
+        ref[k] = v;
+        break;
+      }
+      case 1: {
+        const bool erased = table.erase(k).erased;
+        EXPECT_EQ(erased, ref.erase(k) > 0);
+        break;
+      }
+      default: {
+        const auto hit = table.find(k);
+        const auto it = ref.find(k);
+        ASSERT_EQ(hit.found, it != ref.end()) << "key " << k;
+        if (hit.found) EXPECT_EQ(hit.value, it->second);
+      }
+    }
+  }
+  EXPECT_EQ(table.size(), ref.size());
+}
+
+TEST(DeamortizedHash, GrowsUnderLoadAndKeepsAllKeys) {
+  DeamortizedHash table(4, 8);
+  for (Key k = 0; k < 10'000; ++k) table.upsert(k, static_cast<u64>(k) * 3);
+  EXPECT_EQ(table.size(), 10'000u);
+  for (Key k = 0; k < 10'000; ++k) {
+    const auto hit = table.find(k);
+    ASSERT_TRUE(hit.found) << k;
+    EXPECT_EQ(hit.value, static_cast<u64>(k) * 3);
+  }
+  EXPECT_GE(table.capacity(), 10'000u);
+}
+
+TEST(DeamortizedHash, PerOpWorkStaysConstantOutsideRehash) {
+  DeamortizedHash table(5);
+  table.reserve(100'000);
+  rnd::Xoshiro256ss rng(5);
+  u64 max_work = 0;
+  for (int i = 0; i < 100'000; ++i) {
+    max_work = std::max(max_work, table.upsert(static_cast<Key>(rng()), 1));
+  }
+  // reserve() pre-sized the table: no rehash, so bounded by queue cap.
+  EXPECT_EQ(table.rehash_count(), 0u);
+  EXPECT_LT(max_work, 200u);
+}
+
+TEST(DeamortizedHash, AdversarialSameSlotKeysStillWork) {
+  // Keys chosen densely; private seeds make collisions benign.
+  DeamortizedHash table(6);
+  for (Key k = 0; k < 4096; ++k) table.upsert(k * 4096, static_cast<u64>(k));
+  for (Key k = 0; k < 4096; ++k) ASSERT_TRUE(table.find(k * 4096).found);
+}
+
+TEST(DeamortizedHash, WordsTracksCapacity) {
+  DeamortizedHash table(7, 8);
+  const u64 before = table.words();
+  for (Key k = 0; k < 1000; ++k) table.upsert(k, 1);
+  EXPECT_GT(table.words(), before);
+}
+
+// ---------------- LocalOrderedIndex ----------------
+
+TEST(LocalIndex, InsertFindEraseBasic) {
+  LocalOrderedIndex index(1);
+  index.upsert(10, 100);
+  index.upsert(20, 200);
+  index.upsert(15, 150);
+  EXPECT_EQ(index.size(), 3u);
+  EXPECT_TRUE(index.find(15).found);
+  EXPECT_EQ(index.find(15).value, 150u);
+  EXPECT_FALSE(index.find(16).found);
+  bool erased = false;
+  index.erase(15, &erased);
+  EXPECT_TRUE(erased);
+  EXPECT_FALSE(index.find(15).found);
+  index.erase(15, &erased);
+  EXPECT_FALSE(erased);
+}
+
+TEST(LocalIndex, SuccessorPredecessor) {
+  LocalOrderedIndex index(2);
+  for (Key k = 0; k < 100; k += 10) index.upsert(k, static_cast<u64>(k));
+  EXPECT_EQ(index.successor(0).key, 0);
+  EXPECT_EQ(index.successor(1).key, 10);
+  EXPECT_EQ(index.successor(90).key, 90);
+  EXPECT_FALSE(index.successor(91).found);
+  EXPECT_EQ(index.predecessor(95).key, 90);
+  EXPECT_EQ(index.predecessor(10).key, 10);
+  EXPECT_EQ(index.predecessor(9).key, 0);
+  EXPECT_FALSE(index.predecessor(-1).found);
+}
+
+TEST(LocalIndex, ScanFromVisitsInOrder) {
+  LocalOrderedIndex index(3);
+  for (Key k = 0; k < 50; ++k) index.upsert(k * 2, static_cast<u64>(k));
+  std::vector<Key> seen;
+  index.scan_from(11, [&](Key k, u64) {
+    if (k > 30) return false;
+    seen.push_back(k);
+    return true;
+  });
+  EXPECT_EQ(seen, (std::vector<Key>{12, 14, 16, 18, 20, 22, 24, 26, 28, 30}));
+}
+
+TEST(LocalIndex, DifferentialAgainstStdMap) {
+  LocalOrderedIndex index(4);
+  std::map<Key, u64> ref;
+  rnd::Xoshiro256ss rng(4);
+  for (int step = 0; step < 30'000; ++step) {
+    const Key k = static_cast<Key>(1 + rng.below(3000));
+    switch (rng.below(4)) {
+      case 0: {
+        const u64 v = rng();
+        index.upsert(k, v);
+        ref[k] = v;
+        break;
+      }
+      case 1: {
+        bool erased = false;
+        index.erase(k, &erased);
+        EXPECT_EQ(erased, ref.erase(k) > 0);
+        break;
+      }
+      case 2: {
+        const auto hit = index.find(k);
+        const auto it = ref.find(k);
+        ASSERT_EQ(hit.found, it != ref.end());
+        if (hit.found) EXPECT_EQ(hit.value, it->second);
+        break;
+      }
+      default: {
+        const auto succ = index.successor(k);
+        const auto it = ref.lower_bound(k);
+        ASSERT_EQ(succ.found, it != ref.end());
+        if (succ.found) EXPECT_EQ(succ.key, it->first);
+      }
+    }
+  }
+  EXPECT_EQ(index.size(), ref.size());
+}
+
+TEST(LocalIndex, WorkIsLogarithmic) {
+  LocalOrderedIndex index(5);
+  rnd::Xoshiro256ss rng(5);
+  for (int i = 0; i < 100'000; ++i) index.upsert(static_cast<Key>(rng() >> 1), 1);
+  // A find on 100k keys should take O(log n) ~ tens of link traversals.
+  u64 total = 0;
+  for (int i = 0; i < 1000; ++i) total += index.find(static_cast<Key>(rng() >> 1)).work;
+  EXPECT_LT(total / 1000, 120u);
+}
+
+TEST(LocalIndex, MoveSemantics) {
+  LocalOrderedIndex a(6);
+  a.upsert(1, 10);
+  LocalOrderedIndex b(std::move(a));
+  EXPECT_TRUE(b.find(1).found);
+  LocalOrderedIndex c(7);
+  c = std::move(b);
+  EXPECT_TRUE(c.find(1).found);
+  EXPECT_EQ(c.size(), 1u);
+}
+
+TEST(LocalIndex, WordsShrinkOnErase) {
+  LocalOrderedIndex index(8);
+  const u64 empty_words = index.words();
+  for (Key k = 1; k <= 100; ++k) index.upsert(k, 1);
+  const u64 full_words = index.words();
+  EXPECT_GT(full_words, empty_words);
+  for (Key k = 1; k <= 100; ++k) index.erase(k);
+  EXPECT_EQ(index.words(), empty_words);
+}
+
+}  // namespace
+}  // namespace pim::pimds

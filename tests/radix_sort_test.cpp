@@ -1,0 +1,93 @@
+// Tests for the parallel LSD radix sort.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "parallel/radix_sort.hpp"
+#include "random/rng.hpp"
+
+namespace pim::par {
+namespace {
+
+class RadixSweep : public ::testing::TestWithParam<u64> {};
+
+TEST_P(RadixSweep, MatchesStdSortFullWidth) {
+  const u64 n = GetParam();
+  rnd::Xoshiro256ss rng(n + 41);
+  std::vector<u64> data(n);
+  for (auto& x : data) x = rng();
+  std::vector<u64> expect = data;
+  std::sort(expect.begin(), expect.end());
+  radix_sort_u64(std::span<u64>(data));
+  EXPECT_EQ(data, expect);
+}
+
+TEST_P(RadixSweep, NarrowKeysUseFewerPassesAndStaySorted) {
+  const u64 n = GetParam();
+  rnd::Xoshiro256ss rng(n + 43);
+  std::vector<u64> data(n);
+  for (auto& x : data) x = rng.below(1u << 16);
+  std::vector<u64> expect = data;
+  std::sort(expect.begin(), expect.end());
+  radix_sort_u64(std::span<u64>(data), 16);
+  EXPECT_EQ(data, expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RadixSweep,
+                         ::testing::Values(0u, 1u, 2u, 255u, 4096u, 100'000u));
+
+TEST(RadixSort, StableOnEqualKeys) {
+  struct Item {
+    u64 key;
+    u64 tag;
+    bool operator==(const Item&) const = default;
+  };
+  rnd::Xoshiro256ss rng(47);
+  std::vector<Item> data(20'000);
+  for (u64 i = 0; i < data.size(); ++i) data[i] = {rng.below(64), i};
+  std::vector<Item> expect = data;
+  std::stable_sort(expect.begin(), expect.end(),
+                   [](const Item& a, const Item& b) { return a.key < b.key; });
+  radix_sort(std::span<Item>(data), [](const Item& it) { return it.key; }, 8);
+  EXPECT_EQ(data, expect);
+}
+
+TEST(RadixSort, KeyExtractorOnStructFields) {
+  std::vector<std::pair<u64, u64>> data = {{5, 0}, {1, 1}, {3, 2}, {1, 3}, {0, 4}};
+  radix_sort(std::span<std::pair<u64, u64>>(data), [](const auto& p) { return p.first; }, 8);
+  EXPECT_EQ(data, (std::vector<std::pair<u64, u64>>{{0, 4}, {1, 1}, {1, 3}, {3, 2}, {5, 0}}));
+}
+
+TEST(RadixSort, LinearWorkShape) {
+  // Work per element should be ~constant in n (O(passes), not O(log n)).
+  double per_element_small = 0, per_element_big = 0;
+  for (const u64 n : {1u << 14, 1u << 18}) {
+    rnd::Xoshiro256ss rng(n);
+    std::vector<u64> data(n);
+    for (auto& x : data) x = rng();
+    CostCounters cost;
+    {
+      CostScope scope(cost);
+      radix_sort_u64(std::span<u64>(data));
+    }
+    (n == (1u << 14) ? per_element_small : per_element_big) =
+        static_cast<double>(cost.work) / n;
+  }
+  EXPECT_LT(per_element_big, per_element_small * 1.5) << "radix work not linear";
+}
+
+TEST(RadixSort, AlreadySortedAndReversed) {
+  std::vector<u64> asc(10'000), desc(10'000);
+  for (u64 i = 0; i < asc.size(); ++i) {
+    asc[i] = i;
+    desc[i] = asc.size() - i;
+  }
+  radix_sort_u64(std::span<u64>(asc), 16);
+  radix_sort_u64(std::span<u64>(desc), 16);
+  EXPECT_TRUE(std::is_sorted(asc.begin(), asc.end()));
+  EXPECT_TRUE(std::is_sorted(desc.begin(), desc.end()));
+}
+
+}  // namespace
+}  // namespace pim::par

@@ -1,0 +1,160 @@
+// Tests for pim::rnd — generators, bounded sampling, Zipf, keyed hashing.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "random/hash_fn.hpp"
+#include "random/rng.hpp"
+#include "random/zipf.hpp"
+
+namespace pim::rnd {
+namespace {
+
+TEST(Rng, DeterministicPerSeed) {
+  Xoshiro256ss a(123), b(123), c(124);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+  bool differs = false;
+  Xoshiro256ss a2(123);
+  for (int i = 0; i < 100; ++i) differs |= (a2() != c());
+  EXPECT_TRUE(differs);
+}
+
+TEST(Rng, BelowIsInRangeAndRoughlyUniform) {
+  Xoshiro256ss rng(7);
+  constexpr u64 kBound = 10;
+  std::vector<u64> histogram(kBound, 0);
+  constexpr u64 kSamples = 100'000;
+  for (u64 i = 0; i < kSamples; ++i) {
+    const u64 x = rng.below(kBound);
+    ASSERT_LT(x, kBound);
+    ++histogram[x];
+  }
+  for (const u64 h : histogram) {
+    EXPECT_NEAR(static_cast<double>(h), kSamples / 10.0, kSamples / 10.0 * 0.15);
+  }
+}
+
+TEST(Rng, RangeInclusiveBounds) {
+  Xoshiro256ss rng(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10'000; ++i) {
+    const i64 x = rng.range(-3, 3);
+    ASSERT_GE(x, -3);
+    ASSERT_LE(x, 3);
+    saw_lo |= (x == -3);
+    saw_hi |= (x == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, GeometricLevelsMatchesHalfDecay) {
+  Xoshiro256ss rng(11);
+  constexpr u64 kSamples = 200'000;
+  std::vector<u64> histogram(16, 0);
+  for (u64 i = 0; i < kSamples; ++i) ++histogram[std::min<u32>(rng.geometric_levels(40), 15)];
+  // P(levels == 0) = 1/2, P(levels == 1) = 1/4, ...
+  EXPECT_NEAR(histogram[0] / static_cast<double>(kSamples), 0.5, 0.02);
+  EXPECT_NEAR(histogram[1] / static_cast<double>(kSamples), 0.25, 0.02);
+  EXPECT_NEAR(histogram[2] / static_cast<double>(kSamples), 0.125, 0.01);
+}
+
+TEST(Rng, GeometricLevelsRespectsCap) {
+  Xoshiro256ss rng(13);
+  for (int i = 0; i < 10'000; ++i) ASSERT_LE(rng.geometric_levels(3), 3u);
+}
+
+TEST(Rng, Uniform01InUnitInterval) {
+  Xoshiro256ss rng(15);
+  double sum = 0;
+  for (int i = 0; i < 100'000; ++i) {
+    const double x = rng.uniform01();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / 100'000, 0.5, 0.01);
+}
+
+TEST(Zipf, RanksAreBoundedAndSkewed) {
+  Xoshiro256ss rng(17);
+  ZipfSampler zipf(1000, 0.99);
+  std::vector<u64> histogram(1000, 0);
+  constexpr u64 kSamples = 200'000;
+  for (u64 i = 0; i < kSamples; ++i) {
+    const u64 r = zipf(rng);
+    ASSERT_LT(r, 1000u);
+    ++histogram[r];
+  }
+  // Rank 0 must dominate, and the ratio rank0/rank9 ~ (10/1)^0.99 ≈ 9.8.
+  EXPECT_GT(histogram[0], histogram[9] * 5u);
+  EXPECT_GT(histogram[0], histogram[99] * 30u);
+}
+
+TEST(Zipf, ThetaZeroPointFiveStillValid) {
+  Xoshiro256ss rng(19);
+  ZipfSampler zipf(100, 0.5);
+  for (int i = 0; i < 10'000; ++i) ASSERT_LT(zipf(rng), 100u);
+}
+
+TEST(Zipf, ThetaOneHarmonic) {
+  Xoshiro256ss rng(21);
+  ZipfSampler zipf(50, 1.0);
+  std::vector<u64> histogram(50, 0);
+  for (int i = 0; i < 100'000; ++i) ++histogram[zipf(rng)];
+  EXPECT_GT(histogram[0], histogram[1]);  // monotone-ish head
+}
+
+TEST(KeyedHash, DifferentSeedsGiveDifferentFunctions) {
+  KeyedHash h1(1), h2(2);
+  int collisions = 0;
+  for (u64 x = 0; x < 1000; ++x) collisions += (h1(x) == h2(x));
+  EXPECT_LT(collisions, 3);
+}
+
+TEST(KeyedHash, AvalancheOnNearbyInputs) {
+  KeyedHash h(42);
+  // Flipping one input bit should flip ~32 of 64 output bits.
+  double total_flips = 0;
+  constexpr int kTrials = 1000;
+  for (u64 x = 0; x < kTrials; ++x) {
+    const u64 a = h(x);
+    const u64 b = h(x ^ 1);
+    total_flips += std::popcount(a ^ b);
+  }
+  EXPECT_NEAR(total_flips / kTrials, 32.0, 3.0);
+}
+
+TEST(PlacementHash, ModulesBalancedForSequentialKeys) {
+  // Lemma 2.1 sanity: T = P log P sequential (adversarial-ish) keys into
+  // P modules gives Θ(T/P) per module.
+  constexpr u32 kModules = 64;
+  PlacementHash place(12345, kModules);
+  const u64 t = kModules * 10;
+  std::vector<u64> load(kModules, 0);
+  for (u64 k = 0; k < t; ++k) ++load[place.module_of(static_cast<Key>(k), 0)];
+  const u64 max_load = *std::max_element(load.begin(), load.end());
+  EXPECT_LT(max_load, 35u);  // mean 10, whp bound ~ c*10
+}
+
+TEST(PlacementHash, LevelsIndependent) {
+  PlacementHash place(999, 16);
+  int same = 0;
+  for (Key k = 0; k < 1000; ++k) same += (place.module_of(k, 0) == place.module_of(k, 1));
+  // ~1/16 expected collisions.
+  EXPECT_LT(same, 150);
+  EXPECT_GT(same, 10);
+}
+
+TEST(SplitMix, KnownSequenceIsStable) {
+  u64 state = 0;
+  const u64 first = splitmix64(state);
+  u64 state2 = 0;
+  EXPECT_EQ(first, splitmix64(state2));
+  EXPECT_NE(splitmix64(state), first);
+}
+
+}  // namespace
+}  // namespace pim::rnd

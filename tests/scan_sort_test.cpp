@@ -1,0 +1,169 @@
+// Tests for scan, reduce, pack, sort, and semisort/dedup — parameterized
+// size sweeps (property style).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <vector>
+
+#include "parallel/scan.hpp"
+#include "parallel/semisort.hpp"
+#include "parallel/sequence_ops.hpp"
+#include "parallel/sort.hpp"
+#include "random/rng.hpp"
+
+namespace pim::par {
+namespace {
+
+class SizeSweep : public ::testing::TestWithParam<u64> {};
+
+TEST_P(SizeSweep, ScanExclusiveSumMatchesSequential) {
+  const u64 n = GetParam();
+  rnd::Xoshiro256ss rng(n + 1);
+  std::vector<u64> data(n), expect(n);
+  for (auto& x : data) x = rng.below(1000);
+  u64 acc = 0;
+  for (u64 i = 0; i < n; ++i) {
+    expect[i] = acc;
+    acc += data[i];
+  }
+  std::vector<u64> got = data;
+  const u64 total = scan_exclusive_sum(std::span<u64>(got));
+  EXPECT_EQ(total, acc);
+  EXPECT_EQ(got, expect);
+}
+
+TEST_P(SizeSweep, ReduceMatchesAccumulate) {
+  const u64 n = GetParam();
+  rnd::Xoshiro256ss rng(n + 2);
+  std::vector<u64> data(n);
+  for (auto& x : data) x = rng.below(1000);
+  const u64 expect = std::accumulate(data.begin(), data.end(), u64{0});
+  const u64 got = reduce(std::span<const u64>(data), u64{0}, [](u64 a, u64 b) { return a + b; });
+  EXPECT_EQ(got, expect);
+}
+
+TEST_P(SizeSweep, PackKeepsOrderAndFilter) {
+  const u64 n = GetParam();
+  rnd::Xoshiro256ss rng(n + 3);
+  std::vector<u64> data(n);
+  for (auto& x : data) x = rng.below(100);
+  const auto got = pack(std::span<const u64>(data), [](u64 x) { return x % 3 == 0; });
+  std::vector<u64> expect;
+  for (const u64 x : data) {
+    if (x % 3 == 0) expect.push_back(x);
+  }
+  EXPECT_EQ(got, expect);
+}
+
+TEST_P(SizeSweep, PackIndexMatches) {
+  const u64 n = GetParam();
+  const auto got = pack_index(n, [](u64 i) { return i % 7 == 2; });
+  std::vector<u64> expect;
+  for (u64 i = 0; i < n; ++i) {
+    if (i % 7 == 2) expect.push_back(i);
+  }
+  EXPECT_EQ(got, expect);
+}
+
+TEST_P(SizeSweep, SortMatchesStdSort) {
+  const u64 n = GetParam();
+  rnd::Xoshiro256ss rng(n + 4);
+  std::vector<u64> data(n);
+  for (auto& x : data) x = rng();
+  std::vector<u64> expect = data;
+  std::sort(expect.begin(), expect.end());
+  parallel_sort(data);
+  EXPECT_EQ(data, expect);
+}
+
+TEST_P(SizeSweep, SortWithDuplicatesAndCustomLess) {
+  const u64 n = GetParam();
+  rnd::Xoshiro256ss rng(n + 5);
+  std::vector<u64> data(n);
+  for (auto& x : data) x = rng.below(17);
+  std::vector<u64> expect = data;
+  std::sort(expect.begin(), expect.end(), std::greater<>());
+  parallel_sort(std::span<u64>(data), std::greater<>());
+  EXPECT_EQ(data, expect);
+}
+
+TEST_P(SizeSweep, DedupKeysGroupsCorrectly) {
+  const u64 n = GetParam();
+  rnd::Xoshiro256ss rng(n + 6);
+  std::vector<Key> keys(n);
+  for (auto& k : keys) k = static_cast<Key>(rng.below(std::max<u64>(1, n / 3)));
+  const auto dd = dedup_keys(std::span<const Key>(keys), rnd::KeyedHash(99));
+
+  // Representatives are first occurrences, and group_of points home.
+  std::map<Key, u64> first_of;
+  for (u64 i = 0; i < n; ++i) first_of.try_emplace(keys[i], i);
+  ASSERT_EQ(dd.representatives.size(), first_of.size());
+  for (const u64 r : dd.representatives) {
+    EXPECT_EQ(first_of.at(keys[r]), r) << "representative is not the first occurrence";
+  }
+  for (u64 i = 0; i < n; ++i) {
+    EXPECT_EQ(keys[dd.representatives[dd.group_of[i]]], keys[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SizeSweep,
+                         ::testing::Values(0u, 1u, 2u, 7u, 64u, 1000u, 10'000u, 100'000u));
+
+TEST(Scan, GenericOperatorAndIdentity) {
+  std::vector<u64> data = {3, 1, 4, 1, 5};
+  const u64 total =
+      scan_exclusive(std::span<u64>(data), u64{1}, [](u64 a, u64 b) { return a * b; });
+  EXPECT_EQ(total, 60u);
+  EXPECT_EQ(data, (std::vector<u64>{1, 3, 3, 12, 12}));
+}
+
+TEST(Semisort, AllEqualKeys) {
+  std::vector<Key> keys(5000, 42);
+  const auto dd = dedup_keys(std::span<const Key>(keys), rnd::KeyedHash(1));
+  ASSERT_EQ(dd.representatives.size(), 1u);
+  EXPECT_EQ(dd.representatives[0], 0u);
+  for (const u64 g : dd.group_of) EXPECT_EQ(g, 0u);
+}
+
+TEST(Semisort, AllDistinctKeys) {
+  std::vector<Key> keys(5000);
+  std::iota(keys.begin(), keys.end(), 0);
+  const auto dd = dedup_keys(std::span<const Key>(keys), rnd::KeyedHash(2));
+  EXPECT_EQ(dd.representatives.size(), keys.size());
+}
+
+TEST(Semisort, LinearWorkShape) {
+  // Expected O(n) work: the counted probes should stay near-linear.
+  for (const u64 n : {1000u, 10'000u, 100'000u}) {
+    rnd::Xoshiro256ss rng(n);
+    std::vector<Key> keys(n);
+    for (auto& k : keys) k = static_cast<Key>(rng());
+    CostCounters cost;
+    {
+      CostScope scope(cost);
+      (void)dedup_keys(std::span<const Key>(keys), rnd::KeyedHash(3));
+    }
+    EXPECT_LT(cost.work, 40 * n) << "semisort work superlinear at n=" << n;
+  }
+}
+
+TEST(Sort, CostIsNLogNWork) {
+  for (const u64 n : {1u << 10, 1u << 14}) {
+    rnd::Xoshiro256ss rng(n);
+    std::vector<u64> data(n);
+    for (auto& x : data) x = rng();
+    CostCounters cost;
+    {
+      CostScope scope(cost);
+      parallel_sort(data);
+    }
+    const double per_element = static_cast<double>(cost.work) / n;
+    EXPECT_GT(per_element, 0.5 * ceil_log2(n));
+    EXPECT_LT(per_element, 6.0 * ceil_log2(n));
+  }
+}
+
+}  // namespace
+}  // namespace pim::par

@@ -1,0 +1,134 @@
+// Basic PimSkipList tests: construction, offline build, invariants, and
+// the §4.1 batched Get/Update path, parameterized over module counts.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/pim_skiplist.hpp"
+#include "sim/measure.hpp"
+#include "test_util.hpp"
+
+namespace pim::core {
+namespace {
+
+using test::RefModel;
+
+class SkipListBasic : public ::testing::TestWithParam<u32> {};
+
+TEST_P(SkipListBasic, EmptyStructureInvariants) {
+  sim::Machine machine(GetParam());
+  PimSkipList list(machine);
+  list.check_invariants();
+  EXPECT_EQ(list.size(), 0u);
+  EXPECT_EQ(list.h_low(), std::max<u32>(1, ceil_log2(GetParam())));
+}
+
+TEST_P(SkipListBasic, BuildAndInvariants) {
+  sim::Machine machine(GetParam());
+  PimSkipList list(machine);
+  rnd::Xoshiro256ss rng(42);
+  const auto pairs = test::make_sorted_pairs(500, rng);
+  list.build(pairs);
+  EXPECT_EQ(list.size(), pairs.size());
+  list.check_invariants();
+}
+
+TEST_P(SkipListBasic, BatchGetFindsBuiltKeys) {
+  sim::Machine machine(GetParam());
+  PimSkipList list(machine);
+  rnd::Xoshiro256ss rng(7);
+  const auto pairs = test::make_sorted_pairs(300, rng);
+  list.build(pairs);
+
+  std::vector<Key> keys;
+  for (const auto& [k, v] : pairs) keys.push_back(k);
+  // Plus some misses.
+  for (int i = 0; i < 50; ++i) keys.push_back(rng.range(2'000'000'000, 3'000'000'000));
+
+  const auto results = list.batch_get(keys);
+  ASSERT_EQ(results.size(), keys.size());
+  for (u64 i = 0; i < pairs.size(); ++i) {
+    EXPECT_TRUE(results[i].found) << "key " << keys[i];
+    EXPECT_EQ(results[i].value, pairs[i].second);
+  }
+  for (u64 i = pairs.size(); i < keys.size(); ++i) {
+    EXPECT_FALSE(results[i].found) << "key " << keys[i];
+  }
+}
+
+TEST_P(SkipListBasic, BatchGetWithHeavyDuplicates) {
+  sim::Machine machine(GetParam());
+  PimSkipList list(machine);
+  rnd::Xoshiro256ss rng(11);
+  const auto pairs = test::make_sorted_pairs(64, rng);
+  list.build(pairs);
+
+  // Adversarial: every query hits the same key.
+  std::vector<Key> keys(1000, pairs[3].first);
+  const auto results = list.batch_get(keys);
+  for (const auto& r : results) {
+    EXPECT_TRUE(r.found);
+    EXPECT_EQ(r.value, pairs[3].second);
+  }
+}
+
+TEST_P(SkipListBasic, BatchUpdateThenGet) {
+  sim::Machine machine(GetParam());
+  PimSkipList list(machine);
+  rnd::Xoshiro256ss rng(13);
+  const auto pairs = test::make_sorted_pairs(200, rng);
+  list.build(pairs);
+
+  std::vector<std::pair<Key, Value>> updates;
+  for (u64 i = 0; i < pairs.size(); i += 2) updates.push_back({pairs[i].first, 777 + i});
+  updates.push_back({static_cast<Key>(3'500'000'000), 1});  // miss
+
+  const auto found = list.batch_update(updates);
+  for (u64 i = 0; i + 1 < updates.size(); ++i) EXPECT_TRUE(found[i]);
+  EXPECT_FALSE(found.back());
+
+  std::vector<Key> keys;
+  for (const auto& [k, v] : updates) keys.push_back(k);
+  const auto results = list.batch_get(keys);
+  for (u64 i = 0; i + 1 < updates.size(); ++i) {
+    EXPECT_TRUE(results[i].found);
+    EXPECT_EQ(results[i].value, updates[i].second);
+  }
+  list.check_invariants();
+}
+
+TEST_P(SkipListBasic, GetBatchCostsOneRoundTrip) {
+  sim::Machine machine(GetParam());
+  PimSkipList list(machine);
+  rnd::Xoshiro256ss rng(17);
+  const auto pairs = test::make_sorted_pairs(400, rng);
+  list.build(pairs);
+
+  std::vector<Key> keys;
+  for (const auto& [k, v] : pairs) keys.push_back(k);
+  const auto metrics = sim::measure(machine, [&] { (void)list.batch_get(keys); });
+  EXPECT_EQ(metrics.machine.rounds, 1u);  // request and reply share a round
+  EXPECT_GT(metrics.machine.messages, 0u);
+  EXPECT_GT(metrics.cpu_work, 0u);
+}
+
+TEST_P(SkipListBasic, SpaceAccountingTheorem31) {
+  sim::Machine machine(GetParam());
+  PimSkipList list(machine);
+  rnd::Xoshiro256ss rng(19);
+  const u64 n = 2000;
+  const auto pairs = test::make_sorted_pairs(n, rng);
+  list.build(pairs);
+
+  const u32 p = GetParam();
+  u64 max_module = 0;
+  for (ModuleId m = 0; m < p; ++m) max_module = std::max(max_module, list.module_space_words(m));
+  // Θ(n/P) per module whp; allow a generous constant.
+  EXPECT_LT(max_module, 400 * (n / p + 1) + 4000) << "module space not O(n/P)";
+  EXPECT_GT(list.total_words(), n);  // at least the data itself
+}
+
+INSTANTIATE_TEST_SUITE_P(Modules, SkipListBasic, ::testing::Values(1u, 2u, 4u, 8u, 16u, 64u));
+
+}  // namespace
+}  // namespace pim::core

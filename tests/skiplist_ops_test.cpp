@@ -1,0 +1,265 @@
+// Differential tests of the batch operations (§4.2–§4.4, §5) against a
+// sequential reference model, across module counts and key distributions,
+// including the paper's adversarial cases.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/pim_skiplist.hpp"
+#include "test_util.hpp"
+
+namespace pim::core {
+namespace {
+
+using test::RefModel;
+
+class SkipListOps : public ::testing::TestWithParam<u32> {};
+
+TEST_P(SkipListOps, BatchSuccessorMatchesReference) {
+  sim::Machine machine(GetParam());
+  PimSkipList list(machine);
+  RefModel ref;
+  rnd::Xoshiro256ss rng(23);
+  const auto pairs = test::make_sorted_pairs(500, rng);
+  list.build(pairs);
+  for (const auto& [k, v] : pairs) ref.upsert(k, v);
+
+  auto keys = test::random_keys(600, rng, -100, 1'100'000'000);
+  // Exact hits too.
+  for (u64 i = 0; i < 100; ++i) keys.push_back(pairs[rng.below(pairs.size())].first);
+
+  const auto succ = list.batch_successor(keys);
+  const auto pred = list.batch_predecessor(keys);
+  ASSERT_EQ(succ.size(), keys.size());
+  for (u64 i = 0; i < keys.size(); ++i) {
+    Key expect;
+    const bool has_succ = ref.successor(keys[i], &expect);
+    EXPECT_EQ(succ[i].found, has_succ) << "succ(" << keys[i] << ")";
+    if (has_succ) EXPECT_EQ(succ[i].key, expect) << "succ(" << keys[i] << ")";
+    const bool has_pred = ref.predecessor(keys[i], &expect);
+    EXPECT_EQ(pred[i].found, has_pred) << "pred(" << keys[i] << ")";
+    if (has_pred) EXPECT_EQ(pred[i].key, expect) << "pred(" << keys[i] << ")";
+  }
+  list.check_invariants();
+}
+
+TEST_P(SkipListOps, AdversarialSameSuccessorBatch) {
+  // §4.2's adversarial case: many distinct keys, all with the same
+  // successor — must still return correct answers (and stay balanced,
+  // which bench_fig3 measures).
+  sim::Machine machine(GetParam());
+  PimSkipList list(machine);
+  rnd::Xoshiro256ss rng(29);
+  // Keys spaced far apart; queries all fall in one gap.
+  std::vector<std::pair<Key, Value>> pairs;
+  for (Key k = 0; k < 100; ++k) pairs.push_back({k * 1'000'000, k});
+  list.build(pairs);
+
+  std::vector<Key> keys;
+  for (u64 i = 0; i < 800; ++i) keys.push_back(41'000'000 + 1 + static_cast<Key>(i));
+  const auto succ = list.batch_successor(keys);
+  for (const auto& r : succ) {
+    ASSERT_TRUE(r.found);
+    EXPECT_EQ(r.key, 42'000'000);
+  }
+}
+
+TEST_P(SkipListOps, NaiveSuccessorAgreesWithBalanced) {
+  sim::Machine machine(GetParam());
+  PimSkipList list(machine);
+  rnd::Xoshiro256ss rng(31);
+  const auto pairs = test::make_sorted_pairs(300, rng);
+  list.build(pairs);
+
+  const auto keys = test::random_keys(300, rng);
+  const auto balanced = list.batch_successor(keys);
+  const auto naive = list.batch_successor_naive(keys);
+  for (u64 i = 0; i < keys.size(); ++i) {
+    EXPECT_EQ(naive[i].found, balanced[i].found);
+    if (naive[i].found) EXPECT_EQ(naive[i].key, balanced[i].key);
+  }
+}
+
+TEST_P(SkipListOps, BatchUpsertInsertsAndUpdates) {
+  sim::Machine machine(GetParam());
+  PimSkipList list(machine);
+  RefModel ref;
+  rnd::Xoshiro256ss rng(37);
+  const auto pairs = test::make_sorted_pairs(200, rng);
+  list.build(pairs);
+  for (const auto& [k, v] : pairs) ref.upsert(k, v);
+
+  std::vector<std::pair<Key, Value>> batch;
+  for (u64 i = 0; i < 100; ++i) batch.push_back({pairs[i].first, 9000 + i});       // updates
+  for (u64 i = 0; i < 300; ++i) batch.push_back({rng.range(0, 2'000'000'000), i});  // inserts
+
+  list.batch_upsert(batch);
+  // First occurrence wins for duplicates; replay in order skipping repeats.
+  {
+    std::set<Key> seen;
+    for (const auto& [k, v] : batch) {
+      if (seen.insert(k).second) ref.upsert(k, v);
+    }
+  }
+  EXPECT_EQ(list.size(), ref.size());
+  list.check_invariants();
+
+  std::vector<Key> keys;
+  for (const auto& [k, v] : ref.map()) keys.push_back(k);
+  const auto results = list.batch_get(keys);
+  u64 i = 0;
+  for (const auto& [k, v] : ref.map()) {
+    ASSERT_TRUE(results[i].found) << "missing key " << k;
+    EXPECT_EQ(results[i].value, v) << "wrong value for " << k;
+    ++i;
+  }
+}
+
+TEST_P(SkipListOps, BatchUpsertConsecutiveRuns) {
+  // Fig. 4's hard case: many new keys that are mutual neighbors, so
+  // Algorithm 1 must chain new nodes to each other at every level.
+  sim::Machine machine(GetParam());
+  PimSkipList list(machine);
+  std::vector<std::pair<Key, Value>> initial = {{0, 0}, {1'000'000, 1}};
+  list.build(initial);
+
+  std::vector<std::pair<Key, Value>> batch;
+  for (Key k = 100; k < 1100; ++k) batch.push_back({k, static_cast<Value>(k)});
+  list.batch_upsert(batch);
+  EXPECT_EQ(list.size(), 1002u);
+  list.check_invariants();
+
+  std::vector<Key> keys;
+  for (const auto& [k, v] : batch) keys.push_back(k);
+  const auto results = list.batch_get(keys);
+  for (u64 i = 0; i < keys.size(); ++i) {
+    ASSERT_TRUE(results[i].found);
+    EXPECT_EQ(results[i].value, static_cast<Value>(keys[i]));
+  }
+}
+
+TEST_P(SkipListOps, BatchDeleteScattered) {
+  sim::Machine machine(GetParam());
+  PimSkipList list(machine);
+  RefModel ref;
+  rnd::Xoshiro256ss rng(41);
+  const auto pairs = test::make_sorted_pairs(400, rng);
+  list.build(pairs);
+  for (const auto& [k, v] : pairs) ref.upsert(k, v);
+
+  std::vector<Key> doomed;
+  for (u64 i = 0; i < pairs.size(); i += 3) doomed.push_back(pairs[i].first);
+  doomed.push_back(static_cast<Key>(3'000'000'000));  // miss
+  doomed.push_back(doomed.front());                   // duplicate
+
+  const auto erased = list.batch_delete(doomed);
+  for (u64 i = 0; i + 2 < doomed.size(); ++i) EXPECT_TRUE(erased[i]);
+  EXPECT_FALSE(erased[doomed.size() - 2]);
+  EXPECT_TRUE(erased.back());  // duplicate of an erased key reports erased
+  for (u64 i = 0; i + 2 < doomed.size(); ++i) ref.erase(doomed[i]);
+
+  EXPECT_EQ(list.size(), ref.size());
+  list.check_invariants();
+
+  std::vector<Key> all;
+  for (const auto& [k, v] : pairs) all.push_back(k);
+  const auto results = list.batch_get(all);
+  for (u64 i = 0; i < all.size(); ++i) {
+    Value v;
+    EXPECT_EQ(results[i].found, ref.get(all[i], &v)) << "key " << all[i];
+  }
+}
+
+TEST_P(SkipListOps, BatchDeleteConsecutiveRun) {
+  // Fig. 4 / §4.4: delete a long consecutive run — list contraction must
+  // splice the whole run at every level.
+  sim::Machine machine(GetParam());
+  PimSkipList list(machine);
+  std::vector<std::pair<Key, Value>> pairs;
+  for (Key k = 0; k < 1000; ++k) pairs.push_back({k, static_cast<Value>(k)});
+  list.build(pairs);
+
+  std::vector<Key> doomed;
+  for (Key k = 100; k < 900; ++k) doomed.push_back(k);
+  const auto erased = list.batch_delete(doomed);
+  for (const auto e : erased) EXPECT_TRUE(e);
+  EXPECT_EQ(list.size(), 200u);
+  list.check_invariants();
+
+  const auto succ = list.batch_successor(std::vector<Key>{99, 100, 500, 899});
+  EXPECT_EQ(succ[0].key, 99);
+  EXPECT_EQ(succ[1].key, 900);
+  EXPECT_EQ(succ[2].key, 900);
+  EXPECT_EQ(succ[3].key, 900);
+}
+
+TEST_P(SkipListOps, DeleteEverything) {
+  sim::Machine machine(GetParam());
+  PimSkipList list(machine);
+  rnd::Xoshiro256ss rng(43);
+  const auto pairs = test::make_sorted_pairs(300, rng);
+  list.build(pairs);
+
+  std::vector<Key> doomed;
+  for (const auto& [k, v] : pairs) doomed.push_back(k);
+  const auto erased = list.batch_delete(doomed);
+  for (const auto e : erased) EXPECT_TRUE(e);
+  EXPECT_EQ(list.size(), 0u);
+  list.check_invariants();
+
+  // The structure stays usable.
+  std::vector<std::pair<Key, Value>> batch = {{5, 50}, {6, 60}};
+  list.batch_upsert(batch);
+  EXPECT_EQ(list.size(), 2u);
+  list.check_invariants();
+}
+
+TEST_P(SkipListOps, MixedWorkloadManyBatches) {
+  sim::Machine machine(GetParam());
+  PimSkipList list(machine);
+  RefModel ref;
+  rnd::Xoshiro256ss rng(47);
+
+  for (int round = 0; round < 8; ++round) {
+    std::vector<std::pair<Key, Value>> ups;
+    for (int i = 0; i < 120; ++i) ups.push_back({rng.range(0, 50'000), rng()});
+    list.batch_upsert(ups);
+    {
+      std::set<Key> seen;
+      for (const auto& [k, v] : ups) {
+        if (seen.insert(k).second) ref.upsert(k, v);
+      }
+    }
+
+    std::vector<Key> dels;
+    for (int i = 0; i < 40; ++i) dels.push_back(rng.range(0, 50'000));
+    const auto erased = list.batch_delete(dels);
+    {
+      std::set<Key> seen;
+      u64 j = 0;
+      for (const Key k : dels) {
+        const bool expect = ref.map().count(k) > 0 || (seen.count(k) > 0);
+        EXPECT_EQ(static_cast<bool>(erased[j]), expect) << "delete " << k;
+        if (ref.erase(k)) seen.insert(k);
+        ++j;
+      }
+    }
+
+    EXPECT_EQ(list.size(), ref.size());
+    list.check_invariants();
+
+    const auto keys = test::random_keys(100, rng, 0, 50'000);
+    const auto succ = list.batch_successor(keys);
+    for (u64 i = 0; i < keys.size(); ++i) {
+      Key expect;
+      const bool has = ref.successor(keys[i], &expect);
+      ASSERT_EQ(succ[i].found, has) << "succ(" << keys[i] << ") in round " << round;
+      if (has) EXPECT_EQ(succ[i].key, expect);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Modules, SkipListOps, ::testing::Values(1u, 2u, 4u, 8u, 16u, 32u));
+
+}  // namespace
+}  // namespace pim::core

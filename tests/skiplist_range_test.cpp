@@ -1,0 +1,292 @@
+// Range operation tests (§5): broadcast-based (Thm 5.1) and tree-based
+// batched (Thm 5.2), differential against the reference model.
+#include <gtest/gtest.h>
+
+#include "core/pim_skiplist.hpp"
+#include "sim/measure.hpp"
+#include "test_util.hpp"
+
+namespace pim::core {
+namespace {
+
+using test::RefModel;
+
+class SkipListRange : public ::testing::TestWithParam<u32> {};
+
+TEST_P(SkipListRange, BroadcastCountSum) {
+  sim::Machine machine(GetParam());
+  PimSkipList list(machine);
+  RefModel ref;
+  rnd::Xoshiro256ss rng(53);
+  const auto pairs = test::make_sorted_pairs(600, rng, 0, 100'000);
+  list.build(pairs);
+  for (const auto& [k, v] : pairs) ref.upsert(k, v);
+
+  for (int t = 0; t < 20; ++t) {
+    Key lo = rng.range(-10, 100'010);
+    Key hi = rng.range(lo, 100'020);
+    const auto agg = list.range_count_broadcast(lo, hi);
+    const auto [count, sum] = ref.range_count_sum(lo, hi);
+    EXPECT_EQ(agg.count, count) << "[" << lo << "," << hi << "]";
+    EXPECT_EQ(agg.sum, sum);
+  }
+  // Full range and empty range.
+  const auto all = list.range_count_broadcast(kMinKey + 1, kMaxKey - 1);
+  EXPECT_EQ(all.count, pairs.size());
+  const auto none = list.range_count_broadcast(200'000, 300'000);
+  EXPECT_EQ(none.count, 0u);
+}
+
+TEST_P(SkipListRange, BroadcastIsOneRoundAndHEqualsOne) {
+  sim::Machine machine(GetParam());
+  PimSkipList list(machine);
+  rnd::Xoshiro256ss rng(59);
+  const auto pairs = test::make_sorted_pairs(500, rng, 0, 100'000);
+  list.build(pairs);
+
+  const auto metrics =
+      sim::measure(machine, [&] { (void)list.range_count_broadcast(10'000, 20'000); });
+  EXPECT_EQ(metrics.machine.rounds, 1u);
+  // h = 1 broadcast in + 1 partial reply out per module.
+  EXPECT_EQ(metrics.machine.io_time, 2u);
+}
+
+TEST_P(SkipListRange, BroadcastFetchAdd) {
+  sim::Machine machine(GetParam());
+  PimSkipList list(machine);
+  RefModel ref;
+  rnd::Xoshiro256ss rng(61);
+  const auto pairs = test::make_sorted_pairs(300, rng, 0, 50'000);
+  list.build(pairs);
+  for (const auto& [k, v] : pairs) ref.upsert(k, v);
+
+  const Key lo = 10'000, hi = 35'000;
+  const auto [count, old_sum] = ref.range_count_sum(lo, hi);
+  const auto agg = list.range_fetch_add_broadcast(lo, hi, 5);
+  EXPECT_EQ(agg.count, count);
+  EXPECT_EQ(agg.sum, old_sum);
+
+  // Values actually changed.
+  const auto after = list.range_count_broadcast(lo, hi);
+  EXPECT_EQ(after.sum, old_sum + 5 * count);
+  list.check_invariants();
+}
+
+TEST_P(SkipListRange, BroadcastCollect) {
+  sim::Machine machine(GetParam());
+  PimSkipList list(machine);
+  RefModel ref;
+  rnd::Xoshiro256ss rng(67);
+  const auto pairs = test::make_sorted_pairs(400, rng, 0, 80'000);
+  list.build(pairs);
+  for (const auto& [k, v] : pairs) ref.upsert(k, v);
+
+  const Key lo = 20'000, hi = 60'000;
+  const auto got = list.range_collect_broadcast(lo, hi);
+  std::vector<std::pair<Key, Value>> expect;
+  for (const auto& [k, v] : ref.map()) {
+    if (k >= lo && k <= hi) expect.push_back({k, v});
+  }
+  ASSERT_EQ(got.size(), expect.size());
+  for (u64 i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].first, expect[i].first);
+    EXPECT_EQ(got[i].second, expect[i].second);
+  }
+}
+
+TEST_P(SkipListRange, TreeBatchedAggregate) {
+  sim::Machine machine(GetParam());
+  PimSkipList list(machine);
+  RefModel ref;
+  rnd::Xoshiro256ss rng(71);
+  const auto pairs = test::make_sorted_pairs(800, rng, 0, 200'000);
+  list.build(pairs);
+  for (const auto& [k, v] : pairs) ref.upsert(k, v);
+
+  std::vector<PimSkipList::RangeQuery> queries;
+  for (int t = 0; t < 60; ++t) {
+    const Key lo = rng.range(0, 200'000);
+    const Key hi = rng.range(lo, std::min<Key>(lo + 20'000, 210'000));
+    queries.push_back({lo, hi});
+  }
+  const auto got = list.batch_range_aggregate(queries);
+  ASSERT_EQ(got.size(), queries.size());
+  for (u64 i = 0; i < queries.size(); ++i) {
+    const auto [count, sum] = ref.range_count_sum(queries[i].lo, queries[i].hi);
+    EXPECT_EQ(got[i].count, count) << "[" << queries[i].lo << "," << queries[i].hi << "]";
+    EXPECT_EQ(got[i].sum, sum);
+  }
+}
+
+TEST_P(SkipListRange, TreeBatchedOverlappingAndNested) {
+  sim::Machine machine(GetParam());
+  PimSkipList list(machine);
+  RefModel ref;
+  rnd::Xoshiro256ss rng(73);
+  const auto pairs = test::make_sorted_pairs(500, rng, 0, 100'000);
+  list.build(pairs);
+  for (const auto& [k, v] : pairs) ref.upsert(k, v);
+
+  std::vector<PimSkipList::RangeQuery> queries = {
+      {0, 100'000},       // everything
+      {0, 100'000},       // duplicate of everything
+      {10'000, 90'000},   // nested
+      {10'000, 10'000},   // point range
+      {50'000, 50'001},   // tiny
+      {99'999, 100'000},  // edge
+      {0, 1},             // edge
+  };
+  const auto got = list.batch_range_aggregate(queries);
+  for (u64 i = 0; i < queries.size(); ++i) {
+    const auto [count, sum] = ref.range_count_sum(queries[i].lo, queries[i].hi);
+    EXPECT_EQ(got[i].count, count) << "query " << i;
+    EXPECT_EQ(got[i].sum, sum) << "query " << i;
+  }
+}
+
+TEST_P(SkipListRange, ExpandEngineMatchesWalkEngine) {
+  sim::Machine machine(GetParam());
+  PimSkipList list(machine);
+  RefModel ref;
+  rnd::Xoshiro256ss rng(307);
+  const auto pairs = test::make_sorted_pairs(900, rng, 0, 300'000);
+  list.build(pairs);
+  for (const auto& [k, v] : pairs) ref.upsert(k, v);
+
+  std::vector<PimSkipList::RangeQuery> queries;
+  for (int t = 0; t < 50; ++t) {
+    const Key lo = rng.range(0, 300'000);
+    const Key hi = rng.range(lo, std::min<Key>(lo + 40'000, 310'000));
+    queries.push_back({lo, hi});
+  }
+  queries.push_back({0, 300'000});  // one huge range
+  const auto walk = list.batch_range_aggregate(queries);
+  const auto expand = list.batch_range_aggregate_expand(queries);
+  ASSERT_EQ(walk.size(), expand.size());
+  for (u64 i = 0; i < queries.size(); ++i) {
+    const auto [count, sum] = ref.range_count_sum(queries[i].lo, queries[i].hi);
+    EXPECT_EQ(expand[i].count, count) << "expand [" << queries[i].lo << "," << queries[i].hi << "]";
+    EXPECT_EQ(expand[i].sum, sum);
+    EXPECT_EQ(walk[i].count, expand[i].count);
+    EXPECT_EQ(walk[i].sum, expand[i].sum);
+  }
+}
+
+TEST_P(SkipListRange, ExpandEngineEdgeCases) {
+  sim::Machine machine(GetParam());
+  PimSkipList list(machine);
+  std::vector<std::pair<Key, Value>> pairs;
+  for (Key k = 0; k < 200; ++k) pairs.push_back({k * 5, 1});
+  list.build(pairs);
+
+  std::vector<PimSkipList::RangeQuery> queries = {
+      {0, 0},                    // point hit at the minimum
+      {1, 4},                    // between keys (empty)
+      {995, 995},                // point hit at the maximum
+      {996, 50'000},             // beyond the maximum (empty)
+      {kMinKey + 1, kMaxKey - 1},  // everything
+      {0, 995},                  // exact span
+  };
+  const auto got = list.batch_range_aggregate_expand(queries);
+  EXPECT_EQ(got[0].count, 1u);
+  EXPECT_EQ(got[1].count, 0u);
+  EXPECT_EQ(got[2].count, 1u);
+  EXPECT_EQ(got[3].count, 0u);
+  EXPECT_EQ(got[4].count, 200u);
+  EXPECT_EQ(got[5].count, 200u);
+}
+
+TEST_P(SkipListRange, ExpandEngineAfterMutations) {
+  sim::Machine machine(GetParam());
+  PimSkipList list(machine);
+  RefModel ref;
+  rnd::Xoshiro256ss rng(311);
+  const auto pairs = test::make_sorted_pairs(300, rng, 0, 60'000);
+  list.build(pairs);
+  for (const auto& [k, v] : pairs) ref.upsert(k, v);
+
+  std::vector<std::pair<Key, Value>> ups;
+  for (int i = 0; i < 150; ++i) ups.push_back({rng.range(0, 60'000), 3});
+  list.batch_upsert(ups);
+  {
+    std::set<Key> seen;
+    for (const auto& [k, v] : ups) {
+      if (seen.insert(k).second) ref.upsert(k, v);
+    }
+  }
+  std::vector<Key> dels;
+  for (int i = 0; i < 80; ++i) dels.push_back(rng.range(0, 60'000));
+  list.batch_delete(dels);
+  for (const Key k : dels) ref.erase(k);
+
+  std::vector<PimSkipList::RangeQuery> queries;
+  for (int t = 0; t < 25; ++t) {
+    const Key lo = rng.range(0, 60'000);
+    const Key hi = rng.range(lo, 60'000);
+    queries.push_back({lo, hi});
+  }
+  const auto got = list.batch_range_aggregate_expand(queries);
+  for (u64 i = 0; i < queries.size(); ++i) {
+    const auto [count, sum] = ref.range_count_sum(queries[i].lo, queries[i].hi);
+    EXPECT_EQ(got[i].count, count);
+    EXPECT_EQ(got[i].sum, sum);
+  }
+}
+
+TEST_P(SkipListRange, TreeBatchedHugeRangeFallsBackToBroadcast) {
+  // One subrange far larger than the walk budget exercises the §5.1
+  // fallback path.
+  sim::Machine machine(GetParam());
+  PimSkipList list(machine);
+  RefModel ref;
+  std::vector<std::pair<Key, Value>> pairs;
+  for (Key k = 0; k < 5000; ++k) pairs.push_back({k, 1});
+  list.build(pairs);
+  for (const auto& [k, v] : pairs) ref.upsert(k, v);
+
+  std::vector<PimSkipList::RangeQuery> queries = {{0, 4999}, {100, 200}};
+  const auto got = list.batch_range_aggregate(queries);
+  EXPECT_EQ(got[0].count, 5000u);
+  EXPECT_EQ(got[0].sum, 5000u);
+  EXPECT_EQ(got[1].count, 101u);
+}
+
+TEST_P(SkipListRange, RangeAfterMutationBatches) {
+  sim::Machine machine(GetParam());
+  PimSkipList list(machine);
+  RefModel ref;
+  rnd::Xoshiro256ss rng(79);
+  const auto pairs = test::make_sorted_pairs(400, rng, 0, 50'000);
+  list.build(pairs);
+  for (const auto& [k, v] : pairs) ref.upsert(k, v);
+
+  // Mutate, then range-query: exercises local leaf list maintenance.
+  std::vector<std::pair<Key, Value>> ups;
+  for (int i = 0; i < 200; ++i) ups.push_back({rng.range(0, 50'000), 7});
+  list.batch_upsert(ups);
+  {
+    std::set<Key> seen;
+    for (const auto& [k, v] : ups) {
+      if (seen.insert(k).second) ref.upsert(k, v);
+    }
+  }
+  std::vector<Key> dels;
+  for (int i = 0; i < 100; ++i) dels.push_back(rng.range(0, 50'000));
+  list.batch_delete(dels);
+  for (const Key k : dels) ref.erase(k);
+
+  for (int t = 0; t < 10; ++t) {
+    const Key lo = rng.range(0, 50'000);
+    const Key hi = rng.range(lo, 50'000);
+    const auto agg = list.range_count_broadcast(lo, hi);
+    const auto [count, sum] = ref.range_count_sum(lo, hi);
+    EXPECT_EQ(agg.count, count) << "[" << lo << "," << hi << "]";
+    EXPECT_EQ(agg.sum, sum);
+  }
+  list.check_invariants();
+}
+
+INSTANTIATE_TEST_SUITE_P(Modules, SkipListRange, ::testing::Values(1u, 2u, 4u, 8u, 16u, 32u));
+
+}  // namespace
+}  // namespace pim::core

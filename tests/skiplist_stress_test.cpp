@@ -1,0 +1,232 @@
+// Randomized long-haul stress: many seeds, mixed batch schedules, full
+// differential checking plus structural invariants after every batch.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/pim_skiplist.hpp"
+#include "test_util.hpp"
+
+namespace pim::core {
+namespace {
+
+using test::RefModel;
+
+class SkipListStress : public ::testing::TestWithParam<u64> {};
+
+TEST_P(SkipListStress, RandomScheduleDifferential) {
+  const u64 seed = GetParam();
+  rnd::Xoshiro256ss rng(seed);
+  const u32 p = 1u << rng.below(6);  // P in {1..32}
+  sim::Machine machine(p);
+  PimSkipList::Options opts;
+  opts.seed = rng();
+  PimSkipList list(machine, opts);
+  RefModel ref;
+
+  // Start from a random base.
+  const auto base = test::make_sorted_pairs(rng.below(400), rng, 0, 20'000);
+  list.build(base);
+  for (const auto& [k, v] : base) ref.upsert(k, v);
+
+  for (int step = 0; step < 12; ++step) {
+    switch (rng.below(6)) {
+      case 0: {  // upsert
+        std::vector<std::pair<Key, Value>> ops;
+        const u64 b = 1 + rng.below(200);
+        for (u64 i = 0; i < b; ++i) ops.push_back({rng.range(0, 20'000), rng()});
+        list.batch_upsert(ops);
+        std::set<Key> seen;
+        for (const auto& [k, v] : ops) {
+          if (seen.insert(k).second) ref.upsert(k, v);
+        }
+        break;
+      }
+      case 1: {  // delete
+        std::vector<Key> keys;
+        const u64 b = 1 + rng.below(150);
+        for (u64 i = 0; i < b; ++i) keys.push_back(rng.range(0, 20'000));
+        const auto erased = list.batch_delete(keys);
+        std::set<Key> seen;
+        for (u64 i = 0; i < keys.size(); ++i) {
+          const bool expect = ref.map().count(keys[i]) > 0 || seen.count(keys[i]) > 0;
+          ASSERT_EQ(static_cast<bool>(erased[i]), expect)
+              << "seed " << seed << " step " << step << " key " << keys[i];
+          if (ref.erase(keys[i])) seen.insert(keys[i]);
+        }
+        break;
+      }
+      case 2: {  // get
+        const auto keys = test::random_keys(1 + rng.below(200), rng, 0, 20'000);
+        const auto results = list.batch_get(keys);
+        for (u64 i = 0; i < keys.size(); ++i) {
+          Value v;
+          const bool found = ref.get(keys[i], &v);
+          ASSERT_EQ(results[i].found, found) << "seed " << seed << " key " << keys[i];
+          if (found) ASSERT_EQ(results[i].value, v);
+        }
+        break;
+      }
+      case 3: {  // successor + predecessor
+        const auto keys = test::random_keys(1 + rng.below(200), rng, -10, 20'010);
+        const auto succ = list.batch_successor(keys);
+        const auto pred = list.batch_predecessor(keys);
+        for (u64 i = 0; i < keys.size(); ++i) {
+          Key expect;
+          ASSERT_EQ(succ[i].found, ref.successor(keys[i], &expect)) << keys[i];
+          if (succ[i].found) ASSERT_EQ(succ[i].key, expect);
+          ASSERT_EQ(pred[i].found, ref.predecessor(keys[i], &expect)) << keys[i];
+          if (pred[i].found) ASSERT_EQ(pred[i].key, expect);
+        }
+        break;
+      }
+      case 4: {  // broadcast range + fetch-add
+        const Key lo = rng.range(0, 20'000);
+        const Key hi = rng.range(lo, 20'000);
+        const auto [count, sum] = ref.range_count_sum(lo, hi);
+        if (rng.coin()) {
+          const auto agg = list.range_count_broadcast(lo, hi);
+          ASSERT_EQ(agg.count, count);
+          ASSERT_EQ(agg.sum, sum);
+        } else {
+          const auto agg = list.range_fetch_add_broadcast(lo, hi, 3);
+          ASSERT_EQ(agg.count, count);
+          ASSERT_EQ(agg.sum, sum);
+          // Mirror the mutation in the reference.
+          std::vector<Key> in_range;
+          for (const auto& [k, v] : ref.map()) {
+            if (k >= lo && k <= hi) in_range.push_back(k);
+          }
+          for (const Key k : in_range) {
+            Value v;
+            ref.get(k, &v);
+            ref.upsert(k, v + 3);
+          }
+        }
+        break;
+      }
+      default: {  // batched tree ranges (both engines)
+        std::vector<PimSkipList::RangeQuery> queries;
+        const u64 b = 1 + rng.below(30);
+        for (u64 i = 0; i < b; ++i) {
+          const Key lo = rng.range(0, 20'000);
+          queries.push_back({lo, rng.range(lo, 20'000)});
+        }
+        const auto walk = list.batch_range_aggregate(queries);
+        const auto expand = list.batch_range_aggregate_expand(queries);
+        for (u64 i = 0; i < queries.size(); ++i) {
+          const auto [count, sum] = ref.range_count_sum(queries[i].lo, queries[i].hi);
+          ASSERT_EQ(walk[i].count, count) << "seed " << seed;
+          ASSERT_EQ(expand[i].count, count) << "seed " << seed;
+          ASSERT_EQ(walk[i].sum, sum);
+          ASSERT_EQ(expand[i].sum, sum);
+        }
+        break;
+      }
+    }
+    ASSERT_EQ(list.size(), ref.size()) << "seed " << seed << " step " << step;
+    list.check_invariants();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SkipListStress,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u, 55u, 89u));
+
+TEST(SkipListEdge, SingleModuleMachine) {
+  sim::Machine machine(1);
+  PimSkipList list(machine);
+  list.batch_upsert(std::vector<std::pair<Key, Value>>{{5, 50}, {3, 30}, {9, 90}});
+  EXPECT_EQ(list.size(), 3u);
+  const auto got = list.batch_get(std::vector<Key>{3, 5, 9, 7});
+  EXPECT_TRUE(got[0].found && got[1].found && got[2].found);
+  EXPECT_FALSE(got[3].found);
+  list.check_invariants();
+}
+
+TEST(SkipListEdge, EmptyBatchesAreNoops) {
+  sim::Machine machine(4);
+  PimSkipList list(machine);
+  EXPECT_TRUE(list.batch_get({}).empty());
+  EXPECT_TRUE(list.batch_successor({}).empty());
+  EXPECT_TRUE(list.batch_delete({}).empty());
+  list.batch_upsert({});
+  EXPECT_TRUE(list.batch_range_aggregate({}).empty());
+  EXPECT_TRUE(list.batch_range_aggregate_expand({}).empty());
+  EXPECT_EQ(list.size(), 0u);
+  list.check_invariants();
+}
+
+TEST(SkipListEdge, OperationsOnEmptyStructure) {
+  sim::Machine machine(8);
+  PimSkipList list(machine);
+  const auto got = list.batch_get(std::vector<Key>{1, 2, 3});
+  for (const auto& r : got) EXPECT_FALSE(r.found);
+  const auto succ = list.batch_successor(std::vector<Key>{0});
+  EXPECT_FALSE(succ[0].found);
+  const auto pred = list.batch_predecessor(std::vector<Key>{0});
+  EXPECT_FALSE(pred[0].found);
+  const auto erased = list.batch_delete(std::vector<Key>{5});
+  EXPECT_FALSE(erased[0]);
+  const auto agg = list.range_count_broadcast(0, 1'000'000);
+  EXPECT_EQ(agg.count, 0u);
+}
+
+TEST(SkipListEdge, ExtremeKeys) {
+  sim::Machine machine(4);
+  PimSkipList list(machine);
+  const Key lo = kMinKey + 1;
+  const Key hi = kMaxKey - 1;
+  list.batch_upsert(std::vector<std::pair<Key, Value>>{{lo, 1}, {0, 2}, {hi, 3}});
+  const auto got = list.batch_get(std::vector<Key>{lo, 0, hi});
+  EXPECT_TRUE(got[0].found && got[1].found && got[2].found);
+  const auto succ = list.batch_successor(std::vector<Key>{kMinKey + 1});
+  EXPECT_EQ(succ[0].key, lo);
+  const auto pred = list.batch_predecessor(std::vector<Key>{kMaxKey - 1});
+  EXPECT_EQ(pred[0].key, hi);
+  list.check_invariants();
+}
+
+TEST(SkipListEdge, ReservedKeysRejected) {
+  sim::Machine machine(4);
+  PimSkipList list(machine);
+  EXPECT_THROW(list.batch_upsert(std::vector<std::pair<Key, Value>>{{kMinKey, 1}}),
+               std::logic_error);
+  EXPECT_THROW(list.batch_upsert(std::vector<std::pair<Key, Value>>{{kMaxKey, 1}}),
+               std::logic_error);
+}
+
+TEST(SkipListEdge, UpsertDeleteSameKeyAcrossBatches) {
+  sim::Machine machine(8);
+  PimSkipList list(machine);
+  for (int round = 0; round < 10; ++round) {
+    list.batch_upsert(std::vector<std::pair<Key, Value>>{{42, static_cast<Value>(round)}});
+    const auto got = list.batch_get(std::vector<Key>{42});
+    ASSERT_TRUE(got[0].found);
+    ASSERT_EQ(got[0].value, static_cast<Value>(round));
+    const auto erased = list.batch_delete(std::vector<Key>{42});
+    ASSERT_TRUE(erased[0]);
+    ASSERT_EQ(list.size(), 0u);
+    list.check_invariants();
+  }
+}
+
+TEST(SkipListEdge, LargeBatchOnTinyStructure) {
+  sim::Machine machine(16);
+  PimSkipList list(machine);
+  list.batch_upsert(std::vector<std::pair<Key, Value>>{{100, 1}});
+  // 5000 successor queries against a single key.
+  std::vector<Key> keys(5000);
+  for (u64 i = 0; i < keys.size(); ++i) keys[i] = static_cast<Key>(i % 200);
+  const auto succ = list.batch_successor(keys);
+  for (u64 i = 0; i < keys.size(); ++i) {
+    if (keys[i] <= 100) {
+      ASSERT_TRUE(succ[i].found);
+      ASSERT_EQ(succ[i].key, 100);
+    } else {
+      ASSERT_FALSE(succ[i].found);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pim::core

@@ -1,0 +1,68 @@
+// Shared test helpers: reference model (std::map) and key generators.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+#include "random/rng.hpp"
+
+namespace pim::test {
+
+/// Sequential reference model for differential testing.
+class RefModel {
+ public:
+  void upsert(Key k, Value v) { map_[k] = v; }
+  bool erase(Key k) { return map_.erase(k) > 0; }
+  bool get(Key k, Value* v) const {
+    auto it = map_.find(k);
+    if (it == map_.end()) return false;
+    *v = it->second;
+    return true;
+  }
+  bool successor(Key k, Key* out) const {
+    auto it = map_.lower_bound(k);
+    if (it == map_.end()) return false;
+    *out = it->first;
+    return true;
+  }
+  bool predecessor(Key k, Key* out) const {
+    auto it = map_.upper_bound(k);
+    if (it == map_.begin()) return false;
+    *out = std::prev(it)->first;
+    return true;
+  }
+  std::pair<u64, u64> range_count_sum(Key lo, Key hi) const {
+    u64 count = 0, sum = 0;
+    for (auto it = map_.lower_bound(lo); it != map_.end() && it->first <= hi; ++it) {
+      ++count;
+      sum += it->second;
+    }
+    return {count, sum};
+  }
+  u64 size() const { return map_.size(); }
+  const std::map<Key, Value>& map() const { return map_; }
+
+ private:
+  std::map<Key, Value> map_;
+};
+
+/// n distinct sorted keys, uniform over a wide range.
+inline std::vector<std::pair<Key, Value>> make_sorted_pairs(u64 n, rnd::Xoshiro256ss& rng,
+                                                            Key lo = 0, Key hi = 1'000'000'000) {
+  std::map<Key, Value> m;
+  while (m.size() < n) m.emplace(rng.range(lo, hi), rng());
+  return {m.begin(), m.end()};
+}
+
+inline std::vector<Key> random_keys(u64 n, rnd::Xoshiro256ss& rng, Key lo = 0,
+                                    Key hi = 1'000'000'000) {
+  std::vector<Key> keys(n);
+  for (auto& k : keys) k = rng.range(lo, hi);
+  return keys;
+}
+
+}  // namespace pim::test

@@ -1,0 +1,103 @@
+// Tests for the workload generators — the adversary's toolbox.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "workload/generators.hpp"
+
+namespace pim::workload {
+namespace {
+
+TEST(Workload, UniformDatasetSortedUniqueInDomain) {
+  const auto data = make_uniform_dataset(1000, 1, 100, 200'000);
+  EXPECT_EQ(data.pairs.size(), 1000u);
+  for (u64 i = 0; i < data.pairs.size(); ++i) {
+    EXPECT_GE(data.pairs[i].first, 100);
+    EXPECT_LE(data.pairs[i].first, 200'000);
+    if (i > 0) EXPECT_LT(data.pairs[i - 1].first, data.pairs[i].first);
+  }
+}
+
+TEST(Workload, UniformPointBatch) {
+  const auto data = make_uniform_dataset(100, 2);
+  const auto batch = point_batch(data, Skew::kUniform, 500, 3);
+  EXPECT_EQ(batch.size(), 500u);
+  for (const Key k : batch) {
+    EXPECT_GE(k, data.domain_lo);
+    EXPECT_LE(k, data.domain_hi);
+  }
+}
+
+TEST(Workload, ZipfBatchSkewsTowardFewKeys) {
+  const auto data = make_uniform_dataset(1000, 4);
+  const auto batch = point_batch(data, Skew::kZipf, 20'000, 5, 0.99);
+  std::map<Key, u64> freq;
+  for (const Key k : batch) ++freq[k];
+  u64 max_freq = 0;
+  for (const auto& [k, f] : freq) max_freq = std::max(max_freq, f);
+  // The most popular key should account for far more than uniform share.
+  EXPECT_GT(max_freq, 20'000u / 1000 * 10);
+  // All Zipf keys are stored keys.
+  std::set<Key> stored;
+  for (const auto& [k, v] : data.pairs) stored.insert(k);
+  for (const auto& [k, f] : freq) EXPECT_TRUE(stored.count(k)) << k;
+}
+
+TEST(Workload, SameSuccessorBatchSharesOneSuccessor) {
+  const auto data = make_uniform_dataset(500, 6);
+  const auto batch = point_batch(data, Skew::kSameSuccessor, 300, 7);
+  EXPECT_GE(batch.size(), 1u);
+  // All keys distinct and inside one gap: the successor of each batch key
+  // in the dataset must be identical.
+  std::set<Key> distinct(batch.begin(), batch.end());
+  EXPECT_EQ(distinct.size(), batch.size());
+  auto successor_of = [&](Key k) {
+    auto it = std::lower_bound(
+        data.pairs.begin(), data.pairs.end(), k,
+        [](const std::pair<Key, Value>& p, Key key) { return p.first < key; });
+    return it == data.pairs.end() ? kMaxKey : it->first;
+  };
+  const Key expect = successor_of(batch.front());
+  for (const Key k : batch) EXPECT_EQ(successor_of(k), expect);
+}
+
+TEST(Workload, SinglePartitionBatchIsNarrow) {
+  const auto data = make_uniform_dataset(100, 8, 0, 1'000'000);
+  const auto batch = point_batch(data, Skew::kSinglePartition, 400, 9, 0.99, 10);
+  const auto [lo, hi] = std::minmax_element(batch.begin(), batch.end());
+  EXPECT_LE(*hi - *lo, 100'000);  // within one tenth of the domain
+}
+
+TEST(Workload, InsertBatchAvoidsExistingKeys) {
+  const auto data = make_uniform_dataset(300, 10, 0, 100'000);
+  const auto batch = insert_batch(data, Skew::kUniform, 200, 11);
+  EXPECT_EQ(batch.size(), 200u);
+  std::set<Key> stored;
+  for (const auto& [k, v] : data.pairs) stored.insert(k);
+  std::set<Key> fresh;
+  for (const auto& [k, v] : batch) {
+    EXPECT_FALSE(stored.count(k)) << k;
+    EXPECT_TRUE(fresh.insert(k).second) << "duplicate insert key " << k;
+  }
+}
+
+TEST(Workload, RangeBatchBoundsOrdered) {
+  const auto data = make_uniform_dataset(1000, 12);
+  const auto batch = range_batch(data, 100, 50, 13);
+  EXPECT_EQ(batch.size(), 100u);
+  for (const auto& [lo, hi] : batch) {
+    EXPECT_LE(lo, hi);
+    EXPECT_GE(lo, data.domain_lo);
+    EXPECT_LE(hi, data.domain_hi);
+  }
+}
+
+TEST(Workload, DeterministicPerSeed) {
+  const auto data = make_uniform_dataset(100, 14);
+  EXPECT_EQ(point_batch(data, Skew::kUniform, 50, 15), point_batch(data, Skew::kUniform, 50, 15));
+  EXPECT_NE(point_batch(data, Skew::kUniform, 50, 15), point_batch(data, Skew::kUniform, 50, 16));
+}
+
+}  // namespace
+}  // namespace pim::workload
