@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_pointer_surgery.dir/bench_fig4_pointer_surgery.cpp.o"
+  "CMakeFiles/bench_fig4_pointer_surgery.dir/bench_fig4_pointer_surgery.cpp.o.d"
+  "bench_fig4_pointer_surgery"
+  "bench_fig4_pointer_surgery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_pointer_surgery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

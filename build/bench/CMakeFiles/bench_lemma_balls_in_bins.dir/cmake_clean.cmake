@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lemma_balls_in_bins.dir/bench_lemma_balls_in_bins.cpp.o"
+  "CMakeFiles/bench_lemma_balls_in_bins.dir/bench_lemma_balls_in_bins.cpp.o.d"
+  "bench_lemma_balls_in_bins"
+  "bench_lemma_balls_in_bins.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lemma_balls_in_bins.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

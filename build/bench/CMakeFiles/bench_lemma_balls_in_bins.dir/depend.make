@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_lemma_balls_in_bins.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_naive_vs_balanced.dir/bench_naive_vs_balanced.cpp.o"
+  "CMakeFiles/bench_naive_vs_balanced.dir/bench_naive_vs_balanced.cpp.o.d"
+  "bench_naive_vs_balanced"
+  "bench_naive_vs_balanced.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_naive_vs_balanced.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_delete.dir/bench_table1_delete.cpp.o"
+  "CMakeFiles/bench_table1_delete.dir/bench_table1_delete.cpp.o.d"
+  "bench_table1_delete"
+  "bench_table1_delete.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_delete.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_get.dir/bench_table1_get.cpp.o"
+  "CMakeFiles/bench_table1_get.dir/bench_table1_get.cpp.o.d"
+  "bench_table1_get"
+  "bench_table1_get.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_get.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_successor.dir/bench_table1_successor.cpp.o"
+  "CMakeFiles/bench_table1_successor.dir/bench_table1_successor.cpp.o.d"
+  "bench_table1_successor"
+  "bench_table1_successor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_successor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_upsert.dir/bench_table1_upsert.cpp.o"
+  "CMakeFiles/bench_table1_upsert.dir/bench_table1_upsert.cpp.o.d"
+  "bench_table1_upsert"
+  "bench_table1_upsert.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_upsert.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

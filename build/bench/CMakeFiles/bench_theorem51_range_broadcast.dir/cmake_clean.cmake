@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_theorem51_range_broadcast.dir/bench_theorem51_range_broadcast.cpp.o"
+  "CMakeFiles/bench_theorem51_range_broadcast.dir/bench_theorem51_range_broadcast.cpp.o.d"
+  "bench_theorem51_range_broadcast"
+  "bench_theorem51_range_broadcast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_theorem51_range_broadcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_theorem51_range_broadcast.
+# This may be replaced when dependencies are built.

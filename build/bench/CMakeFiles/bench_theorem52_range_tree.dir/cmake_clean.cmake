@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_theorem52_range_tree.dir/bench_theorem52_range_tree.cpp.o"
+  "CMakeFiles/bench_theorem52_range_tree.dir/bench_theorem52_range_tree.cpp.o.d"
+  "bench_theorem52_range_tree"
+  "bench_theorem52_range_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_theorem52_range_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

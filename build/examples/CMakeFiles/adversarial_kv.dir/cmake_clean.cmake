@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adversarial_kv.dir/adversarial_kv.cpp.o"
+  "CMakeFiles/adversarial_kv.dir/adversarial_kv.cpp.o.d"
+  "adversarial_kv"
+  "adversarial_kv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adversarial_kv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/time_series_index.dir/time_series_index.cpp.o"
+  "CMakeFiles/time_series_index.dir/time_series_index.cpp.o.d"
+  "time_series_index"
+  "time_series_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/time_series_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pim_baseline.dir/hash_partition_store.cpp.o"
+  "CMakeFiles/pim_baseline.dir/hash_partition_store.cpp.o.d"
+  "CMakeFiles/pim_baseline.dir/range_partition_store.cpp.o"
+  "CMakeFiles/pim_baseline.dir/range_partition_store.cpp.o.d"
+  "libpim_baseline.a"
+  "libpim_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pim_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pim_common.dir/log.cpp.o"
+  "CMakeFiles/pim_common.dir/log.cpp.o.d"
+  "libpim_common.a"
+  "libpim_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pim_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/op_delete.cpp" "src/core/CMakeFiles/pim_core.dir/op_delete.cpp.o" "gcc" "src/core/CMakeFiles/pim_core.dir/op_delete.cpp.o.d"
+  "/root/repo/src/core/op_range_broadcast.cpp" "src/core/CMakeFiles/pim_core.dir/op_range_broadcast.cpp.o" "gcc" "src/core/CMakeFiles/pim_core.dir/op_range_broadcast.cpp.o.d"
+  "/root/repo/src/core/op_range_tree.cpp" "src/core/CMakeFiles/pim_core.dir/op_range_tree.cpp.o" "gcc" "src/core/CMakeFiles/pim_core.dir/op_range_tree.cpp.o.d"
+  "/root/repo/src/core/op_successor.cpp" "src/core/CMakeFiles/pim_core.dir/op_successor.cpp.o" "gcc" "src/core/CMakeFiles/pim_core.dir/op_successor.cpp.o.d"
+  "/root/repo/src/core/op_upsert.cpp" "src/core/CMakeFiles/pim_core.dir/op_upsert.cpp.o" "gcc" "src/core/CMakeFiles/pim_core.dir/op_upsert.cpp.o.d"
+  "/root/repo/src/core/skiplist.cpp" "src/core/CMakeFiles/pim_core.dir/skiplist.cpp.o" "gcc" "src/core/CMakeFiles/pim_core.dir/skiplist.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/pim_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/pimds/CMakeFiles/pim_pimds.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

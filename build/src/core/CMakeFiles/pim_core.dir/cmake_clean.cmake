@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pim_core.dir/op_delete.cpp.o"
+  "CMakeFiles/pim_core.dir/op_delete.cpp.o.d"
+  "CMakeFiles/pim_core.dir/op_range_broadcast.cpp.o"
+  "CMakeFiles/pim_core.dir/op_range_broadcast.cpp.o.d"
+  "CMakeFiles/pim_core.dir/op_range_tree.cpp.o"
+  "CMakeFiles/pim_core.dir/op_range_tree.cpp.o.d"
+  "CMakeFiles/pim_core.dir/op_successor.cpp.o"
+  "CMakeFiles/pim_core.dir/op_successor.cpp.o.d"
+  "CMakeFiles/pim_core.dir/op_upsert.cpp.o"
+  "CMakeFiles/pim_core.dir/op_upsert.cpp.o.d"
+  "CMakeFiles/pim_core.dir/skiplist.cpp.o"
+  "CMakeFiles/pim_core.dir/skiplist.cpp.o.d"
+  "libpim_core.a"
+  "libpim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

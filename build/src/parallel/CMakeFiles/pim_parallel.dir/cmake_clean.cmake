@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pim_parallel.dir/cost_model.cpp.o"
+  "CMakeFiles/pim_parallel.dir/cost_model.cpp.o.d"
+  "CMakeFiles/pim_parallel.dir/list_contraction.cpp.o"
+  "CMakeFiles/pim_parallel.dir/list_contraction.cpp.o.d"
+  "CMakeFiles/pim_parallel.dir/thread_pool.cpp.o"
+  "CMakeFiles/pim_parallel.dir/thread_pool.cpp.o.d"
+  "libpim_parallel.a"
+  "libpim_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pim_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

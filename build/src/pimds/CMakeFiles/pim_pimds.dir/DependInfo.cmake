@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pimds/deamortized_hash.cpp" "src/pimds/CMakeFiles/pim_pimds.dir/deamortized_hash.cpp.o" "gcc" "src/pimds/CMakeFiles/pim_pimds.dir/deamortized_hash.cpp.o.d"
+  "/root/repo/src/pimds/local_index.cpp" "src/pimds/CMakeFiles/pim_pimds.dir/local_index.cpp.o" "gcc" "src/pimds/CMakeFiles/pim_pimds.dir/local_index.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

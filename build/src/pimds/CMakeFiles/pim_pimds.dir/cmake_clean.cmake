@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pim_pimds.dir/deamortized_hash.cpp.o"
+  "CMakeFiles/pim_pimds.dir/deamortized_hash.cpp.o.d"
+  "CMakeFiles/pim_pimds.dir/local_index.cpp.o"
+  "CMakeFiles/pim_pimds.dir/local_index.cpp.o.d"
+  "libpim_pimds.a"
+  "libpim_pimds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pim_pimds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pim_sim.dir/machine.cpp.o"
+  "CMakeFiles/pim_sim.dir/machine.cpp.o.d"
+  "libpim_sim.a"
+  "libpim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pim_workload.dir/generators.cpp.o"
+  "CMakeFiles/pim_workload.dir/generators.cpp.o.d"
+  "libpim_workload.a"
+  "libpim_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pim_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

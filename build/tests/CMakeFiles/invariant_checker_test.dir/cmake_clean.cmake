@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/invariant_checker_test.dir/invariant_checker_test.cpp.o"
+  "CMakeFiles/invariant_checker_test.dir/invariant_checker_test.cpp.o.d"
+  "invariant_checker_test"
+  "invariant_checker_test.pdb"
+  "invariant_checker_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/invariant_checker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

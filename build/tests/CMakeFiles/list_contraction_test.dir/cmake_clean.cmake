@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/list_contraction_test.dir/list_contraction_test.cpp.o"
+  "CMakeFiles/list_contraction_test.dir/list_contraction_test.cpp.o.d"
+  "list_contraction_test"
+  "list_contraction_test.pdb"
+  "list_contraction_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/list_contraction_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metrics_contract_test.dir/metrics_contract_test.cpp.o"
+  "CMakeFiles/metrics_contract_test.dir/metrics_contract_test.cpp.o.d"
+  "metrics_contract_test"
+  "metrics_contract_test.pdb"
+  "metrics_contract_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metrics_contract_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pimds_test.dir/pimds_test.cpp.o"
+  "CMakeFiles/pimds_test.dir/pimds_test.cpp.o.d"
+  "pimds_test"
+  "pimds_test.pdb"
+  "pimds_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pimds_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scan_sort_test.dir/scan_sort_test.cpp.o"
+  "CMakeFiles/scan_sort_test.dir/scan_sort_test.cpp.o.d"
+  "scan_sort_test"
+  "scan_sort_test.pdb"
+  "scan_sort_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scan_sort_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

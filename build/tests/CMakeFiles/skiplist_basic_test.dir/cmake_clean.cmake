@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skiplist_basic_test.dir/skiplist_basic_test.cpp.o"
+  "CMakeFiles/skiplist_basic_test.dir/skiplist_basic_test.cpp.o.d"
+  "skiplist_basic_test"
+  "skiplist_basic_test.pdb"
+  "skiplist_basic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skiplist_basic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

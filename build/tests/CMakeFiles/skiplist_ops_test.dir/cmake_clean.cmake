@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skiplist_ops_test.dir/skiplist_ops_test.cpp.o"
+  "CMakeFiles/skiplist_ops_test.dir/skiplist_ops_test.cpp.o.d"
+  "skiplist_ops_test"
+  "skiplist_ops_test.pdb"
+  "skiplist_ops_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skiplist_ops_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skiplist_stress_test.dir/skiplist_stress_test.cpp.o"
+  "CMakeFiles/skiplist_stress_test.dir/skiplist_stress_test.cpp.o.d"
+  "skiplist_stress_test"
+  "skiplist_stress_test.pdb"
+  "skiplist_stress_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skiplist_stress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

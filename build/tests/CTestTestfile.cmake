@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/skiplist_basic_test[1]_include.cmake")
+include("/root/repo/build/tests/skiplist_ops_test[1]_include.cmake")
+include("/root/repo/build/tests/skiplist_range_test[1]_include.cmake")
+include("/root/repo/build/tests/rng_test[1]_include.cmake")
+include("/root/repo/build/tests/parallel_test[1]_include.cmake")
+include("/root/repo/build/tests/scan_sort_test[1]_include.cmake")
+include("/root/repo/build/tests/list_contraction_test[1]_include.cmake")
+include("/root/repo/build/tests/machine_test[1]_include.cmake")
+include("/root/repo/build/tests/pimds_test[1]_include.cmake")
+include("/root/repo/build/tests/baseline_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/contention_test[1]_include.cmake")
+include("/root/repo/build/tests/executor_test[1]_include.cmake")
+include("/root/repo/build/tests/radix_sort_test[1]_include.cmake")
+include("/root/repo/build/tests/skiplist_stress_test[1]_include.cmake")
+include("/root/repo/build/tests/metrics_contract_test[1]_include.cmake")
+include("/root/repo/build/tests/invariant_checker_test[1]_include.cmake")
