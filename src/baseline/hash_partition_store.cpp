@@ -17,7 +17,16 @@ HashPartitionStore::HashPartitionStore(sim::Machine& machine, Options opts)
     : machine_(machine), opts_(opts), rng_(opts.seed), hash_(rng_()) {
   const u32 p = machine.modules();
   state_.reserve(p);
-  for (u32 m = 0; m < p; ++m) state_.emplace_back(rng_());
+  index_seeds_.reserve(p);
+  for (u32 m = 0; m < p; ++m) {
+    index_seeds_.push_back(rng_());
+    state_.emplace_back(index_seeds_.back());
+  }
+  // Fail-stop: the partition's contents are gone. size_ keeps counting the
+  // lost keys on purpose — the store cannot know what it lost, which is
+  // the point of the comparison with the recoverable structure.
+  machine_.add_crash_listener(
+      [this](ModuleId m) { state_[m] = pimds::LocalOrderedIndex(index_seeds_[m]); });
 
   h_get_ = [this](sim::ModuleCtx& ctx, std::span<const u64> a) {
     const auto hit = state_[ctx.id()].find(static_cast<Key>(a[1]));
@@ -63,7 +72,17 @@ HashPartitionStore::HashPartitionStore(sim::Machine& machine, Options opts)
   };
 }
 
+void HashPartitionStore::require_available(const char* op) const {
+  if (machine_.down_count() == 0) return;
+  throw StatusError(Status(
+      StatusCode::kUnavailable,
+      std::string("HashPartitionStore::") + op + ": " +
+          std::to_string(machine_.down_count()) +
+          " module(s) down and the baseline has no recovery path"));
+}
+
 void HashPartitionStore::build(std::span<const std::pair<Key, Value>> sorted_unique) {
+  require_available("build");
   for (const auto& [k, v] : sorted_unique) {
     state_[home_of(k)].upsert(k, v);
     ++size_;
@@ -72,6 +91,7 @@ void HashPartitionStore::build(std::span<const std::pair<Key, Value>> sorted_uni
 
 std::vector<HashPartitionStore::GetResult> HashPartitionStore::batch_get(
     std::span<const Key> keys) {
+  require_available("batch_get");
   const u64 n = keys.size();
   std::vector<GetResult> out(n);
   if (n == 0) return out;
@@ -97,6 +117,7 @@ std::vector<HashPartitionStore::GetResult> HashPartitionStore::batch_get(
 }
 
 void HashPartitionStore::batch_upsert(std::span<const std::pair<Key, Value>> ops) {
+  require_available("batch_upsert");
   const u64 n = ops.size();
   if (n == 0) return;
   std::vector<Key> keys(n);
@@ -121,6 +142,7 @@ void HashPartitionStore::batch_upsert(std::span<const std::pair<Key, Value>> ops
 }
 
 std::vector<u8> HashPartitionStore::batch_delete(std::span<const Key> keys) {
+  require_available("batch_delete");
   const u64 n = keys.size();
   std::vector<u8> out(n, 0);
   if (n == 0) return out;
@@ -147,6 +169,7 @@ std::vector<u8> HashPartitionStore::batch_delete(std::span<const Key> keys) {
 
 std::vector<HashPartitionStore::NearResult> HashPartitionStore::batch_successor(
     std::span<const Key> keys) {
+  require_available("batch_successor");
   const u64 n = keys.size();
   std::vector<NearResult> out(n);
   if (n == 0) return out;
@@ -188,6 +211,7 @@ std::vector<HashPartitionStore::NearResult> HashPartitionStore::batch_successor(
 }
 
 HashPartitionStore::RangeAgg HashPartitionStore::range_aggregate(Key lo, Key hi) {
+  require_available("range_aggregate");
   PIM_CHECK(lo <= hi, "range_aggregate: lo > hi");
   const u32 p = machine_.modules();
   machine_.mailbox().assign(2ull * p, 0);

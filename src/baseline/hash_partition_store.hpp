@@ -12,6 +12,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/status.hpp"
 #include "common/types.hpp"
 #include "pimds/local_index.hpp"
 #include "random/hash_fn.hpp"
@@ -63,11 +64,16 @@ class HashPartitionStore {
   ModuleId home_of(Key key) const {
     return static_cast<ModuleId>(hash_(static_cast<u64>(key)) % machine_.modules());
   }
+  /// The baseline has no replication or journal: a module crash loses its
+  /// partition permanently. Every entry point throws StatusError
+  /// (kUnavailable) while any module is down — fail cleanly, no recovery.
+  void require_available(const char* op) const;
 
   sim::Machine& machine_;
   Options opts_;
   rnd::Xoshiro256ss rng_;
   rnd::KeyedHash hash_;
+  std::vector<u64> index_seeds_;
   std::vector<pimds::LocalOrderedIndex> state_;
   u64 size_ = 0;
 

@@ -18,7 +18,16 @@ RangePartitionStore::RangePartitionStore(sim::Machine& machine, Options opts)
     : machine_(machine), opts_(opts), rng_(opts.seed) {
   const u32 p = machine.modules();
   state_.reserve(p);
-  for (u32 m = 0; m < p; ++m) state_.emplace_back(rng_());
+  index_seeds_.reserve(p);
+  for (u32 m = 0; m < p; ++m) {
+    index_seeds_.push_back(rng_());
+    state_.emplace_back(index_seeds_.back());
+  }
+  // Fail-stop: the partition's contents are gone. size_ keeps counting the
+  // lost keys on purpose — the store cannot know what it lost, which is
+  // the point of the comparison with the recoverable structure.
+  machine_.add_crash_listener(
+      [this](ModuleId m) { state_[m] = pimds::LocalOrderedIndex(index_seeds_[m]); });
   // Even key-domain splitters until build() provides quantiles.
   splitters_.resize(p > 0 ? p - 1 : 0);
   const __int128 span = static_cast<__int128>(opts.domain_hi) - opts.domain_lo;
@@ -84,7 +93,17 @@ ModuleId RangePartitionStore::partition_of(Key key) const {
   return static_cast<ModuleId>(it - splitters_.begin());
 }
 
+void RangePartitionStore::require_available(const char* op) const {
+  if (machine_.down_count() == 0) return;
+  throw StatusError(Status(
+      StatusCode::kUnavailable,
+      std::string("RangePartitionStore::") + op + ": " +
+          std::to_string(machine_.down_count()) +
+          " module(s) down and the baseline has no recovery path"));
+}
+
 void RangePartitionStore::build(std::span<const std::pair<Key, Value>> sorted_unique) {
+  require_available("build");
   const u64 n = sorted_unique.size();
   const u32 p = machine_.modules();
   if (n >= p) {
@@ -98,6 +117,7 @@ void RangePartitionStore::build(std::span<const std::pair<Key, Value>> sorted_un
 
 std::vector<RangePartitionStore::GetResult> RangePartitionStore::batch_get(
     std::span<const Key> keys) {
+  require_available("batch_get");
   const u64 n = keys.size();
   std::vector<GetResult> out(n);
   if (n == 0) return out;
@@ -123,6 +143,7 @@ std::vector<RangePartitionStore::GetResult> RangePartitionStore::batch_get(
 }
 
 void RangePartitionStore::batch_upsert(std::span<const std::pair<Key, Value>> ops) {
+  require_available("batch_upsert");
   const u64 n = ops.size();
   if (n == 0) return;
   std::vector<Key> keys(n);
@@ -147,6 +168,7 @@ void RangePartitionStore::batch_upsert(std::span<const std::pair<Key, Value>> op
 }
 
 std::vector<u8> RangePartitionStore::batch_delete(std::span<const Key> keys) {
+  require_available("batch_delete");
   const u64 n = keys.size();
   std::vector<u8> out(n, 0);
   if (n == 0) return out;
@@ -173,6 +195,7 @@ std::vector<u8> RangePartitionStore::batch_delete(std::span<const Key> keys) {
 
 std::vector<RangePartitionStore::NearResult> RangePartitionStore::batch_successor(
     std::span<const Key> keys) {
+  require_available("batch_successor");
   const u64 n = keys.size();
   std::vector<NearResult> out(n);
   if (n == 0) return out;
@@ -200,6 +223,7 @@ std::vector<RangePartitionStore::NearResult> RangePartitionStore::batch_successo
 }
 
 RangePartitionStore::RangeAgg RangePartitionStore::range_aggregate(Key lo, Key hi) {
+  require_available("range_aggregate");
   PIM_CHECK(lo <= hi, "range_aggregate: lo > hi");
   const ModuleId first = partition_of(lo);
   const ModuleId last = partition_of(hi);
@@ -222,6 +246,7 @@ RangePartitionStore::RangeAgg RangePartitionStore::range_aggregate(Key lo, Key h
 
 std::vector<RangePartitionStore::RangeAgg> RangePartitionStore::batch_range_aggregate(
     std::span<const std::pair<Key, Key>> queries) {
+  require_available("batch_range_aggregate");
   const u64 q = queries.size();
   std::vector<RangeAgg> out(q);
   if (q == 0) return out;

@@ -15,6 +15,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/status.hpp"
 #include "common/types.hpp"
 #include "pimds/local_index.hpp"
 #include "random/rng.hpp"
@@ -68,11 +69,16 @@ class RangePartitionStore {
 
  private:
   ModuleId partition_of(Key key) const;
+  /// The baseline has no replication or journal: a module crash loses its
+  /// partition permanently. Every entry point throws StatusError
+  /// (kUnavailable) while any module is down — fail cleanly, no recovery.
+  void require_available(const char* op) const;
 
   sim::Machine& machine_;
   Options opts_;
   rnd::Xoshiro256ss rng_;
   std::vector<Key> splitters_;  // size P-1; module m owns [s[m-1], s[m])
+  std::vector<u64> index_seeds_;
   std::vector<pimds::LocalOrderedIndex> state_;
   u64 size_ = 0;
 

@@ -1,0 +1,75 @@
+// Structured, recoverable errors for fault-tolerant operation drivers.
+//
+// PIM_CHECK remains the tool for invariant violations (bugs): it throws
+// std::logic_error and nothing catches it. Conditions a caller is expected
+// to handle — a module crashed mid-batch, a retry budget ran out, a drain
+// hit its round limit — are reported as pim::StatusError carrying a
+// pim::Status, so recovery layers can branch on the code instead of
+// parsing message strings.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "common/types.hpp"
+
+namespace pim {
+
+enum class StatusCode : u32 {
+  kOk = 0,
+  /// A message exceeded its retry budget (network persistently lossy).
+  kRetryExhausted,
+  /// A message could not be delivered because its target module is down.
+  kModuleDown,
+  /// run_until_quiescent hit max_rounds_per_drain (likely livelock).
+  kDrainStuck,
+  /// The component cannot serve the request in its current state (e.g. a
+  /// baseline store with a crashed module and no recovery path).
+  kUnavailable,
+};
+
+inline const char* status_code_name(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kRetryExhausted: return "RETRY_EXHAUSTED";
+    case StatusCode::kModuleDown: return "MODULE_DOWN";
+    case StatusCode::kDrainStuck: return "DRAIN_STUCK";
+    case StatusCode::kUnavailable: return "UNAVAILABLE";
+  }
+  return "UNKNOWN";
+}
+
+class Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+  std::string to_string() const {
+    return std::string(status_code_name(code_)) + ": " + message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Exception wrapper so drivers without an explicit Status return channel
+/// can still surface structured errors through existing call signatures.
+class StatusError : public std::runtime_error {
+ public:
+  explicit StatusError(Status status)
+      : std::runtime_error(status.to_string()), status_(std::move(status)) {}
+
+  const Status& status() const { return status_; }
+  StatusCode code() const { return status_.code(); }
+
+ private:
+  Status status_;
+};
+
+}  // namespace pim

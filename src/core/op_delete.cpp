@@ -118,7 +118,7 @@ void PimSkipList::init_delete_handlers() {
   };
 }
 
-std::vector<u8> PimSkipList::batch_delete(std::span<const Key> keys) {
+std::vector<u8> PimSkipList::batch_delete_impl(std::span<const Key> keys) {
   const u64 n = keys.size();
   std::vector<u8> out(n, 0);
   if (n == 0) return out;

@@ -151,7 +151,7 @@ void PimSkipList::init_range_handlers() {
 
 // ---------------- drivers ----------------
 
-PimSkipList::RangeAgg PimSkipList::range_count_broadcast(Key lo, Key hi) {
+PimSkipList::RangeAgg PimSkipList::range_count_broadcast_impl(Key lo, Key hi) {
   PIM_CHECK(lo <= hi, "range_count_broadcast: lo > hi");
   const u32 p = machine_.modules();
   machine_.mailbox().assign(2 * p, 0);
@@ -171,7 +171,7 @@ PimSkipList::RangeAgg PimSkipList::range_count_broadcast(Key lo, Key hi) {
   return agg;
 }
 
-PimSkipList::RangeAgg PimSkipList::range_fetch_add_broadcast(Key lo, Key hi, u64 delta) {
+PimSkipList::RangeAgg PimSkipList::range_fetch_add_broadcast_impl(Key lo, Key hi, u64 delta) {
   PIM_CHECK(lo <= hi, "range_fetch_add_broadcast: lo > hi");
   const u32 p = machine_.modules();
   machine_.mailbox().assign(2 * p, 0);
@@ -191,7 +191,7 @@ PimSkipList::RangeAgg PimSkipList::range_fetch_add_broadcast(Key lo, Key hi, u64
   return agg;
 }
 
-std::vector<std::pair<Key, Value>> PimSkipList::range_collect_broadcast(Key lo, Key hi) {
+std::vector<std::pair<Key, Value>> PimSkipList::range_collect_broadcast_impl(Key lo, Key hi) {
   PIM_CHECK(lo <= hi, "range_collect_broadcast: lo > hi");
   const u32 p = machine_.modules();
 

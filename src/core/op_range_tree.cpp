@@ -121,7 +121,7 @@ std::vector<PimSkipList::RangeAgg> combine(const SubrangePlan& plan,
 
 // ---------------- walk engine ----------------
 
-std::vector<PimSkipList::RangeAgg> PimSkipList::batch_range_aggregate(
+std::vector<PimSkipList::RangeAgg> PimSkipList::batch_range_aggregate_impl(
     std::span<const RangeQuery> queries) {
   const u64 q = queries.size();
   if (q == 0) return {};
@@ -286,7 +286,7 @@ void PimSkipList::init_expand_handlers() {
   };
 }
 
-std::vector<PimSkipList::RangeAgg> PimSkipList::batch_range_aggregate_expand(
+std::vector<PimSkipList::RangeAgg> PimSkipList::batch_range_aggregate_expand_impl(
     std::span<const RangeQuery> queries) {
   const u64 q = queries.size();
   if (q == 0) return {};

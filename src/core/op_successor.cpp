@@ -484,15 +484,7 @@ std::vector<PimSkipList::NearResult> PimSkipList::batch_near(std::span<const Key
   return out;
 }
 
-std::vector<PimSkipList::NearResult> PimSkipList::batch_successor(std::span<const Key> keys) {
-  return batch_near(keys, /*successor_mode=*/true);
-}
-
-std::vector<PimSkipList::NearResult> PimSkipList::batch_predecessor(std::span<const Key> keys) {
-  return batch_near(keys, /*successor_mode=*/false);
-}
-
-std::vector<PimSkipList::NearResult> PimSkipList::batch_successor_naive(
+std::vector<PimSkipList::NearResult> PimSkipList::batch_successor_naive_impl(
     std::span<const Key> keys) {
   // §4.2's PIM-imbalanced strawman: every query descends from the root
   // concurrently; no dedup, no pivots, no hints.

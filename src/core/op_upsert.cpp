@@ -56,7 +56,7 @@ void PimSkipList::init_upsert_handlers() {
   };
 }
 
-void PimSkipList::batch_upsert(std::span<const std::pair<Key, Value>> ops) {
+void PimSkipList::batch_upsert_impl(std::span<const std::pair<Key, Value>> ops) {
   const u64 n = ops.size();
   if (n == 0) return;
 
@@ -169,10 +169,10 @@ void PimSkipList::batch_upsert(std::span<const std::pair<Key, Value>> ops) {
         remote_write(tower[i][lv - 1], kWUp, tower[i][lv].encode());
         par::charge_work(2);
       }
-      // Leaf tower metadata (kWTowerAppend messages are FIFO per module,
-      // so entries land in ascending level order).
+      // Leaf tower metadata (each write carries its 1-based level, so
+      // entries land correctly in any arrival order).
       for (u32 lv = 1; lv <= std::min(height[i], lower_top); ++lv) {
-        remote_write(leaf, kWTowerAppend, tower[i][lv].encode());
+        remote_write(leaf, kWTowerAppend, tower[i][lv].encode(), lv);
         par::charge_work(1);
       }
       if (height[i] >= h_low_) {

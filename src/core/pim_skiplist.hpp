@@ -30,6 +30,7 @@
 // rounds, and CPU work/depth per batch.
 #pragma once
 
+#include <map>
 #include <span>
 #include <unordered_map>
 #include <utility>
@@ -154,6 +155,32 @@ class PimSkipList {
   /// bench compares the two engines.
   std::vector<RangeAgg> batch_range_aggregate_expand(std::span<const RangeQuery> queries);
 
+  // ---------------- fault tolerance & recovery ----------------
+  //
+  // With an active machine FaultPlan, every batch operation is wrapped in
+  // a retry/recovery layer (see DESIGN.md "Fault model and recovery"):
+  // reads restart after transient failures; mutations are write-ahead
+  // journaled so a module crash mid-batch never loses committed state.
+  // Crash listeners (registered in the constructor) wipe the crashed
+  // module's CPU-side mirror so recovery starts from nothing, exactly as
+  // fail-stop hardware would.
+
+  /// Rebuilds a crashed module in place: the machine revives it, the upper
+  /// part is re-streamed from a surviving replica, and the module's
+  /// lower-part nodes are reconstructed from the checkpoint + write-ahead
+  /// journal (plus surviving evidence on the other modules, so surviving
+  /// tower heights are preserved). Falls back to a full rebuild when no
+  /// survivor exists (P == 1) or more than one module is down. Recovery
+  /// rounds/IO are folded into the machine's fault counters. No-op if the
+  /// module is up.
+  void recover(ModuleId m);
+
+  /// Compacts the write-ahead journal into a fresh checkpoint (an offline
+  /// level-0 walk). Requires every module to be up. Called automatically
+  /// when the journal grows past a threshold; public so tests and
+  /// checkpoint-policy experiments can force it.
+  void checkpoint();
+
   // ---------------- introspection ----------------
 
   u64 size() const { return size_; }
@@ -259,7 +286,7 @@ class PimSkipList {
     kWValue = 5,      // a = value
     kWMark = 6,       // set deleted flag
     kWFree = 7,       // release node (and hash/index cleanup if leaf: no)
-    kWTowerAppend = 8,  // a = tower gptr (leaf meta)
+    kWTowerAppend = 8,  // a = tower gptr, b = 1-based tower level (leaf meta)
     kWUpperInfo = 9,    // a = upper base slot, b = top level (leaf meta)
     kWRaiseTop = 10,    // a = new top level (structure metadata)
   };
@@ -268,10 +295,66 @@ class PimSkipList {
   void apply_write(sim::ModuleCtx& ctx, std::span<const u64> args);
 
   // ----- handler wiring (one init per translation unit) -----
-  void init_upsert_handlers();  // op_upsert.cpp
-  void init_delete_handlers();  // op_delete.cpp
-  void init_range_handlers();   // op_range_broadcast.cpp
-  void init_expand_handlers();  // op_range_tree.cpp
+  void init_upsert_handlers();    // op_upsert.cpp
+  void init_delete_handlers();    // op_delete.cpp
+  void init_range_handlers();     // op_range_broadcast.cpp
+  void init_expand_handlers();    // op_range_tree.cpp
+  void init_recovery_handlers();  // recovery.cpp
+
+  // ----- fault tolerance (recovery.cpp) -----
+
+  /// One journaled mutating batch. Replaying the journal over the last
+  /// checkpoint reproduces the logical contents exactly (first-occurrence-
+  /// wins on duplicate keys, matching par::dedup_keys).
+  struct JournalEntry {
+    enum Kind : u8 { kJUpsert, kJUpdate, kJDelete, kJFetchAdd };
+    Kind kind = kJUpsert;
+    std::vector<std::pair<Key, Value>> ops;  // upsert / update payload
+    std::vector<Key> del_keys;               // delete payload
+    Key lo = 0, hi = 0;                      // fetch-add range (inclusive)
+    u64 delta = 0;                           // fetch-add operand
+  };
+
+  /// Crash listener body: drops the module's CPU-side mirror (arena, hash
+  /// table, leaf index) so its local memory is truly gone.
+  void on_module_crash(ModuleId m);
+  /// Starts journaling if it is not running (fresh checkpoint via offline
+  /// walk). Requires all modules up on the transition.
+  void ensure_journaled();
+  /// Recovers every down module (or falls back to a full rebuild).
+  void ensure_healthy();
+  void maybe_compact_journal();
+  /// checkpoint_ + the first `upto` journal entries, replayed on the CPU.
+  std::map<Key, Value> logical_contents(u64 upto) const;
+  static void apply_journal_entry(std::map<Key, Value>& s, const JournalEntry& e);
+  /// Last-resort recovery: revives all modules, wipes everything and
+  /// rebuilds from logical_contents(). Used when surgical recovery is
+  /// impossible (P == 1, multi-module crash) or a mutation failed
+  /// mid-flight and may have partially applied.
+  void rebuild_from_logical();
+  /// Surgical core of recover(): reconstructs module m's nodes offline
+  /// from the logical contents plus surviving evidence. Returns the number
+  /// of restored nodes (for metering).
+  u64 offline_restore_module(ModuleId m, const std::map<Key, Value>& contents);
+  /// Builds the head towers (factored from the constructor; reused by
+  /// rebuild_from_logical).
+  void init_heads();
+
+  /// Read-only ops: recover if needed, run, restart on transient faults.
+  template <typename Fn>
+  auto guarded_read(Fn&& fn);
+
+  // Unwrapped op bodies (the public entry points add the fault layer).
+  std::vector<GetResult> batch_get_impl(std::span<const Key> keys);
+  std::vector<u8> batch_update_impl(std::span<const std::pair<Key, Value>> ops);
+  std::vector<NearResult> batch_successor_naive_impl(std::span<const Key> keys);
+  void batch_upsert_impl(std::span<const std::pair<Key, Value>> ops);
+  std::vector<u8> batch_delete_impl(std::span<const Key> keys);
+  RangeAgg range_count_broadcast_impl(Key lo, Key hi);
+  RangeAgg range_fetch_add_broadcast_impl(Key lo, Key hi, u64 delta);
+  std::vector<std::pair<Key, Value>> range_collect_broadcast_impl(Key lo, Key hi);
+  std::vector<RangeAgg> batch_range_aggregate_impl(std::span<const RangeQuery> queries);
+  std::vector<RangeAgg> batch_range_aggregate_expand_impl(std::span<const RangeQuery> queries);
 
   // ----- drivers’ helpers -----
   u32 draw_height() { return rng_.geometric_levels(opts_.max_level - 1); }
@@ -296,6 +379,20 @@ class PimSkipList {
 
   PivotStats pivot_stats_;
 
+  // ----- fault-tolerance state -----
+  static constexpr u32 kMaxOpRestarts = 4;
+  static constexpr u64 kJournalCompactLimit = 64;
+  /// Deterministic per-module (hash, index) reset seeds — derived from
+  /// opts_.seed, NOT drawn from rng_, so crash recovery never perturbs the
+  /// main random stream.
+  std::vector<std::pair<u64, u64>> module_seeds_;
+  std::vector<JournalEntry> journal_;
+  std::map<Key, Value> checkpoint_;  // logical contents at journal start
+  /// True while checkpoint_ + journal_ describe the structure exactly.
+  /// Mutations executed without an active fault plan clear it (they skip
+  /// the journal); the next fault-mode operation re-checkpoints.
+  bool journal_valid_ = true;
+
   // handlers (implementation notes in the .cpp files)
   sim::Handler h_get_;
   sim::Handler h_update_;
@@ -310,10 +407,29 @@ class PimSkipList {
   sim::Handler h_range_bcast_;
   sim::Handler h_range_collect_;
   sim::Handler h_range_walk_;
-  sim::Handler h_range_top_;     // expansion engine: upper-part stage
-  sim::Handler h_range_expand_;  // expansion engine: lower-part walks
+  sim::Handler h_range_top_;      // expansion engine: upper-part stage
+  sim::Handler h_range_expand_;   // expansion engine: lower-part walks
+  sim::Handler h_recover_fetch_;  // recovery: survivor streams an upper node
+  sim::Handler h_restore_;        // recovery: one restored node's payload
 
   friend struct SkipListTestPeer;
 };
+
+template <typename Fn>
+auto PimSkipList::guarded_read(Fn&& fn) {
+  if (!machine_.fault_active()) return fn();
+  ensure_journaled();  // a crash mid-read must leave us recoverable
+  for (u32 attempt = 0;; ++attempt) {
+    ensure_healthy();
+    machine_.begin_fault_epoch();
+    try {
+      return fn();
+    } catch (const StatusError& e) {
+      // kDrainStuck is a bug/config error, not a recoverable fault.
+      if (e.code() == StatusCode::kDrainStuck || attempt + 1 >= kMaxOpRestarts) throw;
+      machine_.abort_pending();
+    }
+  }
+}
 
 }  // namespace pim::core

@@ -28,7 +28,13 @@ PimSkipList::PimSkipList(sim::Machine& machine, Options opts)
   state_.reserve(machine.modules());
   for (ModuleId m = 0; m < machine.modules(); ++m) {
     state_.emplace_back(rng_(), rng_());
+    // Reset seeds for crash recovery: pure functions of opts_.seed so
+    // rebuilding a module does not advance rng_ (zero-fault runs stay
+    // bit-identical whether or not recovery code exists).
+    module_seeds_.emplace_back(rnd::mix64(opts.seed ^ (2 * static_cast<u64>(m) + 1)),
+                               rnd::mix64(opts.seed ^ (2 * static_cast<u64>(m) + 2)));
   }
+  machine_.add_crash_listener([this](ModuleId m) { on_module_crash(m); });
 
   // ---- handlers ----
 
@@ -105,11 +111,16 @@ PimSkipList::PimSkipList(sim::Machine& machine, Options opts)
   init_delete_handlers();
   init_range_handlers();
   init_expand_handlers();
+  init_recovery_handlers();
 
-  // ---- head tower (the paper's -inf node at every level) ----
+  init_heads();
+}
+
+// Head tower (the paper's -inf node at every level). Also used by
+// rebuild_from_logical after wiping the arenas.
+void PimSkipList::init_heads() {
   head_upper_.assign(opts_.max_level + 1, kNullSlot);
   head_lower_.assign(h_low_, GPtr::null());
-  Slot below_slot = kNullSlot;
   for (u32 level = 0; level < h_low_; ++level) {
     const GPtr p = lower_gptr(kMinKey, level);
     auto& st = state_[p.module];
@@ -122,9 +133,7 @@ PimSkipList::PimSkipList(sim::Machine& machine, Options opts)
       node.down = head_lower_[level - 1];
       node_at(head_lower_[level - 1]).up = head_lower_[level];
     }
-    below_slot = slot;
   }
-  (void)below_slot;
   for (u32 level = h_low_; level <= opts_.max_level; ++level) {
     const Slot slot = upper_.allocate();
     Node& node = upper_.at(slot);
@@ -219,10 +228,16 @@ void PimSkipList::apply_write(sim::ModuleCtx& ctx, std::span<const u64> args) {
       node.flags |= kFlagDeleted;
       break;
     case kWTowerAppend: {
+      // Level-indexed (b = 1-based tower level): retransmitted messages may
+      // arrive out of FIFO order under fault injection, so the write names
+      // its position instead of relying on arrival order.
+      const u32 tower_level = static_cast<u32>(b);
+      PIM_CHECK(tower_level >= 1, "tower write needs a 1-based level");
       auto& arena = target.is_replicated() ? upper_ : state_[ctx.id()].arena;
       LeafMeta& meta = arena.leaf_meta(target.slot);
       const u64 old_words = meta.words();
-      meta.tower.push_back(GPtr::decode(a));
+      if (meta.tower.size() < tower_level) meta.tower.resize(tower_level, GPtr::null());
+      meta.tower[tower_level - 1] = GPtr::decode(a);
       arena.recharge_leaf_meta(old_words, target.slot);
       break;
     }
@@ -324,6 +339,7 @@ void PimSkipList::offline_insert_tower(Key key, Value value, u32 height) {
 }
 
 void PimSkipList::build(std::span<const std::pair<Key, Value>> sorted_unique) {
+  PIM_CHECK(machine_.down_count() == 0, "build with a crashed module");
   for (u64 i = 0; i < sorted_unique.size(); ++i) {
     if (i > 0) {
       PIM_CHECK(sorted_unique[i - 1].first < sorted_unique[i].first,
@@ -333,6 +349,15 @@ void PimSkipList::build(std::span<const std::pair<Key, Value>> sorted_unique) {
   }
   for (const auto& [key, value] : sorted_unique) {
     offline_insert_tower(key, value, draw_height());
+  }
+  // Keep the recovery checkpoint in step: build bypasses the journal, so
+  // fold its keys into the checkpoint directly. If journaled mutations are
+  // already queued the ordering is ambiguous — invalidate and let the next
+  // fault-mode operation re-checkpoint from the structure.
+  if (journal_.empty()) {
+    for (const auto& [key, value] : sorted_unique) checkpoint_[key] = value;
+  } else {
+    journal_valid_ = false;
   }
 }
 
@@ -355,7 +380,7 @@ par::DedupResult identity_groups(u64 n) {
 
 }  // namespace
 
-std::vector<PimSkipList::GetResult> PimSkipList::batch_get(std::span<const Key> keys) {
+std::vector<PimSkipList::GetResult> PimSkipList::batch_get_impl(std::span<const Key> keys) {
   const u64 n = keys.size();
   std::vector<GetResult> results(n);
   if (n == 0) return results;
@@ -393,7 +418,7 @@ std::vector<PimSkipList::GetResult> PimSkipList::batch_get(std::span<const Key> 
   return results;
 }
 
-std::vector<u8> PimSkipList::batch_update(std::span<const std::pair<Key, Value>> ops) {
+std::vector<u8> PimSkipList::batch_update_impl(std::span<const std::pair<Key, Value>> ops) {
   const u64 n = ops.size();
   std::vector<u8> found(n, 0);
   if (n == 0) return found;

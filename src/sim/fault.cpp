@@ -1,0 +1,55 @@
+#include "sim/fault.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "random/hash_fn.hpp"
+
+namespace pim::sim {
+
+namespace {
+
+u64 prob_to_threshold(double p) {
+  PIM_CHECK(p >= 0.0 && p <= 1.0, "fault probability must be in [0, 1]");
+  if (p <= 0.0) return 0;
+  if (p >= 1.0) return UINT64_MAX;
+  return static_cast<u64>(std::ldexp(p, 64));
+}
+
+}  // namespace
+
+void FaultInjector::set_plan(const FaultPlan& plan) {
+  PIM_CHECK(plan.max_send_attempts >= 1, "max_send_attempts must be >= 1");
+  PIM_CHECK(plan.retry_backoff_rounds >= 1, "retry_backoff_rounds must be >= 1");
+  plan_ = plan;
+  drop_threshold_ = prob_to_threshold(plan.drop_prob);
+  dup_threshold_ = prob_to_threshold(plan.dup_prob);
+  stall_threshold_ = prob_to_threshold(plan.stall_prob);
+}
+
+u64 FaultInjector::decide(u64 salt, u64 round, ModuleId target, const Task& task) const {
+  // Content hash only: handler identity is deliberately excluded (pointer
+  // values differ between runs and would break cross-run determinism).
+  u64 h = rnd::mix64(plan_.seed ^ salt);
+  h = rnd::mix64(h ^ epoch_);
+  h = rnd::mix64(h ^ round);
+  h = rnd::mix64(h ^ target);
+  h = rnd::mix64(h ^ task.nargs);
+  for (u32 i = 0; i < task.nargs; ++i) h = rnd::mix64(h ^ task.args[i]);
+  return h;
+}
+
+bool FaultInjector::is_stalled(u64 round, ModuleId m) const {
+  for (const auto& w : plan_.stall_windows) {
+    if (w.module == m && round >= w.first_round && round < w.first_round + w.rounds) {
+      return true;
+    }
+  }
+  if (stall_threshold_ == 0) return false;
+  u64 h = rnd::mix64(plan_.seed ^ kStallSalt);
+  h = rnd::mix64(h ^ round);
+  h = rnd::mix64(h ^ m);
+  return hit(stall_threshold_, h);
+}
+
+}  // namespace pim::sim

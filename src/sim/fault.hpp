@@ -1,0 +1,117 @@
+// Deterministic, seeded fault injection for the PIM machine.
+//
+// The model of paper §2.1 assumes P always-alive modules and a reliable
+// network. Real PIM hardware (UPMEM-class; see the PIM-tree follow-up)
+// loses transfers, has straggler DPUs, and loses whole modules. This
+// subsystem injects those faults into the simulator reproducibly:
+//
+//   * drop  — a CPU->module delivery (including the redelivery hop of a
+//     module->module forward) is lost in transit. The sender's reliable-
+//     delivery layer (epoch-tagged reply slots + bounded-round timeout,
+//     implemented centrally in Machine) retransmits with exponential
+//     round-backoff until max_send_attempts is exhausted, after which the
+//     message is declared lost and the next drain raises a pim::Status
+//     error (kModuleDown if the target crashed, else kRetryExhausted).
+//   * dup   — a delivery arrives twice; the receiver's epoch filter
+//     discards the copy before processing. Costs one extra incoming
+//     message (it occupies the h-relation), executes nothing.
+//   * stall — a straggler module skips executing its queue for a round
+//     (deliveries still land; the tasks run when the stall ends).
+//   * crash — fail-stop: the module's local memory, delivered queue and
+//     pending messages are wiped; the machine marks it down and invokes
+//     crash listeners so the owning data structure can invalidate its
+//     state. Deliveries to a down module count as drops and eventually
+//     surface kModuleDown. Machine::revive() brings the module back
+//     (empty); structure-level recovery repopulates it.
+//
+// Determinism: probabilistic decisions are pure hashes of
+// (seed, epoch, round, target module, task payload) — never of pointer
+// values or delivery order — so the same FaultPlan produces bit-identical
+// fault sequences under the sequential, shuffled and parallel executors.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/message.hpp"
+#include "sim/metrics.hpp"
+
+namespace pim::sim {
+
+/// A scheduled straggler: module `module` skips execution for `rounds`
+/// consecutive rounds starting at absolute machine round `first_round`.
+struct StallWindow {
+  ModuleId module = 0;
+  u64 first_round = 0;
+  u64 rounds = 1;
+};
+
+/// A scheduled fail-stop crash at the start of absolute round `round`.
+struct CrashEvent {
+  ModuleId module = 0;
+  u64 round = 0;
+};
+
+struct FaultPlan {
+  bool enabled = false;
+  u64 seed = 0;
+
+  // Probabilistic faults, probability per delivery (resp. per
+  // module-round for stall_prob), in [0, 1].
+  double drop_prob = 0.0;
+  double dup_prob = 0.0;
+  double stall_prob = 0.0;
+
+  // Scheduled faults (absolute machine rounds).
+  std::vector<StallWindow> stall_windows;
+  std::vector<CrashEvent> crashes;
+
+  // Reliable-delivery policy: a dropped message is retransmitted after
+  // retry_backoff_rounds << attempt rounds, up to max_send_attempts total
+  // delivery attempts.
+  u32 max_send_attempts = 6;
+  u64 retry_backoff_rounds = 1;
+};
+
+class FaultInjector {
+ public:
+  void set_plan(const FaultPlan& plan);
+  bool active() const { return plan_.enabled; }
+  const FaultPlan& plan() const { return plan_; }
+
+  FaultCounters& counters() { return counters_; }
+  const FaultCounters& counters() const { return counters_; }
+
+  /// Batch-operation epoch: drivers bump it per batch so fault draws are
+  /// decorrelated across (re-)executions of identical payloads.
+  u64 epoch() const { return epoch_; }
+  void begin_epoch() { ++epoch_; }
+
+  // Pure decision functions (no state mutation; callers count).
+  bool should_drop(u64 round, ModuleId target, const Task& task) const {
+    return hit(drop_threshold_, decide(kDropSalt, round, target, task));
+  }
+  bool should_dup(u64 round, ModuleId target, const Task& task) const {
+    return hit(dup_threshold_, decide(kDupSalt, round, target, task));
+  }
+  bool is_stalled(u64 round, ModuleId m) const;
+
+ private:
+  static constexpr u64 kDropSalt = 0xD509D509D509D509ull;
+  static constexpr u64 kDupSalt = 0xD0B1D0B1D0B1D0B1ull;
+  static constexpr u64 kStallSalt = 0x57A1157A1157A115ull;
+
+  static bool hit(u64 threshold, u64 hash) {
+    return threshold != 0 && (threshold == UINT64_MAX || hash < threshold);
+  }
+  u64 decide(u64 salt, u64 round, ModuleId target, const Task& task) const;
+
+  FaultPlan plan_;
+  FaultCounters counters_;
+  u64 epoch_ = 0;
+  u64 drop_threshold_ = 0;
+  u64 dup_threshold_ = 0;
+  u64 stall_threshold_ = 0;
+};
+
+}  // namespace pim::sim

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <numeric>
+#include <string>
 
 #include "parallel/thread_pool.hpp"
 
@@ -17,7 +18,10 @@ void ModuleCtx::charge(u64 w) {
 }
 
 void ModuleCtx::reply(u64 slot, u64 value) {
-  PIM_CHECK(slot < machine_.mailbox_.size(), "reply: mailbox slot out of range");
+  PIM_CHECK(slot < machine_.mailbox_.size(),
+            "reply: mailbox slot out of range (module " + std::to_string(id_) + ", slot " +
+                std::to_string(slot) + ", mailbox size " +
+                std::to_string(machine_.mailbox_.size()) + ")");
   if (out_ != nullptr) {
     PendingWrite w{slot, {value}, 1, false};
     out_->writes.push_back(w);
@@ -29,8 +33,15 @@ void ModuleCtx::reply(u64 slot, u64 value) {
 }
 
 void ModuleCtx::reply_block(u64 slot, std::span<const u64> values) {
-  PIM_CHECK(values.size() <= kMaxTaskArgs, "reply_block exceeds constant message size");
-  PIM_CHECK(slot + values.size() <= machine_.mailbox_.size(), "reply_block: mailbox overflow");
+  PIM_CHECK(values.size() <= kMaxTaskArgs,
+            "reply_block exceeds constant message size (module " + std::to_string(id_) +
+                ", words " + std::to_string(values.size()) + ", limit " +
+                std::to_string(kMaxTaskArgs) + ")");
+  PIM_CHECK(slot <= machine_.mailbox_.size() &&
+                values.size() <= machine_.mailbox_.size() - slot,
+            "reply_block: mailbox overflow (module " + std::to_string(id_) + ", slot " +
+                std::to_string(slot) + ", words " + std::to_string(values.size()) +
+                ", mailbox size " + std::to_string(machine_.mailbox_.size()) + ")");
   if (out_ != nullptr) {
     PendingWrite w{slot, {}, static_cast<u32>(values.size()), false};
     std::copy(values.begin(), values.end(), w.words);
@@ -43,7 +54,10 @@ void ModuleCtx::reply_block(u64 slot, std::span<const u64> values) {
 }
 
 void ModuleCtx::reply_add(u64 slot, u64 delta) {
-  PIM_CHECK(slot < machine_.mailbox_.size(), "reply_add: mailbox slot out of range");
+  PIM_CHECK(slot < machine_.mailbox_.size(),
+            "reply_add: mailbox slot out of range (module " + std::to_string(id_) + ", slot " +
+                std::to_string(slot) + ", mailbox size " +
+                std::to_string(machine_.mailbox_.size()) + ")");
   if (out_ != nullptr) {
     PendingWrite w{slot, {delta}, 1, true};
     out_->writes.push_back(w);
@@ -79,8 +93,59 @@ void ModuleCtx::add_space(i64 words) {
 // ---------------- Machine ----------------
 
 Machine::Machine(u32 modules, MachineOptions options)
-    : per_module_(modules), pending_(modules), options_(options), shuffle_rng_(options.shuffle_seed) {
+    : per_module_(modules),
+      pending_(modules),
+      down_(modules, false),
+      stalled_(modules, 0),
+      options_(options),
+      shuffle_rng_(options.shuffle_seed) {
   PIM_CHECK(modules >= 1, "machine needs at least one module");
+}
+
+void Machine::set_fault_plan(const FaultPlan& plan) {
+  PIM_CHECK(!in_round_, "set_fault_plan: cannot change the plan mid-round");
+  fault_.set_plan(plan);
+}
+
+void Machine::crash_module(ModuleId m) {
+  PIM_CHECK(fault_.active(), "crash_module requires an active fault plan");
+  PIM_CHECK(m < modules(), "crash_module: bad module id");
+  if (down_[m]) return;
+  ++fault_.counters().crashes;
+  auto& pm = per_module_[m];
+  pm.queue.clear();      // delivered-but-unexecuted tasks die with the module
+  pm.space_words = 0;    // local memory is gone
+  recount_queued();
+  down_[m] = true;
+  ++down_count_;
+  // In-flight messages (pending_, retry_) are CPU-side state and survive;
+  // their deliveries will count as drops and exhaust to kModuleDown.
+  for (auto& listener : crash_listeners_) listener(m);
+}
+
+void Machine::revive(ModuleId m) {
+  PIM_CHECK(m < modules(), "revive: bad module id");
+  PIM_CHECK(down_[m], "revive: module is not down");
+  down_[m] = false;
+  --down_count_;
+}
+
+void Machine::abort_pending() {
+  PIM_CHECK(!in_round_, "abort_pending: cannot abort mid-round");
+  for (ModuleId m = 0; m < modules(); ++m) {
+    pending_[m].clear();
+    per_module_[m].queue.clear();
+  }
+  pending_total_ = 0;
+  queued_total_ = 0;
+  retry_.clear();
+  lost_.clear();
+}
+
+void Machine::recount_queued() {
+  u64 q = 0;
+  for (const auto& pm : per_module_) q += pm.queue.size();
+  queued_total_ = q;
 }
 
 void Machine::enqueue_pending(ModuleId m, Task task) {
@@ -130,29 +195,97 @@ void Machine::apply_write(const ModuleCtx::PendingWrite& w) {
   note_slot_write(w.slot);
 }
 
+void Machine::deliver_faulty(ModuleId m, const Task& task, u32 attempt) {
+  auto& pm = per_module_[m];
+  ++pm.round_in;  // every delivery attempt occupies the h-relation
+  auto& fc = fault_.counters();
+  if (down_[m] || fault_.should_drop(rounds_, m, task)) {
+    ++fc.drops;
+    if (attempt >= fault_.plan().max_send_attempts) {
+      ++fc.lost;
+      lost_.push_back(LostSend{m, attempt});
+    } else {
+      RetrySend r;
+      r.target = m;
+      r.task = task;
+      r.due_round = rounds_ + (fault_.plan().retry_backoff_rounds << (attempt - 1));
+      r.attempt = attempt + 1;
+      retry_.push_back(r);
+    }
+    return;
+  }
+  if (fault_.should_dup(rounds_, m, task)) {
+    // The duplicate copy occupies the network but is discarded by the
+    // receiver's filter before processing — charged, never executed.
+    ++fc.dups;
+    ++pm.round_in;
+  }
+  pm.queue.push_back(task);
+}
+
 void Machine::run_round() {
   PIM_CHECK(!in_round_, "run_round is not reentrant");
   in_round_ = true;
   round_slot_writes_.clear();
+  const bool faulty = fault_.active();
+
+  // Scheduled fail-stop crashes strike at round start, before delivery.
+  if (faulty) {
+    for (const auto& ev : fault_.plan().crashes) {
+      if (ev.round == rounds_ && !down_[ev.module]) crash_module(ev.module);
+    }
+  }
 
   // Deliver: move pending into module queues; count incoming messages.
   for (ModuleId m = 0; m < modules(); ++m) {
     auto& pm = per_module_[m];
-    pm.round_in = pending_[m].size();
     pm.round_out = 0;
-    for (auto& task : pending_[m]) pm.queue.push_back(task);
+    if (!faulty) {
+      pm.round_in = pending_[m].size();
+      for (auto& task : pending_[m]) pm.queue.push_back(task);
+    } else {
+      pm.round_in = 0;
+      for (auto& task : pending_[m]) deliver_faulty(m, task, /*attempt=*/1);
+    }
     pending_[m].clear();
   }
   pending_total_ = 0;
 
+  // Redeliver retransmissions whose backoff expired. deliver_faulty may
+  // re-drop into retry_, so swap the due list out first.
+  if (faulty && !retry_.empty()) {
+    std::vector<RetrySend> pass;
+    pass.swap(retry_);
+    for (auto& r : pass) {
+      if (r.due_round <= rounds_) {
+        ++fault_.counters().retries;
+        deliver_faulty(r.target, r.task, r.attempt);
+      } else {
+        retry_.push_back(r);
+      }
+    }
+  }
+
+  // Decide stragglers for this round (after delivery, so a stall is only
+  // counted when it actually postpones queued work).
+  if (faulty) {
+    for (ModuleId m = 0; m < modules(); ++m) {
+      stalled_[m] = (!down_[m] && fault_.is_stalled(rounds_, m)) ? 1 : 0;
+      if (stalled_[m] && !per_module_[m].queue.empty()) ++fault_.counters().stalls;
+    }
+  }
+
   // Execute. Tasks emitted during execution (forwards) land in pending_
-  // for next round; replies become visible at the barrier.
+  // for next round; replies become visible at the barrier. Down and
+  // stalled modules skip execution (their queues persist; a stalled
+  // module's tasks run once the stall ends).
   if (options_.order == ExecOrder::kParallel && modules() > 1) {
     // Concurrent module execution with buffered side effects, merged in
     // module order below — bit-identical to sequential execution.
     std::vector<ModuleCtx::OutBuffer> buffers(modules());
     par::ThreadPool::instance().run_batch(
         [&](u32 m) {
+          if (faulty && (down_[m] || stalled_[m])) return;
           ModuleCtx ctx(*this, m, &buffers[m]);
           execute_module(m, ctx);
         },
@@ -168,10 +301,12 @@ void Machine::run_round() {
       for (u32 i = modules(); i > 1; --i) std::swap(order[i - 1], order[shuffle_rng_.below(i)]);
     }
     for (ModuleId m : order) {
+      if (faulty && (down_[m] || stalled_[m])) continue;
       ModuleCtx ctx(*this, m);
       execute_module(m, ctx);
     }
   }
+  recount_queued();
 
   // Barrier: h_r = max over modules of (in + out); fold message counts.
   u64 h = 0;
@@ -191,12 +326,42 @@ void Machine::run_round() {
   in_round_ = false;
 }
 
+void Machine::throw_lost() {
+  bool any_down = false;
+  for (const auto& l : lost_) any_down = any_down || down_[l.target];
+  std::string msg = std::to_string(lost_.size()) +
+                    " message(s) exhausted their retry budget (first target module " +
+                    std::to_string(lost_.front().target) + ", " +
+                    std::to_string(lost_.front().attempts) + " delivery attempts)";
+  throw StatusError(Status(any_down ? StatusCode::kModuleDown : StatusCode::kRetryExhausted,
+                           std::move(msg)));
+}
+
+void Machine::throw_drain_stuck(u64 executed) {
+  std::string msg = "run_until_quiescent: no quiescence after " + std::to_string(executed) +
+                    " rounds (max_rounds_per_drain=" + std::to_string(options_.max_rounds_per_drain) +
+                    "); pending=" + std::to_string(pending_total_) +
+                    ", queued=" + std::to_string(queued_total_) +
+                    ", retries=" + std::to_string(retry_.size()) + "; per-module depths:";
+  constexpr ModuleId kMaxListed = 32;
+  for (ModuleId m = 0; m < modules() && m < kMaxListed; ++m) {
+    msg += " m" + std::to_string(m) + "=" +
+           std::to_string(pending_[m].size() + per_module_[m].queue.size());
+  }
+  if (modules() > kMaxListed) msg += " ...";
+  throw StatusError(Status(StatusCode::kDrainStuck, std::move(msg)));
+}
+
 u64 Machine::run_until_quiescent() {
   u64 executed = 0;
+  if (!lost_.empty()) throw_lost();
   while (!idle()) {
-    PIM_CHECK(executed < options_.max_rounds_per_drain, "run_until_quiescent: round limit hit");
+    if (executed >= options_.max_rounds_per_drain) throw_drain_stuck(executed);
     run_round();
     ++executed;
+    // Surface lost messages as soon as the barrier completes; callers
+    // abort_pending() (and possibly recover) before retrying the batch.
+    if (!lost_.empty()) throw_lost();
   }
   return executed;
 }
@@ -209,6 +374,7 @@ Snapshot Machine::snapshot() const {
   s.write_contention = write_contention_;
   s.module_work.resize(modules());
   for (ModuleId m = 0; m < modules(); ++m) s.module_work[m] = per_module_[m].work;
+  s.faults = fault_.counters();
   return s;
 }
 
@@ -225,6 +391,7 @@ MachineDelta Machine::delta(const Snapshot& since) const {
     d.pim_time = std::max(d.pim_time, w);
     d.pim_work_total += w;
   }
+  d.faults = fault_.counters() - since.faults;
   return d;
 }
 

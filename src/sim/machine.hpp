@@ -32,14 +32,17 @@
 #pragma once
 
 #include <deque>
+#include <functional>
 #include <memory>
 #include <unordered_map>
 #include <vector>
 
 #include "common/error.hpp"
 #include "common/math_util.hpp"
+#include "common/status.hpp"
 #include "common/types.hpp"
 #include "random/rng.hpp"
+#include "sim/fault.hpp"
 #include "sim/message.hpp"
 #include "sim/metrics.hpp"
 
@@ -140,15 +143,63 @@ class Machine {
 
   // ---- round execution ----
 
-  /// True if no messages are pending delivery.
-  bool idle() const { return pending_total_ == 0; }
+  /// True if no work remains: nothing pending delivery, nothing queued on
+  /// a module (stalled modules keep delivered tasks queued across rounds)
+  /// and no dropped message awaiting retransmission.
+  bool idle() const { return pending_total_ == 0 && queued_total_ == 0 && retry_.empty(); }
 
   /// Executes one bulk-synchronous round: delivers all pending messages,
-  /// runs module handlers, performs barrier accounting.
+  /// runs module handlers, performs barrier accounting. With an active
+  /// FaultPlan this is also where faults strike: scheduled crashes fire at
+  /// round start, deliveries may be dropped/duplicated, stalled modules
+  /// skip execution, and due retransmissions are redelivered.
   void run_round();
 
   /// Runs rounds until idle. Returns the number of rounds executed.
+  /// Throws pim::StatusError:
+  ///   * kDrainStuck when max_rounds_per_drain is hit (message includes
+  ///     round count, pending total and per-module queue depths);
+  ///   * kModuleDown / kRetryExhausted when fault injection declared a
+  ///     message lost (callers recover / abort and retry the batch).
   u64 run_until_quiescent();
+
+  // ---- fault injection / recovery ----
+
+  /// Installs (or replaces) the fault plan. Must be called between rounds.
+  void set_fault_plan(const FaultPlan& plan);
+  bool fault_active() const { return fault_.active(); }
+  const FaultCounters& fault_counters() const { return fault_.counters(); }
+  /// Epoch tag for reply-slot sentinels; batch drivers bump it per batch
+  /// (and per retry of a batch) to decorrelate fault draws.
+  void begin_fault_epoch() { fault_.begin_epoch(); }
+  u64 fault_epoch() const { return fault_.epoch(); }
+
+  bool is_down(ModuleId m) const { return !down_.empty() && down_[m]; }
+  u32 down_count() const { return down_count_; }
+  /// Fail-stop crash, immediately: wipes the module's queue and pending
+  /// messages, zeroes its accounted space, marks it down and invokes crash
+  /// listeners. Also used by scheduled CrashEvents. Requires a fault plan.
+  void crash_module(ModuleId m);
+  /// Brings a crashed module back online (empty). The owning structure is
+  /// responsible for repopulating it (e.g. PimSkipList::recover).
+  void revive(ModuleId m);
+  /// Called with the module id when a module crashes. Registrants must
+  /// outlive the machine's fault-mode use (PimSkipList registers itself).
+  using CrashListener = std::function<void(ModuleId)>;
+  void add_crash_listener(CrashListener listener) {
+    crash_listeners_.push_back(std::move(listener));
+  }
+  /// Purges all in-flight work (pending, queued, retransmissions, lost
+  /// records). Drivers call this before retrying a failed batch so stale
+  /// tasks cannot write into a reused mailbox.
+  void abort_pending();
+  /// Folds a recovery episode into the fault counters.
+  void record_recovery(u64 rounds, u64 io) {
+    auto& fc = fault_.counters();
+    ++fc.recoveries;
+    fc.recovery_rounds += rounds;
+    fc.recovery_io += io;
+  }
 
   // ---- shared-memory mailbox (CPU side) ----
 
@@ -196,18 +247,45 @@ class Machine {
     u64 round_out = 0;       // messages sent this round
   };
 
+  /// A dropped delivery awaiting retransmission (attempt counts total
+  /// deliveries tried so far).
+  struct RetrySend {
+    ModuleId target = 0;
+    Task task;
+    u64 due_round = 0;
+    u32 attempt = 0;
+  };
+  struct LostSend {
+    ModuleId target = 0;
+    u32 attempts = 0;
+  };
+
   void enqueue_pending(ModuleId m, Task task);
   void count_out(ModuleId m, u64 n = 1);
   void note_slot_write(u64 slot);
   void apply_write(const ModuleCtx::PendingWrite& w);
   void execute_module(ModuleId m, ModuleCtx& ctx);
+  void deliver_faulty(ModuleId m, const Task& task, u32 attempt);
+  void recount_queued();
+  [[noreturn]] void throw_lost();
+  [[noreturn]] void throw_drain_stuck(u64 executed);
 
   std::vector<PerModule> per_module_;
   // Messages injected by the CPU (or forwarded) since the last round
   // started; delivered at the next run_round.
   std::vector<std::vector<Task>> pending_;
   u64 pending_total_ = 0;
+  u64 queued_total_ = 0;  // tasks delivered but not yet executed (stalls)
   std::vector<u64> mailbox_;
+
+  // ---- fault state ----
+  FaultInjector fault_;
+  std::vector<bool> down_;
+  u32 down_count_ = 0;
+  std::vector<u8> stalled_;      // per-round scratch (decided pre-execution)
+  std::vector<RetrySend> retry_;
+  std::vector<LostSend> lost_;
+  std::vector<CrashListener> crash_listeners_;
 
   MachineOptions options_;
   rnd::Xoshiro256ss shuffle_rng_;

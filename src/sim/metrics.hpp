@@ -19,6 +19,48 @@
 
 namespace pim::sim {
 
+/// Cumulative fault-injection observability counters (all zero when fault
+/// injection is disabled). Deltas appear in MachineDelta so fault cost is
+/// visible alongside IO time and PIM time.
+struct FaultCounters {
+  u64 drops = 0;       // deliveries lost in transit (incl. sends to down modules)
+  u64 dups = 0;        // duplicate deliveries discarded by the epoch filter
+  u64 stalls = 0;      // module-rounds in which a straggler skipped its queue
+  u64 crashes = 0;     // fail-stop module crashes
+  u64 retries = 0;     // timeout-triggered retransmissions
+  u64 lost = 0;        // messages whose retry budget ran out
+  u64 recoveries = 0;  // structure-level recover()/rebuild invocations
+  u64 recovery_rounds = 0;  // rounds spent inside recovery
+  u64 recovery_io = 0;      // IO time spent inside recovery
+
+  FaultCounters& operator+=(const FaultCounters& o) {
+    drops += o.drops;
+    dups += o.dups;
+    stalls += o.stalls;
+    crashes += o.crashes;
+    retries += o.retries;
+    lost += o.lost;
+    recoveries += o.recoveries;
+    recovery_rounds += o.recovery_rounds;
+    recovery_io += o.recovery_io;
+    return *this;
+  }
+  FaultCounters operator-(const FaultCounters& o) const {
+    FaultCounters d;
+    d.drops = drops - o.drops;
+    d.dups = dups - o.dups;
+    d.stalls = stalls - o.stalls;
+    d.crashes = crashes - o.crashes;
+    d.retries = retries - o.retries;
+    d.lost = lost - o.lost;
+    d.recoveries = recoveries - o.recoveries;
+    d.recovery_rounds = recovery_rounds - o.recovery_rounds;
+    d.recovery_io = recovery_io - o.recovery_io;
+    return d;
+  }
+  bool operator==(const FaultCounters&) const = default;
+};
+
 /// Snapshot of a machine's cumulative counters.
 struct Snapshot {
   u64 io_time = 0;
@@ -26,6 +68,7 @@ struct Snapshot {
   u64 messages = 0;
   u64 write_contention = 0;
   std::vector<u64> module_work;  // cumulative local work per module
+  FaultCounters faults;
 };
 
 /// Difference between two snapshots — the machine-side cost of one
@@ -39,6 +82,7 @@ struct MachineDelta {
   u64 sync_cost = 0;          // rounds * log P (the paper's barrier cost)
   u64 write_contention = 0;   // queue-write variant (0 unless tracked)
   u64 shared_mem = 0;         // mailbox high-water during the span (M needed)
+  FaultCounters faults;       // fault events during the span (0 when disabled)
 };
 
 /// Full cost of one batch operation: machine delta + CPU work/depth.
@@ -55,6 +99,7 @@ struct OpMetrics {
     machine.pim_work_total += o.machine.pim_work_total;
     machine.sync_cost += o.machine.sync_cost;
     machine.write_contention += o.machine.write_contention;
+    machine.faults += o.machine.faults;
     cpu_work += o.cpu_work;
     cpu_depth += o.cpu_depth;
     return *this;

@@ -127,5 +127,78 @@ TEST(MetricsContract, PimBalanceHoldsOnUniformSuccessor) {
   EXPECT_LT(pim_balance, 8.0);
 }
 
+// Golden regression: with fault injection disabled (the default), the
+// fault/retry/journal machinery must be completely invisible — every cost
+// metric of every operation family stays bit-identical to the values
+// measured before the fault subsystem existed. If an intentional change
+// shifts these, re-derive them with a fault-free run and update.
+TEST(MetricsContract, ZeroFaultCostsMatchPreFaultGoldenValues) {
+  struct Golden {
+    const char* op;
+    u64 io_time, rounds, messages, pim_time, shared_mem;
+  };
+  static constexpr Golden kGolden[] = {
+      {"batch_get(64)", 22, 1, 116, 33, 116},
+      {"batch_upsert(64)", 230, 10, 1329, 783, 11672},
+      {"batch_successor(64)", 293, 64, 711, 154, 4736},
+      {"batch_delete(32)", 66, 4, 381, 185, 360},
+      {"range_count_broadcast", 2, 1, 16, 74, 16},
+      {"batch_range_aggregate(3)", 185, 53, 470, 213, 616},
+      {"batch_range_aggregate_expand(3)", 435, 16, 2071, 177, 10},
+  };
+
+  sim::Machine machine(8);
+  PimSkipList list(machine);
+  rnd::Xoshiro256ss rng(42);
+  std::vector<std::pair<Key, Value>> pairs;
+  Key k = 0;
+  for (int i = 0; i < 512; ++i) {
+    k += 1 + static_cast<Key>(rng.below(64));
+    pairs.push_back({k, rng()});
+  }
+  list.build(pairs);
+
+  std::vector<sim::OpMetrics> ms;
+  std::vector<Key> get_keys;
+  for (int i = 0; i < 64; ++i) get_keys.push_back(pairs[rng.below(pairs.size())].first);
+  ms.push_back(sim::measure(machine, [&] { (void)list.batch_get(get_keys); }));
+
+  std::vector<std::pair<Key, Value>> ups;
+  for (int i = 0; i < 64; ++i) {
+    ups.push_back({static_cast<Key>(rng.below(1u << 30)) + 100000, rng()});
+  }
+  ms.push_back(sim::measure(machine, [&] { list.batch_upsert(ups); }));
+
+  std::vector<Key> succ_keys;
+  for (int i = 0; i < 64; ++i) succ_keys.push_back(static_cast<Key>(rng.below(1u << 30)));
+  ms.push_back(sim::measure(machine, [&] { (void)list.batch_successor(succ_keys); }));
+
+  std::vector<Key> dels;
+  for (int i = 0; i < 32; ++i) dels.push_back(ups[i].first);
+  ms.push_back(sim::measure(machine, [&] { (void)list.batch_delete(dels); }));
+
+  ms.push_back(sim::measure(machine, [&] {
+    (void)list.range_count_broadcast(pairs[10].first, pairs[400].first);
+  }));
+
+  std::vector<PimSkipList::RangeQuery> qs = {{pairs[5].first, pairs[100].first},
+                                             {pairs[50].first, pairs[300].first},
+                                             {pairs[200].first, pairs[480].first}};
+  ms.push_back(sim::measure(machine, [&] { (void)list.batch_range_aggregate(qs); }));
+  ms.push_back(
+      sim::measure(machine, [&] { (void)list.batch_range_aggregate_expand(qs); }));
+
+  ASSERT_EQ(ms.size(), std::size(kGolden));
+  for (u64 i = 0; i < ms.size(); ++i) {
+    EXPECT_EQ(ms[i].machine.io_time, kGolden[i].io_time) << kGolden[i].op;
+    EXPECT_EQ(ms[i].machine.rounds, kGolden[i].rounds) << kGolden[i].op;
+    EXPECT_EQ(ms[i].machine.messages, kGolden[i].messages) << kGolden[i].op;
+    EXPECT_EQ(ms[i].machine.pim_time, kGolden[i].pim_time) << kGolden[i].op;
+    EXPECT_EQ(ms[i].machine.shared_mem, kGolden[i].shared_mem) << kGolden[i].op;
+    EXPECT_EQ(ms[i].machine.faults, sim::FaultCounters{}) << kGolden[i].op;
+  }
+  list.check_invariants();
+}
+
 }  // namespace
 }  // namespace pim::core
