@@ -1,0 +1,96 @@
+// SCRUB — overhead of the online integrity audit (DESIGN.md "Integrity &
+// scrubbing"). A mixed Table-1 workload (upserts, gets, successors,
+// deletes; batch size P log^2 P) runs under corruption rates
+// {0, 1e-6, 1e-4} applied to both links (corrupt_prob) and local memory
+// (mem_corrupt_prob), with incremental scrubbing on or off. Reported:
+// total IO time and rounds for the whole run, the scrub's own metered
+// share (scrub_io / scrub_rounds / scrub_msgs), and the repair counters —
+// the on/off delta at rate 0 is the pure audit tax, and the rate sweep
+// shows how the tax grows with actual damage.
+#include <span>
+
+#include "bench_common.hpp"
+#include "core/scrubber.hpp"
+
+namespace pim::bench {
+namespace {
+
+constexpr int kSteps = 8;
+
+void run_mixed(benchmark::State& state, double rate, bool scrub) {
+  const u32 p = static_cast<u32>(state.range(0));
+  const u64 n = default_n(p);
+  const u64 batch = u64{p} * log2p(p);
+  for (auto _ : state) {
+    auto f = make_fixture(p, n, 7001);
+    sim::FaultPlan plan;
+    plan.enabled = true;
+    plan.seed = 0x5C0B;
+    plan.corrupt_prob = rate;
+    plan.mem_corrupt_prob = rate;
+    f.machine->set_fault_plan(plan);
+    core::Scrubber scrubber(*f.list, {/*modules_per_step=*/1});
+
+    const auto before = f.machine->snapshot();
+    u64 scrub_io = 0, scrub_rounds = 0, scrub_msgs = 0;
+    u64 repairs = 0, escalations = 0, restarts = 0;
+    for (int step = 0; step < kSteps; ++step) {
+      const auto ops = workload::insert_batch(f.data, workload::Skew::kUniform,
+                                              batch, 41 + step);
+      f.list->batch_upsert(ops);
+      const auto keys = stored_keys_sample(f.data, batch, 57 + step);
+      (void)f.list->batch_get(keys);
+      (void)f.list->batch_successor(keys);
+      (void)f.list->batch_delete(std::span<const Key>(keys).first(batch / 4));
+      if (scrub) {
+        const core::ScrubReport r = scrubber.step();
+        scrub_io += r.cost.io_time;
+        scrub_rounds += r.cost.rounds;
+        scrub_msgs += r.cost.messages;
+        repairs += r.value_repairs + r.replica_repairs;
+        escalations += r.escalations;
+        restarts += r.restarts;
+      }
+    }
+    const auto d = f.machine->delta(before);
+    state.counters["io"] = static_cast<double>(d.io_time);
+    state.counters["rounds"] = static_cast<double>(d.rounds);
+    state.counters["msgs"] = static_cast<double>(d.messages);
+    state.counters["scrub_io"] = static_cast<double>(scrub_io);
+    state.counters["scrub_rounds"] = static_cast<double>(scrub_rounds);
+    state.counters["scrub_msgs"] = static_cast<double>(scrub_msgs);
+    state.counters["repairs"] = static_cast<double>(repairs);
+    state.counters["escalations"] = static_cast<double>(escalations);
+    state.counters["restarts"] = static_cast<double>(restarts);
+    const auto& fc = f.machine->fault_counters();
+    state.counters["mem_strikes"] = static_cast<double>(fc.mem_corruptions);
+    state.counters["link_corruptions"] = static_cast<double>(fc.payload_corruptions);
+    if (d.io_time > 0) {
+      state.counters["scrub_frac"] =
+          static_cast<double>(scrub_io) / static_cast<double>(d.io_time);
+    }
+  }
+}
+
+void SCRUB_Off_Rate0(benchmark::State& state) { run_mixed(state, 0.0, false); }
+PIM_BENCH_SWEEP(SCRUB_Off_Rate0);
+
+void SCRUB_On_Rate0(benchmark::State& state) { run_mixed(state, 0.0, true); }
+PIM_BENCH_SWEEP(SCRUB_On_Rate0);
+
+void SCRUB_Off_Rate1e6(benchmark::State& state) { run_mixed(state, 1e-6, false); }
+PIM_BENCH_SWEEP(SCRUB_Off_Rate1e6);
+
+void SCRUB_On_Rate1e6(benchmark::State& state) { run_mixed(state, 1e-6, true); }
+PIM_BENCH_SWEEP(SCRUB_On_Rate1e6);
+
+void SCRUB_Off_Rate1e4(benchmark::State& state) { run_mixed(state, 1e-4, false); }
+PIM_BENCH_SWEEP(SCRUB_Off_Rate1e4);
+
+void SCRUB_On_Rate1e4(benchmark::State& state) { run_mixed(state, 1e-4, true); }
+PIM_BENCH_SWEEP(SCRUB_On_Rate1e4);
+
+}  // namespace
+}  // namespace pim::bench
+
+BENCHMARK_MAIN();

@@ -27,6 +27,9 @@ enum class StatusCode : u32 {
   /// The component cannot serve the request in its current state (e.g. a
   /// baseline store with a crashed module and no recovery path).
   kUnavailable,
+  /// A caller-supplied argument is malformed (e.g. a FaultPlan naming a
+  /// module that does not exist, or a probability outside [0, 1]).
+  kInvalidArgument,
 };
 
 inline const char* status_code_name(StatusCode code) {
@@ -36,6 +39,7 @@ inline const char* status_code_name(StatusCode code) {
     case StatusCode::kModuleDown: return "MODULE_DOWN";
     case StatusCode::kDrainStuck: return "DRAIN_STUCK";
     case StatusCode::kUnavailable: return "UNAVAILABLE";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
   }
   return "UNKNOWN";
 }

@@ -38,6 +38,7 @@
 
 #include "common/types.hpp"
 #include "core/node.hpp"
+#include "core/scrubber.hpp"
 #include "pimds/deamortized_hash.hpp"
 #include "pimds/local_index.hpp"
 #include "random/hash_fn.hpp"
@@ -181,6 +182,19 @@ class PimSkipList {
   /// checkpoint-policy experiments can force it.
   void checkpoint();
 
+  /// Online integrity audit: one full scrub pass — a replica digest
+  /// exchange across all modules plus a leaf audit of every module —
+  /// repairing any divergence in place (see scrubber.hpp for the
+  /// protocol). The incremental counterpart is core::Scrubber. Requires
+  /// an active fault plan; traffic is metered through the machine and
+  /// reported in ScrubReport::cost.
+  ScrubReport verify_and_repair();
+
+  /// At-rest corruption strikes actually applied to this structure's
+  /// memory (test observability). The machine's mem_corruptions counter
+  /// counts events *fired*; a strike on an empty module applies nothing.
+  u64 mem_corruptions_applied() const { return mem_corruptions_applied_; }
+
   // ---------------- introspection ----------------
 
   u64 size() const { return size_; }
@@ -300,6 +314,7 @@ class PimSkipList {
   void init_range_handlers();     // op_range_broadcast.cpp
   void init_expand_handlers();    // op_range_tree.cpp
   void init_recovery_handlers();  // recovery.cpp
+  void init_scrub_handlers();     // scrubber.cpp
 
   // ----- fault tolerance (recovery.cpp) -----
 
@@ -334,11 +349,34 @@ class PimSkipList {
   void rebuild_from_logical();
   /// Surgical core of recover(): reconstructs module m's nodes offline
   /// from the logical contents plus surviving evidence. Returns the number
-  /// of restored nodes (for metering).
-  u64 offline_restore_module(ModuleId m, const std::map<Key, Value>& contents);
+  /// of restored nodes (for metering). A surviving leaf whose value
+  /// disagrees with the journal — a silent at-rest corruption scrubbing
+  /// had not reached yet — is repaired from the journal; its module is
+  /// appended to `repaired_survivors` for metering.
+  u64 offline_restore_module(ModuleId m, const std::map<Key, Value>& contents,
+                             std::vector<ModuleId>& repaired_survivors);
   /// Builds the head towers (factored from the constructor; reused by
   /// rebuild_from_logical).
   void init_heads();
+
+  // ----- integrity scrubbing (scrubber.cpp) -----
+
+  /// Mem-corrupt listener body: applies one deterministic strike to
+  /// module m's corruptible memory (a leaf value or its upper-part
+  /// replica, modeled as an XOR overlay on the shared physical copy).
+  void on_memory_corrupt(ModuleId m, u64 draw);
+  /// Digest of the clean upper part (what an uncorrupted replica reports).
+  u64 upper_digest_base() const;
+  /// Module m's replica digest: the base folded with its overlay.
+  u64 upper_replica_digest(ModuleId m) const;
+  /// Key-ordered digest of module m's live leaves (mirror walk).
+  u64 leaf_digest(ModuleId m) const;
+  /// Audits `count` modules starting at `first` (plus one replica digest
+  /// exchange across all modules); repairs divergence in place. Core of
+  /// verify_and_repair() and Scrubber.
+  ScrubReport scrub_span(ModuleId first, u32 count);
+  /// One attempt of scrub_span's audit (retried on mid-scrub faults).
+  void scrub_span_once(ModuleId first, u32 count, ScrubReport& report);
 
   /// Read-only ops: recover if needed, run, restart on transient faults.
   template <typename Fn>
@@ -392,6 +430,12 @@ class PimSkipList {
   /// Mutations executed without an active fault plan clear it (they skip
   /// the journal); the next fault-mode operation re-checkpoints.
   bool journal_valid_ = true;
+  /// Per-module replica-divergence overlays: slot -> pending XOR of the
+  /// bits an at-rest strike flipped in that module's copy of the upper
+  /// part (the physical copy is shared, so divergence is tracked, not
+  /// applied). Cleared by scrub repair and by crash recovery.
+  std::vector<std::map<Slot, u64>> upper_xor_;
+  u64 mem_corruptions_applied_ = 0;
 
   // handlers (implementation notes in the .cpp files)
   sim::Handler h_get_;
@@ -411,8 +455,11 @@ class PimSkipList {
   sim::Handler h_range_expand_;   // expansion engine: lower-part walks
   sim::Handler h_recover_fetch_;  // recovery: survivor streams an upper node
   sim::Handler h_restore_;        // recovery: one restored node's payload
+  sim::Handler h_scrub_upper_digest_;  // scrub: replica digest reply
+  sim::Handler h_scrub_leaf_digest_;   // scrub: local-leaf digest reply
 
   friend struct SkipListTestPeer;
+  friend class Scrubber;
 };
 
 template <typename Fn>

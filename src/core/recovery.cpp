@@ -47,6 +47,9 @@ void PimSkipList::on_module_crash(ModuleId m) {
   // Fail-stop: the module's local memory is gone. Crashes fire between
   // rounds (never inside a handler), so replacing the mirror is safe.
   state_[m] = ModuleState(module_seeds_[m].first, module_seeds_[m].second);
+  // Its replica (and any divergence it had accumulated) died with it;
+  // recovery re-streams a clean copy.
+  upper_xor_[m].clear();
 }
 
 // ---------------- journal ----------------
@@ -109,7 +112,13 @@ void PimSkipList::ensure_journaled() {
 }
 
 void PimSkipList::maybe_compact_journal() {
-  if (journal_.size() > kJournalCompactLimit && machine_.down_count() == 0) checkpoint();
+  if (journal_.size() > kJournalCompactLimit && machine_.down_count() == 0) {
+    // Scrub-before-checkpoint: the level-0 walk would freeze any silent
+    // corruption into the new checkpoint as truth, making it permanently
+    // undetectable. Audit and repair first.
+    verify_and_repair();
+    checkpoint();
+  }
 }
 
 void PimSkipList::ensure_healthy() {
@@ -146,7 +155,8 @@ void PimSkipList::recover(ModuleId m) {
   machine_.revive(m);
 
   const auto contents = logical_contents(journal_.size());
-  const u64 restored = offline_restore_module(m, contents);
+  std::vector<ModuleId> repaired_survivors;
+  const u64 restored = offline_restore_module(m, contents, repaired_survivors);
 
   // Metered restoration traffic: the upper part is re-streamed from a
   // surviving replica (fetch → forward), and each reconstructed lower-part
@@ -162,6 +172,10 @@ void PimSkipList::recover(ModuleId m) {
     }
     for (u64 i = 0; i < restored; ++i) {
       machine_.send(m, &h_restore_, {static_cast<u64>(m), upper_live + i});
+    }
+    u64 seq = upper_live + restored;
+    for (const ModuleId s : repaired_survivors) {
+      machine_.send(s, &h_restore_, {static_cast<u64>(s), seq++});
     }
     machine_.run_until_quiescent();
   } catch (const StatusError&) {
@@ -181,6 +195,7 @@ void PimSkipList::rebuild_from_logical() {
   for (ModuleId m = 0; m < machine_.modules(); ++m) {
     if (machine_.is_down(m)) machine_.revive(m);
     state_[m] = ModuleState(module_seeds_[m].first, module_seeds_[m].second);
+    upper_xor_[m].clear();  // every replica is about to be rebuilt clean
   }
   upper_ = NodeArena{};
   size_ = 0;
@@ -207,7 +222,8 @@ void PimSkipList::rebuild_from_logical() {
   machine_.record_recovery(d.rounds, d.io_time);
 }
 
-u64 PimSkipList::offline_restore_module(ModuleId m, const std::map<Key, Value>& contents) {
+u64 PimSkipList::offline_restore_module(ModuleId m, const std::map<Key, Value>& contents,
+                                        std::vector<ModuleId>& repaired_survivors) {
   // Evidence: what the surviving modules + the replicated upper part say
   // about each tower. lower[lv] is the surviving (or restored) level-lv
   // node of the key's tower.
@@ -275,8 +291,13 @@ u64 PimSkipList::offline_restore_module(ModuleId m, const std::map<Key, Value>& 
     Node& leaf = node_at(e.lower[0]);
     if (e.lower[0].module == m) {
       leaf.value = value;  // journal-replayed payload
-    } else {
-      PIM_CHECK(leaf.value == value, "surviving leaf disagrees with the journal");
+    } else if (leaf.value != value) {
+      // A silent at-rest corruption on a survivor, surfaced by the
+      // journal cross-check before scrubbing reached it. The journal is
+      // the oracle: repair in place rather than let recovery freeze the
+      // corrupted word back into circulation.
+      leaf.value = value;
+      repaired_survivors.push_back(e.lower[0].module);
     }
   }
   PIM_CHECK(ev.size() == contents.size(), "surviving nodes reference unknown keys");

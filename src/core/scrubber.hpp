@@ -1,0 +1,88 @@
+// Online integrity audit ("scrubbing") for the PIM skiplist.
+//
+// Silent faults — a bit flipped in a module's local memory, or a payload
+// corrupted in transit that somehow survived the checksum envelope — are
+// invisible to the retransmission layer because no message ever fails.
+// The scrubber is the active defense: it periodically audits the
+// structure against its two sources of redundancy and repairs divergence
+// in place:
+//
+//  (a) Upper-part replicas (paper §4.1): every module keeps a replica of
+//      the upper part, so replicas can vote. One broadcast round makes
+//      each module digest its replica and reply a single word — an
+//      O(1)-IO-per-module exchange (Theorem 5.1-style). A replica whose
+//      digest diverges from the survivors' is the minority; its corrupted
+//      slots are re-streamed from a clean survivor (one message each).
+//  (b) Lower-part leaves: the write-ahead journal + checkpoint (PR 1) is
+//      an independent record of the logical contents. Each audited module
+//      digests its local leaves (one task in, one digest word out); the
+//      CPU compares against the digest of the journal's view of that
+//      module. On divergence, corrupted values are rewritten in place
+//      (one metered message per repaired word); a module whose *key set*
+//      diverged — structural damage — is escalated to the surgical
+//      crash-and-recover path, which rebuilds only that module.
+//
+// The audit is incremental: a Scrubber holds a module cursor and audits
+// `modules_per_step` modules per step (the replica exchange, being O(1)
+// IO per module, runs every step), so the cost amortizes across batches.
+// All scrub traffic flows through the normal machine counters under one
+// dedicated snapshot span; ScrubReport.cost is that span's delta, making
+// the scrub overhead directly measurable (bench_scrub_overhead).
+#pragma once
+
+#include "common/types.hpp"
+#include "sim/metrics.hpp"
+
+namespace pim::core {
+
+class PimSkipList;
+
+/// Outcome of one scrub invocation (a step or a full pass).
+struct ScrubReport {
+  u64 modules_audited = 0;  // modules whose leaves were audited this pass
+  u64 upper_divergent = 0;  // modules whose replica digest diverged
+  u64 leaf_divergent = 0;   // modules whose leaf digest diverged
+  u64 value_repairs = 0;    // leaf value words rewritten in place
+  u64 replica_repairs = 0;  // upper-replica slots re-streamed from a survivor
+  u64 escalations = 0;      // modules rebuilt via the surgical recover path
+  u64 restarts = 0;         // passes interrupted by fresh faults and re-run
+  /// Machine cost of the scrub (IO time, rounds, messages) — the metered
+  /// overhead of this audit, measured under a dedicated snapshot span.
+  sim::MachineDelta cost;
+
+  bool clean() const { return upper_divergent == 0 && leaf_divergent == 0; }
+};
+
+struct ScrubberOptions {
+  /// Modules whose leaves are audited per step (the replica digest
+  /// exchange always covers all modules).
+  u32 modules_per_step = 1;
+};
+
+/// Incremental scrub driver. Construct once, call step() every few
+/// batches; each step audits the next `modules_per_step` modules'
+/// leaves plus one replica digest exchange across all modules.
+/// PimSkipList::verify_and_repair() is the non-incremental equivalent
+/// (one full pass over every module).
+class Scrubber {
+ public:
+  using Options = ScrubberOptions;
+
+  explicit Scrubber(PimSkipList& list, Options opts = {});
+
+  /// Audits the next slice of modules; advances the cursor. Repairs any
+  /// divergence it finds before returning.
+  ScrubReport step();
+
+  /// Audits every module once, starting from the current cursor.
+  ScrubReport full_pass();
+
+  ModuleId cursor() const { return cursor_; }
+
+ private:
+  PimSkipList& list_;
+  Options opts_;
+  ModuleId cursor_ = 0;
+};
+
+}  // namespace pim::core

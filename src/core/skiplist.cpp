@@ -34,7 +34,9 @@ PimSkipList::PimSkipList(sim::Machine& machine, Options opts)
     module_seeds_.emplace_back(rnd::mix64(opts.seed ^ (2 * static_cast<u64>(m) + 1)),
                                rnd::mix64(opts.seed ^ (2 * static_cast<u64>(m) + 2)));
   }
+  upper_xor_.resize(machine.modules());
   machine_.add_crash_listener([this](ModuleId m) { on_module_crash(m); });
+  machine_.add_mem_corrupt_listener([this](ModuleId m, u64 draw) { on_memory_corrupt(m, draw); });
 
   // ---- handlers ----
 
@@ -112,6 +114,7 @@ PimSkipList::PimSkipList(sim::Machine& machine, Options opts)
   init_range_handlers();
   init_expand_handlers();
   init_recovery_handlers();
+  init_scrub_handlers();
 
   init_heads();
 }

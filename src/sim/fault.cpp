@@ -1,16 +1,24 @@
 #include "sim/fault.hpp"
 
 #include <cmath>
+#include <string>
 
-#include "common/error.hpp"
+#include "common/status.hpp"
 #include "random/hash_fn.hpp"
 
 namespace pim::sim {
 
 namespace {
 
-u64 prob_to_threshold(double p) {
-  PIM_CHECK(p >= 0.0 && p <= 1.0, "fault probability must be in [0, 1]");
+[[noreturn]] void reject_plan(std::string msg) {
+  throw StatusError(Status(StatusCode::kInvalidArgument, std::move(msg)));
+}
+
+u64 prob_to_threshold(double p, const char* name) {
+  if (!(p >= 0.0 && p <= 1.0)) {
+    reject_plan(std::string("FaultPlan.") + name + " must be in [0, 1], got " +
+                std::to_string(p));
+  }
   if (p <= 0.0) return 0;
   if (p >= 1.0) return UINT64_MAX;
   return static_cast<u64>(std::ldexp(p, 64));
@@ -19,12 +27,24 @@ u64 prob_to_threshold(double p) {
 }  // namespace
 
 void FaultInjector::set_plan(const FaultPlan& plan) {
-  PIM_CHECK(plan.max_send_attempts >= 1, "max_send_attempts must be >= 1");
-  PIM_CHECK(plan.retry_backoff_rounds >= 1, "retry_backoff_rounds must be >= 1");
+  if (plan.max_send_attempts == 0) {
+    reject_plan("FaultPlan.max_send_attempts must be >= 1 (a zero budget can "
+                "never deliver anything)");
+  }
+  if (plan.retry_backoff_rounds == 0) {
+    reject_plan("FaultPlan.retry_backoff_rounds must be >= 1");
+  }
+  const u64 drop = prob_to_threshold(plan.drop_prob, "drop_prob");
+  const u64 dup = prob_to_threshold(plan.dup_prob, "dup_prob");
+  const u64 stall = prob_to_threshold(plan.stall_prob, "stall_prob");
+  const u64 corrupt = prob_to_threshold(plan.corrupt_prob, "corrupt_prob");
+  const u64 mem = prob_to_threshold(plan.mem_corrupt_prob, "mem_corrupt_prob");
   plan_ = plan;
-  drop_threshold_ = prob_to_threshold(plan.drop_prob);
-  dup_threshold_ = prob_to_threshold(plan.dup_prob);
-  stall_threshold_ = prob_to_threshold(plan.stall_prob);
+  drop_threshold_ = drop;
+  dup_threshold_ = dup;
+  stall_threshold_ = stall;
+  corrupt_threshold_ = corrupt;
+  mem_corrupt_threshold_ = mem;
 }
 
 u64 FaultInjector::decide(u64 salt, u64 round, ModuleId target, const Task& task) const {
@@ -50,6 +70,25 @@ bool FaultInjector::is_stalled(u64 round, ModuleId m) const {
   h = rnd::mix64(h ^ round);
   h = rnd::mix64(h ^ m);
   return hit(stall_threshold_, h);
+}
+
+bool FaultInjector::should_corrupt_memory(u64 round, ModuleId m) const {
+  for (const auto& ev : plan_.mem_corruptions) {
+    if (ev.module == m && ev.round == round) return true;
+  }
+  if (mem_corrupt_threshold_ == 0) return false;
+  u64 h = rnd::mix64(plan_.seed ^ kMemCorruptSalt);
+  h = rnd::mix64(h ^ round);
+  h = rnd::mix64(h ^ m);
+  return hit(mem_corrupt_threshold_, h);
+}
+
+u64 FaultInjector::mem_corrupt_draw(u64 round, ModuleId m, u64 nonce) const {
+  u64 h = rnd::mix64(plan_.seed ^ kMemCorruptSalt ^ 0xD4A3D4A3D4A3D4A3ull);
+  h = rnd::mix64(h ^ round);
+  h = rnd::mix64(h ^ m);
+  h = rnd::mix64(h ^ nonce);
+  return h;
 }
 
 }  // namespace pim::sim

@@ -23,11 +23,30 @@
 //     state. Deliveries to a down module count as drops and eventually
 //     surface kModuleDown. Machine::revive() brings the module back
 //     (empty); structure-level recovery repopulates it.
+//   * corrupt (transit) — a delivery's payload is silently altered in the
+//     network (one bit of one payload word, or of the checksum envelope
+//     itself, chosen by the fault draw). The receiver verifies the
+//     checksum at delivery; a mismatch is counted and treated exactly
+//     like a drop, so corruption and omission share one recovery
+//     machinery (epoch-tagged retransmission of the *original* message).
+//   * mem-corrupt (at rest) — a word of a module's local memory flips
+//     between rounds with no message involved. The machine cannot see it
+//     (that is what "silent" means); it invokes memory-corruption
+//     listeners with a deterministic draw and the owning data structure
+//     applies the flip to its own state. Detection and repair belong to
+//     the structure's scrubber (core/scrubber).
 //
 // Determinism: probabilistic decisions are pure hashes of
 // (seed, epoch, round, target module, task payload) — never of pointer
 // values or delivery order — so the same FaultPlan produces bit-identical
 // fault sequences under the sequential, shuffled and parallel executors.
+// At-rest draws have no payload and hash (seed, epoch, round, module)
+// like stalls; both new kinds reuse the same mix64 content-hash scheme.
+//
+// Plan validation: set_plan / Machine::set_fault_plan reject malformed
+// plans (probabilities outside [0,1], a zero retry budget, events naming
+// modules >= P) with a structured pim::Status (kInvalidArgument) instead
+// of silently misbehaving.
 #pragma once
 
 #include <vector>
@@ -52,19 +71,31 @@ struct CrashEvent {
   u64 round = 0;
 };
 
+/// A scheduled at-rest memory corruption striking module `module` at the
+/// start of absolute round `round`.
+struct MemCorruptEvent {
+  ModuleId module = 0;
+  u64 round = 0;
+};
+
 struct FaultPlan {
   bool enabled = false;
   u64 seed = 0;
 
   // Probabilistic faults, probability per delivery (resp. per
-  // module-round for stall_prob), in [0, 1].
+  // module-round for stall_prob and mem_corrupt_prob), in [0, 1].
   double drop_prob = 0.0;
   double dup_prob = 0.0;
   double stall_prob = 0.0;
+  /// Payload corruption in transit, per delivery.
+  double corrupt_prob = 0.0;
+  /// Local-memory corruption at rest, per module-round.
+  double mem_corrupt_prob = 0.0;
 
   // Scheduled faults (absolute machine rounds).
   std::vector<StallWindow> stall_windows;
   std::vector<CrashEvent> crashes;
+  std::vector<MemCorruptEvent> mem_corruptions;
 
   // Reliable-delivery policy: a dropped message is retransmitted after
   // retry_backoff_rounds << attempt rounds, up to max_send_attempts total
@@ -96,10 +127,32 @@ class FaultInjector {
   }
   bool is_stalled(u64 round, ModuleId m) const;
 
+  /// Transit-corruption decision for one delivery (content-hash of the
+  /// original payload, so retransmissions of a corrupted message draw
+  /// afresh via the attempt-bumped round).
+  bool should_corrupt(u64 round, ModuleId target, const Task& task) const {
+    return hit(corrupt_threshold_, decide(kCorruptSalt, round, target, task));
+  }
+  /// Deterministic draw steering *which* word/bit a transit corruption
+  /// flips. Distinct salt so it is independent of the hit decision.
+  u64 corrupt_draw(u64 round, ModuleId target, const Task& task) const {
+    return decide(kCorruptBitSalt, round, target, task);
+  }
+
+  /// At-rest corruption decision for (round, module): probabilistic draw
+  /// plus scheduled MemCorruptEvents.
+  bool should_corrupt_memory(u64 round, ModuleId m) const;
+  /// Deterministic draw steering what an at-rest corruption hits; `nonce`
+  /// decorrelates multiple strikes on the same (round, module).
+  u64 mem_corrupt_draw(u64 round, ModuleId m, u64 nonce) const;
+
  private:
   static constexpr u64 kDropSalt = 0xD509D509D509D509ull;
   static constexpr u64 kDupSalt = 0xD0B1D0B1D0B1D0B1ull;
   static constexpr u64 kStallSalt = 0x57A1157A1157A115ull;
+  static constexpr u64 kCorruptSalt = 0xC0440C0440C0440Cull;
+  static constexpr u64 kCorruptBitSalt = 0xB17FB17FB17FB17Full;
+  static constexpr u64 kMemCorruptSalt = 0x3E3E3E3E3E3E3E3Eull;
 
   static bool hit(u64 threshold, u64 hash) {
     return threshold != 0 && (threshold == UINT64_MAX || hash < threshold);
@@ -112,6 +165,8 @@ class FaultInjector {
   u64 drop_threshold_ = 0;
   u64 dup_threshold_ = 0;
   u64 stall_threshold_ = 0;
+  u64 corrupt_threshold_ = 0;
+  u64 mem_corrupt_threshold_ = 0;
 };
 
 }  // namespace pim::sim

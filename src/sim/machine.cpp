@@ -102,15 +102,46 @@ Machine::Machine(u32 modules, MachineOptions options)
   PIM_CHECK(modules >= 1, "machine needs at least one module");
 }
 
+namespace {
+
+[[noreturn]] void invalid_argument(std::string msg) {
+  throw StatusError(Status(StatusCode::kInvalidArgument, std::move(msg)));
+}
+
+}  // namespace
+
 void Machine::set_fault_plan(const FaultPlan& plan) {
   PIM_CHECK(!in_round_, "set_fault_plan: cannot change the plan mid-round");
-  fault_.set_plan(plan);
+  // Module bounds of scheduled events are a machine-level property (the
+  // injector does not know P); reject before installing anything.
+  for (const auto& ev : plan.crashes) {
+    if (ev.module >= modules()) {
+      invalid_argument("FaultPlan.crashes names module " + std::to_string(ev.module) +
+                       " on a machine with " + std::to_string(modules()) + " modules");
+    }
+  }
+  for (const auto& w : plan.stall_windows) {
+    if (w.module >= modules()) {
+      invalid_argument("FaultPlan.stall_windows names module " + std::to_string(w.module) +
+                       " on a machine with " + std::to_string(modules()) + " modules");
+    }
+  }
+  for (const auto& ev : plan.mem_corruptions) {
+    if (ev.module >= modules()) {
+      invalid_argument("FaultPlan.mem_corruptions names module " + std::to_string(ev.module) +
+                       " on a machine with " + std::to_string(modules()) + " modules");
+    }
+  }
+  fault_.set_plan(plan);  // validates probabilities and the retry policy
 }
 
 void Machine::crash_module(ModuleId m) {
   PIM_CHECK(fault_.active(), "crash_module requires an active fault plan");
-  PIM_CHECK(m < modules(), "crash_module: bad module id");
-  if (down_[m]) return;
+  if (m >= modules()) {
+    invalid_argument("crash_module: module " + std::to_string(m) + " >= P = " +
+                     std::to_string(modules()));
+  }
+  if (down_[m]) return;  // a module cannot die twice; double crash is a no-op
   ++fault_.counters().crashes;
   auto& pm = per_module_[m];
   pm.queue.clear();      // delivered-but-unexecuted tasks die with the module
@@ -124,10 +155,30 @@ void Machine::crash_module(ModuleId m) {
 }
 
 void Machine::revive(ModuleId m) {
-  PIM_CHECK(m < modules(), "revive: bad module id");
-  PIM_CHECK(down_[m], "revive: module is not down");
+  if (m >= modules()) {
+    invalid_argument("revive: module " + std::to_string(m) + " >= P = " +
+                     std::to_string(modules()));
+  }
+  if (!down_[m]) return;  // revive is idempotent; an up module stays up
   down_[m] = false;
   --down_count_;
+}
+
+void Machine::fire_mem_corruption(ModuleId m) {
+  ++fault_.counters().mem_corruptions;
+  const u64 draw = fault_.mem_corrupt_draw(rounds_, m, mem_corrupt_nonce_++);
+  for (auto& listener : mem_corrupt_listeners_) listener(m, draw);
+}
+
+void Machine::corrupt_module_memory(ModuleId m) {
+  PIM_CHECK(fault_.active(), "corrupt_module_memory requires an active fault plan");
+  PIM_CHECK(!in_round_, "corrupt_module_memory: cannot strike mid-round");
+  if (m >= modules()) {
+    invalid_argument("corrupt_module_memory: module " + std::to_string(m) + " >= P = " +
+                     std::to_string(modules()));
+  }
+  if (down_[m]) return;  // a down module has no memory left to corrupt
+  fire_mem_corruption(m);
 }
 
 void Machine::abort_pending() {
@@ -199,8 +250,10 @@ void Machine::deliver_faulty(ModuleId m, const Task& task, u32 attempt) {
   auto& pm = per_module_[m];
   ++pm.round_in;  // every delivery attempt occupies the h-relation
   auto& fc = fault_.counters();
-  if (down_[m] || fault_.should_drop(rounds_, m, task)) {
-    ++fc.drops;
+  // One lambda for every outcome that ends in a retransmission: drops and
+  // checksum-rejected corruption share the epoch-tagged retry machinery
+  // (the retry always carries the ORIGINAL task, not a corrupted copy).
+  const auto drop_and_retry = [&] {
     if (attempt >= fault_.plan().max_send_attempts) {
       ++fc.lost;
       lost_.push_back(LostSend{m, attempt});
@@ -212,6 +265,32 @@ void Machine::deliver_faulty(ModuleId m, const Task& task, u32 attempt) {
       r.attempt = attempt + 1;
       retry_.push_back(r);
     }
+  };
+  if (down_[m] || fault_.should_drop(rounds_, m, task)) {
+    ++fc.drops;
+    drop_and_retry();
+    return;
+  }
+  Task delivered = task;
+  if (fault_.should_corrupt(rounds_, m, task)) {
+    // Transit corruption: flip one bit of one envelope word. Word index
+    // nargs is the checksum word itself, so zero-argument tasks are
+    // corruptible too (a damaged checksum is equally a damaged message).
+    ++fc.payload_corruptions;
+    const u64 draw = fault_.corrupt_draw(rounds_, m, task);
+    const u32 word = static_cast<u32>(draw % (task.nargs + 1));
+    const u64 mask = 1ull << ((draw >> 8) % 64);
+    if (word == task.nargs) {
+      delivered.checksum ^= mask;
+    } else {
+      delivered.args[word] ^= mask;
+    }
+  }
+  if (!delivered.checksum_ok()) {
+    // The envelope catches the corruption at delivery; the message is
+    // treated exactly like a drop and retransmitted with backoff.
+    ++fc.checksum_rejects;
+    drop_and_retry();
     return;
   }
   if (fault_.should_dup(rounds_, m, task)) {
@@ -220,7 +299,7 @@ void Machine::deliver_faulty(ModuleId m, const Task& task, u32 attempt) {
     ++fc.dups;
     ++pm.round_in;
   }
-  pm.queue.push_back(task);
+  pm.queue.push_back(delivered);
 }
 
 void Machine::run_round() {
@@ -233,6 +312,13 @@ void Machine::run_round() {
   if (faulty) {
     for (const auto& ev : fault_.plan().crashes) {
       if (ev.round == rounds_ && !down_[ev.module]) crash_module(ev.module);
+    }
+    // At-rest memory corruption also strikes between rounds: silent (no
+    // message, no h-relation), applied by the owning structure through the
+    // listener. Decided module-by-module in id order so every executor
+    // sees the identical strike sequence.
+    for (ModuleId m = 0; m < modules(); ++m) {
+      if (!down_[m] && fault_.should_corrupt_memory(rounds_, m)) fire_mem_corruption(m);
     }
   }
 

@@ -166,6 +166,9 @@ class Machine {
   // ---- fault injection / recovery ----
 
   /// Installs (or replaces) the fault plan. Must be called between rounds.
+  /// Throws pim::StatusError(kInvalidArgument) on malformed plans:
+  /// probabilities outside [0, 1], a zero retry budget, or scheduled
+  /// crash/stall/mem-corruption events naming modules >= P.
   void set_fault_plan(const FaultPlan& plan);
   bool fault_active() const { return fault_.active(); }
   const FaultCounters& fault_counters() const { return fault_.counters(); }
@@ -179,9 +182,13 @@ class Machine {
   /// Fail-stop crash, immediately: wipes the module's queue and pending
   /// messages, zeroes its accounted space, marks it down and invokes crash
   /// listeners. Also used by scheduled CrashEvents. Requires a fault plan.
+  /// Crashing an already-down module is a no-op (the module cannot die
+  /// twice); a module id >= P is kInvalidArgument.
   void crash_module(ModuleId m);
   /// Brings a crashed module back online (empty). The owning structure is
   /// responsible for repopulating it (e.g. PimSkipList::recover).
+  /// Reviving a module that never crashed is a no-op (revive is
+  /// idempotent); a module id >= P is kInvalidArgument.
   void revive(ModuleId m);
   /// Called with the module id when a module crashes. Registrants must
   /// outlive the machine's fault-mode use (PimSkipList registers itself).
@@ -189,6 +196,19 @@ class Machine {
   void add_crash_listener(CrashListener listener) {
     crash_listeners_.push_back(std::move(listener));
   }
+  /// Called when an at-rest memory corruption strikes module m (at round
+  /// start, or via corrupt_module_memory). The draw is a deterministic
+  /// hash the structure uses to pick the word/bit to flip — the machine
+  /// itself has no visibility into module-local memory, which is exactly
+  /// what makes the fault silent.
+  using MemCorruptListener = std::function<void(ModuleId, u64 draw)>;
+  void add_mem_corrupt_listener(MemCorruptListener listener) {
+    mem_corrupt_listeners_.push_back(std::move(listener));
+  }
+  /// Fires one at-rest corruption at module m immediately (between
+  /// rounds), with a fresh deterministic draw. Testing / chaos-driver
+  /// counterpart of the scheduled MemCorruptEvents. Requires a fault plan.
+  void corrupt_module_memory(ModuleId m);
   /// Purges all in-flight work (pending, queued, retransmissions, lost
   /// records). Drivers call this before retrying a failed batch so stale
   /// tasks cannot write into a reused mailbox.
@@ -199,6 +219,12 @@ class Machine {
     ++fc.recoveries;
     fc.recovery_rounds += rounds;
     fc.recovery_io += io;
+  }
+  /// Folds a scrub audit pass into the fault counters.
+  void record_scrub(u64 repairs) {
+    auto& fc = fault_.counters();
+    ++fc.scrubs;
+    fc.scrub_repairs += repairs;
   }
 
   // ---- shared-memory mailbox (CPU side) ----
@@ -266,6 +292,7 @@ class Machine {
   void apply_write(const ModuleCtx::PendingWrite& w);
   void execute_module(ModuleId m, ModuleCtx& ctx);
   void deliver_faulty(ModuleId m, const Task& task, u32 attempt);
+  void fire_mem_corruption(ModuleId m);
   void recount_queued();
   [[noreturn]] void throw_lost();
   [[noreturn]] void throw_drain_stuck(u64 executed);
@@ -286,6 +313,8 @@ class Machine {
   std::vector<RetrySend> retry_;
   std::vector<LostSend> lost_;
   std::vector<CrashListener> crash_listeners_;
+  std::vector<MemCorruptListener> mem_corrupt_listeners_;
+  u64 mem_corrupt_nonce_ = 0;  // decorrelates same-round strikes
 
   MachineOptions options_;
   rnd::Xoshiro256ss shuffle_rng_;

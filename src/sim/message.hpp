@@ -6,6 +6,14 @@
 // back to shared memory. A PIM module "offloads to another module" by
 // returning to shared memory, which re-offloads from the CPU side — the
 // simulator's `forward` models exactly that two-hop route.
+//
+// Checksum envelope: every task carries a 64-bit checksum of its payload
+// (argument words only — never the handler pointer, which differs across
+// runs). The sender seals it in make_task; the delivery layer verifies it
+// when fault injection is active, so a payload corrupted in transit is
+// detected at the receiver and folded into the retransmission path
+// instead of being consumed as truth. The checksum is one extra word of
+// the constant-size message.
 #pragma once
 
 #include <functional>
@@ -13,6 +21,7 @@
 
 #include "common/error.hpp"
 #include "common/types.hpp"
+#include "random/hash_fn.hpp"
 
 namespace pim::sim {
 
@@ -27,12 +36,25 @@ using Handler = std::function<void(ModuleCtx&, std::span<const u64>)>;
 /// messages; this is that constant. PIM_CHECKed at send time.
 inline constexpr u32 kMaxTaskArgs = 8;
 
+/// Payload checksum: a mix-chain over the argument words. Pure function of
+/// the payload (and nothing else) so sender and receiver agree without
+/// shared state, and identical payloads hash identically in every
+/// executor.
+inline u64 payload_checksum(u32 nargs, const u64* args) {
+  u64 h = rnd::mix64(0xC5EC5EC5EC5EC5ECull ^ nargs);
+  for (u32 i = 0; i < nargs; ++i) h = rnd::mix64(h ^ args[i]);
+  return h;
+}
+
 struct Task {
   const Handler* fn = nullptr;
   u32 nargs = 0;
   u64 args[kMaxTaskArgs] = {};
+  /// Envelope checksum sealed at send time (see file comment).
+  u64 checksum = 0;
 
   std::span<const u64> arg_span() const { return {args, nargs}; }
+  bool checksum_ok() const { return checksum == payload_checksum(nargs, args); }
 };
 
 struct Message {
@@ -46,6 +68,7 @@ inline Task make_task(const Handler* fn, std::span<const u64> args) {
   t.fn = fn;
   t.nargs = static_cast<u32>(args.size());
   for (u32 i = 0; i < t.nargs; ++i) t.args[i] = args[i];
+  t.checksum = payload_checksum(t.nargs, t.args);
   return t;
 }
 

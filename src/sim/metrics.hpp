@@ -32,6 +32,12 @@ struct FaultCounters {
   u64 recoveries = 0;  // structure-level recover()/rebuild invocations
   u64 recovery_rounds = 0;  // rounds spent inside recovery
   u64 recovery_io = 0;      // IO time spent inside recovery
+  // ---- data integrity (corruption + scrubbing) ----
+  u64 payload_corruptions = 0;  // transit corruptions injected
+  u64 checksum_rejects = 0;     // deliveries rejected by the checksum envelope
+  u64 mem_corruptions = 0;      // at-rest corruption events fired
+  u64 scrubs = 0;               // scrub audit passes (digest + leaf rounds)
+  u64 scrub_repairs = 0;        // words/replica slots repaired by scrubbing
 
   FaultCounters& operator+=(const FaultCounters& o) {
     drops += o.drops;
@@ -43,6 +49,11 @@ struct FaultCounters {
     recoveries += o.recoveries;
     recovery_rounds += o.recovery_rounds;
     recovery_io += o.recovery_io;
+    payload_corruptions += o.payload_corruptions;
+    checksum_rejects += o.checksum_rejects;
+    mem_corruptions += o.mem_corruptions;
+    scrubs += o.scrubs;
+    scrub_repairs += o.scrub_repairs;
     return *this;
   }
   FaultCounters operator-(const FaultCounters& o) const {
@@ -56,6 +67,11 @@ struct FaultCounters {
     d.recoveries = recoveries - o.recoveries;
     d.recovery_rounds = recovery_rounds - o.recovery_rounds;
     d.recovery_io = recovery_io - o.recovery_io;
+    d.payload_corruptions = payload_corruptions - o.payload_corruptions;
+    d.checksum_rejects = checksum_rejects - o.checksum_rejects;
+    d.mem_corruptions = mem_corruptions - o.mem_corruptions;
+    d.scrubs = scrubs - o.scrubs;
+    d.scrub_repairs = scrub_repairs - o.scrub_repairs;
     return d;
   }
   bool operator==(const FaultCounters&) const = default;

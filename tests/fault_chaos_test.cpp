@@ -16,6 +16,7 @@
 #include "baseline/range_partition_store.hpp"
 #include "core/pim_skiplist.hpp"
 #include "random/rng.hpp"
+#include "reference_model.hpp"
 #include "sim/machine.hpp"
 #include "sim/measure.hpp"
 #include "test_util.hpp"
@@ -31,51 +32,15 @@ struct SkipListTestPeer {
 
 namespace {
 
-using Ref = std::map<Key, Value>;
-
-// ---- reference-model batch semantics (duplicate keys: first wins) ----
-
-void ref_upsert(Ref& ref, std::span<const std::pair<Key, Value>> ops) {
-  std::set<Key> seen;
-  for (const auto& [k, v] : ops) {
-    if (seen.insert(k).second) ref[k] = v;
-  }
-}
-
-std::vector<u8> ref_update(Ref& ref, std::span<const std::pair<Key, Value>> ops) {
-  std::vector<u8> found(ops.size());
-  for (u64 i = 0; i < ops.size(); ++i) found[i] = ref.contains(ops[i].first) ? 1 : 0;
-  std::set<Key> seen;
-  for (const auto& [k, v] : ops) {
-    if (seen.insert(k).second && ref.contains(k)) ref[k] = v;
-  }
-  return found;
-}
-
-std::vector<u8> ref_delete(Ref& ref, std::span<const Key> keys) {
-  std::vector<u8> found(keys.size());
-  for (u64 i = 0; i < keys.size(); ++i) found[i] = ref.contains(keys[i]) ? 1 : 0;
-  for (const Key k : keys) ref.erase(k);
-  return found;
-}
-
-std::pair<u64, u64> ref_range(const Ref& ref, Key lo, Key hi) {
-  u64 count = 0, sum = 0;
-  for (auto it = ref.lower_bound(lo); it != ref.end() && it->first <= hi; ++it) {
-    ++count;
-    sum += it->second;
-  }
-  return {count, sum};
-}
-
-// Deterministically picks a key present in the reference (or a miss when
-// the reference is empty).
-Key existing_key(const Ref& ref, rnd::Xoshiro256ss& rng) {
-  if (ref.empty()) return -1;
-  auto it = ref.begin();
-  std::advance(it, rng.below(ref.size()));
-  return it->first;
-}
+// Reference-model batch semantics live in tests/reference_model.hpp
+// (shared with the integrity and stress tests).
+using test::existing_key;
+using test::Ref;
+using test::ref_delete;
+using test::ref_fetch_add;
+using test::ref_range;
+using test::ref_update;
+using test::ref_upsert;
 
 // The ISSUE acceptance test: a fixed fault seed injecting drops, dups,
 // one straggler window and one scheduled mid-workload crash, across the
@@ -173,11 +138,9 @@ TEST(FaultChaos, FullSuiteMatchesReferenceUnderFaultStorm) {
     ASSERT_EQ(agg.sum, rs) << "phase " << phase;
 
     const auto faa = list.range_fetch_add_broadcast(lo, hi, 7);
-    ASSERT_EQ(faa.count, rc);
-    ASSERT_EQ(faa.sum, rs);
-    for (auto it = ref.lower_bound(lo); it != ref.end() && it->first <= hi; ++it) {
-      it->second += 7;
-    }
+    const auto [fc2, fs2] = ref_fetch_add(ref, lo, hi, 7);
+    ASSERT_EQ(faa.count, fc2);
+    ASSERT_EQ(faa.sum, fs2);
 
     std::vector<PimSkipList::RangeQuery> rqs = {{lo, hi}, {lo / 2, lo}, {hi, hi * 2}};
     const auto aggs = list.batch_range_aggregate(rqs);

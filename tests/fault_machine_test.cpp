@@ -291,5 +291,221 @@ TEST(FaultMachine, DrainStuckReportsRoundsPendingAndQueueDepths) {
   }
 }
 
+// ---- checksum envelope (transit corruption) ----
+
+TEST(FaultMachine, ChecksumEnvelopeSealsPayload) {
+  Handler noop = [](ModuleCtx&, std::span<const u64>) {};
+  const u64 words[] = {1, 2, 3};
+  Task t = make_task(&noop, words);
+  EXPECT_TRUE(t.checksum_ok());
+  t.args[1] ^= 1ull << 17;
+  EXPECT_FALSE(t.checksum_ok());
+  t.args[1] ^= 1ull << 17;
+  EXPECT_TRUE(t.checksum_ok());
+  t.checksum ^= 1;  // a damaged envelope is equally a damaged message
+  EXPECT_FALSE(t.checksum_ok());
+
+  // Zero-argument tasks are protected too (the checksum word itself is a
+  // corruption target).
+  Task empty = make_task(&noop, std::span<const u64>{});
+  EXPECT_TRUE(empty.checksum_ok());
+  empty.checksum ^= 1ull << 63;
+  EXPECT_FALSE(empty.checksum_ok());
+}
+
+TEST(FaultMachine, CorruptedDeliveriesAreRejectedAndRetried) {
+  Machine machine(4);
+  FaultPlan plan = enabled_plan(31);
+  plan.corrupt_prob = 0.2;
+  machine.set_fault_plan(plan);
+
+  machine.mailbox().assign(64, 0);
+  // The handler cross-checks its payload: a corrupted task must never
+  // reach execution — the envelope rejects it at delivery.
+  Handler echo = [](ModuleCtx& ctx, std::span<const u64> a) {
+    ctx.charge(1);
+    EXPECT_EQ(a[1], a[0] + 1000);
+    ctx.reply(a[0], a[1]);
+  };
+  for (u64 i = 0; i < 64; ++i) {
+    machine.send(static_cast<ModuleId>(i % 4), &echo, {i, i + 1000});
+  }
+  machine.run_until_quiescent();
+
+  for (u64 i = 0; i < 64; ++i) EXPECT_EQ(machine.mailbox()[i], i + 1000);
+  const auto& fc = machine.fault_counters();
+  EXPECT_GT(fc.payload_corruptions, 0u);
+  // Every injected corruption is caught: the flip always lands in the
+  // sealed payload or the checksum word, so detection is exhaustive.
+  EXPECT_EQ(fc.checksum_rejects, fc.payload_corruptions);
+  EXPECT_GT(fc.retries, 0u);
+  EXPECT_EQ(fc.lost, 0u);
+  EXPECT_EQ(fc.drops, 0u);  // rejects are counted separately from drops
+}
+
+TEST(FaultMachine, FullyCorruptedLinkExhaustsRetryBudget) {
+  Machine machine(2);
+  FaultPlan plan = enabled_plan(32);
+  plan.corrupt_prob = 1.0;
+  machine.set_fault_plan(plan);
+
+  machine.mailbox().assign(1, 0);
+  Handler echo = [](ModuleCtx& ctx, std::span<const u64> a) {
+    ctx.charge(1);
+    ctx.reply(0, a[0]);
+  };
+  machine.send(1, &echo, {42ull});
+  try {
+    machine.run_until_quiescent();
+    FAIL() << "a fully corrupted link must exhaust the retry budget";
+  } catch (const StatusError& e) {
+    EXPECT_EQ(e.code(), StatusCode::kRetryExhausted);
+  }
+  const auto& fc = machine.fault_counters();
+  EXPECT_EQ(fc.payload_corruptions, plan.max_send_attempts);
+  EXPECT_EQ(fc.checksum_rejects, plan.max_send_attempts);
+  EXPECT_EQ(fc.lost, 1u);
+  EXPECT_EQ(machine.mailbox()[0], 0u);  // the corrupted payload never landed
+}
+
+// ---- plan validation ----
+
+TEST(FaultMachine, MalformedPlansAreRejectedAsInvalidArgument) {
+  Machine machine(4);
+  const auto expect_rejected = [&](FaultPlan plan, const char* what) {
+    try {
+      machine.set_fault_plan(plan);
+      FAIL() << what << " must be rejected";
+    } catch (const StatusError& e) {
+      EXPECT_EQ(e.code(), StatusCode::kInvalidArgument) << what;
+    }
+  };
+
+  FaultPlan bad = enabled_plan(1);
+  bad.drop_prob = -0.1;
+  expect_rejected(bad, "negative drop_prob");
+  bad = enabled_plan(1);
+  bad.dup_prob = 1.5;
+  expect_rejected(bad, "dup_prob > 1");
+  bad = enabled_plan(1);
+  bad.stall_prob = 2.0;
+  expect_rejected(bad, "stall_prob > 1");
+  bad = enabled_plan(1);
+  bad.corrupt_prob = -1e-9;
+  expect_rejected(bad, "negative corrupt_prob");
+  bad = enabled_plan(1);
+  bad.mem_corrupt_prob = 1.0001;
+  expect_rejected(bad, "mem_corrupt_prob > 1");
+  bad = enabled_plan(1);
+  bad.max_send_attempts = 0;
+  expect_rejected(bad, "zero retry budget");
+  bad = enabled_plan(1);
+  bad.retry_backoff_rounds = 0;
+  expect_rejected(bad, "zero backoff");
+  bad = enabled_plan(1);
+  bad.crashes = {{/*module=*/4, /*round=*/10}};
+  expect_rejected(bad, "crash event naming module >= P");
+  bad = enabled_plan(1);
+  bad.stall_windows = {{/*module=*/7, /*first_round=*/0, /*rounds=*/1}};
+  expect_rejected(bad, "stall window naming module >= P");
+  bad = enabled_plan(1);
+  bad.mem_corruptions = {{/*module=*/4, /*round=*/3}};
+  expect_rejected(bad, "mem-corruption event naming module >= P");
+
+  // A rejected plan must not clobber the installed one.
+  FaultPlan good = enabled_plan(9);
+  good.drop_prob = 0.25;
+  machine.set_fault_plan(good);
+  bad = enabled_plan(1);
+  bad.drop_prob = 7.0;
+  expect_rejected(bad, "re-validation after a good plan");
+  EXPECT_TRUE(machine.fault_active());
+
+  // Boundary probabilities are legal.
+  FaultPlan edge = enabled_plan(2);
+  edge.drop_prob = 0.0;
+  edge.corrupt_prob = 1.0;
+  machine.set_fault_plan(edge);
+  EXPECT_TRUE(machine.fault_active());
+}
+
+// ---- crash / revive / corrupt API edge cases ----
+
+TEST(FaultMachine, CrashAndReviveEdgeCasesAreDefined) {
+  Machine machine(4);
+  machine.set_fault_plan(enabled_plan(5));
+  u32 crash_notifications = 0;
+  machine.add_crash_listener([&](ModuleId) { ++crash_notifications; });
+
+  // revive() of a module that never crashed is an idempotent no-op.
+  machine.revive(2);
+  EXPECT_EQ(machine.down_count(), 0u);
+  EXPECT_FALSE(machine.is_down(2));
+
+  // A module cannot die twice: the second crash_module is a no-op and
+  // listeners fire exactly once.
+  machine.crash_module(1);
+  machine.crash_module(1);
+  EXPECT_EQ(machine.fault_counters().crashes, 1u);
+  EXPECT_EQ(crash_notifications, 1u);
+  EXPECT_EQ(machine.down_count(), 1u);
+
+  // Double revive is equally idempotent.
+  machine.revive(1);
+  machine.revive(1);
+  EXPECT_EQ(machine.down_count(), 0u);
+
+  // Module ids >= P are structured errors, not undefined behavior.
+  const auto expect_invalid = [&](auto&& fn) {
+    try {
+      fn();
+      FAIL() << "module id >= P must be rejected";
+    } catch (const StatusError& e) {
+      EXPECT_EQ(e.code(), StatusCode::kInvalidArgument);
+    }
+  };
+  expect_invalid([&] { machine.crash_module(4); });
+  expect_invalid([&] { machine.revive(17); });
+  expect_invalid([&] { machine.corrupt_module_memory(4); });
+}
+
+TEST(FaultMachine, MemCorruptionListenersFireDeterministically) {
+  const auto run = [](bool down_target) {
+    Machine machine(4);
+    FaultPlan plan = enabled_plan(77);
+    plan.mem_corruptions = {{/*module=*/2, /*round=*/0}};
+    machine.set_fault_plan(plan);
+    std::vector<std::pair<ModuleId, u64>> strikes;
+    machine.add_mem_corrupt_listener(
+        [&](ModuleId m, u64 draw) { strikes.emplace_back(m, draw); });
+
+    // Direct strike (chaos-driver path).
+    machine.corrupt_module_memory(1);
+    // A down module has no memory left to corrupt: silently skipped.
+    if (down_target) {
+      machine.crash_module(3);
+      machine.corrupt_module_memory(3);
+    }
+    // The scheduled event fires at the start of the drain's first round.
+    Handler noop = [](ModuleCtx& ctx, std::span<const u64>) { ctx.charge(1); };
+    machine.send(0, &noop, {});
+    machine.run_until_quiescent();
+    return std::make_pair(strikes, machine.fault_counters().mem_corruptions);
+  };
+
+  const auto [strikes, fired] = run(false);
+  ASSERT_EQ(strikes.size(), 2u);
+  EXPECT_EQ(strikes[0].first, 1u);  // direct
+  EXPECT_EQ(strikes[1].first, 2u);  // scheduled
+  EXPECT_EQ(fired, 2u);
+
+  // Striking a down module applies nothing; draws stay deterministic for
+  // the surviving strikes.
+  const auto [strikes2, fired2] = run(true);
+  ASSERT_EQ(strikes2.size(), 2u);
+  EXPECT_EQ(strikes2[0], strikes[0]);
+  EXPECT_EQ(fired2, 2u);
+}
+
 }  // namespace
 }  // namespace pim::sim

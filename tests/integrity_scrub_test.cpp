@@ -1,0 +1,515 @@
+// Integrity scrubbing: silent at-rest corruption (leaf values, upper-part
+// replica words) must be detected by the digest audit and repaired in
+// place — values rewritten from the journal oracle, replica slots
+// re-streamed from a clean survivor, structural damage escalated to the
+// surgical crash-and-recover path. Includes the ISSUE acceptance test: a
+// chaos storm of payload corruption, at-rest strikes and a crash over the
+// full operation suite, converging to the reference model with zero
+// undetected divergences.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <map>
+#include <vector>
+
+#include "core/pim_skiplist.hpp"
+#include "core/scrubber.hpp"
+#include "random/rng.hpp"
+#include "reference_model.hpp"
+#include "sim/machine.hpp"
+#include "test_util.hpp"
+
+namespace pim::core {
+
+// Test-only window into the structure: plants precise corruption so the
+// audit's detection and repair accounting can be pinned exactly.
+struct SkipListTestPeer {
+  static ModuleId module_of(const PimSkipList& l, Key key) {
+    return l.placement_.module_of(key, 0);
+  }
+
+  /// XORs `mask` into the live leaf holding `key`; returns its module.
+  static ModuleId flip_leaf_value(PimSkipList& l, Key key, u64 mask) {
+    const ModuleId m = l.placement_.module_of(key, 0);
+    auto& arena = l.state_[m].arena;
+    for (Slot s = 0; s < arena.capacity(); ++s) {
+      if (!arena.live(s)) continue;
+      Node& nd = arena.at(s);
+      if (nd.level == 0 && nd.key == key && !nd.deleted()) {
+        nd.value ^= mask;
+        return m;
+      }
+    }
+    ADD_FAILURE() << "no live leaf for key " << key;
+    return m;
+  }
+
+  /// Structural damage: rewrites the leaf's key in place, so module m's
+  /// key set no longer matches the journal's view.
+  static ModuleId smash_leaf_key(PimSkipList& l, Key key) {
+    const ModuleId m = l.placement_.module_of(key, 0);
+    auto& arena = l.state_[m].arena;
+    for (Slot s = 0; s < arena.capacity(); ++s) {
+      if (!arena.live(s)) continue;
+      Node& nd = arena.at(s);
+      if (nd.level == 0 && nd.key == key && !nd.deleted()) {
+        nd.key ^= (Key{1} << 30);
+        return m;
+      }
+    }
+    ADD_FAILURE() << "no live leaf for key " << key;
+    return m;
+  }
+
+  /// Corrupts one word of module m's upper-part replica (XOR overlay).
+  static void flip_replica_word(PimSkipList& l, ModuleId m, u64 mask) {
+    for (Slot s = 0; s < l.upper_.capacity(); ++s) {
+      if (!l.upper_.live(s)) {
+        continue;
+      }
+      l.upper_xor_[m][s] ^= mask;
+      return;
+    }
+    ADD_FAILURE() << "upper part is empty";
+  }
+
+  static u64 replica_overlay_size(const PimSkipList& l, ModuleId m) {
+    return l.upper_xor_[m].size();
+  }
+};
+
+namespace {
+
+using test::existing_key;
+using test::Ref;
+using test::ref_delete;
+using test::ref_fetch_add;
+using test::ref_range;
+using test::ref_update;
+using test::ref_upsert;
+
+using Peer = SkipListTestPeer;
+
+// Builds a list + reference over `n` keys and establishes the journal
+// (the leaf-audit oracle) before any corruption is planted.
+struct Fixture {
+  sim::Machine machine;
+  PimSkipList list;
+  Ref ref;
+
+  Fixture(u32 p, u64 n, u64 fault_seed) : machine(p), list(machine) {
+    rnd::Xoshiro256ss rng(n ^ 0x5EED);
+    const auto pairs = test::make_sorted_pairs(n, rng);
+    list.build(pairs);
+    ref = Ref(pairs.begin(), pairs.end());
+    sim::FaultPlan plan;
+    plan.enabled = true;
+    plan.seed = fault_seed;
+    machine.set_fault_plan(plan);
+    // One fault-mode op so the checkpoint snapshots the *clean* state;
+    // corruption planted afterwards must never become the oracle's truth.
+    (void)list.batch_get(std::vector<Key>{pairs[0].first});
+  }
+
+  void expect_matches_reference() {
+    const auto contents =
+        list.range_collect_broadcast(0, std::numeric_limits<Key>::max());
+    ASSERT_EQ(contents.size(), ref.size());
+    u64 i = 0;
+    for (const auto& [k, v] : ref) {
+      ASSERT_EQ(contents[i].first, k);
+      ASSERT_EQ(contents[i].second, v);
+      ++i;
+    }
+    list.check_invariants();
+  }
+};
+
+TEST(IntegrityScrub, ScrubbingRequiresAnActiveFaultPlan) {
+  sim::Machine machine(4);
+  PimSkipList list(machine);
+  EXPECT_THROW(list.verify_and_repair(), std::logic_error);
+}
+
+TEST(IntegrityScrub, CleanPassIsCheapAndFindsNothing) {
+  Fixture fx(8, 200, 3);
+  const auto before = fx.machine.snapshot();
+  const ScrubReport r = fx.list.verify_and_repair();
+  EXPECT_TRUE(r.clean());
+  EXPECT_EQ(r.modules_audited, 8u);
+  EXPECT_EQ(r.value_repairs, 0u);
+  EXPECT_EQ(r.replica_repairs, 0u);
+  EXPECT_EQ(r.escalations, 0u);
+  EXPECT_EQ(r.restarts, 0u);
+  // The whole audit is one digest exchange: a broadcast + one targeted
+  // send per audited module, each answered by a single word.
+  EXPECT_EQ(r.cost.messages, 4u * 8u);
+  EXPECT_GT(r.cost.io_time, 0u);
+  EXPECT_LE(r.cost.rounds, 4u);
+  // Cost flows through the normal machine counters (nothing off-book).
+  const auto d = fx.machine.delta(before);
+  EXPECT_EQ(d.messages, r.cost.messages);
+  EXPECT_EQ(fx.machine.fault_counters().scrubs, 1u);
+  EXPECT_EQ(fx.machine.fault_counters().scrub_repairs, 0u);
+  fx.expect_matches_reference();
+}
+
+TEST(IntegrityScrub, LeafValueCorruptionIsDetectedAndRepaired) {
+  Fixture fx(4, 150, 7);
+  const Key victim = fx.ref.begin()->first;
+  Peer::flip_leaf_value(fx.list, victim, 0xBAD0BAD0BAD0BAD0ull);
+
+  const ScrubReport r = fx.list.verify_and_repair();
+  EXPECT_FALSE(r.clean());
+  EXPECT_EQ(r.leaf_divergent, 1u);
+  EXPECT_EQ(r.upper_divergent, 0u);
+  EXPECT_EQ(r.value_repairs, 1u);
+  EXPECT_EQ(r.escalations, 0u);
+  EXPECT_EQ(fx.machine.fault_counters().scrub_repairs, 1u);
+
+  // Repaired in place: the read path sees the journal's truth again.
+  const auto got = fx.list.batch_get(std::vector<Key>{victim});
+  ASSERT_TRUE(got[0].found);
+  EXPECT_EQ(got[0].value, fx.ref.at(victim));
+  EXPECT_TRUE(fx.list.verify_and_repair().clean());
+  fx.expect_matches_reference();
+}
+
+TEST(IntegrityScrub, ReplicaCorruptionIsRepairedFromSurvivor) {
+  Fixture fx(4, 150, 9);
+  Peer::flip_replica_word(fx.list, 2, 0xFEEDFACEull);
+  ASSERT_EQ(Peer::replica_overlay_size(fx.list, 2), 1u);
+
+  const ScrubReport r = fx.list.verify_and_repair();
+  EXPECT_EQ(r.upper_divergent, 1u);
+  EXPECT_EQ(r.leaf_divergent, 0u);
+  EXPECT_EQ(r.replica_repairs, 1u);
+  EXPECT_EQ(Peer::replica_overlay_size(fx.list, 2), 0u);
+  // Repair traffic is metered on top of the digest exchange: one fetch
+  // at the survivor plus its forwarded restore (2 hops via the CPU).
+  EXPECT_GT(r.cost.messages, 4u * 4u);
+  EXPECT_TRUE(fx.list.verify_and_repair().clean());
+  fx.expect_matches_reference();
+}
+
+TEST(IntegrityScrub, StructuralLeafDamageEscalatesToRecovery) {
+  Fixture fx(4, 150, 11);
+  const Key victim = std::next(fx.ref.begin(), 10)->first;
+  const ModuleId m = Peer::smash_leaf_key(fx.list, victim);
+
+  const ScrubReport r = fx.list.verify_and_repair();
+  EXPECT_EQ(r.leaf_divergent, 1u);
+  EXPECT_EQ(r.escalations, 1u);
+  EXPECT_EQ(r.value_repairs, 0u);  // word-level repair cannot fix a key set
+  const auto& fc = fx.machine.fault_counters();
+  EXPECT_EQ(fc.crashes, 1u);      // the escalation path is crash + recover
+  EXPECT_EQ(fc.recoveries, 1u);
+  EXPECT_FALSE(fx.machine.is_down(m));
+  EXPECT_TRUE(fx.list.verify_and_repair().clean());
+  fx.expect_matches_reference();
+}
+
+TEST(IntegrityScrub, MachineStrikesAreAppliedAndScrubbedAway) {
+  Fixture fx(4, 200, 13);
+  // Direct at-rest strikes (the deterministic chaos-driver path).
+  for (ModuleId m = 0; m < 4; ++m) fx.machine.corrupt_module_memory(m);
+  EXPECT_EQ(fx.machine.fault_counters().mem_corruptions, 4u);
+  EXPECT_EQ(fx.list.mem_corruptions_applied(), 4u);
+
+  const ScrubReport r = fx.list.verify_and_repair();
+  EXPECT_FALSE(r.clean());
+  EXPECT_EQ(r.value_repairs + r.replica_repairs + r.escalations,
+            fx.machine.fault_counters().scrub_repairs + r.escalations);
+  EXPECT_TRUE(fx.list.verify_and_repair().clean());
+  fx.expect_matches_reference();
+}
+
+TEST(IntegrityScrub, ScrubberStepsAuditLeavesIncrementally) {
+  Fixture fx(4, 200, 17);
+  const Key victim = std::next(fx.ref.begin(), 42)->first;
+  const ModuleId dirty = Peer::flip_leaf_value(fx.list, victim, 1ull << 40);
+  // A replica flip on another module: the replica exchange runs on every
+  // step, so this is caught by the *first* step regardless of the cursor.
+  Peer::flip_replica_word(fx.list, (dirty + 1) % 4, 0xA5A5A5A5ull);
+
+  Scrubber scrubber(fx.list, {/*modules_per_step=*/1});
+  u64 leaf_found_at = 4;
+  for (u32 s = 0; s < 4; ++s) {
+    const ModuleId audited = scrubber.cursor();
+    const ScrubReport r = scrubber.step();
+    EXPECT_EQ(r.modules_audited, 1u);
+    EXPECT_EQ(scrubber.cursor(), (audited + 1) % 4);
+    if (s == 0) {
+      EXPECT_EQ(r.upper_divergent, 1u) << "replica audit must run every step";
+      EXPECT_EQ(r.replica_repairs, 1u);
+    } else {
+      EXPECT_EQ(r.upper_divergent, 0u);
+    }
+    if (r.leaf_divergent > 0) {
+      EXPECT_EQ(audited, dirty) << "leaf audit follows the cursor";
+      EXPECT_EQ(r.value_repairs, 1u);
+      leaf_found_at = s;
+    }
+  }
+  EXPECT_LT(leaf_found_at, 4u) << "a full cursor lap must audit every module";
+  EXPECT_TRUE(fx.list.verify_and_repair().clean());
+  fx.expect_matches_reference();
+}
+
+TEST(IntegrityScrub, CrashDuringScrubIsRetriedToConvergence) {
+  Fixture fx(4, 150, 19);
+  const Key victim = fx.ref.begin()->first;
+  Peer::flip_leaf_value(fx.list, victim, 0x1111ull);
+
+  // Re-arm the plan with a crash scheduled for the scrub's first drain
+  // round: the digest exchange hits a dead module mid-audit.
+  sim::FaultPlan plan;
+  plan.enabled = true;
+  plan.seed = 19;
+  plan.crashes = {{/*module=*/1, /*round=*/fx.machine.rounds()}};
+  fx.machine.set_fault_plan(plan);
+
+  const ScrubReport r = fx.list.verify_and_repair();
+  EXPECT_GE(r.restarts, 1u);
+  EXPECT_GE(fx.machine.fault_counters().crashes, 1u);
+  EXPECT_GE(fx.machine.fault_counters().recoveries, 1u);
+  // The recovery forced by the mid-scrub crash already repaired the
+  // planted corruption (the rebuild restores the crashed module, and its
+  // journal cross-check repairs divergent survivors), so the converged
+  // re-run finds a clean structure.
+  EXPECT_TRUE(r.clean());
+  // The victim holds the journal's value again either way.
+  const auto got = fx.list.batch_get(std::vector<Key>{victim});
+  ASSERT_TRUE(got[0].found);
+  EXPECT_EQ(got[0].value, fx.ref.at(victim));
+  EXPECT_TRUE(fx.list.verify_and_repair().clean());
+  fx.expect_matches_reference();
+}
+
+TEST(IntegrityScrub, ScheduledStrikeDuringMutationIsRepairedBeforeReads) {
+  sim::Machine machine(4);
+  PimSkipList list(machine);
+  rnd::Xoshiro256ss rng(23);
+  const auto pairs = test::make_sorted_pairs(300, rng);
+  list.build(pairs);
+  Ref ref(pairs.begin(), pairs.end());
+
+  sim::FaultPlan plan;
+  plan.enabled = true;
+  plan.seed = 23;
+  plan.mem_corruptions = {{/*module=*/1, /*round=*/machine.rounds() + 1}};
+  machine.set_fault_plan(plan);
+
+  // The strike fires inside (or between) these mutation drains — silent,
+  // no message, no failure surfaced.
+  std::vector<std::pair<Key, Value>> ups;
+  for (int i = 0; i < 200; ++i) ups.push_back({rng.range(0, 100'000), rng()});
+  list.batch_upsert(ups);
+  ref_upsert(ref, ups);
+  list.batch_upsert(std::vector<std::pair<Key, Value>>{{50, 5}});
+  ref[50] = 5;
+  EXPECT_EQ(machine.fault_counters().mem_corruptions, 1u);
+  EXPECT_EQ(list.mem_corruptions_applied(), 1u);
+
+  // Scrub before trusting any read.
+  (void)list.verify_and_repair();
+  const auto contents = list.range_collect_broadcast(0, std::numeric_limits<Key>::max());
+  ASSERT_EQ(contents.size(), ref.size());
+  u64 i = 0;
+  for (const auto& [k, v] : ref) {
+    ASSERT_EQ(contents[i].first, k);
+    ASSERT_EQ(contents[i].second, v) << "key " << k;
+    ++i;
+  }
+  list.check_invariants();
+}
+
+// The ISSUE acceptance test: payload corruption in transit, at-rest
+// strikes between batches and a scheduled crash, over the full operation
+// suite; scrubbing before every read phase yields zero undetected
+// divergences from the fault-free reference.
+TEST(IntegrityScrub, FullSuiteConvergesUnderCorruptionStorm) {
+  sim::Machine machine(8);
+  PimSkipList list(machine);
+  rnd::Xoshiro256ss rng(0xACCE57);
+
+  std::vector<std::pair<Key, Value>> pairs;
+  Key k = 1000;
+  for (int i = 0; i < 400; ++i) {
+    k += 1 + static_cast<Key>(rng.below(50));
+    pairs.push_back({k, rng()});
+  }
+  list.build(pairs);
+  Ref ref(pairs.begin(), pairs.end());
+
+  sim::FaultPlan plan;
+  plan.enabled = true;
+  plan.seed = 0x57012A;
+  plan.drop_prob = 0.01;
+  plan.dup_prob = 0.01;
+  plan.corrupt_prob = 0.05;  // transit corruption on every link
+  plan.crashes = {{/*module=*/5, /*round=*/80}};
+  machine.set_fault_plan(plan);
+
+  u64 strikes = 0;
+  for (int phase = 0; phase < 6; ++phase) {
+    // Mutations: upserts (with a batch duplicate), updates, deletes.
+    std::vector<std::pair<Key, Value>> ups;
+    for (int i = 0; i < 40; ++i) {
+      ups.push_back({static_cast<Key>(rng.below(1u << 20)) + 500, rng()});
+    }
+    ups.push_back({ups[0].first, rng()});
+    list.batch_upsert(ups);
+    ref_upsert(ref, ups);
+
+    // Silent at-rest strikes between batches, then audit + repair.
+    machine.corrupt_module_memory(static_cast<ModuleId>(phase % 8));
+    machine.corrupt_module_memory(static_cast<ModuleId>((phase + 3) % 8));
+    strikes += 2;
+    const ScrubReport r = list.verify_and_repair();
+    EXPECT_TRUE(list.verify_and_repair().clean()) << "phase " << phase;
+    (void)r;
+
+    // Reads against the reference: gets, order queries, ranges.
+    std::vector<Key> gets;
+    for (int i = 0; i < 16; ++i) gets.push_back(existing_key(ref, rng));
+    for (int i = 0; i < 16; ++i) gets.push_back(static_cast<Key>(rng.below(1u << 20)));
+    const auto got = list.batch_get(gets);
+    for (u64 i = 0; i < gets.size(); ++i) {
+      const auto it = ref.find(gets[i]);
+      ASSERT_EQ(got[i].found, it != ref.end()) << "phase " << phase;
+      if (got[i].found) {
+        ASSERT_EQ(got[i].value, it->second) << "phase " << phase << " key " << gets[i];
+      }
+    }
+    std::vector<std::pair<Key, Value>> upd;
+    for (int i = 0; i < 12; ++i) upd.push_back({existing_key(ref, rng), rng()});
+    for (int i = 0; i < 12; ++i) {
+      upd.push_back({static_cast<Key>(rng.below(1u << 20)), rng()});
+    }
+    ASSERT_EQ(list.batch_update(upd), ref_update(ref, upd)) << "phase " << phase;
+
+    std::vector<Key> qs;
+    for (int i = 0; i < 24; ++i) qs.push_back(static_cast<Key>(rng.below(1u << 20)));
+    const auto succ = list.batch_successor(qs);
+    for (u64 i = 0; i < qs.size(); ++i) {
+      const auto it = ref.lower_bound(qs[i]);
+      ASSERT_EQ(succ[i].found, it != ref.end()) << "phase " << phase;
+      if (succ[i].found) {
+        ASSERT_EQ(succ[i].key, it->first);
+      }
+    }
+
+    std::vector<Key> dels;
+    for (int i = 0; i < 10; ++i) dels.push_back(existing_key(ref, rng));
+    for (int i = 0; i < 6; ++i) dels.push_back(static_cast<Key>(rng.below(1u << 20)));
+    const auto erased = list.batch_delete(dels);
+    const auto expect = ref_delete(ref, dels);
+    for (u64 i = 0; i < dels.size(); ++i) {
+      ASSERT_EQ(erased[i], expect[i]) << "phase " << phase << " key " << dels[i];
+    }
+
+    const Key lo = static_cast<Key>(rng.below(1u << 19));
+    const Key hi = lo + static_cast<Key>(rng.below(1u << 19));
+    const auto agg = list.range_fetch_add_broadcast(lo, hi, 7);
+    const auto [rc, rs] = ref_fetch_add(ref, lo, hi, 7);
+    ASSERT_EQ(agg.count, rc) << "phase " << phase;
+    ASSERT_EQ(agg.sum, rs) << "phase " << phase;
+
+    ASSERT_EQ(list.size(), ref.size()) << "phase " << phase;
+  }
+
+  // The storm actually happened, and every corruption was accounted for.
+  const auto& fc = machine.fault_counters();
+  EXPECT_GT(fc.payload_corruptions, 0u);
+  EXPECT_EQ(fc.checksum_rejects, fc.payload_corruptions);
+  EXPECT_EQ(fc.mem_corruptions, strikes);
+  EXPECT_EQ(list.mem_corruptions_applied(), strikes);
+  EXPECT_GE(fc.scrubs, 12u);
+  EXPECT_GE(fc.crashes, 1u);
+  EXPECT_EQ(machine.down_count(), 0u);
+
+  // Final differential: the full contents match the reference exactly.
+  const auto contents = list.range_collect_broadcast(0, std::numeric_limits<Key>::max());
+  ASSERT_EQ(contents.size(), ref.size());
+  u64 i = 0;
+  for (const auto& [key, value] : ref) {
+    ASSERT_EQ(contents[i].first, key);
+    ASSERT_EQ(contents[i].second, value) << "undetected divergence at key " << key;
+    ++i;
+  }
+  list.check_invariants();
+}
+
+// The three executors must agree bit-for-bit on results, metrics and
+// fault counters even with transit corruption and scrub passes in play.
+TEST(IntegrityScrub, ExecutorsAgreeUnderCorruptionAndScrub) {
+  struct RunResult {
+    std::vector<std::pair<bool, Value>> gets;
+    std::vector<std::pair<Key, Value>> contents;
+    std::vector<std::array<u64, 3>> scrub_costs;  // io, rounds, messages
+    u64 repairs = 0;
+    sim::FaultCounters faults;
+  };
+
+  const auto run_with = [](sim::ExecOrder order) {
+    sim::MachineOptions mopts;
+    mopts.order = order;
+    sim::Machine machine(8, mopts);
+    PimSkipList list(machine);
+    rnd::Xoshiro256ss rng(77);
+    std::vector<std::pair<Key, Value>> pairs;
+    Key k = 100;
+    for (int i = 0; i < 256; ++i) {
+      k += 1 + static_cast<Key>(rng.below(64));
+      pairs.push_back({k, rng()});
+    }
+    list.build(pairs);
+
+    sim::FaultPlan plan;
+    plan.enabled = true;
+    plan.seed = 0xE4EC;
+    plan.drop_prob = 0.02;
+    plan.corrupt_prob = 0.05;
+    machine.set_fault_plan(plan);
+
+    RunResult r;
+    for (int round = 0; round < 3; ++round) {
+      std::vector<std::pair<Key, Value>> ups;
+      for (int i = 0; i < 32; ++i) {
+        ups.push_back({static_cast<Key>(rng.below(1u << 16)), rng()});
+      }
+      list.batch_upsert(ups);
+      machine.corrupt_module_memory(static_cast<ModuleId>(round));
+      const ScrubReport rep = list.verify_and_repair();
+      r.scrub_costs.push_back({rep.cost.io_time, rep.cost.rounds, rep.cost.messages});
+      r.repairs += rep.value_repairs + rep.replica_repairs + rep.escalations;
+
+      std::vector<Key> keys;
+      for (int i = 0; i < 32; ++i) keys.push_back(static_cast<Key>(rng.below(1u << 16)));
+      for (const auto& g : list.batch_get(keys)) r.gets.push_back({g.found, g.value});
+    }
+    r.contents = list.range_collect_broadcast(0, std::numeric_limits<Key>::max());
+    r.faults = machine.fault_counters();
+    list.check_invariants();
+    return r;
+  };
+
+  const RunResult seq = run_with(sim::ExecOrder::kSequential);
+  const RunResult shuf = run_with(sim::ExecOrder::kShuffled);
+  const RunResult par = run_with(sim::ExecOrder::kParallel);
+
+  // The storm is live in this configuration (otherwise the test is vacuous).
+  EXPECT_GT(seq.faults.payload_corruptions, 0u);
+  EXPECT_EQ(seq.faults.mem_corruptions, 3u);
+  for (const RunResult* other : {&shuf, &par}) {
+    EXPECT_EQ(seq.gets, other->gets);
+    EXPECT_EQ(seq.contents, other->contents);
+    EXPECT_EQ(seq.scrub_costs, other->scrub_costs);
+    EXPECT_EQ(seq.repairs, other->repairs);
+    EXPECT_EQ(seq.faults, other->faults);
+  }
+}
+
+}  // namespace
+}  // namespace pim::core

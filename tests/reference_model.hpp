@@ -1,0 +1,85 @@
+// Batch-semantics reference model for differential testing.
+//
+// A plain std::map plus free functions that mirror PimSkipList's *batch*
+// contracts exactly — in particular duplicate-key handling (first
+// occurrence wins within a batch) and found-flags computed against the
+// pre-batch state. Shared by the chaos, integrity and stress tests so
+// every differential test pins the same semantics. test_util.hpp's
+// RefModel remains the single-op counterpart.
+#pragma once
+
+#include <iterator>
+#include <map>
+#include <set>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+#include "random/rng.hpp"
+
+namespace pim::test {
+
+using Ref = std::map<Key, Value>;
+
+/// Batch upsert: duplicate keys in the batch — first occurrence wins.
+inline void ref_upsert(Ref& ref, std::span<const std::pair<Key, Value>> ops) {
+  std::set<Key> seen;
+  for (const auto& [k, v] : ops) {
+    if (seen.insert(k).second) ref[k] = v;
+  }
+}
+
+/// Batch update: found flags reflect the pre-batch state; duplicate keys
+/// — first occurrence wins.
+inline std::vector<u8> ref_update(Ref& ref, std::span<const std::pair<Key, Value>> ops) {
+  std::vector<u8> found(ops.size());
+  for (u64 i = 0; i < ops.size(); ++i) found[i] = ref.contains(ops[i].first) ? 1 : 0;
+  std::set<Key> seen;
+  for (const auto& [k, v] : ops) {
+    if (seen.insert(k).second && ref.contains(k)) ref[k] = v;
+  }
+  return found;
+}
+
+/// Batch delete: found flags reflect the pre-batch state (a duplicate
+/// delete of the same key in one batch reports found for every position).
+inline std::vector<u8> ref_delete(Ref& ref, std::span<const Key> keys) {
+  std::vector<u8> found(keys.size());
+  for (u64 i = 0; i < keys.size(); ++i) found[i] = ref.contains(keys[i]) ? 1 : 0;
+  for (const Key k : keys) ref.erase(k);
+  return found;
+}
+
+/// Count and sum over inclusive [lo, hi].
+inline std::pair<u64, u64> ref_range(const Ref& ref, Key lo, Key hi) {
+  u64 count = 0, sum = 0;
+  for (auto it = ref.lower_bound(lo); it != ref.end() && it->first <= hi; ++it) {
+    ++count;
+    sum += it->second;
+  }
+  return {count, sum};
+}
+
+/// Mirror of range_fetch_add_broadcast: adds delta to every value in the
+/// inclusive range, returns (count, sum of OLD values).
+inline std::pair<u64, u64> ref_fetch_add(Ref& ref, Key lo, Key hi, u64 delta) {
+  u64 count = 0, sum = 0;
+  for (auto it = ref.lower_bound(lo); it != ref.end() && it->first <= hi; ++it) {
+    ++count;
+    sum += it->second;
+    it->second += delta;
+  }
+  return {count, sum};
+}
+
+/// Deterministically picks a key present in the reference (or a miss when
+/// the reference is empty).
+inline Key existing_key(const Ref& ref, rnd::Xoshiro256ss& rng) {
+  if (ref.empty()) return -1;
+  auto it = ref.begin();
+  std::advance(it, rng.below(ref.size()));
+  return it->first;
+}
+
+}  // namespace pim::test

@@ -2,15 +2,16 @@
 // differential checking plus structural invariants after every batch.
 #include <gtest/gtest.h>
 
-#include <set>
-
 #include "core/pim_skiplist.hpp"
+#include "reference_model.hpp"
 #include "test_util.hpp"
 
 namespace pim::core {
 namespace {
 
-using test::RefModel;
+// Differential oracle: the shared batch-semantics reference model
+// (tests/reference_model.hpp), also used by the chaos/integrity tests.
+using test::Ref;
 
 class SkipListStress : public ::testing::TestWithParam<u64> {};
 
@@ -22,12 +23,11 @@ TEST_P(SkipListStress, RandomScheduleDifferential) {
   PimSkipList::Options opts;
   opts.seed = rng();
   PimSkipList list(machine, opts);
-  RefModel ref;
 
   // Start from a random base.
   const auto base = test::make_sorted_pairs(rng.below(400), rng, 0, 20'000);
   list.build(base);
-  for (const auto& [k, v] : base) ref.upsert(k, v);
+  Ref ref(base.begin(), base.end());
 
   for (int step = 0; step < 12; ++step) {
     switch (rng.below(6)) {
@@ -36,10 +36,7 @@ TEST_P(SkipListStress, RandomScheduleDifferential) {
         const u64 b = 1 + rng.below(200);
         for (u64 i = 0; i < b; ++i) ops.push_back({rng.range(0, 20'000), rng()});
         list.batch_upsert(ops);
-        std::set<Key> seen;
-        for (const auto& [k, v] : ops) {
-          if (seen.insert(k).second) ref.upsert(k, v);
-        }
+        test::ref_upsert(ref, ops);
         break;
       }
       case 1: {  // delete
@@ -47,12 +44,10 @@ TEST_P(SkipListStress, RandomScheduleDifferential) {
         const u64 b = 1 + rng.below(150);
         for (u64 i = 0; i < b; ++i) keys.push_back(rng.range(0, 20'000));
         const auto erased = list.batch_delete(keys);
-        std::set<Key> seen;
+        const auto expect = test::ref_delete(ref, keys);
         for (u64 i = 0; i < keys.size(); ++i) {
-          const bool expect = ref.map().count(keys[i]) > 0 || seen.count(keys[i]) > 0;
-          ASSERT_EQ(static_cast<bool>(erased[i]), expect)
+          ASSERT_EQ(erased[i], expect[i])
               << "seed " << seed << " step " << step << " key " << keys[i];
-          if (ref.erase(keys[i])) seen.insert(keys[i]);
         }
         break;
       }
@@ -60,10 +55,12 @@ TEST_P(SkipListStress, RandomScheduleDifferential) {
         const auto keys = test::random_keys(1 + rng.below(200), rng, 0, 20'000);
         const auto results = list.batch_get(keys);
         for (u64 i = 0; i < keys.size(); ++i) {
-          Value v;
-          const bool found = ref.get(keys[i], &v);
-          ASSERT_EQ(results[i].found, found) << "seed " << seed << " key " << keys[i];
-          if (found) ASSERT_EQ(results[i].value, v);
+          const auto it = ref.find(keys[i]);
+          ASSERT_EQ(results[i].found, it != ref.end())
+              << "seed " << seed << " key " << keys[i];
+          if (it != ref.end()) {
+            ASSERT_EQ(results[i].value, it->second);
+          }
         }
         break;
       }
@@ -72,36 +69,32 @@ TEST_P(SkipListStress, RandomScheduleDifferential) {
         const auto succ = list.batch_successor(keys);
         const auto pred = list.batch_predecessor(keys);
         for (u64 i = 0; i < keys.size(); ++i) {
-          Key expect;
-          ASSERT_EQ(succ[i].found, ref.successor(keys[i], &expect)) << keys[i];
-          if (succ[i].found) ASSERT_EQ(succ[i].key, expect);
-          ASSERT_EQ(pred[i].found, ref.predecessor(keys[i], &expect)) << keys[i];
-          if (pred[i].found) ASSERT_EQ(pred[i].key, expect);
+          const auto it = ref.lower_bound(keys[i]);
+          ASSERT_EQ(succ[i].found, it != ref.end()) << keys[i];
+          if (it != ref.end()) {
+            ASSERT_EQ(succ[i].key, it->first);
+          }
+          const auto jt = ref.upper_bound(keys[i]);
+          ASSERT_EQ(pred[i].found, jt != ref.begin()) << keys[i];
+          if (jt != ref.begin()) {
+            ASSERT_EQ(pred[i].key, std::prev(jt)->first);
+          }
         }
         break;
       }
       case 4: {  // broadcast range + fetch-add
         const Key lo = rng.range(0, 20'000);
         const Key hi = rng.range(lo, 20'000);
-        const auto [count, sum] = ref.range_count_sum(lo, hi);
         if (rng.coin()) {
           const auto agg = list.range_count_broadcast(lo, hi);
+          const auto [count, sum] = test::ref_range(ref, lo, hi);
           ASSERT_EQ(agg.count, count);
           ASSERT_EQ(agg.sum, sum);
         } else {
           const auto agg = list.range_fetch_add_broadcast(lo, hi, 3);
+          const auto [count, sum] = test::ref_fetch_add(ref, lo, hi, 3);
           ASSERT_EQ(agg.count, count);
           ASSERT_EQ(agg.sum, sum);
-          // Mirror the mutation in the reference.
-          std::vector<Key> in_range;
-          for (const auto& [k, v] : ref.map()) {
-            if (k >= lo && k <= hi) in_range.push_back(k);
-          }
-          for (const Key k : in_range) {
-            Value v;
-            ref.get(k, &v);
-            ref.upsert(k, v + 3);
-          }
         }
         break;
       }
@@ -115,7 +108,7 @@ TEST_P(SkipListStress, RandomScheduleDifferential) {
         const auto walk = list.batch_range_aggregate(queries);
         const auto expand = list.batch_range_aggregate_expand(queries);
         for (u64 i = 0; i < queries.size(); ++i) {
-          const auto [count, sum] = ref.range_count_sum(queries[i].lo, queries[i].hi);
+          const auto [count, sum] = test::ref_range(ref, queries[i].lo, queries[i].hi);
           ASSERT_EQ(walk[i].count, count) << "seed " << seed;
           ASSERT_EQ(expand[i].count, count) << "seed " << seed;
           ASSERT_EQ(walk[i].sum, sum);
