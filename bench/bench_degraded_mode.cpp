@@ -1,0 +1,173 @@
+// DEGRADE — graceful degradation under stragglers and crashed modules
+// (DESIGN.md §5.7). Two sweeps:
+//
+//  * Stall: a persistent straggler storm stalls a fraction {0, 5%, 20%} of
+//    modules each round while successor batches (upper-part searches, the
+//    hedgeable op) drain. Hedging off vs on (hedge_stall_rounds = 2) shows
+//    the tail cost of waiting out stragglers vs rerouting to a replica:
+//    p99/mean batch rounds, throughput per round, and the hedge economy
+//    (hedges fired, wins, waste). At fraction 0 the two variants must be
+//    bit-identical — hedging is pure metadata until a stall ages a task.
+//
+//  * Crash: a fraction of modules fail-stop (no recovery) and reads go
+//    through batch_get_partial. Reported: availability (fraction of keys
+//    served kOk — exactly the live-homed share), batch rounds, and
+//    throughput over the served keys. The whole structure stays usable at
+//    the cost of the dead modules' key range.
+//
+// All numbers are model metrics from the deterministic simulator, one
+// iteration per config, emitted as counters (JSON-compatible with the
+// other benches).
+#include <algorithm>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/status.hpp"
+
+namespace pim::bench {
+namespace {
+
+constexpr int kBatches = 40;
+
+/// p99 over per-batch round counts (nearest-rank).
+double p99(std::vector<u64> v) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const size_t idx = (v.size() * 99 + 99) / 100 - 1;
+  return static_cast<double>(v[std::min(idx, v.size() - 1)]);
+}
+
+double mean(const std::vector<u64>& v) {
+  if (v.empty()) return 0.0;
+  u64 s = 0;
+  for (u64 x : v) s += x;
+  return static_cast<double>(s) / static_cast<double>(v.size());
+}
+
+void run_stall(benchmark::State& state, double fraction, bool hedge) {
+  const u32 p = static_cast<u32>(state.range(0));
+  const u64 n = default_n(p);
+  const u64 batch = u64{p} * log2p(p);
+  for (auto _ : state) {
+    sim::MachineOptions mopts;
+    // Threshold 1: fire the hedge after a single stalled round. Storm
+    // stalls are redrawn per round, so a higher threshold would almost
+    // never trigger (consecutive same-module stalls are rare).
+    mopts.hedge_stall_rounds = hedge ? 1 : 0;
+    sim::Machine machine(p, mopts);
+    core::PimSkipList list(machine, {});
+    auto data = workload::make_uniform_dataset(n, 9103);
+    list.build(data.pairs);
+
+    if (fraction > 0.0) {
+      sim::FaultPlan plan;
+      plan.enabled = true;
+      plan.seed = 0xDE6D;
+      plan.stall_storms.push_back(
+          sim::StallStorm{/*first_round=*/0, /*rounds=*/u64{1} << 30, fraction});
+      machine.set_fault_plan(plan);
+    }
+
+    std::vector<u64> rounds_per_batch;
+    rounds_per_batch.reserve(kBatches);
+    const auto before = machine.snapshot();
+    for (int step = 0; step < kBatches; ++step) {
+      const auto keys = stored_keys_sample(data, batch, 577 + step);
+      const auto snap = machine.snapshot();
+      (void)list.batch_successor(keys);
+      rounds_per_batch.push_back(machine.delta(snap).rounds);
+    }
+    const auto d = machine.delta(before);
+    const double ops = static_cast<double>(batch) * kBatches;
+    state.counters["rounds"] = static_cast<double>(d.rounds);
+    state.counters["io"] = static_cast<double>(d.io_time);
+    state.counters["mean_rounds"] = mean(rounds_per_batch);
+    state.counters["p99_rounds"] = p99(rounds_per_batch);
+    state.counters["tput_round"] = d.rounds ? ops / static_cast<double>(d.rounds) : 0.0;
+    const auto& fc = machine.fault_counters();
+    state.counters["stalls"] = static_cast<double>(fc.stalls);
+    state.counters["hedges"] = static_cast<double>(fc.hedges);
+    state.counters["hedge_wins"] = static_cast<double>(fc.hedge_wins);
+    state.counters["hedge_waste"] = static_cast<double>(fc.hedge_waste);
+  }
+}
+
+void run_crash(benchmark::State& state, double fraction) {
+  const u32 p = static_cast<u32>(state.range(0));
+  const u64 n = default_n(p);
+  const u64 batch = u64{p} * log2p(p);
+  const u32 dead = static_cast<u32>(static_cast<double>(p) * fraction + 0.5);
+  for (auto _ : state) {
+    sim::Machine machine(p);
+    core::PimSkipList list(machine, {});
+    auto data = workload::make_uniform_dataset(n, 9103);
+    list.build(data.pairs);
+
+    sim::FaultPlan plan;
+    plan.enabled = true;
+    plan.seed = 0xDE6D;
+    machine.set_fault_plan(plan);
+    // Establish the journal while everything is still up, then fail-stop
+    // `dead` modules spread across the id space. No recovery: the bench
+    // measures steady-state degraded service, not repair.
+    (void)list.batch_get(std::vector<Key>{data.pairs[0].first});
+    for (u32 i = 0; i < dead; ++i) machine.crash_module((i * p) / dead);
+
+    std::vector<u64> rounds_per_batch;
+    rounds_per_batch.reserve(kBatches);
+    u64 served = 0, unavailable = 0;
+    const auto before = machine.snapshot();
+    for (int step = 0; step < kBatches; ++step) {
+      const auto keys = stored_keys_sample(data, batch, 577 + step);
+      const auto snap = machine.snapshot();
+      const auto res = list.batch_get_partial(keys);
+      rounds_per_batch.push_back(machine.delta(snap).rounds);
+      for (const auto& r : res) {
+        if (r.status.ok()) {
+          ++served;
+        } else {
+          ++unavailable;
+        }
+      }
+    }
+    const auto d = machine.delta(before);
+    state.counters["rounds"] = static_cast<double>(d.rounds);
+    state.counters["io"] = static_cast<double>(d.io_time);
+    state.counters["mean_rounds"] = mean(rounds_per_batch);
+    state.counters["p99_rounds"] = p99(rounds_per_batch);
+    state.counters["tput_round"] =
+        d.rounds ? static_cast<double>(served) / static_cast<double>(d.rounds) : 0.0;
+    state.counters["avail"] = static_cast<double>(served) /
+                              static_cast<double>(served + unavailable);
+    state.counters["dead_modules"] = static_cast<double>(dead);
+  }
+}
+
+void DEGRADE_Stall0_HedgeOff(benchmark::State& state) { run_stall(state, 0.0, false); }
+PIM_BENCH_SWEEP(DEGRADE_Stall0_HedgeOff);
+
+void DEGRADE_Stall0_HedgeOn(benchmark::State& state) { run_stall(state, 0.0, true); }
+PIM_BENCH_SWEEP(DEGRADE_Stall0_HedgeOn);
+
+void DEGRADE_Stall5_HedgeOff(benchmark::State& state) { run_stall(state, 0.05, false); }
+PIM_BENCH_SWEEP(DEGRADE_Stall5_HedgeOff);
+
+void DEGRADE_Stall5_HedgeOn(benchmark::State& state) { run_stall(state, 0.05, true); }
+PIM_BENCH_SWEEP(DEGRADE_Stall5_HedgeOn);
+
+void DEGRADE_Stall20_HedgeOff(benchmark::State& state) { run_stall(state, 0.20, false); }
+PIM_BENCH_SWEEP(DEGRADE_Stall20_HedgeOff);
+
+void DEGRADE_Stall20_HedgeOn(benchmark::State& state) { run_stall(state, 0.20, true); }
+PIM_BENCH_SWEEP(DEGRADE_Stall20_HedgeOn);
+
+void DEGRADE_Crash5_PartialGet(benchmark::State& state) { run_crash(state, 0.05); }
+PIM_BENCH_SWEEP(DEGRADE_Crash5_PartialGet);
+
+void DEGRADE_Crash20_PartialGet(benchmark::State& state) { run_crash(state, 0.20); }
+PIM_BENCH_SWEEP(DEGRADE_Crash20_PartialGet);
+
+}  // namespace
+}  // namespace pim::bench
+
+BENCHMARK_MAIN();

@@ -30,6 +30,19 @@ enum class StatusCode : u32 {
   /// A caller-supplied argument is malformed (e.g. a FaultPlan naming a
   /// module that does not exist, or a probability outside [0, 1]).
   kInvalidArgument,
+  /// A batch exceeded its RoundBudget / OpDeadline (rounds or
+  /// retransmission cost). Unlike kDrainStuck this is an expected
+  /// operational condition: the machine stays usable and a journaled
+  /// mutation still commits atomically via recovery before this
+  /// propagates.
+  kDeadlineExceeded,
+  /// Admission control rejected work: the target module's bounded ingress
+  /// queue is full (try_send), or the backoff retry waves could not place
+  /// a whole batch within the drain budget (send_all_admitted).
+  kResourceExhausted,
+  /// Number of codes, not a code. Keep last; the round-trip test walks
+  /// [0, kStatusCodeCount) to catch codes added without a name.
+  kStatusCodeCount,
 };
 
 inline const char* status_code_name(StatusCode code) {
@@ -40,6 +53,9 @@ inline const char* status_code_name(StatusCode code) {
     case StatusCode::kDrainStuck: return "DRAIN_STUCK";
     case StatusCode::kUnavailable: return "UNAVAILABLE";
     case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
+    case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+    case StatusCode::kStatusCodeCount: break;
   }
   return "UNKNOWN";
 }

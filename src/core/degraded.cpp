@@ -1,0 +1,452 @@
+// Degraded-mode operation (DESIGN.md §5.7): partial-batch entry points
+// that keep serving while modules are down.
+//
+// The guarded entry points (recovery.cpp) buy availability by repairing
+// first: ensure_healthy() recovers every down module before the batch
+// runs. The *_partial variants make the opposite trade — with modules
+// down they serve what they can NOW, per key:
+//  * a key homed on a dead module gets Status kUnavailable;
+//  * every other key is served through its normal hash route and gets
+//    kOk plus the usual result.
+// Admitted mutations are journaled (admitted sub-batch only, original
+// order), so replaying checkpoint + journal still reproduces the logical
+// contents exactly; the next recover(m) — or any guarded operation's
+// ensure_healthy() — converges the physical structure.
+//
+// Structural debt, by design: a degraded upsert lands a new key as an
+// UNLINKED height-0 leaf (arena + hash + index only), and a degraded
+// delete frees the leaf and its live tower nodes without splicing the
+// lower lists (neighbors keep dangling pointers). Both are healed by
+// recovery's full lower-part relink (offline_restore_module), which
+// rebuilds every lower-level link from the journal plus surviving
+// evidence. Until then only hash-routed point access — i.e. these
+// partial ops — is valid; the guarded ops repair before touching links.
+// The replicated upper chain of a deleted tower IS spliced eagerly (it
+// is readable locally and recovery re-streams rather than rebuilds it).
+//
+// Mid-batch failure escalates exactly like the guarded mutations: abort,
+// rebuild from checkpoint + journal (the admitted sub-batch commits
+// atomically), synthesize results on the CPU. A kDeadlineExceeded still
+// commits first, then propagates.
+#include <string>
+#include <unordered_map>
+
+#include "common/math_util.hpp"
+#include "core/pim_skiplist.hpp"
+#include "parallel/cost_model.hpp"
+
+namespace pim::core {
+
+namespace {
+constexpr u64 kGetStride = 2;  // h_get_ reply layout: [found, value]
+
+Status unavailable(ModuleId m) {
+  return Status(StatusCode::kUnavailable,
+                "module " + std::to_string(m) + " is down (degraded mode; recover it "
+                                                "or run a guarded operation to heal)");
+}
+}  // namespace
+
+void PimSkipList::init_degraded_handlers() {
+  // Hash-routed upsert that performs NO pointer linking: an existing leaf
+  // is updated in place; a new key lands as an unlinked height-0 leaf.
+  // args: [res_slot, key, value]; reply: 1 if inserted, 0 if updated.
+  h_upsert_direct_ = [this](sim::ModuleCtx& ctx, std::span<const u64> a) {
+    const u64 res_slot = a[0];
+    const Key key = static_cast<Key>(a[1]);
+    const Value value = a[2];
+    auto& st = state_[ctx.id()];
+    const auto hit = st.key_to_leaf.find(key);
+    ctx.charge(hit.work);
+    if (hit.found) {
+      st.arena.at(static_cast<Slot>(hit.value)).value = value;
+      ctx.charge(1);
+      ctx.reply(res_slot, 0);
+      return;
+    }
+    const Slot slot = st.arena.allocate();
+    Node& node = st.arena.at(slot);
+    node.key = key;
+    node.value = value;
+    node.level = 0;
+    ctx.charge(1);
+    ctx.charge(st.key_to_leaf.upsert(key, slot));
+    ctx.charge(st.leaf_index.upsert(key, slot));
+    ctx.reply(res_slot, 1);
+  };
+
+  // Hash-routed delete: releases the leaf, frees its lower tower nodes on
+  // LIVE modules (dead ones died with their module), and splices + frees
+  // the replicated upper chain locally — the physical copy is shared, so
+  // one application repairs every replica. Lower-part neighbors keep
+  // dangling pointers until recovery's relink. args: [res_slot, key];
+  // reply: 1 if the key existed.
+  h_del_direct_ = [this](sim::ModuleCtx& ctx, std::span<const u64> a) {
+    const u64 res_slot = a[0];
+    const Key key = static_cast<Key>(a[1]);
+    auto& st = state_[ctx.id()];
+    const auto hit = st.key_to_leaf.find(key);
+    ctx.charge(hit.work);
+    if (!hit.found) {
+      ctx.reply(res_slot, 0);
+      return;
+    }
+    const Slot leaf = static_cast<Slot>(hit.value);
+    std::vector<GPtr> tower;
+    Slot upper_base = kNullSlot;
+    if (const LeafMeta* meta = st.arena.find_leaf_meta(leaf); meta != nullptr) {
+      tower = meta->tower;
+      upper_base = meta->upper_base;
+    }
+    ctx.charge(st.key_to_leaf.erase(key).work);
+    bool erased = false;
+    ctx.charge(st.leaf_index.erase(key, &erased));
+    PIM_CHECK(erased, "leaf missing from local index");
+    st.arena.release(leaf);
+    ctx.charge(1);
+    for (const GPtr& t : tower) {
+      if (t.is_null() || machine_.is_down(t.module)) continue;
+      const u64 args[4] = {t.encode(), static_cast<u64>(kWFree), 0, 0};
+      ctx.forward(t.module, &h_write_, std::span<const u64>(args, 4));
+    }
+    GPtr up = upper_base == kNullSlot ? GPtr::null() : GPtr::replicated(upper_base);
+    while (!up.is_null()) {
+      const Node& un = upper_.at(up.slot);
+      ctx.charge(1);
+      if (!un.left.is_null()) {
+        Node& left = node_at(un.left);
+        left.right = un.right;
+        left.right_key = un.right_key;
+      }
+      if (!un.right.is_null()) node_at(un.right).left = un.left;
+      const GPtr next = un.up;
+      upper_.release(up.slot);
+      up = next;
+    }
+    ctx.reply(res_slot, 1);
+  };
+}
+
+void PimSkipList::fail_stop_suspects() {
+  if (machine_.suspect_count() == 0) return;
+  for (ModuleId m = 0; m < machine_.modules(); ++m) {
+    if (!machine_.is_suspect(m)) continue;
+    machine_.clear_suspect(m);
+    // Gray failure becomes fail-stop: the next ensure_healthy() runs a
+    // surgical recover(m) instead of every batch re-losing messages into
+    // a module that never answers.
+    if (!machine_.is_down(m)) machine_.crash_module(m);
+  }
+}
+
+// ---------------- degraded drivers ----------------
+//
+// Dedup here is a plain first-occurrence map, not the semisort dedup of
+// the healthy drivers: degraded batches are off the cost-model golden
+// path and the simple form keeps the filtered/admitted bookkeeping
+// readable. CPU work is still charged per position.
+
+std::vector<PimSkipList::PartialGet> PimSkipList::batch_get_partial(std::span<const Key> keys) {
+  const u64 n = keys.size();
+  std::vector<PartialGet> out(n);
+  if (!machine_.fault_active()) {
+    auto r = batch_get_impl(keys);
+    for (u64 i = 0; i < n; ++i) out[i] = PartialGet{Status(), r[i].found, r[i].value};
+    return out;
+  }
+  fail_stop_suspects();
+  if (machine_.down_count() == 0) ensure_journaled();
+  for (u32 attempt = 0;; ++attempt) {
+    machine_.begin_fault_epoch();
+    arm_deadline();
+    try {
+      if (machine_.down_count() == 0) {
+        auto r = batch_get_impl(keys);
+        machine_.clear_round_budget();
+        for (u64 i = 0; i < n; ++i) out[i] = PartialGet{Status(), r[i].found, r[i].value};
+        return out;
+      }
+      // Admit live-homed keys only; one message per distinct admitted key.
+      std::unordered_map<Key, u64> slot_of;
+      std::vector<Key> distinct;
+      for (u64 i = 0; i < n; ++i) {
+        if (slot_of.try_emplace(keys[i], distinct.size()).second) distinct.push_back(keys[i]);
+        par::charge_work(1);
+      }
+      const u64 d = distinct.size();
+      std::vector<ModuleId> home(d);
+      std::vector<u8> dead(d, 0);
+      machine_.mailbox().assign(d * kGetStride, 0);
+      par::charge_work(d * kGetStride);
+      par::charged_region(ceil_log2(d + 2), [&] {
+        for (u64 g = 0; g < d; ++g) {
+          home[g] = placement_.module_of(distinct[g], 0);
+          if (machine_.is_down(home[g])) {
+            dead[g] = 1;
+            continue;
+          }
+          const u64 args[2] = {g * kGetStride, static_cast<u64>(distinct[g])};
+          machine_.send(home[g], &h_get_, std::span<const u64>(args, 2));
+          par::charge_work(1);
+        }
+      });
+      machine_.run_until_quiescent();
+      machine_.clear_round_budget();
+      const auto& mail = machine_.mailbox();
+      for (u64 i = 0; i < n; ++i) {
+        const u64 g = slot_of.at(keys[i]);
+        if (dead[g]) {
+          out[i] = PartialGet{unavailable(home[g]), false, 0};
+        } else {
+          out[i] = PartialGet{Status(), mail[g * kGetStride] != 0, mail[g * kGetStride + 1]};
+        }
+        par::charge_work(1);
+      }
+      return out;
+    } catch (const StatusError& e) {
+      machine_.clear_round_budget();
+      if (e.code() == StatusCode::kDrainStuck) throw;
+      if (e.code() == StatusCode::kDeadlineExceeded) {
+        machine_.abort_pending();
+        throw;
+      }
+      if (attempt + 1 >= kMaxOpRestarts) throw;
+      machine_.abort_pending();
+      fail_stop_suspects();  // the down set may have grown; refilter and retry
+    }
+  }
+}
+
+std::vector<PimSkipList::PartialFlag> PimSkipList::batch_update_partial(
+    std::span<const std::pair<Key, Value>> ops) {
+  const u64 n = ops.size();
+  std::vector<PartialFlag> out(n);
+  if (!machine_.fault_active()) {
+    journal_valid_ = false;
+    auto f = batch_update_impl(ops);
+    for (u64 i = 0; i < n; ++i) out[i] = PartialFlag{Status(), f[i] != 0};
+    return out;
+  }
+  fail_stop_suspects();
+  if (machine_.down_count() == 0) {
+    // Healthy: exactly the guarded batch op, every status kOk.
+    auto f = batch_update(ops);
+    for (u64 i = 0; i < n; ++i) out[i] = PartialFlag{Status(), f[i] != 0};
+    return out;
+  }
+  ensure_journaled();  // valid already, or PIM_CHECKs (crash predates fault mode)
+
+  // Admit live-homed positions; journal the admitted sub-batch in order.
+  std::vector<u8> admitted(n, 0);
+  std::vector<ModuleId> home(n);
+  JournalEntry e;
+  e.kind = JournalEntry::kJUpdate;
+  for (u64 i = 0; i < n; ++i) {
+    home[i] = placement_.module_of(ops[i].first, 0);
+    if (!machine_.is_down(home[i])) {
+      admitted[i] = 1;
+      e.ops.push_back(ops[i]);
+    }
+    par::charge_work(1);
+  }
+  journal_.push_back(std::move(e));
+  machine_.begin_fault_epoch();
+  arm_deadline();
+  try {
+    // First occurrence wins on duplicates, matching apply_journal_entry.
+    std::unordered_map<Key, u64> slot_of;
+    std::vector<u64> rep;  // position of each distinct admitted key
+    for (u64 i = 0; i < n; ++i) {
+      if (!admitted[i]) continue;
+      if (slot_of.try_emplace(ops[i].first, rep.size()).second) rep.push_back(i);
+      par::charge_work(1);
+    }
+    const u64 d = rep.size();
+    machine_.mailbox().assign(d, 0);
+    par::charge_work(d);
+    par::charged_region(ceil_log2(d + 2), [&] {
+      for (u64 g = 0; g < d; ++g) {
+        const auto& [key, value] = ops[rep[g]];
+        const u64 args[3] = {g, static_cast<u64>(key), value};
+        machine_.send(home[rep[g]], &h_update_, std::span<const u64>(args, 3));
+        par::charge_work(1);
+      }
+    });
+    machine_.run_until_quiescent();
+    machine_.clear_round_budget();
+    const auto& mail = machine_.mailbox();
+    for (u64 i = 0; i < n; ++i) {
+      out[i] = admitted[i] ? PartialFlag{Status(), mail[slot_of.at(ops[i].first)] != 0}
+                           : PartialFlag{unavailable(home[i]), false};
+      par::charge_work(1);
+    }
+    return out;
+  } catch (const StatusError& err) {
+    machine_.clear_round_budget();
+    if (err.code() == StatusCode::kDrainStuck) throw;
+    machine_.abort_pending();
+    const auto before_state = logical_contents(journal_.size() - 1);
+    rebuild_from_logical();  // the admitted sub-batch commits atomically
+    for (u64 i = 0; i < n; ++i) {
+      out[i] = admitted[i] ? PartialFlag{Status(), before_state.contains(ops[i].first)}
+                           : PartialFlag{unavailable(home[i]), false};
+    }
+    if (err.code() == StatusCode::kDeadlineExceeded) throw;  // committed first
+    return out;
+  }
+}
+
+std::vector<Status> PimSkipList::batch_upsert_partial(
+    std::span<const std::pair<Key, Value>> ops) {
+  const u64 n = ops.size();
+  std::vector<Status> out(n);
+  if (!machine_.fault_active()) {
+    journal_valid_ = false;
+    batch_upsert_impl(ops);
+    return out;
+  }
+  fail_stop_suspects();
+  if (machine_.down_count() == 0) {
+    batch_upsert(ops);  // healthy: the guarded op, fully linked inserts
+    return out;
+  }
+  ensure_journaled();
+
+  std::vector<u8> admitted(n, 0);
+  std::vector<ModuleId> home(n);
+  JournalEntry e;
+  e.kind = JournalEntry::kJUpsert;
+  for (u64 i = 0; i < n; ++i) {
+    home[i] = placement_.module_of(ops[i].first, 0);
+    if (!machine_.is_down(home[i])) {
+      admitted[i] = 1;
+      e.ops.push_back(ops[i]);
+    }
+    par::charge_work(1);
+  }
+  journal_.push_back(std::move(e));
+  machine_.begin_fault_epoch();
+  arm_deadline();
+  try {
+    std::unordered_map<Key, u64> slot_of;
+    std::vector<u64> rep;
+    for (u64 i = 0; i < n; ++i) {
+      if (!admitted[i]) continue;
+      if (slot_of.try_emplace(ops[i].first, rep.size()).second) rep.push_back(i);
+      par::charge_work(1);
+    }
+    const u64 d = rep.size();
+    machine_.mailbox().assign(d, 0);
+    par::charge_work(d);
+    par::charged_region(ceil_log2(d + 2), [&] {
+      for (u64 g = 0; g < d; ++g) {
+        const auto& [key, value] = ops[rep[g]];
+        const u64 args[3] = {g, static_cast<u64>(key), value};
+        machine_.send(home[rep[g]], &h_upsert_direct_, std::span<const u64>(args, 3));
+        par::charge_work(1);
+      }
+    });
+    machine_.run_until_quiescent();
+    machine_.clear_round_budget();
+    const auto& mail = machine_.mailbox();
+    u64 inserted = 0;
+    for (u64 g = 0; g < d; ++g) inserted += mail[g];
+    size_ += inserted;
+    for (u64 i = 0; i < n; ++i) {
+      if (!admitted[i]) out[i] = unavailable(home[i]);
+      par::charge_work(1);
+    }
+    return out;
+  } catch (const StatusError& err) {
+    machine_.clear_round_budget();
+    if (err.code() == StatusCode::kDrainStuck) throw;
+    machine_.abort_pending();
+    rebuild_from_logical();  // the admitted sub-batch commits atomically
+    for (u64 i = 0; i < n; ++i) {
+      if (!admitted[i]) out[i] = unavailable(home[i]);
+    }
+    if (err.code() == StatusCode::kDeadlineExceeded) throw;  // committed first
+    return out;
+  }
+}
+
+std::vector<PimSkipList::PartialFlag> PimSkipList::batch_delete_partial(
+    std::span<const Key> keys) {
+  const u64 n = keys.size();
+  std::vector<PartialFlag> out(n);
+  if (!machine_.fault_active()) {
+    journal_valid_ = false;
+    auto f = batch_delete_impl(keys);
+    for (u64 i = 0; i < n; ++i) out[i] = PartialFlag{Status(), f[i] != 0};
+    return out;
+  }
+  fail_stop_suspects();
+  if (machine_.down_count() == 0) {
+    auto f = batch_delete(keys);
+    for (u64 i = 0; i < n; ++i) out[i] = PartialFlag{Status(), f[i] != 0};
+    return out;
+  }
+  ensure_journaled();
+
+  std::vector<u8> admitted(n, 0);
+  std::vector<ModuleId> home(n);
+  JournalEntry e;
+  e.kind = JournalEntry::kJDelete;
+  for (u64 i = 0; i < n; ++i) {
+    home[i] = placement_.module_of(keys[i], 0);
+    if (!machine_.is_down(home[i])) {
+      admitted[i] = 1;
+      e.del_keys.push_back(keys[i]);
+    }
+    par::charge_work(1);
+  }
+  journal_.push_back(std::move(e));
+  machine_.begin_fault_epoch();
+  arm_deadline();
+  try {
+    std::unordered_map<Key, u64> slot_of;
+    std::vector<Key> distinct;
+    for (u64 i = 0; i < n; ++i) {
+      if (!admitted[i]) continue;
+      if (slot_of.try_emplace(keys[i], distinct.size()).second) distinct.push_back(keys[i]);
+      par::charge_work(1);
+    }
+    const u64 d = distinct.size();
+    machine_.mailbox().assign(d, 0);
+    par::charge_work(d);
+    par::charged_region(ceil_log2(d + 2), [&] {
+      for (u64 g = 0; g < d; ++g) {
+        const u64 args[2] = {g, static_cast<u64>(distinct[g])};
+        machine_.send(placement_.module_of(distinct[g], 0), &h_del_direct_,
+                      std::span<const u64>(args, 2));
+        par::charge_work(1);
+      }
+    });
+    machine_.run_until_quiescent();
+    machine_.clear_round_budget();
+    const auto& mail = machine_.mailbox();
+    u64 erased_total = 0;
+    for (u64 g = 0; g < d; ++g) erased_total += mail[g];
+    size_ -= erased_total;
+    for (u64 i = 0; i < n; ++i) {
+      out[i] = admitted[i] ? PartialFlag{Status(), mail[slot_of.at(keys[i])] != 0}
+                           : PartialFlag{unavailable(home[i]), false};
+      par::charge_work(1);
+    }
+    return out;
+  } catch (const StatusError& err) {
+    machine_.clear_round_budget();
+    if (err.code() == StatusCode::kDrainStuck) throw;
+    machine_.abort_pending();
+    const auto before_state = logical_contents(journal_.size() - 1);
+    rebuild_from_logical();  // the admitted sub-batch commits atomically
+    for (u64 i = 0; i < n; ++i) {
+      out[i] = admitted[i] ? PartialFlag{Status(), before_state.contains(keys[i])}
+                           : PartialFlag{unavailable(home[i]), false};
+    }
+    if (err.code() == StatusCode::kDeadlineExceeded) throw;  // committed first
+    return out;
+  }
+}
+
+}  // namespace pim::core

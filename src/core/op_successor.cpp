@@ -125,9 +125,16 @@ void PimSkipList::launch_search(u64 /*op_id*/, Key key, GPtr start, u32 record_m
   const u32 rec_plus1 = path_cap == 0 ? 0 : record_max_level + 1;
   const u64 args[6] = {static_cast<u64>(key), pack_flags(rec_plus1, 0),
                        start.encode(), result_slot, path_slot, path_cap};
-  const ModuleId target =
-      (start.is_null() || start.is_replicated()) ? random_module() : start.module;
-  machine_.send(target, &h_search_, std::span<const u64>(args, 6));
+  if (start.is_null() || start.is_replicated()) {
+    // Upper-part launch: the replicated prefix is readable on every
+    // module, so this task is hedgeable — if its module stalls, the
+    // hedging prepass re-issues it on another live replica. Descents
+    // that resume from a concrete lower-part node are pinned to that
+    // module and cannot be hedged (the data lives only there).
+    machine_.send_hedged(random_module(), &h_search_, std::span<const u64>(args, 6));
+  } else {
+    machine_.send(start.module, &h_search_, std::span<const u64>(args, 6));
+  }
   par::charge_work(1);
 }
 

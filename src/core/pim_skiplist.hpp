@@ -123,6 +123,54 @@ class PimSkipList {
   /// Batched Delete (§4.4); returns per-position erased flags.
   std::vector<u8> batch_delete(std::span<const Key> keys);
 
+  // ---------------- degraded-mode operation (DESIGN.md §5.7) ----------------
+  //
+  // The guarded entry points above repair the structure before serving
+  // (availability through recovery). The *_partial variants make the
+  // opposite trade: with modules down they serve what they can NOW —
+  // per-key Status, kUnavailable for keys homed on a dead module, kOk and
+  // a normal result for the rest — and never trigger recovery themselves.
+  // Admitted mutations are journaled, so the next recover(m) (or any
+  // guarded operation's ensure_healthy) converges the structure to the
+  // same contents as if the batch had run healthy. Degraded inserts land
+  // as unlinked height-0 leaves and degraded deletes leave dangling lower-
+  // part links; both are healed by recovery's full lower-part relink, and
+  // until then only hash-routed point access (these partial ops) is valid.
+  // With no fault plan or no module down they are exactly the normal
+  // batch ops with every status kOk.
+
+  struct PartialGet {
+    Status status;
+    bool found = false;
+    Value value = 0;
+  };
+  /// Degraded-tolerant Get: per-key status instead of all-or-nothing.
+  std::vector<PartialGet> batch_get_partial(std::span<const Key> keys);
+
+  struct PartialFlag {
+    Status status;
+    bool found = false;  // update: key existed; delete: key erased
+  };
+  /// Degraded-tolerant Update; admitted keys are journaled and commit.
+  std::vector<PartialFlag> batch_update_partial(std::span<const std::pair<Key, Value>> ops);
+  /// Degraded-tolerant Upsert; admitted inserts land as height-0 leaves
+  /// until recovery relinks them.
+  std::vector<Status> batch_upsert_partial(std::span<const std::pair<Key, Value>> ops);
+  /// Degraded-tolerant Delete; admitted towers are freed on live modules,
+  /// the replicated upper chain is spliced, and recovery heals the rest.
+  std::vector<PartialFlag> batch_delete_partial(std::span<const Key> keys);
+
+  /// Per-batch operation deadline, forwarded to Machine::set_round_budget
+  /// around every guarded/partial batch: exceeding it surfaces a
+  /// structured kDeadlineExceeded instead of spinning toward kDrainStuck.
+  /// A journaled mutation that dies on the deadline still commits
+  /// atomically (rebuild from checkpoint + journal) before the error
+  /// propagates. Zero fields (the default) = no deadline. Recovery and
+  /// scrubbing always run unbudgeted.
+  using OpDeadline = sim::RoundBudget;
+  void set_op_deadline(OpDeadline d) { deadline_ = d; }
+  OpDeadline op_deadline() const { return deadline_; }
+
   // ---------------- range operations ----------------
 
   struct RangeAgg {
@@ -199,6 +247,9 @@ class PimSkipList {
 
   u64 size() const { return size_; }
   u32 modules() const { return machine_.modules(); }
+  /// Hash home of a key's level-0 leaf — the module a partial-batch op
+  /// needs live to serve that key (kUnavailable otherwise).
+  ModuleId home_module(Key key) const { return placement_.module_of(key, 0); }
   u32 h_low() const { return h_low_; }
   u32 top_level() const { return top_level_; }
   sim::Machine& machine() { return machine_; }
@@ -315,6 +366,7 @@ class PimSkipList {
   void init_expand_handlers();    // op_range_tree.cpp
   void init_recovery_handlers();  // recovery.cpp
   void init_scrub_handlers();     // scrubber.cpp
+  void init_degraded_handlers();  // degraded.cpp
 
   // ----- fault tolerance (recovery.cpp) -----
 
@@ -378,6 +430,20 @@ class PimSkipList {
   /// One attempt of scrub_span's audit (retried on mid-scrub faults).
   void scrub_span_once(ModuleId first, u32 count, ScrubReport& report);
 
+  // ----- degraded-mode operation (degraded.cpp) -----
+
+  /// Converts circuit-breaker verdicts into fail-stop: every suspect
+  /// module (breaker_strikes consecutive losses while up — gray failure)
+  /// is crashed, so the next ensure_healthy runs surgical recover(m).
+  /// Partial ops call this at entry but deliberately skip the recovery.
+  void fail_stop_suspects();
+  /// Arms the machine's round budget from deadline_ (no-op if unset).
+  void arm_deadline() {
+    if (deadline_.max_rounds > 0 || deadline_.max_retries > 0) {
+      machine_.set_round_budget(deadline_);
+    }
+  }
+
   /// Read-only ops: recover if needed, run, restart on transient faults.
   template <typename Fn>
   auto guarded_read(Fn&& fn);
@@ -436,6 +502,7 @@ class PimSkipList {
   /// applied). Cleared by scrub repair and by crash recovery.
   std::vector<std::map<Slot, u64>> upper_xor_;
   u64 mem_corruptions_applied_ = 0;
+  OpDeadline deadline_{};  // zero = no deadline
 
   // handlers (implementation notes in the .cpp files)
   sim::Handler h_get_;
@@ -457,6 +524,8 @@ class PimSkipList {
   sim::Handler h_restore_;        // recovery: one restored node's payload
   sim::Handler h_scrub_upper_digest_;  // scrub: replica digest reply
   sim::Handler h_scrub_leaf_digest_;   // scrub: local-leaf digest reply
+  sim::Handler h_upsert_direct_;       // degraded: hash-routed upsert, no linking
+  sim::Handler h_del_direct_;          // degraded: leaf + live-tower + upper removal
 
   friend struct SkipListTestPeer;
   friend class Scrubber;
@@ -467,13 +536,25 @@ auto PimSkipList::guarded_read(Fn&& fn) {
   if (!machine_.fault_active()) return fn();
   ensure_journaled();  // a crash mid-read must leave us recoverable
   for (u32 attempt = 0;; ++attempt) {
+    fail_stop_suspects();  // breaker verdicts become surgical recoveries
     ensure_healthy();
     machine_.begin_fault_epoch();
+    arm_deadline();
     try {
-      return fn();
+      auto result = fn();
+      machine_.clear_round_budget();
+      return result;
     } catch (const StatusError& e) {
+      machine_.clear_round_budget();
       // kDrainStuck is a bug/config error, not a recoverable fault.
-      if (e.code() == StatusCode::kDrainStuck || attempt + 1 >= kMaxOpRestarts) throw;
+      if (e.code() == StatusCode::kDrainStuck) throw;
+      // The deadline is a caller-imposed bound: retrying would spend it
+      // again. Purge in-flight work and let the caller decide.
+      if (e.code() == StatusCode::kDeadlineExceeded) {
+        machine_.abort_pending();
+        throw;
+      }
+      if (attempt + 1 >= kMaxOpRestarts) throw;
       machine_.abort_pending();
     }
   }

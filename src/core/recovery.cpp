@@ -142,6 +142,7 @@ void PimSkipList::ensure_healthy() {
 void PimSkipList::recover(ModuleId m) {
   PIM_CHECK(m < machine_.modules(), "recover: bad module id");
   if (!machine_.is_down(m)) return;
+  machine_.clear_round_budget();  // recovery is never held to an op deadline
   PIM_CHECK(journal_valid_,
             "recover without a valid checkpoint + journal (the crash predates "
             "fault-mode operation; no log of the contents exists)");
@@ -189,6 +190,7 @@ void PimSkipList::rebuild_from_logical() {
   PIM_CHECK(journal_valid_,
             "rebuild without a valid checkpoint + journal (the crash predates "
             "fault-mode operation; no log of the contents exists)");
+  machine_.clear_round_budget();  // recovery is never held to an op deadline
   const auto before = machine_.snapshot();
   auto contents = logical_contents(journal_.size());
   machine_.abort_pending();
@@ -455,21 +457,28 @@ std::vector<u8> PimSkipList::batch_update(std::span<const std::pair<Key, Value>>
     return batch_update_impl(ops);
   }
   ensure_journaled();
+  fail_stop_suspects();  // breaker verdicts become surgical recoveries
   ensure_healthy();
   JournalEntry e;
   e.kind = JournalEntry::kJUpdate;
   e.ops.assign(ops.begin(), ops.end());
   journal_.push_back(std::move(e));
   machine_.begin_fault_epoch();
+  arm_deadline();
   try {
     auto found = batch_update_impl(ops);
+    machine_.clear_round_budget();  // compaction/recovery run unbudgeted
     maybe_compact_journal();
     return found;
   } catch (const StatusError& err) {
+    machine_.clear_round_budget();
     if (err.code() == StatusCode::kDrainStuck) throw;
     machine_.abort_pending();
     const auto before_state = logical_contents(journal_.size() - 1);
     rebuild_from_logical();
+    // A blown deadline still commits (the rebuild replays the journal,
+    // which includes this batch) but reports no results.
+    if (err.code() == StatusCode::kDeadlineExceeded) throw;
     std::vector<u8> found(ops.size());
     for (u64 i = 0; i < ops.size(); ++i) {
       found[i] = before_state.contains(ops[i].first) ? 1 : 0;
@@ -485,19 +494,24 @@ void PimSkipList::batch_upsert(std::span<const std::pair<Key, Value>> ops) {
     return;
   }
   ensure_journaled();
+  fail_stop_suspects();
   ensure_healthy();
   JournalEntry e;
   e.kind = JournalEntry::kJUpsert;
   e.ops.assign(ops.begin(), ops.end());
   journal_.push_back(std::move(e));
   machine_.begin_fault_epoch();
+  arm_deadline();
   try {
     batch_upsert_impl(ops);
+    machine_.clear_round_budget();
     maybe_compact_journal();
   } catch (const StatusError& err) {
+    machine_.clear_round_budget();
     if (err.code() == StatusCode::kDrainStuck) throw;
     machine_.abort_pending();
     rebuild_from_logical();
+    if (err.code() == StatusCode::kDeadlineExceeded) throw;  // committed above
   }
 }
 
@@ -507,21 +521,26 @@ std::vector<u8> PimSkipList::batch_delete(std::span<const Key> keys) {
     return batch_delete_impl(keys);
   }
   ensure_journaled();
+  fail_stop_suspects();
   ensure_healthy();
   JournalEntry e;
   e.kind = JournalEntry::kJDelete;
   e.del_keys.assign(keys.begin(), keys.end());
   journal_.push_back(std::move(e));
   machine_.begin_fault_epoch();
+  arm_deadline();
   try {
     auto out = batch_delete_impl(keys);
+    machine_.clear_round_budget();
     maybe_compact_journal();
     return out;
   } catch (const StatusError& err) {
+    machine_.clear_round_budget();
     if (err.code() == StatusCode::kDrainStuck) throw;
     machine_.abort_pending();
     const auto before_state = logical_contents(journal_.size() - 1);
     rebuild_from_logical();
+    if (err.code() == StatusCode::kDeadlineExceeded) throw;  // committed above
     std::vector<u8> out(keys.size());
     for (u64 i = 0; i < keys.size(); ++i) {
       out[i] = before_state.contains(keys[i]) ? 1 : 0;
@@ -537,6 +556,7 @@ PimSkipList::RangeAgg PimSkipList::range_fetch_add_broadcast(Key lo, Key hi, u64
   }
   PIM_CHECK(lo <= hi, "range_fetch_add_broadcast: lo > hi");  // journal only valid ranges
   ensure_journaled();
+  fail_stop_suspects();
   ensure_healthy();
   JournalEntry e;
   e.kind = JournalEntry::kJFetchAdd;
@@ -545,15 +565,19 @@ PimSkipList::RangeAgg PimSkipList::range_fetch_add_broadcast(Key lo, Key hi, u64
   e.delta = delta;
   journal_.push_back(std::move(e));
   machine_.begin_fault_epoch();
+  arm_deadline();
   try {
     auto agg = range_fetch_add_broadcast_impl(lo, hi, delta);
+    machine_.clear_round_budget();
     maybe_compact_journal();
     return agg;
   } catch (const StatusError& err) {
+    machine_.clear_round_budget();
     if (err.code() == StatusCode::kDrainStuck) throw;
     machine_.abort_pending();
     const auto before_state = logical_contents(journal_.size() - 1);
     rebuild_from_logical();
+    if (err.code() == StatusCode::kDeadlineExceeded) throw;  // committed above
     RangeAgg agg;
     for (auto it = before_state.lower_bound(lo); it != before_state.end() && it->first <= hi;
          ++it) {

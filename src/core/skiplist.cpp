@@ -115,6 +115,7 @@ PimSkipList::PimSkipList(sim::Machine& machine, Options opts)
   init_expand_handlers();
   init_recovery_handlers();
   init_scrub_handlers();
+  init_degraded_handlers();
 
   init_heads();
 }
@@ -398,14 +399,21 @@ std::vector<PimSkipList::GetResult> PimSkipList::batch_get_impl(std::span<const 
 
   // TaskSend one Get per distinct key to its hash module. Sends are
   // issued sequentially by the simulator but are independent TaskSends by
-  // parallel CPU cores; charged as flat work + log depth.
+  // parallel CPU cores; charged as flat work + log depth. Routed through
+  // the admission layer so bounded ingress queues (max_queue_depth > 0)
+  // can spill overflow into backoff waves; with the default unbounded
+  // queues this is exactly the plain send loop.
   par::charged_region(ceil_log2(distinct + 2), [&] {
+    std::vector<sim::Message> msgs;
+    msgs.reserve(distinct);
     for (u64 d = 0; d < distinct; ++d) {
       const Key key = keys[dd.representatives[d]];
       const u64 args[2] = {d * kGetStride, static_cast<u64>(key)};
-      machine_.send(placement_.module_of(key, 0), &h_get_, std::span<const u64>(args, 2));
+      msgs.push_back(sim::Message{placement_.module_of(key, 0),
+                                  sim::make_task(&h_get_, std::span<const u64>(args, 2))});
       par::charge_work(1);
     }
+    machine_.send_all_admitted(msgs);
   });
 
   machine_.run_until_quiescent();
@@ -439,12 +447,16 @@ std::vector<u8> PimSkipList::batch_update_impl(std::span<const std::pair<Key, Va
   machine_.mailbox().assign(distinct, 0);
   par::charge_work(distinct);
   par::charged_region(ceil_log2(distinct + 2), [&] {
+    std::vector<sim::Message> msgs;
+    msgs.reserve(distinct);
     for (u64 d = 0; d < distinct; ++d) {
       const auto& [key, value] = ops[dd.representatives[d]];
       const u64 args[3] = {d, static_cast<u64>(key), value};
-      machine_.send(placement_.module_of(key, 0), &h_update_, std::span<const u64>(args, 3));
+      msgs.push_back(sim::Message{placement_.module_of(key, 0),
+                                  sim::make_task(&h_update_, std::span<const u64>(args, 3))});
       par::charge_work(1);
     }
+    machine_.send_all_admitted(msgs);
   });
 
   machine_.run_until_quiescent();

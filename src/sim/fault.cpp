@@ -39,12 +39,18 @@ void FaultInjector::set_plan(const FaultPlan& plan) {
   const u64 stall = prob_to_threshold(plan.stall_prob, "stall_prob");
   const u64 corrupt = prob_to_threshold(plan.corrupt_prob, "corrupt_prob");
   const u64 mem = prob_to_threshold(plan.mem_corrupt_prob, "mem_corrupt_prob");
+  std::vector<u64> storms;
+  storms.reserve(plan.stall_storms.size());
+  for (const auto& s : plan.stall_storms) {
+    storms.push_back(prob_to_threshold(s.fraction, "stall_storms[].fraction"));
+  }
   plan_ = plan;
   drop_threshold_ = drop;
   dup_threshold_ = dup;
   stall_threshold_ = stall;
   corrupt_threshold_ = corrupt;
   mem_corrupt_threshold_ = mem;
+  storm_thresholds_ = std::move(storms);
 }
 
 u64 FaultInjector::decide(u64 salt, u64 round, ModuleId target, const Task& task) const {
@@ -59,17 +65,40 @@ u64 FaultInjector::decide(u64 salt, u64 round, ModuleId target, const Task& task
   return h;
 }
 
-bool FaultInjector::is_stalled(u64 round, ModuleId m) const {
+bool FaultInjector::is_stalled(u64 round, ModuleId m, u64 last_crash_round) const {
   for (const auto& w : plan_.stall_windows) {
-    if (w.module == m && round >= w.first_round && round < w.first_round + w.rounds) {
-      return true;
+    if (w.module != m || round < w.first_round || round >= w.first_round + w.rounds) continue;
+    // Crash wins, stall is moot: a window that covers the module's crash
+    // round is void for the rest of its span (a revived module restarts
+    // fresh; the scheduled straggler died with it).
+    if (last_crash_round != kNeverCrashed && last_crash_round >= w.first_round &&
+        last_crash_round < w.first_round + w.rounds) {
+      continue;
     }
+    return true;
+  }
+  for (u64 i = 0; i < plan_.stall_storms.size(); ++i) {
+    const auto& s = plan_.stall_storms[i];
+    if (round < s.first_round || round >= s.first_round + s.rounds) continue;
+    u64 h = rnd::mix64(plan_.seed ^ kStormSalt);
+    h = rnd::mix64(h ^ round);
+    h = rnd::mix64(h ^ m);
+    if (hit(storm_thresholds_[i], h)) return true;
   }
   if (stall_threshold_ == 0) return false;
   u64 h = rnd::mix64(plan_.seed ^ kStallSalt);
   h = rnd::mix64(h ^ round);
   h = rnd::mix64(h ^ m);
   return hit(stall_threshold_, h);
+}
+
+bool FaultInjector::is_overloaded(u64 round, ModuleId m) const {
+  for (const auto& w : plan_.overload_windows) {
+    if (w.module == m && round >= w.first_round && round < w.first_round + w.rounds) {
+      return true;
+    }
+  }
+  return false;
 }
 
 bool FaultInjector::should_corrupt_memory(u64 round, ModuleId m) const {

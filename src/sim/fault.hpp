@@ -59,10 +59,39 @@ namespace pim::sim {
 
 /// A scheduled straggler: module `module` skips execution for `rounds`
 /// consecutive rounds starting at absolute machine round `first_round`.
+///
+/// Overlap with a crash is pinned: if the module crashes at a round the
+/// window covers, the crash wins and the remainder of the window is moot —
+/// the straggler the window scheduled died, and a module revived inside
+/// the window restarts fresh (it does not resume stalling). Windows that
+/// start after the revive, and probabilistic stall draws, apply normally.
 struct StallWindow {
   ModuleId module = 0;
   u64 first_round = 0;
   u64 rounds = 1;
+};
+
+/// Sustained ingress overload: every delivery to `module` during the
+/// window is rejected at the module's ingress (counted as a shed AND a
+/// drop, then retried with the normal backoff). Models a saturated module
+/// whose bounded queue sheds load; a window that outlasts the retry
+/// budget produces lost messages against an *up* module — exactly the
+/// signature the circuit breaker converts into a fail-stop crash.
+struct OverloadWindow {
+  ModuleId module = 0;
+  u64 first_round = 0;
+  u64 rounds = 1;
+};
+
+/// Correlated straggler storm: during the window, each module
+/// independently stalls each round with probability `fraction` (a pure
+/// content hash of (seed, round, module), so the same modules stall under
+/// every executor). Degraded-mode benches sweep `fraction` to model 5% /
+/// 20% of modules straggling at once.
+struct StallStorm {
+  u64 first_round = 0;
+  u64 rounds = 1;
+  double fraction = 0.0;
 };
 
 /// A scheduled fail-stop crash at the start of absolute round `round`.
@@ -96,6 +125,8 @@ struct FaultPlan {
   std::vector<StallWindow> stall_windows;
   std::vector<CrashEvent> crashes;
   std::vector<MemCorruptEvent> mem_corruptions;
+  std::vector<OverloadWindow> overload_windows;
+  std::vector<StallStorm> stall_storms;
 
   // Reliable-delivery policy: a dropped message is retransmitted after
   // retry_backoff_rounds << attempt rounds, up to max_send_attempts total
@@ -125,7 +156,14 @@ class FaultInjector {
   bool should_dup(u64 round, ModuleId target, const Task& task) const {
     return hit(dup_threshold_, decide(kDupSalt, round, target, task));
   }
-  bool is_stalled(u64 round, ModuleId m) const;
+  /// Straggler decision for (round, m): scheduled windows, storm draws and
+  /// the probabilistic stall. `last_crash_round` is the round of m's most
+  /// recent crash (kNeverCrashed if none): a window that covers it is
+  /// voided — crash wins, stall is moot (see StallWindow).
+  static constexpr u64 kNeverCrashed = ~0ull;
+  bool is_stalled(u64 round, ModuleId m, u64 last_crash_round = kNeverCrashed) const;
+  /// Scheduled ingress-overload decision for (round, m).
+  bool is_overloaded(u64 round, ModuleId m) const;
 
   /// Transit-corruption decision for one delivery (content-hash of the
   /// original payload, so retransmissions of a corrupted message draw
@@ -150,6 +188,7 @@ class FaultInjector {
   static constexpr u64 kDropSalt = 0xD509D509D509D509ull;
   static constexpr u64 kDupSalt = 0xD0B1D0B1D0B1D0B1ull;
   static constexpr u64 kStallSalt = 0x57A1157A1157A115ull;
+  static constexpr u64 kStormSalt = 0x5709357093570935ull;
   static constexpr u64 kCorruptSalt = 0xC0440C0440C0440Cull;
   static constexpr u64 kCorruptBitSalt = 0xB17FB17FB17FB17Full;
   static constexpr u64 kMemCorruptSalt = 0x3E3E3E3E3E3E3E3Eull;
@@ -167,6 +206,7 @@ class FaultInjector {
   u64 stall_threshold_ = 0;
   u64 corrupt_threshold_ = 0;
   u64 mem_corrupt_threshold_ = 0;
+  std::vector<u64> storm_thresholds_;  // parallel to plan_.stall_storms
 };
 
 }  // namespace pim::sim

@@ -97,6 +97,9 @@ Machine::Machine(u32 modules, MachineOptions options)
       pending_(modules),
       down_(modules, false),
       stalled_(modules, 0),
+      last_crash_round_(modules, FaultInjector::kNeverCrashed),
+      strikes_(modules, 0),
+      suspect_(modules, 0),
       options_(options),
       shuffle_rng_(options.shuffle_seed) {
   PIM_CHECK(modules >= 1, "machine needs at least one module");
@@ -132,7 +135,13 @@ void Machine::set_fault_plan(const FaultPlan& plan) {
                        " on a machine with " + std::to_string(modules()) + " modules");
     }
   }
-  fault_.set_plan(plan);  // validates probabilities and the retry policy
+  for (const auto& w : plan.overload_windows) {
+    if (w.module >= modules()) {
+      invalid_argument("FaultPlan.overload_windows names module " + std::to_string(w.module) +
+                       " on a machine with " + std::to_string(modules()) + " modules");
+    }
+  }
+  fault_.set_plan(plan);  // validates probabilities, fractions and the retry policy
 }
 
 void Machine::crash_module(ModuleId m) {
@@ -142,15 +151,38 @@ void Machine::crash_module(ModuleId m) {
                      std::to_string(modules()));
   }
   if (down_[m]) return;  // a module cannot die twice; double crash is a no-op
-  ++fault_.counters().crashes;
-  auto& pm = per_module_[m];
-  pm.queue.clear();      // delivered-but-unexecuted tasks die with the module
-  pm.space_words = 0;    // local memory is gone
-  recount_queued();
+  auto& fc = fault_.counters();
+  ++fc.crashes;
   down_[m] = true;
   ++down_count_;
-  // In-flight messages (pending_, retry_) are CPU-side state and survive;
-  // their deliveries will count as drops and exhaust to kModuleDown.
+  last_crash_round_[m] = rounds_;  // voids stall windows covering this round
+  auto& pm = per_module_[m];
+  pm.space_words = 0;  // local memory is gone
+  // Delivered-but-unexecuted tasks die with the module, but the reliable
+  // layer still holds each send: re-offer them as if the delivery had been
+  // dropped, so the loss surfaces as kModuleDown (or redelivers after a
+  // revive) instead of vanishing and wedging the batch.
+  for (const Task& t : pm.queue) {
+    ++fc.drops;
+    if (fault_.plan().max_send_attempts <= 1) {
+      ++fc.lost;
+      lost_.push_back(LostSend{m, 1});
+    } else {
+      RetrySend r;
+      r.target = m;
+      r.task = t;
+      r.task.stall_age = 0;
+      r.task.hedge_fired = 0;
+      r.due_round = rounds_ + fault_.plan().retry_backoff_rounds;
+      r.attempt = 2;
+      retry_.push_back(r);
+    }
+  }
+  pm.queue.clear();
+  recount_queued();
+  // Other in-flight messages (pending_, retry_) are CPU-side state and
+  // survive; their deliveries will count as drops and exhaust to
+  // kModuleDown.
   for (auto& listener : crash_listeners_) listener(m);
 }
 
@@ -191,6 +223,56 @@ void Machine::abort_pending() {
   queued_total_ = 0;
   retry_.clear();
   lost_.clear();
+  hedge_done_.clear();  // no aborted task can race a future one
+}
+
+// ---------------- degradation: budget, breaker ----------------
+
+void Machine::set_round_budget(RoundBudget budget) {
+  PIM_CHECK(!in_round_, "set_round_budget: cannot arm mid-round");
+  budget_ = budget;
+  budget_armed_ = budget.max_rounds > 0 || budget.max_retries > 0;
+  budget_rounds_used_ = 0;
+  budget_retries_used_ = 0;
+}
+
+void Machine::check_budget() {
+  if (!budget_armed_) return;
+  const bool rounds_over = budget_.max_rounds > 0 && budget_rounds_used_ > budget_.max_rounds;
+  const bool retries_over = budget_.max_retries > 0 && budget_retries_used_ > budget_.max_retries;
+  if (!rounds_over && !retries_over) return;
+  std::string msg = std::string("round budget exceeded: ") +
+                    std::to_string(budget_rounds_used_) + " rounds (max " +
+                    std::to_string(budget_.max_rounds) + "), " +
+                    std::to_string(budget_retries_used_) + " retransmissions (max " +
+                    std::to_string(budget_.max_retries) + "); pending=" +
+                    std::to_string(pending_total_) + ", queued=" +
+                    std::to_string(queued_total_) + ", retries_in_flight=" +
+                    std::to_string(retry_.size());
+  throw StatusError(Status(StatusCode::kDeadlineExceeded, std::move(msg)));
+}
+
+void Machine::clear_suspect(ModuleId m) {
+  if (m >= modules()) {
+    invalid_argument("clear_suspect: module " + std::to_string(m) + " >= P = " +
+                     std::to_string(modules()));
+  }
+  if (suspect_[m] != 0) --suspect_count_;
+  suspect_[m] = 0;
+  strikes_[m] = 0;
+}
+
+void Machine::note_lost_for_breaker(ModuleId m) {
+  // Losses against a down module are expected (fail-stop is already
+  // visible); the breaker exists for gray failure — an up module that
+  // never answers.
+  if (options_.breaker_strikes == 0 || down_[m]) return;
+  ++strikes_[m];
+  if (strikes_[m] >= options_.breaker_strikes && suspect_[m] == 0) {
+    suspect_[m] = 1;
+    ++suspect_count_;
+    ++fault_.counters().breaker_trips;
+  }
 }
 
 void Machine::recount_queued() {
@@ -218,6 +300,147 @@ void Machine::note_slot_write(u64 slot) {
 void Machine::send(ModuleId m, const Handler* fn, std::span<const u64> args) {
   PIM_CHECK(m < modules(), "send: bad module id");
   enqueue_pending(m, make_task(fn, args));
+}
+
+Status Machine::try_send(ModuleId m, const Handler* fn, std::span<const u64> args) {
+  PIM_CHECK(m < modules(), "try_send: bad module id");
+  if (options_.max_queue_depth > 0 && backlog(m) >= options_.max_queue_depth) {
+    ++fault_.counters().sheds;
+    return Status(StatusCode::kResourceExhausted,
+                  "module " + std::to_string(m) + " ingress queue full (backlog " +
+                      std::to_string(backlog(m)) + ", max_queue_depth " +
+                      std::to_string(options_.max_queue_depth) + ")");
+  }
+  enqueue_pending(m, make_task(fn, args));
+  return Status();
+}
+
+void Machine::send_all_admitted(std::span<const Message> msgs) {
+  for (const auto& msg : msgs) {
+    PIM_CHECK(msg.target < modules(), "send_all_admitted: bad module id");
+  }
+  if (options_.max_queue_depth == 0) {
+    for (const auto& msg : msgs) enqueue_pending(msg.target, msg.task);
+    return;
+  }
+  auto& fc = fault_.counters();
+  std::vector<Message> wave(msgs.begin(), msgs.end());
+  bool retry_wave = false;
+  u64 backoff = 1;
+  u64 spent = 0;
+  while (true) {
+    std::vector<Message> spill;
+    for (const auto& msg : wave) {
+      if (backlog(msg.target) >= options_.max_queue_depth) {
+        ++fc.sheds;
+        spill.push_back(msg);
+      } else {
+        enqueue_pending(msg.target, msg.task);
+        if (retry_wave) ++fc.requeued;
+      }
+    }
+    if (spill.empty()) return;
+    // Exponential backoff: run rounds so the saturated queues drain, then
+    // re-offer the spill. A backlog implies in-flight work, so rounds make
+    // progress; if they don't (a dead-and-never-recovered target), the
+    // drain safety valve bounds the spin.
+    for (u64 i = 0; i < backoff; ++i) {
+      if (spent >= options_.max_rounds_per_drain) {
+        throw StatusError(Status(
+            StatusCode::kResourceExhausted,
+            "send_all_admitted: " + std::to_string(spill.size()) +
+                " message(s) still shed after " + std::to_string(spent) +
+                " backoff rounds (max_queue_depth " + std::to_string(options_.max_queue_depth) +
+                ", first target module " + std::to_string(spill.front().target) + ")"));
+      }
+      run_round();
+      ++spent;
+      check_budget();
+    }
+    backoff = std::min<u64>(backoff * 2, 64);
+    wave.swap(spill);
+    retry_wave = true;
+  }
+}
+
+void Machine::send_hedged(ModuleId m, const Handler* fn, std::span<const u64> args) {
+  PIM_CHECK(m < modules(), "send_hedged: bad module id");
+  Task t = make_task(fn, args);
+  // Ids are only assigned when hedging is on: with it off, a hedged send
+  // is byte-for-byte a plain send (zero-fault metrics stay bit-identical).
+  if (options_.hedge_stall_rounds > 0) t.hedge_id = ++hedge_seq_;
+  enqueue_pending(m, t);
+}
+
+ModuleId Machine::pick_hedge_target(ModuleId avoid, u64 hedge_id) {
+  // Content hash, not RNG state: the choice must not depend on executor
+  // order or on how many draws happened before this one.
+  u64 h = rnd::mix64(fault_.plan().seed ^ 0x4ED6E4ED6E4ED6E4ull);
+  h = rnd::mix64(h ^ rounds_);
+  h = rnd::mix64(h ^ hedge_id);
+  std::vector<ModuleId> candidates;
+  candidates.reserve(modules());
+  for (ModuleId m = 0; m < modules(); ++m) {
+    if (m != avoid && !down_[m] && stalled_[m] == 0) candidates.push_back(m);
+  }
+  if (candidates.empty()) {
+    for (ModuleId m = 0; m < modules(); ++m) {
+      if (m != avoid && !down_[m]) candidates.push_back(m);
+    }
+  }
+  if (candidates.empty()) return avoid;  // nowhere better to go
+  return candidates[h % candidates.size()];
+}
+
+void Machine::run_hedging_prepass() {
+  auto& fc = fault_.counters();
+  for (ModuleId m = 0; m < modules(); ++m) {
+    if (down_[m]) continue;
+    auto& q = per_module_[m].queue;
+    if (stalled_[m] != 0) {
+      // Straggler: first discard tasks whose hedge already won elsewhere —
+      // this is the latency payoff; the drain no longer waits out the
+      // stall for a task that is moot. Then age the rest; at the
+      // threshold, fire one copy at a live replica (delivered next round
+      // through the normal faulty delivery path — a hedge can itself be
+      // dropped or corrupted).
+      for (auto it = q.begin(); it != q.end();) {
+        if (it->hedge_id != 0 && hedge_done_.contains(it->hedge_id)) {
+          it = q.erase(it);
+          continue;
+        }
+        Task& task = *it;
+        ++it;
+        if (task.hedge_id == 0 || task.hedge_fired != 0) continue;
+        if (++task.stall_age < options_.hedge_stall_rounds) continue;
+        task.hedge_fired = 1;
+        ++fc.hedges;
+        Task copy = task;
+        copy.is_hedge = 1;
+        copy.hedge_fired = 0;
+        copy.stall_age = 0;
+        enqueue_pending(pick_hedge_target(m, task.hedge_id), copy);
+      }
+    } else {
+      // About to execute: resolve original-vs-hedge races in module-id
+      // order (single-threaded here, so the winner is identical under
+      // every executor). First claim wins; the loser is dequeued unrun.
+      for (auto it = q.begin(); it != q.end();) {
+        if (it->hedge_id == 0) {
+          ++it;
+          continue;
+        }
+        if (hedge_done_.contains(it->hedge_id)) {
+          if (it->is_hedge != 0) ++fc.hedge_waste;
+          it = q.erase(it);
+        } else {
+          hedge_done_.insert(it->hedge_id);
+          if (it->is_hedge != 0) ++fc.hedge_wins;
+          ++it;
+        }
+      }
+    }
+  }
 }
 
 void Machine::broadcast(const Handler* fn, std::span<const u64> args) {
@@ -257,6 +480,7 @@ void Machine::deliver_faulty(ModuleId m, const Task& task, u32 attempt) {
     if (attempt >= fault_.plan().max_send_attempts) {
       ++fc.lost;
       lost_.push_back(LostSend{m, attempt});
+      note_lost_for_breaker(m);
     } else {
       RetrySend r;
       r.target = m;
@@ -266,7 +490,34 @@ void Machine::deliver_faulty(ModuleId m, const Task& task, u32 attempt) {
       retry_.push_back(r);
     }
   };
-  if (down_[m] || fault_.should_drop(rounds_, m, task)) {
+  if (down_[m]) {
+    // A hedgeable task aimed at a dead module is rerouted to a live
+    // replica instead of burning its whole retry budget on a corpse; the
+    // copy restarts the attempt count (it is a fresh send to a new home).
+    if (options_.hedge_stall_rounds > 0 && task.hedge_id != 0 && down_count_ < modules() &&
+        !hedge_done_.contains(task.hedge_id)) {
+      ++fc.hedges;
+      Task copy = task;
+      copy.is_hedge = 1;
+      copy.hedge_fired = 0;
+      copy.stall_age = 0;
+      deliver_faulty(pick_hedge_target(m, task.hedge_id), copy, /*attempt=*/1);
+      return;
+    }
+    ++fc.drops;
+    drop_and_retry();
+    return;
+  }
+  if (fault_.is_overloaded(rounds_, m)) {
+    // Sustained ingress overload: the module sheds the delivery at its
+    // doorstep. Counted as shed + drop, then retried with normal backoff;
+    // a window outlasting the budget feeds the circuit breaker.
+    ++fc.sheds;
+    ++fc.drops;
+    drop_and_retry();
+    return;
+  }
+  if (fault_.should_drop(rounds_, m, task)) {
     ++fc.drops;
     drop_and_retry();
     return;
@@ -300,6 +551,7 @@ void Machine::deliver_faulty(ModuleId m, const Task& task, u32 attempt) {
     ++pm.round_in;
   }
   pm.queue.push_back(delivered);
+  strikes_[m] = 0;  // a successful delivery resets the breaker's count
 }
 
 void Machine::run_round() {
@@ -345,6 +597,7 @@ void Machine::run_round() {
     for (auto& r : pass) {
       if (r.due_round <= rounds_) {
         ++fault_.counters().retries;
+        if (budget_armed_) ++budget_retries_used_;
         deliver_faulty(r.target, r.task, r.attempt);
       } else {
         retry_.push_back(r);
@@ -356,9 +609,13 @@ void Machine::run_round() {
   // counted when it actually postpones queued work).
   if (faulty) {
     for (ModuleId m = 0; m < modules(); ++m) {
-      stalled_[m] = (!down_[m] && fault_.is_stalled(rounds_, m)) ? 1 : 0;
+      stalled_[m] = (!down_[m] && fault_.is_stalled(rounds_, m, last_crash_round_[m])) ? 1 : 0;
       if (stalled_[m] && !per_module_[m].queue.empty()) ++fault_.counters().stalls;
     }
+    // Hedging runs between the stall decision and execution, single-
+    // threaded in module-id order, so fire/win/waste outcomes are
+    // identical under every executor.
+    if (options_.hedge_stall_rounds > 0) run_hedging_prepass();
   }
 
   // Execute. Tasks emitted during execution (forwards) land in pending_
@@ -403,6 +660,7 @@ void Machine::run_round() {
   last_round_h_ = h;
   io_time_ += h;
   ++rounds_;
+  if (budget_armed_) ++budget_rounds_used_;
   mailbox_highwater_ = std::max<u64>(mailbox_highwater_, mailbox_.size());
   if (options_.track_write_contention) {
     u32 max_writes = 0;
@@ -441,6 +699,7 @@ void Machine::throw_drain_stuck(u64 executed) {
 u64 Machine::run_until_quiescent() {
   u64 executed = 0;
   if (!lost_.empty()) throw_lost();
+  check_budget();
   while (!idle()) {
     if (executed >= options_.max_rounds_per_drain) throw_drain_stuck(executed);
     run_round();
@@ -448,6 +707,9 @@ u64 Machine::run_until_quiescent() {
     // Surface lost messages as soon as the barrier completes; callers
     // abort_pending() (and possibly recover) before retrying the batch.
     if (!lost_.empty()) throw_lost();
+    // The armed deadline spans every drain of one batch: exceeding it
+    // surfaces kDeadlineExceeded instead of spinning toward kDrainStuck.
+    check_budget();
   }
   return executed;
 }

@@ -35,6 +35,7 @@
 #include <functional>
 #include <memory>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/error.hpp"
@@ -65,6 +66,36 @@ struct MachineOptions {
   bool track_write_contention = false;
   /// Safety valve for run_until_quiescent.
   u64 max_rounds_per_drain = 1u << 22;
+
+  // ---- graceful degradation (all off by default: with the defaults the
+  // machine's behavior and metrics are bit-identical to a machine built
+  // before these knobs existed) ----
+
+  /// Bound on a module's ingress backlog (pending deliveries + delivered-
+  /// but-unexecuted queue). 0 = unbounded. When full, try_send /
+  /// send_all_admitted shed instead of enqueueing (kResourceExhausted).
+  u64 max_queue_depth = 0;
+  /// Hedged sends: a hedgeable task stuck behind a straggler for this many
+  /// rounds fires a copy at a randomly-chosen live replica; first
+  /// execution wins, the loser is suppressed. 0 = hedging disabled
+  /// (send_hedged degenerates to send exactly).
+  u64 hedge_stall_rounds = 0;
+  /// Circuit breaker: after this many consecutive lost messages against an
+  /// *up* module, the module is marked suspect (is_suspect) so the owning
+  /// structure can convert gray failure into fail-stop + surgical
+  /// recovery. 0 = breaker disabled.
+  u32 breaker_strikes = 0;
+};
+
+/// Per-batch degradation budget (see Machine::set_round_budget): the
+/// maximum rounds a drain may run and the maximum retransmissions it may
+/// spend before the machine surfaces a structured kDeadlineExceeded.
+/// 0 = unlimited. Unlike max_rounds_per_drain (a livelock safety valve,
+/// kDrainStuck) this is an expected operational bound and spans every
+/// drain of one batch.
+struct RoundBudget {
+  u64 max_rounds = 0;
+  u64 max_retries = 0;
 };
 
 /// Handle given to module task handlers. All communication and accounting
@@ -141,6 +172,45 @@ class Machine {
     broadcast(fn, std::span<const u64>(args.begin(), args.size()));
   }
 
+  /// Admission-controlled send: sheds (kResourceExhausted) instead of
+  /// enqueueing when the target's backlog is at max_queue_depth. With
+  /// max_queue_depth == 0 it never sheds.
+  Status try_send(ModuleId m, const Handler* fn, std::span<const u64> args);
+  Status try_send(ModuleId m, const Handler* fn, std::initializer_list<u64> args) {
+    return try_send(m, fn, std::span<const u64>(args.begin(), args.size()));
+  }
+  /// Offers a whole wave under admission control. Shed messages are
+  /// spilled and re-offered after running backoff rounds (1, 2, 4, ...,
+  /// capped), letting the full queues drain in between; each late
+  /// admission counts one requeue. Throws kResourceExhausted if the spill
+  /// cannot be placed within max_rounds_per_drain backoff rounds, and
+  /// kDeadlineExceeded if an armed RoundBudget expires first. With
+  /// max_queue_depth == 0 this is exactly a loop of plain sends.
+  void send_all_admitted(std::span<const Message> msgs);
+
+  /// Sends a *hedgeable* task: its handler must read only replicated
+  /// state, so a copy may execute on any live module (PimSkipList uses
+  /// this for search launches into the replicated upper part). When the
+  /// target stalls past hedge_stall_rounds the machine fires a copy at a
+  /// deterministically-chosen live replica; when the target is down the
+  /// delivery reroutes instead of dropping. First execution wins; the
+  /// loser is suppressed (hedge_wins / hedge_waste counters). With
+  /// hedging disabled this is exactly send().
+  void send_hedged(ModuleId m, const Handler* fn, std::span<const u64> args);
+  void send_hedged(ModuleId m, const Handler* fn, std::initializer_list<u64> args) {
+    send_hedged(m, fn, std::span<const u64>(args.begin(), args.size()));
+  }
+
+  // ---- per-batch round budget (deadline propagation) ----
+
+  /// Arms the budget and zeroes its used-counters. Batch drivers arm per
+  /// attempt; recovery paths run unbudgeted (callers clear first).
+  void set_round_budget(RoundBudget budget);
+  void clear_round_budget() { budget_armed_ = false; }
+  bool round_budget_armed() const { return budget_armed_; }
+  u64 budget_rounds_used() const { return budget_rounds_used_; }
+  u64 budget_retries_used() const { return budget_retries_used_; }
+
   // ---- round execution ----
 
   /// True if no work remains: nothing pending delivery, nothing queued on
@@ -173,15 +243,34 @@ class Machine {
   bool fault_active() const { return fault_.active(); }
   const FaultCounters& fault_counters() const { return fault_.counters(); }
   /// Epoch tag for reply-slot sentinels; batch drivers bump it per batch
-  /// (and per retry of a batch) to decorrelate fault draws.
-  void begin_fault_epoch() { fault_.begin_epoch(); }
+  /// (and per retry of a batch) to decorrelate fault draws. Also resets
+  /// the hedge-suppression filter (a new batch reuses no hedge ids).
+  void begin_fault_epoch() {
+    fault_.begin_epoch();
+    hedge_done_.clear();
+  }
   u64 fault_epoch() const { return fault_.epoch(); }
+
+  // ---- circuit breaker ----
+
+  /// True if the breaker tripped on m: breaker_strikes consecutive lost
+  /// messages against it while it was up (gray failure — alive but not
+  /// answering). The machine only marks; the owning structure decides
+  /// (PimSkipList crashes the suspect so surgical recover(m) runs).
+  bool is_suspect(ModuleId m) const { return !suspect_.empty() && suspect_[m] != 0; }
+  u32 suspect_count() const { return suspect_count_; }
+  /// Resets m's strikes and suspect flag (after the caller acted on it).
+  void clear_suspect(ModuleId m);
 
   bool is_down(ModuleId m) const { return !down_.empty() && down_[m]; }
   u32 down_count() const { return down_count_; }
-  /// Fail-stop crash, immediately: wipes the module's queue and pending
-  /// messages, zeroes its accounted space, marks it down and invokes crash
-  /// listeners. Also used by scheduled CrashEvents. Requires a fault plan.
+  /// Fail-stop crash, immediately: zeroes the module's accounted space,
+  /// marks it down and invokes crash listeners. Delivered-but-unexecuted
+  /// tasks die with the module, but the reliable layer still holds each
+  /// send: they re-enter the retransmission path (counted as drops), so
+  /// the loss surfaces as kModuleDown — or redelivers after a revive —
+  /// instead of silently wedging the batch. Also used by scheduled
+  /// CrashEvents. Requires a fault plan.
   /// Crashing an already-down module is a no-op (the module cannot die
   /// twice); a module id >= P is kInvalidArgument.
   void crash_module(ModuleId m);
@@ -233,6 +322,8 @@ class Machine {
   const std::vector<u64>& mailbox() const { return mailbox_; }
 
   // ---- metrics ----
+
+  const MachineOptions& options() const { return options_; }
 
   Snapshot snapshot() const;
   MachineDelta delta(const Snapshot& since) const;
@@ -294,6 +385,20 @@ class Machine {
   void deliver_faulty(ModuleId m, const Task& task, u32 attempt);
   void fire_mem_corruption(ModuleId m);
   void recount_queued();
+  /// Target's admission backlog: pending deliveries + queued tasks.
+  u64 backlog(ModuleId m) const { return pending_[m].size() + per_module_[m].queue.size(); }
+  /// Records one lost message against m for the breaker (no-op if down).
+  void note_lost_for_breaker(ModuleId m);
+  /// Deterministic replica choice for a hedge of `hedge_id` away from
+  /// `avoid`: live (and, if possible, not currently stalled) module picked
+  /// by content hash — identical under every executor.
+  ModuleId pick_hedge_target(ModuleId avoid, u64 hedge_id);
+  /// Age stalled hedgeable tasks / fire copies, and resolve original-vs-
+  /// hedge races in module-id order before execution. No-op unless
+  /// hedging is enabled.
+  void run_hedging_prepass();
+  /// Throws kDeadlineExceeded if an armed budget is exhausted.
+  void check_budget();
   [[noreturn]] void throw_lost();
   [[noreturn]] void throw_drain_stuck(u64 executed);
 
@@ -315,6 +420,20 @@ class Machine {
   std::vector<CrashListener> crash_listeners_;
   std::vector<MemCorruptListener> mem_corrupt_listeners_;
   u64 mem_corrupt_nonce_ = 0;  // decorrelates same-round strikes
+  /// Round of each module's most recent crash (kNeverCrashed if none);
+  /// voids stall windows the crash overlapped (crash wins, stall moot).
+  std::vector<u64> last_crash_round_;
+
+  // ---- degradation state ----
+  RoundBudget budget_;
+  bool budget_armed_ = false;
+  u64 budget_rounds_used_ = 0;
+  u64 budget_retries_used_ = 0;
+  u64 hedge_seq_ = 0;                   // hedge-id allocator (never reused)
+  std::unordered_set<u64> hedge_done_;  // executed/suppressed hedge ids
+  std::vector<u32> strikes_;            // consecutive losses per up module
+  std::vector<u8> suspect_;             // breaker verdicts
+  u32 suspect_count_ = 0;
 
   MachineOptions options_;
   rnd::Xoshiro256ss shuffle_rng_;

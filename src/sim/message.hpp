@@ -53,6 +53,16 @@ struct Task {
   /// Envelope checksum sealed at send time (see file comment).
   u64 checksum = 0;
 
+  // ---- hedging metadata (CPU-side bookkeeping, not part of the payload
+  // and therefore outside the checksum; see Machine::send_hedged). A task
+  // is hedgeable iff hedge_id != 0: its handler reads only replicated
+  // state, so a copy may run on any live module and the first execution
+  // wins. ----
+  u64 hedge_id = 0;    // 0 = not hedgeable
+  u32 stall_age = 0;   // rounds spent queued behind a straggler
+  u8 is_hedge = 0;     // 1 on a rerouted copy (win/waste attribution)
+  u8 hedge_fired = 0;  // this queued instance already spawned a copy
+
   std::span<const u64> arg_span() const { return {args, nargs}; }
   bool checksum_ok() const { return checksum == payload_checksum(nargs, args); }
 };
@@ -70,6 +80,10 @@ inline Task make_task(const Handler* fn, std::span<const u64> args) {
   for (u32 i = 0; i < t.nargs; ++i) t.args[i] = args[i];
   t.checksum = payload_checksum(t.nargs, t.args);
   return t;
+}
+
+inline Task make_task(const Handler* fn, std::initializer_list<u64> args) {
+  return make_task(fn, std::span<const u64>(args.begin(), args.size()));
 }
 
 }  // namespace pim::sim

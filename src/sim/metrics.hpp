@@ -38,6 +38,13 @@ struct FaultCounters {
   u64 mem_corruptions = 0;      // at-rest corruption events fired
   u64 scrubs = 0;               // scrub audit passes (digest + leaf rounds)
   u64 scrub_repairs = 0;        // words/replica slots repaired by scrubbing
+  // ---- graceful degradation (deadlines, shedding, hedging, breaker) ----
+  u64 sheds = 0;          // sends rejected by admission control / overload
+  u64 requeued = 0;       // shed messages admitted by a later backoff wave
+  u64 hedges = 0;         // hedge copies fired (stall threshold or reroute)
+  u64 hedge_wins = 0;     // hedge copies that executed first
+  u64 hedge_waste = 0;    // hedge copies suppressed (original won the race)
+  u64 breaker_trips = 0;  // modules marked suspect by the circuit breaker
 
   FaultCounters& operator+=(const FaultCounters& o) {
     drops += o.drops;
@@ -54,6 +61,12 @@ struct FaultCounters {
     mem_corruptions += o.mem_corruptions;
     scrubs += o.scrubs;
     scrub_repairs += o.scrub_repairs;
+    sheds += o.sheds;
+    requeued += o.requeued;
+    hedges += o.hedges;
+    hedge_wins += o.hedge_wins;
+    hedge_waste += o.hedge_waste;
+    breaker_trips += o.breaker_trips;
     return *this;
   }
   FaultCounters operator-(const FaultCounters& o) const {
@@ -72,6 +85,12 @@ struct FaultCounters {
     d.mem_corruptions = mem_corruptions - o.mem_corruptions;
     d.scrubs = scrubs - o.scrubs;
     d.scrub_repairs = scrub_repairs - o.scrub_repairs;
+    d.sheds = sheds - o.sheds;
+    d.requeued = requeued - o.requeued;
+    d.hedges = hedges - o.hedges;
+    d.hedge_wins = hedge_wins - o.hedge_wins;
+    d.hedge_waste = hedge_waste - o.hedge_waste;
+    d.breaker_trips = breaker_trips - o.breaker_trips;
     return d;
   }
   bool operator==(const FaultCounters&) const = default;

@@ -1,0 +1,379 @@
+// Degraded-mode operation (DESIGN.md §5.7): partial-batch entry points
+// under a crashed module, journaled convergence after surgical recovery,
+// per-operation deadlines on the skiplist, admission control through the
+// batch drivers, and executor agreement for partial batches with a
+// scheduled mid-workload crash.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "core/pim_skiplist.hpp"
+#include "random/rng.hpp"
+#include "reference_model.hpp"
+#include "sim/machine.hpp"
+#include "sim/measure.hpp"
+#include "test_util.hpp"
+
+namespace pim::core {
+namespace {
+
+using test::make_sorted_pairs;
+using test::Ref;
+
+sim::FaultPlan quiet_plan(u64 seed) {
+  sim::FaultPlan plan;
+  plan.enabled = true;
+  plan.seed = seed;
+  return plan;
+}
+
+// ISSUE acceptance: with 1 of P modules crashed and NO recovery run,
+// batch_get_partial returns kUnavailable for exactly the keys homed on
+// the dead module and kOk + the correct value (vs the reference model)
+// for every other key.
+TEST(DegradedMode, PartialGetServesExactlyTheLiveHomedKeys) {
+  sim::Machine machine(8);
+  PimSkipList list(machine);
+  rnd::Xoshiro256ss rng(301);
+  const auto pairs = make_sorted_pairs(300, rng);
+  list.build(pairs);
+  Ref ref(pairs.begin(), pairs.end());
+
+  machine.set_fault_plan(quiet_plan(7));
+  (void)list.batch_get(std::vector<Key>{pairs[0].first});  // start the journal
+  const ModuleId dead = 3;
+  machine.crash_module(dead);
+
+  std::vector<Key> keys;
+  for (const auto& [k, v] : pairs) keys.push_back(k);
+  for (int i = 0; i < 100; ++i) keys.push_back(rng.range(0, 1'000'000'000));  // mostly misses
+
+  const auto got = list.batch_get_partial(keys);
+  ASSERT_EQ(got.size(), keys.size());
+  u64 unavailable = 0;
+  for (u64 i = 0; i < keys.size(); ++i) {
+    if (list.home_module(keys[i]) == dead) {
+      EXPECT_EQ(got[i].status.code(), StatusCode::kUnavailable) << "key " << keys[i];
+      ++unavailable;
+    } else {
+      ASSERT_TRUE(got[i].status.ok()) << got[i].status.to_string();
+      const auto it = ref.find(keys[i]);
+      ASSERT_EQ(got[i].found, it != ref.end()) << "key " << keys[i];
+      if (got[i].found) ASSERT_EQ(got[i].value, it->second);
+    }
+  }
+  EXPECT_GT(unavailable, 0u);  // 1/8 of the keyspace homes on the dead module
+
+  // Serving degraded is not repairing: no recovery ran, the module is
+  // still down, and the same call keeps answering.
+  EXPECT_EQ(machine.fault_counters().recoveries, 0u);
+  EXPECT_TRUE(machine.is_down(dead));
+  const auto again = list.batch_get_partial(keys);
+  for (u64 i = 0; i < keys.size(); ++i) {
+    EXPECT_EQ(again[i].status.code(), got[i].status.code());
+  }
+}
+
+// Partial mutations: admitted keys commit through the journal, filtered
+// keys report kUnavailable, and a surgical recover(m) converges the
+// physical structure to the reference contents (unlinked height-0
+// inserts relinked, dangling delete links healed).
+TEST(DegradedMode, PartialMutationsCommitAndRecoveryConverges) {
+  sim::Machine machine(8);
+  PimSkipList list(machine);
+  rnd::Xoshiro256ss rng(302);
+  const auto pairs = make_sorted_pairs(250, rng);
+  list.build(pairs);
+  Ref ref(pairs.begin(), pairs.end());
+
+  machine.set_fault_plan(quiet_plan(8));
+  (void)list.batch_get(std::vector<Key>{pairs[0].first});
+  const ModuleId dead = 5;
+  machine.crash_module(dead);
+  const auto admitted = [&](Key k) { return list.home_module(k) != dead; };
+
+  // Upserts: overwrites plus fresh keys (which land as unlinked height-0
+  // leaves on their live homes), with a batch duplicate.
+  std::vector<std::pair<Key, Value>> ups;
+  for (int i = 0; i < 60; ++i) ups.push_back({rng.range(0, 1'000'000'000), rng()});
+  for (int i = 0; i < 20; ++i) ups.push_back({pairs[rng.below(pairs.size())].first, rng()});
+  ups.push_back({ups[0].first, rng()});  // duplicate: first occurrence wins
+  const auto up_st = list.batch_upsert_partial(ups);
+  std::set<Key> seen;
+  for (u64 i = 0; i < ups.size(); ++i) {
+    if (admitted(ups[i].first)) {
+      ASSERT_TRUE(up_st[i].ok()) << up_st[i].to_string();
+      if (seen.insert(ups[i].first).second) ref[ups[i].first] = ups[i].second;
+    } else {
+      EXPECT_EQ(up_st[i].code(), StatusCode::kUnavailable);
+    }
+  }
+  ASSERT_EQ(list.size(), ref.size());
+
+  // The unlinked inserts are immediately visible to hash-routed reads.
+  std::vector<Key> fresh;
+  for (const auto& [k, v] : ups) {
+    if (admitted(k)) fresh.push_back(k);
+  }
+  const auto peek = list.batch_get_partial(fresh);
+  for (u64 i = 0; i < fresh.size(); ++i) {
+    ASSERT_TRUE(peek[i].status.ok());
+    ASSERT_TRUE(peek[i].found) << "degraded insert invisible: key " << fresh[i];
+    ASSERT_EQ(peek[i].value, ref[fresh[i]]);
+  }
+
+  // Updates: found flags reflect the pre-batch state on admitted keys.
+  std::vector<std::pair<Key, Value>> upd;
+  for (int i = 0; i < 30; ++i) upd.push_back({pairs[rng.below(pairs.size())].first, rng()});
+  for (int i = 0; i < 30; ++i) upd.push_back({rng.range(0, 1'000'000'000), rng()});
+  const auto upd_res = list.batch_update_partial(upd);
+  std::vector<u8> upd_admitted_found;
+  {
+    Ref before = ref;
+    seen.clear();
+    for (u64 i = 0; i < upd.size(); ++i) {
+      if (!admitted(upd[i].first)) {
+        EXPECT_EQ(upd_res[i].status.code(), StatusCode::kUnavailable);
+        continue;
+      }
+      ASSERT_TRUE(upd_res[i].status.ok());
+      EXPECT_EQ(upd_res[i].found, before.contains(upd[i].first)) << "update " << i;
+      if (seen.insert(upd[i].first).second && ref.contains(upd[i].first)) {
+        ref[upd[i].first] = upd[i].second;
+      }
+    }
+  }
+
+  // Deletes: mix of present keys (some with towers on the dead module)
+  // and misses.
+  std::vector<Key> dels;
+  for (int i = 0; i < 40; ++i) dels.push_back(pairs[rng.below(pairs.size())].first);
+  for (int i = 0; i < 10; ++i) dels.push_back(rng.range(0, 1'000'000'000));
+  const auto del_res = list.batch_delete_partial(dels);
+  {
+    Ref before = ref;
+    for (u64 i = 0; i < dels.size(); ++i) {
+      if (!admitted(dels[i])) {
+        EXPECT_EQ(del_res[i].status.code(), StatusCode::kUnavailable);
+        continue;
+      }
+      ASSERT_TRUE(del_res[i].status.ok());
+      EXPECT_EQ(del_res[i].found, before.contains(dels[i])) << "delete " << i;
+      ref.erase(dels[i]);
+    }
+  }
+  ASSERT_EQ(list.size(), ref.size());
+  EXPECT_EQ(machine.fault_counters().recoveries, 0u);  // partial ops never repair
+
+  // Surgical recovery converges the structure: full contents match the
+  // reference and every invariant (links, caches, replication) holds.
+  list.recover(dead);
+  EXPECT_EQ(machine.down_count(), 0u);
+  EXPECT_GE(machine.fault_counters().recoveries, 1u);
+  list.check_invariants();
+  const auto all = list.range_collect_broadcast(0, std::numeric_limits<Key>::max());
+  const std::vector<std::pair<Key, Value>> want(ref.begin(), ref.end());
+  EXPECT_EQ(all, want);
+}
+
+// With no module down (or no fault plan at all), the partial entry points
+// are exactly the normal batch ops with every status kOk.
+TEST(DegradedMode, HealthyPartialOpsDegenerateToNormalBatches) {
+  sim::Machine machine(4);
+  PimSkipList list(machine);
+  rnd::Xoshiro256ss rng(303);
+  const auto pairs = make_sorted_pairs(120, rng);
+  list.build(pairs);
+  Ref ref(pairs.begin(), pairs.end());
+
+  for (int mode = 0; mode < 2; ++mode) {
+    if (mode == 1) machine.set_fault_plan(quiet_plan(9));
+    std::vector<std::pair<Key, Value>> ups;
+    for (int i = 0; i < 20; ++i) ups.push_back({rng.range(0, 1'000'000'000), rng()});
+    for (const Status& s : list.batch_upsert_partial(ups)) ASSERT_TRUE(s.ok());
+    test::ref_upsert(ref, ups);
+
+    std::vector<Key> keys;
+    for (const auto& [k, v] : ups) keys.push_back(k);
+    keys.push_back(rng.range(0, 1'000'000'000));
+    for (u64 i = 0; const auto& g : list.batch_get_partial(keys)) {
+      ASSERT_TRUE(g.status.ok());
+      const auto it = ref.find(keys[i]);
+      ASSERT_EQ(g.found, it != ref.end());
+      if (g.found) ASSERT_EQ(g.value, it->second);
+      ++i;
+    }
+
+    const auto del_res = list.batch_delete_partial(std::span<const Key>(keys).subspan(0, 5));
+    const auto want = test::ref_delete(ref, std::span<const Key>(keys).subspan(0, 5));
+    for (u64 i = 0; i < 5; ++i) {
+      ASSERT_TRUE(del_res[i].status.ok());
+      ASSERT_EQ(del_res[i].found, want[i] != 0);
+    }
+    ASSERT_EQ(list.size(), ref.size());
+  }
+  list.check_invariants();
+}
+
+// Per-op deadline: a batch that cannot finish inside the budget surfaces
+// kDeadlineExceeded; the structure stays usable, and a journaled mutation
+// that dies on the deadline has still committed atomically.
+TEST(DegradedMode, OpDeadlineSurfacesAndMutationsStillCommit) {
+  sim::Machine machine(4);
+  PimSkipList list(machine);
+  rnd::Xoshiro256ss rng(304);
+  const auto pairs = make_sorted_pairs(150, rng);
+  list.build(pairs);
+
+  machine.set_fault_plan(quiet_plan(10));
+  (void)list.batch_get(std::vector<Key>{pairs[0].first});  // start the journal
+
+  // A fully lossy network: every delivery drops, so the drain lives on
+  // retransmissions. The retry half of the deadline caps that cost long
+  // before the per-message retry budget would surface kRetryExhausted.
+  sim::FaultPlan lossy = quiet_plan(10);
+  lossy.drop_prob = 1.0;
+  machine.set_fault_plan(lossy);
+
+  list.set_op_deadline(PimSkipList::OpDeadline{/*max_rounds=*/0, /*max_retries=*/1});
+  std::vector<Key> keys{pairs[0].first, pairs[1].first};
+  try {
+    (void)list.batch_get(keys);
+    FAIL() << "expected StatusError";
+  } catch (const StatusError& e) {
+    EXPECT_EQ(e.code(), StatusCode::kDeadlineExceeded);
+  }
+
+  // A mutation blowing its deadline commits through the journal rebuild
+  // before the error propagates.
+  std::vector<std::pair<Key, Value>> ups{{pairs[0].first + 1, 42}, {pairs[1].first + 1, 43}};
+  try {
+    list.batch_upsert(ups);
+    FAIL() << "expected StatusError";
+  } catch (const StatusError& e) {
+    EXPECT_EQ(e.code(), StatusCode::kDeadlineExceeded);
+  }
+  list.set_op_deadline(PimSkipList::OpDeadline{});  // disarm
+  machine.set_fault_plan(quiet_plan(10));           // network heals
+  const auto got = list.batch_get(std::vector<Key>{ups[0].first, ups[1].first});
+  EXPECT_TRUE(got[0].found);
+  EXPECT_EQ(got[0].value, 42u);
+  EXPECT_TRUE(got[1].found);
+  EXPECT_EQ(got[1].value, 43u);
+  list.check_invariants();
+}
+
+// Admission control end to end: bounded ingress queues spill the batch
+// drivers' sends into backoff waves without changing any result.
+TEST(DegradedMode, BoundedQueuesSpillBatchGetsWithoutChangingResults) {
+  sim::MachineOptions options;
+  options.max_queue_depth = 4;
+  sim::Machine machine(4, options);
+  PimSkipList list(machine);
+  rnd::Xoshiro256ss rng(305);
+  const auto pairs = make_sorted_pairs(200, rng);
+  list.build(pairs);
+
+  std::vector<Key> keys;
+  for (const auto& [k, v] : pairs) keys.push_back(k);
+  const auto got = list.batch_get(keys);
+  for (u64 i = 0; i < keys.size(); ++i) {
+    ASSERT_TRUE(got[i].found);
+    ASSERT_EQ(got[i].value, pairs[i].second);
+  }
+  // 200 sends against depth-4 queues must have shed and requeued work.
+  EXPECT_GT(machine.fault_counters().sheds, 0u);
+  EXPECT_GT(machine.fault_counters().requeued, 0u);
+}
+
+// S3: the three executors agree bit-for-bit on partial-batch results,
+// fault counters and costs when a scheduled crash strikes mid-workload,
+// and after recovery all converge to the identical contents.
+TEST(DegradedMode, ExecutorsAgreeOnPartialBatchesUnderMidWorkloadCrash) {
+  struct RunResult {
+    std::vector<u32> statuses;  // status codes, in call order
+    std::vector<std::pair<bool, u64>> gets;
+    std::vector<std::pair<Key, Value>> contents;
+    sim::FaultCounters faults;
+    u64 rounds = 0;
+  };
+
+  const auto run_with = [](sim::ExecOrder order) {
+    sim::MachineOptions options;
+    options.order = order;
+    sim::Machine machine(8, options);
+    PimSkipList list(machine);
+    rnd::Xoshiro256ss rng(306);
+    const auto pairs = make_sorted_pairs(200, rng);
+    list.build(pairs);
+
+    sim::FaultPlan plan;
+    plan.enabled = true;
+    plan.seed = 77;
+    plan.crashes = {{/*module=*/2, /*round=*/12}};
+    machine.set_fault_plan(plan);
+    (void)list.batch_get(std::vector<Key>{pairs[0].first});  // journal
+
+    RunResult r;
+    const auto note = [&](const Status& s) {
+      r.statuses.push_back(static_cast<u32>(s.code()));
+    };
+    // Enough phases that round 12 lands mid-workload; every phase mixes
+    // all four partial ops. After the crash fires, admitted subsets and
+    // filtered kUnavailable keys must be identical across executors.
+    for (int phase = 0; phase < 6; ++phase) {
+      std::vector<std::pair<Key, Value>> ups;
+      for (int i = 0; i < 24; ++i) ups.push_back({rng.range(0, 1'000'000), rng()});
+      for (const Status& s : list.batch_upsert_partial(ups)) note(s);
+
+      std::vector<Key> keys;
+      for (const auto& [k, v] : ups) keys.push_back(k);
+      for (int i = 0; i < 8; ++i) keys.push_back(rng.range(0, 1'000'000));
+      for (const auto& g : list.batch_get_partial(keys)) {
+        note(g.status);
+        r.gets.push_back({g.found, g.value});
+      }
+
+      std::vector<std::pair<Key, Value>> upd;
+      for (int i = 0; i < 12; ++i) upd.push_back({keys[rng.below(keys.size())], rng()});
+      for (const auto& f : list.batch_update_partial(upd)) {
+        note(f.status);
+        r.gets.push_back({f.found, 0});
+      }
+
+      std::vector<Key> dels;
+      for (int i = 0; i < 8; ++i) dels.push_back(keys[rng.below(keys.size())]);
+      for (const auto& f : list.batch_delete_partial(dels)) {
+        note(f.status);
+        r.gets.push_back({f.found, 0});
+      }
+    }
+    // Heal (any guarded op repairs), then capture the converged contents.
+    for (ModuleId m = 0; m < machine.modules(); ++m) {
+      if (machine.is_down(m)) list.recover(m);
+    }
+    list.check_invariants();
+    r.contents = list.range_collect_broadcast(0, std::numeric_limits<Key>::max());
+    r.faults = machine.fault_counters();
+    r.rounds = machine.rounds();
+    return r;
+  };
+
+  const RunResult seq = run_with(sim::ExecOrder::kSequential);
+  const RunResult shuf = run_with(sim::ExecOrder::kShuffled);
+  const RunResult par = run_with(sim::ExecOrder::kParallel);
+  EXPECT_GT(seq.faults.crashes, 0u);  // the scheduled crash actually fired
+  for (const RunResult* other : {&shuf, &par}) {
+    EXPECT_EQ(seq.statuses, other->statuses);
+    EXPECT_EQ(seq.gets, other->gets);
+    EXPECT_EQ(seq.contents, other->contents);
+    EXPECT_EQ(seq.faults, other->faults);
+    EXPECT_EQ(seq.rounds, other->rounds);
+  }
+}
+
+}  // namespace
+}  // namespace pim::core

@@ -507,5 +507,345 @@ TEST(FaultMachine, MemCorruptionListenersFireDeterministically) {
   EXPECT_EQ(fired2, 2u);
 }
 
+// ---- graceful degradation: deadlines, admission, hedging, breaker ----
+
+TEST(FaultMachine, RoundBudgetSurfacesDeadlineExceeded) {
+  Machine machine(2);
+  FaultPlan plan = enabled_plan(40);
+  plan.stall_windows.push_back(StallWindow{/*module=*/0, /*first_round=*/0, /*rounds=*/10});
+  machine.set_fault_plan(plan);
+
+  machine.mailbox().assign(1, 0);
+  Handler echo = [](ModuleCtx& ctx, std::span<const u64> a) {
+    ctx.charge(1);
+    ctx.reply(a[0], 7);
+  };
+  machine.send(0, &echo, {0ull});
+  machine.set_round_budget(RoundBudget{/*max_rounds=*/3, /*max_retries=*/0});
+  ASSERT_TRUE(machine.round_budget_armed());
+  try {
+    machine.run_until_quiescent();
+    FAIL() << "expected StatusError";
+  } catch (const StatusError& e) {
+    EXPECT_EQ(e.code(), StatusCode::kDeadlineExceeded);
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("round budget exceeded"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("queued="), std::string::npos) << msg;
+  }
+  EXPECT_GT(machine.budget_rounds_used(), 3u);
+
+  // Disarmed, the same drain completes once the stall window ends.
+  machine.clear_round_budget();
+  EXPECT_FALSE(machine.round_budget_armed());
+  machine.run_until_quiescent();
+  EXPECT_EQ(machine.mailbox()[0], 7u);
+}
+
+TEST(FaultMachine, RetransmissionBudgetSurfacesDeadlineExceeded) {
+  Machine machine(2);
+  FaultPlan plan = enabled_plan(41);
+  plan.drop_prob = 1.0;  // six attempts before kRetryExhausted...
+  machine.set_fault_plan(plan);
+
+  machine.mailbox().assign(1, 0);
+  Handler echo = [](ModuleCtx& ctx, std::span<const u64>) { ctx.charge(1); };
+  machine.send(0, &echo, {});
+  // ...but the budget caps retransmission cost long before that.
+  machine.set_round_budget(RoundBudget{/*max_rounds=*/0, /*max_retries=*/2});
+  try {
+    machine.run_until_quiescent();
+    FAIL() << "expected StatusError";
+  } catch (const StatusError& e) {
+    EXPECT_EQ(e.code(), StatusCode::kDeadlineExceeded);
+  }
+  EXPECT_GT(machine.budget_retries_used(), 2u);
+  EXPECT_EQ(machine.fault_counters().lost, 0u);  // budget fired first
+  machine.clear_round_budget();
+  machine.abort_pending();
+}
+
+TEST(FaultMachine, TrySendShedsWhenIngressQueueIsFull) {
+  MachineOptions options;
+  options.max_queue_depth = 2;
+  Machine machine(2, options);
+  machine.mailbox().assign(1, 0);
+  Handler count = [](ModuleCtx& ctx, std::span<const u64>) {
+    ctx.charge(1);
+    ctx.reply_add(0, 1);
+  };
+  EXPECT_TRUE(machine.try_send(0, &count, {1ull}).ok());
+  EXPECT_TRUE(machine.try_send(0, &count, {2ull}).ok());
+  const Status shed = machine.try_send(0, &count, {3ull});
+  EXPECT_EQ(shed.code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(shed.message().find("ingress queue full"), std::string::npos) << shed.message();
+  EXPECT_EQ(machine.fault_counters().sheds, 1u);
+
+  machine.run_until_quiescent();
+  EXPECT_EQ(machine.mailbox()[0], 2u);  // the shed task never ran
+  EXPECT_TRUE(machine.try_send(0, &count, {3ull}).ok());  // drained: admitted again
+  machine.run_until_quiescent();
+  EXPECT_EQ(machine.mailbox()[0], 3u);
+}
+
+TEST(FaultMachine, SendAllAdmittedSpillsOverflowIntoBackoffWaves) {
+  MachineOptions options;
+  options.max_queue_depth = 2;
+  Machine machine(2, options);
+  machine.mailbox().assign(1, 0);
+  static Handler count = [](ModuleCtx& ctx, std::span<const u64>) {
+    ctx.charge(1);
+    ctx.reply_add(0, 1);
+  };
+  std::vector<Message> msgs;
+  for (u64 i = 0; i < 8; ++i) msgs.push_back(Message{0, make_task(&count, {i})});
+  machine.send_all_admitted(msgs);
+  machine.run_until_quiescent();
+
+  EXPECT_EQ(machine.mailbox()[0], 8u);  // nothing was lost, only delayed
+  const auto& fc = machine.fault_counters();
+  EXPECT_GT(fc.sheds, 0u);
+  EXPECT_GT(fc.requeued, 0u);
+}
+
+TEST(FaultMachine, UnboundedQueueKeepsSendAllAdmittedTransparent) {
+  // max_queue_depth == 0 must be byte-for-byte the plain send loop.
+  auto workload = [](Machine& machine, bool batched) {
+    machine.mailbox().assign(8, 0);
+    static Handler echo = [](ModuleCtx& ctx, std::span<const u64> a) {
+      ctx.charge(1);
+      ctx.reply(a[0], a[0] + 1);
+    };
+    const Snapshot before = machine.snapshot();
+    if (batched) {
+      std::vector<Message> msgs;
+      for (u64 i = 0; i < 8; ++i) {
+        msgs.push_back(Message{static_cast<ModuleId>(i % 2), make_task(&echo, {i})});
+      }
+      machine.send_all_admitted(msgs);
+    } else {
+      for (u64 i = 0; i < 8; ++i) machine.send(static_cast<ModuleId>(i % 2), &echo, {i});
+    }
+    machine.run_until_quiescent();
+    return std::make_pair(machine.delta(before), machine.mailbox());
+  };
+  Machine plain(2);
+  Machine batched(2);
+  const auto [d0, mail0] = workload(plain, false);
+  const auto [d1, mail1] = workload(batched, true);
+  EXPECT_EQ(mail0, mail1);
+  EXPECT_EQ(d0.rounds, d1.rounds);
+  EXPECT_EQ(d0.io_time, d1.io_time);
+  EXPECT_EQ(d0.messages, d1.messages);
+  EXPECT_EQ(d1.faults, FaultCounters{});
+}
+
+TEST(FaultMachine, HedgedSendOutrunsStalledModule) {
+  MachineOptions options;
+  options.hedge_stall_rounds = 2;
+  Machine machine(4, options);
+  FaultPlan plan = enabled_plan(42);
+  plan.stall_windows.push_back(StallWindow{/*module=*/0, /*first_round=*/0, /*rounds=*/30});
+  machine.set_fault_plan(plan);
+
+  machine.mailbox().assign(1, 0);
+  Handler echo = [](ModuleCtx& ctx, std::span<const u64> a) {
+    ctx.charge(1);
+    ctx.reply(a[0], 7);
+  };
+  machine.send_hedged(0, &echo, {0ull});
+  const u64 rounds = machine.run_until_quiescent();
+
+  EXPECT_EQ(machine.mailbox()[0], 7u);
+  EXPECT_LT(rounds, 10u);  // nowhere near the 30-round stall
+  const auto& fc = machine.fault_counters();
+  EXPECT_EQ(fc.hedges, 1u);
+  EXPECT_EQ(fc.hedge_wins, 1u);
+  EXPECT_EQ(fc.hedge_waste, 0u);
+}
+
+TEST(FaultMachine, LosingHedgeIsDiscardedAsWaste) {
+  MachineOptions options;
+  options.hedge_stall_rounds = 2;
+  Machine machine(4, options);
+  FaultPlan plan = enabled_plan(43);
+  // The stall ends exactly when the hedge copy lands: the original
+  // executes first (module-id order in the prepass) and the copy is
+  // dequeued unrun as waste.
+  plan.stall_windows.push_back(StallWindow{/*module=*/0, /*first_round=*/0, /*rounds=*/2});
+  machine.set_fault_plan(plan);
+
+  machine.mailbox().assign(1, 0);
+  Handler echo = [](ModuleCtx& ctx, std::span<const u64> a) {
+    ctx.charge(1);
+    ctx.reply(a[0], 9);
+  };
+  machine.send_hedged(0, &echo, {0ull});
+  machine.run_until_quiescent();
+
+  EXPECT_EQ(machine.mailbox()[0], 9u);
+  const auto& fc = machine.fault_counters();
+  EXPECT_EQ(fc.hedges, 1u);
+  EXPECT_EQ(fc.hedge_wins, 0u);
+  EXPECT_EQ(fc.hedge_waste, 1u);
+}
+
+TEST(FaultMachine, HedgedSendToDownModuleReroutesInsteadOfDying) {
+  MachineOptions options;
+  options.hedge_stall_rounds = 2;
+  Machine machine(4, options);
+  machine.set_fault_plan(enabled_plan(44));
+  machine.crash_module(1);
+
+  machine.mailbox().assign(1, 0);
+  Handler echo = [](ModuleCtx& ctx, std::span<const u64> a) {
+    ctx.charge(1);
+    ctx.reply(a[0], 5);
+  };
+  machine.send_hedged(1, &echo, {0ull});
+  machine.run_until_quiescent();  // no throw: the task found a live replica
+  EXPECT_EQ(machine.mailbox()[0], 5u);
+  EXPECT_EQ(machine.fault_counters().hedges, 1u);
+  EXPECT_EQ(machine.fault_counters().lost, 0u);
+
+  // The same send without hedging dies with the module.
+  Machine bare(4);
+  bare.set_fault_plan(enabled_plan(44));
+  bare.crash_module(1);
+  bare.mailbox().assign(1, 0);
+  bare.send_hedged(1, &echo, {0ull});
+  EXPECT_THROW(bare.run_until_quiescent(), StatusError);
+}
+
+TEST(FaultMachine, HedgingDisabledKeepsMetricsBitIdentical) {
+  // With hedge_stall_rounds == 0 a hedged send must be indistinguishable
+  // from a plain send, even under faults (stalls included).
+  auto workload = [](Machine& machine, bool hedged) {
+    FaultPlan plan = enabled_plan(45);
+    plan.stall_windows.push_back(StallWindow{/*module=*/0, /*first_round=*/0, /*rounds=*/3});
+    machine.set_fault_plan(plan);
+    machine.mailbox().assign(8, 0);
+    static Handler echo = [](ModuleCtx& ctx, std::span<const u64> a) {
+      ctx.charge(1);
+      ctx.reply(a[0], a[0] + 1);
+    };
+    const Snapshot before = machine.snapshot();
+    for (u64 i = 0; i < 8; ++i) {
+      if (hedged) {
+        machine.send_hedged(static_cast<ModuleId>(i % 4), &echo, {i});
+      } else {
+        machine.send(static_cast<ModuleId>(i % 4), &echo, {i});
+      }
+    }
+    machine.run_until_quiescent();
+    return std::make_pair(machine.delta(before), machine.mailbox());
+  };
+  Machine plain(4);
+  Machine hedged(4);
+  const auto [d0, mail0] = workload(plain, false);
+  const auto [d1, mail1] = workload(hedged, true);
+  EXPECT_EQ(mail0, mail1);
+  EXPECT_EQ(d0.rounds, d1.rounds);
+  EXPECT_EQ(d0.io_time, d1.io_time);
+  EXPECT_EQ(d0.messages, d1.messages);
+  EXPECT_EQ(d0.faults, d1.faults);
+  EXPECT_EQ(d1.faults.hedges, 0u);
+}
+
+TEST(FaultMachine, CrashReoffersQueuedTasksThroughRetryPath) {
+  Machine machine(2);
+  FaultPlan plan = enabled_plan(46);
+  // Stall the target for the delivery round so tasks sit delivered-but-
+  // unexecuted when the crash strikes.
+  plan.stall_windows.push_back(StallWindow{/*module=*/1, /*first_round=*/0, /*rounds=*/1});
+  machine.set_fault_plan(plan);
+
+  machine.mailbox().assign(1, 0);
+  Handler count = [](ModuleCtx& ctx, std::span<const u64>) {
+    ctx.charge(1);
+    ctx.reply_add(0, 1);
+  };
+  for (u64 i = 0; i < 3; ++i) machine.send(1, &count, {i});
+  machine.run_round();  // delivered into module 1's queue, stalled, unrun
+  machine.crash_module(1);
+  machine.revive(1);
+  machine.run_until_quiescent();
+
+  // Nothing vanished: every queued task was re-offered and executed after
+  // the revive, exactly once.
+  EXPECT_EQ(machine.mailbox()[0], 3u);
+  const auto& fc = machine.fault_counters();
+  EXPECT_GE(fc.drops, 3u);
+  EXPECT_GE(fc.retries, 3u);
+  EXPECT_EQ(fc.lost, 0u);
+}
+
+TEST(FaultMachine, StallWindowCoveringCrashRoundIsVoid) {
+  // Pinned semantics: crash wins, stall is moot. A revived module restarts
+  // fresh; the scheduled straggler died with it.
+  Handler echo = [](ModuleCtx& ctx, std::span<const u64> a) {
+    ctx.charge(1);
+    ctx.reply(a[0], 11);
+  };
+  const auto make = [&] {
+    Machine machine(1);
+    FaultPlan plan = enabled_plan(47);
+    plan.stall_windows.push_back(StallWindow{/*module=*/0, /*first_round=*/0, /*rounds=*/6});
+    machine.set_fault_plan(plan);
+    machine.mailbox().assign(1, 0);
+    machine.send(0, &echo, {0ull});
+    return machine;
+  };
+
+  // Control: the full window postpones execution to round 6.
+  Machine control = make();
+  control.run_until_quiescent();
+  EXPECT_EQ(control.mailbox()[0], 11u);
+  EXPECT_EQ(control.fault_counters().stalls, 6u);
+
+  // Crash at round 2, inside the window: the remainder of the window is
+  // void, so after the revive the redelivered task runs without waiting
+  // for round 6.
+  Machine crashed = make();
+  crashed.run_round();
+  crashed.run_round();
+  crashed.crash_module(0);  // re-offers the queued task via the retry path
+  crashed.revive(0);
+  crashed.run_until_quiescent();
+  EXPECT_EQ(crashed.mailbox()[0], 11u);
+  EXPECT_EQ(crashed.fault_counters().stalls, 2u);  // rounds 0 and 1 only
+}
+
+TEST(FaultMachine, BreakerMarksModuleSuspectAfterConsecutiveLosses) {
+  MachineOptions options;
+  options.breaker_strikes = 2;
+  Machine machine(2, options);
+  FaultPlan plan = enabled_plan(48);
+  plan.max_send_attempts = 2;
+  plan.overload_windows.push_back(
+      OverloadWindow{/*module=*/1, /*first_round=*/0, /*rounds=*/1000});
+  machine.set_fault_plan(plan);
+
+  machine.mailbox().assign(1, 0);
+  Handler echo = [](ModuleCtx& ctx, std::span<const u64>) { ctx.charge(1); };
+  machine.send(1, &echo, {});
+  machine.send(1, &echo, {});
+  try {
+    machine.run_until_quiescent();
+    FAIL() << "expected StatusError";
+  } catch (const StatusError& e) {
+    EXPECT_EQ(e.code(), StatusCode::kRetryExhausted);  // module 1 is up, just deaf
+  }
+  // Two consecutive losses against an *up* module tripped the breaker:
+  // the owner should fail-stop module 1 and recover it surgically.
+  EXPECT_TRUE(machine.is_suspect(1));
+  EXPECT_EQ(machine.suspect_count(), 1u);
+  EXPECT_EQ(machine.fault_counters().breaker_trips, 1u);
+  EXPECT_GT(machine.fault_counters().sheds, 0u);
+  machine.clear_suspect(1);
+  EXPECT_FALSE(machine.is_suspect(1));
+  EXPECT_EQ(machine.suspect_count(), 0u);
+  machine.abort_pending();
+}
+
 }  // namespace
 }  // namespace pim::sim

@@ -1,0 +1,53 @@
+// Status code round-trip: every code in [0, kStatusCodeCount) must carry
+// a distinct human-readable name. A code added without extending
+// status_code_name would fall through to "UNKNOWN" and fail here, so new
+// degraded-mode codes (kDeadlineExceeded, kResourceExhausted) can never
+// silently lose their identity in logs or error messages.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "common/status.hpp"
+
+namespace pim {
+namespace {
+
+TEST(Status, EveryCodeHasADistinctName) {
+  std::set<std::string> names;
+  for (u32 c = 0; c < static_cast<u32>(StatusCode::kStatusCodeCount); ++c) {
+    const std::string name = status_code_name(static_cast<StatusCode>(c));
+    EXPECT_NE(name, "UNKNOWN") << "code " << c << " has no name";
+    EXPECT_TRUE(names.insert(name).second) << "duplicate name " << name;
+  }
+  EXPECT_EQ(names.count("OK"), 1u);
+  EXPECT_EQ(names.count("DEADLINE_EXCEEDED"), 1u);
+  EXPECT_EQ(names.count("RESOURCE_EXHAUSTED"), 1u);
+  // The sentinel itself is not a code.
+  EXPECT_STREQ(status_code_name(StatusCode::kStatusCodeCount), "UNKNOWN");
+}
+
+TEST(Status, DefaultIsOkAndToStringCarriesCodeName) {
+  const Status ok;
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.code(), StatusCode::kOk);
+  EXPECT_TRUE(ok.message().empty());
+
+  const Status deadline(StatusCode::kDeadlineExceeded, "budget spent");
+  EXPECT_FALSE(deadline.ok());
+  EXPECT_EQ(deadline.to_string(), "DEADLINE_EXCEEDED: budget spent");
+}
+
+TEST(Status, StatusErrorRoundTripsTheStatus) {
+  const Status shed(StatusCode::kResourceExhausted, "queue full");
+  try {
+    throw StatusError(shed);
+  } catch (const StatusError& e) {
+    EXPECT_EQ(e.code(), StatusCode::kResourceExhausted);
+    EXPECT_EQ(e.status().message(), "queue full");
+    EXPECT_NE(std::string(e.what()).find("RESOURCE_EXHAUSTED"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace pim
