@@ -31,7 +31,7 @@ void run_succ_ablation(benchmark::State& state, core::PimSkipList::Options opts,
   const auto keys = workload::point_batch(data, skew, u64{p} * log2p(p), 211);
   for (auto _ : state) {
     const auto m = sim::measure(machine, [&] { (void)list.batch_successor(keys); });
-    report(state, m, keys.size());
+    report(state, m, keys.size(), p);
     const auto& stats = list.last_pivot_stats();
     u64 s1 = 0;
     for (const u64 x : stats.stage1_phase_max_access) s1 = std::max(s1, x);
@@ -85,7 +85,7 @@ void run_get_ablation(benchmark::State& state, bool dedup) {
   const std::vector<Key> keys(u64{p} * logp(p), data.pairs[5].first);
   for (auto _ : state) {
     const auto m = sim::measure(machine, [&] { (void)list.batch_get(keys); });
-    report(state, m, keys.size());
+    report(state, m, keys.size(), p);
   }
 }
 
@@ -112,7 +112,7 @@ void run_budget_ablation(benchmark::State& state, u64 budget) {
   }
   for (auto _ : state) {
     const auto m = sim::measure(machine, [&] { (void)list.batch_range_aggregate(queries); });
-    report(state, m, queries.size());
+    report(state, m, queries.size(), p);
   }
 }
 
@@ -150,7 +150,7 @@ void run_queue_write(benchmark::State& state, bool expand) {
         (void)list.batch_range_aggregate(queries);
       }
     });
-    report(state, m, queries.size());
+    report(state, m, queries.size(), p);
     state.counters["wcontention"] = static_cast<double>(m.machine.write_contention);
     state.counters["sync"] = static_cast<double>(m.machine.sync_cost);
   }

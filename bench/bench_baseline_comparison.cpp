@@ -36,8 +36,8 @@ void run_point_comparison(benchmark::State& state, workload::Skew skew, RunFn ru
   run(state, p, data, keys);
 }
 
-void point_counters(benchmark::State& state, const sim::OpMetrics& m, u64 batch) {
-  report(state, m, batch);
+void point_counters(benchmark::State& state, const sim::OpMetrics& m, u64 batch, u32 p) {
+  report(state, m, batch, p);
 }
 
 void CMP_Get_PimSkiplist_Uniform(benchmark::State& state) {
@@ -50,7 +50,7 @@ void CMP_Get_PimSkiplist_Uniform(benchmark::State& state) {
                          for (auto _ : s) {
                            const auto m =
                                sim::measure(machine, [&] { (void)list.batch_get(keys); });
-                           point_counters(s, m, keys.size());
+                           point_counters(s, m, keys.size(), p);
                          }
                        });
 }
@@ -65,7 +65,7 @@ void CMP_Get_RangePartition_Uniform(benchmark::State& state) {
                          for (auto _ : s) {
                            const auto m =
                                sim::measure(machine, [&] { (void)store.batch_get(keys); });
-                           point_counters(s, m, keys.size());
+                           point_counters(s, m, keys.size(), p);
                          }
                        });
 }
@@ -81,7 +81,7 @@ void CMP_Get_PimSkiplist_SinglePartitionSkew(benchmark::State& state) {
                          for (auto _ : s) {
                            const auto m =
                                sim::measure(machine, [&] { (void)list.batch_get(keys); });
-                           point_counters(s, m, keys.size());
+                           point_counters(s, m, keys.size(), p);
                          }
                        });
 }
@@ -98,7 +98,7 @@ void CMP_Get_RangePartition_SinglePartitionSkew(benchmark::State& state) {
                          for (auto _ : s) {
                            const auto m =
                                sim::measure(machine, [&] { (void)store.batch_get(keys); });
-                           point_counters(s, m, keys.size());
+                           point_counters(s, m, keys.size(), p);
                          }
                        });
 }
@@ -115,7 +115,7 @@ void CMP_Get_HashPartition_SinglePartitionSkew(benchmark::State& state) {
                          for (auto _ : s) {
                            const auto m =
                                sim::measure(machine, [&] { (void)store.batch_get(keys); });
-                           point_counters(s, m, keys.size());
+                           point_counters(s, m, keys.size(), p);
                          }
                        });
 }
@@ -133,7 +133,7 @@ void CMP_Upsert_PimSkiplist_Skewed(benchmark::State& state) {
     core::PimSkipList list(machine);
     list.build(data.pairs);
     const auto m = sim::measure(machine, [&] { list.batch_upsert(ops); });
-    point_counters(state, m, ops.size());
+    point_counters(state, m, ops.size(), p);
   }
 }
 PIM_BENCH_SWEEP(CMP_Upsert_PimSkiplist_Skewed);
@@ -147,7 +147,7 @@ void CMP_Upsert_RangePartition_Skewed(benchmark::State& state) {
     sim::Machine machine(p);
     auto store = make_store<baseline::RangePartitionStore>(machine, data);
     const auto m = sim::measure(machine, [&] { store.batch_upsert(ops); });
-    point_counters(state, m, ops.size());
+    point_counters(state, m, ops.size(), p);
   }
 }
 PIM_BENCH_SWEEP(CMP_Upsert_RangePartition_Skewed);
@@ -166,7 +166,7 @@ void CMP_Range_PimSkiplist_Small(benchmark::State& state) {
   }
   for (auto _ : state) {
     const auto m = sim::measure(machine, [&] { (void)list.batch_range_aggregate(queries); });
-    point_counters(state, m, queries.size());
+    point_counters(state, m, queries.size(), p);
     state.counters["io_per_query"] =
         static_cast<double>(m.machine.io_time) / static_cast<double>(queries.size());
   }
@@ -181,7 +181,7 @@ void CMP_Range_RangePartition_Small(benchmark::State& state) {
   const auto queries = workload::range_batch(data, u64{p} * logp(p), logp(p), 109);
   for (auto _ : state) {
     const auto m = sim::measure(machine, [&] { (void)store.batch_range_aggregate(queries); });
-    point_counters(state, m, queries.size());
+    point_counters(state, m, queries.size(), p);
     state.counters["io_per_query"] =
         static_cast<double>(m.machine.io_time) / static_cast<double>(queries.size());
   }
@@ -199,7 +199,7 @@ void CMP_Range_HashPartition_Small(benchmark::State& state) {
     const auto m = sim::measure(machine, [&] {
       for (const auto& [lo, hi] : queries) (void)store.range_aggregate(lo, hi);
     });
-    point_counters(state, m, queries.size());
+    point_counters(state, m, queries.size(), p);
     state.counters["io_per_query"] =
         static_cast<double>(m.machine.io_time) / static_cast<double>(queries.size());
   }

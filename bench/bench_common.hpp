@@ -10,11 +10,15 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <fstream>
 #include <memory>
+#include <string>
 
 #include "common/math_util.hpp"
 #include "core/pim_skiplist.hpp"
 #include "sim/measure.hpp"
+#include "sim/trace.hpp"
 #include "workload/generators.hpp"
 
 namespace pim::bench {
@@ -31,6 +35,18 @@ struct Fixture {
   std::unique_ptr<sim::Machine> machine;
   std::unique_ptr<core::PimSkipList> list;
   workload::Dataset data;
+  // Attached to `machine` when PIM_TRACE_OUT is set; exported on teardown.
+  std::unique_ptr<sim::Tracer> tracer;
+
+  Fixture() = default;
+  Fixture(Fixture&&) = default;
+  Fixture& operator=(Fixture&&) = default;
+  ~Fixture() {
+    if (tracer == nullptr || tracer->size() == 0) return;
+    // Last writer wins: every fixture torn down while PIM_TRACE_OUT is set
+    // overwrites the file, so the export reflects the final bench case.
+    if (const char* path = std::getenv("PIM_TRACE_OUT")) tracer->export_file(path);
+  }
 };
 
 inline Fixture make_fixture(u32 modules, u64 n, u64 seed,
@@ -40,11 +56,18 @@ inline Fixture make_fixture(u32 modules, u64 n, u64 seed,
   f.list = std::make_unique<core::PimSkipList>(*f.machine, opts);
   f.data = workload::make_uniform_dataset(n, seed);
   f.list->build(f.data.pairs);
+  if (std::getenv("PIM_TRACE_OUT") != nullptr) {
+    f.tracer = std::make_unique<sim::Tracer>();
+    f.machine->set_tracer(f.tracer.get());
+  }
   return f;
 }
 
-/// Standard counters: raw machine metrics plus per-op CPU work.
-inline void report(benchmark::State& state, const sim::OpMetrics& m, u64 batch) {
+/// Standard counters: raw machine metrics plus per-op CPU work. `p` is the
+/// module count of the machine that ran the op — passed explicitly because
+/// not every bench uses state.range(0) as the module count (some sweep the
+/// batch size or a structure parameter instead).
+inline void report(benchmark::State& state, const sim::OpMetrics& m, u64 batch, u32 p) {
   state.counters["io"] = static_cast<double>(m.machine.io_time);
   state.counters["pim"] = static_cast<double>(m.machine.pim_time);
   state.counters["rounds"] = static_cast<double>(m.machine.rounds);
@@ -55,14 +78,21 @@ inline void report(benchmark::State& state, const sim::OpMetrics& m, u64 batch) 
   state.counters["M"] = static_cast<double>(m.machine.shared_mem);
   // PIM-balance check (§2.1): io_time / (messages/P) and
   // pim_time / (total work/P); O(1) values mean PIM-balanced.
-  const double p = static_cast<double>(state.range(0));
+  const double pd = static_cast<double>(p);
   if (m.machine.messages > 0) {
     state.counters["bal_io"] =
-        static_cast<double>(m.machine.io_time) / (static_cast<double>(m.machine.messages) / p);
+        static_cast<double>(m.machine.io_time) / (static_cast<double>(m.machine.messages) / pd);
   }
   if (m.machine.pim_work_total > 0) {
     state.counters["bal_pim"] = static_cast<double>(m.machine.pim_time) /
-                                (static_cast<double>(m.machine.pim_work_total) / p);
+                                (static_cast<double>(m.machine.pim_work_total) / pd);
+  }
+  // Per-phase breakdown (populated by measure() when a tracer is attached,
+  // i.e. when PIM_TRACE_OUT is set).
+  for (const sim::PhaseCost& ph : m.phases) {
+    state.counters["ph:" + ph.name + ":io"] = static_cast<double>(ph.io_time);
+    state.counters["ph:" + ph.name + ":rounds"] = static_cast<double>(ph.rounds);
+    state.counters["ph:" + ph.name + ":pim"] = static_cast<double>(ph.pim_time);
   }
 }
 

@@ -26,7 +26,7 @@ void F1_Scatter(benchmark::State& state) {
       }
       machine.run_until_quiescent();
     });
-    report(state, m, b);
+    report(state, m, b, p);
     state.counters["h_n"] = static_cast<double>(m.machine.io_time) / (b / p + logp(p));
   }
 }
@@ -42,7 +42,7 @@ void F1_Hotspot(benchmark::State& state) {
       for (u64 i = 0; i < b; ++i) machine.send(0, &g_sink, {});
       machine.run_until_quiescent();
     });
-    report(state, m, b);
+    report(state, m, b, p);
     state.counters["h_over_B"] = static_cast<double>(m.machine.io_time) / b;  // ~1: imbalanced
   }
 }
@@ -57,7 +57,7 @@ void F1_Broadcast(benchmark::State& state) {
       machine.broadcast(&g_sink, {});
       machine.run_until_quiescent();
     });
-    report(state, m, p);  // io should be exactly 1
+    report(state, m, p, p);  // io should be exactly 1
   }
 }
 PIM_BENCH_SWEEP(F1_Broadcast);
@@ -81,7 +81,7 @@ void F1_ForwardChain(benchmark::State& state) {
       machine.send(0, &chain, {hops});
       machine.run_until_quiescent();
     });
-    report(state, m, hops);
+    report(state, m, hops, p);
     state.counters["rounds_per_hop"] =
         static_cast<double>(m.machine.rounds) / static_cast<double>(hops + 1);
   }

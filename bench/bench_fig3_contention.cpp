@@ -23,7 +23,7 @@ void F3_PivotContention(benchmark::State& state) {
       workload::point_batch(f.data, workload::Skew::kSameSuccessor, batch, 71);
   for (auto _ : state) {
     const auto m = sim::measure(*f.machine, [&] { (void)f.list->batch_successor(keys); });
-    report(state, m, keys.size());
+    report(state, m, keys.size(), p);
     const auto& stats = f.list->last_pivot_stats();
     u64 s1_max = 0;
     for (const u64 x : stats.stage1_phase_max_access) s1_max = std::max(s1_max, x);
@@ -47,7 +47,7 @@ void F3_NaiveContention(benchmark::State& state) {
       workload::point_batch(f.data, workload::Skew::kSameSuccessor, batch, 73);
   for (auto _ : state) {
     const auto m = sim::measure(*f.machine, [&] { (void)f.list->batch_successor_naive(keys); });
-    report(state, m, keys.size());
+    report(state, m, keys.size(), p);
     state.counters["naive_max"] = static_cast<double>(f.list->last_pivot_stats().stage2_max_access);
     state.counters["naive_max_n"] =
         static_cast<double>(f.list->last_pivot_stats().stage2_max_access) /
@@ -67,7 +67,7 @@ void F3_UniformContention(benchmark::State& state) {
   const auto keys = workload::point_batch(f.data, workload::Skew::kUniform, batch, 79);
   for (auto _ : state) {
     const auto m = sim::measure(*f.machine, [&] { (void)f.list->batch_successor(keys); });
-    report(state, m, keys.size());
+    report(state, m, keys.size(), p);
     const auto& stats = f.list->last_pivot_stats();
     u64 s1_max = 0;
     for (const u64 x : stats.stage1_phase_max_access) s1_max = std::max(s1_max, x);

@@ -25,7 +25,7 @@ void F4_InsertInterleavedRuns(benchmark::State& state) {
     std::vector<std::pair<Key, Value>> odd;
     for (u64 i = 0; i < batch; ++i) odd.push_back({static_cast<Key>(2 * i + 1), i});
     const auto m = sim::measure(machine, [&] { list.batch_upsert(odd); });
-    report(state, m, batch);
+    report(state, m, batch, p);
     state.counters["msg_op"] =
         static_cast<double>(m.machine.messages) / static_cast<double>(batch);
     list.check_invariants();
@@ -47,7 +47,7 @@ void F4_InsertSolidRun(benchmark::State& state) {
     std::vector<std::pair<Key, Value>> run;
     for (u64 i = 1; i <= batch; ++i) run.push_back({static_cast<Key>(i), i});
     const auto m = sim::measure(machine, [&] { list.batch_upsert(run); });
-    report(state, m, batch);
+    report(state, m, batch, p);
     state.counters["msg_op"] =
         static_cast<double>(m.machine.messages) / static_cast<double>(batch);
     list.check_invariants();
@@ -68,7 +68,7 @@ void F4_DeleteInterleaved(benchmark::State& state) {
     std::vector<Key> doomed;
     for (u64 i = 1; i < 2 * batch; i += 2) doomed.push_back(static_cast<Key>(i));
     const auto m = sim::measure(machine, [&] { (void)list.batch_delete(doomed); });
-    report(state, m, doomed.size());
+    report(state, m, doomed.size(), p);
     state.counters["msg_op"] =
         static_cast<double>(m.machine.messages) / static_cast<double>(doomed.size());
     list.check_invariants();
@@ -90,7 +90,7 @@ void F4_DeleteSolidRun(benchmark::State& state) {
     std::vector<Key> doomed;
     for (u64 i = 1; i <= batch; ++i) doomed.push_back(static_cast<Key>(i));
     const auto m = sim::measure(machine, [&] { (void)list.batch_delete(doomed); });
-    report(state, m, doomed.size());
+    report(state, m, doomed.size(), p);
     state.counters["msg_op"] =
         static_cast<double>(m.machine.messages) / static_cast<double>(doomed.size());
     list.check_invariants();

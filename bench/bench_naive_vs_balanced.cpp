@@ -23,7 +23,7 @@ void NVB_Naive(benchmark::State& state) {
   const auto keys = adversary_batch(f.data, p);
   for (auto _ : state) {
     const auto m = sim::measure(*f.machine, [&] { (void)f.list->batch_successor_naive(keys); });
-    report(state, m, keys.size());
+    report(state, m, keys.size(), p);
     state.counters["io_per_op"] =
         static_cast<double>(m.machine.io_time) / static_cast<double>(keys.size());
   }
@@ -36,7 +36,7 @@ void NVB_Balanced(benchmark::State& state) {
   const auto keys = adversary_batch(f.data, p);
   for (auto _ : state) {
     const auto m = sim::measure(*f.machine, [&] { (void)f.list->batch_successor(keys); });
-    report(state, m, keys.size());
+    report(state, m, keys.size(), p);
     state.counters["io_per_op"] =
         static_cast<double>(m.machine.io_time) / static_cast<double>(keys.size());
   }
@@ -52,7 +52,7 @@ void NVB_Naive_Uniform(benchmark::State& state) {
       workload::point_batch(f.data, workload::Skew::kUniform, u64{p} * logp(p), 127);
   for (auto _ : state) {
     const auto m = sim::measure(*f.machine, [&] { (void)f.list->batch_successor_naive(keys); });
-    report(state, m, keys.size());
+    report(state, m, keys.size(), p);
     state.counters["io_per_op"] =
         static_cast<double>(m.machine.io_time) / static_cast<double>(keys.size());
   }

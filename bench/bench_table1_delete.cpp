@@ -9,8 +9,7 @@
 namespace pim::bench {
 namespace {
 
-void normalize_delete(benchmark::State& state, const sim::OpMetrics& m, u64 batch) {
-  const u64 p = static_cast<u64>(state.range(0));
+void normalize_delete(benchmark::State& state, const sim::OpMetrics& m, u64 batch, u64 p) {
   state.counters["io_n"] = static_cast<double>(m.machine.io_time) / log2p(p);
   state.counters["pim_n"] = static_cast<double>(m.machine.pim_time) / log2p(p);
   state.counters["depth_n"] = static_cast<double>(m.cpu_depth) / logp(p);
@@ -30,8 +29,8 @@ void T1_Delete_Scattered(benchmark::State& state) {
       doomed.push_back(f.data.pairs[i].first);
     }
     const auto m = sim::measure(*f.machine, [&] { (void)f.list->batch_delete(doomed); });
-    report(state, m, doomed.size());
-    normalize_delete(state, m, doomed.size());
+    report(state, m, doomed.size(), p);
+    normalize_delete(state, m, doomed.size(), p);
   }
 }
 PIM_BENCH_SWEEP(T1_Delete_Scattered);
@@ -49,8 +48,8 @@ void T1_Delete_ConsecutiveRun(benchmark::State& state) {
       doomed.push_back(f.data.pairs[i].first);
     }
     const auto m = sim::measure(*f.machine, [&] { (void)f.list->batch_delete(doomed); });
-    report(state, m, doomed.size());
-    normalize_delete(state, m, doomed.size());
+    report(state, m, doomed.size(), p);
+    normalize_delete(state, m, doomed.size(), p);
   }
 }
 PIM_BENCH_SWEEP(T1_Delete_ConsecutiveRun);
@@ -72,8 +71,8 @@ void T1_Delete_MostlyMisses(benchmark::State& state) {
       }
     }
     const auto m = sim::measure(*f.machine, [&] { (void)f.list->batch_delete(doomed); });
-    report(state, m, doomed.size());
-    normalize_delete(state, m, doomed.size());
+    report(state, m, doomed.size(), p);
+    normalize_delete(state, m, doomed.size(), p);
   }
 }
 PIM_BENCH_SWEEP(T1_Delete_MostlyMisses);

@@ -9,8 +9,7 @@
 namespace pim::bench {
 namespace {
 
-void normalize_get(benchmark::State& state, const sim::OpMetrics& m) {
-  const u64 p = static_cast<u64>(state.range(0));
+void normalize_get(benchmark::State& state, const sim::OpMetrics& m, u64 p) {
   state.counters["io_n"] = static_cast<double>(m.machine.io_time) / logp(p);
   state.counters["pim_n"] = static_cast<double>(m.machine.pim_time) / logp(p);
   state.counters["depth_n"] = static_cast<double>(m.cpu_depth) / logp(p);
@@ -24,8 +23,8 @@ void T1_Get_UniformHits(benchmark::State& state) {
   const auto keys = stored_keys_sample(f.data, batch, 17);
   for (auto _ : state) {
     const auto m = sim::measure(*f.machine, [&] { (void)f.list->batch_get(keys); });
-    report(state, m, batch);
-    normalize_get(state, m);
+    report(state, m, batch, p);
+    normalize_get(state, m, p);
   }
 }
 PIM_BENCH_SWEEP(T1_Get_UniformHits);
@@ -39,8 +38,8 @@ void T1_Get_AllSameKey(benchmark::State& state) {
   const std::vector<Key> keys(batch, f.data.pairs[7].first);
   for (auto _ : state) {
     const auto m = sim::measure(*f.machine, [&] { (void)f.list->batch_get(keys); });
-    report(state, m, batch);
-    normalize_get(state, m);
+    report(state, m, batch, p);
+    normalize_get(state, m, p);
   }
 }
 PIM_BENCH_SWEEP(T1_Get_AllSameKey);
@@ -52,8 +51,8 @@ void T1_Get_Zipf(benchmark::State& state) {
   const auto keys = workload::point_batch(f.data, workload::Skew::kZipf, batch, 19);
   for (auto _ : state) {
     const auto m = sim::measure(*f.machine, [&] { (void)f.list->batch_get(keys); });
-    report(state, m, batch);
-    normalize_get(state, m);
+    report(state, m, batch, p);
+    normalize_get(state, m, p);
   }
 }
 PIM_BENCH_SWEEP(T1_Get_Zipf);
@@ -67,8 +66,8 @@ void T1_Update_UniformHits(benchmark::State& state) {
   for (u64 i = 0; i < batch; ++i) ops[i] = {keys[i], i};
   for (auto _ : state) {
     const auto m = sim::measure(*f.machine, [&] { (void)f.list->batch_update(ops); });
-    report(state, m, batch);
-    normalize_get(state, m);
+    report(state, m, batch, p);
+    normalize_get(state, m, p);
   }
 }
 PIM_BENCH_SWEEP(T1_Update_UniformHits);

@@ -9,8 +9,8 @@
 namespace pim::bench {
 namespace {
 
-void normalize_succ(benchmark::State& state, const sim::OpMetrics& m, u64 n, u64 batch) {
-  const u64 p = static_cast<u64>(state.range(0));
+void normalize_succ(benchmark::State& state, const sim::OpMetrics& m, u64 n, u64 batch,
+                    u64 p) {
   state.counters["io_n"] = static_cast<double>(m.machine.io_time) / log3p(p);
   state.counters["pim_n"] =
       static_cast<double>(m.machine.pim_time) / (log2p(p) * ceil_log2(n + 2));
@@ -28,8 +28,8 @@ void run_successor(benchmark::State& state, workload::Skew skew) {
   const auto keys = workload::point_batch(f.data, skew, batch, 29);
   for (auto _ : state) {
     const auto m = sim::measure(*f.machine, [&] { (void)f.list->batch_successor(keys); });
-    report(state, m, keys.size());
-    normalize_succ(state, m, n, keys.size());
+    report(state, m, keys.size(), p);
+    normalize_succ(state, m, n, keys.size(), p);
   }
 }
 
@@ -49,8 +49,8 @@ void T1_Pred_Uniform(benchmark::State& state) {
   const auto keys = workload::point_batch(f.data, workload::Skew::kUniform, batch, 31);
   for (auto _ : state) {
     const auto m = sim::measure(*f.machine, [&] { (void)f.list->batch_predecessor(keys); });
-    report(state, m, keys.size());
-    normalize_succ(state, m, n, keys.size());
+    report(state, m, keys.size(), p);
+    normalize_succ(state, m, n, keys.size(), p);
   }
 }
 PIM_BENCH_SWEEP(T1_Pred_Uniform);
@@ -66,7 +66,7 @@ void T1_Succ_RoundsBreakdown(benchmark::State& state) {
   const auto keys = workload::point_batch(f.data, workload::Skew::kUniform, batch, 37);
   for (auto _ : state) {
     const auto m = sim::measure(*f.machine, [&] { (void)f.list->batch_successor(keys); });
-    report(state, m, keys.size());
+    report(state, m, keys.size(), p);
     state.counters["rounds_n"] = static_cast<double>(m.machine.rounds) / log2p(p);
     state.counters["phases"] = static_cast<double>(f.list->last_pivot_stats().phases);
   }

@@ -10,8 +10,8 @@
 namespace pim::bench {
 namespace {
 
-void normalize_upsert(benchmark::State& state, const sim::OpMetrics& m, u64 n, u64 batch) {
-  const u64 p = static_cast<u64>(state.range(0));
+void normalize_upsert(benchmark::State& state, const sim::OpMetrics& m, u64 n, u64 batch,
+                      u64 p) {
   state.counters["io_n"] = static_cast<double>(m.machine.io_time) / log3p(p);
   state.counters["pim_n"] =
       static_cast<double>(m.machine.pim_time) / (log2p(p) * ceil_log2(n + 2));
@@ -29,8 +29,8 @@ void run_upsert(benchmark::State& state, workload::Skew skew) {
     auto f = make_fixture(p, n, 3001);  // fresh structure per iteration
     const auto ops = workload::insert_batch(f.data, skew, batch, 41);
     const auto m = sim::measure(*f.machine, [&] { f.list->batch_upsert(ops); });
-    report(state, m, ops.size());
-    normalize_upsert(state, m, n, ops.size());
+    report(state, m, ops.size(), p);
+    normalize_upsert(state, m, n, ops.size(), p);
   }
 }
 
@@ -54,8 +54,8 @@ void T1_Upsert_UpdateOnly(benchmark::State& state) {
   for (u64 i = 0; i < batch; ++i) ops[i] = {keys[i], i};
   for (auto _ : state) {
     const auto m = sim::measure(*f.machine, [&] { f.list->batch_upsert(ops); });
-    report(state, m, batch);
-    normalize_upsert(state, m, n, batch);
+    report(state, m, batch, p);
+    normalize_upsert(state, m, n, batch, p);
   }
 }
 PIM_BENCH_SWEEP(T1_Upsert_UpdateOnly);
@@ -70,8 +70,8 @@ void T1_Upsert_MixedHalfAndHalf(benchmark::State& state) {
     const auto hits = stored_keys_sample(f.data, batch - batch / 2, 53);
     for (u64 i = 0; i < hits.size(); ++i) ops.push_back({hits[i], i});
     const auto m = sim::measure(*f.machine, [&] { f.list->batch_upsert(ops); });
-    report(state, m, ops.size());
-    normalize_upsert(state, m, n, ops.size());
+    report(state, m, ops.size(), p);
+    normalize_upsert(state, m, n, ops.size(), p);
   }
 }
 PIM_BENCH_SWEEP(T1_Upsert_MixedHalfAndHalf);

@@ -25,7 +25,7 @@ void T51_AggregateSweepP(benchmark::State& state) {
   const auto [lo, hi] = range_covering(f.data, k);
   for (auto _ : state) {
     const auto m = sim::measure(*f.machine, [&] { (void)f.list->range_count_broadcast(lo, hi); });
-    report(state, m, k);
+    report(state, m, k, p);
     state.counters["pim_n"] = static_cast<double>(m.machine.pim_time) /
                               (static_cast<double>(k) / p + ceil_log2(n + 2));
   }
@@ -40,7 +40,7 @@ void T51_AggregateSweepK(benchmark::State& state) {
   const auto [lo, hi] = range_covering(f.data, k);
   for (auto _ : state) {
     const auto m = sim::measure(*f.machine, [&] { (void)f.list->range_count_broadcast(lo, hi); });
-    report(state, m, k);
+    report(state, m, k, p);
     state.counters["pim_n"] = static_cast<double>(m.machine.pim_time) /
                               (static_cast<double>(k) / p + ceil_log2(n + 2));
   }
@@ -56,7 +56,7 @@ void T51_CollectSweepP(benchmark::State& state) {
   for (auto _ : state) {
     const auto m =
         sim::measure(*f.machine, [&] { (void)f.list->range_collect_broadcast(lo, hi); });
-    report(state, m, k);
+    report(state, m, k, p);
     state.counters["collect_io_n"] =
         static_cast<double>(m.machine.io_time) / (static_cast<double>(k) / p + 1);
   }
@@ -72,7 +72,7 @@ void T51_FetchAddSweepP(benchmark::State& state) {
   for (auto _ : state) {
     const auto m =
         sim::measure(*f.machine, [&] { (void)f.list->range_fetch_add_broadcast(lo, hi, 1); });
-    report(state, m, k);
+    report(state, m, k, p);
     state.counters["pim_n"] = static_cast<double>(m.machine.pim_time) /
                               (static_cast<double>(k) / p + ceil_log2(n + 2));
   }

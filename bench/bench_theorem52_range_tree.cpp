@@ -10,8 +10,8 @@
 namespace pim::bench {
 namespace {
 
-void normalize_t52(benchmark::State& state, const sim::OpMetrics& m, u64 kappa, u64 n) {
-  const u64 p = static_cast<u64>(state.range(0));
+void normalize_t52(benchmark::State& state, const sim::OpMetrics& m, u64 kappa, u64 n,
+                   u64 p) {
   state.counters["kappa"] = static_cast<double>(kappa);
   state.counters["io_n"] =
       static_cast<double>(m.machine.io_time) / (static_cast<double>(kappa) / p + log3p(p));
@@ -59,8 +59,8 @@ void T52_ManySmallRanges(benchmark::State& state) {
   const u64 kappa = total_covered(f.data, queries);
   for (auto _ : state) {
     const auto m = sim::measure(*f.machine, [&] { (void)f.list->batch_range_aggregate(queries); });
-    report(state, m, queries.size());
-    normalize_t52(state, m, kappa, n);
+    report(state, m, queries.size(), p);
+    normalize_t52(state, m, kappa, n, p);
   }
 }
 PIM_BENCH_SWEEP(T52_ManySmallRanges);
@@ -75,8 +75,8 @@ void T52_FewHugeRanges(benchmark::State& state) {
   const u64 kappa = total_covered(f.data, queries);
   for (auto _ : state) {
     const auto m = sim::measure(*f.machine, [&] { (void)f.list->batch_range_aggregate(queries); });
-    report(state, m, queries.size());
-    normalize_t52(state, m, kappa, n);
+    report(state, m, queries.size(), p);
+    normalize_t52(state, m, kappa, n, p);
   }
 }
 PIM_BENCH_SWEEP(T52_FewHugeRanges);
@@ -98,8 +98,8 @@ void T52_OverlappingRanges(benchmark::State& state) {
   const u64 kappa = total_covered(f.data, queries);
   for (auto _ : state) {
     const auto m = sim::measure(*f.machine, [&] { (void)f.list->batch_range_aggregate(queries); });
-    report(state, m, queries.size());
-    normalize_t52(state, m, kappa, n);
+    report(state, m, queries.size(), p);
+    normalize_t52(state, m, kappa, n, p);
   }
 }
 PIM_BENCH_SWEEP(T52_OverlappingRanges);
@@ -116,8 +116,8 @@ void T52_Expand_ManySmallRanges(benchmark::State& state) {
   for (auto _ : state) {
     const auto m =
         sim::measure(*f.machine, [&] { (void)f.list->batch_range_aggregate_expand(queries); });
-    report(state, m, queries.size());
-    normalize_t52(state, m, kappa, n);
+    report(state, m, queries.size(), p);
+    normalize_t52(state, m, kappa, n, p);
   }
 }
 PIM_BENCH_SWEEP(T52_Expand_ManySmallRanges);
@@ -131,8 +131,8 @@ void T52_Expand_FewHugeRanges(benchmark::State& state) {
   for (auto _ : state) {
     const auto m =
         sim::measure(*f.machine, [&] { (void)f.list->batch_range_aggregate_expand(queries); });
-    report(state, m, queries.size());
-    normalize_t52(state, m, kappa, n);
+    report(state, m, queries.size(), p);
+    normalize_t52(state, m, kappa, n, p);
   }
 }
 PIM_BENCH_SWEEP(T52_Expand_FewHugeRanges);
@@ -146,7 +146,7 @@ void T52_SweepKappa(benchmark::State& state) {
   const u64 kappa = total_covered(f.data, queries);
   for (auto _ : state) {
     const auto m = sim::measure(*f.machine, [&] { (void)f.list->batch_range_aggregate(queries); });
-    report(state, m, queries.size());
+    report(state, m, queries.size(), p);
     state.counters["kappa"] = static_cast<double>(kappa);
     state.counters["io_per_kappa_P"] =
         static_cast<double>(m.machine.io_time) / (static_cast<double>(kappa) / p + log3p(p));

@@ -34,6 +34,7 @@
 #include "common/math_util.hpp"
 #include "core/pim_skiplist.hpp"
 #include "parallel/cost_model.hpp"
+#include "sim/trace.hpp"
 
 namespace pim::core {
 
@@ -148,6 +149,7 @@ void PimSkipList::fail_stop_suspects() {
 
 std::vector<PimSkipList::PartialGet> PimSkipList::batch_get_partial(std::span<const Key> keys) {
   const u64 n = keys.size();
+  sim::TraceScope trace(machine_, "partial:get");
   std::vector<PartialGet> out(n);
   if (!machine_.fault_active()) {
     auto r = batch_get_impl(keys);
@@ -220,6 +222,7 @@ std::vector<PimSkipList::PartialGet> PimSkipList::batch_get_partial(std::span<co
 std::vector<PimSkipList::PartialFlag> PimSkipList::batch_update_partial(
     std::span<const std::pair<Key, Value>> ops) {
   const u64 n = ops.size();
+  sim::TraceScope trace(machine_, "partial:update");
   std::vector<PartialFlag> out(n);
   if (!machine_.fault_active()) {
     journal_valid_ = false;
@@ -299,6 +302,7 @@ std::vector<PimSkipList::PartialFlag> PimSkipList::batch_update_partial(
 std::vector<Status> PimSkipList::batch_upsert_partial(
     std::span<const std::pair<Key, Value>> ops) {
   const u64 n = ops.size();
+  sim::TraceScope trace(machine_, "partial:upsert");
   std::vector<Status> out(n);
   if (!machine_.fault_active()) {
     journal_valid_ = false;
@@ -373,6 +377,7 @@ std::vector<Status> PimSkipList::batch_upsert_partial(
 std::vector<PimSkipList::PartialFlag> PimSkipList::batch_delete_partial(
     std::span<const Key> keys) {
   const u64 n = keys.size();
+  sim::TraceScope trace(machine_, "partial:delete");
   std::vector<PartialFlag> out(n);
   if (!machine_.fault_active()) {
     journal_valid_ = false;

@@ -21,6 +21,7 @@
 #include "parallel/fork_join.hpp"
 #include "parallel/list_contraction.hpp"
 #include "parallel/semisort.hpp"
+#include "sim/trace.hpp"
 
 namespace pim::core {
 
@@ -127,6 +128,7 @@ std::vector<u8> PimSkipList::batch_delete_impl(std::span<const Key> keys) {
   const u64 d = dd.representatives.size();
 
   // ---- Phase A: probe ----
+  sim::TraceScope trace_probe(machine_, "delete:probe");
   machine_.mailbox().assign(d * kProbeStride, 0);
   par::charge_work(d * kProbeStride);
   par::charged_region(ceil_log2(d + 2), [&] {
@@ -158,6 +160,7 @@ std::vector<u8> PimSkipList::batch_delete_impl(std::span<const Key> keys) {
 
   if (total_entries > 0) {
     // ---- Phase B: mark + report ----
+    sim::TraceScope trace_mark(machine_, "delete:mark+spread");
     machine_.mailbox().assign(total_entries * kReportStride, 0);
     par::charge_work(total_entries * kReportStride);
     par::charged_region(ceil_log2(d + 2), [&] {
@@ -217,6 +220,7 @@ std::vector<u8> PimSkipList::batch_delete_impl(std::span<const Key> keys) {
     }
 
     // ---- contract ----
+    sim::TraceScope trace_splice(machine_, "delete:contract+splice");
     par::contract_lists(std::span<par::ContractionNode>(graph), rng_());
 
     // ---- splice writes to surviving boundaries ----

@@ -14,6 +14,7 @@
 #include "parallel/fork_join.hpp"
 #include "parallel/scan.hpp"
 #include "parallel/sort.hpp"
+#include "sim/trace.hpp"
 
 namespace pim::core {
 
@@ -153,6 +154,7 @@ void PimSkipList::init_range_handlers() {
 
 PimSkipList::RangeAgg PimSkipList::range_count_broadcast_impl(Key lo, Key hi) {
   PIM_CHECK(lo <= hi, "range_count_broadcast: lo > hi");
+  sim::TraceScope trace(machine_, "range:broadcast");
   const u32 p = machine_.modules();
   machine_.mailbox().assign(2 * p, 0);
   par::charge_work(2 * p);
@@ -173,6 +175,7 @@ PimSkipList::RangeAgg PimSkipList::range_count_broadcast_impl(Key lo, Key hi) {
 
 PimSkipList::RangeAgg PimSkipList::range_fetch_add_broadcast_impl(Key lo, Key hi, u64 delta) {
   PIM_CHECK(lo <= hi, "range_fetch_add_broadcast: lo > hi");
+  sim::TraceScope trace(machine_, "range:broadcast");
   const u32 p = machine_.modules();
   machine_.mailbox().assign(2 * p, 0);
   par::charge_work(2 * p);
@@ -193,6 +196,7 @@ PimSkipList::RangeAgg PimSkipList::range_fetch_add_broadcast_impl(Key lo, Key hi
 
 std::vector<std::pair<Key, Value>> PimSkipList::range_collect_broadcast_impl(Key lo, Key hi) {
   PIM_CHECK(lo <= hi, "range_collect_broadcast: lo > hi");
+  sim::TraceScope trace(machine_, "range:collect");
   const u32 p = machine_.modules();
 
   // Pass 1: per-module counts.

@@ -34,6 +34,7 @@
 #include "parallel/scan.hpp"
 #include "parallel/sequence_ops.hpp"
 #include "parallel/sort.hpp"
+#include "sim/trace.hpp"
 
 namespace pim::core {
 
@@ -132,6 +133,7 @@ std::vector<PimSkipList::RangeAgg> PimSkipList::batch_range_aggregate_impl(
   const auto starts = pivot_batch_search(std::span<const Key>(plan.sub_lo), {});
 
   // ---- leaf walks with budget, then broadcast fallback ----
+  sim::TraceScope trace_walk(machine_, "range:walk");
   const u32 logp = log2_at_least1(machine_.modules());
   const u64 budget =
       opts_.walk_budget != 0 ? opts_.walk_budget : std::max<u64>(8, 4ull * logp * logp);
@@ -172,6 +174,7 @@ std::vector<PimSkipList::RangeAgg> PimSkipList::batch_range_aggregate_impl(
   if (!unfinished.empty()) {
     // §5.1 fallback for the large subranges: all broadcasts share one
     // bulk-synchronous round.
+    sim::TraceScope trace_fb(machine_, "range:fallback_bcast");
     const u32 p = machine_.modules();
     machine_.mailbox().assign(unfinished.size() * 2 * p, 0);
     par::charge_work(unfinished.size() * 2 * p);
@@ -288,6 +291,7 @@ void PimSkipList::init_expand_handlers() {
 
 std::vector<PimSkipList::RangeAgg> PimSkipList::batch_range_aggregate_expand_impl(
     std::span<const RangeQuery> queries) {
+  sim::TraceScope trace(machine_, "range:expand");
   const u64 q = queries.size();
   if (q == 0) return {};
   const SubrangePlan plan = plan_subranges(queries);

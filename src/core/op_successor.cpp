@@ -33,6 +33,7 @@
 #include "parallel/fork_join.hpp"
 #include "parallel/semisort.hpp"
 #include "parallel/sort.hpp"
+#include "sim/trace.hpp"
 
 namespace pim::core {
 
@@ -334,7 +335,10 @@ std::vector<PimSkipList::SearchResult> PimSkipList::pivot_batch_search(
                   path_cap[pivots.back()]);
   }
   probe_reset();
-  machine_.run_until_quiescent();
+  {
+    sim::TraceScope trace(machine_, "search:pivot_extremes");
+    machine_.run_until_quiescent();
+  }
   ++pivot_stats_.phases;
   if (opts_.track_contention) {
     pivot_stats_.stage1_phase_max_access.push_back(probe_max());
@@ -367,7 +371,10 @@ std::vector<PimSkipList::SearchResult> PimSkipList::pivot_batch_search(
       next_round.push_back({seg.lo, mid});
       next_round.push_back({mid, seg.hi});
     }
-    if (!launches.empty()) machine_.run_until_quiescent();
+    if (!launches.empty()) {
+      sim::TraceScope trace(machine_, "search:pivot_dnc");
+      machine_.run_until_quiescent();
+    }
     for (const Launch& l : launches) complete_path(l.op, l.parent, l.hint);
     if (!next_round.empty()) {
       ++pivot_stats_.phases;
@@ -397,7 +404,10 @@ std::vector<PimSkipList::SearchResult> PimSkipList::pivot_batch_search(
       }
     }
   }
-  if (!launches.empty()) machine_.run_until_quiescent();
+  if (!launches.empty()) {
+    sim::TraceScope trace(machine_, "search:hinted");
+    machine_.run_until_quiescent();
+  }
   for (const Launch& l : launches) complete_path(l.op, l.parent, l.hint);
   if (opts_.track_contention) {
     pivot_stats_.stage2_max_access = probe_max();
@@ -501,6 +511,7 @@ std::vector<PimSkipList::NearResult> PimSkipList::batch_successor_naive_impl(
   machine_.mailbox().assign(n * kResStride, 0);
   par::charge_work(n * kResStride);
   probe_reset();
+  sim::TraceScope trace(machine_, "search:naive");
   par::charged_region(ceil_log2(n + 2), [&] {
     for (u64 i = 0; i < n; ++i) {
       launch_search(i, keys[i], GPtr::null(), 0, i * kResStride, 0, 0);

@@ -20,6 +20,7 @@
 #include "parallel/fork_join.hpp"
 #include "parallel/semisort.hpp"
 #include "parallel/sort.hpp"
+#include "sim/trace.hpp"
 
 namespace pim::core {
 
@@ -72,15 +73,18 @@ void PimSkipList::batch_upsert_impl(std::span<const std::pair<Key, Value>> ops) 
 
   machine_.mailbox().assign(d, 0);
   par::charge_work(d);
-  par::charged_region(ceil_log2(d + 2), [&] {
-    for (u64 g = 0; g < d; ++g) {
-      const auto& [key, value] = ops[dd.representatives[g]];
-      const u64 args[3] = {g, static_cast<u64>(key), value};
-      machine_.send(placement_.module_of(key, 0), &h_update_, std::span<const u64>(args, 3));
-      par::charge_work(1);
-    }
-  });
-  machine_.run_until_quiescent();
+  {
+    sim::TraceScope trace(machine_, "upsert:update");
+    par::charged_region(ceil_log2(d + 2), [&] {
+      for (u64 g = 0; g < d; ++g) {
+        const auto& [key, value] = ops[dd.representatives[g]];
+        const u64 args[3] = {g, static_cast<u64>(key), value};
+        machine_.send(placement_.module_of(key, 0), &h_update_, std::span<const u64>(args, 3));
+        par::charge_work(1);
+      }
+    });
+    machine_.run_until_quiescent();
+  }
 
   // ---- the insert subset, sorted by key ----
   std::vector<std::pair<Key, Value>> inserts;
@@ -119,24 +123,27 @@ void PimSkipList::batch_upsert_impl(std::span<const std::pair<Key, Value>> ops) 
   machine_.mailbox().assign(lower_total + upper_total, 0);
   par::charge_work(lower_total + upper_total);
 
-  par::charged_region(ceil_log2(b + 2), [&] {
-    for (u64 i = 0; i < b; ++i) {
-      const auto& [key, value] = inserts[i];
-      for (u32 lv = 0; lv <= std::min(height[i], lower_top); ++lv) {
-        const u64 args[4] = {lower_off[i] + lv, static_cast<u64>(key), lv, value};
-        machine_.send(placement_.module_of(key, lv), &h_alloc_lower_,
-                      std::span<const u64>(args, 4));
-        par::charge_work(1);
+  {
+    sim::TraceScope trace(machine_, "upsert:alloc");
+    par::charged_region(ceil_log2(b + 2), [&] {
+      for (u64 i = 0; i < b; ++i) {
+        const auto& [key, value] = inserts[i];
+        for (u32 lv = 0; lv <= std::min(height[i], lower_top); ++lv) {
+          const u64 args[4] = {lower_off[i] + lv, static_cast<u64>(key), lv, value};
+          machine_.send(placement_.module_of(key, lv), &h_alloc_lower_,
+                        std::span<const u64>(args, 4));
+          par::charge_work(1);
+        }
+        for (u32 lv = h_low_; lv <= height[i]; ++lv) {
+          const u64 args[3] = {lower_total + upper_off[i] + (lv - h_low_),
+                               static_cast<u64>(key), lv};
+          machine_.broadcast(&h_alloc_upper_, std::span<const u64>(args, 3));
+          par::charge_work(1);
+        }
       }
-      for (u32 lv = h_low_; lv <= height[i]; ++lv) {
-        const u64 args[3] = {lower_total + upper_off[i] + (lv - h_low_),
-                             static_cast<u64>(key), lv};
-        machine_.broadcast(&h_alloc_upper_, std::span<const u64>(args, 3));
-        par::charge_work(1);
-      }
-    }
-  });
-  machine_.run_until_quiescent();
+    });
+    machine_.run_until_quiescent();
+  }
 
   // Decode allocated towers.
   std::vector<std::vector<GPtr>> tower(b);
@@ -158,30 +165,33 @@ void PimSkipList::batch_upsert_impl(std::span<const std::pair<Key, Value>> ops) 
   }
 
   // ---- raise top level + vertical wiring + leaf metadata ----
-  if (max_height > top_level_) {
-    remote_write(GPtr::replicated(0), kWRaiseTop, max_height);
-  }
-  par::charged_region(ceil_log2(b + 2), [&] {
-    for (u64 i = 0; i < b; ++i) {
-      const GPtr leaf = tower[i][0];
-      for (u32 lv = 1; lv <= height[i]; ++lv) {
-        remote_write(tower[i][lv], kWDown, tower[i][lv - 1].encode());
-        remote_write(tower[i][lv - 1], kWUp, tower[i][lv].encode());
-        par::charge_work(2);
-      }
-      // Leaf tower metadata (each write carries its 1-based level, so
-      // entries land correctly in any arrival order).
-      for (u32 lv = 1; lv <= std::min(height[i], lower_top); ++lv) {
-        remote_write(leaf, kWTowerAppend, tower[i][lv].encode(), lv);
-        par::charge_work(1);
-      }
-      if (height[i] >= h_low_) {
-        remote_write(leaf, kWUpperInfo, tower[i][h_low_].slot, height[i]);
-        par::charge_work(1);
-      }
+  {
+    sim::TraceScope trace(machine_, "upsert:wire_vertical");
+    if (max_height > top_level_) {
+      remote_write(GPtr::replicated(0), kWRaiseTop, max_height);
     }
-  });
-  machine_.run_until_quiescent();
+    par::charged_region(ceil_log2(b + 2), [&] {
+      for (u64 i = 0; i < b; ++i) {
+        const GPtr leaf = tower[i][0];
+        for (u32 lv = 1; lv <= height[i]; ++lv) {
+          remote_write(tower[i][lv], kWDown, tower[i][lv - 1].encode());
+          remote_write(tower[i][lv - 1], kWUp, tower[i][lv].encode());
+          par::charge_work(2);
+        }
+        // Leaf tower metadata (each write carries its 1-based level, so
+        // entries land correctly in any arrival order).
+        for (u32 lv = 1; lv <= std::min(height[i], lower_top); ++lv) {
+          remote_write(leaf, kWTowerAppend, tower[i][lv].encode(), lv);
+          par::charge_work(1);
+        }
+        if (height[i] >= h_low_) {
+          remote_write(leaf, kWUpperInfo, tower[i][h_low_].slot, height[i]);
+          par::charge_work(1);
+        }
+      }
+    });
+    machine_.run_until_quiescent();
+  }
 
   // ---- recorded batched Predecessor (lower part) ----
   std::vector<Key> sorted_keys(b);
@@ -198,6 +208,7 @@ void PimSkipList::batch_upsert_impl(std::span<const std::pair<Key, Value>> ops) 
   // ---- upper-part predecessors for tall towers ----
   std::vector<std::vector<PathEntry>> upper_pred(b);
   {
+    sim::TraceScope trace(machine_, "upsert:upper_preds");
     std::vector<u64> tall = par::pack_index(b, [&](u64 i) { return height[i] >= h_low_; });
     if (!tall.empty()) {
       std::vector<u64> off(tall.size());
@@ -237,6 +248,7 @@ void PimSkipList::batch_upsert_impl(std::span<const std::pair<Key, Value>> ops) 
     GPtr succ;
     Key succ_key;
   };
+  sim::TraceScope trace_splice(machine_, "upsert:splice");
   par::charged_region(2 * ceil_log2(b + 2), [&] {
     for (u32 lv = 0; lv <= max_height; ++lv) {
       std::vector<Item> row;  // ascending key order (inserts is sorted)

@@ -24,6 +24,7 @@
 #include <unordered_set>
 
 #include "core/pim_skiplist.hpp"
+#include "sim/trace.hpp"
 
 namespace pim::core {
 
@@ -166,6 +167,7 @@ void PimSkipList::recover(ModuleId m) {
   // the cost-model traffic and let the next ensure_healthy() deal with any
   // newly-crashed module.
   try {
+    sim::TraceScope trace(machine_, "recover:restore_stream");
     const ModuleId survivor = (m + 1) % machine_.modules();
     const u64 upper_live = upper_.live_nodes();
     for (u64 i = 0; i < upper_live; ++i) {
@@ -211,6 +213,7 @@ void PimSkipList::rebuild_from_logical() {
   // Meter the rebuild as one message per key (shipping the payload back
   // into the machine). Tolerant to fresh faults, as in recover().
   try {
+    sim::TraceScope trace(machine_, "recover:rebuild_stream");
     u64 seq = 0;
     for (const auto& [key, value] : checkpoint_) {
       machine_.send(placement_.module_of(key, 0), &h_restore_,

@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "core/pim_skiplist.hpp"
+#include "sim/trace.hpp"
 
 namespace pim::core {
 
@@ -184,6 +185,7 @@ void PimSkipList::scrub_span_once(ModuleId first, u32 count, ScrubReport& report
   report.restarts = restarts;
 
   // Phase A — metered digest exchange.
+  sim::TraceScope trace_digest(machine_, "scrub:digest");
   auto& mbox = machine_.mailbox();
   mbox.assign(P + count, 0);
   machine_.broadcast(&h_scrub_upper_digest_, {0});
@@ -274,6 +276,7 @@ void PimSkipList::scrub_span_once(ModuleId first, u32 count, ScrubReport& report
   // Phase D — metered repair traffic: each re-streamed replica slot is a
   // fetch → forward through a clean survivor; each rewritten leaf value
   // is one message into the repaired module.
+  sim::TraceScope trace_repair(machine_, "scrub:repair");
   u64 seq = 0;
   for (ModuleId m = 0; m < P; ++m) {
     // An escalated module's replica was already re-streamed by recover().

@@ -7,6 +7,7 @@
 #include "core/pim_skiplist.hpp"
 #include "parallel/fork_join.hpp"
 #include "parallel/semisort.hpp"
+#include "sim/trace.hpp"
 
 namespace pim::core {
 
@@ -388,6 +389,7 @@ std::vector<PimSkipList::GetResult> PimSkipList::batch_get_impl(std::span<const 
   const u64 n = keys.size();
   std::vector<GetResult> results(n);
   if (n == 0) return results;
+  sim::TraceScope trace(machine_, "get:dedup+route");
 
   // CPU: semisort-based dedup (expected O(n) work).
   const auto dd = opts_.disable_dedup ? identity_groups(n)
@@ -433,6 +435,7 @@ std::vector<u8> PimSkipList::batch_update_impl(std::span<const std::pair<Key, Va
   const u64 n = ops.size();
   std::vector<u8> found(n, 0);
   if (n == 0) return found;
+  sim::TraceScope trace(machine_, "update:dedup+route");
 
   std::vector<Key> keys(n);
   par::parallel_for(n, [&](u64 i) {

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "parallel/thread_pool.hpp"
+#include "sim/trace.hpp"
 
 namespace pim::sim {
 
@@ -661,7 +662,15 @@ void Machine::run_round() {
   io_time_ += h;
   ++rounds_;
   if (budget_armed_) ++budget_rounds_used_;
-  mailbox_highwater_ = std::max<u64>(mailbox_highwater_, mailbox_.size());
+  const u64 mb = mailbox_.size();
+  mailbox_highwater_ = std::max<u64>(mailbox_highwater_, mb);
+  // Barrier log for span-relative shared_mem (see mailbox_highwater_since):
+  // append only when the size changed, so the log stays proportional to
+  // the number of mailbox resizes, not rounds.
+  if (mailbox_marks_.empty() ? mb != 0 : mailbox_marks_.back().words != mb) {
+    mailbox_marks_.push_back(MailboxMark{rounds_, mb});
+  }
+  if (tracer_ != nullptr) record_trace(h);
   if (options_.track_write_contention) {
     u32 max_writes = 0;
     for (const auto& [slot, count] : round_slot_writes_) max_writes = std::max(max_writes, count);
@@ -714,6 +723,36 @@ u64 Machine::run_until_quiescent() {
   return executed;
 }
 
+void Machine::set_tracer(Tracer* tracer) {
+  tracer_ = tracer;
+  if (tracer_ != nullptr) tracer_->on_attach(snapshot());
+}
+
+void Machine::record_trace(u64 h) {
+  const u32 p = modules();
+  std::vector<u64> in(p), out(p), work(p);
+  for (ModuleId m = 0; m < p; ++m) {
+    in[m] = per_module_[m].round_in;
+    out[m] = per_module_[m].round_out;
+    work[m] = per_module_[m].work;
+  }
+  tracer_->record(rounds_ - 1, h, in, out, work, fault_.counters());
+}
+
+u64 Machine::mailbox_highwater_since(u64 since_rounds) const {
+  if (rounds_ <= since_rounds) return 0;  // no barrier in the span
+  // Barrier b's mailbox size is the last mark with barrier <= b (0 if
+  // none). The span covers barriers (since_rounds, rounds_]; its first
+  // barrier is since_rounds + 1, and every mark after that is inside it.
+  const u64 first = since_rounds + 1;
+  auto it = std::upper_bound(
+      mailbox_marks_.begin(), mailbox_marks_.end(), first,
+      [](u64 b, const MailboxMark& mk) { return b < mk.barrier; });
+  u64 hw = it == mailbox_marks_.begin() ? 0 : std::prev(it)->words;
+  for (; it != mailbox_marks_.end(); ++it) hw = std::max(hw, it->words);
+  return hw;
+}
+
 Snapshot Machine::snapshot() const {
   Snapshot s;
   s.io_time = io_time_;
@@ -733,9 +772,20 @@ MachineDelta Machine::delta(const Snapshot& since) const {
   d.messages = messages_ - since.messages;
   d.write_contention = write_contention_ - since.write_contention;
   d.sync_cost = d.rounds * log2_at_least1(modules());
+  d.shared_mem = mailbox_highwater_since(since.rounds);
   PIM_CHECK(since.module_work.size() == per_module_.size(), "snapshot from another machine");
   for (ModuleId m = 0; m < modules(); ++m) {
-    const u64 w = per_module_[m].work - since.module_work[m];
+    const u64 cur = per_module_[m].work;
+    const u64 base = since.module_work[m];
+    // Work counters are cumulative and must never run backwards — crash
+    // zeroes only accounted space, and recovery rebuilds structure state,
+    // not machine counters. A regression here would make the unsigned
+    // subtraction wrap and poison pim_time, so fail loudly instead.
+    PIM_CHECK(cur >= base,
+              "module work counter regressed across a measured span (module " +
+                  std::to_string(m) + ": " + std::to_string(base) + " -> " +
+                  std::to_string(cur) + ")");
+    const u64 w = cur - base;
     d.pim_time = std::max(d.pim_time, w);
     d.pim_work_total += w;
   }

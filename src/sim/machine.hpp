@@ -50,6 +50,7 @@
 namespace pim::sim {
 
 class Machine;
+class Tracer;  // sim/trace.hpp — round-level tracing, default off
 
 /// Execution-order policy for module processing within a round.
 enum class ExecOrder {
@@ -331,15 +332,32 @@ class Machine {
   u64 rounds() const { return rounds_; }
   u64 messages() const { return messages_; }
   u64 write_contention() const { return write_contention_; }
-  /// Largest mailbox (CPU shared memory) size observed at any barrier
-  /// since the last reset — the measured "M needed" of an operation
-  /// (Table 1's last column). measure() resets it automatically.
+  /// Largest mailbox (CPU shared memory) size observed at any barrier over
+  /// the machine's lifetime — the cumulative "M needed" (Table 1's last
+  /// column). Span-relative attribution comes from delta(): the barrier
+  /// log makes MachineDelta::shared_mem the high-water of exactly the
+  /// barriers between the two snapshots, so nested or back-to-back
+  /// measured spans cannot clobber each other.
   u64 mailbox_highwater() const { return mailbox_highwater_; }
-  void reset_mailbox_highwater() { mailbox_highwater_ = 0; }
+  /// High-water of the mailbox over barriers (since_rounds, rounds()] —
+  /// what delta() reports as shared_mem for a span that started at
+  /// rounds() == since_rounds. 0 if the span contains no barrier.
+  u64 mailbox_highwater_since(u64 since_rounds) const;
   u64 module_work(ModuleId m) const { return per_module_[m].work; }
   u64 module_space(ModuleId m) const { return per_module_[m].space_words; }
   /// h of the most recently completed round (diagnostics/tests).
   u64 last_round_h() const { return last_round_h_; }
+
+  // ---- round-level tracing (sim/trace.hpp) ----
+
+  /// Attaches a tracer: every subsequent barrier appends one RoundRecord
+  /// (per-module in/out/work deltas, h_r, fault events, active phase).
+  /// Baselines the tracer's cumulative-counter view at the current state.
+  /// set_tracer(nullptr) detaches. The tracer must outlive its attachment.
+  /// With no tracer attached the per-barrier cost is one branch on a null
+  /// pointer and all metrics are bit-identical to an untraced machine.
+  void set_tracer(Tracer* tracer);
+  Tracer* tracer() const { return tracer_; }
 
   /// Construction/testing escape hatch: a context whose charges and
   /// messages are NOT counted. Used only for offline bulk-build and test
@@ -399,6 +417,9 @@ class Machine {
   void run_hedging_prepass();
   /// Throws kDeadlineExceeded if an armed budget is exhausted.
   void check_budget();
+  /// Out-of-line tracer notification (keeps run_round's hot path to a
+  /// null-pointer branch when tracing is off).
+  void record_trace(u64 h);
   [[noreturn]] void throw_lost();
   [[noreturn]] void throw_drain_stuck(u64 executed);
 
@@ -444,6 +465,17 @@ class Machine {
   u64 write_contention_ = 0;
   u64 mailbox_highwater_ = 0;
   u64 last_round_h_ = 0;
+  /// Barrier log of mailbox sizes: one entry per barrier at which the size
+  /// differed from the previous entry (compressed run-length form keyed by
+  /// the 1-based barrier index == rounds_ after the increment). Lets
+  /// delta() reconstruct the exact high-water of any span without a
+  /// machine-global reset.
+  struct MailboxMark {
+    u64 barrier;
+    u64 words;
+  };
+  std::vector<MailboxMark> mailbox_marks_;
+  Tracer* tracer_ = nullptr;
   std::unordered_map<u64, u32> round_slot_writes_;  // queue-write tracking
   bool offline_ = false;
   bool in_round_ = false;

@@ -5,16 +5,20 @@
 #include "parallel/cost_model.hpp"
 #include "sim/machine.hpp"
 #include "sim/metrics.hpp"
+#include "sim/trace.hpp"
 
 namespace pim::sim {
 
 /// Runs `fn` and returns its cost. All CPU-side charges made by fn (on
 /// this thread and through pim::par primitives) and all machine activity
-/// are attributed to the returned OpMetrics.
+/// are attributed to the returned OpMetrics. Spans are purely
+/// snapshot-relative (shared_mem comes from the machine's barrier log in
+/// delta()), so measures nest and repeat without clobbering each other.
+/// When a Tracer is attached, the span's per-phase breakdown is attached
+/// as OpMetrics::phases.
 template <typename Fn>
 OpMetrics measure(Machine& machine, Fn&& fn) {
   const Snapshot before = machine.snapshot();
-  machine.reset_mailbox_highwater();
   par::CostCounters cpu;
   {
     par::CostScope scope(cpu);
@@ -22,7 +26,7 @@ OpMetrics measure(Machine& machine, Fn&& fn) {
   }
   OpMetrics m;
   m.machine = machine.delta(before);
-  m.machine.shared_mem = machine.mailbox_highwater();
+  if (Tracer* t = machine.tracer()) m.phases = t->phase_breakdown(before.rounds);
   m.cpu_work = cpu.work;
   m.cpu_depth = cpu.depth;
   return m;

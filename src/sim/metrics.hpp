@@ -13,6 +13,7 @@
 // machine delta in OpMetrics by the operation drivers.
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "common/types.hpp"
@@ -120,11 +121,23 @@ struct MachineDelta {
   FaultCounters faults;       // fault events during the span (0 when disabled)
 };
 
+/// Cost of one labeled phase of an operation, aggregated over its rounds
+/// by the tracer (see sim/trace.hpp). Empty unless a Tracer is attached.
+struct PhaseCost {
+  std::string name;
+  u64 rounds = 0;
+  u64 io_time = 0;   // Σ h_r over the phase's rounds
+  u64 pim_time = 0;  // Σ_r (max-module work in round r) — upper bound on phase PIM time
+};
+
 /// Full cost of one batch operation: machine delta + CPU work/depth.
 struct OpMetrics {
   MachineDelta machine;
   u64 cpu_work = 0;
   u64 cpu_depth = 0;
+  /// Per-phase rounds/io/pim breakdown of the span, in phase order.
+  /// Populated by measure() only when a Tracer is attached to the machine.
+  std::vector<PhaseCost> phases;
 
   OpMetrics& operator+=(const OpMetrics& o) {
     machine.io_time += o.machine.io_time;
@@ -135,8 +148,24 @@ struct OpMetrics {
     machine.sync_cost += o.machine.sync_cost;
     machine.write_contention += o.machine.write_contention;
     machine.faults += o.machine.faults;
+    // shared_mem is a high-water mark, not additive: accumulated spans
+    // report the worst single span.
+    if (o.machine.shared_mem > machine.shared_mem) machine.shared_mem = o.machine.shared_mem;
     cpu_work += o.cpu_work;
     cpu_depth += o.cpu_depth;
+    for (const auto& op : o.phases) {
+      bool merged = false;
+      for (auto& p : phases) {
+        if (p.name == op.name) {
+          p.rounds += op.rounds;
+          p.io_time += op.io_time;
+          p.pim_time += op.pim_time;
+          merged = true;
+          break;
+        }
+      }
+      if (!merged) phases.push_back(op);
+    }
     return *this;
   }
 };

@@ -1,0 +1,321 @@
+#include "sim/trace.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace pim::sim {
+
+namespace {
+
+/// Nonzero fault counters as JSON members, e.g. `"drops":2,"crashes":1`.
+/// Shared by both exporters so the field names stay in one place.
+void append_fault_fields(std::string& s, const FaultCounters& f) {
+  const std::pair<const char*, u64> fields[] = {
+      {"drops", f.drops},
+      {"dups", f.dups},
+      {"stalls", f.stalls},
+      {"crashes", f.crashes},
+      {"retries", f.retries},
+      {"lost", f.lost},
+      {"recoveries", f.recoveries},
+      {"payload_corruptions", f.payload_corruptions},
+      {"checksum_rejects", f.checksum_rejects},
+      {"mem_corruptions", f.mem_corruptions},
+      {"sheds", f.sheds},
+      {"requeued", f.requeued},
+      {"hedges", f.hedges},
+      {"hedge_wins", f.hedge_wins},
+      {"hedge_waste", f.hedge_waste},
+      {"breaker_trips", f.breaker_trips},
+  };
+  bool first = true;
+  for (const auto& [name, value] : fields) {
+    if (value == 0) continue;
+    if (!first) s += ',';
+    first = false;
+    s += '"';
+    s += name;
+    s += "\":";
+    s += std::to_string(value);
+  }
+}
+
+bool any_fault(const FaultCounters& f) { return !(f == FaultCounters{}); }
+
+void append_u64_array(std::string& s, const std::vector<u64>& v) {
+  s += '[';
+  for (size_t i = 0; i < v.size(); ++i) {
+    if (i != 0) s += ',';
+    s += std::to_string(v[i]);
+  }
+  s += ']';
+}
+
+/// Phase labels come from in-repo string literals, but escape anyway so
+/// the exporters emit valid JSON no matter what a caller passes.
+void append_json_string(std::string& s, const std::string& in) {
+  s += '"';
+  for (char c : in) {
+    if (c == '"' || c == '\\') {
+      s += '\\';
+      s += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      s += ' ';
+    } else {
+      s += c;
+    }
+  }
+  s += '"';
+}
+
+}  // namespace
+
+Tracer::Tracer(u64 capacity) : capacity_(capacity == 0 ? 1 : capacity) {
+  buf_.resize(capacity_);
+  phase_names_.emplace_back();  // id 0 = unlabeled
+}
+
+void Tracer::on_attach(const Snapshot& at) {
+  prev_work_ = at.module_work;
+  prev_faults_ = at.faults;
+}
+
+void Tracer::record(u64 round, u64 h, std::span<const u64> in, std::span<const u64> out,
+                    std::span<const u64> cumulative_work,
+                    const FaultCounters& cumulative_faults) {
+  const u32 p = static_cast<u32>(in.size());
+  if (prev_work_.size() != p) prev_work_.assign(p, 0);  // attach baseline mismatch guard
+  RoundRecord& rec = buf_[total_ % capacity_];
+  ++total_;
+  rec.round = round;
+  rec.h = h;
+  rec.phase = current_phase();
+  rec.in.assign(in.begin(), in.end());
+  rec.out.assign(out.begin(), out.end());
+  rec.work.resize(p);
+  for (u32 m = 0; m < p; ++m) {
+    rec.work[m] = cumulative_work[m] - prev_work_[m];
+    prev_work_[m] = cumulative_work[m];
+  }
+  rec.faults = cumulative_faults - prev_faults_;
+  prev_faults_ = cumulative_faults;
+}
+
+void Tracer::push_phase(std::string_view label) { phase_stack_.push_back(intern(label)); }
+
+void Tracer::pop_phase() {
+  PIM_CHECK(!phase_stack_.empty(), "pop_phase with no active TraceScope");
+  phase_stack_.pop_back();
+}
+
+u32 Tracer::intern(std::string_view label) {
+  auto it = phase_ids_.find(std::string(label));
+  if (it != phase_ids_.end()) return it->second;
+  const u32 id = static_cast<u32>(phase_names_.size());
+  phase_names_.emplace_back(label);
+  phase_ids_.emplace(phase_names_.back(), id);
+  return id;
+}
+
+void Tracer::clear() {
+  total_ = 0;
+  prev_work_.clear();
+  prev_faults_ = FaultCounters{};
+}
+
+TraceStats Tracer::stats(u64 since_round) const {
+  TraceStats s;
+  const u64 n = size();
+  for (u64 i = 0; i < n; ++i) {
+    const RoundRecord& r = at(i);
+    if (r.round < since_round) continue;
+    ++s.rounds;
+    s.io_time += r.h;
+    const u32 bucket = static_cast<u32>(std::bit_width(r.h));
+    if (s.h_hist.size() <= bucket) s.h_hist.resize(bucket + 1, 0);
+    ++s.h_hist[bucket];
+    if (s.module_load.size() < r.in.size()) {
+      s.module_load.resize(r.in.size(), 0);
+      s.module_work.resize(r.in.size(), 0);
+    }
+    for (size_t m = 0; m < r.in.size(); ++m) {
+      s.module_load[m] += r.in[m] + r.out[m];
+      s.module_work[m] += r.work[m];
+    }
+  }
+  if (!s.module_load.empty()) {
+    double sum = 0.0;
+    for (u64 l : s.module_load) {
+      s.load_max = std::max(s.load_max, l);
+      sum += static_cast<double>(l);
+    }
+    s.load_mean = sum / static_cast<double>(s.module_load.size());
+    if (s.load_mean > 0.0) {
+      double var = 0.0;
+      for (u64 l : s.module_load) {
+        const double d = static_cast<double>(l) - s.load_mean;
+        var += d * d;
+      }
+      var /= static_cast<double>(s.module_load.size());
+      s.load_cov = std::sqrt(var) / s.load_mean;
+    }
+  }
+  s.phases = phase_breakdown(since_round);
+  return s;
+}
+
+std::vector<PhaseCost> Tracer::phase_breakdown(u64 since_round) const {
+  std::vector<PhaseCost> out;
+  std::vector<size_t> by_id(phase_names_.size(), SIZE_MAX);
+  const u64 n = size();
+  for (u64 i = 0; i < n; ++i) {
+    const RoundRecord& r = at(i);
+    if (r.round < since_round) continue;
+    if (by_id.size() <= r.phase) by_id.resize(r.phase + 1, SIZE_MAX);
+    if (by_id[r.phase] == SIZE_MAX) {
+      by_id[r.phase] = out.size();
+      out.push_back(PhaseCost{r.phase == 0 ? "(unlabeled)" : phase_names_[r.phase], 0, 0, 0});
+    }
+    PhaseCost& pc = out[by_id[r.phase]];
+    ++pc.rounds;
+    pc.io_time += r.h;
+    u64 wmax = 0;
+    for (u64 w : r.work) wmax = std::max(wmax, w);
+    pc.pim_time += wmax;
+  }
+  return out;
+}
+
+void Tracer::export_jsonl(std::ostream& os) const {
+  std::string line;
+  const u64 n = size();
+  for (u64 i = 0; i < n; ++i) {
+    const RoundRecord& r = at(i);
+    line.clear();
+    line += "{\"round\":";
+    line += std::to_string(r.round);
+    line += ",\"h\":";
+    line += std::to_string(r.h);
+    line += ",\"phase\":";
+    append_json_string(line, r.phase == 0 ? std::string() : phase_names_[r.phase]);
+    line += ",\"in\":";
+    append_u64_array(line, r.in);
+    line += ",\"out\":";
+    append_u64_array(line, r.out);
+    line += ",\"work\":";
+    append_u64_array(line, r.work);
+    line += ",\"faults\":{";
+    append_fault_fields(line, r.faults);
+    line += "}}\n";
+    os << line;
+  }
+}
+
+void Tracer::export_chrome(std::ostream& os) const {
+  // 1 round = 1 µs. pid 0: phase slices + h_r counter; pid 1: per-module
+  // message/work counters. Metadata events name the tracks.
+  std::string out;
+  out += "{\"traceEvents\":[";
+  out +=
+      "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,"
+      "\"args\":{\"name\":\"phases\"}},";
+  out +=
+      "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+      "\"args\":{\"name\":\"modules\"}}";
+  const u64 n = size();
+  // Phase slices: one complete ("X") event per maximal run of rounds with
+  // the same phase id (gaps in round ids break a run too, so detached
+  // re-measures do not fuse).
+  u64 i = 0;
+  while (i < n) {
+    u64 j = i + 1;
+    while (j < n && at(j).phase == at(i).phase && at(j).round == at(j - 1).round + 1) ++j;
+    const RoundRecord& first = at(i);
+    out += ",{\"name\":";
+    append_json_string(out, first.phase == 0 ? "(unlabeled)" : phase_names_[first.phase]);
+    out += ",\"ph\":\"X\",\"ts\":";
+    out += std::to_string(first.round);
+    out += ",\"dur\":";
+    out += std::to_string(at(j - 1).round - first.round + 1);
+    out += ",\"pid\":0,\"tid\":0}";
+    i = j;
+  }
+  for (i = 0; i < n; ++i) {
+    const RoundRecord& r = at(i);
+    const std::string ts = std::to_string(r.round);
+    out += ",{\"name\":\"h_r\",\"ph\":\"C\",\"ts\":";
+    out += ts;
+    out += ",\"pid\":0,\"tid\":0,\"args\":{\"h\":";
+    out += std::to_string(r.h);
+    out += "}}";
+    for (size_t m = 0; m < r.in.size(); ++m) {
+      out += ",{\"name\":\"m";
+      out += std::to_string(m);
+      out += "\",\"ph\":\"C\",\"ts\":";
+      out += ts;
+      out += ",\"pid\":1,\"tid\":0,\"args\":{\"msgs\":";
+      out += std::to_string(r.in[m] + r.out[m]);
+      out += ",\"work\":";
+      out += std::to_string(r.work[m]);
+      out += "}}";
+    }
+    if (any_fault(r.faults)) {
+      out += ",{\"name\":\"faults\",\"ph\":\"i\",\"s\":\"p\",\"ts\":";
+      out += ts;
+      out += ",\"pid\":0,\"tid\":0,\"args\":{";
+      append_fault_fields(out, r.faults);
+      out += "}}";
+    }
+    os << out;
+    out.clear();
+  }
+  os << out << "]}\n";
+}
+
+bool Tracer::export_file(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) return false;
+  if (path.size() >= 6 && path.compare(path.size() - 6, 6, ".jsonl") == 0) {
+    export_jsonl(os);
+  } else {
+    export_chrome(os);
+  }
+  return os.good();
+}
+
+std::string Tracer::dump_worst_rounds(u64 since_round, u64 k) const {
+  std::vector<u64> idx;
+  const u64 n = size();
+  for (u64 i = 0; i < n; ++i) {
+    if (at(i).round >= since_round) idx.push_back(i);
+  }
+  std::sort(idx.begin(), idx.end(), [this](u64 a, u64 b) { return at(a).h > at(b).h; });
+  if (idx.size() > k) idx.resize(k);
+  std::ostringstream os;
+  os << "worst rounds by h (of " << n << " traced):\n";
+  for (u64 i : idx) {
+    const RoundRecord& r = at(i);
+    os << "  round " << r.round << " h=" << r.h << " phase="
+       << (r.phase == 0 ? "(unlabeled)" : phase_names_[r.phase]) << " | top modules:";
+    // The three most loaded modules of the round.
+    std::vector<size_t> ms(r.in.size());
+    for (size_t m = 0; m < ms.size(); ++m) ms[m] = m;
+    std::sort(ms.begin(), ms.end(), [&r](size_t a, size_t b) {
+      return r.in[a] + r.out[a] > r.in[b] + r.out[b];
+    });
+    for (size_t j = 0; j < ms.size() && j < 3; ++j) {
+      const size_t m = ms[j];
+      os << " m" << m << "(in=" << r.in[m] << ",out=" << r.out[m] << ",w=" << r.work[m] << ")";
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace pim::sim

@@ -1,0 +1,179 @@
+// Round-level tracing (the observability layer behind the paper's
+// per-round claims).
+//
+// The model's costs are *per-round* quantities — IO time is Σ_r h_r with
+// h_r the max per-module message load of round r (§2.1) — but MachineDelta
+// only reports span aggregates, so a skew-induced imbalance inside a batch
+// is invisible. The Tracer records one RoundRecord per bulk-synchronous
+// round: round id, h_r, per-module in/out message counts, per-module work
+// delta, fault events that fired, and the active phase label. On top of
+// the raw records it provides
+//   * phase annotation: operation drivers wrap their phases in
+//     TraceScope(machine, "upper_search"); every round executed while the
+//     scope is alive carries that label;
+//   * span statistics: h_r histogram, per-module load max/mean/CoV, and a
+//     per-phase rounds/io/pim breakdown (surfaced through measure() as
+//     OpMetrics::phases);
+//   * exporters: JSONL (one record per line, machine-readable) and Chrome
+//     trace-event JSON (loadable in Perfetto / chrome://tracing, with a
+//     phase track plus per-module counter tracks).
+//
+// Always available, default off: a Machine with no tracer attached pays
+// exactly one branch on a null pointer per barrier, and metrics are
+// bit-identical to a build without tracing. Attach with
+// machine.set_tracer(&tracer); storage is a fixed-capacity ring buffer
+// (oldest rounds overwritten, dropped() counts them) so a tracer can stay
+// attached to a long-running machine.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/machine.hpp"
+#include "sim/metrics.hpp"
+
+namespace pim::sim {
+
+/// One bulk-synchronous round as the tracer saw it.
+struct RoundRecord {
+  u64 round = 0;  // 0-based round index (machine rounds() was round+1 at capture)
+  u64 h = 0;      // h_r: max over modules of (in + out) this round
+  u32 phase = 0;  // interned phase label (0 = unlabeled)
+  std::vector<u64> in;    // messages delivered to module m this round
+  std::vector<u64> out;   // messages sent from module m this round
+  std::vector<u64> work;  // local work charged on module m this round
+  FaultCounters faults;   // fault events that fired during this round
+};
+
+/// Aggregate statistics over a traced span (see Tracer::stats).
+struct TraceStats {
+  u64 rounds = 0;
+  u64 io_time = 0;  // Σ_r h_r over the span (identity: == MachineDelta::io_time)
+  /// h_hist[b] counts rounds with bit_width(h_r) == b, i.e. bucket b holds
+  /// h in [2^(b-1), 2^b - 1]; bucket 0 is h == 0 (possible only for
+  /// rounds that executed stalled/empty modules).
+  std::vector<u64> h_hist;
+  /// Total per-module message load (in + out) over the span.
+  std::vector<u64> module_load;
+  /// Total per-module work over the span.
+  std::vector<u64> module_work;
+  u64 load_max = 0;
+  double load_mean = 0.0;
+  /// Coefficient of variation of module_load: stddev/mean (0 when mean is
+  /// 0). The imbalance factor — O(1/sqrt(P))-ish for balanced batches,
+  /// approaching sqrt(P-1) when one module carries everything.
+  double load_cov = 0.0;
+  std::vector<PhaseCost> phases;
+};
+
+/// Fixed-capacity ring buffer of RoundRecords plus the phase-label stack.
+/// Attach to a machine with machine.set_tracer(&tracer); detach with
+/// set_tracer(nullptr) (or just destroy the machine first — the tracer
+/// never dereferences the machine after attach).
+class Tracer {
+ public:
+  static constexpr u64 kDefaultCapacity = 1u << 14;
+  explicit Tracer(u64 capacity = kDefaultCapacity);
+
+  // ---- machine hooks (called by Machine; not for direct use) ----
+
+  /// Baselines the cumulative counters so the first record's deltas are
+  /// correct. Called by Machine::set_tracer.
+  void on_attach(const Snapshot& at);
+  /// Appends one round. `work` and `faults` are the machine's *cumulative*
+  /// counters; the tracer stores per-round deltas.
+  void record(u64 round, u64 h, std::span<const u64> in, std::span<const u64> out,
+              std::span<const u64> cumulative_work, const FaultCounters& cumulative_faults);
+
+  // ---- phase annotation (used by TraceScope) ----
+
+  /// Pushes a phase label; rounds recorded until the matching pop_phase
+  /// carry it. Nested scopes: the innermost label wins.
+  void push_phase(std::string_view label);
+  void pop_phase();
+  /// Interned id of the active phase (0 = unlabeled).
+  u32 current_phase() const { return phase_stack_.empty() ? 0 : phase_stack_.back(); }
+  const std::string& phase_name(u32 id) const { return phase_names_[id]; }
+
+  // ---- record access (oldest first) ----
+
+  u64 size() const { return total_ < capacity_ ? total_ : capacity_; }
+  /// Rounds overwritten by ring wrap-around (identities over a span only
+  /// hold while this stays 0 for that span).
+  u64 dropped() const { return total_ - size(); }
+  u64 capacity() const { return capacity_; }
+  const RoundRecord& at(u64 i) const { return buf_[(total_ - size() + i) % capacity_]; }
+  void clear();
+
+  // ---- span statistics ----
+
+  /// Stats over retained records with record.round >= since_round.
+  TraceStats stats(u64 since_round = 0) const;
+  /// Per-phase breakdown over retained records with round >= since_round,
+  /// in order of first appearance. PhaseCost::pim_time is Σ over the
+  /// phase's rounds of the per-round max-module work — an upper bound on
+  /// (and usually close to) the phase's true PIM time.
+  std::vector<PhaseCost> phase_breakdown(u64 since_round = 0) const;
+
+  // ---- exporters ----
+
+  /// One JSON object per line:
+  ///   {"round":N,"h":N,"phase":"name","in":[..],"out":[..],"work":[..],
+  ///    "faults":{"drops":N,...}}   (faults holds only nonzero counters)
+  void export_jsonl(std::ostream& os) const;
+  /// Chrome trace-event format (Perfetto / chrome://tracing). Timebase:
+  /// 1 round = 1 µs. pid 0 carries the phase track ("X" slices over
+  /// maximal same-phase runs) plus an h_r counter; pid 1 carries one
+  /// counter track per module (msgs, work); fault rounds get instant
+  /// events.
+  void export_chrome(std::ostream& os) const;
+  /// Writes to `path`, choosing the format by suffix: ".jsonl" → JSONL,
+  /// anything else → Chrome trace JSON. Returns false if the file cannot
+  /// be opened.
+  bool export_file(const std::string& path) const;
+
+  /// Human-readable dump of the k highest-h rounds at or after
+  /// since_round — attached to balance-audit failures.
+  std::string dump_worst_rounds(u64 since_round, u64 k) const;
+
+ private:
+  u32 intern(std::string_view label);
+
+  u64 capacity_;
+  std::vector<RoundRecord> buf_;
+  u64 total_ = 0;  // records ever written
+
+  std::vector<u32> phase_stack_;
+  std::vector<std::string> phase_names_;  // id -> label; [0] = ""
+  std::unordered_map<std::string, u32> phase_ids_;
+
+  // Baselines for cumulative -> per-round delta conversion.
+  std::vector<u64> prev_work_;
+  FaultCounters prev_faults_;
+};
+
+/// RAII phase label. Free to construct when no tracer is attached (a null
+/// check), so operation drivers annotate unconditionally:
+///
+///   sim::TraceScope ts(machine_, "upsert:alloc");
+class TraceScope {
+ public:
+  TraceScope(Machine& machine, std::string_view label) : tracer_(machine.tracer()) {
+    if (tracer_ != nullptr) tracer_->push_phase(label);
+  }
+  ~TraceScope() {
+    if (tracer_ != nullptr) tracer_->pop_phase();
+  }
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  Tracer* tracer_;
+};
+
+}  // namespace pim::sim

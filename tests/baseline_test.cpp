@@ -42,7 +42,9 @@ TEST_P(BaselineStores, RangePartitionPointOps) {
     Value v;
     const bool found = ref.get(keys[i], &v);
     ASSERT_EQ(results[i].found, found) << keys[i];
-    if (found) EXPECT_EQ(results[i].value, v);
+    if (found) {
+      EXPECT_EQ(results[i].value, v);
+    }
   }
 
   // Deletes.
@@ -76,7 +78,9 @@ TEST_P(BaselineStores, RangePartitionSuccessorCrossesPartitions) {
     Key expect;
     const bool found = ref.successor(keys[i], &expect);
     ASSERT_EQ(succ[i].found, found) << keys[i];
-    if (found) EXPECT_EQ(succ[i].key, expect);
+    if (found) {
+      EXPECT_EQ(succ[i].key, expect);
+    }
   }
 }
 
@@ -185,7 +189,9 @@ TEST_P(BaselineStores, HashPartitionSuccessorByBroadcast) {
     Key expect;
     const bool found = ref.successor(keys[i], &expect);
     ASSERT_EQ(succ[i].found, found) << keys[i];
-    if (found) EXPECT_EQ(succ[i].key, expect);
+    if (found) {
+      EXPECT_EQ(succ[i].key, expect);
+    }
   }
 }
 

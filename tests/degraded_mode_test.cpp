@@ -62,7 +62,9 @@ TEST(DegradedMode, PartialGetServesExactlyTheLiveHomedKeys) {
       ASSERT_TRUE(got[i].status.ok()) << got[i].status.to_string();
       const auto it = ref.find(keys[i]);
       ASSERT_EQ(got[i].found, it != ref.end()) << "key " << keys[i];
-      if (got[i].found) ASSERT_EQ(got[i].value, it->second);
+      if (got[i].found) {
+        ASSERT_EQ(got[i].value, it->second);
+      }
     }
   }
   EXPECT_GT(unavailable, 0u);  // 1/8 of the keyspace homes on the dead module
@@ -203,7 +205,9 @@ TEST(DegradedMode, HealthyPartialOpsDegenerateToNormalBatches) {
       ASSERT_TRUE(g.status.ok());
       const auto it = ref.find(keys[i]);
       ASSERT_EQ(g.found, it != ref.end());
-      if (g.found) ASSERT_EQ(g.value, it->second);
+      if (g.found) {
+        ASSERT_EQ(g.value, it->second);
+      }
       ++i;
     }
 

@@ -5,6 +5,7 @@
 
 #include "core/pim_skiplist.hpp"
 #include "sim/measure.hpp"
+#include "sim/trace.hpp"
 #include "test_util.hpp"
 
 namespace pim::core {
@@ -125,6 +126,113 @@ TEST(MetricsContract, PimBalanceHoldsOnUniformSuccessor) {
       (static_cast<double>(m.machine.pim_work_total) / p);
   EXPECT_LT(io_balance, 8.0);
   EXPECT_LT(pim_balance, 8.0);
+}
+
+// The trace is the per-round decomposition of the span aggregates, so the
+// identities must be exact — under every executor, since all three are
+// metric-identical by contract.
+TEST(MetricsContract, TraceIdentitiesHoldUnderEveryExecutor) {
+  for (const sim::ExecOrder order :
+       {sim::ExecOrder::kSequential, sim::ExecOrder::kShuffled, sim::ExecOrder::kParallel}) {
+    const u32 p = 16;
+    sim::MachineOptions opts;
+    opts.order = order;
+    sim::Machine machine(p, opts);
+    sim::Tracer tracer;
+    machine.set_tracer(&tracer);
+    PimSkipList list(machine);
+    rnd::Xoshiro256ss rng(7);
+    const auto pairs = test::make_sorted_pairs(2000, rng);
+    list.build(pairs);
+
+    const u64 since = machine.rounds();
+    const auto keys = test::random_keys(400, rng);
+    const auto m = sim::measure(machine, [&] { (void)list.batch_successor(keys); });
+    ASSERT_EQ(tracer.dropped(), 0u);
+
+    // Identity 1: Σ_r h_r over the span's records == the span's io_time.
+    // Identity 2: one record per round.
+    u64 sum_h = 0, count = 0;
+    for (u64 i = 0; i < tracer.size(); ++i) {
+      const sim::RoundRecord& r = tracer.at(i);
+      if (r.round < since) continue;
+      u64 max_load = 0;
+      for (u32 mod = 0; mod < p; ++mod) {
+        max_load = std::max(max_load, r.in[mod] + r.out[mod]);
+      }
+      EXPECT_EQ(r.h, max_load) << "h_r is not the max per-module load";
+      sum_h += r.h;
+      ++count;
+    }
+    EXPECT_EQ(sum_h, m.machine.io_time);
+    EXPECT_EQ(count, m.machine.rounds);
+    // Identity 3: sync cost is rounds * log P by definition.
+    EXPECT_EQ(m.machine.sync_cost, m.machine.rounds * log2_at_least1(p));
+    // stats() computes the same identities internally.
+    const sim::TraceStats st = tracer.stats(since);
+    EXPECT_EQ(st.io_time, m.machine.io_time);
+    EXPECT_EQ(st.rounds, m.machine.rounds);
+    // The span is phase-annotated: every phase's rounds/io sum to the whole.
+    u64 ph_rounds = 0, ph_io = 0;
+    for (const sim::PhaseCost& ph : m.phases) {
+      ph_rounds += ph.rounds;
+      ph_io += ph.io_time;
+    }
+    EXPECT_EQ(ph_rounds, m.machine.rounds);
+    EXPECT_EQ(ph_io, m.machine.io_time);
+  }
+}
+
+// Regression (nested spans): measure() used to reset the machine-global
+// mailbox high-water mark, so an inner measure() wiped the outer span's
+// M before the outer delta() read it.
+TEST(MetricsContract, NestedMeasureKeepsOuterHighwater) {
+  sim::Machine machine(8);
+  PimSkipList list(machine);
+  rnd::Xoshiro256ss rng(5);
+  const auto pairs = test::make_sorted_pairs(1000, rng);
+  list.build(pairs);
+
+  const auto keys = test::random_keys(4000, rng);
+  sim::OpMetrics inner;
+  const auto outer = sim::measure(machine, [&] {
+    (void)list.batch_successor(keys);  // big: M ~ thousands of words
+    inner = sim::measure(machine, [&] {
+      (void)list.batch_get(std::vector<Key>{pairs[0].first});
+    });
+  });
+  // The inner span sees only its own (tiny) footprint...
+  EXPECT_LE(inner.machine.shared_mem, 16u);
+  // ...and the outer span still sees the big op's high-water mark.
+  EXPECT_GE(outer.machine.shared_mem, 1000u);
+}
+
+// Regression (work monotonicity): delta() subtracts per-module work
+// counters assuming they never move backwards; crash + recover inside a
+// measured span must preserve that (recovery rebuilds module state but
+// never resets the work counter).
+TEST(MetricsContract, RecoverInsideMeasuredSpanKeepsWorkMonotone) {
+  sim::Machine machine(8);
+  PimSkipList list(machine);
+  rnd::Xoshiro256ss rng(11);
+  const auto pairs = test::make_sorted_pairs(300, rng);
+  list.build(pairs);
+
+  sim::FaultPlan plan;
+  plan.enabled = true;
+  plan.seed = 5;
+  machine.set_fault_plan(plan);
+  (void)list.batch_get(std::vector<Key>{pairs[0].first});  // establish checkpoint
+
+  const auto m = sim::measure(machine, [&] {
+    machine.crash_module(3);
+    list.recover(3);
+  });
+  // delta() did not throw (the PIM_CHECK monotonicity guard passed) and
+  // the recovery work is attributed to the span.
+  EXPECT_GT(m.machine.pim_work_total, 0u);
+  EXPECT_EQ(machine.down_count(), 0u);
+  list.check_invariants();
 }
 
 // Golden regression: with fault injection disabled (the default), the

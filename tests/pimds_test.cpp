@@ -59,7 +59,9 @@ TEST(DeamortizedHash, DifferentialAgainstUnorderedMap) {
         const auto hit = table.find(k);
         const auto it = ref.find(k);
         ASSERT_EQ(hit.found, it != ref.end()) << "key " << k;
-        if (hit.found) EXPECT_EQ(hit.value, it->second);
+        if (hit.found) {
+          EXPECT_EQ(hit.value, it->second);
+        }
       }
     }
   }
@@ -172,14 +174,18 @@ TEST(LocalIndex, DifferentialAgainstStdMap) {
         const auto hit = index.find(k);
         const auto it = ref.find(k);
         ASSERT_EQ(hit.found, it != ref.end());
-        if (hit.found) EXPECT_EQ(hit.value, it->second);
+        if (hit.found) {
+          EXPECT_EQ(hit.value, it->second);
+        }
         break;
       }
       default: {
         const auto succ = index.successor(k);
         const auto it = ref.lower_bound(k);
         ASSERT_EQ(succ.found, it != ref.end());
-        if (succ.found) EXPECT_EQ(succ.key, it->first);
+        if (succ.found) {
+          EXPECT_EQ(succ.key, it->first);
+        }
       }
     }
   }

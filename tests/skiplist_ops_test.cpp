@@ -35,10 +35,14 @@ TEST_P(SkipListOps, BatchSuccessorMatchesReference) {
     Key expect;
     const bool has_succ = ref.successor(keys[i], &expect);
     EXPECT_EQ(succ[i].found, has_succ) << "succ(" << keys[i] << ")";
-    if (has_succ) EXPECT_EQ(succ[i].key, expect) << "succ(" << keys[i] << ")";
+    if (has_succ) {
+      EXPECT_EQ(succ[i].key, expect) << "succ(" << keys[i] << ")";
+    }
     const bool has_pred = ref.predecessor(keys[i], &expect);
     EXPECT_EQ(pred[i].found, has_pred) << "pred(" << keys[i] << ")";
-    if (has_pred) EXPECT_EQ(pred[i].key, expect) << "pred(" << keys[i] << ")";
+    if (has_pred) {
+      EXPECT_EQ(pred[i].key, expect) << "pred(" << keys[i] << ")";
+    }
   }
   list.check_invariants();
 }
@@ -76,7 +80,9 @@ TEST_P(SkipListOps, NaiveSuccessorAgreesWithBalanced) {
   const auto naive = list.batch_successor_naive(keys);
   for (u64 i = 0; i < keys.size(); ++i) {
     EXPECT_EQ(naive[i].found, balanced[i].found);
-    if (naive[i].found) EXPECT_EQ(naive[i].key, balanced[i].key);
+    if (naive[i].found) {
+      EXPECT_EQ(naive[i].key, balanced[i].key);
+    }
   }
 }
 
@@ -254,7 +260,9 @@ TEST_P(SkipListOps, MixedWorkloadManyBatches) {
       Key expect;
       const bool has = ref.successor(keys[i], &expect);
       ASSERT_EQ(succ[i].found, has) << "succ(" << keys[i] << ") in round " << round;
-      if (has) EXPECT_EQ(succ[i].key, expect);
+      if (has) {
+        EXPECT_EQ(succ[i].key, expect);
+      }
     }
   }
 }

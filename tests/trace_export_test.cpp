@@ -1,0 +1,228 @@
+// Trace exporter smoke tests: the JSONL export must re-parse against the
+// documented schema (one record per line, fixed field order, per-module
+// arrays of length P), and the Chrome trace-event export must be a
+// structurally sound trace (metadata, phase slices, counter tracks).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/pim_skiplist.hpp"
+#include "sim/measure.hpp"
+#include "sim/trace.hpp"
+#include "test_util.hpp"
+
+namespace pim::sim {
+namespace {
+
+// Minimal cursor-based parser for the fixed-order JSONL schema; each
+// helper consumes one expected token and fails the test on mismatch.
+struct Cursor {
+  const std::string& s;
+  u64 pos = 0;
+
+  bool lit(const char* expect) {
+    const u64 n = std::string_view(expect).size();
+    if (s.compare(pos, n, expect) != 0) return false;
+    pos += n;
+    return true;
+  }
+  u64 number() {
+    u64 v = 0;
+    EXPECT_TRUE(pos < s.size() && s[pos] >= '0' && s[pos] <= '9') << "expected digit @" << pos;
+    while (pos < s.size() && s[pos] >= '0' && s[pos] <= '9') {
+      v = v * 10 + static_cast<u64>(s[pos] - '0');
+      ++pos;
+    }
+    return v;
+  }
+  std::string string_value() {
+    EXPECT_TRUE(lit("\"")) << "expected string @" << pos;
+    std::string out;
+    while (pos < s.size() && s[pos] != '"') {
+      if (s[pos] == '\\') ++pos;
+      out.push_back(s[pos]);
+      ++pos;
+    }
+    EXPECT_TRUE(lit("\"")) << "unterminated string";
+    return out;
+  }
+  std::vector<u64> array() {
+    std::vector<u64> out;
+    EXPECT_TRUE(lit("[")) << "expected array @" << pos;
+    if (!lit("]")) {
+      while (true) {
+        out.push_back(number());
+        if (lit("]")) break;
+        EXPECT_TRUE(lit(",")) << "malformed array @" << pos;
+      }
+    }
+    return out;
+  }
+};
+
+struct ParsedRecord {
+  u64 round = 0;
+  u64 h = 0;
+  std::string phase;
+  std::vector<u64> in, out, work;
+};
+
+ParsedRecord parse_line(const std::string& line) {
+  ParsedRecord r;
+  Cursor c{line};
+  EXPECT_TRUE(c.lit("{\"round\":")) << line;
+  r.round = c.number();
+  EXPECT_TRUE(c.lit(",\"h\":")) << line;
+  r.h = c.number();
+  EXPECT_TRUE(c.lit(",\"phase\":")) << line;
+  r.phase = c.string_value();
+  EXPECT_TRUE(c.lit(",\"in\":")) << line;
+  r.in = c.array();
+  EXPECT_TRUE(c.lit(",\"out\":")) << line;
+  r.out = c.array();
+  EXPECT_TRUE(c.lit(",\"work\":")) << line;
+  r.work = c.array();
+  // Optional trailing faults object, then the closing brace.
+  if (!c.lit("}")) {
+    EXPECT_TRUE(c.lit(",\"faults\":{")) << line;
+    EXPECT_NE(line.back(), ',') << line;
+    EXPECT_EQ(line.substr(line.size() - 2), "}}") << line;
+  }
+  return r;
+}
+
+struct Traced {
+  Machine machine{8};
+  Tracer tracer;
+  core::PimSkipList list{machine};
+
+  explicit Traced() {
+    machine.set_tracer(&tracer);
+    rnd::Xoshiro256ss rng(13);
+    const auto pairs = test::make_sorted_pairs(600, rng);
+    list.build(pairs);
+    const auto keys = test::random_keys(200, rng);
+    (void)list.batch_successor(keys);
+    std::vector<std::pair<Key, Value>> ups;
+    for (int i = 0; i < 40; ++i) ups.push_back({rng.below(1u << 30) + 5, rng()});
+    list.batch_upsert(ups);
+  }
+};
+
+TEST(TraceExport, JsonlRoundTripsAgainstSchema) {
+  Traced t;
+  ASSERT_GT(t.tracer.size(), 0u);
+  ASSERT_EQ(t.tracer.dropped(), 0u);
+
+  std::ostringstream os;
+  t.tracer.export_jsonl(os);
+  std::istringstream is(os.str());
+
+  std::string line;
+  u64 n = 0;
+  u64 prev_round = 0;
+  while (std::getline(is, line)) {
+    const ParsedRecord r = parse_line(line);
+    const RoundRecord& want = t.tracer.at(n);
+    EXPECT_EQ(r.round, want.round);
+    EXPECT_EQ(r.h, want.h);
+    EXPECT_EQ(r.phase, t.tracer.phase_name(want.phase));
+    EXPECT_EQ(r.in, want.in);
+    EXPECT_EQ(r.out, want.out);
+    EXPECT_EQ(r.work, want.work);
+    ASSERT_EQ(r.in.size(), 8u) << "per-module arrays must have P entries";
+    ASSERT_EQ(r.out.size(), 8u);
+    ASSERT_EQ(r.work.size(), 8u);
+    u64 max_load = 0;
+    for (u64 m = 0; m < 8; ++m) max_load = std::max(max_load, r.in[m] + r.out[m]);
+    EXPECT_EQ(r.h, max_load);
+    if (n > 0) {
+      EXPECT_GT(r.round, prev_round) << "rounds must be strictly increasing";
+    }
+    prev_round = r.round;
+    ++n;
+  }
+  EXPECT_EQ(n, t.tracer.size()) << "one JSONL line per retained record";
+  // The annotated phases from the ops above must appear in the export.
+  EXPECT_NE(os.str().find("\"search:"), std::string::npos);
+  EXPECT_NE(os.str().find("\"upsert:"), std::string::npos);
+}
+
+TEST(TraceExport, ExportFilePicksFormatBySuffix) {
+  Traced t;
+  const std::string dir = ::testing::TempDir();
+  const std::string jsonl_path = dir + "/pim_trace_test.jsonl";
+  const std::string chrome_path = dir + "/pim_trace_test.json";
+  ASSERT_TRUE(t.tracer.export_file(jsonl_path));
+  ASSERT_TRUE(t.tracer.export_file(chrome_path));
+
+  std::ifstream jf(jsonl_path);
+  std::string first_line;
+  ASSERT_TRUE(std::getline(jf, first_line));
+  (void)parse_line(first_line);  // schema-validates
+
+  std::ifstream cf(chrome_path);
+  std::stringstream buf;
+  buf << cf.rdbuf();
+  const std::string chrome = buf.str();
+  EXPECT_EQ(chrome.rfind("{\"traceEvents\":[", 0), 0u);
+  EXPECT_EQ(chrome.substr(chrome.size() - 3), "]}\n");
+
+  std::remove(jsonl_path.c_str());
+  std::remove(chrome_path.c_str());
+}
+
+TEST(TraceExport, ChromeTraceHasPhaseAndCounterTracks) {
+  Traced t;
+  std::ostringstream os;
+  t.tracer.export_chrome(os);
+  const std::string s = os.str();
+  // Metadata names the two processes.
+  EXPECT_NE(s.find("\"ph\":\"M\""), std::string::npos);
+  // Phase slices on pid 0, h_r counter, per-module counters on pid 1.
+  EXPECT_NE(s.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(s.find("\"name\":\"h_r\""), std::string::npos);
+  EXPECT_NE(s.find("\"ph\":\"C\""), std::string::npos);
+  // Braces balance (cheap structural sanity for the whole document).
+  i64 depth = 0;
+  bool in_string = false;
+  for (u64 i = 0; i < s.size(); ++i) {
+    const char ch = s[i];
+    if (in_string) {
+      if (ch == '\\') ++i;
+      else if (ch == '"') in_string = false;
+      continue;
+    }
+    if (ch == '"') in_string = true;
+    if (ch == '{' || ch == '[') ++depth;
+    if (ch == '}' || ch == ']') --depth;
+    EXPECT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST(TraceExport, RingBufferDropsOldestAndCountsThem) {
+  Machine machine(4);
+  Tracer tracer(8);  // tiny capacity to force wrap-around
+  machine.set_tracer(&tracer);
+  core::PimSkipList list(machine);
+  rnd::Xoshiro256ss rng(3);
+  const auto pairs = test::make_sorted_pairs(200, rng);
+  list.build(pairs);
+  const auto keys = test::random_keys(100, rng);
+  (void)list.batch_successor(keys);
+
+  EXPECT_EQ(tracer.size(), 8u);
+  EXPECT_GT(tracer.dropped(), 0u);
+  // Retained records are the most recent ones, still strictly ordered.
+  for (u64 i = 1; i < tracer.size(); ++i) {
+    EXPECT_GT(tracer.at(i).round, tracer.at(i - 1).round);
+  }
+  EXPECT_EQ(tracer.at(tracer.size() - 1).round + 1, machine.rounds());
+}
+
+}  // namespace
+}  // namespace pim::sim

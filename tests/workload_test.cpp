@@ -15,7 +15,9 @@ TEST(Workload, UniformDatasetSortedUniqueInDomain) {
   for (u64 i = 0; i < data.pairs.size(); ++i) {
     EXPECT_GE(data.pairs[i].first, 100);
     EXPECT_LE(data.pairs[i].first, 200'000);
-    if (i > 0) EXPECT_LT(data.pairs[i - 1].first, data.pairs[i].first);
+    if (i > 0) {
+      EXPECT_LT(data.pairs[i - 1].first, data.pairs[i].first);
+    }
   }
 }
 
