@@ -153,7 +153,7 @@ std::vector<u8> PimSkipList::batch_delete_impl(std::span<const Key> keys) {
       entries[g] =
           found[g] ? 1 + mail[g * kProbeStride + 2] + mail[g * kProbeStride + 3] : 0;
       par::charge_work(1);
-    });
+    }, /*grain=*/256);
   }
   std::vector<u64> report_off(entries);
   const u64 total_entries = par::scan_exclusive_sum(std::span<u64>(report_off));
@@ -265,7 +265,7 @@ std::vector<u8> PimSkipList::batch_delete_impl(std::span<const Key> keys) {
   par::parallel_for(n, [&](u64 i) {
     out[i] = found[dd.group_of[i]];
     par::charge_work(1);
-  });
+  }, /*grain=*/256);
   return out;
 }
 

@@ -237,7 +237,7 @@ std::vector<std::pair<Key, Value>> PimSkipList::range_collect_broadcast_impl(Key
     par::parallel_for(out.size(), [&](u64 i) {
       out[i] = {static_cast<Key>(mail[2 * i]), mail[2 * i + 1]};
       par::charge_work(1);
-    });
+    }, /*grain=*/256);
   }
   // The paper labels results with in-range indexes via a tree prefix sum;
   // we return them key-sorted with a CPU-side sort instead (DESIGN.md §2).

@@ -93,7 +93,7 @@ SubrangePlan plan_subranges(std::span<const PimSkipList::RangeQuery> queries) {
     plan.sub_lo[j] = breakpoints[covered[j]];
     plan.sub_hi[j] = breakpoints[covered[j] + 1] - 1;
     par::charge_work(1);
-  });
+  }, /*grain=*/256);
   return plan;
 }
 
@@ -114,7 +114,7 @@ std::vector<PimSkipList::RangeAgg> combine(const SubrangePlan& plan,
     out[i].count = count_prefix[plan.q_last[i]] - count_prefix[plan.q_first[i]];
     out[i].sum = sum_prefix[plan.q_last[i]] - sum_prefix[plan.q_first[i]];
     par::charge_work(1);
-  });
+  }, /*grain=*/256);
   return out;
 }
 
@@ -316,7 +316,7 @@ std::vector<PimSkipList::RangeAgg> PimSkipList::batch_range_aggregate_expand_imp
       sub_agg[j].count = mail[2 * j];
       sub_agg[j].sum = mail[2 * j + 1];
       par::charge_work(1);
-    });
+    }, /*grain=*/256);
   }
   return combine(plan, sub_agg, q);
 }

@@ -207,14 +207,14 @@ std::vector<PimSkipList::SearchResult> PimSkipList::pivot_batch_search(
     // time by the handler).
     path_cap[i] = recorded ? 6ull * (rm + 2) + 24 : 0;
     par::charge_work(1);
-  });
+  }, /*grain=*/256);
 
   // Mailbox layout: [results | paths]; path offsets by prefix sum.
   std::vector<u64> path_off(n);
   par::parallel_for(n, [&](u64 i) {
     path_off[i] = path_cap[i] * kPathStride;
     par::charge_work(1);
-  });
+  }, /*grain=*/256);
   const u64 path_words = par::scan_exclusive_sum(std::span<u64>(path_off));
   const u64 path_base = n * kResStride;
   machine_.mailbox().assign(path_base + path_words, 0);
@@ -418,7 +418,7 @@ std::vector<PimSkipList::SearchResult> PimSkipList::pivot_batch_search(
     results[i] = read_result(res_slot(i));
     PIM_CHECK(results[i].done, "batch search left an operation unexecuted");
     par::charge_work(1);
-  });
+  }, /*grain=*/128);
 
   // Copy the recorded per-level predecessor entries out of shared memory
   // (the mailbox is reused by the caller's next phase).
@@ -436,7 +436,7 @@ std::vector<PimSkipList::SearchResult> PimSkipList::pivot_batch_search(
       for (u32 lv = 0; lv <= want; ++lv) {
         PIM_CHECK(!dst[lv].node.is_null(), "missing lower predecessor entry");
       }
-    });
+    }, /*grain=*/64);
   }
   return results;
 }
@@ -457,14 +457,14 @@ std::vector<PimSkipList::NearResult> PimSkipList::batch_near(std::span<const Key
   par::parallel_for(d, [&](u64 g) {
     order[g] = {keys[dd.representatives[g]], g};
     par::charge_work(1);
-  });
+  }, /*grain=*/256);
   par::parallel_sort(order);
 
   std::vector<Key> sorted_keys(d);
   par::parallel_for(d, [&](u64 j) {
     sorted_keys[j] = order[j].first;
     par::charge_work(1);
-  });
+  }, /*grain=*/256);
 
   const auto found = pivot_batch_search(std::span<const Key>(sorted_keys), {});
 
@@ -493,11 +493,11 @@ std::vector<PimSkipList::NearResult> PimSkipList::batch_near(std::span<const Key
     }
     per_group[order[j].second] = nr;
     par::charge_work(1);
-  });
+  }, /*grain=*/256);
   par::parallel_for(n, [&](u64 i) {
     out[i] = per_group[dd.group_of[i]];
     par::charge_work(1);
-  });
+  }, /*grain=*/256);
   return out;
 }
 
@@ -533,7 +533,7 @@ std::vector<PimSkipList::NearResult> PimSkipList::batch_successor_naive_impl(
       out[i].node = r.succ;
     }
     par::charge_work(1);
-  });
+  }, /*grain=*/128);
   return out;
 }
 

@@ -67,7 +67,7 @@ void PimSkipList::batch_upsert_impl(std::span<const std::pair<Key, Value>> ops) 
     keys[i] = ops[i].first;
     PIM_CHECK(keys[i] != kMinKey && keys[i] != kMaxKey, "reserved key");
     par::charge_work(1);
-  });
+  }, /*grain=*/256);
   const auto dd = par::dedup_keys(std::span<const Key>(keys), rnd::KeyedHash(rng_()));
   const u64 d = dd.representatives.size();
 
@@ -95,7 +95,7 @@ void PimSkipList::batch_upsert_impl(std::span<const std::pair<Key, Value>> ops) 
     par::parallel_for(missing.size(), [&](u64 j) {
       inserts[j] = ops[dd.representatives[missing[j]]];
       par::charge_work(1);
-    });
+    }, /*grain=*/256);
   }
   const u64 b = inserts.size();
   if (b == 0) return;
@@ -117,7 +117,7 @@ void PimSkipList::batch_upsert_impl(std::span<const std::pair<Key, Value>> ops) 
     lower_off[i] = std::min(height[i], lower_top) + 1;
     upper_off[i] = height[i] >= h_low_ ? height[i] - h_low_ + 1 : 0;
     par::charge_work(1);
-  });
+  }, /*grain=*/256);
   const u64 lower_total = par::scan_exclusive_sum(std::span<u64>(lower_off));
   const u64 upper_total = par::scan_exclusive_sum(std::span<u64>(upper_off));
   machine_.mailbox().assign(lower_total + upper_total, 0);
@@ -161,7 +161,7 @@ void PimSkipList::batch_upsert_impl(std::span<const std::pair<Key, Value>> ops) 
             GPtr::replicated(static_cast<Slot>(mail[lower_total + upper_off[i] + (lv - h_low_)]));
       }
       par::charge_work(tower[i].size());
-    });
+    }, /*grain=*/64);
   }
 
   // ---- raise top level + vertical wiring + leaf metadata ----
@@ -198,7 +198,7 @@ void PimSkipList::batch_upsert_impl(std::span<const std::pair<Key, Value>> ops) 
   par::parallel_for(b, [&](u64 i) {
     sorted_keys[i] = inserts[i].first;
     par::charge_work(1);
-  });
+  }, /*grain=*/256);
   // lower_pred[i][lv] is the level-lv predecessor entry of key i, valid
   // for lv <= min(height[i], h_low-1).
   std::vector<std::vector<PathEntry>> lower_pred;
@@ -215,7 +215,7 @@ void PimSkipList::batch_upsert_impl(std::span<const std::pair<Key, Value>> ops) 
       par::parallel_for(tall.size(), [&](u64 t) {
         off[t] = (height[tall[t]] - h_low_ + 1) * kPathStride;
         par::charge_work(1);
-      });
+      }, /*grain=*/256);
       const u64 total = par::scan_exclusive_sum(std::span<u64>(off));
       machine_.mailbox().assign(total, 0);
       par::charge_work(total);
@@ -236,7 +236,7 @@ void PimSkipList::batch_upsert_impl(std::span<const std::pair<Key, Value>> ops) 
           PIM_CHECK(!upper_pred[i][lv - h_low_].node.is_null(), "missing upper predecessor");
           par::charge_work(1);
         }
-      });
+      }, /*grain=*/64);
     }
   }
 

@@ -379,7 +379,7 @@ par::DedupResult identity_groups(u64 n) {
     dd.representatives[i] = i;
     dd.group_of[i] = i;
     par::charge_work(1);
-  });
+  }, /*grain=*/256);
   return dd;
 }
 
@@ -427,7 +427,7 @@ std::vector<PimSkipList::GetResult> PimSkipList::batch_get_impl(std::span<const 
     results[i].found = mail[base] != 0;
     results[i].value = mail[base + 1];
     par::charge_work(1);
-  });
+  }, /*grain=*/256);
   return results;
 }
 
@@ -441,7 +441,7 @@ std::vector<u8> PimSkipList::batch_update_impl(std::span<const std::pair<Key, Va
   par::parallel_for(n, [&](u64 i) {
     keys[i] = ops[i].first;
     par::charge_work(1);
-  });
+  }, /*grain=*/256);
   const auto dd = opts_.disable_dedup
                       ? identity_groups(n)
                       : par::dedup_keys(std::span<const Key>(keys), rnd::KeyedHash(rng_()));
@@ -468,7 +468,7 @@ std::vector<u8> PimSkipList::batch_update_impl(std::span<const std::pair<Key, Va
   par::parallel_for(n, [&](u64 i) {
     found[i] = static_cast<u8>(mail[dd.group_of[i]]);
     par::charge_work(1);
-  });
+  }, /*grain=*/256);
   return found;
 }
 

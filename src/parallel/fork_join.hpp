@@ -50,6 +50,24 @@ void parallel_for(u64 n, Body&& body, u64 grain = 1) {
   ThreadPool& pool = ThreadPool::instance();
   const u64 want = std::max<u64>(grain, ceil_div(n, u64{4} * pool.lanes()));
   const u32 chunks = static_cast<u32>(ceil_div(n, want));
+  if (chunks == 1) {
+    // Single chunk: run inline without the pool handoff, the per-chunk
+    // cost array, or the type-erased callable. Callers with tiny bodies
+    // pass a grain that lands here for small n — the accounting below is
+    // chunking-independent, so the numbers are identical either way.
+    detail::ChunkCost cc;
+    for (u64 i = 0; i < n; ++i) {
+      CostCounters iter;
+      {
+        CostScope scope(iter);
+        body(i);
+      }
+      cc.work += iter.work;
+      cc.max_iter_depth = std::max(cc.max_iter_depth, iter.depth);
+    }
+    parent.add_region(n + cc.work, ceil_log2(n) + cc.max_iter_depth);
+    return;
+  }
   std::vector<detail::ChunkCost> costs(chunks);
 
   const std::function<void(u32)> run_chunk = [&](u32 c) {
@@ -78,6 +96,13 @@ void parallel_for(u64 n, Body&& body, u64 grain = 1) {
 }
 
 /// Runs the given callables as parallel tasks; joins all of them.
+///
+/// Execution is SERIAL BY DESIGN: the callables run one after another on
+/// the calling thread, while the accounting is fork-join (depth = 1 + max
+/// child depth). Invoke arms are coarse — each typically contains a
+/// parallel_for that already saturates the pool — so spawning them on
+/// workers would only add handoff latency and a nested-region inline
+/// fallback. Do not "fix" this by dispatching to run_batch.
 template <typename... Fns>
 void parallel_invoke(Fns&&... fns) {
   constexpr u32 kCount = sizeof...(Fns);

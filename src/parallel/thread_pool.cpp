@@ -1,5 +1,6 @@
 #include "parallel/thread_pool.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdlib>
 
@@ -42,10 +43,21 @@ ThreadPool::~ThreadPool() {
 
 bool ThreadPool::on_worker() { return tls_on_worker; }
 
-void ThreadPool::run_batch(const std::function<void(u32)>& task, u32 count) {
+void ThreadPool::drain_batch(Batch& b) {
+  const u32 grain = b.grain;
+  for (u32 base = b.next.fetch_add(grain); base < b.count; base = b.next.fetch_add(grain)) {
+    const u32 end = b.count - base < grain ? b.count : base + grain;
+    for (u32 i = base; i < end; ++i) (*b.task)(i);
+    b.done.fetch_add(end - base, std::memory_order_acq_rel);
+  }
+}
+
+void ThreadPool::run_batch(const std::function<void(u32)>& task, u32 count, u32 grain) {
   if (count == 0) return;
-  // Reentrant (nested) regions and pools with no workers run inline.
-  if (threads_.empty() || on_worker()) {
+  if (grain == 0) grain = 1;
+  // Reentrant (nested) regions, pools with no workers, and batches that
+  // fit in a single chunk run inline — no wake-up, no handoff.
+  if (threads_.empty() || on_worker() || count <= grain) {
     for (u32 i = 0; i < count; ++i) task(i);
     return;
   }
@@ -53,6 +65,9 @@ void ThreadPool::run_batch(const std::function<void(u32)>& task, u32 count) {
   Batch batch;
   batch.task = &task;
   batch.count = count;
+  // Coarsen tiny chunks: cap the total number of claims at ~8 per lane so
+  // huge batches of cheap bodies are not serialized on the claim counter.
+  batch.grain = std::max(grain, count / (8 * lanes()));
   {
     std::lock_guard lock(mu_);
     batch_ = &batch;
@@ -61,10 +76,7 @@ void ThreadPool::run_batch(const std::function<void(u32)>& task, u32 count) {
   cv_work_.notify_all();
 
   // The calling thread participates.
-  for (u32 i = batch.next.fetch_add(1); i < count; i = batch.next.fetch_add(1)) {
-    (*batch.task)(i);
-    batch.done.fetch_add(1, std::memory_order_acq_rel);
-  }
+  drain_batch(batch);
 
   // Wait until every task completed AND every worker has released its
   // reference to `batch` (it is a stack object).
@@ -89,10 +101,7 @@ void ThreadPool::worker_loop() {
       seen_epoch = batch_epoch_;
       batch->refs.fetch_add(1, std::memory_order_acq_rel);
     }
-    for (u32 i = batch->next.fetch_add(1); i < batch->count; i = batch->next.fetch_add(1)) {
-      (*batch->task)(i);
-      batch->done.fetch_add(1, std::memory_order_acq_rel);
-    }
+    drain_batch(*batch);
     batch->refs.fetch_sub(1, std::memory_order_acq_rel);
     cv_done_.notify_one();
   }

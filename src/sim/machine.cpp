@@ -101,6 +101,8 @@ Machine::Machine(u32 modules, MachineOptions options)
       last_crash_round_(modules, FaultInjector::kNeverCrashed),
       strikes_(modules, 0),
       suspect_(modules, 0),
+      active_flag_(modules, 0),
+      touched_flag_(modules, 0),
       options_(options),
       shuffle_rng_(options.shuffle_seed) {
   PIM_CHECK(modules >= 1, "machine needs at least one module");
@@ -111,6 +113,11 @@ namespace {
 [[noreturn]] void invalid_argument(std::string msg) {
   throw StatusError(Status(StatusCode::kInvalidArgument, std::move(msg)));
 }
+
+// Below this many touched modules a kParallel round runs on the caller's
+// thread via the sequential direct-write path (bit-identical by the merge
+// contract): the pool wake-up costs more than the round.
+constexpr u64 kMinParallelModules = 4;
 
 }  // namespace
 
@@ -163,7 +170,8 @@ void Machine::crash_module(ModuleId m) {
   // layer still holds each send: re-offer them as if the delivery had been
   // dropped, so the loss surfaces as kModuleDown (or redelivers after a
   // revive) instead of vanishing and wedging the batch.
-  for (const Task& t : pm.queue) {
+  for (u64 i = 0; i < pm.queue.size(); ++i) {
+    const Task& t = pm.queue.at(i);
     ++fc.drops;
     if (fault_.plan().max_send_attempts <= 1) {
       ++fc.lost;
@@ -179,8 +187,8 @@ void Machine::crash_module(ModuleId m) {
       retry_.push_back(r);
     }
   }
+  queued_total_ -= pm.queue.size();
   pm.queue.clear();
-  recount_queued();
   // Other in-flight messages (pending_, retry_) are CPU-side state and
   // survive; their deliveries will count as drops and exhaust to
   // kModuleDown.
@@ -216,10 +224,13 @@ void Machine::corrupt_module_memory(ModuleId m) {
 
 void Machine::abort_pending() {
   PIM_CHECK(!in_round_, "abort_pending: cannot abort mid-round");
-  for (ModuleId m = 0; m < modules(); ++m) {
+  for (ModuleId m : active_) {
+    // Only active modules can hold pending deliveries or queued tasks.
     pending_[m].clear();
     per_module_[m].queue.clear();
+    active_flag_[m] = 0;
   }
+  active_.clear();
   pending_total_ = 0;
   queued_total_ = 0;
   retry_.clear();
@@ -276,15 +287,10 @@ void Machine::note_lost_for_breaker(ModuleId m) {
   }
 }
 
-void Machine::recount_queued() {
-  u64 q = 0;
-  for (const auto& pm : per_module_) q += pm.queue.size();
-  queued_total_ = q;
-}
-
 void Machine::enqueue_pending(ModuleId m, Task task) {
   pending_[m].push_back(task);
   ++pending_total_;
+  mark_active(m);
 }
 
 void Machine::count_out(ModuleId m, u64 n) {
@@ -394,10 +400,17 @@ ModuleId Machine::pick_hedge_target(ModuleId avoid, u64 hedge_id) {
 }
 
 void Machine::run_hedging_prepass() {
+  // Only touched modules can hold queued work (see run_round's active-set
+  // invariant); touched_ is sorted, so claims still resolve in module-id
+  // order — single-threaded, identical under every executor. Mid-queue
+  // removal is an order-preserving compaction on the ring (one linear
+  // pass, no node churn).
   auto& fc = fault_.counters();
-  for (ModuleId m = 0; m < modules(); ++m) {
+  for (ModuleId m : touched_) {
     if (down_[m]) continue;
     auto& q = per_module_[m].queue;
+    if (q.empty()) continue;
+    u64 kept = 0;
     if (stalled_[m] != 0) {
       // Straggler: first discard tasks whose hedge already won elsewhere —
       // this is the latency payoff; the drain no longer waits out the
@@ -405,42 +418,40 @@ void Machine::run_hedging_prepass() {
       // threshold, fire one copy at a live replica (delivered next round
       // through the normal faulty delivery path — a hedge can itself be
       // dropped or corrupted).
-      for (auto it = q.begin(); it != q.end();) {
-        if (it->hedge_id != 0 && hedge_done_.contains(it->hedge_id)) {
-          it = q.erase(it);
-          continue;
+      for (u64 i = 0; i < q.size(); ++i) {
+        Task& task = q.at(i);
+        if (task.hedge_id != 0 && hedge_done_.contains(task.hedge_id)) continue;
+        if (task.hedge_id != 0 && task.hedge_fired == 0 &&
+            ++task.stall_age >= options_.hedge_stall_rounds) {
+          task.hedge_fired = 1;
+          ++fc.hedges;
+          Task copy = task;
+          copy.is_hedge = 1;
+          copy.hedge_fired = 0;
+          copy.stall_age = 0;
+          enqueue_pending(pick_hedge_target(m, task.hedge_id), copy);
         }
-        Task& task = *it;
-        ++it;
-        if (task.hedge_id == 0 || task.hedge_fired != 0) continue;
-        if (++task.stall_age < options_.hedge_stall_rounds) continue;
-        task.hedge_fired = 1;
-        ++fc.hedges;
-        Task copy = task;
-        copy.is_hedge = 1;
-        copy.hedge_fired = 0;
-        copy.stall_age = 0;
-        enqueue_pending(pick_hedge_target(m, task.hedge_id), copy);
+        if (kept != i) q.at(kept) = task;
+        ++kept;
       }
     } else {
-      // About to execute: resolve original-vs-hedge races in module-id
-      // order (single-threaded here, so the winner is identical under
-      // every executor). First claim wins; the loser is dequeued unrun.
-      for (auto it = q.begin(); it != q.end();) {
-        if (it->hedge_id == 0) {
-          ++it;
-          continue;
+      // About to execute: resolve original-vs-hedge races. First claim
+      // wins; the loser is dequeued unrun.
+      for (u64 i = 0; i < q.size(); ++i) {
+        Task& task = q.at(i);
+        if (task.hedge_id != 0) {
+          if (hedge_done_.contains(task.hedge_id)) {
+            if (task.is_hedge != 0) ++fc.hedge_waste;
+            continue;
+          }
+          hedge_done_.insert(task.hedge_id);
+          if (task.is_hedge != 0) ++fc.hedge_wins;
         }
-        if (hedge_done_.contains(it->hedge_id)) {
-          if (it->is_hedge != 0) ++fc.hedge_waste;
-          it = q.erase(it);
-        } else {
-          hedge_done_.insert(it->hedge_id);
-          if (it->is_hedge != 0) ++fc.hedge_wins;
-          ++it;
-        }
+        if (kept != i) q.at(kept) = task;
+        ++kept;
       }
     }
+    q.truncate(kept);
   }
 }
 
@@ -471,8 +482,15 @@ void Machine::apply_write(const ModuleCtx::PendingWrite& w) {
 }
 
 void Machine::deliver_faulty(ModuleId m, const Task& task, u32 attempt) {
+  touch_round(m);
   auto& pm = per_module_[m];
-  ++pm.round_in;  // every delivery attempt occupies the h-relation
+  // Every delivery attempt occupies the h-relation — except a hedge
+  // reroute to a HIGHER module id during the main delivery loop. The old
+  // full-scan engine reset round_in at each module's own iteration, which
+  // silently discarded those charges; the sparse engine skips them at the
+  // source so per-round h stays bit-identical.
+  const bool counted = delivering_source_ == kNoDeliverySource || m <= delivering_source_;
+  if (counted) ++pm.round_in;
   auto& fc = fault_.counters();
   // One lambda for every outcome that ends in a retransmission: drops and
   // checksum-rejected corruption share the epoch-tagged retry machinery
@@ -549,7 +567,7 @@ void Machine::deliver_faulty(ModuleId m, const Task& task, u32 attempt) {
     // The duplicate copy occupies the network but is discarded by the
     // receiver's filter before processing — charged, never executed.
     ++fc.dups;
-    ++pm.round_in;
+    if (counted) ++pm.round_in;
   }
   pm.queue.push_back(delivered);
   strikes_[m] = 0;  // a successful delivery resets the breaker's count
@@ -558,8 +576,14 @@ void Machine::deliver_faulty(ModuleId m, const Task& task, u32 attempt) {
 void Machine::run_round() {
   PIM_CHECK(!in_round_, "run_round is not reentrant");
   in_round_ = true;
-  round_slot_writes_.clear();
+  if (options_.track_write_contention) round_slot_writes_.clear();
   const bool faulty = fault_.active();
+  round_faulty_ = faulty;
+
+  // Reset last round's touch marks; touched_ accumulates the modules that
+  // participate in THIS round's h-relation and execution.
+  for (ModuleId m : touched_) touched_flag_[m] = 0;
+  touched_.clear();
 
   // Scheduled fail-stop crashes strike at round start, before delivery.
   if (faulty) {
@@ -575,27 +599,40 @@ void Machine::run_round() {
     }
   }
 
+  // Consume the active set: exactly the modules with pending deliveries
+  // or leftover queued work (the invariant is that any other module has
+  // neither). Sorted ascending so every delivery side effect — retry
+  // enqueue order, breaker strikes, queue FIFO order — matches the old
+  // full 0..P-1 scan bit for bit. Modules marked active during the round
+  // (forwards, fired hedges) accumulate in active_ for the NEXT round.
+  round_list_.clear();
+  round_list_.swap(active_);  // active_ keeps round_list_'s old capacity
+  for (ModuleId m : round_list_) active_flag_[m] = 0;
+  std::sort(round_list_.begin(), round_list_.end());
+
   // Deliver: move pending into module queues; count incoming messages.
-  for (ModuleId m = 0; m < modules(); ++m) {
+  for (ModuleId m : round_list_) {
+    touch_round(m);
     auto& pm = per_module_[m];
-    pm.round_out = 0;
     if (!faulty) {
       pm.round_in = pending_[m].size();
       for (auto& task : pending_[m]) pm.queue.push_back(task);
     } else {
-      pm.round_in = 0;
+      delivering_source_ = m;
       for (auto& task : pending_[m]) deliver_faulty(m, task, /*attempt=*/1);
+      delivering_source_ = kNoDeliverySource;
     }
     pending_[m].clear();
   }
   pending_total_ = 0;
 
   // Redeliver retransmissions whose backoff expired. deliver_faulty may
-  // re-drop into retry_, so swap the due list out first.
+  // re-drop into retry_, so swap the due list out first (retry_pass_ is
+  // pooled: both vectors keep their capacity across rounds).
   if (faulty && !retry_.empty()) {
-    std::vector<RetrySend> pass;
-    pass.swap(retry_);
-    for (auto& r : pass) {
+    retry_pass_.clear();
+    retry_pass_.swap(retry_);
+    for (auto& r : retry_pass_) {
       if (r.due_round <= rounds_) {
         ++fault_.counters().retries;
         if (budget_armed_) ++budget_retries_used_;
@@ -607,12 +644,19 @@ void Machine::run_round() {
   }
 
   // Decide stragglers for this round (after delivery, so a stall is only
-  // counted when it actually postpones queued work).
+  // counted when it actually postpones queued work). This is the one
+  // deliberately O(P) faulty step: pick_hedge_target consults stalled_[]
+  // for every module, so the whole array must be refreshed.
   if (faulty) {
     for (ModuleId m = 0; m < modules(); ++m) {
       stalled_[m] = (!down_[m] && fault_.is_stalled(rounds_, m, last_crash_round_[m])) ? 1 : 0;
       if (stalled_[m] && !per_module_[m].queue.empty()) ++fault_.counters().stalls;
     }
+    // Retry and reroute targets were appended to touched_ out of id
+    // order; everything downstream (hedging claims, execution, barrier
+    // fold) iterates touched_ ascending. Zero-fault rounds touch in
+    // round_list_ order, which is already sorted.
+    std::sort(touched_.begin(), touched_.end());
     // Hedging runs between the stall decision and execution, single-
     // threaded in module-id order, so fire/win/waste outcomes are
     // identical under every executor.
@@ -623,38 +667,78 @@ void Machine::run_round() {
   // for next round; replies become visible at the barrier. Down and
   // stalled modules skip execution (their queues persist; a stalled
   // module's tasks run once the stall ends).
-  if (options_.order == ExecOrder::kParallel && modules() > 1) {
+  auto& pool = par::ThreadPool::instance();
+  const bool use_pool = options_.order == ExecOrder::kParallel && pool.lanes() > 1 &&
+                        touched_.size() >= kMinParallelModules;
+  if (use_pool) {
     // Concurrent module execution with buffered side effects, merged in
-    // module order below — bit-identical to sequential execution.
-    std::vector<ModuleCtx::OutBuffer> buffers(modules());
-    par::ThreadPool::instance().run_batch(
-        [&](u32 m) {
-          if (faulty && (down_[m] || stalled_[m])) return;
-          ModuleCtx ctx(*this, m, &buffers[m]);
+    // ascending module order below — bit-identical to sequential
+    // execution. Buffers are pooled; clearing after the merge retains
+    // their capacity for the next round.
+    if (out_buffers_.size() < modules()) out_buffers_.resize(modules());
+    pool.run_batch(
+        [this](u32 i) {
+          const ModuleId m = touched_[i];
+          if (round_faulty_ && (down_[m] || stalled_[m])) return;
+          if (per_module_[m].queue.empty()) return;
+          ModuleCtx ctx(*this, m, &out_buffers_[m]);
           execute_module(m, ctx);
         },
-        modules());
-    for (ModuleId m = 0; m < modules(); ++m) {
-      for (const auto& w : buffers[m].writes) apply_write(w);
-      for (const auto& msg : buffers[m].forwards) enqueue_pending(msg.target, msg.task);
+        static_cast<u32>(touched_.size()));
+    for (ModuleId m : touched_) {
+      auto& buf = out_buffers_[m];
+      for (const auto& w : buf.writes) apply_write(w);
+      for (const auto& msg : buf.forwards) enqueue_pending(msg.target, msg.task);
+      buf.writes.clear();
+      buf.forwards.clear();
     }
   } else {
-    std::vector<ModuleId> order(modules());
-    std::iota(order.begin(), order.end(), 0u);
+    // Sequential / shuffled — and the kParallel fallback when the pool
+    // has one lane or the round is too sparse to amortize a wake-up
+    // (direct mailbox writes, no buffering; bit-identical by the merge
+    // contract above).
+    const std::vector<ModuleId>* order = &touched_;
     if (options_.order == ExecOrder::kShuffled) {
-      for (u32 i = modules(); i > 1; --i) std::swap(order[i - 1], order[shuffle_rng_.below(i)]);
+      exec_order_.assign(touched_.begin(), touched_.end());
+      for (u64 i = exec_order_.size(); i > 1; --i) {
+        std::swap(exec_order_[i - 1], exec_order_[shuffle_rng_.below(static_cast<u32>(i))]);
+      }
+      order = &exec_order_;
     }
-    for (ModuleId m : order) {
-      if (faulty && (down_[m] || stalled_[m])) continue;
-      ModuleCtx ctx(*this, m);
-      execute_module(m, ctx);
+    if (!faulty) {
+      // Zero-fault fast path: no per-module fault state consulted at all.
+      for (ModuleId m : *order) {
+        if (per_module_[m].queue.empty()) continue;
+        ModuleCtx ctx(*this, m);
+        execute_module(m, ctx);
+      }
+    } else {
+      for (ModuleId m : *order) {
+        if (down_[m] || stalled_[m] || per_module_[m].queue.empty()) continue;
+        ModuleCtx ctx(*this, m);
+        execute_module(m, ctx);
+      }
     }
   }
-  recount_queued();
+
+  // Recount queued work and re-arm the active set. Only touched modules
+  // can hold leftovers (a stalled module's postponed tasks, a crashed
+  // retry's redelivery): queues only grow through delivery, and delivery
+  // touches.
+  u64 queued = 0;
+  for (ModuleId m : touched_) {
+    const u64 depth = per_module_[m].queue.size();
+    queued += depth;
+    if (depth != 0) mark_active(m);
+  }
+  queued_total_ = queued;
 
   // Barrier: h_r = max over modules of (in + out); fold message counts.
+  // Untouched modules contributed exact zeros under the old full scan, so
+  // folding only touched_ is identical.
   u64 h = 0;
-  for (const auto& pm : per_module_) {
+  for (ModuleId m : touched_) {
+    const auto& pm = per_module_[m];
     h = std::max(h, pm.round_in + pm.round_out);
     messages_ += pm.round_in + pm.round_out;
   }
@@ -729,14 +813,20 @@ void Machine::set_tracer(Tracer* tracer) {
 }
 
 void Machine::record_trace(u64 h) {
+  // Pooled scratch, rebuilt full-width each traced round: untouched
+  // modules report exact zeros (their round_in/round_out fields hold
+  // stale values from their last touched round, never read elsewhere),
+  // and work is cumulative so the full copy is the source of truth.
   const u32 p = modules();
-  std::vector<u64> in(p), out(p), work(p);
-  for (ModuleId m = 0; m < p; ++m) {
-    in[m] = per_module_[m].round_in;
-    out[m] = per_module_[m].round_out;
-    work[m] = per_module_[m].work;
+  trace_in_.assign(p, 0);
+  trace_out_.assign(p, 0);
+  trace_work_.resize(p);
+  for (ModuleId m : touched_) {
+    trace_in_[m] = per_module_[m].round_in;
+    trace_out_[m] = per_module_[m].round_out;
   }
-  tracer_->record(rounds_ - 1, h, in, out, work, fault_.counters());
+  for (ModuleId m = 0; m < p; ++m) trace_work_[m] = per_module_[m].work;
+  tracer_->record(rounds_ - 1, h, trace_in_, trace_out_, trace_work_, fault_.counters());
 }
 
 u64 Machine::mailbox_highwater_since(u64 since_rounds) const {

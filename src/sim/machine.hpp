@@ -29,9 +29,17 @@
 // results and metrics are bit-identical to sequential execution; handlers
 // must only touch their own module's state, which is the model's
 // discipline anyway).
+//
+// Host performance (DESIGN.md §5.9): the round engine is sparsity-aware
+// and allocation-free on its hot path. The machine maintains an active
+// set (modules with pending deliveries or queued tasks); delivery,
+// execution, queue recounts and the barrier h-fold iterate only that set
+// — idle modules contribute exact zeros, so every metric is bit-identical
+// to the dense engine. All per-round scratch (execution order, parallel
+// out-buffers, retransmission pass, per-module task rings) is pooled and
+// recycled across rounds.
 #pragma once
 
-#include <deque>
 #include <functional>
 #include <memory>
 #include <unordered_map>
@@ -46,6 +54,7 @@
 #include "sim/fault.hpp"
 #include "sim/message.hpp"
 #include "sim/metrics.hpp"
+#include "sim/task_ring.hpp"
 
 namespace pim::sim {
 
@@ -375,11 +384,11 @@ class Machine {
   friend class ModuleCtx;
 
   struct PerModule {
-    std::deque<Task> queue;  // delivered, not yet executed
-    u64 work = 0;            // cumulative local work
-    u64 space_words = 0;     // accounted local memory footprint
-    u64 round_in = 0;        // messages delivered this round
-    u64 round_out = 0;       // messages sent this round
+    TaskRing queue;      // delivered, not yet executed (flat ring, pooled)
+    u64 work = 0;        // cumulative local work
+    u64 space_words = 0;  // accounted local memory footprint
+    u64 round_in = 0;     // messages delivered this round
+    u64 round_out = 0;    // messages sent this round
   };
 
   /// A dropped delivery awaiting retransmission (attempt counts total
@@ -402,7 +411,25 @@ class Machine {
   void execute_module(ModuleId m, ModuleCtx& ctx);
   void deliver_faulty(ModuleId m, const Task& task, u32 attempt);
   void fire_mem_corruption(ModuleId m);
-  void recount_queued();
+  /// Marks m as having work for the *next* round (pending delivery or a
+  /// leftover queue). Consumed — and cleared — at the next round start.
+  void mark_active(ModuleId m) {
+    if (active_flag_[m] == 0) {
+      active_flag_[m] = 1;
+      active_.push_back(m);
+    }
+  }
+  /// Enrolls m in the *current* round's fold: resets its per-round in/out
+  /// counters once and adds it to touched_. Idempotent within a round.
+  void touch_round(ModuleId m) {
+    if (touched_flag_[m] == 0) {
+      touched_flag_[m] = 1;
+      auto& pm = per_module_[m];
+      pm.round_in = 0;
+      pm.round_out = 0;
+      touched_.push_back(m);
+    }
+  }
   /// Target's admission backlog: pending deliveries + queued tasks.
   u64 backlog(ModuleId m) const { return pending_[m].size() + per_module_[m].queue.size(); }
   /// Records one lost message against m for the breaker (no-op if down).
@@ -425,11 +452,35 @@ class Machine {
 
   std::vector<PerModule> per_module_;
   // Messages injected by the CPU (or forwarded) since the last round
-  // started; delivered at the next run_round.
+  // started; delivered at the next run_round. Inner vectors are recycled
+  // (clear() keeps capacity), so steady-state delivery allocates nothing.
   std::vector<std::vector<Task>> pending_;
   u64 pending_total_ = 0;
   u64 queued_total_ = 0;  // tasks delivered but not yet executed (stalls)
   std::vector<u64> mailbox_;
+
+  // ---- sparse dispatch + pooled round scratch (DESIGN.md §5.9) ----
+  // Invariant between rounds: a module holds pending deliveries or queued
+  // tasks iff it is in active_. Modules outside the set are exact zeros
+  // for every per-round quantity, so folds over the set equal folds over
+  // all P modules.
+  std::vector<ModuleId> active_;   // modules with work for the next round
+  std::vector<u8> active_flag_;    // membership bitmap for active_
+  std::vector<ModuleId> touched_;  // modules in the current round's fold
+  std::vector<u8> touched_flag_;   // membership bitmap for touched_
+  std::vector<ModuleId> round_list_;  // scratch: consumed active set
+  std::vector<ModuleId> exec_order_;  // scratch: kShuffled permutation
+  std::vector<ModuleCtx::OutBuffer> out_buffers_;  // pooled kParallel buffers
+  std::vector<RetrySend> retry_pass_;              // pooled retransmission pass
+  std::vector<u64> trace_in_, trace_out_, trace_work_;  // pooled tracer scratch
+  bool round_faulty_ = false;  // cached fault_.active() for the round
+  // Module whose pending list is being delivered in the main delivery
+  // loop, or kNoDeliverySource outside it. Used to reproduce the full-scan
+  // engine's h-accounting exactly: that engine reset round_in at each
+  // module's own loop iteration, which discarded charges a hedge reroute
+  // had already made to a higher module id.
+  static constexpr ModuleId kNoDeliverySource = ~ModuleId{0};
+  ModuleId delivering_source_ = kNoDeliverySource;
 
   // ---- fault state ----
   FaultInjector fault_;

@@ -6,6 +6,7 @@
 
 #include "core/pim_skiplist.hpp"
 #include "sim/measure.hpp"
+#include "sim/trace.hpp"
 #include "test_util.hpp"
 #include "workload/generators.hpp"
 
@@ -130,6 +131,85 @@ TEST(SyncCost, RoundsTimesLogP) {
   const MachineDelta d = machine.delta(before);
   EXPECT_EQ(d.rounds, 5u);
   EXPECT_EQ(d.sync_cost, 5u * 4u);  // log2(16) = 4 per barrier
+}
+
+TEST(ParallelExecutor, RandomizedMixedBatchesAgreeUnderFaultsWithTracing) {
+  // The strongest form of the executor contract: a randomized mixed
+  // workload with probabilistic faults active AND a tracer attached must
+  // produce bit-identical results, MachineDelta fields, fault counters,
+  // and per-round trace record streams under all three executors.
+  auto run = [](ExecOrder order) {
+    MachineOptions mopts;
+    mopts.order = order;
+    Machine machine(24, mopts);
+    core::PimSkipList list(machine);
+    rnd::Xoshiro256ss rng(9151);
+    const auto pairs = test::make_sorted_pairs(800, rng);
+    list.build(pairs);
+
+    FaultPlan plan;
+    plan.enabled = true;
+    plan.seed = 77;
+    plan.drop_prob = 0.02;
+    plan.dup_prob = 0.02;
+    plan.stall_prob = 0.01;
+    plan.corrupt_prob = 0.01;
+    machine.set_fault_plan(plan);
+
+    Tracer tracer;
+    machine.set_tracer(&tracer);
+    const Snapshot base = machine.snapshot();
+
+    std::vector<u64> stream;  // results, metrics and trace, flattened
+    for (int batch = 0; batch < 3; ++batch) {
+      std::vector<std::pair<Key, Value>> ups;
+      for (int i = 0; i < 120; ++i) ups.push_back({rng.range(0, 1'000'000'000), rng()});
+      list.batch_upsert(ups);
+
+      for (const auto& g : list.batch_get(test::random_keys(150, rng))) {
+        stream.push_back(g.found);
+        stream.push_back(g.value);
+      }
+      for (const auto& s : list.batch_successor(test::random_keys(150, rng))) {
+        stream.push_back(s.found ? static_cast<u64>(s.key) : 0);
+      }
+      std::vector<Key> dels;
+      for (int i = 0; i < 40; ++i) dels.push_back(ups[static_cast<u64>(i) * 2].first);
+      for (u8 f : list.batch_delete(dels)) stream.push_back(f);
+    }
+    list.check_invariants();
+    stream.push_back(list.size());
+
+    const MachineDelta d = machine.delta(base);
+    for (u64 v : {d.io_time, d.rounds, d.messages, d.pim_time, d.pim_work_total, d.sync_cost,
+                  d.write_contention, d.shared_mem}) {
+      stream.push_back(v);
+    }
+    const auto push_faults = [&stream](const FaultCounters& fc) {
+      for (u64 v : {fc.drops, fc.dups, fc.stalls, fc.crashes, fc.retries, fc.lost,
+                    fc.payload_corruptions, fc.checksum_rejects, fc.sheds, fc.hedges,
+                    fc.hedge_wins, fc.hedge_waste, fc.breaker_trips}) {
+        stream.push_back(v);
+      }
+    };
+    push_faults(d.faults);
+
+    EXPECT_EQ(tracer.dropped(), 0u);
+    for (u64 i = 0; i < tracer.size(); ++i) {
+      const RoundRecord& r = tracer.at(i);
+      stream.push_back(r.round);
+      stream.push_back(r.h);
+      stream.insert(stream.end(), r.in.begin(), r.in.end());
+      stream.insert(stream.end(), r.out.begin(), r.out.end());
+      stream.insert(stream.end(), r.work.begin(), r.work.end());
+      push_faults(r.faults);
+    }
+    machine.set_tracer(nullptr);
+    return stream;
+  };
+  const auto seq = run(ExecOrder::kSequential);
+  EXPECT_EQ(seq, run(ExecOrder::kShuffled));
+  EXPECT_EQ(seq, run(ExecOrder::kParallel));
 }
 
 }  // namespace

@@ -308,5 +308,64 @@ TEST(MetricsContract, ZeroFaultCostsMatchPreFaultGoldenValues) {
   list.check_invariants();
 }
 
+TEST(MetricsContract, SparseDispatchKeepsExactCostsOnLargeMachines) {
+  // The sparse active-set engine must charge EXACTLY what the full scan
+  // charged: a single message on a P=512 machine is one round with
+  // h = in + out = 2 on the target module, total 2 messages — under every
+  // executor, with zeros everywhere else in the trace.
+  for (const auto order :
+       {sim::ExecOrder::kSequential, sim::ExecOrder::kShuffled, sim::ExecOrder::kParallel}) {
+    sim::MachineOptions mopts;
+    mopts.order = order;
+    sim::Machine machine(512, mopts);
+    machine.mailbox().assign(1, 0);
+    sim::Tracer tracer;
+    machine.set_tracer(&tracer);
+    sim::Handler echo = [](sim::ModuleCtx& ctx, std::span<const u64> a) {
+      ctx.charge(1);
+      ctx.reply(0, a[0] + ctx.id());
+    };
+    const sim::Snapshot before = machine.snapshot();
+    machine.send(317, &echo, {5ull});
+    machine.run_until_quiescent();
+    const sim::MachineDelta d = machine.delta(before);
+    EXPECT_EQ(d.rounds, 1u);
+    EXPECT_EQ(d.io_time, 2u);  // h = 1 in + 1 out, on module 317 alone
+    EXPECT_EQ(d.messages, 2u);
+    EXPECT_EQ(d.pim_time, 1u);
+    EXPECT_EQ(d.pim_work_total, 1u);
+    EXPECT_EQ(machine.mailbox()[0], 5u + 317u);
+    ASSERT_EQ(tracer.size(), 1u);
+    const sim::RoundRecord& r = tracer.at(0);
+    EXPECT_EQ(r.h, 2u);
+    for (u32 m = 0; m < 512; ++m) {
+      EXPECT_EQ(r.in[m], m == 317 ? 1u : 0u);
+      EXPECT_EQ(r.out[m], m == 317 ? 1u : 0u);
+      EXPECT_EQ(r.work[m], m == 317 ? 1u : 0u);
+    }
+    machine.set_tracer(nullptr);
+
+    // A forward chain across two sparse rounds: each hop is one in-flight
+    // message, so every round has h = 2 (sender out + receiver in split
+    // across barriers as 1+1 each round except the endpoints).
+    const sim::Snapshot hop_base = machine.snapshot();
+    sim::Handler hop = [&hop](sim::ModuleCtx& ctx, std::span<const u64> a) {
+      ctx.charge(1);
+      if (a[0] > 0) {
+        const u64 next[1] = {a[0] - 1};
+        ctx.forward(ctx.id() + 101 < ctx.modules() ? ctx.id() + 101 : 0, &hop,
+                    std::span<const u64>(next, 1));
+      }
+    };
+    machine.send(3, &hop, {3ull});
+    machine.run_until_quiescent();
+    const sim::MachineDelta hd = machine.delta(hop_base);
+    EXPECT_EQ(hd.rounds, 4u);
+    EXPECT_EQ(hd.messages, 7u);  // 2 + 2 + 2 + 1: the final hop sends nothing
+    EXPECT_EQ(hd.io_time, 7u);
+    EXPECT_EQ(hd.pim_work_total, 4u);
+  }
+}
+
 }  // namespace
 }  // namespace pim::core
