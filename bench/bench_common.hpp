@@ -96,6 +96,30 @@ inline void report(benchmark::State& state, const sim::OpMetrics& m, u64 batch, 
   }
 }
 
+/// Degraded-mode op accounting. `completed` must count only operations
+/// that were actually served (kOk); shed, unavailable and hedged work is
+/// surfaced in its own counters and NEVER folded into tput_round — a
+/// shed or unavailable op did not complete, and a hedge copy is
+/// duplicate work for an op already counted once. report() above has no
+/// notion of failed ops (every call site runs fault-free batches where
+/// submitted == completed); any bench that runs under a FaultPlan must
+/// report throughput through this helper instead.
+inline void report_degraded(benchmark::State& state, const sim::FaultCounters& fc,
+                            u64 completed, u64 unserved, u64 rounds) {
+  state.counters["completed_ops"] = static_cast<double>(completed);
+  state.counters["unserved_ops"] = static_cast<double>(unserved);
+  state.counters["tput_round"] =
+      rounds ? static_cast<double>(completed) / static_cast<double>(rounds) : 0.0;
+  // Load shed by admission control / overload (and how much of it a
+  // later backoff wave re-admitted).
+  state.counters["shed_ops"] = static_cast<double>(fc.sheds);
+  state.counters["requeued_ops"] = static_cast<double>(fc.requeued);
+  // Hedge economy: copies fired, races won, copies wasted.
+  state.counters["hedged_ops"] = static_cast<double>(fc.hedges);
+  state.counters["hedge_wins"] = static_cast<double>(fc.hedge_wins);
+  state.counters["hedge_waste"] = static_cast<double>(fc.hedge_waste);
+}
+
 /// Keys sampled uniformly from the stored key set (Get/Update hits).
 inline std::vector<Key> stored_keys_sample(const workload::Dataset& data, u64 size, u64 seed) {
   rnd::Xoshiro256ss rng(seed);

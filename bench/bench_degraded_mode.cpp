@@ -78,17 +78,17 @@ void run_stall(benchmark::State& state, double fraction, bool hedge) {
       rounds_per_batch.push_back(machine.delta(snap).rounds);
     }
     const auto d = machine.delta(before);
-    const double ops = static_cast<double>(batch) * kBatches;
     state.counters["rounds"] = static_cast<double>(d.rounds);
     state.counters["io"] = static_cast<double>(d.io_time);
     state.counters["mean_rounds"] = mean(rounds_per_batch);
     state.counters["p99_rounds"] = p99(rounds_per_batch);
-    state.counters["tput_round"] = d.rounds ? ops / static_cast<double>(d.rounds) : 0.0;
     const auto& fc = machine.fault_counters();
     state.counters["stalls"] = static_cast<double>(fc.stalls);
-    state.counters["hedges"] = static_cast<double>(fc.hedges);
-    state.counters["hedge_wins"] = static_cast<double>(fc.hedge_wins);
-    state.counters["hedge_waste"] = static_cast<double>(fc.hedge_waste);
+    // Every successor op completes in this sweep (stalls delay, they do
+    // not drop); hedge copies are duplicate work and live in their own
+    // counters, not in the completed-ops throughput.
+    report_degraded(state, fc, /*completed=*/u64{batch} * kBatches,
+                    /*unserved=*/0, d.rounds);
   }
 }
 
@@ -135,8 +135,10 @@ void run_crash(benchmark::State& state, double fraction) {
     state.counters["io"] = static_cast<double>(d.io_time);
     state.counters["mean_rounds"] = mean(rounds_per_batch);
     state.counters["p99_rounds"] = p99(rounds_per_batch);
-    state.counters["tput_round"] =
-        d.rounds ? static_cast<double>(served) / static_cast<double>(d.rounds) : 0.0;
+    // Throughput over SERVED keys only; the dead modules' share is
+    // unserved_ops, not a discount hidden inside the ops/round number.
+    report_degraded(state, machine.fault_counters(), /*completed=*/served,
+                    /*unserved=*/unavailable, d.rounds);
     state.counters["avail"] = static_cast<double>(served) /
                               static_cast<double>(served + unavailable);
     state.counters["dead_modules"] = static_cast<double>(dead);

@@ -1,0 +1,229 @@
+// SHARD — the sharded multi-Machine tier under chaos (DESIGN.md §5.10).
+// Three sweeps over the shard count S (modules per shard fixed at 8):
+//
+//  * Steady: mixed get/upsert/successor batches over S shards. Reports
+//    aggregate IO/rounds (sum over shard machines), per-shard IO share
+//    spread, and completed ops per aggregate round — the scaling
+//    baseline the chaos sweeps are read against.
+//
+//  * KillRevive: same workload; one shard is killed mid-run and failed
+//    over to a spare, then the decommissioned slot revives as the new
+//    spare. Reports completed vs unserved (kShardDown) ops, time-to-
+//    repair (rounds spent in the failover replay), and the post-repair
+//    availability (must return to 1.0).
+//
+//  * Migration: a Zipf-hot shard streams its upper half to a spare while
+//    the skewed workload keeps landing. Reports chunks copied, delta
+//    records drained, rounds spent in migration_step calls vs serving,
+//    and the hot shard's io-share before/after the cutover.
+//
+// All numbers are deterministic model metrics; shed/unserved work is
+// reported in its own counters per the bench_common contract, never
+// folded into completed throughput.
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "shard/sharded_store.hpp"
+
+namespace pim::bench {
+namespace {
+
+using shard::ShardOptions;
+using shard::ShardState;
+using shard::ShardedPimStore;
+
+constexpr int kBatches = 24;
+constexpr u64 kBatchOps = 192;
+
+ShardOptions shard_opts(u32 shards) {
+  ShardOptions o;
+  o.shards = shards;
+  o.spares = 1;
+  o.modules_per_shard = 8;
+  o.seed = 0xB5EEDull;
+  return o;
+}
+
+u64 fleet_rounds(const ShardedPimStore& store) {
+  u64 r = 0;
+  for (u32 s = 0; s < store.slots(); ++s) {
+    if (store.shard_machine(s) != nullptr) r += store.shard_machine(s)->rounds();
+  }
+  return r;
+}
+
+u64 fleet_io(const ShardedPimStore& store) {
+  u64 io = 0;
+  for (u32 s = 0; s < store.slots(); ++s) {
+    if (store.shard_machine(s) != nullptr) io += store.shard_machine(s)->io_time();
+  }
+  return io;
+}
+
+std::vector<std::pair<Key, Value>> build_pairs(u32 shards, rnd::Xoshiro256ss& rng) {
+  const u64 n = std::max<u64>(4096, u64{1024} * shards);
+  std::map<Key, Value> m;
+  while (m.size() < n) m.emplace(rng.range(0, 1'000'000'000), rng());
+  return {m.begin(), m.end()};
+}
+
+/// One mixed batch: gets + upserts + successors, uniformly routed.
+/// Returns (completed, unserved).
+std::pair<u64, u64> mixed_batch(ShardedPimStore& store, rnd::Xoshiro256ss& rng,
+                                Key hot_lo = 0, Key hot_hi = 0) {
+  auto draw = [&]() -> Key {
+    if (hot_hi > hot_lo && rng.below(2) == 0) return rng.range(hot_lo, hot_hi);
+    return rng.range(0, 1'000'000'000);
+  };
+  u64 completed = 0, unserved = 0;
+  std::vector<Key> gets(kBatchOps / 2);
+  for (auto& k : gets) k = draw();
+  for (const auto& r : store.batch_get(gets)) {
+    (r.status.ok() ? completed : unserved)++;
+  }
+  std::vector<std::pair<Key, Value>> ups(kBatchOps / 4);
+  for (auto& kv : ups) kv = {draw(), rng()};
+  for (const auto& s : store.batch_upsert(ups)) {
+    (s.ok() ? completed : unserved)++;
+  }
+  std::vector<Key> near(kBatchOps / 4);
+  for (auto& k : near) k = draw();
+  for (const auto& r : store.batch_successor(near)) {
+    (r.status.ok() ? completed : unserved)++;
+  }
+  return {completed, unserved};
+}
+
+void SHARD_Steady(benchmark::State& state) {
+  const u32 shards = static_cast<u32>(state.range(0));
+  for (auto _ : state) {
+    ShardedPimStore store(shard_opts(shards));
+    rnd::Xoshiro256ss rng(0x57EADFu);
+    store.build(build_pairs(shards, rng));
+    store.reset_load_stats();
+
+    u64 completed = 0, unserved = 0;
+    const u64 r0 = fleet_rounds(store), io0 = fleet_io(store);
+    for (int b = 0; b < kBatches; ++b) {
+      const auto [c, u] = mixed_batch(store, rng);
+      completed += c;
+      unserved += u;
+    }
+    const u64 rounds = fleet_rounds(store) - r0;
+    state.counters["io"] = static_cast<double>(fleet_io(store) - io0);
+    state.counters["rounds"] = static_cast<double>(rounds);
+    state.counters["completed_ops"] = static_cast<double>(completed);
+    state.counters["unserved_ops"] = static_cast<double>(unserved);
+    state.counters["tput_round"] =
+        rounds ? static_cast<double>(completed) / static_cast<double>(rounds) : 0.0;
+    // Spread of io share across shards: 1.0 = perfectly even.
+    double max_share = 0;
+    for (u32 s = 0; s < shards; ++s) {
+      max_share = std::max(max_share, store.shard_load(s).io_share);
+    }
+    state.counters["max_io_share_x"] = max_share * shards;
+  }
+}
+BENCHMARK(SHARD_Steady)->Arg(2)->Arg(4)->Arg(8)->Iterations(1);
+
+void SHARD_KillRevive(benchmark::State& state) {
+  const u32 shards = static_cast<u32>(state.range(0));
+  for (auto _ : state) {
+    ShardedPimStore store(shard_opts(shards));
+    rnd::Xoshiro256ss rng(0x6B111Edu);
+    store.build(build_pairs(shards, rng));
+
+    const u32 victim = shards / 2;
+    u64 completed = 0, unserved = 0, degraded_unserved = 0;
+    for (int b = 0; b < kBatches; ++b) {
+      if (b == kBatches / 3) store.kill_shard(victim);
+      if (b == 2 * kBatches / 3) {
+        const u64 r0 = fleet_rounds(store);
+        const auto st = store.failover(victim);
+        state.counters["failover_ok"] = st.ok() ? 1.0 : 0.0;
+        state.counters["repair_rounds"] =
+            static_cast<double>(fleet_rounds(store) - r0);
+        store.revive_shard(victim);  // decommissioned slot -> new spare
+      }
+      const auto [c, u] = mixed_batch(store, rng);
+      completed += c;
+      unserved += u;
+      if (b >= kBatches / 3 && b < 2 * kBatches / 3) degraded_unserved += u;
+    }
+    state.counters["completed_ops"] = static_cast<double>(completed);
+    state.counters["unserved_ops"] = static_cast<double>(unserved);
+    state.counters["degraded_unserved"] = static_cast<double>(degraded_unserved);
+    // After repair every op completes again.
+    u64 c_after = 0, u_after = 0;
+    for (int b = 0; b < 4; ++b) {
+      const auto [c, u] = mixed_batch(store, rng);
+      c_after += c;
+      u_after += u;
+    }
+    state.counters["post_repair_avail"] =
+        static_cast<double>(c_after) / static_cast<double>(c_after + u_after);
+  }
+}
+BENCHMARK(SHARD_KillRevive)->Arg(2)->Arg(4)->Arg(8)->Iterations(1);
+
+void SHARD_MigrationUnderLoad(benchmark::State& state) {
+  const u32 shards = static_cast<u32>(state.range(0));
+  for (auto _ : state) {
+    ShardedPimStore store(shard_opts(shards));
+    rnd::Xoshiro256ss rng(0x316AA7Eu);
+    store.build(build_pairs(shards, rng));
+    store.reset_load_stats();
+
+    // Skew at shard `hot`: half of all traffic lands in its range.
+    const u32 hot = shards - 1;
+    const auto [hlo, hhi] = store.shard_range(hot);
+    const Key hot_lo = hlo, hot_hi = hhi - 1;
+
+    // Warm-up batches establish the imbalance the planner reads.
+    u64 completed = 0, unserved = 0;
+    for (int b = 0; b < kBatches / 3; ++b) {
+      const auto [c, u] = mixed_batch(store, rng, hot_lo, hot_hi);
+      completed += c;
+      unserved += u;
+    }
+    state.counters["hot_share_before_x"] =
+        store.shard_load(hot).io_share * store.live_shards();
+
+    const auto plan = store.pick_migration(1.2);
+    state.counters["planner_fired"] = plan.has_value() ? 1.0 : 0.0;
+    u64 migration_rounds = 0, steps = 0;
+    if (plan.has_value()) {
+      benchmark::DoNotOptimize(store.start_migration(plan->source, plan->split_key));
+      while (store.migration_active() && steps < 10'000) {
+        const u64 r0 = fleet_rounds(store);
+        (void)store.migration_step();
+        migration_rounds += fleet_rounds(store) - r0;
+        ++steps;
+        // Serving continues between steps — skew and all.
+        const auto [c, u] = mixed_batch(store, rng, hot_lo, hot_hi);
+        completed += c;
+        unserved += u;
+      }
+    }
+    store.reset_load_stats();
+    for (int b = 0; b < kBatches / 3; ++b) {
+      const auto [c, u] = mixed_batch(store, rng, hot_lo, hot_hi);
+      completed += c;
+      unserved += u;
+    }
+    state.counters["completed_ops"] = static_cast<double>(completed);
+    state.counters["unserved_ops"] = static_cast<double>(unserved);
+    state.counters["migration_steps"] = static_cast<double>(steps);
+    state.counters["migration_rounds"] = static_cast<double>(migration_rounds);
+    state.counters["hot_share_after_x"] =
+        store.shard_load(hot).io_share * store.live_shards();
+  }
+}
+BENCHMARK(SHARD_MigrationUnderLoad)->Arg(2)->Arg(4)->Arg(8)->Iterations(1);
+
+}  // namespace
+}  // namespace pim::bench
+
+BENCHMARK_MAIN();

@@ -40,6 +40,16 @@ enum class StatusCode : u32 {
   /// queue is full (try_send), or the backoff retry waves could not place
   /// a whole batch within the drain budget (send_all_admitted).
   kResourceExhausted,
+  /// A whole shard (one Machine of P modules — one rack) is dead and no
+  /// spare has taken over its key range yet. Distinct from kUnavailable,
+  /// which marks a single dead module inside a live shard: kShardDown
+  /// keys need a shard failover, kUnavailable keys need a module
+  /// recover(m).
+  kShardDown,
+  /// The sharded store is already running an online range migration;
+  /// only one may be in flight at a time (start another after
+  /// migration_step drains the current one).
+  kMigrationInProgress,
   /// Number of codes, not a code. Keep last; the round-trip test walks
   /// [0, kStatusCodeCount) to catch codes added without a name.
   kStatusCodeCount,
@@ -55,6 +65,8 @@ inline const char* status_code_name(StatusCode code) {
     case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
     case StatusCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
     case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+    case StatusCode::kShardDown: return "SHARD_DOWN";
+    case StatusCode::kMigrationInProgress: return "MIGRATION_IN_PROGRESS";
     case StatusCode::kStatusCodeCount: break;
   }
   return "UNKNOWN";

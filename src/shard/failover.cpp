@@ -1,0 +1,112 @@
+// Shard-level fault handling: the kill/revive chaos API, failover into a
+// spare, and fleet-wide chaos plan installation (DESIGN.md §5.10).
+//
+// The durability argument, in one place: every write the store
+// acknowledged (per-position kOk) was appended to the owning slot's
+// store-level journal *on the caller thread, after the shard round that
+// acknowledged it*. The journal and its checkpoint live CPU-side in the
+// router, not in the shard's Machine, so a rack loss cannot touch them.
+// failover() and revive_shard() replay checkpoint + journal in record
+// order with the same first-occurrence-wins batch semantics the live
+// shard applied — so the restored shard holds exactly the acknowledged
+// state, no more (unacknowledged writes were never journaled) and no
+// less.
+#include "shard/sharded_store.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace pim::shard {
+
+void ShardedPimStore::kill_shard(u32 slot) {
+  PIM_CHECK(slot < slots_.size(), "kill_shard: bad slot");
+  Shard& s = slots_[slot];
+  if (s.state == ShardState::kDead) return;  // cannot die twice
+  // Rack loss: the machine, the structure and every CPU-side mirror go.
+  // The store-level checkpoint + journal survive (they live here).
+  s.list.reset();
+  s.machine.reset();
+  s.state = ShardState::kDead;
+  s.fail_streak = 0;
+  abort_migration_for(slot);
+}
+
+void ShardedPimStore::revive_shard(u32 slot) {
+  PIM_CHECK(slot < slots_.size(), "revive_shard: bad slot");
+  Shard& s = slots_[slot];
+  if (s.state != ShardState::kDead) return;  // revive is idempotent
+  restore_into(slot, replay_log(s));
+  const bool owns_routes = std::any_of(
+      routes_.begin(), routes_.end(),
+      [&](const RouteEntry& e) { return e.slot == slot; });
+  s.state = owns_routes ? ShardState::kLive : ShardState::kSpare;
+}
+
+Status ShardedPimStore::failover(u32 slot) {
+  if (slot >= slots_.size() || slots_[slot].state != ShardState::kDead) {
+    return Status(StatusCode::kInvalidArgument,
+                  "failover target must be a dead shard");
+  }
+  const bool owns_routes = std::any_of(
+      routes_.begin(), routes_.end(),
+      [&](const RouteEntry& e) { return e.slot == slot; });
+  if (!owns_routes) {
+    return Status(StatusCode::kInvalidArgument,
+                  "dead shard owns no key range (already failed over?)");
+  }
+  u32 spare = slots();
+  for (u32 i = 0; i < slots(); ++i) {
+    if (slots_[i].state == ShardState::kSpare &&
+        !(migration_.has_value() && migration_->target == i)) {
+      spare = i;
+      break;
+    }
+  }
+  if (spare == slots()) {
+    return Status(StatusCode::kInvalidArgument, "no spare shard available");
+  }
+  Shard& victim = slots_[slot];
+  restore_into(spare, replay_log(victim));
+  Shard& fresh = slots_[spare];
+  fresh.state = ShardState::kLive;
+  fresh.lo = victim.lo;
+  fresh.hi = victim.hi;
+  for (RouteEntry& e : routes_) {
+    if (e.slot == slot) e.slot = spare;
+  }
+  // The victim is decommissioned: its log moved with the range. A later
+  // revive_shard(slot) turns the repaired rack into an empty spare.
+  victim.checkpoint.clear();
+  victim.journal.clear();
+  return Status();
+}
+
+void ShardedPimStore::set_fleet_fault_plan(const sim::FaultPlan& plan) {
+  fleet_plan_ = plan;
+  for (u32 i = 0; i < slots(); ++i) {
+    if (slots_[i].machine != nullptr) {
+      set_shard_fault_plan(i, sim::derive_shard_plan(plan, i));
+    }
+  }
+}
+
+void ShardedPimStore::set_shard_fault_plan(u32 slot, const sim::FaultPlan& plan) {
+  Shard& s = slots_[slot];
+  PIM_CHECK(s.machine != nullptr, "set_shard_fault_plan: shard is dead");
+  s.machine->set_fault_plan(plan);
+  if (plan.enabled && s.state == ShardState::kLive) {
+    // Establish the shard's internal journal while it is healthy, so
+    // module-level crash recovery works from the first faulty batch on.
+    (void)s.list->batch_get(std::vector<Key>{s.lo == kMinKey ? Key{0} : s.lo});
+  }
+}
+
+void ShardedPimStore::set_op_deadline(core::PimSkipList::OpDeadline d) {
+  deadline_ = d;
+  for (Shard& s : slots_) {
+    if (s.list != nullptr) s.list->set_op_deadline(d);
+  }
+}
+
+}  // namespace pim::shard

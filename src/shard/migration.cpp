@@ -1,0 +1,268 @@
+// Online range migration: carve a hot shard's upper range out to a spare
+// while the source keeps serving. Protocol (DESIGN.md §5.10):
+//
+//   1. start_migration snapshots the moving range's key list (from the
+//      source's store-level journal replay — CPU-side, free) and opens a
+//      delta log: every acknowledged write landing in the range keeps
+//      routing to the source AND is double-entried into the delta.
+//   2. migration_step copies one chunk of keys via a source range
+//      collect, upserting them into the target. A write racing the copy
+//      is safe either way: the delta replay re-applies it in order.
+//   3. The step after the last chunk drains the delta onto the target,
+//      then cuts over atomically ON THE CALLER THREAD: route flip,
+//      range handoff, checkpoint rewrite — no PIM round between them.
+//      The source's moved leaves are then deleted (or, if the machine
+//      faults mid-delete, the source is rebuilt from its rewritten
+//      checkpoint, which is equivalent and cannot fail).
+//
+// Ownership moves only at cutover, so a crash of either end at any
+// public-API boundary loses nothing and duplicates nothing: kill the
+// target → the source still owns and serves everything; kill the source
+// → the staged copy is discarded and failover replays the source's
+// journal (which still includes the moving range) into a spare.
+#include "shard/sharded_store.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace pim::shard {
+
+Status ShardedPimStore::start_migration(u32 source, Key split_key) {
+  if (migration_.has_value()) {
+    return Status(StatusCode::kMigrationInProgress,
+                  "a range migration is already running");
+  }
+  if (source >= slots_.size()) {
+    return Status(StatusCode::kInvalidArgument, "start_migration: bad slot");
+  }
+  Shard& s = slots_[source];
+  if (s.state == ShardState::kDead) return shard_down_status(source);
+  if (s.state != ShardState::kLive) {
+    return Status(StatusCode::kInvalidArgument,
+                  "migration source must be a live shard");
+  }
+  if (split_key <= s.lo || split_key >= s.hi) {
+    return Status(StatusCode::kInvalidArgument,
+                  "split key must fall strictly inside the source's range");
+  }
+  u32 target = slots();
+  for (u32 i = 0; i < slots(); ++i) {
+    if (slots_[i].state == ShardState::kSpare) {
+      target = i;
+      break;
+    }
+  }
+  if (target == slots()) {
+    return Status(StatusCode::kInvalidArgument, "no spare shard available");
+  }
+
+  provision(target);  // fresh machine + empty structure for the staged copy
+  slots_[target].checkpoint.clear();
+  slots_[target].journal.clear();
+
+  MigrationState m;
+  m.source = source;
+  m.target = target;
+  m.lo = split_key;
+  m.hi = s.hi;
+  for (const auto& [k, v] : replay_log(s)) {
+    if (k >= m.lo && k < m.hi) m.plan_keys.push_back(k);
+  }
+  migration_ = std::move(m);
+  return Status();
+}
+
+Status ShardedPimStore::migration_step() {
+  if (!migration_.has_value()) {
+    return Status(StatusCode::kInvalidArgument, "no migration is active");
+  }
+  MigrationState& m = *migration_;
+  if (!m.copy_done) {
+    if (m.cursor < m.plan_keys.size()) {
+      const u64 end =
+          std::min(m.cursor + opts_.migration_chunk, static_cast<u64>(m.plan_keys.size()));
+      const Key chunk_lo = m.plan_keys[m.cursor];
+      const Key chunk_hi = m.plan_keys[end - 1];  // inclusive collect bound
+      std::vector<std::pair<Key, Value>> pairs;
+      try {
+        pairs = slots_[m.source].list->range_collect_broadcast(chunk_lo, chunk_hi);
+      } catch (const StatusError& e) {
+        // Source faulted mid-collect; nothing was staged, the cursor
+        // stays put. A fatal verdict kills the source, which aborts the
+        // migration (ownership never moved).
+        observe_shard_health(m.source, true);
+        return e.status();
+      }
+      try {
+        if (!pairs.empty()) slots_[m.target].list->batch_upsert(pairs);
+      } catch (const StatusError& e) {
+        // Re-collecting and re-upserting the same chunk is idempotent.
+        observe_shard_health(m.target, true);
+        return e.status();
+      }
+      for (const auto& kv : pairs) m.staged[kv.first] = kv.second;
+      m.copied += pairs.size();
+      m.cursor = end;
+      if (m.cursor >= m.plan_keys.size()) m.copy_done = true;
+      return Status();  // still active; next call drains + cuts over
+    }
+    m.copy_done = true;
+  }
+  try {
+    finish_migration();
+  } catch (const StatusError& e) {
+    // Drain fault: if the target survived, the migration is still active
+    // and the next step resumes the drain; if the health verdict killed
+    // it, the abort already rolled the migration back.
+    return e.status();
+  }
+  return Status();
+}
+
+void ShardedPimStore::finish_migration() {
+  MigrationState& m = *migration_;
+  Shard& src = slots_[m.source];
+  Shard& tgt = slots_[m.target];
+
+  // Drain the delta log onto the target, record by record (the cursor
+  // makes a fault-interrupted drain resumable; same-order replay of a
+  // record is idempotent).
+  while (m.delta_applied < m.delta.size()) {
+    const LogRecord& rec = m.delta[m.delta_applied];
+    try {
+      switch (rec.kind) {
+        case LogRecord::kUpsert:
+          tgt.list->batch_upsert(rec.ops);
+          break;
+        case LogRecord::kUpdate:
+          (void)tgt.list->batch_update(rec.ops);
+          break;
+        case LogRecord::kDelete:
+          (void)tgt.list->batch_delete(rec.keys);
+          break;
+      }
+    } catch (const StatusError& e) {
+      observe_shard_health(m.target, true);
+      throw;  // migration stays active; the next step resumes the drain
+    }
+    apply_record(m.staged, rec);
+    ++m.delta_applied;
+  }
+
+  // ---- atomic cutover (caller thread, no PIM rounds in between) ----
+  const u32 source = m.source;
+  const u32 target = m.target;
+  const MigrationState done = std::move(m);
+  migration_.reset();  // from here on, writes route normally
+
+  // Route flip: entries of `source` at or above the split move to
+  // `target`; a split strictly inside an entry splits that entry.
+  const u32 idx = route_index(done.lo);
+  if (routes_[idx].lo < done.lo) {
+    routes_.insert(routes_.begin() + idx + 1, RouteEntry{done.lo, target});
+  }
+  for (RouteEntry& e : routes_) {
+    if (e.slot == source && e.lo >= done.lo) e.slot = target;
+  }
+  src.hi = done.lo;
+  tgt.lo = done.lo;
+  tgt.hi = done.hi;
+  tgt.state = ShardState::kLive;
+
+  // Durability handoff: the moved range leaves the source's journal and
+  // becomes the target's checkpoint.
+  std::map<Key, Value> retained = replay_log(src);
+  retained.erase(retained.lower_bound(done.lo), retained.end());
+  src.checkpoint = std::move(retained);
+  src.journal.clear();
+  tgt.checkpoint = done.staged;
+  tgt.journal.clear();
+
+  // Physically remove the moved leaves from the source. On a machine
+  // fault, fall back to rebuilding the source from its (already
+  // rewritten) checkpoint — offline, cannot fail, same contents.
+  std::vector<Key> moved;
+  moved.reserve(done.staged.size());
+  for (const auto& [k, v] : done.staged) moved.push_back(k);
+  try {
+    constexpr u64 kChunk = 1024;
+    for (u64 i = 0; i < moved.size(); i += kChunk) {
+      const u64 e = std::min(i + kChunk, static_cast<u64>(moved.size()));
+      (void)src.list->batch_delete(
+          std::span<const Key>(moved.data() + i, e - i));
+    }
+  } catch (const StatusError&) {
+    observe_shard_health(source, true);
+    if (slots_[source].state == ShardState::kLive) {
+      restore_into(source, slots_[source].checkpoint);
+    }
+  }
+}
+
+void ShardedPimStore::abort_migration_for(u32 slot) {
+  if (!migration_.has_value()) return;
+  if (slot != migration_->source && slot != migration_->target) return;
+  const MigrationState m = std::move(*migration_);
+  migration_.reset();
+  if (slot == m.source) {
+    // The staged copy is worthless without the source's ownership;
+    // recycle the target into an empty spare.
+    Shard& t = slots_[m.target];
+    if (t.state != ShardState::kDead) {
+      provision(m.target);
+      t.state = ShardState::kSpare;
+      t.checkpoint.clear();
+      t.journal.clear();
+    }
+  }
+  // slot == target: the source never gave anything up — full ownership,
+  // nothing to undo.
+}
+
+std::optional<ShardedPimStore::MigrationInfo> ShardedPimStore::migration_info() const {
+  if (!migration_.has_value()) return std::nullopt;
+  MigrationInfo info;
+  info.source = migration_->source;
+  info.target = migration_->target;
+  info.lo = migration_->lo;
+  info.hi = migration_->hi;
+  info.copied = migration_->copied;
+  info.delta_records = migration_->delta.size();
+  return info;
+}
+
+std::optional<ShardedPimStore::MigrationPlan> ShardedPimStore::pick_migration(
+    double hot_share_factor) {
+  if (migration_.has_value()) return std::nullopt;
+  bool have_spare = false;
+  for (u32 i = 0; i < slots(); ++i) {
+    have_spare |= slots_[i].state == ShardState::kSpare;
+  }
+  if (!have_spare) return std::nullopt;
+  const u32 live = live_shards();
+  if (live < 1) return std::nullopt;
+
+  u32 hot = slots();
+  double hot_share = 0;
+  for (u32 i = 0; i < slots(); ++i) {
+    if (slots_[i].state != ShardState::kLive) continue;
+    const double share = shard_load(i).io_share;
+    if (share > hot_share) {
+      hot_share = share;
+      hot = i;
+    }
+  }
+  if (hot == slots()) return std::nullopt;
+  // Hot = carrying hot_share_factor× its fair share of the fleet's IO.
+  if (hot_share * live <= hot_share_factor) return std::nullopt;
+
+  std::vector<Key> keys;
+  for (const auto& [k, v] : replay_log(slots_[hot])) keys.push_back(k);
+  if (keys.size() < 2) return std::nullopt;
+  const Key split = keys[keys.size() / 2];
+  if (split <= slots_[hot].lo || split >= slots_[hot].hi) return std::nullopt;
+  return MigrationPlan{hot, split};
+}
+
+}  // namespace pim::shard

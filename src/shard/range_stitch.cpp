@@ -1,0 +1,413 @@
+// Cross-shard ordered operations: successor/predecessor spill waves and
+// route-split range aggregation/collection (DESIGN.md §5.10).
+//
+// The contract is oracle equality: every answer is bit-identical to a
+// single-Machine PimSkipList holding the union of the shards' contents.
+// Two mechanisms deliver it:
+//
+//  * Clamping: a shard's local answer only counts if it falls inside the
+//    shard's owned range [lo, hi). Keys physically present but outside
+//    the owned range (the short-lived leftovers a faulted post-cutover
+//    cleanup can leave behind) are never served.
+//  * Spilling: a clamped miss re-asks the next shard in key order (wave
+//    by wave; each wave strictly advances the route cursor, so the loop
+//    terminates). A spill that lands on a dead shard answers kShardDown:
+//    the true answer could live there, so no other key is ever returned.
+#include "shard/sharded_store.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace pim::shard {
+
+namespace {
+
+// One in-flight ordered query: original position, original query key and
+// the slot it is currently asking.
+struct PendingNear {
+  u64 pos = 0;
+  Key key = 0;
+  u32 slot = 0;
+};
+
+}  // namespace
+
+std::vector<ShardedPimStore::NearResult> ShardedPimStore::batch_successor(
+    std::span<const Key> keys) {
+  const u64 n = keys.size();
+  std::vector<NearResult> out(n);
+  std::vector<PendingNear> pending;
+  pending.reserve(n);
+  for (u64 i = 0; i < n; ++i) {
+    pending.push_back(PendingNear{i, keys[i], routes_[route_index(keys[i])].slot});
+  }
+
+  while (!pending.empty()) {
+    // Group this wave's queries by the shard they currently ask.
+    std::vector<std::pair<u32, std::vector<u64>>> groups;  // slot -> pending idx
+    {
+      std::vector<u32> group_of(slots_.size(), static_cast<u32>(-1));
+      for (u64 i = 0; i < pending.size(); ++i) {
+        const u32 slot = pending[i].slot;
+        if (group_of[slot] == static_cast<u32>(-1)) {
+          group_of[slot] = static_cast<u32>(groups.size());
+          groups.emplace_back(slot, std::vector<u64>{});
+        }
+        groups[group_of[slot]].second.push_back(i);
+      }
+    }
+
+    struct Job {
+      u32 slot;
+      std::vector<u64> pend;
+      std::vector<Key> sub;
+      std::vector<core::PimSkipList::NearResult> result;
+      std::optional<Status> failure;
+    };
+    std::vector<Job> jobs;
+    jobs.reserve(groups.size());
+    for (auto& [slot, pend] : groups) {
+      if (slots_[slot].state != ShardState::kLive) {
+        const Status down = shard_down_status(slot);
+        for (u64 pi : pend) out[pending[pi].pos].status = down;
+        continue;
+      }
+      Job j;
+      j.slot = slot;
+      j.pend = std::move(pend);
+      j.sub.reserve(j.pend.size());
+      for (u64 pi : j.pend) j.sub.push_back(pending[pi].key);
+      jobs.push_back(std::move(j));
+    }
+
+    std::vector<std::pair<u32, std::function<void()>>> wave;
+    wave.reserve(jobs.size());
+    for (Job& j : jobs) {
+      wave.emplace_back(j.slot, [this, &j] {
+        try {
+          j.result = slots_[j.slot].list->batch_successor(j.sub);
+        } catch (const StatusError& e) {
+          j.failure = e.status();
+        }
+      });
+    }
+    run_wave(std::move(wave));
+
+    std::vector<PendingNear> next;
+    for (Job& j : jobs) {
+      if (j.failure.has_value()) {
+        for (u64 pi : j.pend) out[pending[pi].pos].status = *j.failure;
+        observe_shard_health(j.slot, true);
+        continue;
+      }
+      const Key owned_hi = slots_[j.slot].hi;  // clamp bound
+      for (u64 k = 0; k < j.pend.size(); ++k) {
+        const PendingNear& p = pending[j.pend[k]];
+        const auto& r = j.result[k];
+        if (r.found && (owned_hi == kMaxKey || r.key < owned_hi)) {
+          out[p.pos] = NearResult{Status(), true, r.key};
+        } else if (owned_hi == kMaxKey) {
+          out[p.pos] = NearResult{Status(), false, 0};  // end of key space
+        } else {
+          next.push_back(PendingNear{p.pos, p.key, routes_[route_index(owned_hi)].slot});
+        }
+      }
+      observe_shard_health(j.slot, false);
+    }
+    pending = std::move(next);
+  }
+  return out;
+}
+
+std::vector<ShardedPimStore::NearResult> ShardedPimStore::batch_predecessor(
+    std::span<const Key> keys) {
+  const u64 n = keys.size();
+  std::vector<NearResult> out(n);
+  std::vector<PendingNear> pending;
+  pending.reserve(n);
+  for (u64 i = 0; i < n; ++i) {
+    pending.push_back(PendingNear{i, keys[i], routes_[route_index(keys[i])].slot});
+  }
+
+  while (!pending.empty()) {
+    std::vector<std::pair<u32, std::vector<u64>>> groups;
+    {
+      std::vector<u32> group_of(slots_.size(), static_cast<u32>(-1));
+      for (u64 i = 0; i < pending.size(); ++i) {
+        const u32 slot = pending[i].slot;
+        if (group_of[slot] == static_cast<u32>(-1)) {
+          group_of[slot] = static_cast<u32>(groups.size());
+          groups.emplace_back(slot, std::vector<u64>{});
+        }
+        groups[group_of[slot]].second.push_back(i);
+      }
+    }
+
+    struct Job {
+      u32 slot;
+      std::vector<u64> pend;
+      std::vector<Key> sub;
+      std::vector<core::PimSkipList::NearResult> result;
+      std::optional<Status> failure;
+    };
+    std::vector<Job> jobs;
+    jobs.reserve(groups.size());
+    for (auto& [slot, pend] : groups) {
+      if (slots_[slot].state != ShardState::kLive) {
+        const Status down = shard_down_status(slot);
+        for (u64 pi : pend) out[pending[pi].pos].status = down;
+        continue;
+      }
+      Job j;
+      j.slot = slot;
+      j.pend = std::move(pend);
+      j.sub.reserve(j.pend.size());
+      for (u64 pi : j.pend) j.sub.push_back(pending[pi].key);
+      jobs.push_back(std::move(j));
+    }
+
+    std::vector<std::pair<u32, std::function<void()>>> wave;
+    wave.reserve(jobs.size());
+    for (Job& j : jobs) {
+      wave.emplace_back(j.slot, [this, &j] {
+        try {
+          j.result = slots_[j.slot].list->batch_predecessor(j.sub);
+        } catch (const StatusError& e) {
+          j.failure = e.status();
+        }
+      });
+    }
+    run_wave(std::move(wave));
+
+    std::vector<PendingNear> next;
+    for (Job& j : jobs) {
+      if (j.failure.has_value()) {
+        for (u64 pi : j.pend) out[pending[pi].pos].status = *j.failure;
+        observe_shard_health(j.slot, true);
+        continue;
+      }
+      const Key owned_lo = slots_[j.slot].lo;
+      for (u64 k = 0; k < j.pend.size(); ++k) {
+        const PendingNear& p = pending[j.pend[k]];
+        const auto& r = j.result[k];
+        if (r.found && r.key >= owned_lo) {
+          out[p.pos] = NearResult{Status(), true, r.key};
+        } else if (owned_lo == kMinKey) {
+          out[p.pos] = NearResult{Status(), false, 0};  // start of key space
+        } else {
+          next.push_back(
+              PendingNear{p.pos, p.key, routes_[route_index(owned_lo - 1)].slot});
+        }
+      }
+      observe_shard_health(j.slot, false);
+    }
+    pending = std::move(next);
+  }
+  return out;
+}
+
+// ---------------- route-split range operations ----------------
+
+namespace {
+
+// One clamped subrange of a query, in route order.
+struct SubRange {
+  u64 chunk = 0;  // merge position (route order / query index)
+  Key lo = 0;
+  Key hi = 0;  // inclusive
+};
+
+}  // namespace
+
+ShardedPimStore::RangeResult ShardedPimStore::range_aggregate(Key lo, Key hi) {
+  RangeResult res;
+  if (lo > hi) return res;
+  struct Job {
+    u32 slot;
+    std::vector<SubRange> ranges;
+    RangeAgg agg;
+    std::optional<Status> failure;
+  };
+  std::vector<Job> jobs;
+  std::vector<u32> job_of(slots_.size(), static_cast<u32>(-1));
+  for (u32 idx = route_index(lo); idx < routes_.size() && routes_[idx].lo <= hi; ++idx) {
+    const u32 slot = routes_[idx].slot;
+    const Key sub_lo = std::max(lo, routes_[idx].lo);
+    const Key top = route_top(idx);
+    const Key sub_hi = top == kMaxKey ? hi : std::min(hi, top - 1);
+    if (sub_lo > sub_hi) continue;
+    if (slots_[slot].state != ShardState::kLive) {
+      res.status = shard_down_status(slot);
+      continue;
+    }
+    if (job_of[slot] == static_cast<u32>(-1)) {
+      job_of[slot] = static_cast<u32>(jobs.size());
+      jobs.push_back(Job{slot, {}, {}, std::nullopt});
+    }
+    jobs[job_of[slot]].ranges.push_back(SubRange{0, sub_lo, sub_hi});
+  }
+
+  std::vector<std::pair<u32, std::function<void()>>> wave;
+  wave.reserve(jobs.size());
+  for (Job& j : jobs) {
+    wave.emplace_back(j.slot, [this, &j] {
+      try {
+        for (const SubRange& r : j.ranges) {
+          const RangeAgg a = slots_[j.slot].list->range_count_broadcast(r.lo, r.hi);
+          j.agg.count += a.count;
+          j.agg.sum += a.sum;
+        }
+      } catch (const StatusError& e) {
+        j.failure = e.status();
+      }
+    });
+  }
+  run_wave(std::move(wave));
+
+  for (Job& j : jobs) {
+    if (j.failure.has_value()) {
+      if (res.status.ok()) res.status = *j.failure;
+      observe_shard_health(j.slot, true);
+      continue;
+    }
+    res.agg.count += j.agg.count;
+    res.agg.sum += j.agg.sum;
+    observe_shard_health(j.slot, false);
+  }
+  return res;
+}
+
+std::vector<ShardedPimStore::RangeResult> ShardedPimStore::batch_range_aggregate(
+    std::span<const RangeQuery> queries) {
+  const u64 n = queries.size();
+  std::vector<RangeResult> out(n);
+  struct Job {
+    u32 slot;
+    std::vector<u64> qidx;  // parallel to subs: owning query index
+    std::vector<RangeQuery> subs;
+    std::vector<RangeAgg> result;
+    std::optional<Status> failure;
+  };
+  std::vector<Job> jobs;
+  std::vector<u32> job_of(slots_.size(), static_cast<u32>(-1));
+  for (u64 q = 0; q < n; ++q) {
+    const Key lo = queries[q].lo, hi = queries[q].hi;
+    if (lo > hi) continue;
+    for (u32 idx = route_index(lo); idx < routes_.size() && routes_[idx].lo <= hi;
+         ++idx) {
+      const u32 slot = routes_[idx].slot;
+      const Key sub_lo = std::max(lo, routes_[idx].lo);
+      const Key top = route_top(idx);
+      const Key sub_hi = top == kMaxKey ? hi : std::min(hi, top - 1);
+      if (sub_lo > sub_hi) continue;
+      if (slots_[slot].state != ShardState::kLive) {
+        out[q].status = shard_down_status(slot);
+        continue;
+      }
+      if (job_of[slot] == static_cast<u32>(-1)) {
+        job_of[slot] = static_cast<u32>(jobs.size());
+        jobs.push_back(Job{slot, {}, {}, {}, std::nullopt});
+      }
+      Job& j = jobs[job_of[slot]];
+      j.qidx.push_back(q);
+      j.subs.push_back(RangeQuery{sub_lo, sub_hi});
+    }
+  }
+
+  std::vector<std::pair<u32, std::function<void()>>> wave;
+  wave.reserve(jobs.size());
+  for (Job& j : jobs) {
+    wave.emplace_back(j.slot, [this, &j] {
+      try {
+        j.result = slots_[j.slot].list->batch_range_aggregate(j.subs);
+      } catch (const StatusError& e) {
+        j.failure = e.status();
+      }
+    });
+  }
+  run_wave(std::move(wave));
+
+  for (Job& j : jobs) {
+    if (j.failure.has_value()) {
+      for (u64 k = 0; k < j.qidx.size(); ++k) {
+        if (out[j.qidx[k]].status.ok()) out[j.qidx[k]].status = *j.failure;
+      }
+      observe_shard_health(j.slot, true);
+      continue;
+    }
+    for (u64 k = 0; k < j.qidx.size(); ++k) {
+      out[j.qidx[k]].agg.count += j.result[k].count;
+      out[j.qidx[k]].agg.sum += j.result[k].sum;
+    }
+    observe_shard_health(j.slot, false);
+  }
+  return out;
+}
+
+ShardedPimStore::CollectResult ShardedPimStore::range_collect(Key lo, Key hi) {
+  CollectResult res;
+  if (lo > hi) return res;
+  struct Job {
+    u32 slot;
+    std::vector<SubRange> ranges;  // chunk = route order for the merge
+    std::vector<std::vector<std::pair<Key, Value>>> result;  // per range
+    std::optional<Status> failure;
+  };
+  std::vector<Job> jobs;
+  std::vector<u32> job_of(slots_.size(), static_cast<u32>(-1));
+  u64 chunks = 0;
+  for (u32 idx = route_index(lo); idx < routes_.size() && routes_[idx].lo <= hi; ++idx) {
+    const u32 slot = routes_[idx].slot;
+    const Key sub_lo = std::max(lo, routes_[idx].lo);
+    const Key top = route_top(idx);
+    const Key sub_hi = top == kMaxKey ? hi : std::min(hi, top - 1);
+    if (sub_lo > sub_hi) continue;
+    if (slots_[slot].state != ShardState::kLive) {
+      res.status = shard_down_status(slot);
+      ++chunks;  // keep merge positions stable
+      continue;
+    }
+    if (job_of[slot] == static_cast<u32>(-1)) {
+      job_of[slot] = static_cast<u32>(jobs.size());
+      jobs.push_back(Job{slot, {}, {}, std::nullopt});
+    }
+    jobs[job_of[slot]].ranges.push_back(SubRange{chunks++, sub_lo, sub_hi});
+  }
+
+  std::vector<std::pair<u32, std::function<void()>>> wave;
+  wave.reserve(jobs.size());
+  for (Job& j : jobs) {
+    j.result.resize(j.ranges.size());
+    wave.emplace_back(j.slot, [this, &j] {
+      try {
+        for (u64 r = 0; r < j.ranges.size(); ++r) {
+          j.result[r] =
+              slots_[j.slot].list->range_collect_broadcast(j.ranges[r].lo, j.ranges[r].hi);
+        }
+      } catch (const StatusError& e) {
+        j.failure = e.status();
+      }
+    });
+  }
+  run_wave(std::move(wave));
+
+  // Merge in route order: per-chunk results concatenate sorted because
+  // route ranges are disjoint and ascending.
+  std::vector<const std::vector<std::pair<Key, Value>>*> by_chunk(chunks, nullptr);
+  for (Job& j : jobs) {
+    if (j.failure.has_value()) {
+      if (res.status.ok()) res.status = *j.failure;
+      observe_shard_health(j.slot, true);
+      continue;
+    }
+    for (u64 r = 0; r < j.ranges.size(); ++r) by_chunk[j.ranges[r].chunk] = &j.result[r];
+    observe_shard_health(j.slot, false);
+  }
+  for (const auto* part : by_chunk) {
+    if (part != nullptr) res.pairs.insert(res.pairs.end(), part->begin(), part->end());
+  }
+  return res;
+}
+
+}  // namespace pim::shard

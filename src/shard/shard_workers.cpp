@@ -1,0 +1,70 @@
+#include "shard/shard_workers.hpp"
+
+#include "common/error.hpp"
+
+namespace pim::shard {
+
+ShardWorkers::~ShardWorkers() {
+  wait_all();
+  for (auto& w : workers_) {
+    if (w == nullptr) continue;
+    {
+      std::lock_guard lock(w->mu);
+      w->stop = true;
+    }
+    w->cv.notify_all();
+  }
+  for (auto& w : workers_) {
+    if (w != nullptr && w->thread.joinable()) w->thread.join();
+  }
+}
+
+ShardWorkers::Worker& ShardWorkers::worker_for(u32 slot) {
+  if (slot >= workers_.size()) workers_.resize(slot + 1);
+  if (workers_[slot] == nullptr) {
+    workers_[slot] = std::make_unique<Worker>();
+    Worker* w = workers_[slot].get();
+    w->thread = std::thread([this, w] { worker_loop(*w); });
+  }
+  return *workers_[slot];
+}
+
+void ShardWorkers::post(u32 slot, std::function<void()> job) {
+  Worker& w = worker_for(slot);
+  {
+    std::lock_guard lock(done_mu_);
+    ++outstanding_;
+  }
+  {
+    std::lock_guard lock(w.mu);
+    w.queue.push_back(std::move(job));
+  }
+  w.cv.notify_one();
+}
+
+void ShardWorkers::wait_all() {
+  std::unique_lock lock(done_mu_);
+  done_cv_.wait(lock, [&] { return outstanding_ == 0; });
+}
+
+void ShardWorkers::worker_loop(Worker& w) {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock lock(w.mu);
+      w.cv.wait(lock, [&] { return w.stop || !w.queue.empty(); });
+      if (w.queue.empty()) return;  // stop with nothing queued
+      job = std::move(w.queue.front());
+      w.queue.erase(w.queue.begin());
+    }
+    job();  // must not throw (store wraps sub-batches in a catch-all)
+    {
+      std::lock_guard lock(done_mu_);
+      PIM_CHECK(outstanding_ > 0, "worker finished an untracked job");
+      --outstanding_;
+    }
+    done_cv_.notify_all();
+  }
+}
+
+}  // namespace pim::shard

@@ -1,0 +1,73 @@
+// Per-shard worker threads for the sharded store's fan-out phase.
+//
+// A ShardedPimStore batch is split by key range, and every shard's
+// sub-batch runs on that shard's own dedicated host thread — shard
+// machines are fully independent (own Machine, own PimSkipList, own
+// CPU-side mirrors), so the sub-batches share no mutable state and the
+// merged results are bit-identical to running the shards one after
+// another. The worker-per-shard shape (rather than one shared pool)
+// models the deployment the ROADMAP names: one driver process per rack,
+// all racks turning rounds concurrently.
+//
+// Each wave posts at most one job per shard; wait_all() is the merge
+// barrier. Jobs must not throw (the store wraps every sub-batch in a
+// catch-all that converts escapes into per-key Status results). Nested
+// parallelism inside a job (the skiplist's parallel_for, a kParallel
+// machine executor) goes through the process-wide par::ThreadPool, which
+// tolerates concurrent external callers: whoever enters second drains its
+// own batch inline.
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace pim::shard {
+
+class ShardWorkers {
+ public:
+  ShardWorkers() = default;
+  ~ShardWorkers();
+
+  ShardWorkers(const ShardWorkers&) = delete;
+  ShardWorkers& operator=(const ShardWorkers&) = delete;
+
+  /// Queues `job` on shard slot's dedicated worker (lazily spawned).
+  /// Jobs posted to distinct slots run concurrently; jobs posted to one
+  /// slot run in post order. `job` must not throw.
+  void post(u32 slot, std::function<void()> job);
+
+  /// Blocks until every posted job has finished (the merge barrier).
+  void wait_all();
+
+  /// Runs one wave inline on the calling thread, in post order. The
+  /// deterministic twin of post()+wait_all() used when
+  /// ShardOptions::parallel_dispatch is off; results are identical
+  /// because shard state is disjoint either way.
+  static void run_inline(std::function<void()> job) { job(); }
+
+ private:
+  struct Worker {
+    std::thread thread;
+    std::mutex mu;
+    std::condition_variable cv;
+    std::vector<std::function<void()>> queue;  // FIFO; drained from front
+    bool stop = false;
+  };
+
+  void worker_loop(Worker& w);
+  Worker& worker_for(u32 slot);
+
+  std::vector<std::unique_ptr<Worker>> workers_;  // index == shard slot
+
+  std::mutex done_mu_;
+  std::condition_variable done_cv_;
+  u64 outstanding_ = 0;  // guarded by done_mu_
+};
+
+}  // namespace pim::shard

@@ -1,0 +1,524 @@
+// ShardedPimStore core: provisioning, the route table, the two-phase
+// batch split/merge dispatcher, and the store-level write-ahead journal
+// that makes shard failover lossless for acknowledged writes.
+#include "shard/sharded_store.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <string>
+
+#include "common/error.hpp"
+#include "random/hash_fn.hpp"
+
+namespace pim::shard {
+
+namespace {
+constexpr u64 kDeleteChunk = 1024;  // source-side range delete batching
+}  // namespace
+
+ShardedPimStore::ShardedPimStore(ShardOptions opts) : opts_(std::move(opts)) {
+  PIM_CHECK(opts_.shards >= 1, "need at least one shard");
+  PIM_CHECK(opts_.modules_per_shard >= 1, "need at least one module per shard");
+  PIM_CHECK(opts_.domain_hi > opts_.domain_lo, "empty key domain");
+  slots_.resize(opts_.shards + opts_.spares);
+  const u64 span =
+      static_cast<u64>(opts_.domain_hi - opts_.domain_lo) / opts_.shards;
+  PIM_CHECK(span >= 1, "domain narrower than the shard count");
+  for (u32 i = 0; i < opts_.shards; ++i) {
+    Shard& s = slots_[i];
+    provision(i);
+    s.state = ShardState::kLive;
+    // The edge shards own the open ends of the key space, so every key
+    // routes somewhere.
+    s.lo = i == 0 ? kMinKey : opts_.domain_lo + static_cast<Key>(span * i);
+    s.hi = i + 1 == opts_.shards ? kMaxKey
+                                 : opts_.domain_lo + static_cast<Key>(span * (i + 1));
+    routes_.push_back(RouteEntry{s.lo, i});
+  }
+  for (u32 i = opts_.shards; i < slots_.size(); ++i) {
+    provision(i);
+    slots_[i].state = ShardState::kSpare;
+  }
+}
+
+ShardedPimStore::~ShardedPimStore() = default;
+
+void ShardedPimStore::provision(u32 slot) {
+  Shard& s = slots_[slot];
+  ++s.generation;
+  s.machine = std::make_unique<sim::Machine>(opts_.modules_per_shard,
+                                             opts_.machine_options);
+  auto lopts = opts_.list_options;
+  lopts.seed = rnd::mix2(rnd::mix2(opts_.seed, slot), s.generation);
+  s.list = std::make_unique<core::PimSkipList>(*s.machine, lopts);
+  s.list->set_op_deadline(deadline_);
+  s.fail_streak = 0;
+  s.base_io = 0;
+  s.base_work.assign(opts_.modules_per_shard, 0);
+  if (fleet_plan_.has_value()) {
+    s.machine->set_fault_plan(sim::derive_shard_plan(*fleet_plan_, slot));
+  }
+}
+
+// ---------------- store-level journal ----------------
+
+void ShardedPimStore::apply_record(std::map<Key, Value>& m, const LogRecord& r) {
+  // Batch semantics, replayed: first occurrence wins within one record
+  // (matching the per-shard batch contracts), records in order.
+  switch (r.kind) {
+    case LogRecord::kUpsert: {
+      std::set<Key> seen;
+      for (const auto& [k, v] : r.ops) {
+        if (seen.insert(k).second) m[k] = v;
+      }
+      break;
+    }
+    case LogRecord::kUpdate: {
+      std::set<Key> seen;
+      for (const auto& [k, v] : r.ops) {
+        if (seen.insert(k).second && m.contains(k)) m[k] = v;
+      }
+      break;
+    }
+    case LogRecord::kDelete:
+      for (const Key k : r.keys) m.erase(k);
+      break;
+  }
+}
+
+std::map<Key, Value> ShardedPimStore::replay_log(const Shard& s) const {
+  std::map<Key, Value> m = s.checkpoint;
+  for (const LogRecord& r : s.journal) apply_record(m, r);
+  return m;
+}
+
+void ShardedPimStore::maybe_compact_journal(Shard& s) {
+  if (s.journal.size() <= opts_.journal_compact_limit) return;
+  s.checkpoint = replay_log(s);
+  s.journal.clear();
+}
+
+void ShardedPimStore::journal_acked(u32 slot, LogRecord record) {
+  if (migration_.has_value() && slot == migration_->source) {
+    // Writes landing in the moving range are double-entried into the
+    // migration delta log; the drain replays them onto the target before
+    // cutover. Replay over already-copied values is idempotent (same
+    // write, same order), so a write racing the copy pass is safe.
+    LogRecord d;
+    d.kind = record.kind;
+    for (const auto& op : record.ops) {
+      if (op.first >= migration_->lo && op.first < migration_->hi) d.ops.push_back(op);
+    }
+    for (const Key k : record.keys) {
+      if (k >= migration_->lo && k < migration_->hi) d.keys.push_back(k);
+    }
+    if (!d.ops.empty() || !d.keys.empty()) migration_->delta.push_back(std::move(d));
+  }
+  Shard& s = slots_[slot];
+  s.journal.push_back(std::move(record));
+  maybe_compact_journal(s);
+}
+
+void ShardedPimStore::restore_into(u32 slot, const std::map<Key, Value>& contents) {
+  provision(slot);
+  Shard& s = slots_[slot];
+  std::vector<std::pair<Key, Value>> sorted(contents.begin(), contents.end());
+  s.list->build(sorted);
+  s.checkpoint = contents;
+  s.journal.clear();
+}
+
+// ---------------- routing ----------------
+
+u32 ShardedPimStore::route_index(Key key) const {
+  // Last entry with lo <= key. routes_[0].lo == kMinKey, so this always
+  // resolves.
+  auto it = std::upper_bound(routes_.begin(), routes_.end(), key,
+                             [](Key k, const RouteEntry& e) { return k < e.lo; });
+  PIM_CHECK(it != routes_.begin(), "route table does not cover kMinKey");
+  return static_cast<u32>(std::distance(routes_.begin(), it) - 1);
+}
+
+Key ShardedPimStore::route_top(u64 route_idx) const {
+  return route_idx + 1 < routes_.size() ? routes_[route_idx + 1].lo : kMaxKey;
+}
+
+u32 ShardedPimStore::route(Key key) const { return routes_[route_index(key)].slot; }
+
+Status ShardedPimStore::shard_down_status(u32 slot) const {
+  return Status(StatusCode::kShardDown,
+                "shard " + std::to_string(slot) +
+                    " is down (failover to a spare or revive it)");
+}
+
+// ---------------- dispatch ----------------
+
+void ShardedPimStore::run_wave(std::vector<std::pair<u32, std::function<void()>>> jobs) {
+  if (!opts_.parallel_dispatch || jobs.size() <= 1) {
+    // Inline, in slot order: the deterministic twin of the threaded path.
+    std::sort(jobs.begin(), jobs.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (auto& [slot, job] : jobs) ShardWorkers::run_inline(std::move(job));
+    return;
+  }
+  for (auto& [slot, job] : jobs) workers_.post(slot, std::move(job));
+  workers_.wait_all();
+}
+
+void ShardedPimStore::observe_shard_health(u32 slot, bool wave_failed) {
+  Shard& s = slots_[slot];
+  if (s.state == ShardState::kDead || s.machine == nullptr) return;
+  // Machine-level verdict: every module down means the rack is gone —
+  // there is nothing left for module recovery to run on. Applies to
+  // spares too (a migration target can die mid-copy).
+  if (s.machine->down_count() == s.machine->modules()) {
+    kill_shard(slot);
+    return;
+  }
+  if (s.state != ShardState::kLive) return;  // spares carry no fail streak
+  if (wave_failed) {
+    if (++s.fail_streak >= opts_.shard_breaker_strikes) kill_shard(slot);
+  } else {
+    s.fail_streak = 0;
+  }
+}
+
+// ---------------- bulk build ----------------
+
+void ShardedPimStore::build(std::span<const std::pair<Key, Value>> sorted_unique) {
+  // Gather per-slot slices in route order: a slot's routes are contiguous
+  // and ascending, so the concatenation stays sorted.
+  std::vector<std::vector<std::pair<Key, Value>>> per_slot(slots_.size());
+  for (const auto& kv : sorted_unique) per_slot[route(kv.first)].push_back(kv);
+  for (u32 i = 0; i < slots_.size(); ++i) {
+    if (per_slot[i].empty()) continue;
+    Shard& s = slots_[i];
+    PIM_CHECK(s.state == ShardState::kLive, "build routed keys to a non-live shard");
+    s.list->build(per_slot[i]);
+    s.checkpoint.insert(per_slot[i].begin(), per_slot[i].end());
+    s.journal.clear();
+  }
+}
+
+// ---------------- batch point operations ----------------
+
+std::vector<ShardedPimStore::GetResult> ShardedPimStore::batch_get(
+    std::span<const Key> keys) {
+  const u64 n = keys.size();
+  std::vector<GetResult> out(n);
+  auto groups = split_by_slot(n, [&](u64 i) { return keys[i]; });
+
+  struct Job {
+    u32 slot;
+    std::vector<u64> positions;
+    std::vector<Key> sub;
+    std::vector<core::PimSkipList::PartialGet> result;
+    std::optional<Status> failure;
+  };
+  std::vector<Job> jobs;
+  jobs.reserve(groups.size());
+  for (auto& [slot, positions] : groups) {
+    if (slots_[slot].state != ShardState::kLive) {
+      const Status down = shard_down_status(slot);
+      for (u64 p : positions) out[p].status = down;
+      continue;
+    }
+    Job j;
+    j.slot = slot;
+    j.positions = std::move(positions);
+    j.sub.reserve(j.positions.size());
+    for (u64 p : j.positions) j.sub.push_back(keys[p]);
+    jobs.push_back(std::move(j));
+  }
+
+  std::vector<std::pair<u32, std::function<void()>>> wave;
+  wave.reserve(jobs.size());
+  for (Job& j : jobs) {
+    wave.emplace_back(j.slot, [this, &j] {
+      try {
+        j.result = slots_[j.slot].list->batch_get_partial(j.sub);
+      } catch (const StatusError& e) {
+        j.failure = e.status();
+      }
+    });
+  }
+  run_wave(std::move(wave));
+
+  for (Job& j : jobs) {
+    if (j.failure.has_value()) {
+      for (u64 p : j.positions) out[p].status = *j.failure;
+    } else {
+      for (u64 k = 0; k < j.positions.size(); ++k) {
+        const auto& r = j.result[k];
+        out[j.positions[k]] = GetResult{r.status, r.found, r.value};
+      }
+    }
+    observe_shard_health(j.slot, j.failure.has_value());
+  }
+  return out;
+}
+
+std::vector<Status> ShardedPimStore::batch_upsert(
+    std::span<const std::pair<Key, Value>> ops) {
+  const u64 n = ops.size();
+  std::vector<Status> out(n);
+  auto groups = split_by_slot(n, [&](u64 i) { return ops[i].first; });
+
+  struct Job {
+    u32 slot;
+    std::vector<u64> positions;
+    std::vector<std::pair<Key, Value>> sub;
+    std::vector<Status> result;
+    std::optional<Status> failure;
+  };
+  std::vector<Job> jobs;
+  jobs.reserve(groups.size());
+  for (auto& [slot, positions] : groups) {
+    if (slots_[slot].state != ShardState::kLive) {
+      const Status down = shard_down_status(slot);
+      for (u64 p : positions) out[p] = down;
+      continue;
+    }
+    Job j;
+    j.slot = slot;
+    j.positions = std::move(positions);
+    j.sub.reserve(j.positions.size());
+    for (u64 p : j.positions) j.sub.push_back(ops[p]);
+    jobs.push_back(std::move(j));
+  }
+
+  std::vector<std::pair<u32, std::function<void()>>> wave;
+  wave.reserve(jobs.size());
+  for (Job& j : jobs) {
+    wave.emplace_back(j.slot, [this, &j] {
+      try {
+        j.result = slots_[j.slot].list->batch_upsert_partial(j.sub);
+      } catch (const StatusError& e) {
+        j.failure = e.status();
+      }
+    });
+  }
+  run_wave(std::move(wave));
+
+  for (Job& j : jobs) {
+    LogRecord rec;
+    rec.kind = LogRecord::kUpsert;
+    if (j.failure.has_value()) {
+      for (u64 p : j.positions) out[p] = *j.failure;
+    } else {
+      for (u64 k = 0; k < j.positions.size(); ++k) {
+        out[j.positions[k]] = j.result[k];
+        if (j.result[k].ok()) rec.ops.push_back(j.sub[k]);
+      }
+    }
+    if (!rec.ops.empty()) journal_acked(j.slot, std::move(rec));
+    observe_shard_health(j.slot, j.failure.has_value());
+  }
+  return out;
+}
+
+std::vector<ShardedPimStore::FlagResult> ShardedPimStore::batch_update(
+    std::span<const std::pair<Key, Value>> ops) {
+  const u64 n = ops.size();
+  std::vector<FlagResult> out(n);
+  auto groups = split_by_slot(n, [&](u64 i) { return ops[i].first; });
+
+  struct Job {
+    u32 slot;
+    std::vector<u64> positions;
+    std::vector<std::pair<Key, Value>> sub;
+    std::vector<core::PimSkipList::PartialFlag> result;
+    std::optional<Status> failure;
+  };
+  std::vector<Job> jobs;
+  jobs.reserve(groups.size());
+  for (auto& [slot, positions] : groups) {
+    if (slots_[slot].state != ShardState::kLive) {
+      const Status down = shard_down_status(slot);
+      for (u64 p : positions) out[p].status = down;
+      continue;
+    }
+    Job j;
+    j.slot = slot;
+    j.positions = std::move(positions);
+    j.sub.reserve(j.positions.size());
+    for (u64 p : j.positions) j.sub.push_back(ops[p]);
+    jobs.push_back(std::move(j));
+  }
+
+  std::vector<std::pair<u32, std::function<void()>>> wave;
+  wave.reserve(jobs.size());
+  for (Job& j : jobs) {
+    wave.emplace_back(j.slot, [this, &j] {
+      try {
+        j.result = slots_[j.slot].list->batch_update_partial(j.sub);
+      } catch (const StatusError& e) {
+        j.failure = e.status();
+      }
+    });
+  }
+  run_wave(std::move(wave));
+
+  for (Job& j : jobs) {
+    LogRecord rec;
+    rec.kind = LogRecord::kUpdate;
+    if (j.failure.has_value()) {
+      for (u64 p : j.positions) out[p].status = *j.failure;
+    } else {
+      for (u64 k = 0; k < j.positions.size(); ++k) {
+        const auto& r = j.result[k];
+        out[j.positions[k]] = FlagResult{r.status, r.found};
+        if (r.status.ok()) rec.ops.push_back(j.sub[k]);
+      }
+    }
+    if (!rec.ops.empty()) journal_acked(j.slot, std::move(rec));
+    observe_shard_health(j.slot, j.failure.has_value());
+  }
+  return out;
+}
+
+std::vector<ShardedPimStore::FlagResult> ShardedPimStore::batch_delete(
+    std::span<const Key> keys) {
+  const u64 n = keys.size();
+  std::vector<FlagResult> out(n);
+  auto groups = split_by_slot(n, [&](u64 i) { return keys[i]; });
+
+  struct Job {
+    u32 slot;
+    std::vector<u64> positions;
+    std::vector<Key> sub;
+    std::vector<core::PimSkipList::PartialFlag> result;
+    std::optional<Status> failure;
+  };
+  std::vector<Job> jobs;
+  jobs.reserve(groups.size());
+  for (auto& [slot, positions] : groups) {
+    if (slots_[slot].state != ShardState::kLive) {
+      const Status down = shard_down_status(slot);
+      for (u64 p : positions) out[p].status = down;
+      continue;
+    }
+    Job j;
+    j.slot = slot;
+    j.positions = std::move(positions);
+    j.sub.reserve(j.positions.size());
+    for (u64 p : j.positions) j.sub.push_back(keys[p]);
+    jobs.push_back(std::move(j));
+  }
+
+  std::vector<std::pair<u32, std::function<void()>>> wave;
+  wave.reserve(jobs.size());
+  for (Job& j : jobs) {
+    wave.emplace_back(j.slot, [this, &j] {
+      try {
+        j.result = slots_[j.slot].list->batch_delete_partial(j.sub);
+      } catch (const StatusError& e) {
+        j.failure = e.status();
+      }
+    });
+  }
+  run_wave(std::move(wave));
+
+  for (Job& j : jobs) {
+    LogRecord rec;
+    rec.kind = LogRecord::kDelete;
+    if (j.failure.has_value()) {
+      for (u64 p : j.positions) out[p].status = *j.failure;
+    } else {
+      for (u64 k = 0; k < j.positions.size(); ++k) {
+        const auto& r = j.result[k];
+        out[j.positions[k]] = FlagResult{r.status, r.found};
+        if (r.status.ok()) rec.keys.push_back(j.sub[k]);
+      }
+    }
+    if (!rec.keys.empty()) journal_acked(j.slot, std::move(rec));
+    observe_shard_health(j.slot, j.failure.has_value());
+  }
+  return out;
+}
+
+// ---------------- observability ----------------
+
+ShardedPimStore::ShardLoadStats ShardedPimStore::shard_load(u32 slot) const {
+  ShardLoadStats stats;
+  const Shard& s = slots_[slot];
+  if (s.machine == nullptr) return stats;
+  stats.io_time = s.machine->io_time() - s.base_io;
+  const u32 p = s.machine->modules();
+  double sum = 0, sq = 0;
+  for (u32 m = 0; m < p; ++m) {
+    const u64 base = m < s.base_work.size() ? s.base_work[m] : 0;
+    const double w = static_cast<double>(s.machine->module_work(m) - base);
+    stats.pim_work += static_cast<u64>(w);
+    sum += w;
+    sq += w * w;
+  }
+  if (sum > 0) {
+    const double mean = sum / p;
+    const double var = sq / p - mean * mean;
+    stats.module_cov = mean > 0 ? std::sqrt(std::max(0.0, var)) / mean : 0.0;
+  }
+  u64 total_io = 0;
+  for (const Shard& other : slots_) {
+    if (other.state == ShardState::kLive && other.machine != nullptr) {
+      total_io += other.machine->io_time() - other.base_io;
+    }
+  }
+  stats.io_share =
+      total_io > 0 ? static_cast<double>(stats.io_time) / static_cast<double>(total_io)
+                   : 0.0;
+  return stats;
+}
+
+void ShardedPimStore::reset_load_stats() {
+  for (Shard& s : slots_) {
+    if (s.machine == nullptr) continue;
+    s.base_io = s.machine->io_time();
+    s.base_work.resize(s.machine->modules());
+    for (u32 m = 0; m < s.machine->modules(); ++m) s.base_work[m] = s.machine->module_work(m);
+  }
+}
+
+std::pair<Key, Key> ShardedPimStore::shard_range(u32 slot) const {
+  return {slots_[slot].lo, slots_[slot].hi};
+}
+
+u32 ShardedPimStore::live_shards() const {
+  u32 n = 0;
+  for (const Shard& s : slots_) n += s.state == ShardState::kLive ? 1 : 0;
+  return n;
+}
+
+u64 ShardedPimStore::size() const {
+  u64 n = 0;
+  for (const Shard& s : slots_) {
+    if (s.state == ShardState::kLive) n += s.list->size();
+  }
+  return n;
+}
+
+void ShardedPimStore::check_invariants() const {
+  PIM_CHECK(!routes_.empty() && routes_.front().lo == kMinKey,
+            "route table must cover the key space from kMinKey");
+  for (u64 i = 0; i + 1 < routes_.size(); ++i) {
+    PIM_CHECK(routes_[i].lo < routes_[i + 1].lo, "route table out of order");
+  }
+  for (const RouteEntry& e : routes_) {
+    PIM_CHECK(e.slot < slots_.size(), "route names a missing slot");
+    PIM_CHECK(slots_[e.slot].state != ShardState::kSpare,
+              "route names a spare slot");
+  }
+  for (u32 i = 0; i < slots(); ++i) {
+    const Shard& s = slots_[i];
+    if (s.state != ShardState::kLive) continue;
+    s.list->check_invariants();
+    // Every journaled key must lie inside the owned range (migration
+    // cutover rewrites the log when ownership moves).
+    for (const auto& [k, v] : replay_log(s)) {
+      PIM_CHECK(k >= s.lo && k < s.hi, "journaled key outside the shard's range");
+    }
+  }
+}
+
+}  // namespace pim::shard

@@ -1,0 +1,379 @@
+// ShardedPimStore — a fleet of PimSkipList-on-Machine shards behind a
+// CPU-side range router (DESIGN.md §5.10).
+//
+// One Machine(P) models one rack. This tier range-partitions the key
+// space across S independent shards — each its own sim::Machine plus
+// core::PimSkipList — and turns the per-rack survivability built by
+// PRs 1–5 into a survivable fleet:
+//
+//  * Two-phase batch split/merge: every batch is split by the route
+//    table, the per-shard sub-batches run concurrently on per-shard
+//    worker threads (shard machines share no state, so the merge is
+//    bit-identical to running shards sequentially), and per-key Status
+//    results are reassembled in the caller's order. A dead shard yields
+//    kShardDown for exactly its keys; a dead module inside a live shard
+//    yields kUnavailable for exactly its keys (the PR 3 partial-batch
+//    contract, composed one level up). A batch is never wedged.
+//
+//  * Shard health: sub-batches run inside a catch-all; a shard whose
+//    machine reports every module down, or whose sub-batches keep
+//    escaping with faults (the shard-level analogue of the PR 3 circuit
+//    breaker, fed by the same per-module breaker/down signals), is
+//    fail-stopped — kill_shard/revive_shard expose the same transition
+//    as a chaos API.
+//
+//  * Failover: every acknowledged write is journaled at the store level
+//    (checkpoint + ordered batch records, exactly the PimSkipList
+//    journal design one level up). failover(s) replays the victim's
+//    checkpoint + journal into a spare Machine, so acknowledged writes
+//    survive the loss of a whole rack; revive_shard(s) is the same
+//    replay into the victim's own (repaired) slot.
+//
+//  * Online range migration: split a hot shard's range at a chosen key
+//    and stream its leaves to a spare in chunks while writes keep
+//    landing on the source; writes into the moving range are also
+//    appended to a migration delta log, replayed on the target before an
+//    atomic cutover (route flip + source-side range delete in one step).
+//    Crash of either end mid-migration aborts cleanly: ownership moves
+//    only at cutover, so there is no window where a key is lost or
+//    served twice. pick_migration() chooses the split from per-shard
+//    load statistics (io share, per-module work CoV — the PR 4 metrics).
+//
+//  * Cross-shard range stitching: batch_successor / batch_predecessor
+//    spill shard-local misses to the neighboring shard in key order
+//    (wave by wave), and range aggregates/collects split a query by the
+//    route table and merge per-shard partial results — answers are
+//    bit-identical to a single-Machine PimSkipList holding the same
+//    contents.
+//
+// Threading contract: the store's public API is driven by one caller
+// thread; only the fan-out phase is internally parallel. All routing,
+// journaling and migration bookkeeping happens on the caller thread
+// between waves, which is what makes kill/cutover atomic with respect
+// to batches.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/types.hpp"
+#include "core/pim_skiplist.hpp"
+#include "shard/shard_workers.hpp"
+#include "sim/fault.hpp"
+#include "sim/machine.hpp"
+
+namespace pim::shard {
+
+enum class ShardState : u8 {
+  kLive,   // owns a key range and serves traffic
+  kSpare,  // provisioned but empty; failover / migration target
+  kDead,   // machine lost (chaos kill or health verdict); routes to it
+           // answer kShardDown until failover() or revive_shard()
+};
+
+inline const char* shard_state_name(ShardState s) {
+  switch (s) {
+    case ShardState::kLive: return "LIVE";
+    case ShardState::kSpare: return "SPARE";
+    case ShardState::kDead: return "DEAD";
+  }
+  return "?";
+}
+
+struct ShardOptions {
+  /// Initial live shards (equal key ranges over [domain_lo, domain_hi)).
+  u32 shards = 4;
+  /// Spare slots provisioned up front (failover / migration targets).
+  u32 spares = 1;
+  /// Modules per shard machine (the paper's P, per rack).
+  u32 modules_per_shard = 8;
+  /// Key domain the initial boundaries divide. Keys outside still route
+  /// (to the first / last shard) — the edge shards own the open ends.
+  Key domain_lo = 0;
+  Key domain_hi = 1'000'000'000;
+  u64 seed = 0x5AA4D5EEDull;
+  /// Fan sub-batches out to per-shard worker threads. Off = run shards
+  /// inline in slot order; results are identical (disjoint state), so
+  /// tests can diff the two dispatch modes directly.
+  bool parallel_dispatch = true;
+  /// Applied to every shard machine (breaker, queue bounds, hedging —
+  /// the PR 3 knobs compose per shard).
+  sim::MachineOptions machine_options{};
+  /// Applied to every shard's skiplist; the seed is re-mixed per slot and
+  /// per provisioning generation so no two shard structures share
+  /// placement randomness.
+  core::PimSkipList::Options list_options{};
+  /// Target keys copied per migration_step() chunk.
+  u64 migration_chunk = 256;
+  /// Store-journal records per shard before compaction into the
+  /// checkpoint (the shard-level kJournalCompactLimit).
+  u64 journal_compact_limit = 64;
+  /// Consecutive escaped sub-batch failures before a shard is declared
+  /// dead (the shard-level circuit breaker).
+  u32 shard_breaker_strikes = 2;
+};
+
+class ShardedPimStore {
+ public:
+  explicit ShardedPimStore(ShardOptions opts);
+  ~ShardedPimStore();
+
+  ShardedPimStore(const ShardedPimStore&) = delete;
+  ShardedPimStore& operator=(const ShardedPimStore&) = delete;
+
+  // ---------------- bulk build (offline, not metered) ----------------
+
+  /// Splits strictly-increasing unique pairs by the route table and bulk
+  /// builds every shard; per-shard checkpoints start at the built
+  /// contents (so failover works from round zero).
+  void build(std::span<const std::pair<Key, Value>> sorted_unique);
+
+  // ---------------- batch point operations ----------------
+
+  struct GetResult {
+    Status status;
+    bool found = false;
+    Value value = 0;
+  };
+  std::vector<GetResult> batch_get(std::span<const Key> keys);
+
+  /// Per-position status; kOk positions are acknowledged (journaled) and
+  /// survive any later shard failover.
+  std::vector<Status> batch_upsert(std::span<const std::pair<Key, Value>> ops);
+
+  struct FlagResult {
+    Status status;
+    bool found = false;  // update: key existed; delete: key erased
+  };
+  std::vector<FlagResult> batch_update(std::span<const std::pair<Key, Value>> ops);
+  std::vector<FlagResult> batch_delete(std::span<const Key> keys);
+
+  // ---------------- cross-shard ordered operations ----------------
+
+  struct NearResult {
+    Status status;
+    bool found = false;
+    Key key = 0;
+  };
+  /// Smallest stored key >= query, stitched across shard boundaries: a
+  /// miss in the owning shard spills to the next shard in key order. A
+  /// query whose answer could live in a dead shard reports kShardDown
+  /// (the answer cannot be determined, so no wrong key is ever served).
+  std::vector<NearResult> batch_successor(std::span<const Key> keys);
+  /// Largest stored key <= query (mirror stitching, spills backwards).
+  std::vector<NearResult> batch_predecessor(std::span<const Key> keys);
+
+  using RangeAgg = core::PimSkipList::RangeAgg;
+  using RangeQuery = core::PimSkipList::RangeQuery;
+  struct RangeResult {
+    Status status;  // kShardDown if any shard owning part of the range is dead
+    RangeAgg agg;   // partial (live shards only) when !status.ok()
+  };
+  /// Inclusive [lo, hi] count+sum, split by the route table and merged.
+  RangeResult range_aggregate(Key lo, Key hi);
+  /// Batched count+sum per query (each split per shard, partials added).
+  std::vector<RangeResult> batch_range_aggregate(std::span<const RangeQuery> queries);
+  struct CollectResult {
+    Status status;
+    std::vector<std::pair<Key, Value>> pairs;  // sorted by key; partial when !ok
+  };
+  CollectResult range_collect(Key lo, Key hi);
+
+  // ---------------- chaos / failover API ----------------
+
+  /// Fail-stops a whole shard: its Machine and structure are destroyed
+  /// (rack loss — the CPU-side mirrors die with it), routes to it answer
+  /// kShardDown. Killing a spare just decommissions it. Any migration
+  /// involving the shard is aborted (ownership never moved, so the
+  /// surviving end stays exact). No-op on an already-dead shard.
+  void kill_shard(u32 slot);
+  /// Rebuilds a dead shard in place from its store-level checkpoint +
+  /// journal and returns it to service (kLive if it owns routes, kSpare
+  /// otherwise). Every acknowledged write is restored.
+  void revive_shard(u32 slot);
+  /// Replays a dead shard's checkpoint + journal into a spare slot and
+  /// flips the victim's routes to it. The victim slot is decommissioned
+  /// (revive_shard turns it back into a spare). Returns kInvalidArgument
+  /// if `slot` is not a dead route owner or no spare exists.
+  Status failover(u32 slot);
+
+  /// Installs a fleet-wide fault plan: every live shard's machine gets a
+  /// shard-local derivation (sim::derive_shard_plan — same policy,
+  /// independent draws) and its internal journal is established so
+  /// module-level recovery works from the next batch on.
+  void set_fleet_fault_plan(const sim::FaultPlan& plan);
+  /// Installs a plan on one shard's machine (per-shard chaos).
+  void set_shard_fault_plan(u32 slot, const sim::FaultPlan& plan);
+  /// Per-batch deadline forwarded to every live shard's skiplist.
+  void set_op_deadline(core::PimSkipList::OpDeadline d);
+
+  // ---------------- online migration ----------------
+
+  struct MigrationPlan {
+    u32 source = 0;
+    Key split_key = 0;
+  };
+  /// Carves [split_key, hi) out of `source`'s range into a fresh spare.
+  /// kMigrationInProgress if one is already running, kShardDown if the
+  /// source is dead, kInvalidArgument if the split is outside the
+  /// source's range or no spare is free. Traffic keeps routing to the
+  /// source until the final migration_step cuts over.
+  Status start_migration(u32 source, Key split_key);
+  /// Copies the next chunk (ShardOptions::migration_chunk keys); once
+  /// the copy pass is exhausted, replays the delta log onto the target
+  /// and atomically cuts over (route flip + source-side range delete) in
+  /// this same call. kInvalidArgument when no migration is active.
+  Status migration_step();
+  bool migration_active() const { return migration_.has_value(); }
+  struct MigrationInfo {
+    u32 source = 0;
+    u32 target = 0;
+    Key lo = 0;
+    Key hi = 0;  // exclusive
+    u64 copied = 0;
+    u64 delta_records = 0;
+  };
+  std::optional<MigrationInfo> migration_info() const;
+
+  /// Hottest live shard by io-share since the last reset_load_stats(),
+  /// split at the median key of its contents — the PR 4 load statistics
+  /// driving re-homing. Returns nullopt when no live shard is hot
+  /// (share <= hot_share_factor / live_shards), fewer than 2 keys, or no
+  /// spare is free.
+  std::optional<MigrationPlan> pick_migration(double hot_share_factor = 1.5);
+
+  // ---------------- observability ----------------
+
+  struct ShardLoadStats {
+    u64 io_time = 0;       // since the last reset_load_stats()
+    u64 pim_work = 0;      // total module work in the span
+    double io_share = 0;   // fraction of all live shards' io_time
+    double module_cov = 0; // CoV of per-module work within the shard
+  };
+  ShardLoadStats shard_load(u32 slot) const;
+  void reset_load_stats();
+
+  u32 slots() const { return static_cast<u32>(slots_.size()); }
+  ShardState shard_state(u32 slot) const { return slots_[slot].state; }
+  /// Owned range [lo, hi) of a route-owning slot (live or dead).
+  std::pair<Key, Key> shard_range(u32 slot) const;
+  /// Slot that owns `key`'s range right now.
+  u32 route(Key key) const;
+  u32 live_shards() const;
+  /// Sum of size() over live shards (dead shards contribute nothing).
+  u64 size() const;
+  /// The shard's machine (benches read metrics; nullptr when dead).
+  const sim::Machine* shard_machine(u32 slot) const {
+    return slots_[slot].machine.get();
+  }
+  /// Store-journal records currently buffered for a slot (tests).
+  u64 journal_records(u32 slot) const { return slots_[slot].journal.size(); }
+  /// Full structural validation of every live shard.
+  void check_invariants() const;
+
+ private:
+  // ----- store-level write-ahead journal (survives shard death) -----
+  struct LogRecord {
+    enum Kind : u8 { kUpsert, kUpdate, kDelete };
+    Kind kind = kUpsert;
+    std::vector<std::pair<Key, Value>> ops;  // upsert / update payload
+    std::vector<Key> keys;                   // delete payload
+  };
+  static void apply_record(std::map<Key, Value>& m, const LogRecord& r);
+
+  struct Shard {
+    ShardState state = ShardState::kSpare;
+    Key lo = 0, hi = 0;  // owned range [lo, hi); meaningful for route owners
+    std::unique_ptr<sim::Machine> machine;
+    std::unique_ptr<core::PimSkipList> list;
+    u64 generation = 0;  // bumped per (re-)provisioning; salts the list seed
+    // Store-level durability: CPU-side, so it survives the machine.
+    std::map<Key, Value> checkpoint;
+    std::vector<LogRecord> journal;
+    // Shard-level breaker: consecutive escaped sub-batch failures.
+    u32 fail_streak = 0;
+    // Load accounting baseline (reset_load_stats)
+    u64 base_io = 0;
+    std::vector<u64> base_work;
+  };
+
+  struct RouteEntry {
+    Key lo;    // inclusive lower bound; entries sorted, first is kMinKey
+    u32 slot;  // owning shard slot
+  };
+
+  // ----- provisioning / replay -----
+  void provision(u32 slot);  // fresh Machine + empty PimSkipList
+  std::map<Key, Value> replay_log(const Shard& s) const;
+  void maybe_compact_journal(Shard& s);
+  /// Appends an acked-writes record to the slot journal (and, when the
+  /// slot is a migration source, the in-range subset to the delta log).
+  void journal_acked(u32 slot, LogRecord record);
+  /// Rebuilds a slot's machine+list from contents (failover / revive).
+  void restore_into(u32 slot, const std::map<Key, Value>& contents);
+
+  // ----- routing / dispatch -----
+  u32 route_index(Key key) const;  // index into routes_
+  Key route_top(u64 route_idx) const;  // exclusive hi of routes_[idx]
+  /// Groups positions by owning slot: wave[k] = (slot, positions).
+  template <typename KeyOf>
+  std::vector<std::pair<u32, std::vector<u64>>> split_by_slot(u64 n, KeyOf&& key_of) const;
+  /// Runs one closure per (slot, job) pair — per-shard worker threads or
+  /// inline in slot order — then joins.
+  void run_wave(std::vector<std::pair<u32, std::function<void()>>> jobs);
+  /// Post-wave health: converts machine-level verdicts (all modules
+  /// down) and repeated sub-batch escapes into a shard fail-stop.
+  void observe_shard_health(u32 slot, bool wave_failed);
+  Status shard_down_status(u32 slot) const;
+
+  // ----- migration internals -----
+  struct MigrationState {
+    u32 source = 0;
+    u32 target = 0;
+    Key lo = 0;  // inclusive
+    Key hi = 0;  // exclusive (source's old top)
+    std::vector<Key> plan_keys;  // keys present at start, sorted
+    u64 cursor = 0;              // next index into plan_keys
+    bool copy_done = false;
+    u64 copied = 0;
+    std::map<Key, Value> staged;     // target contents shadow
+    std::vector<LogRecord> delta;    // acked writes into [lo, hi) since start
+    u64 delta_applied = 0;           // drain cursor (resumable after faults)
+  };
+  void abort_migration_for(u32 slot);
+  void finish_migration();  // drain delta + cutover (one atomic step)
+
+  ShardOptions opts_;
+  std::vector<Shard> slots_;
+  std::vector<RouteEntry> routes_;
+  ShardWorkers workers_;
+  std::optional<MigrationState> migration_;
+  core::PimSkipList::OpDeadline deadline_{};
+  /// Fleet-wide chaos plan, re-derived per slot at every (re-)provision
+  /// so failed-over / migrated shards inherit the chaos regime.
+  std::optional<sim::FaultPlan> fleet_plan_;
+};
+
+template <typename KeyOf>
+std::vector<std::pair<u32, std::vector<u64>>> ShardedPimStore::split_by_slot(
+    u64 n, KeyOf&& key_of) const {
+  // Positions are appended in caller order, so each group is ascending —
+  // the merge phase relies on that for journal record order.
+  std::vector<std::pair<u32, std::vector<u64>>> groups;
+  std::vector<u32> group_of(slots_.size(), static_cast<u32>(-1));
+  for (u64 i = 0; i < n; ++i) {
+    const u32 slot = routes_[route_index(key_of(i))].slot;
+    if (group_of[slot] == static_cast<u32>(-1)) {
+      group_of[slot] = static_cast<u32>(groups.size());
+      groups.emplace_back(slot, std::vector<u64>{});
+    }
+    groups[group_of[slot]].second.push_back(i);
+  }
+  return groups;
+}
+
+}  // namespace pim::shard

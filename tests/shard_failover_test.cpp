@@ -1,0 +1,379 @@
+// Sharded-store tier tests (DESIGN.md §5.10): routing exactness against
+// the batch reference model, parallel-vs-serial dispatch equivalence,
+// and the chaos acceptance contract — killing one shard mid-workload
+// fails exactly that shard's keys (never the batch), and failover to a
+// spare restores full availability with zero lost acknowledged writes.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "reference_model.hpp"
+#include "shard/sharded_store.hpp"
+#include "test_util.hpp"
+
+namespace pim {
+namespace {
+
+using shard::ShardOptions;
+using shard::ShardState;
+using shard::ShardedPimStore;
+using test::Ref;
+
+ShardOptions small_opts(bool parallel = true) {
+  ShardOptions o;
+  o.shards = 4;
+  o.spares = 1;
+  o.modules_per_shard = 8;
+  o.domain_lo = 0;
+  o.domain_hi = 1'000'000'000;
+  o.parallel_dispatch = parallel;
+  return o;
+}
+
+/// Applies one upsert batch to the tracker exactly as acknowledged:
+/// positions whose status is kOk, first occurrence of a key wins.
+void track_acked_upserts(Ref& acked, std::span<const std::pair<Key, Value>> ops,
+                         const std::vector<Status>& st) {
+  std::set<Key> seen;
+  for (u64 i = 0; i < ops.size(); ++i) {
+    if (!seen.insert(ops[i].first).second) continue;
+    if (st[i].ok()) acked[ops[i].first] = ops[i].second;
+  }
+}
+
+void track_acked_deletes(Ref& acked, std::span<const Key> keys,
+                         const std::vector<ShardedPimStore::FlagResult>& st) {
+  for (u64 i = 0; i < keys.size(); ++i) {
+    if (st[i].status.ok()) acked.erase(keys[i]);
+  }
+}
+
+TEST(ShardedStore, RouterAndBatchOpsMatchReference) {
+  ShardedPimStore store(small_opts());
+  rnd::Xoshiro256ss rng(0x5AA4D01u);
+  const auto pairs = test::make_sorted_pairs(1500, rng);
+  store.build(pairs);
+  Ref ref(pairs.begin(), pairs.end());
+  ASSERT_EQ(store.size(), ref.size());
+
+  for (u32 round = 0; round < 6; ++round) {
+    // Upserts: fresh keys plus rewrites, with duplicates in the batch.
+    std::vector<std::pair<Key, Value>> ups;
+    for (u32 i = 0; i < 48; ++i) ups.emplace_back(rng.range(0, 1'000'000'000), rng());
+    ups.push_back(ups.front());  // duplicate: first occurrence must win
+    const auto ust = store.batch_upsert(ups);
+    for (const Status& s : ust) EXPECT_TRUE(s.ok()) << s.to_string();
+    test::ref_upsert(ref, ups);
+
+    // Updates against a mix of present and missing keys.
+    std::vector<std::pair<Key, Value>> upd;
+    for (u32 i = 0; i < 16; ++i) upd.emplace_back(test::existing_key(ref, rng), rng());
+    upd.emplace_back(rng.range(0, 1'000'000'000), rng());
+    const auto updres = store.batch_update(upd);
+    const auto reffound = test::ref_update(ref, upd);
+    for (u64 i = 0; i < upd.size(); ++i) {
+      ASSERT_TRUE(updres[i].status.ok());
+      EXPECT_EQ(updres[i].found, reffound[i] != 0) << "update pos " << i;
+    }
+
+    // Deletes.
+    std::vector<Key> dels;
+    for (u32 i = 0; i < 12; ++i) dels.push_back(test::existing_key(ref, rng));
+    dels.push_back(rng.range(0, 1'000'000'000));
+    const auto delres = store.batch_delete(dels);
+    const auto refdel = test::ref_delete(ref, dels);
+    for (u64 i = 0; i < dels.size(); ++i) {
+      ASSERT_TRUE(delres[i].status.ok());
+      EXPECT_EQ(delres[i].found, refdel[i] != 0) << "delete pos " << i;
+    }
+
+    // Gets.
+    std::vector<Key> gets;
+    for (u32 i = 0; i < 24; ++i) gets.push_back(test::existing_key(ref, rng));
+    for (u32 i = 0; i < 8; ++i) gets.push_back(rng.range(0, 1'000'000'000));
+    const auto gres = store.batch_get(gets);
+    for (u64 i = 0; i < gets.size(); ++i) {
+      ASSERT_TRUE(gres[i].status.ok());
+      auto it = ref.find(gets[i]);
+      EXPECT_EQ(gres[i].found, it != ref.end());
+      if (it != ref.end()) {
+        EXPECT_EQ(gres[i].value, it->second);
+      }
+    }
+
+    // Ordered queries stitch across shard boundaries.
+    std::vector<Key> near;
+    for (u32 i = 0; i < 16; ++i) near.push_back(rng.range(0, 1'000'000'000));
+    const auto succ = store.batch_successor(near);
+    const auto pred = store.batch_predecessor(near);
+    for (u64 i = 0; i < near.size(); ++i) {
+      ASSERT_TRUE(succ[i].status.ok());
+      auto it = ref.lower_bound(near[i]);
+      EXPECT_EQ(succ[i].found, it != ref.end());
+      if (it != ref.end()) {
+        EXPECT_EQ(succ[i].key, it->first);
+      }
+
+      ASSERT_TRUE(pred[i].status.ok());
+      auto pit = ref.upper_bound(near[i]);
+      EXPECT_EQ(pred[i].found, pit != ref.begin());
+      if (pit != ref.begin()) {
+        EXPECT_EQ(pred[i].key, std::prev(pit)->first);
+      }
+    }
+
+    // Range aggregation across all four shards.
+    const Key lo = rng.range(0, 500'000'000);
+    const Key hi = lo + static_cast<Key>(rng.range(0, 500'000'000));
+    const auto agg = store.range_aggregate(lo, hi);
+    ASSERT_TRUE(agg.status.ok());
+    const auto [rc, rs] = test::ref_range(ref, lo, hi);
+    EXPECT_EQ(agg.agg.count, rc);
+    EXPECT_EQ(agg.agg.sum, rs);
+  }
+
+  // Full-space collect equals the reference map exactly.
+  const auto all = store.range_collect(kMinKey, kMaxKey);
+  ASSERT_TRUE(all.status.ok());
+  const std::vector<std::pair<Key, Value>> expect(ref.begin(), ref.end());
+  EXPECT_EQ(all.pairs, expect);
+  EXPECT_EQ(store.size(), ref.size());
+  store.check_invariants();
+}
+
+TEST(ShardedStore, ParallelAndSerialDispatchAgree) {
+  ShardedPimStore par_store(small_opts(/*parallel=*/true));
+  ShardedPimStore ser_store(small_opts(/*parallel=*/false));
+  rnd::Xoshiro256ss rng(0xD15BA7C4u);
+  const auto pairs = test::make_sorted_pairs(800, rng);
+  par_store.build(pairs);
+  ser_store.build(pairs);
+
+  for (u32 round = 0; round < 4; ++round) {
+    std::vector<std::pair<Key, Value>> ups;
+    for (u32 i = 0; i < 64; ++i) ups.emplace_back(rng.range(0, 1'000'000'000), rng());
+    const auto a = par_store.batch_upsert(ups);
+    const auto b = ser_store.batch_upsert(ups);
+    for (u64 i = 0; i < ups.size(); ++i) EXPECT_EQ(a[i].code(), b[i].code());
+
+    std::vector<Key> gets;
+    for (u32 i = 0; i < 64; ++i) gets.push_back(rng.range(0, 1'000'000'000));
+    const auto ga = par_store.batch_get(gets);
+    const auto gb = ser_store.batch_get(gets);
+    for (u64 i = 0; i < gets.size(); ++i) {
+      EXPECT_EQ(ga[i].status.code(), gb[i].status.code());
+      EXPECT_EQ(ga[i].found, gb[i].found);
+      EXPECT_EQ(ga[i].value, gb[i].value);
+    }
+
+    const auto sa = par_store.batch_successor(gets);
+    const auto sb = ser_store.batch_successor(gets);
+    for (u64 i = 0; i < gets.size(); ++i) {
+      EXPECT_EQ(sa[i].found, sb[i].found);
+      EXPECT_EQ(sa[i].key, sb[i].key);
+    }
+  }
+  EXPECT_EQ(par_store.size(), ser_store.size());
+}
+
+TEST(ShardedStore, KillFailsExactlyItsKeysAndFailoverLosesNoAckedWrite) {
+  ShardedPimStore store(small_opts());
+  rnd::Xoshiro256ss rng(0xFA110Fu);
+  const auto pairs = test::make_sorted_pairs(1200, rng);
+  store.build(pairs);
+  Ref acked(pairs.begin(), pairs.end());
+
+  // A few acknowledged write batches before the failure.
+  for (u32 round = 0; round < 3; ++round) {
+    std::vector<std::pair<Key, Value>> ups;
+    for (u32 i = 0; i < 64; ++i) ups.emplace_back(rng.range(0, 1'000'000'000), rng());
+    track_acked_upserts(acked, ups, store.batch_upsert(ups));
+    std::vector<Key> dels;
+    for (u32 i = 0; i < 8; ++i) dels.push_back(test::existing_key(acked, rng));
+    track_acked_deletes(acked, dels, store.batch_delete(dels));
+  }
+
+  const u32 victim = 1;
+  store.kill_shard(victim);
+  EXPECT_EQ(store.shard_state(victim), ShardState::kDead);
+  EXPECT_EQ(store.live_shards(), 3u);
+
+  // A batch spanning all shards: the victim's keys answer kShardDown,
+  // every other key still succeeds — the batch is never wedged.
+  std::vector<Key> gets;
+  for (u32 i = 0; i < 128; ++i) gets.push_back(rng.range(0, 1'000'000'000));
+  const auto gres = store.batch_get(gets);
+  u32 down = 0, ok = 0;
+  for (u64 i = 0; i < gets.size(); ++i) {
+    if (store.route(gets[i]) == victim) {
+      EXPECT_EQ(gres[i].status.code(), StatusCode::kShardDown) << "pos " << i;
+      ++down;
+    } else {
+      EXPECT_TRUE(gres[i].status.ok()) << gres[i].status.to_string();
+      ++ok;
+    }
+  }
+  EXPECT_GT(down, 0u);
+  EXPECT_GT(ok, 0u);
+
+  // Writes into the dead range are rejected (not silently dropped): the
+  // rejection means they are NOT acknowledged, so losing them is not a
+  // durability violation.
+  std::vector<std::pair<Key, Value>> ups;
+  for (u32 i = 0; i < 32; ++i) ups.emplace_back(rng.range(0, 1'000'000'000), rng());
+  track_acked_upserts(acked, ups, store.batch_upsert(ups));
+
+  // Failover replays the victim's checkpoint + journal into the spare.
+  const auto st = store.failover(victim);
+  ASSERT_TRUE(st.ok()) << st.to_string();
+  EXPECT_EQ(store.live_shards(), 4u);
+  for (const Key k : gets) EXPECT_NE(store.route(k), victim);
+
+  // Zero lost acknowledged writes: the store now equals the acked
+  // tracker exactly — every acked upsert present with its value, every
+  // acked delete gone, nothing extra.
+  const auto all = store.range_collect(kMinKey, kMaxKey);
+  ASSERT_TRUE(all.status.ok());
+  const std::vector<std::pair<Key, Value>> expect(acked.begin(), acked.end());
+  EXPECT_EQ(all.pairs, expect);
+  store.check_invariants();
+}
+
+TEST(ShardedStore, ModuleCrashStormIsContainedThenHealthFailStopsTheShard) {
+  auto opts = small_opts();
+  opts.shard_breaker_strikes = 1;
+  ShardedPimStore store(opts);
+  rnd::Xoshiro256ss rng(0xC4A5Du);
+  const auto pairs = test::make_sorted_pairs(1000, rng);
+  store.build(pairs);
+  Ref acked(pairs.begin(), pairs.end());
+
+  // Crash every module of shard 2 a round into its next batch.
+  const u32 victim = 2;
+  sim::FaultPlan plan;
+  plan.enabled = true;
+  plan.seed = 0xDEAD5EEDull;
+  const u64 at = store.shard_machine(victim)->rounds() + 2;
+  for (u32 m = 0; m < opts.modules_per_shard; ++m) {
+    plan.crashes.push_back(sim::CrashEvent{m, at});
+  }
+  store.set_shard_fault_plan(victim, plan);
+
+  // The storm batch: only the victim's keys may fail, and they fail with
+  // per-key statuses (kUnavailable / kShardDown family), not an exception.
+  std::vector<Key> gets;
+  for (u32 i = 0; i < 96; ++i) gets.push_back(rng.range(0, 1'000'000'000));
+  const auto gres = store.batch_get(gets);
+  for (u64 i = 0; i < gets.size(); ++i) {
+    if (store.route(gets[i]) != victim) {
+      EXPECT_TRUE(gres[i].status.ok()) << gres[i].status.to_string();
+      auto it = acked.find(gets[i]);
+      EXPECT_EQ(gres[i].found, it != acked.end());
+    }
+  }
+
+  // Run batches until the health layer fail-stops the victim (the first
+  // batch may complete before the crash round arrives).
+  for (u32 tries = 0; tries < 4 && store.shard_state(victim) != ShardState::kDead;
+       ++tries) {
+    (void)store.batch_get(gets);
+  }
+  ASSERT_EQ(store.shard_state(victim), ShardState::kDead);
+  EXPECT_EQ(store.live_shards(), 3u);
+
+  // Failover restores full availability with all acked writes.
+  ASSERT_TRUE(store.failover(victim).ok());
+  EXPECT_EQ(store.live_shards(), 4u);
+  const auto after = store.batch_get(gets);
+  for (u64 i = 0; i < gets.size(); ++i) {
+    ASSERT_TRUE(after[i].status.ok());
+    auto it = acked.find(gets[i]);
+    EXPECT_EQ(after[i].found, it != acked.end());
+    if (it != acked.end()) {
+      EXPECT_EQ(after[i].value, it->second);
+    }
+  }
+  store.check_invariants();
+}
+
+TEST(ShardedStore, SuccessorStitchingSpillsThroughEmptyAndAroundDeadShards) {
+  ShardedPimStore store(small_opts());
+  // One key per shard except shard 1, which stays empty: a successor
+  // query in shard 0's upper range must spill through 1 into 2.
+  const auto r0 = store.shard_range(0);
+  const auto r2 = store.shard_range(2);
+  const auto r3 = store.shard_range(3);
+  std::vector<std::pair<Key, Value>> pairs = {
+      {r0.second - 10, 100}, {r2.first + 5, 300}, {r3.first + 7, 400}};
+  std::sort(pairs.begin(), pairs.end());
+  store.build(pairs);
+
+  const std::vector<Key> q = {r0.second - 5};  // after shard 0's only key
+  auto res = store.batch_successor(q);
+  ASSERT_TRUE(res[0].status.ok());
+  ASSERT_TRUE(res[0].found);
+  EXPECT_EQ(res[0].key, r2.first + 5);  // spilled across empty shard 1
+
+  // Predecessor of a key in shard 2's lower range spills back to shard 0.
+  auto pre = store.batch_predecessor(std::vector<Key>{r2.first + 1});
+  ASSERT_TRUE(pre[0].status.ok());
+  ASSERT_TRUE(pre[0].found);
+  EXPECT_EQ(pre[0].key, r0.second - 10);
+
+  // With shard 2 dead, the spilled successor cannot be determined — the
+  // query answers kShardDown rather than skipping to shard 3's key.
+  store.kill_shard(2);
+  res = store.batch_successor(q);
+  EXPECT_EQ(res[0].status.code(), StatusCode::kShardDown);
+  // A query entirely within a live shard is unaffected.
+  auto live = store.batch_successor(std::vector<Key>{r3.first});
+  ASSERT_TRUE(live[0].status.ok());
+  EXPECT_EQ(live[0].key, r3.first + 7);
+
+  // Past the last key: found=false, not an error.
+  auto end = store.batch_successor(std::vector<Key>{r3.first + 8});
+  ASSERT_TRUE(end[0].status.ok());
+  EXPECT_FALSE(end[0].found);
+}
+
+TEST(ShardedStore, ReviveRestoresInPlaceAndRecyclesDecommissionedVictims) {
+  ShardedPimStore store(small_opts());
+  rnd::Xoshiro256ss rng(0x12EE71Eu);
+  const auto pairs = test::make_sorted_pairs(600, rng);
+  store.build(pairs);
+  Ref ref(pairs.begin(), pairs.end());
+
+  // Revive-in-place: kill, revive, contents restored from the journal.
+  store.kill_shard(3);
+  store.revive_shard(3);
+  EXPECT_EQ(store.shard_state(3), ShardState::kLive);
+  const auto all = store.range_collect(kMinKey, kMaxKey);
+  ASSERT_TRUE(all.status.ok());
+  EXPECT_EQ(all.pairs.size(), ref.size());
+
+  // Failover path: the victim is decommissioned, then revives as a spare
+  // and can host the NEXT failover.
+  store.kill_shard(0);
+  ASSERT_TRUE(store.failover(0).ok());
+  EXPECT_EQ(store.shard_state(0), ShardState::kDead);
+  store.revive_shard(0);
+  EXPECT_EQ(store.shard_state(0), ShardState::kSpare);
+
+  store.kill_shard(1);
+  ASSERT_TRUE(store.failover(1).ok());  // lands on recycled slot 0
+  EXPECT_EQ(store.live_shards(), 4u);
+  const auto again = store.range_collect(kMinKey, kMaxKey);
+  ASSERT_TRUE(again.status.ok());
+  EXPECT_EQ(again.pairs.size(), ref.size());
+  store.check_invariants();
+
+  // No spare left: a third failover reports the shortage.
+  store.kill_shard(2);
+  EXPECT_EQ(store.failover(2).code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace pim

@@ -1,0 +1,271 @@
+// Online range migration tests (DESIGN.md §5.10): a hot shard's upper
+// range streams to a spare while writes keep landing, cross-shard range
+// queries stay bit-identical to a single-Machine PimSkipList oracle
+// throughout, and a crash of either end mid-migration loses nothing and
+// duplicates nothing (ownership moves only at cutover).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "core/pim_skiplist.hpp"
+#include "reference_model.hpp"
+#include "shard/sharded_store.hpp"
+#include "sim/machine.hpp"
+#include "test_util.hpp"
+
+namespace pim {
+namespace {
+
+using shard::ShardOptions;
+using shard::ShardState;
+using shard::ShardedPimStore;
+using test::Ref;
+
+ShardOptions migration_opts() {
+  ShardOptions o;
+  o.shards = 4;
+  o.spares = 1;
+  o.modules_per_shard = 8;
+  o.domain_lo = 0;
+  o.domain_hi = 1'000'000'000;
+  o.migration_chunk = 64;
+  return o;
+}
+
+/// Zipf-flavored key draw: half the mass lands in one narrow hot band
+/// inside shard `hot`'s range, the rest is uniform over the domain.
+Key skewed_key(rnd::Xoshiro256ss& rng, const std::pair<Key, Key>& hot_range) {
+  if (rng.below(2) == 0) {
+    const Key lo = hot_range.first;
+    const Key hi = hot_range.first + (hot_range.second - hot_range.first) / 8;
+    return rng.range(lo, hi);
+  }
+  return rng.range(0, 1'000'000'000);
+}
+
+TEST(ShardMigration, StreamsUnderWritesAndStaysOracleIdentical) {
+  ShardedPimStore store(migration_opts());
+  // Single-Machine oracle holding the same logical contents.
+  sim::Machine oracle_machine(16);
+  core::PimSkipList oracle(oracle_machine, {});
+
+  rnd::Xoshiro256ss rng(0x316AA7Eu);
+  const auto pairs = test::make_sorted_pairs(2000, rng);
+  store.build(pairs);
+  oracle.build(pairs);
+  Ref ref(pairs.begin(), pairs.end());
+
+  const u32 hot = 1;
+  const auto hot_range = store.shard_range(hot);
+  const Key split = hot_range.first + (hot_range.second - hot_range.first) / 2;
+  ASSERT_TRUE(store.start_migration(hot, split).ok());
+  ASSERT_TRUE(store.migration_active());
+  const u32 target = store.migration_info()->target;
+
+  // Drive the copy pass to completion, interleaving every step with a
+  // write batch that hammers the moving range, plus cross-shard reads
+  // that must stay bit-identical to the oracle mid-migration.
+  u32 steps = 0;
+  while (store.migration_active()) {
+    const auto st = store.migration_step();
+    ASSERT_TRUE(st.ok()) << st.to_string();
+    ++steps;
+
+    std::vector<std::pair<Key, Value>> ups;
+    for (u32 i = 0; i < 24; ++i) ups.emplace_back(skewed_key(rng, hot_range), rng());
+    const auto ust = store.batch_upsert(ups);
+    for (const Status& s : ust) ASSERT_TRUE(s.ok());
+    oracle.batch_upsert(ups);
+    test::ref_upsert(ref, ups);
+
+    std::vector<Key> dels;
+    for (u32 i = 0; i < 4; ++i) dels.push_back(test::existing_key(ref, rng));
+    const auto dst = store.batch_delete(dels);
+    for (const auto& r : dst) ASSERT_TRUE(r.status.ok());
+    (void)oracle.batch_delete(dels);
+    (void)test::ref_delete(ref, dels);
+
+    // Cross-shard range query spanning the split point, diffed against
+    // the single-Machine oracle bit for bit.
+    const Key qlo = split - 40'000'000, qhi = split + 40'000'000;
+    const auto got = store.range_aggregate(qlo, qhi);
+    ASSERT_TRUE(got.status.ok());
+    const auto want = oracle.range_count_broadcast(qlo, qhi);
+    ASSERT_EQ(got.agg.count, want.count) << "mid-migration step " << steps;
+    ASSERT_EQ(got.agg.sum, want.sum);
+
+    std::vector<Key> near = {split - 1, split, split + 1,
+                             skewed_key(rng, hot_range)};
+    const auto ssucc = store.batch_successor(near);
+    const auto osucc = oracle.batch_successor(near);
+    for (u64 i = 0; i < near.size(); ++i) {
+      ASSERT_TRUE(ssucc[i].status.ok());
+      ASSERT_EQ(ssucc[i].found, osucc[i].found);
+      if (osucc[i].found) {
+        ASSERT_EQ(ssucc[i].key, osucc[i].key);
+      }
+    }
+    ASSERT_LT(steps, 1000u) << "migration failed to converge";
+  }
+
+  // Cutover happened: the target owns [split, hi) and is live.
+  EXPECT_EQ(store.shard_state(target), ShardState::kLive);
+  EXPECT_EQ(store.route(split), target);
+  EXPECT_EQ(store.route(split - 1), hot);
+  EXPECT_EQ(store.shard_range(hot).second, split);
+  EXPECT_EQ(store.shard_range(target), std::make_pair(split, hot_range.second));
+
+  // Neither loss nor duplication: the full collect equals the reference
+  // exactly (a duplicated key would inflate the count, a lost one would
+  // shrink it, a stale value would break equality).
+  const auto all = store.range_collect(kMinKey, kMaxKey);
+  ASSERT_TRUE(all.status.ok());
+  const std::vector<std::pair<Key, Value>> expect(ref.begin(), ref.end());
+  EXPECT_EQ(all.pairs, expect);
+  EXPECT_EQ(store.size(), ref.size());
+  store.check_invariants();
+
+  // The freed spare pool is empty now; a second migration is refused
+  // until a spare is available, and exclusivity held throughout.
+  EXPECT_EQ(store.start_migration(hot, split / 2).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ShardMigration, ExclusiveWhileActive) {
+  ShardedPimStore store(migration_opts());
+  rnd::Xoshiro256ss rng(0xE8C15u);
+  store.build(test::make_sorted_pairs(500, rng));
+  const auto r1 = store.shard_range(1);
+  ASSERT_TRUE(store.start_migration(1, (r1.first + r1.second) / 2).ok());
+  EXPECT_EQ(store.start_migration(2, 600'000'000).code(),
+            StatusCode::kMigrationInProgress);
+  EXPECT_EQ(store.migration_step().code(), StatusCode::kOk);
+}
+
+TEST(ShardMigration, PickMigrationFindsTheHotShardAndMedianSplit) {
+  ShardedPimStore store(migration_opts());
+  rnd::Xoshiro256ss rng(0x907'5407u);
+  store.build(test::make_sorted_pairs(1600, rng));
+  store.reset_load_stats();
+
+  // Hammer shard 2 only.
+  const auto hot_range = store.shard_range(2);
+  for (u32 round = 0; round < 6; ++round) {
+    std::vector<Key> gets;
+    for (u32 i = 0; i < 64; ++i) {
+      gets.push_back(rng.range(hot_range.first, hot_range.second - 1));
+    }
+    (void)store.batch_get(gets);
+  }
+  const auto load = store.shard_load(2);
+  EXPECT_GT(load.io_share, 0.5);
+
+  const auto plan = store.pick_migration(1.5);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(plan->source, 2u);
+  EXPECT_GT(plan->split_key, hot_range.first);
+  EXPECT_LT(plan->split_key, hot_range.second);
+
+  // The picked plan actually starts and runs to completion.
+  ASSERT_TRUE(store.start_migration(plan->source, plan->split_key).ok());
+  u32 guard = 0;
+  while (store.migration_active() && guard++ < 1000) {
+    ASSERT_TRUE(store.migration_step().ok());
+  }
+  ASSERT_FALSE(store.migration_active());
+  store.check_invariants();
+}
+
+TEST(ShardMigration, SourceCrashMidMigrationLosesNothing) {
+  ShardedPimStore store(migration_opts());
+  rnd::Xoshiro256ss rng(0xC4A51AAu);
+  const auto pairs = test::make_sorted_pairs(1500, rng);
+  store.build(pairs);
+  Ref acked(pairs.begin(), pairs.end());
+
+  const u32 hot = 1;
+  const auto hot_range = store.shard_range(hot);
+  const Key split = hot_range.first + (hot_range.second - hot_range.first) / 2;
+  ASSERT_TRUE(store.start_migration(hot, split).ok());
+  const u32 target = store.migration_info()->target;
+
+  // A few chunks copy, writes land in the moving range and are acked.
+  for (u32 i = 0; i < 3; ++i) {
+    ASSERT_TRUE(store.migration_step().ok());
+    std::vector<std::pair<Key, Value>> ups;
+    for (u32 j = 0; j < 16; ++j) {
+      ups.emplace_back(rng.range(split, hot_range.second - 1), rng());
+    }
+    const auto st = store.batch_upsert(ups);
+    std::set<Key> seen;
+    for (u64 j = 0; j < ups.size(); ++j) {
+      if (seen.insert(ups[j].first).second && st[j].ok()) {
+        acked[ups[j].first] = ups[j].second;
+      }
+    }
+  }
+  ASSERT_TRUE(store.migration_active());
+
+  // Crash the source mid-copy: the migration aborts (staged copy
+  // discarded, target recycled to spare), and failover replays the
+  // source's journal — which still owns the WHOLE range, including every
+  // write acked during the migration.
+  store.kill_shard(hot);
+  EXPECT_FALSE(store.migration_active());
+  EXPECT_EQ(store.shard_state(target), ShardState::kSpare);
+  ASSERT_TRUE(store.failover(hot).ok());
+  EXPECT_EQ(store.live_shards(), 4u);
+
+  const auto all = store.range_collect(kMinKey, kMaxKey);
+  ASSERT_TRUE(all.status.ok());
+  const std::vector<std::pair<Key, Value>> expect(acked.begin(), acked.end());
+  EXPECT_EQ(all.pairs, expect);  // nothing lost, nothing duplicated
+  store.check_invariants();
+}
+
+TEST(ShardMigration, TargetCrashMidMigrationLeavesSourceExact) {
+  ShardedPimStore store(migration_opts());
+  rnd::Xoshiro256ss rng(0x7A46E7u);
+  const auto pairs = test::make_sorted_pairs(1500, rng);
+  store.build(pairs);
+  Ref ref(pairs.begin(), pairs.end());
+
+  const u32 hot = 2;
+  const auto hot_range = store.shard_range(hot);
+  const Key split = hot_range.first + (hot_range.second - hot_range.first) / 2;
+  ASSERT_TRUE(store.start_migration(hot, split).ok());
+  const u32 target = store.migration_info()->target;
+  for (u32 i = 0; i < 3; ++i) ASSERT_TRUE(store.migration_step().ok());
+
+  // Crash the TARGET: ownership never moved, so the source still serves
+  // the full range exactly; the migration just unwinds.
+  store.kill_shard(target);
+  EXPECT_FALSE(store.migration_active());
+  EXPECT_EQ(store.shard_state(hot), ShardState::kLive);
+  EXPECT_EQ(store.route(split), hot);
+
+  const auto all = store.range_collect(kMinKey, kMaxKey);
+  ASSERT_TRUE(all.status.ok());
+  const std::vector<std::pair<Key, Value>> expect(ref.begin(), ref.end());
+  EXPECT_EQ(all.pairs, expect);
+
+  // The repaired target revives as a spare and a fresh migration
+  // completes end to end.
+  store.revive_shard(target);
+  EXPECT_EQ(store.shard_state(target), ShardState::kSpare);
+  ASSERT_TRUE(store.start_migration(hot, split).ok());
+  u32 guard = 0;
+  while (store.migration_active() && guard++ < 1000) {
+    ASSERT_TRUE(store.migration_step().ok());
+  }
+  const auto after = store.range_collect(kMinKey, kMaxKey);
+  ASSERT_TRUE(after.status.ok());
+  EXPECT_EQ(after.pairs, expect);
+  store.check_invariants();
+}
+
+}  // namespace
+}  // namespace pim

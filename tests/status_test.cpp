@@ -23,8 +23,23 @@ TEST(Status, EveryCodeHasADistinctName) {
   EXPECT_EQ(names.count("OK"), 1u);
   EXPECT_EQ(names.count("DEADLINE_EXCEEDED"), 1u);
   EXPECT_EQ(names.count("RESOURCE_EXHAUSTED"), 1u);
+  // Shard-tier codes (DESIGN.md §5.10) round-trip like the rest.
+  EXPECT_EQ(names.count("SHARD_DOWN"), 1u);
+  EXPECT_EQ(names.count("MIGRATION_IN_PROGRESS"), 1u);
   // The sentinel itself is not a code.
   EXPECT_STREQ(status_code_name(StatusCode::kStatusCodeCount), "UNKNOWN");
+}
+
+TEST(Status, ShardCodesCarryTheirIdentityThroughStatusError) {
+  const Status down(StatusCode::kShardDown, "shard 2 is down");
+  try {
+    throw StatusError(down);
+  } catch (const StatusError& e) {
+    EXPECT_EQ(e.code(), StatusCode::kShardDown);
+    EXPECT_NE(std::string(e.what()).find("SHARD_DOWN"), std::string::npos);
+  }
+  const Status busy(StatusCode::kMigrationInProgress, "one at a time");
+  EXPECT_EQ(busy.to_string(), "MIGRATION_IN_PROGRESS: one at a time");
 }
 
 TEST(Status, DefaultIsOkAndToStringCarriesCodeName) {

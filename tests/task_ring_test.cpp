@@ -1,0 +1,112 @@
+// TaskRing unit tests: the flat power-of-two FIFO under the simulator's
+// delivered-task queues. Exercised directly (not through Machine) for
+// the three behaviors the engine depends on: index wrap-around at
+// capacity, order-preserving compaction with interleaved tombstones
+// (the hedging prepass), and growth while the contents are split across
+// the wrap point.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/task_ring.hpp"
+
+namespace pim::sim {
+namespace {
+
+Task tagged(u64 id) {
+  Task t;
+  t.nargs = 1;
+  t.args[0] = id;
+  return t;
+}
+
+u64 tag(const Task& t) { return t.args[0]; }
+
+TEST(TaskRing, FifoOrderAcrossWrapAround) {
+  TaskRing ring;
+  EXPECT_TRUE(ring.empty());
+
+  // Fill to the initial power-of-two capacity (8), drain half, refill:
+  // head and tail both wrap while size stays below capacity — no grow.
+  for (u64 i = 0; i < 8; ++i) ring.push_back(tagged(i));
+  EXPECT_EQ(ring.size(), 8u);
+  for (u64 i = 0; i < 5; ++i) {
+    EXPECT_EQ(tag(ring.front()), i);
+    ring.pop_front();
+  }
+  for (u64 i = 8; i < 13; ++i) ring.push_back(tagged(i));  // wraps physically
+  EXPECT_EQ(ring.size(), 8u);
+
+  // at() walks front-to-back across the wrap point.
+  for (u64 i = 0; i < ring.size(); ++i) EXPECT_EQ(tag(ring.at(i)), 5 + i);
+  // Drain fully in FIFO order.
+  for (u64 i = 5; i < 13; ++i) {
+    EXPECT_EQ(tag(ring.front()), i);
+    ring.pop_front();
+  }
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(TaskRing, CompactionPreservesOrderWithInterleavedTombstones) {
+  TaskRing ring;
+  // Offset the head so the compaction also runs across the wrap point.
+  for (u64 i = 0; i < 6; ++i) ring.push_back(tagged(999));
+  for (u64 i = 0; i < 6; ++i) ring.pop_front();
+  for (u64 i = 0; i < 12; ++i) ring.push_back(tagged(i));
+
+  // The hedging-prepass idiom: walk with at(), copy keepers forward,
+  // truncate. Tombstone every task with an odd tag.
+  u64 kept = 0;
+  for (u64 i = 0; i < ring.size(); ++i) {
+    if (tag(ring.at(i)) % 2 == 1) continue;  // tombstone
+    ring.at(kept++) = ring.at(i);
+  }
+  ring.truncate(kept);
+
+  ASSERT_EQ(ring.size(), 6u);
+  for (u64 i = 0; i < ring.size(); ++i) EXPECT_EQ(tag(ring.at(i)), 2 * i);
+  // The survivors still pop in order.
+  EXPECT_EQ(tag(ring.front()), 0u);
+  ring.pop_front();
+  EXPECT_EQ(tag(ring.front()), 2u);
+
+  // Compacting everything away empties the ring but keeps it usable.
+  ring.truncate(0);
+  EXPECT_TRUE(ring.empty());
+  ring.push_back(tagged(77));
+  EXPECT_EQ(tag(ring.front()), 77u);
+}
+
+TEST(TaskRing, GrowsWhileNonContiguous) {
+  TaskRing ring;
+  // Reach capacity 8, then shift the head so the live window straddles
+  // the physical end of the buffer.
+  for (u64 i = 0; i < 8; ++i) ring.push_back(tagged(i));
+  for (u64 i = 0; i < 6; ++i) ring.pop_front();          // head = 6
+  for (u64 i = 8; i < 14; ++i) ring.push_back(tagged(i));  // tail wrapped
+  EXPECT_EQ(ring.size(), 8u);
+
+  // The next push grows 8 -> 16 and must relinearize the wrapped window.
+  ring.push_back(tagged(14));
+  EXPECT_EQ(ring.size(), 9u);
+  for (u64 i = 0; i < ring.size(); ++i) EXPECT_EQ(tag(ring.at(i)), 6 + i);
+
+  // Keep growing through another doubling; order still holds.
+  for (u64 i = 15; i < 40; ++i) ring.push_back(tagged(i));
+  EXPECT_EQ(ring.size(), 34u);
+  for (u64 i = 6; i < 40; ++i) {
+    EXPECT_EQ(tag(ring.front()), i);
+    ring.pop_front();
+  }
+  EXPECT_TRUE(ring.empty());
+
+  // clear() keeps capacity and resets indices.
+  for (u64 i = 0; i < 3; ++i) ring.push_back(tagged(i));
+  ring.clear();
+  EXPECT_TRUE(ring.empty());
+  ring.push_back(tagged(5));
+  EXPECT_EQ(tag(ring.front()), 5u);
+}
+
+}  // namespace
+}  // namespace pim::sim
