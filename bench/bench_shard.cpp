@@ -17,6 +17,13 @@
 //    records drained, rounds spent in migration_step calls vs serving,
 //    and the hot shard's io-share before/after the cutover.
 //
+//  * Replication: sweep R x kill-rate (DESIGN.md §5.11). A periodic
+//    chaos schedule kills the current read replica of a rotating group
+//    and revives it later; per-batch maintenance (primary demotion + one
+//    anti-entropy slice) runs like the policy loop. Reports availability
+//    (R >= 2 must serve every op, R = 1 pays unserved batches), the io
+//    cost of quorum writes, and the anti-entropy verdicts.
+//
 // All numbers are deterministic model metrics; shed/unserved work is
 // reported in its own counters per the bench_common contract, never
 // folded into completed throughput.
@@ -222,6 +229,63 @@ void SHARD_MigrationUnderLoad(benchmark::State& state) {
   }
 }
 BENCHMARK(SHARD_MigrationUnderLoad)->Arg(2)->Arg(4)->Arg(8)->Iterations(1);
+
+void SHARD_Replication(benchmark::State& state) {
+  const u32 replication = static_cast<u32>(state.range(0));
+  const u32 kill_period = static_cast<u32>(state.range(1));
+  for (auto _ : state) {
+    ShardOptions opts = shard_opts(/*shards=*/2);
+    opts.replication = replication;
+    ShardedPimStore store(opts);
+    rnd::Xoshiro256ss rng(0x4E971Cu);
+    store.build(build_pairs(2, rng));
+
+    u64 completed = 0, unserved = 0, kills = 0;
+    u64 divergent = 0, repaired = 0;
+    const u64 r0 = fleet_rounds(store), io0 = fleet_io(store);
+    for (int b = 0; b < kBatches; ++b) {
+      // Chaos schedule: kill the current read replica of a rotating
+      // group early in each period, revive every dead slot late in it.
+      // R = 1 loses the whole range for the window; R >= 2 retargets.
+      if (b % kill_period == 1) {
+        const u32 group = (static_cast<u32>(b) / kill_period) % 2;
+        store.kill_shard(store.route(store.group_range(group).first));
+        ++kills;
+      }
+      if (b % kill_period == kill_period - 1) {
+        for (u32 s = 0; s < store.slots(); ++s) {
+          if (store.shard_state(s) == ShardState::kDead) store.revive_shard(s);
+        }
+      }
+      // Policy-style per-batch maintenance (deterministic inline stand-in
+      // for the background loop).
+      (void)store.demote_dead_primaries();
+      const auto rep = store.anti_entropy_step(1);
+      divergent += rep.divergent;
+      repaired += rep.repaired_keys;
+
+      const auto [c, u] = mixed_batch(store, rng);
+      completed += c;
+      unserved += u;
+    }
+    const u64 rounds = fleet_rounds(store) - r0;
+    report_degraded(state, sim::FaultCounters{}, completed, unserved, rounds);
+    state.counters["io"] = static_cast<double>(fleet_io(store) - io0);
+    state.counters["kills"] = static_cast<double>(kills);
+    state.counters["avail"] =
+        static_cast<double>(completed) / static_cast<double>(completed + unserved);
+    state.counters["ae_divergent"] = static_cast<double>(divergent);
+    state.counters["ae_repaired_keys"] = static_cast<double>(repaired);
+  }
+}
+BENCHMARK(SHARD_Replication)
+    ->Args({1, 6})
+    ->Args({2, 6})
+    ->Args({3, 6})
+    ->Args({1, 3})
+    ->Args({2, 3})
+    ->Args({3, 3})
+    ->Iterations(1);
 
 }  // namespace
 }  // namespace pim::bench

@@ -50,6 +50,11 @@ enum class StatusCode : u32 {
   /// only one may be in flight at a time (start another after
   /// migration_step drains the current one).
   kMigrationInProgress,
+  /// A replicated write reached fewer live replicas than the group's
+  /// write quorum (ShardOptions::write_quorum). The write was NOT
+  /// acknowledged and will not survive failover; distinct from
+  /// kShardDown, which means the whole replica group is gone.
+  kNoQuorum,
   /// Number of codes, not a code. Keep last; the round-trip test walks
   /// [0, kStatusCodeCount) to catch codes added without a name.
   kStatusCodeCount,
@@ -67,6 +72,7 @@ inline const char* status_code_name(StatusCode code) {
     case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
     case StatusCode::kShardDown: return "SHARD_DOWN";
     case StatusCode::kMigrationInProgress: return "MIGRATION_IN_PROGRESS";
+    case StatusCode::kNoQuorum: return "NO_QUORUM";
     case StatusCode::kStatusCodeCount: break;
   }
   return "UNKNOWN";

@@ -243,6 +243,29 @@ class PimSkipList {
   /// counts events *fired*; a strike on an empty module applies nothing.
   u64 mem_corruptions_applied() const { return mem_corruptions_applied_; }
 
+  // ---------------- content digests (anti-entropy) ----------------
+  //
+  // The shard tier's replica groups audit replicas against each other and
+  // against the store journal. These entry points expose the scrubber's
+  // leaf-digest machinery one level up: all three are OFFLINE (CPU-side
+  // mirror walks, no machine traffic, unmetered), so an anti-entropy pass
+  // charges only for the repairs it performs, like the §5.6 scrubber.
+
+  /// Order-sensitive digest of key-sorted (key, value) pairs — the same
+  /// folding the scrubber's per-module leaf digests use, so a replica's
+  /// contents_digest() is directly comparable to the digest of a journal
+  /// replay of the acknowledged writes.
+  static u64 pairs_digest(const std::vector<std::pair<Key, Value>>& pairs);
+
+  /// The logical contents in key order, walked from the CPU-side leaf
+  /// mirrors. A crashed module's leaves are missing (its mirror is gone),
+  /// which is exactly the divergence an anti-entropy audit must flag.
+  std::vector<std::pair<Key, Value>> contents_offline() const;
+
+  /// pairs_digest(contents_offline()): one word summarizing the logical
+  /// contents. Two replicas of the same range agree iff they converged.
+  u64 contents_digest() const;
+
   // ---------------- introspection ----------------
 
   u64 size() const { return size_; }

@@ -45,16 +45,34 @@ namespace {
 
 constexpr u64 kDigestSeed = 0xD16E57D16E57D16Eull;
 
-/// Order-sensitive digest of key-sorted (key, value) pairs.
-u64 pairs_digest(const std::vector<std::pair<Key, Value>>& pairs) {
+}  // namespace
+
+// ---------------- digests ----------------
+
+u64 PimSkipList::pairs_digest(const std::vector<std::pair<Key, Value>>& pairs) {
+  // Order-sensitive digest of key-sorted (key, value) pairs.
   u64 h = rnd::mix64(kDigestSeed ^ pairs.size());
   for (const auto& [k, v] : pairs) h = rnd::mix64(h ^ rnd::mix2(k, v));
   return h;
 }
 
-}  // namespace
+std::vector<std::pair<Key, Value>> PimSkipList::contents_offline() const {
+  std::vector<std::pair<Key, Value>> pairs;
+  pairs.reserve(size_);
+  for (const ModuleState& ms : state_) {
+    const NodeArena& arena = ms.arena;
+    for (Slot s = 0; s < arena.capacity(); ++s) {
+      if (!arena.live(s)) continue;
+      const Node& nd = arena.at(s);
+      if (nd.level != 0 || nd.key == kMinKey || nd.deleted()) continue;
+      pairs.emplace_back(nd.key, nd.value);
+    }
+  }
+  std::sort(pairs.begin(), pairs.end());
+  return pairs;
+}
 
-// ---------------- digests ----------------
+u64 PimSkipList::contents_digest() const { return pairs_digest(contents_offline()); }
 
 u64 PimSkipList::upper_digest_base() const {
   // Digest of the (single physical) upper part: what every clean replica

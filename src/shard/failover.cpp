@@ -1,16 +1,19 @@
 // Shard-level fault handling: the kill/revive chaos API, failover into a
-// spare, and fleet-wide chaos plan installation (DESIGN.md §5.10).
+// spare, and fleet-wide chaos plan installation (DESIGN.md §5.10–§5.11).
 //
 // The durability argument, in one place: every write the store
-// acknowledged (per-position kOk) was appended to the owning slot's
-// store-level journal *on the caller thread, after the shard round that
-// acknowledged it*. The journal and its checkpoint live CPU-side in the
-// router, not in the shard's Machine, so a rack loss cannot touch them.
-// failover() and revive_shard() replay checkpoint + journal in record
-// order with the same first-occurrence-wins batch semantics the live
-// shard applied — so the restored shard holds exactly the acknowledged
-// state, no more (unacknowledged writes were never journaled) and no
-// less.
+// acknowledged (per-position kOk) was committed on >= write_quorum live
+// replicas AND appended to the owning GROUP's journal *on the caller
+// thread, after the shard round that acknowledged it*. The journal and
+// its checkpoint live CPU-side in the router, not in any shard's
+// Machine, so a rack loss cannot touch them. With R > 1 a death costs
+// nothing: surviving members keep serving reads and writes. failover()
+// and revive_shard() are the last-resort replay path (R = 1, or a whole
+// group dead): they rebuild a member from checkpoint + journal in
+// record order with the same first-occurrence-wins batch semantics the
+// live shards applied — so the restored shard holds exactly the
+// acknowledged state, no more (unacknowledged and kNoQuorum writes were
+// never journaled) and no less.
 #include "shard/sharded_store.hpp"
 
 #include <algorithm>
@@ -24,23 +27,34 @@ void ShardedPimStore::kill_shard(u32 slot) {
   Shard& s = slots_[slot];
   if (s.state == ShardState::kDead) return;  // cannot die twice
   // Rack loss: the machine, the structure and every CPU-side mirror go.
-  // The store-level checkpoint + journal survive (they live here).
+  // The group-level checkpoint + journal survive (they live here).
   s.list.reset();
   s.machine.reset();
   s.state = ShardState::kDead;
   s.fail_streak = 0;
   abort_migration_for(slot);
+  abort_repair_for(slot);
 }
 
 void ShardedPimStore::revive_shard(u32 slot) {
   PIM_CHECK(slot < slots_.size(), "revive_shard: bad slot");
   Shard& s = slots_[slot];
   if (s.state != ShardState::kDead) return;  // revive is idempotent
-  restore_into(slot, replay_log(s));
-  const bool owns_routes = std::any_of(
-      routes_.begin(), routes_.end(),
-      [&](const RouteEntry& e) { return e.slot == slot; });
-  s.state = owns_routes ? ShardState::kLive : ShardState::kSpare;
+  if (s.group != kNoGroup) {
+    // A rebuild that was replacing this member is moot now.
+    abort_repair_for(slot);
+    ReplicaGroup& g = groups_[s.group];
+    std::map<Key, Value> contents = replay_log(g);
+    restore_into(slot, contents);
+    g.checkpoint = std::move(contents);
+    g.journal.clear();
+    s.lo = g.lo;
+    s.hi = g.hi;
+    s.state = ShardState::kLive;
+  } else {
+    restore_into(slot, {});
+    s.state = ShardState::kSpare;
+  }
 }
 
 Status ShardedPimStore::failover(u32 slot) {
@@ -48,12 +62,17 @@ Status ShardedPimStore::failover(u32 slot) {
     return Status(StatusCode::kInvalidArgument,
                   "failover target must be a dead shard");
   }
-  const bool owns_routes = std::any_of(
-      routes_.begin(), routes_.end(),
-      [&](const RouteEntry& e) { return e.slot == slot; });
-  if (!owns_routes) {
+  Shard& victim = slots_[slot];
+  if (victim.group == kNoGroup) {
     return Status(StatusCode::kInvalidArgument,
                   "dead shard owns no key range (already failed over?)");
+  }
+  const u32 gi = victim.group;
+  // The instant replay path supersedes any online rebuild of this group.
+  if (repair_.has_value() && repair_->group == gi) {
+    const u32 t = repair_->target;
+    repair_.reset();
+    recycle_target(t);
   }
   u32 spare = slots();
   for (u32 i = 0; i < slots(); ++i) {
@@ -66,19 +85,22 @@ Status ShardedPimStore::failover(u32 slot) {
   if (spare == slots()) {
     return Status(StatusCode::kInvalidArgument, "no spare shard available");
   }
-  Shard& victim = slots_[slot];
-  restore_into(spare, replay_log(victim));
+  ReplicaGroup& g = groups_[gi];
+  std::map<Key, Value> contents = replay_log(g);
+  restore_into(spare, contents);
   Shard& fresh = slots_[spare];
   fresh.state = ShardState::kLive;
-  fresh.lo = victim.lo;
-  fresh.hi = victim.hi;
-  for (RouteEntry& e : routes_) {
-    if (e.slot == slot) e.slot = spare;
+  fresh.group = gi;
+  fresh.lo = g.lo;
+  fresh.hi = g.hi;
+  for (u32& member : g.members) {
+    if (member == slot) member = spare;
   }
-  // The victim is decommissioned: its log moved with the range. A later
+  g.checkpoint = std::move(contents);
+  g.journal.clear();
+  // The victim is decommissioned: the log stays with the group. A later
   // revive_shard(slot) turns the repaired rack into an empty spare.
-  victim.checkpoint.clear();
-  victim.journal.clear();
+  victim.group = kNoGroup;
   return Status();
 }
 
@@ -98,7 +120,8 @@ void ShardedPimStore::set_shard_fault_plan(u32 slot, const sim::FaultPlan& plan)
   if (plan.enabled && s.state == ShardState::kLive) {
     // Establish the shard's internal journal while it is healthy, so
     // module-level crash recovery works from the first faulty batch on.
-    (void)s.list->batch_get(std::vector<Key>{s.lo == kMinKey ? Key{0} : s.lo});
+    const Key lo = shard_range(slot).first;
+    (void)s.list->batch_get(std::vector<Key>{lo == kMinKey ? Key{0} : lo});
   }
 }
 

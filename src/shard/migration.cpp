@@ -1,25 +1,30 @@
-// Online range migration: carve a hot shard's upper range out to a spare
+// Online range migration: carve a hot group's upper range out to a spare
 // while the source keeps serving. Protocol (DESIGN.md §5.10):
 //
 //   1. start_migration snapshots the moving range's key list (from the
-//      source's store-level journal replay — CPU-side, free) and opens a
-//      delta log: every acknowledged write landing in the range keeps
-//      routing to the source AND is double-entried into the delta.
-//   2. migration_step copies one chunk of keys via a source range
-//      collect, upserting them into the target. A write racing the copy
-//      is safe either way: the delta replay re-applies it in order.
+//      group's journal replay — CPU-side, free) and opens a delta log:
+//      every acknowledged write landing in the range keeps routing to
+//      the source group AND is double-entried into the delta.
+//   2. migration_step copies one chunk of keys via a range collect on
+//      one live source member, upserting them into the target. A write
+//      racing the copy is safe either way: the delta replay re-applies
+//      it in order.
 //   3. The step after the last chunk drains the delta onto the target,
-//      then cuts over atomically ON THE CALLER THREAD: route flip,
-//      range handoff, checkpoint rewrite — no PIM round between them.
-//      The source's moved leaves are then deleted (or, if the machine
-//      faults mid-delete, the source is rebuilt from its rewritten
+//      then cuts over atomically ON THE CALLER THREAD: route flip, a
+//      fresh single-member group for the moved range, checkpoint
+//      rewrite — no PIM round between them. The moved leaves are then
+//      deleted from every live source member (or, if a machine faults
+//      mid-delete, that member is rebuilt from the rewritten group
 //      checkpoint, which is equivalent and cannot fail).
 //
-// Ownership moves only at cutover, so a crash of either end at any
-// public-API boundary loses nothing and duplicates nothing: kill the
-// target → the source still owns and serves everything; kill the source
-// → the staged copy is discarded and failover replays the source's
-// journal (which still includes the moving range) into a spare.
+// The carved-off group starts with ONE member even when R > 1; the
+// policy loop's re-replication brings it back to full strength (the
+// group journal protects it meanwhile). Ownership moves only at
+// cutover, so a crash of either end at any public-API boundary loses
+// nothing and duplicates nothing: kill the target → the source group
+// still owns and serves everything; kill the copy-source member → the
+// staged copy is discarded and the group's other members (or journal
+// replay) still cover the moving range.
 #include "shard/sharded_store.hpp"
 
 #include <algorithm>
@@ -33,16 +38,23 @@ Status ShardedPimStore::start_migration(u32 source, Key split_key) {
     return Status(StatusCode::kMigrationInProgress,
                   "a range migration is already running");
   }
+  if (repair_.has_value()) {
+    return Status(StatusCode::kMigrationInProgress,
+                  "a replica repair is already running (one data movement at a time)");
+  }
   if (source >= slots_.size()) {
     return Status(StatusCode::kInvalidArgument, "start_migration: bad slot");
   }
   Shard& s = slots_[source];
-  if (s.state == ShardState::kDead) return shard_down_status(source);
-  if (s.state != ShardState::kLive) {
+  if (s.state == ShardState::kDead) {
+    return shard_down_status(s.group != kNoGroup ? s.group : source);
+  }
+  if (s.state != ShardState::kLive || s.group == kNoGroup) {
     return Status(StatusCode::kInvalidArgument,
                   "migration source must be a live shard");
   }
-  if (split_key <= s.lo || split_key >= s.hi) {
+  ReplicaGroup& g = groups_[s.group];
+  if (split_key <= g.lo || split_key >= g.hi) {
     return Status(StatusCode::kInvalidArgument,
                   "split key must fall strictly inside the source's range");
   }
@@ -58,15 +70,14 @@ Status ShardedPimStore::start_migration(u32 source, Key split_key) {
   }
 
   provision(target);  // fresh machine + empty structure for the staged copy
-  slots_[target].checkpoint.clear();
-  slots_[target].journal.clear();
 
   MigrationState m;
+  m.group = s.group;
   m.source = source;
   m.target = target;
   m.lo = split_key;
-  m.hi = s.hi;
-  for (const auto& [k, v] : replay_log(s)) {
+  m.hi = g.hi;
+  for (const auto& [k, v] : replay_log(g)) {
     if (k >= m.lo && k < m.hi) m.plan_keys.push_back(k);
   }
   migration_ = std::move(m);
@@ -89,8 +100,8 @@ Status ShardedPimStore::migration_step() {
         pairs = slots_[m.source].list->range_collect_broadcast(chunk_lo, chunk_hi);
       } catch (const StatusError& e) {
         // Source faulted mid-collect; nothing was staged, the cursor
-        // stays put. A fatal verdict kills the source, which aborts the
-        // migration (ownership never moved).
+        // stays put. A fatal verdict kills the source member, which
+        // aborts the migration (ownership never moved).
         observe_shard_health(m.source, true);
         return e.status();
       }
@@ -122,7 +133,6 @@ Status ShardedPimStore::migration_step() {
 
 void ShardedPimStore::finish_migration() {
   MigrationState& m = *migration_;
-  Shard& src = slots_[m.source];
   Shard& tgt = slots_[m.target];
 
   // Drain the delta log onto the target, record by record (the cursor
@@ -142,7 +152,7 @@ void ShardedPimStore::finish_migration() {
           (void)tgt.list->batch_delete(rec.keys);
           break;
       }
-    } catch (const StatusError& e) {
+    } catch (const StatusError&) {
       observe_shard_health(m.target, true);
       throw;  // migration stays active; the next step resumes the drain
     }
@@ -151,51 +161,71 @@ void ShardedPimStore::finish_migration() {
   }
 
   // ---- atomic cutover (caller thread, no PIM rounds in between) ----
-  const u32 source = m.source;
   const u32 target = m.target;
   const MigrationState done = std::move(m);
   migration_.reset();  // from here on, writes route normally
 
-  // Route flip: entries of `source` at or above the split move to
-  // `target`; a split strictly inside an entry splits that entry.
+  // The moved range becomes a fresh single-member group; the policy
+  // loop's repair path re-replicates it back to R.
+  const u32 new_gid = static_cast<u32>(groups_.size());
+
+  // Route flip: entries of the source group at or above the split move
+  // to the new group; a split strictly inside an entry splits that entry.
   const u32 idx = route_index(done.lo);
   if (routes_[idx].lo < done.lo) {
-    routes_.insert(routes_.begin() + idx + 1, RouteEntry{done.lo, target});
+    routes_.insert(routes_.begin() + idx + 1, RouteEntry{done.lo, done.group});
   }
   for (RouteEntry& e : routes_) {
-    if (e.slot == source && e.lo >= done.lo) e.slot = target;
+    if (e.group == done.group && e.lo >= done.lo) e.group = new_gid;
   }
-  src.hi = done.lo;
+
+  ReplicaGroup carved;
+  carved.lo = done.lo;
+  carved.hi = done.hi;
+  carved.members.push_back(target);
+  carved.checkpoint = done.staged;
+
+  // Durability handoff: the moved range leaves the source group's
+  // journal and becomes the carved group's checkpoint.
+  {
+    ReplicaGroup& src = groups_[done.group];
+    src.hi = done.lo;
+    std::map<Key, Value> retained = replay_log(src);
+    retained.erase(retained.lower_bound(done.lo), retained.end());
+    src.checkpoint = std::move(retained);
+    src.journal.clear();
+  }
+  groups_.push_back(std::move(carved));
+
+  tgt.state = ShardState::kLive;
+  tgt.group = new_gid;
   tgt.lo = done.lo;
   tgt.hi = done.hi;
-  tgt.state = ShardState::kLive;
 
-  // Durability handoff: the moved range leaves the source's journal and
-  // becomes the target's checkpoint.
-  std::map<Key, Value> retained = replay_log(src);
-  retained.erase(retained.lower_bound(done.lo), retained.end());
-  src.checkpoint = std::move(retained);
-  src.journal.clear();
-  tgt.checkpoint = done.staged;
-  tgt.journal.clear();
-
-  // Physically remove the moved leaves from the source. On a machine
-  // fault, fall back to rebuilding the source from its (already
-  // rewritten) checkpoint — offline, cannot fail, same contents.
+  // Physically remove the moved leaves from every live source member.
+  // On a machine fault, fall back to rebuilding that member from the
+  // (already rewritten) group checkpoint — offline, cannot fail, same
+  // contents.
   std::vector<Key> moved;
   moved.reserve(done.staged.size());
   for (const auto& [k, v] : done.staged) moved.push_back(k);
-  try {
-    constexpr u64 kChunk = 1024;
-    for (u64 i = 0; i < moved.size(); i += kChunk) {
-      const u64 e = std::min(i + kChunk, static_cast<u64>(moved.size()));
-      (void)src.list->batch_delete(
-          std::span<const Key>(moved.data() + i, e - i));
-    }
-  } catch (const StatusError&) {
-    observe_shard_health(source, true);
-    if (slots_[source].state == ShardState::kLive) {
-      restore_into(source, slots_[source].checkpoint);
+  for (const u32 member : groups_[done.group].members) {
+    Shard& ms = slots_[member];
+    ms.lo = groups_[done.group].lo;
+    ms.hi = groups_[done.group].hi;
+    if (ms.state != ShardState::kLive) continue;
+    try {
+      constexpr u64 kChunk = 1024;
+      for (u64 i = 0; i < moved.size(); i += kChunk) {
+        const u64 e = std::min(i + kChunk, static_cast<u64>(moved.size()));
+        (void)ms.list->batch_delete(
+            std::span<const Key>(moved.data() + i, e - i));
+      }
+    } catch (const StatusError&) {
+      observe_shard_health(member, true);
+      if (slots_[member].state == ShardState::kLive) {
+        restore_into(member, groups_[done.group].checkpoint);
+      }
     }
   }
 }
@@ -206,18 +236,13 @@ void ShardedPimStore::abort_migration_for(u32 slot) {
   const MigrationState m = std::move(*migration_);
   migration_.reset();
   if (slot == m.source) {
-    // The staged copy is worthless without the source's ownership;
-    // recycle the target into an empty spare.
-    Shard& t = slots_[m.target];
-    if (t.state != ShardState::kDead) {
-      provision(m.target);
-      t.state = ShardState::kSpare;
-      t.checkpoint.clear();
-      t.journal.clear();
-    }
+    // The staged copy is worthless without a consistent copy pass;
+    // recycle the target into an empty spare. (The group's other
+    // members — or its journal — still cover the range in full.)
+    recycle_target(m.target);
   }
-  // slot == target: the source never gave anything up — full ownership,
-  // nothing to undo.
+  // slot == target: the source group never gave anything up — full
+  // ownership, nothing to undo.
 }
 
 std::optional<ShardedPimStore::MigrationInfo> ShardedPimStore::migration_info() const {
@@ -234,19 +259,15 @@ std::optional<ShardedPimStore::MigrationInfo> ShardedPimStore::migration_info() 
 
 std::optional<ShardedPimStore::MigrationPlan> ShardedPimStore::pick_migration(
     double hot_share_factor) {
-  if (migration_.has_value()) return std::nullopt;
-  bool have_spare = false;
-  for (u32 i = 0; i < slots(); ++i) {
-    have_spare |= slots_[i].state == ShardState::kSpare;
-  }
-  if (!have_spare) return std::nullopt;
+  if (migration_.has_value() || repair_.has_value()) return std::nullopt;
+  if (free_spares() == 0) return std::nullopt;
   const u32 live = live_shards();
   if (live < 1) return std::nullopt;
 
   u32 hot = slots();
   double hot_share = 0;
   for (u32 i = 0; i < slots(); ++i) {
-    if (slots_[i].state != ShardState::kLive) continue;
+    if (slots_[i].state != ShardState::kLive || slots_[i].group == kNoGroup) continue;
     const double share = shard_load(i).io_share;
     if (share > hot_share) {
       hot_share = share;
@@ -257,11 +278,12 @@ std::optional<ShardedPimStore::MigrationPlan> ShardedPimStore::pick_migration(
   // Hot = carrying hot_share_factor× its fair share of the fleet's IO.
   if (hot_share * live <= hot_share_factor) return std::nullopt;
 
+  const ReplicaGroup& g = groups_[slots_[hot].group];
   std::vector<Key> keys;
-  for (const auto& [k, v] : replay_log(slots_[hot])) keys.push_back(k);
+  for (const auto& [k, v] : replay_log(g)) keys.push_back(k);
   if (keys.size() < 2) return std::nullopt;
   const Key split = keys[keys.size() / 2];
-  if (split <= slots_[hot].lo || split >= slots_[hot].hi) return std::nullopt;
+  if (split <= g.lo || split >= g.hi) return std::nullopt;
   return MigrationPlan{hot, split};
 }
 

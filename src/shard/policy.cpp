@@ -1,0 +1,96 @@
+#include "shard/policy.hpp"
+
+#include <chrono>
+
+namespace pim::shard {
+
+ShardPolicy::ShardPolicy(ShardedPimStore& store, PolicyOptions opts)
+    : store_(store), opts_(opts) {
+  if (opts_.interval_ms > 0) thread_ = std::thread([this] { run(); });
+}
+
+ShardPolicy::~ShardPolicy() { stop(); }
+
+void ShardPolicy::stop() {
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void ShardPolicy::run() {
+  std::unique_lock<std::mutex> l(mu_);
+  while (!stop_) {
+    step_locked();
+    cv_.wait_for(l, std::chrono::milliseconds(opts_.interval_ms),
+                 [this] { return stop_; });
+  }
+}
+
+void ShardPolicy::step() {
+  std::lock_guard<std::mutex> l(mu_);
+  step_locked();
+}
+
+PolicyStats ShardPolicy::stats() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return stats_;
+}
+
+void ShardPolicy::step_locked() {
+  ++stats_.ticks;
+
+  // 1. Sticky read demotion: reads already retarget past dead primaries
+  // per batch; rotating the primary makes the skip free.
+  stats_.demotions += store_.demote_dead_primaries();
+
+  // 2. Anti-entropy slice: converge replicas on the acked (journal)
+  // state before anything copies from them.
+  if (opts_.anti_entropy_groups > 0) {
+    const AntiEntropyReport rep =
+        store_.anti_entropy_step(opts_.anti_entropy_groups);
+    stats_.anti_entropy_divergent += rep.divergent;
+    stats_.anti_entropy_repaired_keys += rep.repaired_keys;
+    stats_.anti_entropy_rebuilds += rep.rebuilds;
+  }
+
+  // 3. Start a movement if none is running. Restoring R outranks load
+  // balancing for the spare pool: a hot shard costs latency, a missing
+  // replica costs durability margin.
+  if (!store_.repair_active() && !store_.migration_active()) {
+    if (const auto group = store_.pick_repair()) {
+      if (store_.start_repair(*group).ok()) ++stats_.repairs_started;
+    } else if (opts_.enable_migration) {
+      if (const auto plan = store_.pick_migration(opts_.hot_share_factor)) {
+        if (store_.start_migration(plan->source, plan->split_key).ok()) {
+          ++stats_.migrations_started;
+        }
+      }
+    }
+  }
+
+  // 4. Advance the in-flight movement a few chunks. A step that ends the
+  // movement with kOk is a completed install/cutover; a movement that
+  // vanished after a non-ok step was aborted by a health verdict.
+  for (u32 i = 0; i < opts_.movement_steps; ++i) {
+    if (store_.repair_active()) {
+      const Status st = store_.repair_step();
+      if (!store_.repair_active()) {
+        if (st.ok()) ++stats_.repairs_completed;
+        break;
+      }
+    } else if (store_.migration_active()) {
+      const Status st = store_.migration_step();
+      if (!store_.migration_active()) {
+        if (st.ok()) ++stats_.migrations_completed;
+        break;
+      }
+    } else {
+      break;
+    }
+  }
+}
+
+}  // namespace pim::shard

@@ -1,0 +1,93 @@
+// ShardPolicy — the autonomous health/load loop over a ShardedPimStore
+// (DESIGN.md §5.11). Replaces the PR 6 caller-driven choreography
+// (failover(), migration_step() in the workload loop) with a background
+// thread that each tick:
+//
+//   1. rotates group primaries off dead members (sticky read demotion),
+//   2. runs an anti-entropy audit slice (digest compare + read-repair),
+//   3. starts a re-replication repair when a group is under strength —
+//      repairs outrank load-driven migrations for the spare pool — or a
+//      migration when pick_migration() flags a hot shard,
+//   4. advances whichever data movement is in flight by a few chunks.
+//
+// Locking contract: the store's public API is single-caller by design,
+// so the policy owns a mutex and takes it for every tick. Workload
+// threads running concurrently with the policy MUST wrap their store
+// calls in the same lock (policy.mu()) — that is the entire threading
+// model, and what the TSan job checks. Tests that want determinism
+// construct the policy with interval_ms = 0 (no thread) and call step()
+// by hand.
+//
+// Lifetime: the policy must be destroyed (or stop()ped) before the
+// store it watches.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "shard/sharded_store.hpp"
+
+namespace pim::shard {
+
+struct PolicyOptions {
+  /// Background tick interval. 0 = do not start the thread; drive
+  /// step() manually (deterministic tests).
+  u32 interval_ms = 10;
+  /// Groups digest-audited per tick (0 disables anti-entropy).
+  u32 anti_entropy_groups = 1;
+  /// Data-movement chunks (repair or migration) advanced per tick.
+  u32 movement_steps = 4;
+  /// Consider load-driven migrations when no repair is pending.
+  bool enable_migration = true;
+  /// Forwarded to pick_migration().
+  double hot_share_factor = 1.5;
+};
+
+struct PolicyStats {
+  u64 ticks = 0;
+  u64 demotions = 0;            // primaries rotated off dead members
+  u64 repairs_started = 0;      // re-replications begun
+  u64 repairs_completed = 0;    // members installed
+  u64 migrations_started = 0;
+  u64 migrations_completed = 0;
+  u64 anti_entropy_divergent = 0;
+  u64 anti_entropy_repaired_keys = 0;
+  u64 anti_entropy_rebuilds = 0;
+};
+
+class ShardPolicy {
+ public:
+  ShardPolicy(ShardedPimStore& store, PolicyOptions opts);
+  ~ShardPolicy();  // stop() — joins the thread
+
+  ShardPolicy(const ShardPolicy&) = delete;
+  ShardPolicy& operator=(const ShardPolicy&) = delete;
+
+  /// The lock serializing store access. Every other thread touching the
+  /// store while the policy thread runs must hold it per call.
+  std::mutex& mu() { return mu_; }
+
+  /// One decision round (takes mu_ itself). Safe whether or not the
+  /// background thread is running.
+  void step();
+
+  /// Stops and joins the background thread (idempotent).
+  void stop();
+
+  PolicyStats stats() const;
+
+ private:
+  void run();          // thread body
+  void step_locked();  // requires mu_
+
+  ShardedPimStore& store_;
+  PolicyOptions opts_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  PolicyStats stats_;
+  std::thread thread_;  // last member: started last, joined in dtor
+};
+
+}  // namespace pim::shard

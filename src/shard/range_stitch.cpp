@@ -2,17 +2,21 @@
 // route-split range aggregation/collection (DESIGN.md §5.10).
 //
 // The contract is oracle equality: every answer is bit-identical to a
-// single-Machine PimSkipList holding the union of the shards' contents.
+// single-Machine PimSkipList holding the union of the groups' contents.
 // Two mechanisms deliver it:
 //
-//  * Clamping: a shard's local answer only counts if it falls inside the
-//    shard's owned range [lo, hi). Keys physically present but outside
+//  * Clamping: a group's local answer only counts if it falls inside the
+//    group's owned range [lo, hi). Keys physically present but outside
 //    the owned range (the short-lived leftovers a faulted post-cutover
 //    cleanup can leave behind) are never served.
-//  * Spilling: a clamped miss re-asks the next shard in key order (wave
+//  * Spilling: a clamped miss re-asks the next group in key order (wave
 //    by wave; each wave strictly advances the route cursor, so the loop
-//    terminates). A spill that lands on a dead shard answers kShardDown:
+//    terminates). A spill that lands on a dead group answers kShardDown:
 //    the true answer could live there, so no other key is ever returned.
+//
+// With replication, each group sub-query is served by the group's read
+// member (the primary, skipping dead members) — one replica per wave, so
+// the per-wave PIM cost matches the unreplicated store.
 #include "shard/sharded_store.hpp"
 
 #include <algorithm>
@@ -24,11 +28,11 @@ namespace pim::shard {
 namespace {
 
 // One in-flight ordered query: original position, original query key and
-// the slot it is currently asking.
+// the group it is currently asking.
 struct PendingNear {
   u64 pos = 0;
   Key key = 0;
-  u32 slot = 0;
+  u32 group = 0;
 };
 
 }  // namespace
@@ -40,40 +44,43 @@ std::vector<ShardedPimStore::NearResult> ShardedPimStore::batch_successor(
   std::vector<PendingNear> pending;
   pending.reserve(n);
   for (u64 i = 0; i < n; ++i) {
-    pending.push_back(PendingNear{i, keys[i], routes_[route_index(keys[i])].slot});
+    pending.push_back(PendingNear{i, keys[i], routes_[route_index(keys[i])].group});
   }
 
   while (!pending.empty()) {
-    // Group this wave's queries by the shard they currently ask.
-    std::vector<std::pair<u32, std::vector<u64>>> groups;  // slot -> pending idx
+    // Group this wave's queries by the replica group they currently ask.
+    std::vector<std::pair<u32, std::vector<u64>>> buckets;  // group -> pending idx
     {
-      std::vector<u32> group_of(slots_.size(), static_cast<u32>(-1));
+      std::vector<u32> bucket_of(groups_.size(), static_cast<u32>(-1));
       for (u64 i = 0; i < pending.size(); ++i) {
-        const u32 slot = pending[i].slot;
-        if (group_of[slot] == static_cast<u32>(-1)) {
-          group_of[slot] = static_cast<u32>(groups.size());
-          groups.emplace_back(slot, std::vector<u64>{});
+        const u32 g = pending[i].group;
+        if (bucket_of[g] == static_cast<u32>(-1)) {
+          bucket_of[g] = static_cast<u32>(buckets.size());
+          buckets.emplace_back(g, std::vector<u64>{});
         }
-        groups[group_of[slot]].second.push_back(i);
+        buckets[bucket_of[g]].second.push_back(i);
       }
     }
 
     struct Job {
-      u32 slot;
+      u32 group;
+      u32 slot;  // read member serving this wave
       std::vector<u64> pend;
       std::vector<Key> sub;
       std::vector<core::PimSkipList::NearResult> result;
       std::optional<Status> failure;
     };
     std::vector<Job> jobs;
-    jobs.reserve(groups.size());
-    for (auto& [slot, pend] : groups) {
-      if (slots_[slot].state != ShardState::kLive) {
-        const Status down = shard_down_status(slot);
+    jobs.reserve(buckets.size());
+    for (auto& [group, pend] : buckets) {
+      const u32 slot = read_member(group);
+      if (slot == kNoSlot) {
+        const Status down = shard_down_status(group);
         for (u64 pi : pend) out[pending[pi].pos].status = down;
         continue;
       }
       Job j;
+      j.group = group;
       j.slot = slot;
       j.pend = std::move(pend);
       j.sub.reserve(j.pend.size());
@@ -101,7 +108,7 @@ std::vector<ShardedPimStore::NearResult> ShardedPimStore::batch_successor(
         observe_shard_health(j.slot, true);
         continue;
       }
-      const Key owned_hi = slots_[j.slot].hi;  // clamp bound
+      const Key owned_hi = groups_[j.group].hi;  // clamp bound
       for (u64 k = 0; k < j.pend.size(); ++k) {
         const PendingNear& p = pending[j.pend[k]];
         const auto& r = j.result[k];
@@ -110,7 +117,8 @@ std::vector<ShardedPimStore::NearResult> ShardedPimStore::batch_successor(
         } else if (owned_hi == kMaxKey) {
           out[p.pos] = NearResult{Status(), false, 0};  // end of key space
         } else {
-          next.push_back(PendingNear{p.pos, p.key, routes_[route_index(owned_hi)].slot});
+          next.push_back(
+              PendingNear{p.pos, p.key, routes_[route_index(owned_hi)].group});
         }
       }
       observe_shard_health(j.slot, false);
@@ -127,24 +135,25 @@ std::vector<ShardedPimStore::NearResult> ShardedPimStore::batch_predecessor(
   std::vector<PendingNear> pending;
   pending.reserve(n);
   for (u64 i = 0; i < n; ++i) {
-    pending.push_back(PendingNear{i, keys[i], routes_[route_index(keys[i])].slot});
+    pending.push_back(PendingNear{i, keys[i], routes_[route_index(keys[i])].group});
   }
 
   while (!pending.empty()) {
-    std::vector<std::pair<u32, std::vector<u64>>> groups;
+    std::vector<std::pair<u32, std::vector<u64>>> buckets;
     {
-      std::vector<u32> group_of(slots_.size(), static_cast<u32>(-1));
+      std::vector<u32> bucket_of(groups_.size(), static_cast<u32>(-1));
       for (u64 i = 0; i < pending.size(); ++i) {
-        const u32 slot = pending[i].slot;
-        if (group_of[slot] == static_cast<u32>(-1)) {
-          group_of[slot] = static_cast<u32>(groups.size());
-          groups.emplace_back(slot, std::vector<u64>{});
+        const u32 g = pending[i].group;
+        if (bucket_of[g] == static_cast<u32>(-1)) {
+          bucket_of[g] = static_cast<u32>(buckets.size());
+          buckets.emplace_back(g, std::vector<u64>{});
         }
-        groups[group_of[slot]].second.push_back(i);
+        buckets[bucket_of[g]].second.push_back(i);
       }
     }
 
     struct Job {
+      u32 group;
       u32 slot;
       std::vector<u64> pend;
       std::vector<Key> sub;
@@ -152,14 +161,16 @@ std::vector<ShardedPimStore::NearResult> ShardedPimStore::batch_predecessor(
       std::optional<Status> failure;
     };
     std::vector<Job> jobs;
-    jobs.reserve(groups.size());
-    for (auto& [slot, pend] : groups) {
-      if (slots_[slot].state != ShardState::kLive) {
-        const Status down = shard_down_status(slot);
+    jobs.reserve(buckets.size());
+    for (auto& [group, pend] : buckets) {
+      const u32 slot = read_member(group);
+      if (slot == kNoSlot) {
+        const Status down = shard_down_status(group);
         for (u64 pi : pend) out[pending[pi].pos].status = down;
         continue;
       }
       Job j;
+      j.group = group;
       j.slot = slot;
       j.pend = std::move(pend);
       j.sub.reserve(j.pend.size());
@@ -187,7 +198,7 @@ std::vector<ShardedPimStore::NearResult> ShardedPimStore::batch_predecessor(
         observe_shard_health(j.slot, true);
         continue;
       }
-      const Key owned_lo = slots_[j.slot].lo;
+      const Key owned_lo = groups_[j.group].lo;
       for (u64 k = 0; k < j.pend.size(); ++k) {
         const PendingNear& p = pending[j.pend[k]];
         const auto& r = j.result[k];
@@ -197,7 +208,7 @@ std::vector<ShardedPimStore::NearResult> ShardedPimStore::batch_predecessor(
           out[p.pos] = NearResult{Status(), false, 0};  // start of key space
         } else {
           next.push_back(
-              PendingNear{p.pos, p.key, routes_[route_index(owned_lo - 1)].slot});
+              PendingNear{p.pos, p.key, routes_[route_index(owned_lo - 1)].group});
         }
       }
       observe_shard_health(j.slot, false);
@@ -232,13 +243,14 @@ ShardedPimStore::RangeResult ShardedPimStore::range_aggregate(Key lo, Key hi) {
   std::vector<Job> jobs;
   std::vector<u32> job_of(slots_.size(), static_cast<u32>(-1));
   for (u32 idx = route_index(lo); idx < routes_.size() && routes_[idx].lo <= hi; ++idx) {
-    const u32 slot = routes_[idx].slot;
+    const u32 group = routes_[idx].group;
     const Key sub_lo = std::max(lo, routes_[idx].lo);
     const Key top = route_top(idx);
     const Key sub_hi = top == kMaxKey ? hi : std::min(hi, top - 1);
     if (sub_lo > sub_hi) continue;
-    if (slots_[slot].state != ShardState::kLive) {
-      res.status = shard_down_status(slot);
+    const u32 slot = read_member(group);
+    if (slot == kNoSlot) {
+      res.status = shard_down_status(group);
       continue;
     }
     if (job_of[slot] == static_cast<u32>(-1)) {
@@ -296,13 +308,14 @@ std::vector<ShardedPimStore::RangeResult> ShardedPimStore::batch_range_aggregate
     if (lo > hi) continue;
     for (u32 idx = route_index(lo); idx < routes_.size() && routes_[idx].lo <= hi;
          ++idx) {
-      const u32 slot = routes_[idx].slot;
+      const u32 group = routes_[idx].group;
       const Key sub_lo = std::max(lo, routes_[idx].lo);
       const Key top = route_top(idx);
       const Key sub_hi = top == kMaxKey ? hi : std::min(hi, top - 1);
       if (sub_lo > sub_hi) continue;
-      if (slots_[slot].state != ShardState::kLive) {
-        out[q].status = shard_down_status(slot);
+      const u32 slot = read_member(group);
+      if (slot == kNoSlot) {
+        out[q].status = shard_down_status(group);
         continue;
       }
       if (job_of[slot] == static_cast<u32>(-1)) {
@@ -358,13 +371,14 @@ ShardedPimStore::CollectResult ShardedPimStore::range_collect(Key lo, Key hi) {
   std::vector<u32> job_of(slots_.size(), static_cast<u32>(-1));
   u64 chunks = 0;
   for (u32 idx = route_index(lo); idx < routes_.size() && routes_[idx].lo <= hi; ++idx) {
-    const u32 slot = routes_[idx].slot;
+    const u32 group = routes_[idx].group;
     const Key sub_lo = std::max(lo, routes_[idx].lo);
     const Key top = route_top(idx);
     const Key sub_hi = top == kMaxKey ? hi : std::min(hi, top - 1);
     if (sub_lo > sub_hi) continue;
-    if (slots_[slot].state != ShardState::kLive) {
-      res.status = shard_down_status(slot);
+    const u32 slot = read_member(group);
+    if (slot == kNoSlot) {
+      res.status = shard_down_status(group);
       ++chunks;  // keep merge positions stable
       continue;
     }

@@ -1,42 +1,73 @@
 // ShardedPimStore core: provisioning, the route table, the two-phase
-// batch split/merge dispatcher, and the store-level write-ahead journal
-// that makes shard failover lossless for acknowledged writes.
+// batch split/merge dispatcher with R-way replica groups, and the
+// group-level write-ahead journal that makes shard failover lossless
+// for acknowledged writes.
 #include "shard/sharded_store.hpp"
 
 #include <algorithm>
 #include <cmath>
 #include <set>
 #include <string>
+#include <type_traits>
 
 #include "common/error.hpp"
 #include "random/hash_fn.hpp"
 
 namespace pim::shard {
 
-namespace {
-constexpr u64 kDeleteChunk = 1024;  // source-side range delete batching
-}  // namespace
+Status validate_shard_options(const ShardOptions& opts) {
+  auto bad = [](std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  };
+  if (opts.shards == 0) return bad("shards must be >= 1");
+  if (opts.modules_per_shard == 0) return bad("modules_per_shard must be >= 1");
+  if (opts.replication == 0) return bad("replication must be >= 1");
+  if (opts.replication > 32) {
+    return bad("replication must be <= 32 (read retarget tracks members in a bitmask)");
+  }
+  if (opts.write_quorum == 0 || opts.write_quorum > opts.replication) {
+    return bad("write_quorum must be in [1, replication]");
+  }
+  if (opts.spares + opts.shards < opts.replication) {
+    return bad("spares + shards must be >= replication (a group must be buildable)");
+  }
+  if (opts.journal_compact_limit == 0) return bad("journal_compact_limit must be > 0");
+  if (opts.migration_chunk == 0) return bad("migration_chunk must be > 0");
+  if (opts.domain_hi <= opts.domain_lo) return bad("empty key domain");
+  if (static_cast<u64>(opts.domain_hi - opts.domain_lo) / opts.shards < 1) {
+    return bad("domain narrower than the shard count");
+  }
+  return Status{};
+}
 
 ShardedPimStore::ShardedPimStore(ShardOptions opts) : opts_(std::move(opts)) {
-  PIM_CHECK(opts_.shards >= 1, "need at least one shard");
-  PIM_CHECK(opts_.modules_per_shard >= 1, "need at least one module per shard");
-  PIM_CHECK(opts_.domain_hi > opts_.domain_lo, "empty key domain");
-  slots_.resize(opts_.shards + opts_.spares);
+  if (Status v = validate_shard_options(opts_); !v.ok()) throw StatusError(v);
+  const u32 r = opts_.replication;
+  slots_.resize(static_cast<size_t>(opts_.shards) * r + opts_.spares);
   const u64 span =
       static_cast<u64>(opts_.domain_hi - opts_.domain_lo) / opts_.shards;
-  PIM_CHECK(span >= 1, "domain narrower than the shard count");
-  for (u32 i = 0; i < opts_.shards; ++i) {
-    Shard& s = slots_[i];
-    provision(i);
-    s.state = ShardState::kLive;
-    // The edge shards own the open ends of the key space, so every key
+  groups_.resize(opts_.shards);
+  for (u32 gi = 0; gi < opts_.shards; ++gi) {
+    ReplicaGroup& g = groups_[gi];
+    // The edge groups own the open ends of the key space, so every key
     // routes somewhere.
-    s.lo = i == 0 ? kMinKey : opts_.domain_lo + static_cast<Key>(span * i);
-    s.hi = i + 1 == opts_.shards ? kMaxKey
-                                 : opts_.domain_lo + static_cast<Key>(span * (i + 1));
-    routes_.push_back(RouteEntry{s.lo, i});
+    g.lo = gi == 0 ? kMinKey : opts_.domain_lo + static_cast<Key>(span * gi);
+    g.hi = gi + 1 == opts_.shards
+               ? kMaxKey
+               : opts_.domain_lo + static_cast<Key>(span * (gi + 1));
+    for (u32 m = 0; m < r; ++m) {
+      const u32 slot = gi * r + m;
+      Shard& s = slots_[slot];
+      provision(slot);
+      s.state = ShardState::kLive;
+      s.group = gi;
+      s.lo = g.lo;
+      s.hi = g.hi;
+      g.members.push_back(slot);
+    }
+    routes_.push_back(RouteEntry{g.lo, gi});
   }
-  for (u32 i = opts_.shards; i < slots_.size(); ++i) {
+  for (u32 i = opts_.shards * r; i < slots_.size(); ++i) {
     provision(i);
     slots_[i].state = ShardState::kSpare;
   }
@@ -61,7 +92,7 @@ void ShardedPimStore::provision(u32 slot) {
   }
 }
 
-// ---------------- store-level journal ----------------
+// ---------------- group-level journal ----------------
 
 void ShardedPimStore::apply_record(std::map<Key, Value>& m, const LogRecord& r) {
   // Batch semantics, replayed: first occurrence wins within one record
@@ -87,20 +118,20 @@ void ShardedPimStore::apply_record(std::map<Key, Value>& m, const LogRecord& r) 
   }
 }
 
-std::map<Key, Value> ShardedPimStore::replay_log(const Shard& s) const {
-  std::map<Key, Value> m = s.checkpoint;
-  for (const LogRecord& r : s.journal) apply_record(m, r);
+std::map<Key, Value> ShardedPimStore::replay_log(const ReplicaGroup& g) const {
+  std::map<Key, Value> m = g.checkpoint;
+  for (const LogRecord& r : g.journal) apply_record(m, r);
   return m;
 }
 
-void ShardedPimStore::maybe_compact_journal(Shard& s) {
-  if (s.journal.size() <= opts_.journal_compact_limit) return;
-  s.checkpoint = replay_log(s);
-  s.journal.clear();
+void ShardedPimStore::maybe_compact_journal(ReplicaGroup& g) {
+  if (g.journal.size() <= opts_.journal_compact_limit) return;
+  g.checkpoint = replay_log(g);
+  g.journal.clear();
 }
 
-void ShardedPimStore::journal_acked(u32 slot, LogRecord record) {
-  if (migration_.has_value() && slot == migration_->source) {
+void ShardedPimStore::journal_acked(u32 group, LogRecord record) {
+  if (migration_.has_value() && group == migration_->group) {
     // Writes landing in the moving range are double-entried into the
     // migration delta log; the drain replays them onto the target before
     // cutover. Replay over already-copied values is idempotent (same
@@ -115,9 +146,14 @@ void ShardedPimStore::journal_acked(u32 slot, LogRecord record) {
     }
     if (!d.ops.empty() || !d.keys.empty()) migration_->delta.push_back(std::move(d));
   }
-  Shard& s = slots_[slot];
-  s.journal.push_back(std::move(record));
-  maybe_compact_journal(s);
+  if (repair_.has_value() && group == repair_->group) {
+    // Re-replication tees the whole record: the rebuilt member covers
+    // the group's entire range.
+    repair_->delta.push_back(record);
+  }
+  ReplicaGroup& g = groups_[group];
+  g.journal.push_back(std::move(record));
+  maybe_compact_journal(g);
 }
 
 void ShardedPimStore::restore_into(u32 slot, const std::map<Key, Value>& contents) {
@@ -125,8 +161,6 @@ void ShardedPimStore::restore_into(u32 slot, const std::map<Key, Value>& content
   Shard& s = slots_[slot];
   std::vector<std::pair<Key, Value>> sorted(contents.begin(), contents.end());
   s.list->build(sorted);
-  s.checkpoint = contents;
-  s.journal.clear();
 }
 
 // ---------------- routing ----------------
@@ -144,12 +178,35 @@ Key ShardedPimStore::route_top(u64 route_idx) const {
   return route_idx + 1 < routes_.size() ? routes_[route_idx + 1].lo : kMaxKey;
 }
 
-u32 ShardedPimStore::route(Key key) const { return routes_[route_index(key)].slot; }
+u32 ShardedPimStore::read_member(u32 group, u32 tried) const {
+  const ReplicaGroup& g = groups_[group];
+  const u32 r = static_cast<u32>(g.members.size());
+  for (u32 i = 0; i < r; ++i) {
+    const u32 mi = (g.primary + i) % r;
+    if (tried & (1u << mi)) continue;
+    const u32 slot = g.members[mi];
+    if (slots_[slot].state == ShardState::kLive) return slot;
+  }
+  return kNoSlot;
+}
 
-Status ShardedPimStore::shard_down_status(u32 slot) const {
+u32 ShardedPimStore::route(Key key) const {
+  const u32 g = routes_[route_index(key)].group;
+  const u32 slot = read_member(g);
+  return slot == kNoSlot ? group_primary(g) : slot;
+}
+
+Status ShardedPimStore::shard_down_status(u32 group) const {
   return Status(StatusCode::kShardDown,
-                "shard " + std::to_string(slot) +
+                "shard " + std::to_string(group) +
                     " is down (failover to a spare or revive it)");
+}
+
+Status ShardedPimStore::no_quorum_status(u32 group, u32 acked) const {
+  return Status(StatusCode::kNoQuorum,
+                "group " + std::to_string(group) + " write reached " +
+                    std::to_string(acked) + " replicas, quorum is " +
+                    std::to_string(opts_.write_quorum) + " (not acknowledged)");
 }
 
 // ---------------- dispatch ----------------
@@ -187,17 +244,23 @@ void ShardedPimStore::observe_shard_health(u32 slot, bool wave_failed) {
 // ---------------- bulk build ----------------
 
 void ShardedPimStore::build(std::span<const std::pair<Key, Value>> sorted_unique) {
-  // Gather per-slot slices in route order: a slot's routes are contiguous
-  // and ascending, so the concatenation stays sorted.
-  std::vector<std::vector<std::pair<Key, Value>>> per_slot(slots_.size());
-  for (const auto& kv : sorted_unique) per_slot[route(kv.first)].push_back(kv);
-  for (u32 i = 0; i < slots_.size(); ++i) {
-    if (per_slot[i].empty()) continue;
-    Shard& s = slots_[i];
-    PIM_CHECK(s.state == ShardState::kLive, "build routed keys to a non-live shard");
-    s.list->build(per_slot[i]);
-    s.checkpoint.insert(per_slot[i].begin(), per_slot[i].end());
-    s.journal.clear();
+  // Gather per-group slices in route order: a group's routes are
+  // contiguous and ascending, so the concatenation stays sorted. Every
+  // member gets the identical slice (replicas differ only in layout).
+  std::vector<std::vector<std::pair<Key, Value>>> per_group(groups_.size());
+  for (const auto& kv : sorted_unique) {
+    per_group[routes_[route_index(kv.first)].group].push_back(kv);
+  }
+  for (u32 gi = 0; gi < groups_.size(); ++gi) {
+    if (per_group[gi].empty()) continue;
+    ReplicaGroup& g = groups_[gi];
+    for (const u32 slot : g.members) {
+      Shard& s = slots_[slot];
+      PIM_CHECK(s.state == ShardState::kLive, "build routed keys to a non-live shard");
+      s.list->build(per_group[gi]);
+    }
+    g.checkpoint.insert(per_group[gi].begin(), per_group[gi].end());
+    g.journal.clear();
   }
 }
 
@@ -207,234 +270,230 @@ std::vector<ShardedPimStore::GetResult> ShardedPimStore::batch_get(
     std::span<const Key> keys) {
   const u64 n = keys.size();
   std::vector<GetResult> out(n);
-  auto groups = split_by_slot(n, [&](u64 i) { return keys[i]; });
 
-  struct Job {
-    u32 slot;
+  // Reads retarget: each pending bucket remembers which member indexes
+  // it already tried; a wave that fails (whole sub-batch or per-key)
+  // moves to the next live member until none are left. With R = 1 this
+  // degenerates to exactly the single-attempt PR 6 path.
+  struct Pending {
+    u32 group;
+    u32 tried;  // bitmask of member indexes attempted
     std::vector<u64> positions;
-    std::vector<Key> sub;
-    std::vector<core::PimSkipList::PartialGet> result;
-    std::optional<Status> failure;
   };
-  std::vector<Job> jobs;
-  jobs.reserve(groups.size());
-  for (auto& [slot, positions] : groups) {
-    if (slots_[slot].state != ShardState::kLive) {
-      const Status down = shard_down_status(slot);
-      for (u64 p : positions) out[p].status = down;
-      continue;
-    }
-    Job j;
-    j.slot = slot;
-    j.positions = std::move(positions);
-    j.sub.reserve(j.positions.size());
-    for (u64 p : j.positions) j.sub.push_back(keys[p]);
-    jobs.push_back(std::move(j));
+  std::vector<Pending> active;
+  for (auto& [group, positions] : split_by_group(n, [&](u64 i) { return keys[i]; })) {
+    active.push_back(Pending{group, 0u, std::move(positions)});
   }
 
-  std::vector<std::pair<u32, std::function<void()>>> wave;
-  wave.reserve(jobs.size());
-  for (Job& j : jobs) {
-    wave.emplace_back(j.slot, [this, &j] {
-      try {
-        j.result = slots_[j.slot].list->batch_get_partial(j.sub);
-      } catch (const StatusError& e) {
-        j.failure = e.status();
+  while (!active.empty()) {
+    struct Job {
+      u32 slot;
+      u32 member_index;
+      Pending* pending;
+      std::vector<Key> sub;
+      std::vector<core::PimSkipList::PartialGet> result;
+      std::optional<Status> failure;
+    };
+    std::vector<Job> jobs;
+    jobs.reserve(active.size());
+    for (Pending& p : active) {
+      const u32 slot = read_member(p.group, p.tried);
+      if (slot == kNoSlot) {
+        // Only reachable on the first attempt (retries are only queued
+        // when another live member exists): the whole group is dead.
+        const Status down = shard_down_status(p.group);
+        for (u64 pos : p.positions) out[pos].status = down;
+        continue;
       }
-    });
-  }
-  run_wave(std::move(wave));
+      const auto& members = groups_[p.group].members;
+      u32 mi = 0;
+      while (members[mi] != slot) ++mi;
+      Job j;
+      j.slot = slot;
+      j.member_index = mi;
+      j.pending = &p;
+      j.sub.reserve(p.positions.size());
+      for (u64 pos : p.positions) j.sub.push_back(keys[pos]);
+      jobs.push_back(std::move(j));
+    }
 
-  for (Job& j : jobs) {
-    if (j.failure.has_value()) {
-      for (u64 p : j.positions) out[p].status = *j.failure;
-    } else {
-      for (u64 k = 0; k < j.positions.size(); ++k) {
-        const auto& r = j.result[k];
-        out[j.positions[k]] = GetResult{r.status, r.found, r.value};
+    std::vector<std::pair<u32, std::function<void()>>> wave;
+    wave.reserve(jobs.size());
+    for (Job& j : jobs) {
+      wave.emplace_back(j.slot, [this, &j] {
+        try {
+          j.result = slots_[j.slot].list->batch_get_partial(j.sub);
+        } catch (const StatusError& e) {
+          j.failure = e.status();
+        }
+      });
+    }
+    run_wave(std::move(wave));
+
+    std::vector<Pending> next;
+    for (Job& j : jobs) {
+      Pending retry{j.pending->group, j.pending->tried | (1u << j.member_index), {}};
+      if (j.failure.has_value()) {
+        for (u64 pos : j.pending->positions) out[pos].status = *j.failure;
+        retry.positions = j.pending->positions;
+      } else {
+        for (u64 k = 0; k < j.pending->positions.size(); ++k) {
+          const auto& r = j.result[k];
+          out[j.pending->positions[k]] = GetResult{r.status, r.found, r.value};
+          if (!r.status.ok()) retry.positions.push_back(j.pending->positions[k]);
+        }
+      }
+      observe_shard_health(j.slot, j.failure.has_value());
+      if (!retry.positions.empty() && read_member(retry.group, retry.tried) != kNoSlot) {
+        next.push_back(std::move(retry));
       }
     }
-    observe_shard_health(j.slot, j.failure.has_value());
+    active = std::move(next);
   }
   return out;
 }
 
-std::vector<Status> ShardedPimStore::batch_upsert(
-    std::span<const std::pair<Key, Value>> ops) {
-  const u64 n = ops.size();
-  std::vector<Status> out(n);
-  auto groups = split_by_slot(n, [&](u64 i) { return ops[i].first; });
+template <typename Sub, typename Partial, typename Run, typename StatusOf,
+          typename Emit>
+void ShardedPimStore::replicated_write(std::span<const Sub> items,
+                                       LogRecord::Kind kind, Run&& run,
+                                       StatusOf&& status_of, Emit&& emit) {
+  const u64 n = items.size();
+  auto buckets = split_by_group(n, [&](u64 i) {
+    if constexpr (std::is_same_v<Sub, Key>) {
+      return items[i];
+    } else {
+      return items[i].first;
+    }
+  });
 
-  struct Job {
+  struct MemberRun {
     u32 slot;
-    std::vector<u64> positions;
-    std::vector<std::pair<Key, Value>> sub;
-    std::vector<Status> result;
+    std::vector<Partial> result;
     std::optional<Status> failure;
   };
+  struct Job {
+    u32 group;
+    std::vector<u64> positions;
+    std::vector<Sub> sub;
+    std::vector<MemberRun> runs;  // one per live member at dispatch
+  };
   std::vector<Job> jobs;
-  jobs.reserve(groups.size());
-  for (auto& [slot, positions] : groups) {
-    if (slots_[slot].state != ShardState::kLive) {
-      const Status down = shard_down_status(slot);
-      for (u64 p : positions) out[p] = down;
+  jobs.reserve(buckets.size());
+  for (auto& [group, positions] : buckets) {
+    Job j;
+    j.group = group;
+    j.positions = std::move(positions);
+    for (const u32 slot : groups_[group].members) {
+      if (slots_[slot].state == ShardState::kLive) j.runs.push_back(MemberRun{slot});
+    }
+    if (j.runs.empty()) {
+      const Status down = shard_down_status(group);
+      for (u64 p : j.positions) emit(p, down, nullptr);
       continue;
     }
-    Job j;
-    j.slot = slot;
-    j.positions = std::move(positions);
     j.sub.reserve(j.positions.size());
-    for (u64 p : j.positions) j.sub.push_back(ops[p]);
+    for (u64 p : j.positions) j.sub.push_back(items[p]);
     jobs.push_back(std::move(j));
   }
 
   std::vector<std::pair<u32, std::function<void()>>> wave;
-  wave.reserve(jobs.size());
   for (Job& j : jobs) {
-    wave.emplace_back(j.slot, [this, &j] {
-      try {
-        j.result = slots_[j.slot].list->batch_upsert_partial(j.sub);
-      } catch (const StatusError& e) {
-        j.failure = e.status();
-      }
-    });
+    for (MemberRun& r : j.runs) {
+      wave.emplace_back(r.slot, [this, &j, &r, &run] {
+        try {
+          r.result = run(*slots_[r.slot].list, j.sub);
+        } catch (const StatusError& e) {
+          r.failure = e.status();
+        }
+      });
+    }
   }
   run_wave(std::move(wave));
 
+  const u32 quorum = opts_.write_quorum;
   for (Job& j : jobs) {
+    ReplicaGroup& g = groups_[j.group];
     LogRecord rec;
-    rec.kind = LogRecord::kUpsert;
-    if (j.failure.has_value()) {
-      for (u64 p : j.positions) out[p] = *j.failure;
-    } else {
-      for (u64 k = 0; k < j.positions.size(); ++k) {
-        out[j.positions[k]] = j.result[k];
-        if (j.result[k].ok()) rec.ops.push_back(j.sub[k]);
+    rec.kind = kind;
+    for (u64 k = 0; k < j.positions.size(); ++k) {
+      u32 acked = 0;
+      const Partial* sample = nullptr;
+      Status first_err;
+      bool any_err = false;
+      for (MemberRun& r : j.runs) {
+        const Status& st =
+            r.failure.has_value() ? *r.failure : status_of(r.result[k]);
+        if (st.ok()) {
+          ++acked;
+          if (sample == nullptr) sample = &r.result[k];
+        } else if (!any_err) {
+          first_err = st;
+          any_err = true;
+        }
+      }
+      if (acked >= quorum) {
+        emit(j.positions[k], status_of(*sample), sample);
+        if constexpr (std::is_same_v<Sub, Key>) {
+          rec.keys.push_back(j.sub[k]);
+        } else {
+          rec.ops.push_back(j.sub[k]);
+        }
+        // A live member missed a write the group acked: its contents
+        // now lag the journal until anti-entropy repairs it.
+        if (any_err) g.dirty = true;
+      } else if (acked > 0) {
+        emit(j.positions[k], no_quorum_status(j.group, acked), nullptr);
+        g.dirty = true;
+      } else {
+        emit(j.positions[k], first_err, nullptr);
       }
     }
-    if (!rec.ops.empty()) journal_acked(j.slot, std::move(rec));
-    observe_shard_health(j.slot, j.failure.has_value());
+    if (!rec.ops.empty() || !rec.keys.empty()) journal_acked(j.group, std::move(rec));
+    for (MemberRun& r : j.runs) observe_shard_health(r.slot, r.failure.has_value());
   }
+}
+
+std::vector<Status> ShardedPimStore::batch_upsert(
+    std::span<const std::pair<Key, Value>> ops) {
+  std::vector<Status> out(ops.size());
+  replicated_write<std::pair<Key, Value>, Status>(
+      ops, LogRecord::kUpsert,
+      [](core::PimSkipList& list, const std::vector<std::pair<Key, Value>>& sub) {
+        return list.batch_upsert_partial(sub);
+      },
+      [](const Status& st) -> const Status& { return st; },
+      [&](u64 pos, const Status& st, const Status*) { out[pos] = st; });
   return out;
 }
 
 std::vector<ShardedPimStore::FlagResult> ShardedPimStore::batch_update(
     std::span<const std::pair<Key, Value>> ops) {
-  const u64 n = ops.size();
-  std::vector<FlagResult> out(n);
-  auto groups = split_by_slot(n, [&](u64 i) { return ops[i].first; });
-
-  struct Job {
-    u32 slot;
-    std::vector<u64> positions;
-    std::vector<std::pair<Key, Value>> sub;
-    std::vector<core::PimSkipList::PartialFlag> result;
-    std::optional<Status> failure;
-  };
-  std::vector<Job> jobs;
-  jobs.reserve(groups.size());
-  for (auto& [slot, positions] : groups) {
-    if (slots_[slot].state != ShardState::kLive) {
-      const Status down = shard_down_status(slot);
-      for (u64 p : positions) out[p].status = down;
-      continue;
-    }
-    Job j;
-    j.slot = slot;
-    j.positions = std::move(positions);
-    j.sub.reserve(j.positions.size());
-    for (u64 p : j.positions) j.sub.push_back(ops[p]);
-    jobs.push_back(std::move(j));
-  }
-
-  std::vector<std::pair<u32, std::function<void()>>> wave;
-  wave.reserve(jobs.size());
-  for (Job& j : jobs) {
-    wave.emplace_back(j.slot, [this, &j] {
-      try {
-        j.result = slots_[j.slot].list->batch_update_partial(j.sub);
-      } catch (const StatusError& e) {
-        j.failure = e.status();
-      }
-    });
-  }
-  run_wave(std::move(wave));
-
-  for (Job& j : jobs) {
-    LogRecord rec;
-    rec.kind = LogRecord::kUpdate;
-    if (j.failure.has_value()) {
-      for (u64 p : j.positions) out[p].status = *j.failure;
-    } else {
-      for (u64 k = 0; k < j.positions.size(); ++k) {
-        const auto& r = j.result[k];
-        out[j.positions[k]] = FlagResult{r.status, r.found};
-        if (r.status.ok()) rec.ops.push_back(j.sub[k]);
-      }
-    }
-    if (!rec.ops.empty()) journal_acked(j.slot, std::move(rec));
-    observe_shard_health(j.slot, j.failure.has_value());
-  }
+  std::vector<FlagResult> out(ops.size());
+  replicated_write<std::pair<Key, Value>, core::PimSkipList::PartialFlag>(
+      ops, LogRecord::kUpdate,
+      [](core::PimSkipList& list, const std::vector<std::pair<Key, Value>>& sub) {
+        return list.batch_update_partial(sub);
+      },
+      [](const core::PimSkipList::PartialFlag& r) -> const Status& { return r.status; },
+      [&](u64 pos, const Status& st, const core::PimSkipList::PartialFlag* r) {
+        out[pos] = FlagResult{st, r != nullptr && r->found};
+      });
   return out;
 }
 
 std::vector<ShardedPimStore::FlagResult> ShardedPimStore::batch_delete(
     std::span<const Key> keys) {
-  const u64 n = keys.size();
-  std::vector<FlagResult> out(n);
-  auto groups = split_by_slot(n, [&](u64 i) { return keys[i]; });
-
-  struct Job {
-    u32 slot;
-    std::vector<u64> positions;
-    std::vector<Key> sub;
-    std::vector<core::PimSkipList::PartialFlag> result;
-    std::optional<Status> failure;
-  };
-  std::vector<Job> jobs;
-  jobs.reserve(groups.size());
-  for (auto& [slot, positions] : groups) {
-    if (slots_[slot].state != ShardState::kLive) {
-      const Status down = shard_down_status(slot);
-      for (u64 p : positions) out[p].status = down;
-      continue;
-    }
-    Job j;
-    j.slot = slot;
-    j.positions = std::move(positions);
-    j.sub.reserve(j.positions.size());
-    for (u64 p : j.positions) j.sub.push_back(keys[p]);
-    jobs.push_back(std::move(j));
-  }
-
-  std::vector<std::pair<u32, std::function<void()>>> wave;
-  wave.reserve(jobs.size());
-  for (Job& j : jobs) {
-    wave.emplace_back(j.slot, [this, &j] {
-      try {
-        j.result = slots_[j.slot].list->batch_delete_partial(j.sub);
-      } catch (const StatusError& e) {
-        j.failure = e.status();
-      }
-    });
-  }
-  run_wave(std::move(wave));
-
-  for (Job& j : jobs) {
-    LogRecord rec;
-    rec.kind = LogRecord::kDelete;
-    if (j.failure.has_value()) {
-      for (u64 p : j.positions) out[p].status = *j.failure;
-    } else {
-      for (u64 k = 0; k < j.positions.size(); ++k) {
-        const auto& r = j.result[k];
-        out[j.positions[k]] = FlagResult{r.status, r.found};
-        if (r.status.ok()) rec.keys.push_back(j.sub[k]);
-      }
-    }
-    if (!rec.keys.empty()) journal_acked(j.slot, std::move(rec));
-    observe_shard_health(j.slot, j.failure.has_value());
-  }
+  std::vector<FlagResult> out(keys.size());
+  replicated_write<Key, core::PimSkipList::PartialFlag>(
+      keys, LogRecord::kDelete,
+      [](core::PimSkipList& list, const std::vector<Key>& sub) {
+        return list.batch_delete_partial(sub);
+      },
+      [](const core::PimSkipList::PartialFlag& r) -> const Status& { return r.status; },
+      [&](u64 pos, const Status& st, const core::PimSkipList::PartialFlag* r) {
+        out[pos] = FlagResult{st, r != nullptr && r->found};
+      });
   return out;
 }
 
@@ -481,7 +540,9 @@ void ShardedPimStore::reset_load_stats() {
 }
 
 std::pair<Key, Key> ShardedPimStore::shard_range(u32 slot) const {
-  return {slots_[slot].lo, slots_[slot].hi};
+  const Shard& s = slots_[slot];
+  if (s.group != kNoGroup) return {groups_[s.group].lo, groups_[s.group].hi};
+  return {s.lo, s.hi};
 }
 
 u32 ShardedPimStore::live_shards() const {
@@ -492,8 +553,46 @@ u32 ShardedPimStore::live_shards() const {
 
 u64 ShardedPimStore::size() const {
   u64 n = 0;
-  for (const Shard& s : slots_) {
-    if (s.state == ShardState::kLive) n += s.list->size();
+  for (u32 g = 0; g < groups_.size(); ++g) {
+    const u32 slot = read_member(g);
+    if (slot != kNoSlot) n += slots_[slot].list->size();
+  }
+  return n;
+}
+
+u32 ShardedPimStore::group_live_members(u32 group) const {
+  u32 n = 0;
+  for (const u32 slot : groups_[group].members) {
+    n += slots_[slot].state == ShardState::kLive ? 1 : 0;
+  }
+  return n;
+}
+
+bool ShardedPimStore::group_fully_replicated(u32 group) const {
+  const ReplicaGroup& g = groups_[group];
+  return g.members.size() == opts_.replication &&
+         group_live_members(group) == g.members.size();
+}
+
+u64 ShardedPimStore::member_digest(u32 slot) const {
+  const Shard& s = slots_[slot];
+  PIM_CHECK(s.list != nullptr, "member_digest on a dead shard");
+  return s.list->contents_digest();
+}
+
+u64 ShardedPimStore::group_expected_digest(u32 group) const {
+  const std::map<Key, Value> expected = replay_log(groups_[group]);
+  return core::PimSkipList::pairs_digest(
+      std::vector<std::pair<Key, Value>>(expected.begin(), expected.end()));
+}
+
+u32 ShardedPimStore::free_spares() const {
+  u32 n = 0;
+  for (u32 i = 0; i < slots(); ++i) {
+    if (slots_[i].state != ShardState::kSpare) continue;
+    if (migration_.has_value() && migration_->target == i) continue;
+    if (repair_.has_value() && repair_->target == i) continue;
+    ++n;
   }
   return n;
 }
@@ -504,19 +603,39 @@ void ShardedPimStore::check_invariants() const {
   for (u64 i = 0; i + 1 < routes_.size(); ++i) {
     PIM_CHECK(routes_[i].lo < routes_[i + 1].lo, "route table out of order");
   }
-  for (const RouteEntry& e : routes_) {
-    PIM_CHECK(e.slot < slots_.size(), "route names a missing slot");
-    PIM_CHECK(slots_[e.slot].state != ShardState::kSpare,
-              "route names a spare slot");
+  std::vector<u32> entries_of(groups_.size(), 0);
+  for (u64 i = 0; i < routes_.size(); ++i) {
+    const RouteEntry& e = routes_[i];
+    PIM_CHECK(e.group < groups_.size(), "route names a missing group");
+    ++entries_of[e.group];
+    PIM_CHECK(groups_[e.group].lo == e.lo && groups_[e.group].hi == route_top(i),
+              "route entry disagrees with its group's range");
   }
-  for (u32 i = 0; i < slots(); ++i) {
-    const Shard& s = slots_[i];
-    if (s.state != ShardState::kLive) continue;
-    s.list->check_invariants();
+  for (u32 gi = 0; gi < groups_.size(); ++gi) {
+    const ReplicaGroup& g = groups_[gi];
+    PIM_CHECK(entries_of[gi] == 1, "each group owns exactly one route entry");
+    PIM_CHECK(!g.members.empty(), "a group must have at least one member");
+    PIM_CHECK(g.members.size() <= opts_.replication,
+              "a group cannot exceed R members");
+    PIM_CHECK(g.primary < g.members.size(), "group primary out of range");
+    for (const u32 slot : g.members) {
+      PIM_CHECK(slot < slots_.size(), "group member names a missing slot");
+      PIM_CHECK(slots_[slot].group == gi, "member's group back-pointer is wrong");
+      PIM_CHECK(slots_[slot].state != ShardState::kSpare,
+                "a spare cannot be a group member");
+      if (slots_[slot].state == ShardState::kLive) {
+        slots_[slot].list->check_invariants();
+      }
+    }
     // Every journaled key must lie inside the owned range (migration
     // cutover rewrites the log when ownership moves).
-    for (const auto& [k, v] : replay_log(s)) {
-      PIM_CHECK(k >= s.lo && k < s.hi, "journaled key outside the shard's range");
+    for (const auto& [k, v] : replay_log(g)) {
+      PIM_CHECK(k >= g.lo && k < g.hi, "journaled key outside the group's range");
+    }
+  }
+  for (u32 i = 0; i < slots(); ++i) {
+    if (slots_[i].state == ShardState::kSpare) {
+      PIM_CHECK(slots_[i].group == kNoGroup, "a spare cannot belong to a group");
     }
   }
 }

@@ -1,19 +1,31 @@
 // ShardedPimStore — a fleet of PimSkipList-on-Machine shards behind a
-// CPU-side range router (DESIGN.md §5.10).
+// CPU-side range router (DESIGN.md §5.10, replication §5.11).
 //
 // One Machine(P) models one rack. This tier range-partitions the key
-// space across S independent shards — each its own sim::Machine plus
-// core::PimSkipList — and turns the per-rack survivability built by
-// PRs 1–5 into a survivable fleet:
+// space across S replica groups — each a group of R independent shards
+// (its own sim::Machine plus core::PimSkipList per member) — and turns
+// the per-rack survivability built by PRs 1–5 into a survivable fleet:
 //
 //  * Two-phase batch split/merge: every batch is split by the route
 //    table, the per-shard sub-batches run concurrently on per-shard
 //    worker threads (shard machines share no state, so the merge is
 //    bit-identical to running shards sequentially), and per-key Status
-//    results are reassembled in the caller's order. A dead shard yields
+//    results are reassembled in the caller's order. A dead group yields
 //    kShardDown for exactly its keys; a dead module inside a live shard
 //    yields kUnavailable for exactly its keys (the PR 3 partial-batch
 //    contract, composed one level up). A batch is never wedged.
+//
+//  * Replication (ShardOptions::replication = R, default 1 == PR 6
+//    behavior bit-for-bit): writes dispatch to every live member of the
+//    owning group in the same wave and a position is acknowledged when
+//    at least write_quorum members commit it (kNoQuorum otherwise);
+//    reads are served by the group primary and transparently retarget
+//    to another live member when the primary is dead or faulted, so up
+//    to R-1 deaths in a group cause zero unavailability and zero lost
+//    acks. Anti-entropy (digest audit + read-repair) and background
+//    re-replication (repair_step) keep the group converged and at full
+//    strength; see replica_group.hpp and src/shard/policy.hpp for the
+//    autonomous loop that drives them.
 //
 //  * Shard health: sub-batches run inside a catch-all; a shard whose
 //    machine reports every module down, or whose sub-batches keep
@@ -22,14 +34,15 @@
 //    fail-stopped — kill_shard/revive_shard expose the same transition
 //    as a chaos API.
 //
-//  * Failover: every acknowledged write is journaled at the store level
+//  * Failover: every acknowledged write is journaled at the GROUP level
 //    (checkpoint + ordered batch records, exactly the PimSkipList
-//    journal design one level up). failover(s) replays the victim's
-//    checkpoint + journal into a spare Machine, so acknowledged writes
-//    survive the loss of a whole rack; revive_shard(s) is the same
-//    replay into the victim's own (repaired) slot.
+//    journal design one level up). With R > 1 the journal is a backstop:
+//    a surviving replica keeps serving and repair rebuilds the dead
+//    member from the live one. Journal replay into a spare — failover(s)
+//    — is the last-resort path for R = 1 or a whole dead group;
+//    revive_shard(s) is the same replay into the victim's own slot.
 //
-//  * Online range migration: split a hot shard's range at a chosen key
+//  * Online range migration: split a hot group's range at a chosen key
 //    and stream its leaves to a spare in chunks while writes keep
 //    landing on the source; writes into the moving range are also
 //    appended to a migration delta log, replayed on the target before an
@@ -40,9 +53,9 @@
 //    load statistics (io share, per-module work CoV — the PR 4 metrics).
 //
 //  * Cross-shard range stitching: batch_successor / batch_predecessor
-//    spill shard-local misses to the neighboring shard in key order
+//    spill group-local misses to the neighboring group in key order
 //    (wave by wave), and range aggregates/collects split a query by the
-//    route table and merge per-shard partial results — answers are
+//    route table and merge per-group partial results — answers are
 //    bit-identical to a single-Machine PimSkipList holding the same
 //    contents.
 //
@@ -50,7 +63,9 @@
 // thread; only the fan-out phase is internally parallel. All routing,
 // journaling and migration bookkeeping happens on the caller thread
 // between waves, which is what makes kill/cutover atomic with respect
-// to batches.
+// to batches. ShardPolicy (policy.hpp) runs a background thread but
+// serializes every store call behind its own mutex, which workload
+// threads are expected to share.
 #pragma once
 
 #include <map>
@@ -62,6 +77,7 @@
 #include "common/status.hpp"
 #include "common/types.hpp"
 #include "core/pim_skiplist.hpp"
+#include "shard/replica_group.hpp"
 #include "shard/shard_workers.hpp"
 #include "sim/fault.hpp"
 #include "sim/machine.hpp"
@@ -69,10 +85,12 @@
 namespace pim::shard {
 
 enum class ShardState : u8 {
-  kLive,   // owns a key range and serves traffic
-  kSpare,  // provisioned but empty; failover / migration target
-  kDead,   // machine lost (chaos kill or health verdict); routes to it
-           // answer kShardDown until failover() or revive_shard()
+  kLive,   // member of a group (serves traffic) — or a built migration
+           // target about to be installed
+  kSpare,  // provisioned but empty; failover / migration / repair target
+  kDead,   // machine lost (chaos kill or health verdict); a group with
+           // only dead members answers kShardDown until failover() or
+           // revive_shard()
 };
 
 inline const char* shard_state_name(ShardState s) {
@@ -85,14 +103,16 @@ inline const char* shard_state_name(ShardState s) {
 }
 
 struct ShardOptions {
-  /// Initial live shards (equal key ranges over [domain_lo, domain_hi)).
+  /// Initial replica groups (equal key ranges over [domain_lo,
+  /// domain_hi)). Total slots = shards * replication + spares.
   u32 shards = 4;
-  /// Spare slots provisioned up front (failover / migration targets).
+  /// Spare slots provisioned up front (failover / migration / repair
+  /// targets).
   u32 spares = 1;
   /// Modules per shard machine (the paper's P, per rack).
   u32 modules_per_shard = 8;
   /// Key domain the initial boundaries divide. Keys outside still route
-  /// (to the first / last shard) — the edge shards own the open ends.
+  /// (to the first / last group) — the edge groups own the open ends.
   Key domain_lo = 0;
   Key domain_hi = 1'000'000'000;
   u64 seed = 0x5AA4D5EEDull;
@@ -105,17 +125,39 @@ struct ShardOptions {
   sim::MachineOptions machine_options{};
   /// Applied to every shard's skiplist; the seed is re-mixed per slot and
   /// per provisioning generation so no two shard structures share
-  /// placement randomness.
+  /// placement randomness (replicas converge on CONTENTS, not layout —
+  /// anti-entropy compares content digests, which are layout-free).
   core::PimSkipList::Options list_options{};
-  /// Target keys copied per migration_step() chunk.
+  /// Target keys copied per migration_step() / repair_step() chunk.
   u64 migration_chunk = 256;
-  /// Store-journal records per shard before compaction into the
-  /// checkpoint (the shard-level kJournalCompactLimit).
+  /// Group-journal records before compaction into the checkpoint (the
+  /// group-level kJournalCompactLimit).
   u64 journal_compact_limit = 64;
   /// Consecutive escaped sub-batch failures before a shard is declared
   /// dead (the shard-level circuit breaker).
   u32 shard_breaker_strikes = 2;
+  /// Replicas per range group (R). 1 preserves single-copy PR 6
+  /// behavior bit-for-bit.
+  u32 replication = 1;
+  /// Live members that must commit a write before it is acknowledged
+  /// (and group-journaled). In 1..replication. A write reaching at
+  /// least one but fewer than this many live members returns kNoQuorum
+  /// for its keys and is NOT acked.
+  u32 write_quorum = 1;
+  /// Anti-entropy escalation: a divergent member whose diff against the
+  /// group journal's replay exceeds this many keys (or that is still
+  /// divergent after read-repair) is rebuilt offline instead.
+  u64 anti_entropy_rebuild_threshold = 64;
 };
+
+/// Mirrors PR 2's FaultPlan::validate — reject malformed options with
+/// kInvalidArgument before any machine is provisioned: shards >= 1,
+/// modules_per_shard >= 1, replication >= 1, write_quorum in
+/// [1, replication], spares + shards >= replication, a non-empty key
+/// domain wide enough for the shard count, migration_chunk > 0 and
+/// journal_compact_limit > 0. The ShardedPimStore constructor throws
+/// StatusError carrying the same status.
+Status validate_shard_options(const ShardOptions& opts);
 
 class ShardedPimStore {
  public:
@@ -128,8 +170,8 @@ class ShardedPimStore {
   // ---------------- bulk build (offline, not metered) ----------------
 
   /// Splits strictly-increasing unique pairs by the route table and bulk
-  /// builds every shard; per-shard checkpoints start at the built
-  /// contents (so failover works from round zero).
+  /// builds every member of every group; group checkpoints start at the
+  /// built contents (so failover works from round zero).
   void build(std::span<const std::pair<Key, Value>> sorted_unique);
 
   // ---------------- batch point operations ----------------
@@ -141,8 +183,9 @@ class ShardedPimStore {
   };
   std::vector<GetResult> batch_get(std::span<const Key> keys);
 
-  /// Per-position status; kOk positions are acknowledged (journaled) and
-  /// survive any later shard failover.
+  /// Per-position status; kOk positions are acknowledged (group-
+  /// journaled, committed on >= write_quorum live replicas) and survive
+  /// any later shard failover. kNoQuorum positions are NOT acked.
   std::vector<Status> batch_upsert(std::span<const std::pair<Key, Value>> ops);
 
   struct FlagResult {
@@ -159,9 +202,9 @@ class ShardedPimStore {
     bool found = false;
     Key key = 0;
   };
-  /// Smallest stored key >= query, stitched across shard boundaries: a
-  /// miss in the owning shard spills to the next shard in key order. A
-  /// query whose answer could live in a dead shard reports kShardDown
+  /// Smallest stored key >= query, stitched across group boundaries: a
+  /// miss in the owning group spills to the next group in key order. A
+  /// query whose answer could live in a dead group reports kShardDown
   /// (the answer cannot be determined, so no wrong key is ever served).
   std::vector<NearResult> batch_successor(std::span<const Key> keys);
   /// Largest stored key <= query (mirror stitching, spills backwards).
@@ -170,12 +213,12 @@ class ShardedPimStore {
   using RangeAgg = core::PimSkipList::RangeAgg;
   using RangeQuery = core::PimSkipList::RangeQuery;
   struct RangeResult {
-    Status status;  // kShardDown if any shard owning part of the range is dead
-    RangeAgg agg;   // partial (live shards only) when !status.ok()
+    Status status;  // kShardDown if any group owning part of the range is dead
+    RangeAgg agg;   // partial (live groups only) when !status.ok()
   };
   /// Inclusive [lo, hi] count+sum, split by the route table and merged.
   RangeResult range_aggregate(Key lo, Key hi);
-  /// Batched count+sum per query (each split per shard, partials added).
+  /// Batched count+sum per query (each split per group, partials added).
   std::vector<RangeResult> batch_range_aggregate(std::span<const RangeQuery> queries);
   struct CollectResult {
     Status status;
@@ -186,19 +229,25 @@ class ShardedPimStore {
   // ---------------- chaos / failover API ----------------
 
   /// Fail-stops a whole shard: its Machine and structure are destroyed
-  /// (rack loss — the CPU-side mirrors die with it), routes to it answer
-  /// kShardDown. Killing a spare just decommissions it. Any migration
-  /// involving the shard is aborted (ownership never moved, so the
-  /// surviving end stays exact). No-op on an already-dead shard.
+  /// (rack loss — the CPU-side mirrors die with it). The shard stays a
+  /// member of its group; with another live member the group keeps
+  /// serving (reads retarget, writes quorum on the survivors), otherwise
+  /// routes to the group answer kShardDown. Killing a spare just
+  /// decommissions it. Any migration or repair involving the shard is
+  /// aborted (ownership never moved, so the surviving end stays exact).
+  /// No-op on an already-dead shard.
   void kill_shard(u32 slot);
-  /// Rebuilds a dead shard in place from its store-level checkpoint +
-  /// journal and returns it to service (kLive if it owns routes, kSpare
-  /// otherwise). Every acknowledged write is restored.
+  /// Rebuilds a dead shard in place from its group's checkpoint +
+  /// journal and returns it to service (kLive if it is a group member,
+  /// kSpare otherwise). Every acknowledged write is restored.
   void revive_shard(u32 slot);
-  /// Replays a dead shard's checkpoint + journal into a spare slot and
-  /// flips the victim's routes to it. The victim slot is decommissioned
-  /// (revive_shard turns it back into a spare). Returns kInvalidArgument
-  /// if `slot` is not a dead route owner or no spare exists.
+  /// Replays the group's checkpoint + journal into a spare slot and
+  /// swaps it into the dead member's place. The victim slot is
+  /// decommissioned (revive_shard turns it back into a spare). This is
+  /// the last-resort instant path (R = 1, or a whole group dead);
+  /// prefer start_repair/repair_step for online rebuild under load.
+  /// Returns kInvalidArgument if `slot` is not a dead group member or
+  /// no spare exists.
   Status failover(u32 slot);
 
   /// Installs a fleet-wide fault plan: every live shard's machine gets a
@@ -214,19 +263,23 @@ class ShardedPimStore {
   // ---------------- online migration ----------------
 
   struct MigrationPlan {
-    u32 source = 0;
+    u32 source = 0;  // member slot the chunked copy reads from
     Key split_key = 0;
   };
-  /// Carves [split_key, hi) out of `source`'s range into a fresh spare.
-  /// kMigrationInProgress if one is already running, kShardDown if the
-  /// source is dead, kInvalidArgument if the split is outside the
-  /// source's range or no spare is free. Traffic keeps routing to the
-  /// source until the final migration_step cuts over.
+  /// Carves [split_key, hi) out of the range owned by `source`'s group
+  /// into a fresh spare (which becomes a new single-member group at
+  /// cutover; the policy loop re-replicates it back to R afterwards).
+  /// kMigrationInProgress if a migration or repair is already running,
+  /// kShardDown if the source shard is dead, kInvalidArgument if the
+  /// split is outside the group's range or no spare is free. Traffic
+  /// keeps routing to the source group until the final migration_step
+  /// cuts over.
   Status start_migration(u32 source, Key split_key);
   /// Copies the next chunk (ShardOptions::migration_chunk keys); once
   /// the copy pass is exhausted, replays the delta log onto the target
-  /// and atomically cuts over (route flip + source-side range delete) in
-  /// this same call. kInvalidArgument when no migration is active.
+  /// and atomically cuts over (route flip + source-side range delete on
+  /// every live member) in this same call. kInvalidArgument when no
+  /// migration is active.
   Status migration_step();
   bool migration_active() const { return migration_.has_value(); }
   struct MigrationInfo {
@@ -240,11 +293,57 @@ class ShardedPimStore {
   std::optional<MigrationInfo> migration_info() const;
 
   /// Hottest live shard by io-share since the last reset_load_stats(),
-  /// split at the median key of its contents — the PR 4 load statistics
-  /// driving re-homing. Returns nullopt when no live shard is hot
-  /// (share <= hot_share_factor / live_shards), fewer than 2 keys, or no
-  /// spare is free.
+  /// its group split at the median key of the group contents — the PR 4
+  /// load statistics driving re-homing. Returns nullopt when no live
+  /// shard is hot (share <= hot_share_factor / live_shards), fewer than
+  /// 2 keys, or no spare is free.
   std::optional<MigrationPlan> pick_migration(double hot_share_factor = 1.5);
+
+  // ---------------- replication: repair & anti-entropy ----------------
+
+  /// First group that is under-replicated (a dead member, or fewer than
+  /// R members after a migration carved off a new group) and has both a
+  /// live member to copy from and a free spare to build on. nullopt when
+  /// none, or while a migration/repair is already running.
+  std::optional<u32> pick_repair() const;
+  /// Starts rebuilding group `group` back to full strength onto a spare:
+  /// chunked range_collect_broadcast copy from a live member plus a
+  /// delta-log tee, the same machinery as migration (and mutually
+  /// exclusive with it: kMigrationInProgress when either is running).
+  /// Writes are never paused. kInvalidArgument when the group needs no
+  /// repair, has no live member (use failover — journal replay — for a
+  /// whole-group loss), or no spare is free.
+  Status start_repair(u32 group);
+  /// Copies the next chunk; when the copy pass is done, drains the delta
+  /// log and installs the rebuilt shard as a group member (replacing the
+  /// dead member, or appended when the group was short). kOk with
+  /// repair_active() false afterwards means the install committed.
+  Status repair_step();
+  bool repair_active() const { return repair_.has_value(); }
+  struct RepairInfo {
+    u32 group = 0;
+    u32 source = 0;      // live member the copy reads from
+    u32 target = 0;      // spare being built
+    u32 dead_slot = kNoSlot;  // member being replaced (kNoSlot = append)
+    u64 copied = 0;
+    u64 delta_records = 0;
+  };
+  std::optional<RepairInfo> repair_info() const;
+
+  /// Audits up to `max_groups` groups (dirty groups first, then a
+  /// rotating cursor): every live member's content digest is compared
+  /// against the digest of the group journal's replay — the
+  /// authoritative acked state. A divergent member is read-repaired in
+  /// place (delete extra keys, upsert missing ones) or, past
+  /// anti_entropy_rebuild_threshold, rebuilt offline. Digest and repair
+  /// walks use the CPU-side mirrors (offline, unmetered), exactly like
+  /// the PR 2 scrubber this reuses.
+  AntiEntropyReport anti_entropy_step(u32 max_groups = 1);
+
+  /// Rotates each group's primary off a dead member onto a live one
+  /// (reads already retarget transparently; this makes the demotion
+  /// sticky so later reads pay no probe). Returns demotions performed.
+  u32 demote_dead_primaries();
 
   // ---------------- observability ----------------
 
@@ -259,41 +358,64 @@ class ShardedPimStore {
 
   u32 slots() const { return static_cast<u32>(slots_.size()); }
   ShardState shard_state(u32 slot) const { return slots_[slot].state; }
-  /// Owned range [lo, hi) of a route-owning slot (live or dead).
+  /// Owned range [lo, hi) of a group member (live or dead).
   std::pair<Key, Key> shard_range(u32 slot) const;
-  /// Slot that owns `key`'s range right now.
+  /// Slot that would serve a read of `key` right now (the owning group's
+  /// primary, skipping dead members; the primary itself when the whole
+  /// group is dead).
   u32 route(Key key) const;
   u32 live_shards() const;
-  /// Sum of size() over live shards (dead shards contribute nothing).
+  /// Sum of size() over groups (each range counted once, via the read
+  /// member; a fully-dead group contributes nothing).
   u64 size() const;
   /// The shard's machine (benches read metrics; nullptr when dead).
   const sim::Machine* shard_machine(u32 slot) const {
     return slots_[slot].machine.get();
   }
-  /// Store-journal records currently buffered for a slot (tests).
-  u64 journal_records(u32 slot) const { return slots_[slot].journal.size(); }
-  /// Full structural validation of every live shard.
+  /// Group-journal records currently buffered for a slot's group (0 for
+  /// spares / decommissioned slots).
+  u64 journal_records(u32 slot) const {
+    const u32 g = slots_[slot].group;
+    return g == kNoGroup ? 0 : groups_[g].journal.size();
+  }
+
+  u32 group_count() const { return static_cast<u32>(groups_.size()); }
+  /// Group a slot belongs to (kNoGroup for spares / decommissioned).
+  u32 group_of(u32 slot) const { return slots_[slot].group; }
+  std::pair<Key, Key> group_range(u32 group) const {
+    return {groups_[group].lo, groups_[group].hi};
+  }
+  const std::vector<u32>& group_members(u32 group) const {
+    return groups_[group].members;
+  }
+  /// Slot of the preferred read replica.
+  u32 group_primary(u32 group) const {
+    return groups_[group].members[groups_[group].primary];
+  }
+  u32 group_live_members(u32 group) const;
+  /// Every member live and the group at full strength R.
+  bool group_fully_replicated(u32 group) const;
+  u64 group_journal_records(u32 group) const { return groups_[group].journal.size(); }
+  /// Content digest of one live member's structure (offline walk).
+  u64 member_digest(u32 slot) const;
+  /// Digest of the group journal's replay — what every member should
+  /// hold (the anti-entropy reference).
+  u64 group_expected_digest(u32 group) const;
+  u32 free_spares() const;
+  /// Full structural validation of every live shard + the route/group
+  /// tables.
   void check_invariants() const;
 
  private:
-  // ----- store-level write-ahead journal (survives shard death) -----
-  struct LogRecord {
-    enum Kind : u8 { kUpsert, kUpdate, kDelete };
-    Kind kind = kUpsert;
-    std::vector<std::pair<Key, Value>> ops;  // upsert / update payload
-    std::vector<Key> keys;                   // delete payload
-  };
   static void apply_record(std::map<Key, Value>& m, const LogRecord& r);
 
   struct Shard {
     ShardState state = ShardState::kSpare;
-    Key lo = 0, hi = 0;  // owned range [lo, hi); meaningful for route owners
+    u32 group = kNoGroup;  // owning group (kNoGroup: spare/decommissioned)
+    Key lo = 0, hi = 0;    // last-known owned range (mirrors the group's)
     std::unique_ptr<sim::Machine> machine;
     std::unique_ptr<core::PimSkipList> list;
     u64 generation = 0;  // bumped per (re-)provisioning; salts the list seed
-    // Store-level durability: CPU-side, so it survives the machine.
-    std::map<Key, Value> checkpoint;
-    std::vector<LogRecord> journal;
     // Shard-level breaker: consecutive escaped sub-batch failures.
     u32 fail_streak = 0;
     // Load accounting baseline (reset_load_stats)
@@ -302,40 +424,61 @@ class ShardedPimStore {
   };
 
   struct RouteEntry {
-    Key lo;    // inclusive lower bound; entries sorted, first is kMinKey
-    u32 slot;  // owning shard slot
+    Key lo;     // inclusive lower bound; entries sorted, first is kMinKey
+    u32 group;  // owning replica group
   };
 
   // ----- provisioning / replay -----
   void provision(u32 slot);  // fresh Machine + empty PimSkipList
-  std::map<Key, Value> replay_log(const Shard& s) const;
-  void maybe_compact_journal(Shard& s);
-  /// Appends an acked-writes record to the slot journal (and, when the
-  /// slot is a migration source, the in-range subset to the delta log).
-  void journal_acked(u32 slot, LogRecord record);
-  /// Rebuilds a slot's machine+list from contents (failover / revive).
+  std::map<Key, Value> replay_log(const ReplicaGroup& g) const;
+  void maybe_compact_journal(ReplicaGroup& g);
+  /// Appends an acked-writes record to the group journal (and, when the
+  /// group is a migration source or under repair, the relevant subset to
+  /// that delta log).
+  void journal_acked(u32 group, LogRecord record);
+  /// Rebuilds a slot's machine+list from contents (failover / revive /
+  /// anti-entropy escalation). Group journal state is the caller's
+  /// business.
   void restore_into(u32 slot, const std::map<Key, Value>& contents);
 
   // ----- routing / dispatch -----
   u32 route_index(Key key) const;  // index into routes_
   Key route_top(u64 route_idx) const;  // exclusive hi of routes_[idx]
-  /// Groups positions by owning slot: wave[k] = (slot, positions).
+  /// Member slot a read of this group should go to: the primary when
+  /// live, else the next live member in rank order (wrapping); kNoSlot
+  /// when every member is dead. `tried` is a bitmask of member INDEXES
+  /// already attempted this batch (retargeting); pass 0 for first try.
+  u32 read_member(u32 group, u32 tried = 0) const;
+  /// Groups positions by owning replica group: wave[k] = (group, positions).
   template <typename KeyOf>
-  std::vector<std::pair<u32, std::vector<u64>>> split_by_slot(u64 n, KeyOf&& key_of) const;
+  std::vector<std::pair<u32, std::vector<u64>>> split_by_group(u64 n, KeyOf&& key_of) const;
   /// Runs one closure per (slot, job) pair — per-shard worker threads or
   /// inline in slot order — then joins.
   void run_wave(std::vector<std::pair<u32, std::function<void()>>> jobs);
   /// Post-wave health: converts machine-level verdicts (all modules
   /// down) and repeated sub-batch escapes into a shard fail-stop.
   void observe_shard_health(u32 slot, bool wave_failed);
-  Status shard_down_status(u32 slot) const;
+  Status shard_down_status(u32 group) const;
+  Status no_quorum_status(u32 group, u32 acked) const;
 
-  // ----- migration internals -----
+  /// Shared driver for the three write ops: fans each group sub-batch
+  /// out to EVERY live member in one wave, merges per-position with
+  /// quorum semantics, journals acked positions, feeds the breaker.
+  /// run(list, sub) -> vector<Partial> (throws StatusError on faults);
+  /// status_of(Partial) -> const Status&; emit(pos, status, Partial*)
+  /// writes the caller-visible result (Partial* null when not acked).
+  template <typename Sub, typename Partial, typename Run, typename StatusOf,
+            typename Emit>
+  void replicated_write(std::span<const Sub> items, LogRecord::Kind kind,
+                        Run&& run, StatusOf&& status_of, Emit&& emit);
+
+  // ----- migration / repair internals -----
   struct MigrationState {
-    u32 source = 0;
-    u32 target = 0;
+    u32 group = 0;   // source group
+    u32 source = 0;  // member slot the chunked copy reads from
+    u32 target = 0;  // spare being built (new group at cutover)
     Key lo = 0;  // inclusive
-    Key hi = 0;  // exclusive (source's old top)
+    Key hi = 0;  // exclusive (source group's old top)
     std::vector<Key> plan_keys;  // keys present at start, sorted
     u64 cursor = 0;              // next index into plan_keys
     bool copy_done = false;
@@ -344,14 +487,34 @@ class ShardedPimStore {
     std::vector<LogRecord> delta;    // acked writes into [lo, hi) since start
     u64 delta_applied = 0;           // drain cursor (resumable after faults)
   };
+  struct RepairState {
+    u32 group = 0;
+    u32 source = 0;            // live member the copy reads from
+    u32 target = 0;            // spare being built
+    u32 dead_slot = kNoSlot;   // member being replaced (kNoSlot = append)
+    std::vector<Key> plan_keys;
+    u64 cursor = 0;
+    bool copy_done = false;
+    u64 copied = 0;
+    std::map<Key, Value> staged;
+    std::vector<LogRecord> delta;  // acked group writes since start
+    u64 delta_applied = 0;
+  };
   void abort_migration_for(u32 slot);
   void finish_migration();  // drain delta + cutover (one atomic step)
+  void abort_repair_for(u32 slot);
+  void finish_repair();  // drain delta + install the member
+  /// Recycle a migration/repair build target back into a spare.
+  void recycle_target(u32 slot);
 
   ShardOptions opts_;
   std::vector<Shard> slots_;
+  std::vector<ReplicaGroup> groups_;
   std::vector<RouteEntry> routes_;
   ShardWorkers workers_;
   std::optional<MigrationState> migration_;
+  std::optional<RepairState> repair_;
+  u32 anti_entropy_cursor_ = 0;  // next group the audit visits
   core::PimSkipList::OpDeadline deadline_{};
   /// Fleet-wide chaos plan, re-derived per slot at every (re-)provision
   /// so failed-over / migrated shards inherit the chaos regime.
@@ -359,21 +522,21 @@ class ShardedPimStore {
 };
 
 template <typename KeyOf>
-std::vector<std::pair<u32, std::vector<u64>>> ShardedPimStore::split_by_slot(
+std::vector<std::pair<u32, std::vector<u64>>> ShardedPimStore::split_by_group(
     u64 n, KeyOf&& key_of) const {
   // Positions are appended in caller order, so each group is ascending —
   // the merge phase relies on that for journal record order.
-  std::vector<std::pair<u32, std::vector<u64>>> groups;
-  std::vector<u32> group_of(slots_.size(), static_cast<u32>(-1));
+  std::vector<std::pair<u32, std::vector<u64>>> out;
+  std::vector<u32> bucket_of(groups_.size(), static_cast<u32>(-1));
   for (u64 i = 0; i < n; ++i) {
-    const u32 slot = routes_[route_index(key_of(i))].slot;
-    if (group_of[slot] == static_cast<u32>(-1)) {
-      group_of[slot] = static_cast<u32>(groups.size());
-      groups.emplace_back(slot, std::vector<u64>{});
+    const u32 g = routes_[route_index(key_of(i))].group;
+    if (bucket_of[g] == static_cast<u32>(-1)) {
+      bucket_of[g] = static_cast<u32>(out.size());
+      out.emplace_back(g, std::vector<u64>{});
     }
-    groups[group_of[slot]].second.push_back(i);
+    out[bucket_of[g]].second.push_back(i);
   }
-  return groups;
+  return out;
 }
 
 }  // namespace pim::shard

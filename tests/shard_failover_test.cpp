@@ -10,6 +10,7 @@
 #include <set>
 #include <vector>
 
+#include "common/error.hpp"
 #include "reference_model.hpp"
 #include "shard/sharded_store.hpp"
 #include "test_util.hpp"
@@ -373,6 +374,109 @@ TEST(ShardedStore, ReviveRestoresInPlaceAndRecyclesDecommissionedVictims) {
   // No spare left: a third failover reports the shortage.
   store.kill_shard(2);
   EXPECT_EQ(store.failover(2).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ShardedStore, OptionValidationRejectsMalformedConfigs) {
+  const auto bad = [](auto&& mutate) {
+    ShardOptions o;
+    mutate(o);
+    return shard::validate_shard_options(o).code();
+  };
+  EXPECT_TRUE(shard::validate_shard_options(small_opts()).ok());
+  EXPECT_EQ(bad([](ShardOptions& o) { o.shards = 0; }), StatusCode::kInvalidArgument);
+  EXPECT_EQ(bad([](ShardOptions& o) { o.modules_per_shard = 0; }),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(bad([](ShardOptions& o) { o.replication = 0; }),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(bad([](ShardOptions& o) { o.replication = 33; }),
+            StatusCode::kInvalidArgument);  // read retarget is a 32-bit mask
+  EXPECT_EQ(bad([](ShardOptions& o) { o.write_quorum = 0; }),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(bad([](ShardOptions& o) {
+              o.replication = 2;
+              o.write_quorum = 3;  // quorum > R can never ack
+            }),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(bad([](ShardOptions& o) {
+              // shards + spares slots cannot even seat one full group.
+              o.shards = 2;
+              o.spares = 1;
+              o.replication = 4;
+            }),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(bad([](ShardOptions& o) { o.journal_compact_limit = 0; }),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(bad([](ShardOptions& o) { o.migration_chunk = 0; }),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(bad([](ShardOptions& o) { o.domain_hi = o.domain_lo; }),
+            StatusCode::kInvalidArgument);
+
+  // The constructor refuses the same configs before provisioning any
+  // machine, throwing the structured status.
+  ShardOptions o = small_opts();
+  o.replication = 0;
+  EXPECT_THROW(ShardedPimStore{o}, StatusError);
+}
+
+TEST(ShardedStore, MidBatchKillKeepsAckedWritesAndDropsUnackedOnes) {
+  // The ack-interleaving chaos case: the victim dies DURING a batch —
+  // after other shards' positions were acked and journaled, before its
+  // own wave completed. No acked position may be lost, no failed
+  // position may become visible after failover.
+  auto opts = small_opts();
+  opts.shard_breaker_strikes = 1;
+  ShardedPimStore store(opts);
+  rnd::Xoshiro256ss rng(0xAC41Bu);
+  const auto pairs = test::make_sorted_pairs(800, rng);
+  store.build(pairs);
+  Ref acked(pairs.begin(), pairs.end());
+
+  const u32 victim = 1;
+  sim::FaultPlan plan;
+  plan.enabled = true;
+  plan.seed = 0xBADF00Dull;
+  // Crashes recur every few rounds over a long window, so whichever
+  // round a write wave reaches, modules die mid-wave (module recovery
+  // between batches cannot outrun the storm).
+  const u64 at = store.shard_machine(victim)->rounds() + 2;
+  for (u64 r = at; r < at + 400; r += 4) {
+    for (u32 m = 0; m < opts.modules_per_shard; ++m) {
+      plan.crashes.push_back(sim::CrashEvent{m, r});
+    }
+  }
+  store.set_shard_fault_plan(victim, plan);
+
+  u64 failed = 0;
+  const auto write_batch = [&] {
+    std::vector<std::pair<Key, Value>> ups;
+    for (u32 i = 0; i < 64; ++i) ups.emplace_back(rng.range(0, 1'000'000'000), rng());
+    const auto st = store.batch_upsert(ups);
+    track_acked_upserts(acked, ups, st);
+    for (const Status& s : st) failed += s.ok() ? 0 : 1;
+  };
+  // Drive batches until the health verdict lands. The kill happens at a
+  // batch's merge — after that batch's surviving positions were already
+  // acked and journaled.
+  for (u32 batch = 0;
+       batch < 6 && store.shard_state(victim) != ShardState::kDead; ++batch) {
+    write_batch();
+  }
+  ASSERT_EQ(store.shard_state(victim), ShardState::kDead)
+      << "the crash storm never fail-stopped the victim";
+  // One more mixed batch against the half-dead fleet: the victim's
+  // positions are refused (and must stay invisible), everyone else acks.
+  write_batch();
+  ASSERT_GT(failed, 0u) << "no position was rejected";
+
+  ASSERT_TRUE(store.failover(victim).ok());
+  const auto all = store.range_collect(kMinKey, kMaxKey);
+  ASSERT_TRUE(all.status.ok());
+  const std::vector<std::pair<Key, Value>> expect(acked.begin(), acked.end());
+  // Exact equality does both halves: every acked position survived the
+  // journal replay, every non-acked position is invisible (keys that
+  // existed before keep their pre-batch value).
+  EXPECT_EQ(all.pairs, expect);
+  store.check_invariants();
 }
 
 }  // namespace

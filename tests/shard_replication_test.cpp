@@ -1,0 +1,554 @@
+// R-way replication tests (DESIGN.md §5.11): every range is owned by a
+// group of R independent shards. Writes quorum across the live members,
+// reads retarget past dead ones, so up to R-1 deaths per group cause
+// zero unavailability and zero lost acks — pinned here by randomized
+// kill/revive chaos diffed against a single-Machine oracle bit for bit.
+// Anti-entropy converges divergent members (including rolling back
+// writes that never reached quorum) on the group journal's replay, and
+// background repair rebuilds a dead member onto a spare while writes
+// keep landing. The ShardPolicy loop drives all of it autonomously —
+// covered both deterministically (manual step()) and with the real
+// background thread under a concurrent workload (the TSan job runs this
+// binary).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "core/pim_skiplist.hpp"
+#include "reference_model.hpp"
+#include "shard/policy.hpp"
+#include "shard/sharded_store.hpp"
+#include "sim/machine.hpp"
+#include "test_util.hpp"
+
+namespace pim {
+namespace {
+
+using shard::AntiEntropyReport;
+using shard::PolicyOptions;
+using shard::ShardOptions;
+using shard::ShardPolicy;
+using shard::ShardState;
+using shard::ShardedPimStore;
+using test::Ref;
+
+ShardOptions replicated_opts(u32 replication, u32 shards = 3, u32 spares = 0) {
+  ShardOptions o;
+  o.shards = shards;
+  o.spares = spares;
+  o.replication = replication;
+  o.modules_per_shard = 8;
+  o.domain_lo = 0;
+  o.domain_hi = 1'000'000'000;
+  o.migration_chunk = 64;
+  return o;
+}
+
+/// Applies per-position upsert acks to the tracker (first occurrence of a
+/// duplicate key wins, matching the batch contract).
+void track_acked_upserts(Ref& acked, std::span<const std::pair<Key, Value>> ops,
+                         const std::vector<Status>& st) {
+  std::map<Key, u64> first;
+  for (u64 i = 0; i < ops.size(); ++i) first.try_emplace(ops[i].first, i);
+  for (const auto& [k, i] : first) {
+    if (st[i].ok()) acked[k] = ops[i].second;
+  }
+}
+
+void track_acked_deletes(Ref& acked, std::span<const Key> keys,
+                         const std::vector<ShardedPimStore::FlagResult>& st) {
+  for (u64 i = 0; i < keys.size(); ++i) {
+    if (st[i].status.ok()) acked.erase(keys[i]);
+  }
+}
+
+/// Every live member of every group holds exactly the journal's replay.
+void expect_converged(const ShardedPimStore& store) {
+  for (u32 g = 0; g < store.group_count(); ++g) {
+    const u64 want = store.group_expected_digest(g);
+    for (const u32 slot : store.group_members(g)) {
+      if (store.shard_state(slot) != ShardState::kLive) continue;
+      EXPECT_EQ(store.member_digest(slot), want)
+          << "group " << g << " member slot " << slot << " diverged";
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Tentpole: randomized kill/revive chaos at R = 3. As long as every
+// group keeps at least one live member, every operation succeeds and
+// every answer is bit-identical to a single-Machine PimSkipList oracle.
+// ---------------------------------------------------------------------
+
+TEST(ShardReplication, ChaosKillReviveIsOracleIdenticalWithZeroDowntime) {
+  ShardedPimStore store(replicated_opts(3));
+  sim::Machine oracle_machine(16);
+  core::PimSkipList oracle(oracle_machine, {});
+
+  rnd::Xoshiro256ss rng(0x2EB71CAu);
+  const auto pairs = test::make_sorted_pairs(1200, rng);
+  store.build(pairs);
+  oracle.build(pairs);
+  Ref ref(pairs.begin(), pairs.end());
+
+  u32 kills = 0, revives = 0;
+  for (u32 round = 0; round < 60; ++round) {
+    // Chaos: flip a random slot, never dropping a group below one live
+    // member (R-1 = 2 simultaneous deaths per group are allowed).
+    const u32 slot = static_cast<u32>(rng.below(store.slots()));
+    const u32 g = store.group_of(slot);
+    if (store.shard_state(slot) == ShardState::kLive && g != shard::kNoGroup &&
+        store.group_live_members(g) > 1) {
+      store.kill_shard(slot);
+      ++kills;
+    } else if (store.shard_state(slot) == ShardState::kDead) {
+      store.revive_shard(slot);
+      ++revives;
+    }
+
+    // Writes: every position must ack — a degraded group still quorums
+    // on its survivors (write_quorum = 1).
+    std::vector<std::pair<Key, Value>> ups;
+    for (u32 i = 0; i < 24; ++i) ups.emplace_back(rng.range(0, 1'000'000'000), rng());
+    const auto ust = store.batch_upsert(ups);
+    for (const Status& s : ust) ASSERT_TRUE(s.ok()) << s.to_string();
+    oracle.batch_upsert(ups);
+    test::ref_upsert(ref, ups);
+
+    std::vector<std::pair<Key, Value>> upd;
+    for (u32 i = 0; i < 6; ++i) upd.emplace_back(test::existing_key(ref, rng), rng());
+    const auto urs = store.batch_update(upd);
+    (void)oracle.batch_update(upd);
+    const auto uflags = test::ref_update(ref, upd);
+    for (u64 i = 0; i < upd.size(); ++i) {
+      ASSERT_TRUE(urs[i].status.ok()) << urs[i].status.to_string();
+      EXPECT_EQ(urs[i].found, uflags[i] != 0);
+    }
+
+    std::vector<Key> dels;
+    for (u32 i = 0; i < 4; ++i) dels.push_back(test::existing_key(ref, rng));
+    const auto drs = store.batch_delete(dels);
+    (void)oracle.batch_delete(dels);
+    const auto dflags = test::ref_delete(ref, dels);
+    for (u64 i = 0; i < dels.size(); ++i) {
+      ASSERT_TRUE(drs[i].status.ok()) << drs[i].status.to_string();
+      EXPECT_EQ(drs[i].found, dflags[i] != 0);
+    }
+
+    // Reads retarget past dead primaries transparently.
+    std::vector<Key> gets;
+    for (u32 i = 0; i < 8; ++i) gets.push_back(rng.range(0, 1'000'000'000));
+    for (u32 i = 0; i < 4; ++i) gets.push_back(test::existing_key(ref, rng));
+    const auto grs = store.batch_get(gets);
+    for (u64 i = 0; i < gets.size(); ++i) {
+      ASSERT_TRUE(grs[i].status.ok()) << grs[i].status.to_string();
+      const auto it = ref.find(gets[i]);
+      ASSERT_EQ(grs[i].found, it != ref.end());
+      if (it != ref.end()) {
+        ASSERT_EQ(grs[i].value, it->second);
+      }
+    }
+
+    // Ordered queries stitch across groups whose primaries may be dead.
+    std::vector<Key> near;
+    for (u32 i = 0; i < 4; ++i) near.push_back(rng.range(0, 1'000'000'000));
+    const auto ssucc = store.batch_successor(near);
+    const auto osucc = oracle.batch_successor(near);
+    const auto spred = store.batch_predecessor(near);
+    const auto opred = oracle.batch_predecessor(near);
+    for (u64 i = 0; i < near.size(); ++i) {
+      ASSERT_TRUE(ssucc[i].status.ok()) << ssucc[i].status.to_string();
+      ASSERT_EQ(ssucc[i].found, osucc[i].found);
+      if (osucc[i].found) {
+        ASSERT_EQ(ssucc[i].key, osucc[i].key);
+      }
+      ASSERT_TRUE(spred[i].status.ok()) << spred[i].status.to_string();
+      ASSERT_EQ(spred[i].found, opred[i].found);
+      if (opred[i].found) {
+        ASSERT_EQ(spred[i].key, opred[i].key);
+      }
+    }
+
+    const Key qlo = rng.range(0, 900'000'000);
+    const Key qhi = qlo + rng.range(1, 100'000'000);
+    const auto agg = store.range_aggregate(qlo, qhi);
+    ASSERT_TRUE(agg.status.ok()) << agg.status.to_string();
+    const auto want = oracle.range_count_broadcast(qlo, qhi);
+    ASSERT_EQ(agg.agg.count, want.count) << "round " << round;
+    ASSERT_EQ(agg.agg.sum, want.sum);
+
+    // Periodic audit slice mid-chaos: live members never drift from the
+    // acked state (every member applies every acked write).
+    if (round % 15 == 14) {
+      (void)store.anti_entropy_step(store.group_count());
+      expect_converged(store);
+    }
+  }
+  EXPECT_GT(kills, 5u) << "chaos plan never killed anything";
+  EXPECT_GT(revives, 0u);
+
+  // Quiesce: revive everything, audit every group, and diff the full
+  // contents against the reference — zero lost acks, nothing extra.
+  for (u32 s = 0; s < store.slots(); ++s) {
+    if (store.shard_state(s) == ShardState::kDead) store.revive_shard(s);
+  }
+  const AntiEntropyReport rep = store.anti_entropy_step(store.group_count());
+  EXPECT_EQ(rep.groups_audited, store.group_count());
+  expect_converged(store);
+  const auto all = store.range_collect(kMinKey, kMaxKey);
+  ASSERT_TRUE(all.status.ok());
+  const std::vector<std::pair<Key, Value>> expect(ref.begin(), ref.end());
+  EXPECT_EQ(all.pairs, expect);
+  EXPECT_EQ(store.size(), ref.size());
+  store.check_invariants();
+}
+
+// ---------------------------------------------------------------------
+// R-1 simultaneous deaths in one group: zero unavailability, zero lost
+// acks; only the R-th death makes the group unavailable, and journal
+// failover (the last-resort path) still restores exactly the acked set.
+// ---------------------------------------------------------------------
+
+TEST(ShardReplication, RMinusOneSimultaneousDeathsLoseNothing) {
+  ShardedPimStore store(replicated_opts(3, /*shards=*/2, /*spares=*/1));
+  rnd::Xoshiro256ss rng(0xD0A11Bu);
+  const auto pairs = test::make_sorted_pairs(800, rng);
+  store.build(pairs);
+  Ref acked(pairs.begin(), pairs.end());
+
+  const auto write_some = [&] {
+    std::vector<std::pair<Key, Value>> ups;
+    for (u32 i = 0; i < 32; ++i) ups.emplace_back(rng.range(0, 1'000'000'000), rng());
+    track_acked_upserts(acked, ups, store.batch_upsert(ups));
+    std::vector<Key> dels;
+    for (u32 i = 0; i < 4; ++i) dels.push_back(test::existing_key(acked, rng));
+    track_acked_deletes(acked, dels, store.batch_delete(dels));
+  };
+  write_some();
+
+  // Kill R-1 = 2 of group 0's members at once.
+  const auto members = store.group_members(0);
+  ASSERT_EQ(members.size(), 3u);
+  store.kill_shard(members[0]);
+  store.kill_shard(members[1]);
+  ASSERT_EQ(store.group_live_members(0), 1u);
+
+  // Still fully available: reads and writes on the survivor all ack.
+  for (u32 i = 0; i < 4; ++i) write_some();
+  auto all = store.range_collect(kMinKey, kMaxKey);
+  ASSERT_TRUE(all.status.ok());
+  std::vector<std::pair<Key, Value>> expect(acked.begin(), acked.end());
+  EXPECT_EQ(all.pairs, expect);
+
+  // The R-th death takes the whole group down: its keys answer
+  // kShardDown (the PR 6 degraded contract), other groups keep serving.
+  store.kill_shard(members[2]);
+  ASSERT_EQ(store.group_live_members(0), 0u);
+  const Key in_dead = store.group_range(0).first + 1;
+  const auto gres = store.batch_get(std::vector<Key>{in_dead});
+  EXPECT_EQ(gres[0].status.code(), StatusCode::kShardDown);
+
+  // Whole-group loss is journal-failover territory: replay into the
+  // spare restores every acked write, loses every unacked one.
+  ASSERT_TRUE(store.failover(members[2]).ok());
+  ASSERT_GE(store.group_live_members(0), 1u);
+  all = store.range_collect(kMinKey, kMaxKey);
+  ASSERT_TRUE(all.status.ok());
+  expect.assign(acked.begin(), acked.end());
+  EXPECT_EQ(all.pairs, expect);
+  store.check_invariants();
+}
+
+// ---------------------------------------------------------------------
+// Quorum semantics: a write reaching fewer than write_quorum live
+// members answers kNoQuorum, is NOT journaled, and anti-entropy rolls
+// it back off the member that transiently applied it.
+// ---------------------------------------------------------------------
+
+TEST(ShardReplication, BelowQuorumWritesAreRefusedAndRolledBack) {
+  auto opts = replicated_opts(2, /*shards=*/2, /*spares=*/0);
+  opts.write_quorum = 2;
+  ShardedPimStore store(opts);
+  rnd::Xoshiro256ss rng(0x9007AAu);
+  const auto pairs = test::make_sorted_pairs(400, rng);
+  store.build(pairs);
+  Ref acked(pairs.begin(), pairs.end());
+
+  // Pick a fresh key and an existing key inside group 0's range.
+  const auto [g0lo, g0hi] = store.group_range(0);
+  Key fresh = g0lo + 12345;
+  while (acked.contains(fresh)) ++fresh;
+  const Key existing = acked.lower_bound(g0lo) != acked.end() &&
+                               acked.lower_bound(g0lo)->first < g0hi
+                           ? acked.lower_bound(g0lo)->first
+                           : fresh - 1;
+  ASSERT_TRUE(acked.contains(existing));
+  const Value old_value = acked[existing];
+
+  // With both members live, quorum-2 writes ack normally.
+  auto st = store.batch_upsert(
+      std::vector<std::pair<Key, Value>>{{existing, old_value}});
+  ASSERT_TRUE(st[0].ok());
+
+  // Kill one member: one live replica < write_quorum = 2.
+  const u32 dead = store.group_members(0)[0];
+  store.kill_shard(dead);
+  const u64 journal_before = store.group_journal_records(0);
+
+  st = store.batch_upsert(std::vector<std::pair<Key, Value>>{{fresh, 777}});
+  ASSERT_EQ(st[0].code(), StatusCode::kNoQuorum) << st[0].to_string();
+  const auto urs = store.batch_update(
+      std::vector<std::pair<Key, Value>>{{existing, old_value + 1}});
+  ASSERT_EQ(urs[0].status.code(), StatusCode::kNoQuorum);
+  // Refused writes are never journaled (they are not acked).
+  EXPECT_EQ(store.group_journal_records(0), journal_before);
+
+  // The surviving replica transiently applied them (read-uncommitted
+  // until the audit): visible now...
+  auto grs = store.batch_get(std::vector<Key>{fresh, existing});
+  ASSERT_TRUE(grs[0].status.ok());
+  EXPECT_TRUE(grs[0].found);
+  ASSERT_TRUE(grs[1].status.ok());
+  EXPECT_EQ(grs[1].value, old_value + 1);
+
+  // ...but anti-entropy converges members on the journal replay — the
+  // acked state — deleting the fresh key and restoring the old value.
+  store.revive_shard(dead);
+  const AntiEntropyReport rep = store.anti_entropy_step(store.group_count());
+  EXPECT_GE(rep.divergent, 1u);
+  EXPECT_GE(rep.repaired_keys + rep.rebuilds, 1u);
+  expect_converged(store);
+  grs = store.batch_get(std::vector<Key>{fresh, existing});
+  ASSERT_TRUE(grs[0].status.ok());
+  EXPECT_FALSE(grs[0].found) << "unacked write survived anti-entropy";
+  ASSERT_TRUE(grs[1].status.ok());
+  EXPECT_EQ(grs[1].value, old_value);
+
+  // Back at full strength, quorum-2 writes ack again and journal
+  // (revive compacted the journal into the checkpoint, so re-sample).
+  const u64 journal_after_revive = store.group_journal_records(0);
+  st = store.batch_upsert(std::vector<std::pair<Key, Value>>{{fresh, 778}});
+  ASSERT_TRUE(st[0].ok());
+  EXPECT_GT(store.group_journal_records(0), journal_after_revive);
+  store.check_invariants();
+}
+
+// Escalation: a divergence bigger than anti_entropy_rebuild_threshold is
+// rebuilt offline instead of read-repaired key by key.
+TEST(ShardReplication, AntiEntropyEscalatesLargeDivergenceToRebuild) {
+  auto opts = replicated_opts(2, /*shards=*/2, /*spares=*/0);
+  opts.write_quorum = 2;
+  opts.anti_entropy_rebuild_threshold = 0;  // any diff escalates
+  ShardedPimStore store(opts);
+  rnd::Xoshiro256ss rng(0x5CA1Eu);
+  const auto pairs = test::make_sorted_pairs(300, rng);
+  store.build(pairs);
+
+  const u32 dead = store.group_members(0)[0];
+  store.kill_shard(dead);
+  // A spray of no-quorum writes leaves the survivor far off the acked
+  // state.
+  std::vector<std::pair<Key, Value>> ups;
+  // Group 0 owns the open left end (lo == kMinKey), so draw from the
+  // configured domain floor instead of the route boundary.
+  const Key g0hi = store.group_range(0).second;
+  for (u32 i = 0; i < 48; ++i) {
+    ups.emplace_back(rng.range(1, g0hi - 1), rng());
+  }
+  for (const Status& s : store.batch_upsert(ups)) {
+    ASSERT_EQ(s.code(), StatusCode::kNoQuorum);
+  }
+
+  store.revive_shard(dead);
+  const AntiEntropyReport rep = store.anti_entropy_step(store.group_count());
+  EXPECT_GE(rep.divergent, 1u);
+  EXPECT_GE(rep.rebuilds, 1u);
+  expect_converged(store);
+  store.check_invariants();
+}
+
+// ---------------------------------------------------------------------
+// Background re-replication: a dead member is rebuilt onto a spare by
+// chunked copy + delta drain while writes keep landing, then installed
+// in the dead slot's place without a pause.
+// ---------------------------------------------------------------------
+
+TEST(ShardReplication, RepairRebuildsDeadMemberOnlineUnderWrites) {
+  ShardedPimStore store(replicated_opts(2, /*shards=*/2, /*spares=*/1));
+  rnd::Xoshiro256ss rng(0x4EFA12u);
+  const auto pairs = test::make_sorted_pairs(900, rng);
+  store.build(pairs);
+  Ref acked(pairs.begin(), pairs.end());
+
+  const u32 dead = store.group_members(0)[1];
+  store.kill_shard(dead);
+  ASSERT_FALSE(store.group_fully_replicated(0));
+
+  const auto picked = store.pick_repair();
+  ASSERT_TRUE(picked.has_value());
+  EXPECT_EQ(*picked, 0u);
+  ASSERT_TRUE(store.start_repair(*picked).ok());
+  ASSERT_TRUE(store.repair_active());
+  const u32 target = store.repair_info()->target;
+  EXPECT_EQ(store.repair_info()->dead_slot, dead);
+
+  // Writes into the group's range keep acking mid-repair; the delta tee
+  // carries them onto the rebuilt member.
+  // Group 0 owns the open left end (lo == kMinKey); draw from the domain
+  // floor so the span arithmetic stays in range.
+  const Key hi = store.group_range(0).second;
+  u32 steps = 0;
+  while (store.repair_active()) {
+    const Status st = store.repair_step();
+    ASSERT_TRUE(st.ok()) << st.to_string();
+    std::vector<std::pair<Key, Value>> ups;
+    for (u32 i = 0; i < 16; ++i) {
+      ups.emplace_back(rng.range(1, hi - 1), rng());
+    }
+    track_acked_upserts(acked, ups, store.batch_upsert(ups));
+    std::vector<Key> dels = {test::existing_key(acked, rng)};
+    track_acked_deletes(acked, dels, store.batch_delete(dels));
+    ASSERT_LT(++steps, 1000u) << "repair failed to converge";
+  }
+
+  // Installed: the group is back at full strength, the new member is
+  // digest-identical to the acked state, the dead rack is decommissioned.
+  EXPECT_TRUE(store.group_fully_replicated(0));
+  EXPECT_EQ(store.group_of(target), 0u);
+  EXPECT_EQ(store.shard_state(target), ShardState::kLive);
+  EXPECT_EQ(store.member_digest(target), store.group_expected_digest(0));
+  EXPECT_EQ(store.group_of(dead), shard::kNoGroup);
+  store.revive_shard(dead);
+  EXPECT_EQ(store.shard_state(dead), ShardState::kSpare);
+
+  const auto all = store.range_collect(kMinKey, kMaxKey);
+  ASSERT_TRUE(all.status.ok());
+  const std::vector<std::pair<Key, Value>> expect(acked.begin(), acked.end());
+  EXPECT_EQ(all.pairs, expect);
+  store.check_invariants();
+}
+
+// ---------------------------------------------------------------------
+// Policy loop, deterministic (interval_ms = 0, manual step()): detects
+// the kill, demotes the primary, rebuilds R onto a spare under a write
+// workload, then triggers a load-driven migration — no caller
+// choreography beyond step().
+// ---------------------------------------------------------------------
+
+TEST(ShardReplication, PolicyLoopRepairsThenMigratesUnderLoad) {
+  ShardedPimStore store(replicated_opts(2, /*shards=*/2, /*spares=*/2));
+  rnd::Xoshiro256ss rng(0x90110Cu);
+  const auto pairs = test::make_sorted_pairs(800, rng);
+  store.build(pairs);
+  Ref acked(pairs.begin(), pairs.end());
+
+  PolicyOptions popts;
+  popts.interval_ms = 0;  // no thread: step() by hand
+  popts.movement_steps = 4;
+  popts.hot_share_factor = 1.3;
+  ShardPolicy policy(store, popts);
+
+  // Phase 1: kill group 0's primary. The policy must demote it, start a
+  // repair, and complete the install — while writes keep landing.
+  store.kill_shard(store.group_primary(0));
+  u32 ticks = 0;
+  while (policy.stats().repairs_completed < 1) {
+    policy.step();
+    std::vector<std::pair<Key, Value>> ups;
+    for (u32 i = 0; i < 16; ++i) ups.emplace_back(rng.range(0, 1'000'000'000), rng());
+    track_acked_upserts(acked, ups, store.batch_upsert(ups));
+    ASSERT_LT(++ticks, 400u) << "policy never completed the repair";
+  }
+  EXPECT_GE(policy.stats().demotions, 1u);
+  EXPECT_GE(policy.stats().repairs_started, 1u);
+  EXPECT_TRUE(store.group_fully_replicated(0));
+
+  // Phase 2: hammer group 1's range; the policy's planner must fire and
+  // carve the hot range onto the remaining spare.
+  store.reset_load_stats();
+  const auto [hlo, hhi] = store.group_range(1);
+  const u32 groups_before = store.group_count();
+  ticks = 0;
+  while (policy.stats().migrations_completed < 1) {
+    std::vector<std::pair<Key, Value>> ups;
+    for (u32 i = 0; i < 24; ++i) {
+      ups.emplace_back(hlo + 1 + rng.range(0, hhi - hlo - 1), rng());
+    }
+    track_acked_upserts(acked, ups, store.batch_upsert(ups));
+    std::vector<Key> gets;
+    for (u32 i = 0; i < 16; ++i) gets.push_back(hlo + 1 + rng.range(0, hhi - hlo - 1));
+    for (const auto& r : store.batch_get(gets)) ASSERT_TRUE(r.status.ok());
+    policy.step();
+    ASSERT_LT(++ticks, 400u) << "policy never completed a migration";
+  }
+  EXPECT_GE(policy.stats().migrations_started, 1u);
+  EXPECT_EQ(store.group_count(), groups_before + 1);
+
+  // Zero lost acks across the whole autonomous sequence.
+  const auto all = store.range_collect(kMinKey, kMaxKey);
+  ASSERT_TRUE(all.status.ok());
+  const std::vector<std::pair<Key, Value>> expect(acked.begin(), acked.end());
+  EXPECT_EQ(all.pairs, expect);
+  store.check_invariants();
+}
+
+// ---------------------------------------------------------------------
+// Policy loop, real background thread + concurrent workload holding
+// policy.mu() per call — the threading contract the TSan job checks.
+// ---------------------------------------------------------------------
+
+TEST(ShardReplication, PolicyThreadRunsConcurrentlyWithWorkload) {
+  ShardedPimStore store(replicated_opts(2, /*shards=*/2, /*spares=*/2));
+  rnd::Xoshiro256ss rng(0x75A17u);
+  const auto pairs = test::make_sorted_pairs(500, rng);
+  store.build(pairs);
+  Ref acked(pairs.begin(), pairs.end());
+
+  PolicyOptions popts;
+  popts.interval_ms = 1;
+  popts.movement_steps = 8;
+  popts.enable_migration = false;  // keep the end state deterministic
+  ShardPolicy policy(store, popts);
+
+  // Workload: batches under the policy lock, with a mid-run member kill
+  // the policy thread must notice and repair on its own.
+  bool killed = false;
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  for (u32 iter = 0;; ++iter) {
+    {
+      std::lock_guard<std::mutex> l(policy.mu());
+      std::vector<std::pair<Key, Value>> ups;
+      for (u32 i = 0; i < 8; ++i) ups.emplace_back(rng.range(0, 1'000'000'000), rng());
+      track_acked_upserts(acked, ups, store.batch_upsert(ups));
+      std::vector<Key> gets;
+      for (u32 i = 0; i < 8; ++i) gets.push_back(test::existing_key(acked, rng));
+      for (const auto& r : store.batch_get(gets)) ASSERT_TRUE(r.status.ok());
+      if (!killed && iter == 20) {
+        store.kill_shard(store.group_members(1)[0]);
+        killed = true;
+      }
+    }
+    if (killed && policy.stats().repairs_completed >= 1) break;
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "policy thread never repaired the killed member";
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  policy.stop();
+
+  EXPECT_GE(policy.stats().ticks, 1u);
+  EXPECT_TRUE(store.group_fully_replicated(1));
+  (void)store.anti_entropy_step(store.group_count());
+  expect_converged(store);
+  const auto all = store.range_collect(kMinKey, kMaxKey);
+  ASSERT_TRUE(all.status.ok());
+  const std::vector<std::pair<Key, Value>> expect(acked.begin(), acked.end());
+  EXPECT_EQ(all.pairs, expect);
+  store.check_invariants();
+}
+
+}  // namespace
+}  // namespace pim

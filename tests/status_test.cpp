@@ -23,9 +23,10 @@ TEST(Status, EveryCodeHasADistinctName) {
   EXPECT_EQ(names.count("OK"), 1u);
   EXPECT_EQ(names.count("DEADLINE_EXCEEDED"), 1u);
   EXPECT_EQ(names.count("RESOURCE_EXHAUSTED"), 1u);
-  // Shard-tier codes (DESIGN.md §5.10) round-trip like the rest.
+  // Shard-tier codes (DESIGN.md §5.10–5.11) round-trip like the rest.
   EXPECT_EQ(names.count("SHARD_DOWN"), 1u);
   EXPECT_EQ(names.count("MIGRATION_IN_PROGRESS"), 1u);
+  EXPECT_EQ(names.count("NO_QUORUM"), 1u);
   // The sentinel itself is not a code.
   EXPECT_STREQ(status_code_name(StatusCode::kStatusCodeCount), "UNKNOWN");
 }
@@ -40,6 +41,18 @@ TEST(Status, ShardCodesCarryTheirIdentityThroughStatusError) {
   }
   const Status busy(StatusCode::kMigrationInProgress, "one at a time");
   EXPECT_EQ(busy.to_string(), "MIGRATION_IN_PROGRESS: one at a time");
+
+  // The replication tier's refusal code (DESIGN.md §5.11): distinct from
+  // kShardDown (the group still serves reads) and preserved end to end.
+  const Status quorum(StatusCode::kNoQuorum, "1 of 2 replicas acked");
+  EXPECT_EQ(quorum.to_string(), "NO_QUORUM: 1 of 2 replicas acked");
+  try {
+    throw StatusError(quorum);
+  } catch (const StatusError& e) {
+    EXPECT_EQ(e.code(), StatusCode::kNoQuorum);
+    EXPECT_EQ(e.status().message(), "1 of 2 replicas acked");
+    EXPECT_NE(std::string(e.what()).find("NO_QUORUM"), std::string::npos);
+  }
 }
 
 TEST(Status, DefaultIsOkAndToStringCarriesCodeName) {
