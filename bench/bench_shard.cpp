@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "shard/policy.hpp"
 #include "shard/sharded_store.hpp"
 
 namespace pim::bench {
@@ -285,6 +286,88 @@ BENCHMARK(SHARD_Replication)
     ->Args({1, 3})
     ->Args({2, 3})
     ->Args({3, 3})
+    ->Iterations(1);
+
+// Gray failure (DESIGN.md §5.12): one member of a replicated group goes
+// slow-but-alive (stall_factor x rounds per wave, zero failures — the
+// fail-stop breaker never fires). Sweep stall_factor x detector on/off
+// at R = 2. Reports availability, median and p99 per-batch fleet-round
+// cost, and the detector's verdicts: demotions, readmissions, and
+// false demotions (any demotion that is not the stalled victim while
+// the stall is active). With the detector on, reads retarget off the
+// straggler between the demote and readmit streaks, pulling p99 back
+// toward the healthy baseline; with it off, every read wave that lands
+// on the straggler pays the full stall.
+void SHARD_GrayFailure(benchmark::State& state) {
+  const double stall_factor = static_cast<double>(state.range(0));
+  const bool detect = state.range(1) != 0;
+  constexpr int kGrayBatches = 48;
+  for (auto _ : state) {
+    ShardOptions opts = shard_opts(/*shards=*/2);
+    opts.replication = 2;
+    ShardedPimStore store(opts);
+    rnd::Xoshiro256ss rng(0x64AF64u);
+    store.build(build_pairs(2, rng));
+
+    shard::PolicyOptions po;
+    po.interval_ms = 0;  // stepped inline, deterministic
+    po.anti_entropy_groups = 1;
+    po.enable_migration = false;
+    po.gray.enabled = detect;
+    shard::ShardPolicy policy(store, po);
+
+    const u32 victim = store.group_primary(0);
+    bool stalled = false;
+    u64 completed = 0, unserved = 0;
+    u64 false_demotions = 0;
+    std::vector<bool> depri(store.slots(), false);
+    std::vector<u64> batch_rounds;
+    batch_rounds.reserve(kGrayBatches);
+    for (int b = 0; b < kGrayBatches; ++b) {
+      if (b == kGrayBatches / 4 && stall_factor > 1.0) {
+        benchmark::DoNotOptimize(store.slow_shard(victim, stall_factor));
+        stalled = true;
+      }
+      if (b == 3 * kGrayBatches / 4 && stalled) {
+        benchmark::DoNotOptimize(store.clear_shard_chaos(victim));
+        stalled = false;
+      }
+      const u64 r0 = fleet_rounds(store);
+      const auto [c, u] = mixed_batch(store, rng);
+      completed += c;
+      unserved += u;
+      batch_rounds.push_back(fleet_rounds(store) - r0);
+      policy.step();
+      // A demotion of anything but the live straggler is a false alarm.
+      for (u32 s = 0; s < store.slots(); ++s) {
+        const bool d = store.read_deprioritized(s);
+        if (d && !depri[s] && !(stalled && s == victim)) ++false_demotions;
+        depri[s] = d;
+      }
+    }
+    std::sort(batch_rounds.begin(), batch_rounds.end());
+    const auto pct = [&](double p) {
+      return static_cast<double>(
+          batch_rounds[static_cast<u64>(p * (batch_rounds.size() - 1))]);
+    };
+    state.counters["avail"] =
+        static_cast<double>(completed) / static_cast<double>(completed + unserved);
+    state.counters["p50_rounds"] = pct(0.50);
+    state.counters["p99_rounds"] = pct(0.99);
+    state.counters["gray_demotions"] =
+        static_cast<double>(policy.stats().gray_demotions);
+    state.counters["gray_readmissions"] =
+        static_cast<double>(policy.stats().gray_readmissions);
+    state.counters["false_demotions"] = static_cast<double>(false_demotions);
+  }
+}
+BENCHMARK(SHARD_GrayFailure)
+    ->Args({1, 0})
+    ->Args({1, 1})
+    ->Args({4, 0})
+    ->Args({4, 1})
+    ->Args({16, 0})
+    ->Args({16, 1})
     ->Iterations(1);
 
 }  // namespace

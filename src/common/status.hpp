@@ -55,6 +55,14 @@ enum class StatusCode : u32 {
   /// acknowledged and will not survive failover; distinct from
   /// kShardDown, which means the whole replica group is gone.
   kNoQuorum,
+  /// An operation was dispatched (or a movement started) under a replica
+  /// group configuration that changed before its result could be applied:
+  /// the group's fence_epoch moved past the epoch the work was issued
+  /// under. The result is refused — never acked, never journaled — so a
+  /// zombie member (killed-then-revived, or declared dead while still
+  /// executing a wave) can neither ack a write nor serve a read under an
+  /// old configuration. Retry observes the new configuration.
+  kFencedEpoch,
   /// Number of codes, not a code. Keep last; the round-trip test walks
   /// [0, kStatusCodeCount) to catch codes added without a name.
   kStatusCodeCount,
@@ -73,6 +81,7 @@ inline const char* status_code_name(StatusCode code) {
     case StatusCode::kShardDown: return "SHARD_DOWN";
     case StatusCode::kMigrationInProgress: return "MIGRATION_IN_PROGRESS";
     case StatusCode::kNoQuorum: return "NO_QUORUM";
+    case StatusCode::kFencedEpoch: return "FENCED_EPOCH";
     case StatusCode::kStatusCodeCount: break;
   }
   return "UNKNOWN";

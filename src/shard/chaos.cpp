@@ -1,0 +1,585 @@
+#include "shard/chaos.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "common/status.hpp"
+#include "core/pim_skiplist.hpp"
+#include "random/rng.hpp"
+#include "shard/policy.hpp"
+#include "shard/sharded_store.hpp"
+#include "sim/machine.hpp"
+
+namespace pim::shard::chaos {
+namespace {
+
+constexpr Key kDomainLo = 0;
+constexpr Key kDomainHi = 1'000'000'000;
+
+/// One committed per-key version: present (with value) or tombstone.
+struct Version {
+  bool present = false;
+  Value value = 0;
+};
+
+/// The checker's model of the tier's external history.
+struct Checker {
+  /// Per-key committed versions in ack order; index 0 is the build-time
+  /// state (implicitly absent for keys never built).
+  std::map<Key, std::vector<Version>> hist;
+  /// Per-key monotonic-read floor: index of the newest committed version
+  /// any ok read has reflected so far.
+  std::map<Key, u64> floor;
+  /// Refused writes that may be transiently visible on some member until
+  /// the owning group's next anti-entropy audit rolls them back.
+  std::map<Key, std::set<Value>> pend_vals;
+  std::set<Key> pend_dels;
+  /// Acked sub-batches in submission order, for the oracle replay.
+  struct AckedBatch {
+    char kind;  // 'U' upsert, 'M' update, 'D' delete
+    std::vector<std::pair<Key, Value>> ops;
+  };
+  std::vector<AckedBatch> acked_ops;
+
+  void commit(Key k, bool present, Value v) {
+    hist[k].push_back(Version{present, v});
+  }
+
+  const Version* latest(Key k) const {
+    const auto it = hist.find(k);
+    if (it == hist.end() || it->second.empty()) return nullptr;
+    return &it->second.back();
+  }
+
+  /// The acked final contents implied by the history.
+  std::vector<std::pair<Key, Value>> expected_pairs() const {
+    std::vector<std::pair<Key, Value>> out;
+    for (const auto& [k, versions] : hist) {
+      if (!versions.empty() && versions.back().present) {
+        out.emplace_back(k, versions.back().value);
+      }
+    }
+    return out;
+  }
+
+  /// Retire the refused-write visibility window for keys the audit of
+  /// group range [lo, hi) just converged.
+  void audit_range(Key lo, Key hi) {
+    pend_vals.erase(pend_vals.lower_bound(lo), pend_vals.lower_bound(hi));
+    pend_dels.erase(pend_dels.lower_bound(lo), pend_dels.lower_bound(hi));
+  }
+};
+
+std::string key_str(Key k) { return std::to_string(k); }
+
+/// Weighted chaos event kinds (weights sum to 100).
+enum class Event { kKill, kRevive, kSlow, kFlaky, kClear, kMigrate, kFenceRace };
+
+Event pick_event(rnd::Xoshiro256ss& rng) {
+  const u64 roll = rng.below(100);
+  if (roll < 22) return Event::kKill;
+  if (roll < 44) return Event::kRevive;
+  if (roll < 58) return Event::kSlow;
+  if (roll < 68) return Event::kFlaky;
+  if (roll < 80) return Event::kClear;
+  if (roll < 90) return Event::kMigrate;
+  return Event::kFenceRace;
+}
+
+}  // namespace
+
+std::string ChaosReport::summary() const {
+  std::ostringstream os;
+  if (ok) {
+    os << "chaos seed " << seed << ": OK (" << ops << " ops, " << acked_writes
+       << " acked, " << refused_writes << " refused, " << events << " events, "
+       << fence_refusals << " fence refusals)";
+    return os.str();
+  }
+  os << "chaos seed " << seed << ": " << violations.size()
+     << " consistency violation(s)\n";
+  for (const std::string& v : violations) os << "  - " << v << "\n";
+  os << "replay: PIM_CHAOS_SEED=" << seed
+     << " ./shard_chaos_test --gtest_filter='*SeedReplay*'";
+  return os.str();
+}
+
+bool ChaosReport::dump_jsonl(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "{\"seed\":" << seed << ",\"ok\":" << (ok ? "true" : "false") << "}\n";
+  for (const std::string& v : violations) {
+    std::string esc;
+    for (char c : v) {
+      if (c == '"' || c == '\\') esc += '\\';
+      esc += c == '\n' ? ' ' : c;
+    }
+    out << "{\"violation\":\"" << esc << "\"}\n";
+  }
+  for (const HistoryRecord& h : history) {
+    out << "{\"wave\":" << h.wave << ",\"op\":\"" << h.op << "\"";
+    if (h.op == 'E') {
+      out << ",\"event\":\"" << h.event << "\"";
+    } else {
+      out << ",\"key\":" << h.key << ",\"value\":" << h.value
+          << ",\"ok\":" << (h.ok ? "true" : "false")
+          << ",\"found\":" << (h.found ? "true" : "false");
+      if (!h.status.empty()) out << ",\"status\":\"" << h.status << "\"";
+    }
+    out << "}\n";
+  }
+  return static_cast<bool>(out);
+}
+
+ChaosReport run_chaos(const ChaosOptions& o) {
+  ChaosReport rep;
+  rep.seed = o.seed;
+  rnd::Xoshiro256ss rng(o.seed);
+
+  ShardOptions so;
+  so.shards = o.shards;
+  so.spares = o.spares;
+  so.replication = o.replication;
+  so.write_quorum = o.write_quorum;
+  so.quorum_reads = o.quorum_reads;
+  so.modules_per_shard = o.modules_per_shard;
+  so.domain_lo = kDomainLo;
+  so.domain_hi = kDomainHi;
+  so.migration_chunk = 64;
+  so.seed = o.seed;
+  ShardedPimStore store(so);
+
+  PolicyOptions po;
+  po.interval_ms = 0;          // manual stepping: fully deterministic
+  po.anti_entropy_groups = 0;  // the runner audits (it needs the report)
+  po.movement_steps = 2;
+  po.enable_migration = false;  // migrations come from the schedule
+  po.gray.enabled = o.gray_detection;
+  ShardPolicy policy(store, po);
+
+  // Build.
+  std::map<Key, Value> seed_map;
+  while (seed_map.size() < o.build_keys) {
+    seed_map[static_cast<Key>(rng.range(kDomainLo, kDomainHi))] = rng();
+  }
+  const std::vector<std::pair<Key, Value>> build_pairs(seed_map.begin(),
+                                                       seed_map.end());
+  store.build(build_pairs);
+
+  Checker ck;
+  for (const auto& [k, v] : build_pairs) ck.commit(k, true, v);
+
+  auto record_event = [&](u32 wave, std::string what) {
+    HistoryRecord h;
+    h.wave = wave;
+    h.op = 'E';
+    h.event = std::move(what);
+    rep.history.push_back(std::move(h));
+    ++rep.events;
+  };
+
+  // A refused write may have been transiently applied on some member;
+  // track it as possibly-visible until the owning group is audited.
+  auto note_refused_upsert = [&](Key k, Value v) { ck.pend_vals[k].insert(v); };
+  auto note_refused_delete = [&](Key k) { ck.pend_dels.insert(k); };
+
+  auto check_get = [&](u32 wave, Key k, const ShardedPimStore::GetResult& gr) {
+    HistoryRecord h;
+    h.wave = wave;
+    h.op = 'G';
+    h.key = k;
+    h.ok = gr.status.ok();
+    h.found = gr.found;
+    h.value = gr.value;
+    if (!gr.status.ok()) h.status = status_code_name(gr.status.code());
+    rep.history.push_back(h);
+    ++rep.ops;
+    if (!gr.status.ok()) {
+      ++rep.failed_reads;
+      return;
+    }
+    ++rep.ok_reads;
+    const Version* lat = ck.latest(k);
+    const bool latest_match =
+        lat == nullptr ? !gr.found
+                       : gr.found == lat->present &&
+                             (!gr.found || gr.value == lat->value);
+    if (latest_match) {
+      if (lat != nullptr) ck.floor[k] = ck.hist[k].size() - 1;
+      return;
+    }
+    // Not the newest acked state: only a still-unaudited refused write
+    // may explain the observation.
+    if (gr.found) {
+      const auto pit = ck.pend_vals.find(k);
+      if (pit != ck.pend_vals.end() && pit->second.count(gr.value)) return;
+    } else if (ck.pend_dels.count(k)) {
+      return;
+    }
+    // Classify the failure against the committed history.
+    const auto hit = ck.hist.find(k);
+    u64 match = static_cast<u64>(-1);
+    if (hit != ck.hist.end()) {
+      for (u64 j = hit->second.size(); j-- > 0;) {
+        const Version& ver = hit->second[j];
+        if (gr.found == ver.present && (!gr.found || gr.value == ver.value)) {
+          match = j;
+          break;
+        }
+      }
+    }
+    std::ostringstream os;
+    if (match == static_cast<u64>(-1) && !(hit == ck.hist.end() && !gr.found)) {
+      os << "phantom read: key " << key_str(k) << " observed "
+         << (gr.found ? ("value " + std::to_string(gr.value)) : "absent")
+         << " which was never an acked or refused state (wave " << wave << ")";
+    } else if (match != static_cast<u64>(-1) && match < ck.floor[k]) {
+      os << "non-monotonic read: key " << key_str(k) << " regressed to version "
+         << match << " after a read reflected version " << ck.floor[k]
+         << " (wave " << wave << ")";
+    } else {
+      os << "stale read: key " << key_str(k) << " served acked version "
+         << static_cast<i64>(match) << " instead of the latest (wave " << wave
+         << ")";
+    }
+    rep.violations.push_back(os.str());
+  };
+
+  for (u32 wave = 0; wave < o.waves; ++wave) {
+    // ---- chaos event ----
+    if (rng.below(100) < static_cast<u64>(o.event_prob * 100)) {
+      const Event ev = pick_event(rng);
+      const u32 slot = static_cast<u32>(rng.below(store.slots()));
+      switch (ev) {
+        case Event::kKill:
+          if (store.shard_state(slot) != ShardState::kDead) {
+            store.kill_shard(slot);
+            record_event(wave, "kill slot " + std::to_string(slot));
+          }
+          break;
+        case Event::kRevive: {
+          // Revive the first dead slot at/after the draw (dead slots are
+          // rare; a pure random draw would seldom hit one).
+          for (u32 i = 0; i < store.slots(); ++i) {
+            const u32 s = (slot + i) % store.slots();
+            if (store.shard_state(s) == ShardState::kDead) {
+              store.revive_shard(s);
+              record_event(wave, "revive slot " + std::to_string(s));
+              break;
+            }
+          }
+          break;
+        }
+        case Event::kSlow: {
+          static constexpr double kFactors[] = {3.0, 6.0, 10.0};
+          const double f = kFactors[rng.below(3)];
+          if (store.slow_shard(slot, f).ok()) {
+            record_event(wave, "slow slot " + std::to_string(slot) + " x" +
+                                   std::to_string(static_cast<int>(f)));
+          }
+          break;
+        }
+        case Event::kFlaky: {
+          static constexpr double kProbs[] = {0.02, 0.05, 0.1};
+          const double p = kProbs[rng.below(3)];
+          if (store.flaky_shard(slot, p).ok()) {
+            record_event(wave, "flaky slot " + std::to_string(slot));
+          }
+          break;
+        }
+        case Event::kClear:
+          if (store.clear_shard_chaos(slot).ok()) {
+            record_event(wave, "clear chaos slot " + std::to_string(slot));
+          }
+          break;
+        case Event::kMigrate: {
+          if (store.migration_active() || store.repair_active()) break;
+          const u32 gi = static_cast<u32>(rng.below(store.group_count()));
+          const auto [lo, hi] = store.group_range(gi);
+          // Split the POPULATED part of the range (clamped to the key
+          // domain; boundary groups own half the i64 space besides it).
+          const Key clo = std::max(lo, kDomainLo);
+          const Key chi = std::min(hi, kDomainHi);
+          if (chi - clo < 4) break;
+          const Key split = clo + (chi - clo) / 2;
+          if (split <= lo || split >= hi) break;
+          u32 src = kNoSlot;
+          for (u32 m : store.group_members(gi)) {
+            if (store.shard_state(m) == ShardState::kLive) src = m;
+          }
+          if (src != kNoSlot && store.start_migration(src, split).ok()) {
+            record_event(wave, "migrate group " + std::to_string(gi) +
+                                   " split at " + key_str(split));
+          }
+          break;
+        }
+        case Event::kFenceRace: {
+          // Race a configuration change against whatever is in flight:
+          // bounce a member of the moving group (movement must abort by
+          // epoch), or flip read-depriority on a random member.
+          u32 gi = kNoGroup;
+          if (store.repair_active()) gi = store.repair_info()->group;
+          else if (store.migration_active())
+            gi = store.group_of(store.migration_info()->source);
+          if (gi == kNoGroup) {
+            if (store.group_of(slot) != kNoGroup &&
+                store.shard_state(slot) == ShardState::kLive) {
+              const bool on = !store.read_deprioritized(slot);
+              if (store.set_read_deprioritized(slot, on).ok()) {
+                record_event(wave, std::string("depri ") + (on ? "on" : "off") +
+                                       " slot " + std::to_string(slot));
+              }
+            }
+            break;
+          }
+          const auto& members = store.group_members(gi);
+          const u32 m = members[rng.below(members.size())];
+          if (store.shard_state(m) == ShardState::kLive) {
+            store.kill_shard(m);
+            store.revive_shard(m);
+            record_event(wave, "fence-race bounce slot " + std::to_string(m) +
+                                   " of moving group " + std::to_string(gi));
+          }
+          break;
+        }
+      }
+    }
+
+    // ---- stale-ack injection (the zombie-ack test hook) ----
+    if (o.inject_stale_ack && wave == o.waves / 2) {
+      for (u32 m : store.group_members(0)) {
+        if (store.shard_state(m) == ShardState::kDead) store.revive_shard(m);
+      }
+      const auto [glo, ghi] = store.group_range(0);
+      const Key clo = std::max(glo, kDomainLo);
+      const Key chi = std::min(ghi, kDomainHi);
+      const Key k = clo + static_cast<Key>(rng.below(
+                              static_cast<u64>(std::max<Key>(chi - clo, 1))));
+      const Value v = rng();
+      store.test_age_dispatch(0);
+      const auto st = store.batch_upsert(
+          std::vector<std::pair<Key, Value>>{{k, v}});
+      record_event(wave, "inject stale-epoch ack key " + key_str(k) +
+                             " store said " + status_code_name(st[0].code()));
+      // The store (correctly) fenced the write — but a zombie member
+      // acked it under the old epoch, so the client believes it durable.
+      ck.commit(k, true, v);
+      ck.acked_ops.push_back(Checker::AckedBatch{'U', {{k, v}}});
+      ++rep.acked_writes;
+    }
+
+    // ---- workload ----
+    const u32 n_ups = std::max(1u, o.ops_per_wave / 2);
+    const u32 n_upd = std::max(1u, o.ops_per_wave / 8);
+    const u32 n_del = std::max(1u, o.ops_per_wave / 8);
+    const u32 n_get = std::max(1u, o.ops_per_wave / 4);
+
+    auto existing_key = [&]() -> Key {
+      const auto pairs = ck.expected_pairs();
+      if (pairs.empty()) return static_cast<Key>(rng.range(kDomainLo, kDomainHi));
+      return pairs[rng.below(pairs.size())].first;
+    };
+
+    // Upserts (keys distinct within the batch: the oracle replay then
+    // needs no first-occurrence-wins special-casing).
+    std::map<Key, Value> ubatch;
+    while (ubatch.size() < n_ups) {
+      ubatch[static_cast<Key>(rng.range(kDomainLo, kDomainHi))] = rng();
+    }
+    std::vector<std::pair<Key, Value>> ups(ubatch.begin(), ubatch.end());
+    const auto ust = store.batch_upsert(ups);
+    Checker::AckedBatch ab{'U', {}};
+    for (u64 i = 0; i < ups.size(); ++i) {
+      HistoryRecord h;
+      h.wave = wave;
+      h.op = 'U';
+      h.key = ups[i].first;
+      h.value = ups[i].second;
+      h.ok = ust[i].ok();
+      if (!h.ok) h.status = status_code_name(ust[i].code());
+      rep.history.push_back(h);
+      ++rep.ops;
+      if (ust[i].ok()) {
+        ck.commit(ups[i].first, true, ups[i].second);
+        ab.ops.push_back(ups[i]);
+        ++rep.acked_writes;
+      } else {
+        note_refused_upsert(ups[i].first, ups[i].second);
+        ++rep.refused_writes;
+      }
+    }
+    if (!ab.ops.empty()) ck.acked_ops.push_back(std::move(ab));
+
+    // Updates on (mostly) existing keys.
+    std::map<Key, Value> mbatch;
+    while (mbatch.size() < n_upd) mbatch[existing_key()] = rng();
+    std::vector<std::pair<Key, Value>> upd(mbatch.begin(), mbatch.end());
+    const auto urs = store.batch_update(upd);
+    Checker::AckedBatch mb{'M', {}};
+    for (u64 i = 0; i < upd.size(); ++i) {
+      HistoryRecord h;
+      h.wave = wave;
+      h.op = 'M';
+      h.key = upd[i].first;
+      h.value = upd[i].second;
+      h.ok = urs[i].status.ok();
+      h.found = urs[i].found;
+      if (!h.ok) h.status = status_code_name(urs[i].status.code());
+      rep.history.push_back(h);
+      ++rep.ops;
+      if (urs[i].status.ok()) {
+        if (urs[i].found) ck.commit(upd[i].first, true, upd[i].second);
+        mb.ops.push_back(upd[i]);
+        ++rep.acked_writes;
+      } else {
+        note_refused_upsert(upd[i].first, upd[i].second);
+        ++rep.refused_writes;
+      }
+    }
+    if (!mb.ops.empty()) ck.acked_ops.push_back(std::move(mb));
+
+    // Deletes.
+    std::set<Key> dset;
+    while (dset.size() < n_del) dset.insert(existing_key());
+    std::vector<Key> dels(dset.begin(), dset.end());
+    const auto drs = store.batch_delete(dels);
+    Checker::AckedBatch db{'D', {}};
+    for (u64 i = 0; i < dels.size(); ++i) {
+      HistoryRecord h;
+      h.wave = wave;
+      h.op = 'D';
+      h.key = dels[i];
+      h.ok = drs[i].status.ok();
+      h.found = drs[i].found;
+      if (!h.ok) h.status = status_code_name(drs[i].status.code());
+      rep.history.push_back(h);
+      ++rep.ops;
+      if (drs[i].status.ok()) {
+        if (drs[i].found) ck.commit(dels[i], false, 0);
+        db.ops.emplace_back(dels[i], 0);
+        ++rep.acked_writes;
+      } else {
+        note_refused_delete(dels[i]);
+        ++rep.refused_writes;
+      }
+    }
+    if (!db.ops.empty()) ck.acked_ops.push_back(std::move(db));
+
+    // Reads: a mix of hot (existing) and cold keys.
+    std::vector<Key> gets;
+    for (u32 i = 0; i < n_get; ++i) {
+      gets.push_back(i % 2 == 0 ? existing_key()
+                                : static_cast<Key>(rng.range(kDomainLo, kDomainHi)));
+    }
+    const auto grs = store.batch_get(gets);
+    for (u64 i = 0; i < gets.size(); ++i) check_get(wave, gets[i], grs[i]);
+
+    // ---- control plane ----
+    policy.step();
+    const AntiEntropyReport ae = store.anti_entropy_step(1);
+    for (u32 gi : ae.audited_groups) {
+      const auto [lo, hi] = store.group_range(gi);
+      ck.audit_range(lo, hi);
+    }
+  }
+
+  // ---- final quiesce + checks ----
+  for (u32 s = 0; s < store.slots(); ++s) {
+    if (store.shard_state(s) == ShardState::kDead) store.revive_shard(s);
+  }
+  for (u32 s = 0; s < store.slots(); ++s) (void)store.clear_shard_chaos(s);
+  for (u32 i = 0; i < 512 && (store.repair_active() || store.migration_active());
+       ++i) {
+    if (store.repair_active()) (void)store.repair_step();
+    else (void)store.migration_step();
+  }
+  if (store.repair_active() || store.migration_active()) {
+    rep.violations.push_back("quiesce: a data movement failed to finish");
+  }
+  AntiEntropyReport ae;
+  for (u32 i = 0; i < store.group_count() + 4; ++i) {
+    ae = store.anti_entropy_step(store.group_count());
+    ck.audit_range(kDomainLo, kDomainHi);
+    if (ae.divergent == 0) break;
+  }
+  if (ae.divergent != 0) {
+    rep.violations.push_back("quiesce: anti-entropy never converged");
+  }
+
+  const std::vector<std::pair<Key, Value>> expected = ck.expected_pairs();
+  const auto collected = store.range_collect(kDomainLo, kDomainHi);
+  if (!collected.status.ok()) {
+    rep.violations.push_back("quiesce: range_collect failed: " +
+                             collected.status.to_string());
+  } else if (collected.pairs != expected) {
+    // Diff a bounded sample so the report stays readable.
+    std::map<Key, Value> got(collected.pairs.begin(), collected.pairs.end());
+    std::map<Key, Value> want(expected.begin(), expected.end());
+    u32 shown = 0;
+    for (const auto& [k, v] : want) {
+      const auto it = got.find(k);
+      if (it == got.end()) {
+        rep.violations.push_back("acked write lost: key " + key_str(k) +
+                                 " value " + std::to_string(v) +
+                                 " missing from the quiesced store");
+      } else if (it->second != v) {
+        rep.violations.push_back("acked write lost: key " + key_str(k) +
+                                 " holds stale value " +
+                                 std::to_string(it->second) + " (acked " +
+                                 std::to_string(v) + ")");
+      } else {
+        continue;
+      }
+      if (++shown >= 8) break;
+    }
+    for (const auto& [k, v] : got) {
+      if (shown >= 8) break;
+      if (!want.count(k)) {
+        rep.violations.push_back("refused write became durable: key " +
+                                 key_str(k) + " value " + std::to_string(v) +
+                                 " was never acked");
+        ++shown;
+      }
+    }
+    if (shown == 0) rep.violations.push_back("final contents mismatch");
+  }
+
+  // Oracle replay: a fresh single-Machine skiplist fed exactly the acked
+  // sub-batches must be bit-identical (by contents digest) to the store.
+  if (o.final_oracle_replay && collected.status.ok()) {
+    sim::Machine om(16);
+    core::PimSkipList oracle(om, {});
+    oracle.build(build_pairs);
+    for (const Checker::AckedBatch& b : ck.acked_ops) {
+      if (b.kind == 'U') {
+        (void)oracle.batch_upsert(b.ops);
+      } else if (b.kind == 'M') {
+        (void)oracle.batch_update(b.ops);
+      } else {
+        std::vector<Key> keys;
+        keys.reserve(b.ops.size());
+        for (const auto& [k, v] : b.ops) keys.push_back(k);
+        (void)oracle.batch_delete(keys);
+      }
+    }
+    const u64 want = oracle.contents_digest();
+    const u64 got = core::PimSkipList::pairs_digest(collected.pairs);
+    if (want != got) {
+      rep.violations.push_back(
+          "oracle replay digest mismatch: the quiesced store is not "
+          "bit-identical to the acked-op replay");
+    }
+  }
+
+  rep.fence_refusals = store.fence_refusals();
+  const PolicyStats ps = policy.stats();
+  rep.gray_demotions = ps.gray_demotions;
+  rep.gray_readmissions = ps.gray_readmissions;
+  rep.ok = rep.violations.empty();
+  return rep;
+}
+
+}  // namespace pim::shard::chaos

@@ -1,0 +1,99 @@
+// Deterministic chaos + consistency harness for the replicated shard
+// tier (DESIGN.md §5.12). One seed fully determines one run: a schedule
+// of fault events (kill / revive / slow / flaky / clear / migrate /
+// fence-race) interleaved at wave granularity with a random workload,
+// a per-operation history recorder, and a checker that validates the
+// tier's external contract over the whole history:
+//
+//   * no acknowledged write is ever lost (final contents ⊇ acked state),
+//   * no refused write (kNoQuorum / kFencedEpoch) is visible after the
+//     owning group's anti-entropy audit, and never durable,
+//   * per-key reads are monotonic — in fact exact: an ok read reflects
+//     the latest acked version, or a still-unaudited refused write,
+//   * the final quiesced contents are bit-identical to a fresh
+//     single-Machine PimSkipList replaying only the acked sub-batches.
+//
+// Any violation is reported with the run's seed so the exact schedule
+// replays with one command (PIM_CHAOS_SEED=<seed> in the test binary),
+// and the full per-op history can be dumped as JSONL for the CI
+// artifact. The harness is a library (not a test) so both the gtest
+// sweep and the bench can drive it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace pim::shard::chaos {
+
+struct ChaosOptions {
+  u64 seed = 1;
+  /// Waves of workload; each wave may also fire one chaos event.
+  u32 waves = 30;
+  // Fleet shape (forwarded to ShardOptions).
+  u32 shards = 2;
+  u32 spares = 2;
+  u32 replication = 2;
+  u32 write_quorum = 1;
+  u32 modules_per_shard = 8;
+  /// Keys preloaded by build() before the chaos starts.
+  u32 build_keys = 300;
+  /// Point ops per wave (~1/2 upserts, 1/8 updates, 1/8 deletes, 1/4 gets).
+  u32 ops_per_wave = 24;
+  /// Probability a wave fires a chaos event.
+  double event_prob = 0.6;
+  /// Read-your-quorum reads (needs write_quorum > 1 to do anything).
+  bool quorum_reads = false;
+  /// Run the policy's gray-failure detector during the schedule.
+  bool gray_detection = false;
+  /// Test hook: mid-run, age one dispatch (the zombie hook) and record
+  /// the fenced-refused write as acked anyway — simulating a zombie
+  /// member acking under a stale epoch. The checker MUST flag the run.
+  bool inject_stale_ack = false;
+  /// Replay the acked sub-batches into a fresh single-Machine oracle and
+  /// require bit-equality with the quiesced store.
+  bool final_oracle_replay = true;
+};
+
+/// One recorded operation (or event) — enough to replay the reasoning
+/// behind any violation offline.
+struct HistoryRecord {
+  u32 wave = 0;
+  char op = '?';  // 'U' upsert 'M' update 'D' delete 'G' get 'E' event
+  Key key = 0;
+  Value value = 0;  // written value, or observed value for gets
+  bool ok = false;
+  bool found = false;     // gets / updates / deletes
+  std::string status;     // status code name for non-ok results
+  std::string event;      // 'E' records: human-readable event
+};
+
+struct ChaosReport {
+  bool ok = true;
+  u64 seed = 0;
+  std::vector<std::string> violations;
+  std::vector<HistoryRecord> history;
+  // Counters for sweeps / benches.
+  u64 ops = 0;
+  u64 acked_writes = 0;
+  u64 refused_writes = 0;  // kNoQuorum + kShardDown + fenced + faults
+  u64 ok_reads = 0;
+  u64 failed_reads = 0;
+  u64 events = 0;
+  u64 fence_refusals = 0;      // store-side stale-epoch refusals
+  u64 gray_demotions = 0;      // policy gray detector actions
+  u64 gray_readmissions = 0;
+  /// One-line verdict; on failure includes the seed and the replay
+  /// command so the schedule reruns with one env var.
+  std::string summary() const;
+  /// Writes the history (one JSON object per line, seed first) for the
+  /// CI failure artifact. Returns false if the file cannot be written.
+  bool dump_jsonl(const std::string& path) const;
+};
+
+/// Runs one seeded schedule end to end and checks every invariant.
+/// Deterministic: equal options (seed included) give equal reports.
+ChaosReport run_chaos(const ChaosOptions& opts);
+
+}  // namespace pim::shard::chaos

@@ -19,6 +19,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "random/hash_fn.hpp"
 
 namespace pim::shard {
 
@@ -32,6 +33,13 @@ void ShardedPimStore::kill_shard(u32 slot) {
   s.machine.reset();
   s.state = ShardState::kDead;
   s.fail_streak = 0;
+  if (s.group != kNoGroup) {
+    // Losing a member is a configuration change: fence every wave, ack
+    // and movement dispatched under the old membership. (In-flight
+    // batch merges check this epoch before trusting any result the
+    // dead member — or its survivors — produced for that wave.)
+    ++groups_[s.group].fence_epoch;
+  }
   abort_migration_for(slot);
   abort_repair_for(slot);
 }
@@ -51,6 +59,14 @@ void ShardedPimStore::revive_shard(u32 slot) {
     s.lo = g.lo;
     s.hi = g.hi;
     s.state = ShardState::kLive;
+    // Re-admission happens at a NEW epoch: anything the member (or its
+    // group) had in flight under the pre-revive configuration is fenced,
+    // and the member's gray history is forgotten — it is rebuilt fresh
+    // from the authoritative replay.
+    u32 mi = 0;
+    while (g.members[mi] != slot) ++mi;
+    g.deprioritized &= ~(1u << mi);
+    ++g.fence_epoch;
   } else {
     restore_into(slot, {});
     s.state = ShardState::kSpare;
@@ -93,11 +109,15 @@ Status ShardedPimStore::failover(u32 slot) {
   fresh.group = gi;
   fresh.lo = g.lo;
   fresh.hi = g.hi;
-  for (u32& member : g.members) {
-    if (member == slot) member = spare;
+  for (u32 mi = 0; mi < g.members.size(); ++mi) {
+    if (g.members[mi] == slot) {
+      g.members[mi] = spare;
+      g.deprioritized &= ~(1u << mi);
+    }
   }
   g.checkpoint = std::move(contents);
   g.journal.clear();
+  ++g.fence_epoch;  // membership changed: fence the old configuration
   // The victim is decommissioned: the log stays with the group. A later
   // revive_shard(slot) turns the repaired rack into an empty spare.
   victim.group = kNoGroup;
@@ -123,6 +143,101 @@ void ShardedPimStore::set_shard_fault_plan(u32 slot, const sim::FaultPlan& plan)
     const Key lo = shard_range(slot).first;
     (void)s.list->batch_get(std::vector<Key>{lo == kMinKey ? Key{0} : lo});
   }
+}
+
+// ---------------- gray-failure chaos ----------------
+
+Status ShardedPimStore::slow_shard(u32 slot, double stall_factor) {
+  if (slot >= slots_.size() || slots_[slot].machine == nullptr) {
+    return Status(StatusCode::kInvalidArgument,
+                  "slow_shard: slot has no live machine");
+  }
+  if (!(stall_factor >= 1.0)) {
+    return Status(StatusCode::kInvalidArgument,
+                  "slow_shard: stall_factor must be >= 1");
+  }
+  // A module-round stalls with p = 1 - 1/f, so progress happens on a
+  // 1/f fraction of rounds: effective per-wave round cost multiplies by
+  // ~f while every message still (eventually) delivers — slow-but-alive,
+  // invisible to the fail-stop breaker.
+  sim::FaultPlan p;
+  p.enabled = stall_factor > 1.0;
+  p.seed = rnd::mix2(rnd::mix2(opts_.seed, 0x51084FAC7ull), slot);
+  p.stall_prob = 1.0 - 1.0 / stall_factor;
+  set_shard_fault_plan(slot, p);
+  return Status{};
+}
+
+Status ShardedPimStore::flaky_shard(u32 slot, double drop_prob) {
+  if (slot >= slots_.size() || slots_[slot].machine == nullptr) {
+    return Status(StatusCode::kInvalidArgument,
+                  "flaky_shard: slot has no live machine");
+  }
+  if (!(drop_prob >= 0.0 && drop_prob < 1.0)) {
+    return Status(StatusCode::kInvalidArgument,
+                  "flaky_shard: drop_prob must be in [0, 1)");
+  }
+  sim::FaultPlan p;
+  p.enabled = drop_prob > 0.0;
+  p.seed = rnd::mix2(rnd::mix2(opts_.seed, 0xF1A27EEDull), slot);
+  p.drop_prob = drop_prob;
+  set_shard_fault_plan(slot, p);
+  return Status{};
+}
+
+Status ShardedPimStore::clear_shard_chaos(u32 slot) {
+  if (slot >= slots_.size() || slots_[slot].machine == nullptr) {
+    return Status(StatusCode::kInvalidArgument,
+                  "clear_shard_chaos: slot has no live machine");
+  }
+  set_shard_fault_plan(slot, fleet_plan_.has_value()
+                                 ? sim::derive_shard_plan(*fleet_plan_, slot)
+                                 : sim::FaultPlan{});
+  return Status{};
+}
+
+Status ShardedPimStore::set_read_deprioritized(u32 slot, bool on) {
+  if (slot >= slots_.size() || slots_[slot].group == kNoGroup) {
+    return Status(StatusCode::kInvalidArgument,
+                  "read depriority applies to group members only");
+  }
+  ReplicaGroup& g = groups_[slots_[slot].group];
+  u32 mi = 0;
+  while (g.members[mi] != slot) ++mi;
+  const u32 bit = 1u << mi;
+  if (((g.deprioritized & bit) != 0) == on) return Status{};  // no change
+  if (on) {
+    g.deprioritized |= bit;
+    // Make the demotion sticky: rotate the primary off the deprioritized
+    // member when a live, non-deprioritized alternative exists (reads
+    // then pay no first-pass probe). serving_member converges the new
+    // primary if the group is dirty, so the handover cannot serve stale.
+    if (g.primary == mi) {
+      const u32 r = static_cast<u32>(g.members.size());
+      for (u32 i = 1; i < r; ++i) {
+        const u32 cand = (mi + i) % r;
+        if (g.deprioritized & (1u << cand)) continue;
+        if (slots_[g.members[cand]].state == ShardState::kLive) {
+          g.primary = cand;
+          break;
+        }
+      }
+    }
+  } else {
+    g.deprioritized &= ~bit;
+  }
+  ++g.fence_epoch;  // read preference is part of the configuration
+  return Status{};
+}
+
+bool ShardedPimStore::read_deprioritized(u32 slot) const {
+  const u32 gi = slots_[slot].group;
+  if (gi == kNoGroup) return false;
+  const ReplicaGroup& g = groups_[gi];
+  for (u32 mi = 0; mi < g.members.size(); ++mi) {
+    if (g.members[mi] == slot) return (g.deprioritized >> mi) & 1u;
+  }
+  return false;
 }
 
 void ShardedPimStore::set_op_deadline(core::PimSkipList::OpDeadline d) {

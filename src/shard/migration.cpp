@@ -77,6 +77,7 @@ Status ShardedPimStore::start_migration(u32 source, Key split_key) {
   m.target = target;
   m.lo = split_key;
   m.hi = g.hi;
+  m.start_epoch = g.fence_epoch;
   for (const auto& [k, v] : replay_log(g)) {
     if (k >= m.lo && k < m.hi) m.plan_keys.push_back(k);
   }
@@ -87,6 +88,21 @@ Status ShardedPimStore::start_migration(u32 source, Key split_key) {
 Status ShardedPimStore::migration_step() {
   if (!migration_.has_value()) {
     return Status(StatusCode::kInvalidArgument, "no migration is active");
+  }
+  if (groups_[migration_->group].fence_epoch != migration_->start_epoch) {
+    // Source-group configuration changed mid-flight (death, revive,
+    // repair install, demotion...): the copy plan and delta were built
+    // against a configuration that is gone. Resolve by epoch — abort
+    // and let the policy loop re-propose against the new config. The
+    // source group never gave up ownership, so nothing is lost.
+    ++fence_refusals_;
+    const Status fenced =
+        fenced_status(migration_->group, migration_->start_epoch,
+                      groups_[migration_->group].fence_epoch);
+    const u32 target = migration_->target;
+    migration_.reset();
+    recycle_target(target);
+    return fenced;
   }
   MigrationState& m = *migration_;
   if (!m.copy_done) {
@@ -160,6 +176,25 @@ void ShardedPimStore::finish_migration() {
     ++m.delta_applied;
   }
 
+  // The copy pass read ONE live member's structure, which may have
+  // carried a refused (kNoQuorum) write awaiting anti-entropy rollback
+  // or missed an acked one; and the target's own application can lag
+  // `staged` after per-key faults. Cutover moves OWNERSHIP AND
+  // DURABILITY (staged becomes the carved group's checkpoint), so only
+  // the acked state may cross: reconcile staged against the source
+  // journal's replay restricted to the moving range, and rebuild the
+  // target offline when its contents disagree with that.
+  {
+    const std::map<Key, Value> replay = replay_log(groups_[m.group]);
+    std::map<Key, Value> want(replay.lower_bound(m.lo), replay.lower_bound(m.hi));
+    const u64 want_digest = core::PimSkipList::pairs_digest(
+        std::vector<std::pair<Key, Value>>(want.begin(), want.end()));
+    if (m.staged != want) m.staged = std::move(want);
+    if (tgt.list->contents_digest() != want_digest) {
+      restore_into(m.target, m.staged);
+    }
+  }
+
   // ---- atomic cutover (caller thread, no PIM rounds in between) ----
   const u32 target = m.target;
   const MigrationState done = std::move(m);
@@ -194,6 +229,9 @@ void ShardedPimStore::finish_migration() {
     retained.erase(retained.lower_bound(done.lo), retained.end());
     src.checkpoint = std::move(retained);
     src.journal.clear();
+    // Shrinking the owned range is a configuration change: late acks
+    // and movements planned against the pre-cutover range are fenced.
+    ++src.fence_epoch;
   }
   groups_.push_back(std::move(carved));
 

@@ -1,5 +1,6 @@
 #include "shard/policy.hpp"
 
+#include <algorithm>
 #include <chrono>
 
 namespace pim::shard {
@@ -46,6 +47,11 @@ void ShardPolicy::step_locked() {
   // per batch; rotating the primary makes the skip free.
   stats_.demotions += store_.demote_dead_primaries();
 
+  // 1b. Gray-failure scoring: catch the slow-but-alive member the
+  // fail-stop breaker never sees, before its latency bleeds into every
+  // read wave that lands on it.
+  if (opts_.gray.enabled) gray_tick();
+
   // 2. Anti-entropy slice: converge replicas on the acked (journal)
   // state before anything copies from them.
   if (opts_.anti_entropy_groups > 0) {
@@ -89,6 +95,107 @@ void ShardPolicy::step_locked() {
       }
     } else {
       break;
+    }
+  }
+}
+
+void ShardPolicy::gray_tick() {
+  health_.resize(store_.slots());
+  const double p = static_cast<double>(store_.options().modules_per_shard);
+
+  // Pass 1: update every live member's EWMA from its machine counters.
+  // The cost model is Δrounds + Δio/P per tick: a stalled machine burns
+  // extra rounds for the same work, an overloaded one extra io, and
+  // both show up here while the fail-stop breaker sees clean completions.
+  for (u32 slot = 0; slot < store_.slots(); ++slot) {
+    Health& h = health_[slot];
+    const sim::Machine* m = store_.shard_machine(slot);
+    if (store_.shard_state(slot) != ShardState::kLive ||
+        store_.group_of(slot) == kNoGroup || m == nullptr) {
+      h = Health{};  // not a live member: forget its history
+      continue;
+    }
+    const sim::Snapshot s = m->snapshot();
+    if (!h.has_last || s.rounds < h.last_rounds || s.io_time < h.last_io) {
+      // First sight, or the machine was replaced (revive / reinstall
+      // resets cumulative counters): no delta to score yet.
+      h = Health{};
+      h.has_last = true;
+      h.last_rounds = s.rounds;
+      h.last_io = s.io_time;
+      continue;
+    }
+    const double cost = static_cast<double>(s.rounds - h.last_rounds) +
+                        static_cast<double>(s.io_time - h.last_io) / p;
+    h.last_rounds = s.rounds;
+    h.last_io = s.io_time;
+    h.ewma = h.ewma < 0 ? cost
+                        : opts_.gray.ewma_alpha * cost +
+                              (1.0 - opts_.gray.ewma_alpha) * h.ewma;
+  }
+
+  // Pass 2: per group, compare each scored member against the live-member
+  // median. The median (not the mean) keeps one runaway member from
+  // inflating its own threshold; max(median, 1) keeps an idle group
+  // (all-zero costs) from flagging noise.
+  for (u32 gi = 0; gi < store_.group_count(); ++gi) {
+    const std::vector<u32>& members = store_.group_members(gi);
+    std::vector<double> scores;
+    for (u32 slot : members) {
+      if (store_.shard_state(slot) == ShardState::kLive &&
+          health_[slot].ewma >= 0) {
+        scores.push_back(health_[slot].ewma);
+      }
+    }
+    if (scores.size() < 2) continue;  // nothing to compare against
+    std::sort(scores.begin(), scores.end());
+    // Lower median: with R = 2 the healthy member sets the bar (upper
+    // median would let a lone straggler define its own threshold).
+    const double median = scores[(scores.size() - 1) / 2];
+    const double demote_bar = opts_.gray.slow_factor * std::max(median, 1.0);
+    const double readmit_bar =
+        opts_.gray.readmit_factor * std::max(median, 1.0);
+
+    u32 serving = 0;  // live, scored-or-not, not deprioritized
+    for (u32 slot : members) {
+      if (store_.shard_state(slot) == ShardState::kLive &&
+          !store_.read_deprioritized(slot)) {
+        ++serving;
+      }
+    }
+
+    for (u32 slot : members) {
+      Health& h = health_[slot];
+      if (store_.shard_state(slot) != ShardState::kLive || h.ewma < 0) continue;
+      if (!store_.read_deprioritized(slot)) {
+        if (h.ewma > demote_bar) {
+          h.healthy_streak = 0;
+          // Demote only while another member can serve: a deprioritized
+          // member is a last-resort read target, never an unavailable one.
+          if (++h.suspect_streak >= opts_.gray.demote_after && serving > 1) {
+            if (store_.set_read_deprioritized(slot, true).ok()) {
+              ++stats_.gray_demotions;
+              --serving;
+              h.suspect_streak = 0;
+            }
+          }
+        } else {
+          h.suspect_streak = 0;
+        }
+      } else {
+        h.suspect_streak = 0;
+        if (h.ewma <= readmit_bar) {
+          if (++h.healthy_streak >= opts_.gray.readmit_after) {
+            if (store_.set_read_deprioritized(slot, false).ok()) {
+              ++stats_.gray_readmissions;
+              ++serving;
+              h.healthy_streak = 0;
+            }
+          }
+        } else {
+          h.healthy_streak = 0;
+        }
+      }
     }
   }
 }

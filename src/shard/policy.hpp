@@ -30,6 +30,32 @@
 
 namespace pim::shard {
 
+/// Gray-failure (slow-but-alive) detection knobs (DESIGN.md §5.12).
+/// The detector watches each live group member's machine counters and
+/// scores per-tick cost = Δrounds + Δio/P (rounds dominate under
+/// stalls, io under load). A member whose EWMA of that cost exceeds
+/// slow_factor × its group's live-member median for demote_after
+/// consecutive ticks is read-deprioritized (reads retarget, writes
+/// still fan to it so the score keeps tracking reality); it is
+/// readmitted after readmit_after consecutive ticks back under
+/// readmit_factor × median. The asymmetric factors + streak lengths
+/// are the hysteresis: a member near the boundary cannot flap once per
+/// tick, and a false demotion costs only read locality, never
+/// durability (the member keeps acking writes and being audited).
+struct GrayOptions {
+  bool enabled = false;
+  /// EWMA weight of the newest per-tick cost observation.
+  double ewma_alpha = 0.3;
+  /// Demote when ewma > slow_factor * group median.
+  double slow_factor = 2.5;
+  /// Readmit only when ewma <= readmit_factor * group median.
+  double readmit_factor = 1.25;
+  /// Consecutive suspect ticks before demotion.
+  u32 demote_after = 3;
+  /// Consecutive healthy ticks before readmission.
+  u32 readmit_after = 3;
+};
+
 struct PolicyOptions {
   /// Background tick interval. 0 = do not start the thread; drive
   /// step() manually (deterministic tests).
@@ -42,6 +68,9 @@ struct PolicyOptions {
   bool enable_migration = true;
   /// Forwarded to pick_migration().
   double hot_share_factor = 1.5;
+  /// Gray-failure detector (off by default: zero overhead, and the
+  /// chaos-disabled tier stays bit-identical with the detector off).
+  GrayOptions gray;
 };
 
 struct PolicyStats {
@@ -54,6 +83,8 @@ struct PolicyStats {
   u64 anti_entropy_divergent = 0;
   u64 anti_entropy_repaired_keys = 0;
   u64 anti_entropy_rebuilds = 0;
+  u64 gray_demotions = 0;     // slow-but-alive members read-deprioritized
+  u64 gray_readmissions = 0;  // deprioritized members readmitted
 };
 
 class ShardPolicy {
@@ -80,9 +111,23 @@ class ShardPolicy {
  private:
   void run();          // thread body
   void step_locked();  // requires mu_
+  void gray_tick();    // requires mu_; scores members, demotes/readmits
+
+  /// Per-slot gray-failure bookkeeping. Reset whenever the slot is not
+  /// a live group member (death, decommission, spare) so a revived or
+  /// reinstalled member starts with a clean history.
+  struct Health {
+    bool has_last = false;
+    u64 last_rounds = 0;  // machine-cumulative counters at last tick
+    u64 last_io = 0;
+    double ewma = -1.0;  // -1 = no cost observation yet
+    u32 suspect_streak = 0;
+    u32 healthy_streak = 0;
+  };
 
   ShardedPimStore& store_;
   PolicyOptions opts_;
+  std::vector<Health> health_;
   mutable std::mutex mu_;
   std::condition_variable cv_;
   bool stop_ = false;

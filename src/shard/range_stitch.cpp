@@ -64,7 +64,8 @@ std::vector<ShardedPimStore::NearResult> ShardedPimStore::batch_successor(
 
     struct Job {
       u32 group;
-      u32 slot;  // read member serving this wave
+      u32 slot;   // read member serving this wave
+      u64 epoch;  // group fence epoch captured at dispatch
       std::vector<u64> pend;
       std::vector<Key> sub;
       std::vector<core::PimSkipList::NearResult> result;
@@ -73,7 +74,7 @@ std::vector<ShardedPimStore::NearResult> ShardedPimStore::batch_successor(
     std::vector<Job> jobs;
     jobs.reserve(buckets.size());
     for (auto& [group, pend] : buckets) {
-      const u32 slot = read_member(group);
+      const u32 slot = serving_member(group);
       if (slot == kNoSlot) {
         const Status down = shard_down_status(group);
         for (u64 pi : pend) out[pending[pi].pos].status = down;
@@ -82,6 +83,7 @@ std::vector<ShardedPimStore::NearResult> ShardedPimStore::batch_successor(
       Job j;
       j.group = group;
       j.slot = slot;
+      j.epoch = dispatch_epoch(group);
       j.pend = std::move(pend);
       j.sub.reserve(j.pend.size());
       for (u64 pi : j.pend) j.sub.push_back(pending[pi].key);
@@ -103,6 +105,15 @@ std::vector<ShardedPimStore::NearResult> ShardedPimStore::batch_successor(
 
     std::vector<PendingNear> next;
     for (Job& j : jobs) {
+      if (groups_[j.group].fence_epoch != j.epoch) {
+        // Configuration changed under the wave: the answers (and their
+        // clamp bounds) are from a config that no longer exists. Re-ask
+        // the same group at the new epoch; the range clamp re-spills
+        // anything the group no longer owns.
+        ++fence_refusals_;
+        for (u64 pi : j.pend) next.push_back(pending[pi]);
+        continue;
+      }
       if (j.failure.has_value()) {
         for (u64 pi : j.pend) out[pending[pi].pos].status = *j.failure;
         observe_shard_health(j.slot, true);
@@ -155,6 +166,7 @@ std::vector<ShardedPimStore::NearResult> ShardedPimStore::batch_predecessor(
     struct Job {
       u32 group;
       u32 slot;
+      u64 epoch;
       std::vector<u64> pend;
       std::vector<Key> sub;
       std::vector<core::PimSkipList::NearResult> result;
@@ -163,7 +175,7 @@ std::vector<ShardedPimStore::NearResult> ShardedPimStore::batch_predecessor(
     std::vector<Job> jobs;
     jobs.reserve(buckets.size());
     for (auto& [group, pend] : buckets) {
-      const u32 slot = read_member(group);
+      const u32 slot = serving_member(group);
       if (slot == kNoSlot) {
         const Status down = shard_down_status(group);
         for (u64 pi : pend) out[pending[pi].pos].status = down;
@@ -172,6 +184,7 @@ std::vector<ShardedPimStore::NearResult> ShardedPimStore::batch_predecessor(
       Job j;
       j.group = group;
       j.slot = slot;
+      j.epoch = dispatch_epoch(group);
       j.pend = std::move(pend);
       j.sub.reserve(j.pend.size());
       for (u64 pi : j.pend) j.sub.push_back(pending[pi].key);
@@ -193,6 +206,15 @@ std::vector<ShardedPimStore::NearResult> ShardedPimStore::batch_predecessor(
 
     std::vector<PendingNear> next;
     for (Job& j : jobs) {
+      if (groups_[j.group].fence_epoch != j.epoch) {
+        // Configuration changed under the wave: the answers (and their
+        // clamp bounds) are from a config that no longer exists. Re-ask
+        // the same group at the new epoch; the range clamp re-spills
+        // anything the group no longer owns.
+        ++fence_refusals_;
+        for (u64 pi : j.pend) next.push_back(pending[pi]);
+        continue;
+      }
       if (j.failure.has_value()) {
         for (u64 pi : j.pend) out[pending[pi].pos].status = *j.failure;
         observe_shard_health(j.slot, true);
@@ -236,6 +258,8 @@ ShardedPimStore::RangeResult ShardedPimStore::range_aggregate(Key lo, Key hi) {
   if (lo > hi) return res;
   struct Job {
     u32 slot;
+    u32 group;
+    u64 epoch;  // group fence epoch captured at dispatch
     std::vector<SubRange> ranges;
     RangeAgg agg;
     std::optional<Status> failure;
@@ -248,14 +272,14 @@ ShardedPimStore::RangeResult ShardedPimStore::range_aggregate(Key lo, Key hi) {
     const Key top = route_top(idx);
     const Key sub_hi = top == kMaxKey ? hi : std::min(hi, top - 1);
     if (sub_lo > sub_hi) continue;
-    const u32 slot = read_member(group);
+    const u32 slot = serving_member(group);
     if (slot == kNoSlot) {
       res.status = shard_down_status(group);
       continue;
     }
     if (job_of[slot] == static_cast<u32>(-1)) {
       job_of[slot] = static_cast<u32>(jobs.size());
-      jobs.push_back(Job{slot, {}, {}, std::nullopt});
+      jobs.push_back(Job{slot, group, dispatch_epoch(group), {}, {}, std::nullopt});
     }
     jobs[job_of[slot]].ranges.push_back(SubRange{0, sub_lo, sub_hi});
   }
@@ -278,6 +302,13 @@ ShardedPimStore::RangeResult ShardedPimStore::range_aggregate(Key lo, Key hi) {
   run_wave(std::move(wave));
 
   for (Job& j : jobs) {
+    if (groups_[j.group].fence_epoch != j.epoch) {
+      ++fence_refusals_;
+      if (res.status.ok()) {
+        res.status = fenced_status(j.group, j.epoch, groups_[j.group].fence_epoch);
+      }
+      continue;  // stale partials feed neither the result nor the breaker
+    }
     if (j.failure.has_value()) {
       if (res.status.ok()) res.status = *j.failure;
       observe_shard_health(j.slot, true);
@@ -296,6 +327,8 @@ std::vector<ShardedPimStore::RangeResult> ShardedPimStore::batch_range_aggregate
   std::vector<RangeResult> out(n);
   struct Job {
     u32 slot;
+    u32 group;
+    u64 epoch;
     std::vector<u64> qidx;  // parallel to subs: owning query index
     std::vector<RangeQuery> subs;
     std::vector<RangeAgg> result;
@@ -313,14 +346,14 @@ std::vector<ShardedPimStore::RangeResult> ShardedPimStore::batch_range_aggregate
       const Key top = route_top(idx);
       const Key sub_hi = top == kMaxKey ? hi : std::min(hi, top - 1);
       if (sub_lo > sub_hi) continue;
-      const u32 slot = read_member(group);
+      const u32 slot = serving_member(group);
       if (slot == kNoSlot) {
         out[q].status = shard_down_status(group);
         continue;
       }
       if (job_of[slot] == static_cast<u32>(-1)) {
         job_of[slot] = static_cast<u32>(jobs.size());
-        jobs.push_back(Job{slot, {}, {}, {}, std::nullopt});
+        jobs.push_back(Job{slot, group, dispatch_epoch(group), {}, {}, {}, std::nullopt});
       }
       Job& j = jobs[job_of[slot]];
       j.qidx.push_back(q);
@@ -342,6 +375,15 @@ std::vector<ShardedPimStore::RangeResult> ShardedPimStore::batch_range_aggregate
   run_wave(std::move(wave));
 
   for (Job& j : jobs) {
+    if (groups_[j.group].fence_epoch != j.epoch) {
+      ++fence_refusals_;
+      const Status fenced =
+          fenced_status(j.group, j.epoch, groups_[j.group].fence_epoch);
+      for (u64 k = 0; k < j.qidx.size(); ++k) {
+        if (out[j.qidx[k]].status.ok()) out[j.qidx[k]].status = fenced;
+      }
+      continue;
+    }
     if (j.failure.has_value()) {
       for (u64 k = 0; k < j.qidx.size(); ++k) {
         if (out[j.qidx[k]].status.ok()) out[j.qidx[k]].status = *j.failure;
@@ -363,6 +405,8 @@ ShardedPimStore::CollectResult ShardedPimStore::range_collect(Key lo, Key hi) {
   if (lo > hi) return res;
   struct Job {
     u32 slot;
+    u32 group;
+    u64 epoch;
     std::vector<SubRange> ranges;  // chunk = route order for the merge
     std::vector<std::vector<std::pair<Key, Value>>> result;  // per range
     std::optional<Status> failure;
@@ -376,7 +420,7 @@ ShardedPimStore::CollectResult ShardedPimStore::range_collect(Key lo, Key hi) {
     const Key top = route_top(idx);
     const Key sub_hi = top == kMaxKey ? hi : std::min(hi, top - 1);
     if (sub_lo > sub_hi) continue;
-    const u32 slot = read_member(group);
+    const u32 slot = serving_member(group);
     if (slot == kNoSlot) {
       res.status = shard_down_status(group);
       ++chunks;  // keep merge positions stable
@@ -384,7 +428,7 @@ ShardedPimStore::CollectResult ShardedPimStore::range_collect(Key lo, Key hi) {
     }
     if (job_of[slot] == static_cast<u32>(-1)) {
       job_of[slot] = static_cast<u32>(jobs.size());
-      jobs.push_back(Job{slot, {}, {}, std::nullopt});
+      jobs.push_back(Job{slot, group, dispatch_epoch(group), {}, {}, std::nullopt});
     }
     jobs[job_of[slot]].ranges.push_back(SubRange{chunks++, sub_lo, sub_hi});
   }
@@ -410,6 +454,13 @@ ShardedPimStore::CollectResult ShardedPimStore::range_collect(Key lo, Key hi) {
   // route ranges are disjoint and ascending.
   std::vector<const std::vector<std::pair<Key, Value>>*> by_chunk(chunks, nullptr);
   for (Job& j : jobs) {
+    if (groups_[j.group].fence_epoch != j.epoch) {
+      ++fence_refusals_;
+      if (res.status.ok()) {
+        res.status = fenced_status(j.group, j.epoch, groups_[j.group].fence_epoch);
+      }
+      continue;
+    }
     if (j.failure.has_value()) {
       if (res.status.ok()) res.status = *j.failure;
       observe_shard_health(j.slot, true);

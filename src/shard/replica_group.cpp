@@ -40,6 +40,9 @@ u32 ShardedPimStore::demote_dead_primaries() {
     u32 mi = 0;
     while (g.members[mi] != slot) ++mi;
     g.primary = mi;
+    // Read preference moved: fence anything in flight under the old
+    // configuration (a wave dispatched to the dead primary included).
+    ++g.fence_epoch;
     ++demoted;
   }
   return demoted;
@@ -68,57 +71,68 @@ AntiEntropyReport ShardedPimStore::anti_entropy_step(u32 max_groups) {
   for (const u32 gi : visit) {
     ReplicaGroup& g = groups_[gi];
     ++rep.groups_audited;
+    rep.audited_groups.push_back(gi);
     const std::map<Key, Value> expected_map = replay_log(g);
-    const std::vector<std::pair<Key, Value>> expected(expected_map.begin(),
-                                                      expected_map.end());
-    const u64 want = core::PimSkipList::pairs_digest(expected);
+    const u64 want = core::PimSkipList::pairs_digest(
+        std::vector<std::pair<Key, Value>>(expected_map.begin(),
+                                           expected_map.end()));
     for (const u32 slot : g.members) {
-      Shard& s = slots_[slot];
-      if (s.state != ShardState::kLive) continue;
-      if (s.list->contents_digest() == want) continue;
-      ++rep.divergent;
-      // Two-pointer diff of the member's offline contents against the
-      // authoritative replay: extra keys die, missing/stale keys are
-      // re-upserted.
-      const auto have = s.list->contents_offline();
-      std::vector<Key> dels;
-      std::vector<std::pair<Key, Value>> ups;
-      u64 i = 0, j = 0;
-      while (i < have.size() || j < expected.size()) {
-        if (j >= expected.size() ||
-            (i < have.size() && have[i].first < expected[j].first)) {
-          dels.push_back(have[i].first);
-          ++i;
-        } else if (i >= have.size() || expected[j].first < have[i].first) {
-          ups.push_back(expected[j]);
-          ++j;
-        } else {
-          if (have[i].second != expected[j].second) ups.push_back(expected[j]);
-          ++i;
-          ++j;
-        }
-      }
-      bool rebuild = dels.size() + ups.size() > opts_.anti_entropy_rebuild_threshold;
-      if (!rebuild) {
-        try {
-          if (!dels.empty()) (void)s.list->batch_delete(dels);
-          if (!ups.empty()) (void)s.list->batch_upsert(ups);
-          rep.repaired_keys += dels.size() + ups.size();
-        } catch (const StatusError&) {
-          observe_shard_health(slot, true);
-          rebuild = true;
-        }
-        // Per-key failures don't throw; re-digest to be sure.
-        if (!rebuild && s.list->contents_digest() != want) rebuild = true;
-      }
-      if (rebuild && slots_[slot].state == ShardState::kLive) {
-        restore_into(slot, expected_map);
-        ++rep.rebuilds;
-      }
+      converge_member(gi, slot, expected_map, want, &rep);
     }
     g.dirty = false;
   }
   return rep;
+}
+
+bool ShardedPimStore::converge_member(u32 group, u32 slot,
+                                      const std::map<Key, Value>& want_map,
+                                      u64 want_digest, AntiEntropyReport* rep) {
+  (void)group;
+  Shard& s = slots_[slot];
+  if (s.state != ShardState::kLive) return false;
+  if (s.list->contents_digest() == want_digest) return false;
+  if (rep != nullptr) ++rep->divergent;
+  // Two-pointer diff of the member's offline contents against the
+  // authoritative replay: extra keys die, missing/stale keys are
+  // re-upserted.
+  const std::vector<std::pair<Key, Value>> expected(want_map.begin(),
+                                                    want_map.end());
+  const auto have = s.list->contents_offline();
+  std::vector<Key> dels;
+  std::vector<std::pair<Key, Value>> ups;
+  u64 i = 0, j = 0;
+  while (i < have.size() || j < expected.size()) {
+    if (j >= expected.size() ||
+        (i < have.size() && have[i].first < expected[j].first)) {
+      dels.push_back(have[i].first);
+      ++i;
+    } else if (i >= have.size() || expected[j].first < have[i].first) {
+      ups.push_back(expected[j]);
+      ++j;
+    } else {
+      if (have[i].second != expected[j].second) ups.push_back(expected[j]);
+      ++i;
+      ++j;
+    }
+  }
+  bool rebuild = dels.size() + ups.size() > opts_.anti_entropy_rebuild_threshold;
+  if (!rebuild) {
+    try {
+      if (!dels.empty()) (void)s.list->batch_delete(dels);
+      if (!ups.empty()) (void)s.list->batch_upsert(ups);
+      if (rep != nullptr) rep->repaired_keys += dels.size() + ups.size();
+    } catch (const StatusError&) {
+      observe_shard_health(slot, true);
+      rebuild = true;
+    }
+    // Per-key failures don't throw; re-digest to be sure.
+    if (!rebuild && s.list->contents_digest() != want_digest) rebuild = true;
+  }
+  if (rebuild && slots_[slot].state == ShardState::kLive) {
+    restore_into(slot, want_map);
+    if (rep != nullptr) ++rep->rebuilds;
+  }
+  return true;
 }
 
 // ---------------- re-replication (repair) ----------------
@@ -181,9 +195,11 @@ Status ShardedPimStore::start_repair(u32 group) {
   r.source = source;
   r.target = target;
   r.dead_slot = dead_slot;
+  r.start_epoch = g.fence_epoch;
   // Copy plan: the acked keyset. The source member's structure is the
-  // copy medium; if it quietly lags the journal, the delta tee plus the
-  // post-install anti-entropy audit converge the new member anyway.
+  // copy medium; the install digest-checks the rebuilt member against
+  // the journal replay (finish_repair), so a source that lagged — or
+  // carried refused writes awaiting rollback — cannot leak through.
   for (const auto& [k, v] : replay_log(g)) r.plan_keys.push_back(k);
   repair_ = std::move(r);
   return Status();
@@ -192,6 +208,22 @@ Status ShardedPimStore::start_repair(u32 group) {
 Status ShardedPimStore::repair_step() {
   if (!repair_.has_value()) {
     return Status(StatusCode::kInvalidArgument, "no repair is active");
+  }
+  if (groups_[repair_->group].fence_epoch != repair_->start_epoch) {
+    // The group's configuration changed since the repair started (a
+    // member died or was revived, the primary demoted, a cutover...).
+    // Resolve the race by epoch, never by timing: this repair was
+    // planned against a configuration that no longer exists, so it
+    // aborts — the policy loop restarts one against the new config if
+    // still needed. (A revive of the dead member it was replacing, for
+    // example, makes installing the stale copy actively wrong.)
+    ++fence_refusals_;
+    const Status fenced = fenced_status(repair_->group, repair_->start_epoch,
+                                        groups_[repair_->group].fence_epoch);
+    const u32 target = repair_->target;
+    repair_.reset();
+    recycle_target(target);
+    return fenced;
   }
   RepairState& r = *repair_;
   if (!r.copy_done) {
@@ -263,6 +295,21 @@ void ShardedPimStore::finish_repair() {
     ++r.delta_applied;
   }
 
+  // The copy medium was a live member's structure, which may itself have
+  // lagged the journal or carried a refused (kNoQuorum) write awaiting
+  // anti-entropy rollback. The journal replay is authoritative:
+  // digest-check the rebuilt member and rebuild it offline on mismatch,
+  // so an install can never make an unacked write servable again.
+  {
+    const ReplicaGroup& g = groups_[r.group];
+    const std::map<Key, Value> want = replay_log(g);
+    const u64 want_digest = core::PimSkipList::pairs_digest(
+        std::vector<std::pair<Key, Value>>(want.begin(), want.end()));
+    if (tgt.list->contents_digest() != want_digest) {
+      restore_into(r.target, want);
+    }
+  }
+
   // ---- install (caller thread, atomic with respect to batches) ----
   const RepairState done = std::move(r);
   repair_.reset();
@@ -273,8 +320,11 @@ void ShardedPimStore::finish_repair() {
   fresh.lo = g.lo;
   fresh.hi = g.hi;
   if (done.dead_slot != kNoSlot) {
-    for (u32& member : g.members) {
-      if (member == done.dead_slot) member = done.target;
+    for (u32 mi = 0; mi < g.members.size(); ++mi) {
+      if (g.members[mi] == done.dead_slot) {
+        g.members[mi] = done.target;
+        g.deprioritized &= ~(1u << mi);  // fresh member, fresh gray slate
+      }
     }
     // Decommissioned: a later revive_shard turns the repaired rack into
     // an empty spare.
@@ -282,8 +332,10 @@ void ShardedPimStore::finish_repair() {
   } else {
     PIM_CHECK(g.members.size() < opts_.replication,
               "repair install would overfill the group");
+    g.deprioritized &= ~(1u << g.members.size());
     g.members.push_back(done.target);
   }
+  ++g.fence_epoch;  // the install is a configuration change
 }
 
 void ShardedPimStore::abort_repair_for(u32 slot) {

@@ -64,6 +64,22 @@ struct ReplicaGroup {
   /// Set when live members disagreed on an ack (one committed a write
   /// another missed): the anti-entropy audit visits dirty groups first.
   bool dirty = false;
+  /// Monotonic configuration epoch. Every change to the group's member
+  /// set, primary, or read preference (kill, revive, failover, repair
+  /// install, migration cutover, primary demotion, gray
+  /// deprioritization) bumps it. All member-bound dispatch captures the
+  /// epoch at issue time; merges, journal acks, and delta-tee appends
+  /// are refused with kFencedEpoch when the captured epoch is stale, so
+  /// a zombie member can never ack a write or serve a read under an old
+  /// configuration. In-flight movements (migration/repair) abort when
+  /// the epoch moves past the one they started under: configuration
+  /// races resolve by epoch, never by timing.
+  u64 fence_epoch = 0;
+  /// Bitmask over member INDICES (rank order, R <= 32) of members the
+  /// gray-failure detector has deprioritized for reads: slow-but-alive
+  /// replicas that still receive writes (so they stay convergent) but
+  /// are skipped by read selection unless no other live member remains.
+  u32 deprioritized = 0;
 };
 
 /// Outcome of one anti-entropy invocation (store.anti_entropy_step).
@@ -72,6 +88,11 @@ struct AntiEntropyReport {
   u64 divergent = 0;         // members whose digest missed the journal's
   u64 repaired_keys = 0;     // keys fixed in place via read-repair
   u64 rebuilds = 0;          // members escalated to a full offline rebuild
+  /// Group ids audited this invocation (in visit order). The chaos
+  /// checker uses this to retire pending-visibility windows: once a
+  /// group is audited clean, refused (kNoQuorum) writes in its range
+  /// can no longer be observed.
+  std::vector<u32> audited_groups;
   bool clean() const { return divergent == 0; }
 };
 

@@ -130,7 +130,15 @@ void ShardedPimStore::maybe_compact_journal(ReplicaGroup& g) {
   g.journal.clear();
 }
 
-void ShardedPimStore::journal_acked(u32 group, LogRecord record) {
+bool ShardedPimStore::journal_acked(u32 group, u64 epoch, LogRecord record) {
+  if (groups_[group].fence_epoch != epoch) {
+    // The ack was earned under a configuration that no longer exists (a
+    // member died / was installed / cut over since dispatch). Refuse it
+    // wholesale: nothing reaches the journal or the delta tees, so a
+    // zombie configuration can never make a write durable.
+    ++fence_refusals_;
+    return false;
+  }
   if (migration_.has_value() && group == migration_->group) {
     // Writes landing in the moving range are double-entried into the
     // migration delta log; the drain replays them onto the target before
@@ -154,6 +162,7 @@ void ShardedPimStore::journal_acked(u32 group, LogRecord record) {
   ReplicaGroup& g = groups_[group];
   g.journal.push_back(std::move(record));
   maybe_compact_journal(g);
+  return true;
 }
 
 void ShardedPimStore::restore_into(u32 slot, const std::map<Key, Value>& contents) {
@@ -181,13 +190,58 @@ Key ShardedPimStore::route_top(u64 route_idx) const {
 u32 ShardedPimStore::read_member(u32 group, u32 tried) const {
   const ReplicaGroup& g = groups_[group];
   const u32 r = static_cast<u32>(g.members.size());
+  // First pass honors the gray detector: skip deprioritized members.
   for (u32 i = 0; i < r; ++i) {
     const u32 mi = (g.primary + i) % r;
     if (tried & (1u << mi)) continue;
+    if (g.deprioritized & (1u << mi)) continue;
     const u32 slot = g.members[mi];
     if (slots_[slot].state == ShardState::kLive) return slot;
   }
+  // A slow-but-alive member still beats kNoSlot: fall back to anyone live.
+  if (g.deprioritized != 0) {
+    for (u32 i = 0; i < r; ++i) {
+      const u32 mi = (g.primary + i) % r;
+      if (tried & (1u << mi)) continue;
+      const u32 slot = g.members[mi];
+      if (slots_[slot].state == ShardState::kLive) return slot;
+    }
+  }
   return kNoSlot;
+}
+
+u32 ShardedPimStore::serving_member(u32 group, u32 tried) {
+  for (;;) {
+    const u32 slot = read_member(group, tried);
+    if (slot == kNoSlot || !groups_[group].dirty) return slot;
+    // The group is known-divergent (a live member missed an acked write).
+    // Converge the chosen member against the journal replay BEFORE
+    // serving from it: a retargeted or demoted-onto member can otherwise
+    // answer with a value older than one the caller already observed
+    // from the previous primary — breaking per-key monotonic reads.
+    const std::map<Key, Value> want = replay_log(groups_[group]);
+    const u64 want_digest = core::PimSkipList::pairs_digest(
+        std::vector<std::pair<Key, Value>>(want.begin(), want.end()));
+    converge_member(group, slot, want, want_digest, nullptr);
+    if (slots_[slot].state == ShardState::kLive) return slot;
+    // Convergence tripped the member's breaker; pick the next live one.
+  }
+}
+
+u64 ShardedPimStore::dispatch_epoch(u32 group) {
+  const u64 e = groups_[group].fence_epoch;
+  if (group < aged_dispatches_.size() && aged_dispatches_[group] > 0) {
+    --aged_dispatches_[group];
+    return e - 1;  // the zombie hook: present a config one change behind
+  }
+  return e;
+}
+
+void ShardedPimStore::test_age_dispatch(u32 group, u64 count) {
+  if (aged_dispatches_.size() < groups_.size()) {
+    aged_dispatches_.resize(groups_.size(), 0);
+  }
+  aged_dispatches_[group] += count;
 }
 
 u32 ShardedPimStore::route(Key key) const {
@@ -207,6 +261,14 @@ Status ShardedPimStore::no_quorum_status(u32 group, u32 acked) const {
                 "group " + std::to_string(group) + " write reached " +
                     std::to_string(acked) + " replicas, quorum is " +
                     std::to_string(opts_.write_quorum) + " (not acknowledged)");
+}
+
+Status ShardedPimStore::fenced_status(u32 group, u64 seen, u64 current) const {
+  return Status(StatusCode::kFencedEpoch,
+                "group " + std::to_string(group) +
+                    " configuration changed under the operation (epoch " +
+                    std::to_string(seen) + " -> " + std::to_string(current) +
+                    "); result refused, retry observes the new configuration");
 }
 
 // ---------------- dispatch ----------------
@@ -268,6 +330,7 @@ void ShardedPimStore::build(std::span<const std::pair<Key, Value>> sorted_unique
 
 std::vector<ShardedPimStore::GetResult> ShardedPimStore::batch_get(
     std::span<const Key> keys) {
+  if (opts_.quorum_reads && opts_.write_quorum > 1) return quorum_batch_get(keys);
   const u64 n = keys.size();
   std::vector<GetResult> out(n);
 
@@ -279,6 +342,8 @@ std::vector<ShardedPimStore::GetResult> ShardedPimStore::batch_get(
     u32 group;
     u32 tried;  // bitmask of member indexes attempted
     std::vector<u64> positions;
+    u64 epoch = 0;          // group fence epoch captured at dispatch
+    u32 fence_retries = 0;  // re-dispatches after a configuration change
   };
   std::vector<Pending> active;
   for (auto& [group, positions] : split_by_group(n, [&](u64 i) { return keys[i]; })) {
@@ -297,7 +362,7 @@ std::vector<ShardedPimStore::GetResult> ShardedPimStore::batch_get(
     std::vector<Job> jobs;
     jobs.reserve(active.size());
     for (Pending& p : active) {
-      const u32 slot = read_member(p.group, p.tried);
+      const u32 slot = serving_member(p.group, p.tried);
       if (slot == kNoSlot) {
         // Only reachable on the first attempt (retries are only queued
         // when another live member exists): the whole group is dead.
@@ -305,6 +370,7 @@ std::vector<ShardedPimStore::GetResult> ShardedPimStore::batch_get(
         for (u64 pos : p.positions) out[pos].status = down;
         continue;
       }
+      p.epoch = dispatch_epoch(p.group);
       const auto& members = groups_[p.group].members;
       u32 mi = 0;
       while (members[mi] != slot) ++mi;
@@ -332,6 +398,24 @@ std::vector<ShardedPimStore::GetResult> ShardedPimStore::batch_get(
 
     std::vector<Pending> next;
     for (Job& j : jobs) {
+      ReplicaGroup& g = groups_[j.pending->group];
+      if (g.fence_epoch != j.pending->epoch) {
+        // The group's configuration changed between dispatch and merge
+        // (a zombie wave): the member's answers are from a config that
+        // no longer exists. Discard them — they feed neither results
+        // nor the breaker — and re-dispatch once at the new epoch.
+        ++fence_refusals_;
+        if (j.pending->fence_retries < 1) {
+          next.push_back(Pending{j.pending->group, 0u,
+                                 std::move(j.pending->positions), 0,
+                                 j.pending->fence_retries + 1});
+        } else {
+          const Status fenced =
+              fenced_status(j.pending->group, j.pending->epoch, g.fence_epoch);
+          for (u64 pos : j.pending->positions) out[pos] = GetResult{fenced};
+        }
+        continue;
+      }
       Pending retry{j.pending->group, j.pending->tried | (1u << j.member_index), {}};
       if (j.failure.has_value()) {
         for (u64 pos : j.pending->positions) out[pos].status = *j.failure;
@@ -349,6 +433,127 @@ std::vector<ShardedPimStore::GetResult> ShardedPimStore::batch_get(
       }
     }
     active = std::move(next);
+  }
+  return out;
+}
+
+std::vector<ShardedPimStore::GetResult> ShardedPimStore::quorum_batch_get(
+    std::span<const Key> keys) {
+  // Read-your-quorum: consult max(write_quorum, R - write_quorum + 1)
+  // live members per group. Agreement of that many members implies the
+  // value is the latest ACKED state: the consult set intersects every
+  // write quorum (so no acked write can be missed by all of them), and
+  // is at least write_quorum wide (so a refused write, applied on fewer
+  // members, can never reach agreement). Any disagreement — and any
+  // per-key fault, and a group with too few live members — resolves
+  // from the group journal's replay, which is authoritative by
+  // construction.
+  const u64 n = keys.size();
+  std::vector<GetResult> out(n);
+
+  struct Run {
+    u32 slot;
+    std::vector<core::PimSkipList::PartialGet> result;
+    std::optional<Status> failure;
+  };
+  struct Job {
+    u32 group;
+    u64 epoch;
+    std::vector<u64> positions;
+    std::vector<Key> sub;
+    std::vector<Run> runs;
+    bool resolve_all = false;  // too few live members: replay serves all
+  };
+  std::vector<Job> jobs;
+  for (auto& [group, positions] : split_by_group(n, [&](u64 i) { return keys[i]; })) {
+    const ReplicaGroup& g = groups_[group];
+    const u32 r = static_cast<u32>(g.members.size());
+    const u32 wq = opts_.write_quorum;
+    const u32 want = std::max(wq, r >= wq ? r - wq + 1 : 1u);
+    Job j;
+    j.group = group;
+    j.epoch = dispatch_epoch(group);
+    j.positions = std::move(positions);
+    for (u32 i = 0; i < r && j.runs.size() < want; ++i) {
+      const u32 mi = (g.primary + i) % r;
+      const u32 slot = g.members[mi];
+      if (slots_[slot].state == ShardState::kLive) j.runs.push_back(Run{slot});
+    }
+    if (j.runs.empty()) {
+      if (group_live_members(group) == 0 && !g.members.empty()) {
+        const Status down = shard_down_status(group);
+        for (u64 pos : j.positions) out[pos].status = down;
+        continue;
+      }
+      j.resolve_all = true;
+    } else if (j.runs.size() < want) {
+      j.runs.clear();  // a partial consult can neither agree nor refuse
+      j.resolve_all = true;
+    }
+    if (!j.resolve_all) {
+      j.sub.reserve(j.positions.size());
+      for (u64 pos : j.positions) j.sub.push_back(keys[pos]);
+    }
+    jobs.push_back(std::move(j));
+  }
+
+  std::vector<std::pair<u32, std::function<void()>>> wave;
+  for (Job& j : jobs) {
+    for (Run& r : j.runs) {
+      wave.emplace_back(r.slot, [this, &j, &r] {
+        try {
+          r.result = slots_[r.slot].list->batch_get_partial(j.sub);
+        } catch (const StatusError& e) {
+          r.failure = e.status();
+        }
+      });
+    }
+  }
+  run_wave(std::move(wave));
+
+  for (Job& j : jobs) {
+    ReplicaGroup& g = groups_[j.group];
+    if (g.fence_epoch != j.epoch) {
+      ++fence_refusals_;
+      const Status fenced = fenced_status(j.group, j.epoch, g.fence_epoch);
+      for (u64 pos : j.positions) out[pos] = GetResult{fenced};
+      continue;
+    }
+    std::optional<std::map<Key, Value>> replay;
+    auto resolve = [&](u64 pos, Key k) {
+      if (!replay.has_value()) replay = replay_log(g);
+      ++quorum_read_resolves_;
+      auto it = replay->find(k);
+      out[pos] = it == replay->end() ? GetResult{Status{}, false, 0}
+                                     : GetResult{Status{}, true, it->second};
+    };
+    if (j.resolve_all) {
+      for (u64 pos : j.positions) resolve(pos, keys[pos]);
+      continue;
+    }
+    for (u64 k = 0; k < j.positions.size(); ++k) {
+      bool agree = true;
+      const core::PimSkipList::PartialGet* first = nullptr;
+      for (Run& r : j.runs) {
+        if (r.failure.has_value() || !r.result[k].status.ok()) {
+          agree = false;
+          break;
+        }
+        if (first == nullptr) {
+          first = &r.result[k];
+        } else if (r.result[k].found != first->found ||
+                   (first->found && r.result[k].value != first->value)) {
+          agree = false;
+        }
+      }
+      if (agree && first != nullptr) {
+        out[j.positions[k]] = GetResult{first->status, first->found, first->value};
+      } else {
+        resolve(j.positions[k], j.sub[k]);
+        g.dirty = true;  // a consulted member lagged or faulted
+      }
+    }
+    for (Run& r : j.runs) observe_shard_health(r.slot, r.failure.has_value());
   }
   return out;
 }
@@ -374,6 +579,7 @@ void ShardedPimStore::replicated_write(std::span<const Sub> items,
   };
   struct Job {
     u32 group;
+    u64 epoch;  // group fence epoch captured at dispatch
     std::vector<u64> positions;
     std::vector<Sub> sub;
     std::vector<MemberRun> runs;  // one per live member at dispatch
@@ -383,6 +589,7 @@ void ShardedPimStore::replicated_write(std::span<const Sub> items,
   for (auto& [group, positions] : buckets) {
     Job j;
     j.group = group;
+    j.epoch = dispatch_epoch(group);
     j.positions = std::move(positions);
     for (const u32 slot : groups_[group].members) {
       if (slots_[slot].state == ShardState::kLive) j.runs.push_back(MemberRun{slot});
@@ -414,6 +621,19 @@ void ShardedPimStore::replicated_write(std::span<const Sub> items,
   const u32 quorum = opts_.write_quorum;
   for (Job& j : jobs) {
     ReplicaGroup& g = groups_[j.group];
+    if (g.fence_epoch != j.epoch) {
+      // Zombie wave: the commits happened under a configuration that
+      // changed before the merge. Refuse every position — nothing is
+      // acked, nothing is journaled, the breaker sees nothing. (The
+      // caller retries and observes the new configuration; survivors
+      // holding the un-acked application are rolled back by
+      // anti-entropy, exactly like a kNoQuorum refusal.)
+      ++fence_refusals_;
+      const Status fenced = fenced_status(j.group, j.epoch, g.fence_epoch);
+      for (u64 p : j.positions) emit(p, fenced, nullptr);
+      g.dirty = true;
+      continue;
+    }
     LogRecord rec;
     rec.kind = kind;
     for (u64 k = 0; k < j.positions.size(); ++k) {
@@ -449,7 +669,10 @@ void ShardedPimStore::replicated_write(std::span<const Sub> items,
         emit(j.positions[k], first_err, nullptr);
       }
     }
-    if (!rec.ops.empty() || !rec.keys.empty()) journal_acked(j.group, std::move(rec));
+    if (!rec.ops.empty() || !rec.keys.empty()) {
+      const bool accepted = journal_acked(j.group, j.epoch, std::move(rec));
+      PIM_CHECK(accepted, "journal refused an ack the merge just fenced-checked");
+    }
     for (MemberRun& r : j.runs) observe_shard_health(r.slot, r.failure.has_value());
   }
 }

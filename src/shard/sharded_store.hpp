@@ -148,6 +148,15 @@ struct ShardOptions {
   /// group journal's replay exceeds this many keys (or that is still
   /// divergent after read-repair) is rebuilt offline instead.
   u64 anti_entropy_rebuild_threshold = 64;
+  /// Read-your-quorum (opt-in, needs write_quorum > 1): batch_get
+  /// consults write_quorum live members per group and returns the value
+  /// they agree on; any disagreement or per-key fault is resolved from
+  /// the group journal's replay — the authoritative acked state — so a
+  /// read can never observe a write that was refused (kNoQuorum) or
+  /// missed by a lagging member. Off (default) keeps primary-preferred
+  /// reads; with write_quorum == 1 the flag is inert, so R = 1 behavior
+  /// stays bit-identical.
+  bool quorum_reads = false;
 };
 
 /// Mirrors PR 2's FaultPlan::validate — reject malformed options with
@@ -259,6 +268,48 @@ class ShardedPimStore {
   void set_shard_fault_plan(u32 slot, const sim::FaultPlan& plan);
   /// Per-batch deadline forwarded to every live shard's skiplist.
   void set_op_deadline(core::PimSkipList::OpDeadline d);
+
+  // ---------------- gray-failure chaos ----------------
+
+  /// Makes a live shard slow-but-alive: every message it handles stalls
+  /// with probability 1 - 1/stall_factor (deterministic per-content
+  /// draws via the per-shard FaultPlan installer), multiplying its
+  /// effective per-wave round cost by ~stall_factor without tripping
+  /// any fail-stop. stall_factor >= 1; 1 clears the stall.
+  Status slow_shard(u32 slot, double stall_factor);
+  /// Makes a live shard lossy: messages drop with `drop_prob` (retried
+  /// with backoff up to the plan's budget, so the shard gets slower and
+  /// occasionally faults sub-batches without dying).
+  Status flaky_shard(u32 slot, double drop_prob);
+  /// Restores a slot's fault plan to the fleet-wide derivation (or no
+  /// faults when none is installed).
+  Status clear_shard_chaos(u32 slot);
+
+  /// Marks/unmarks a live group member as read-deprioritized (the gray
+  /// detector's demotion): the member keeps receiving writes but read
+  /// selection skips it unless no other live member remains. Rotating
+  /// the primary off a deprioritized member and the mask change itself
+  /// are configuration changes — the group's fence epoch bumps.
+  /// kInvalidArgument when the slot is not a group member.
+  Status set_read_deprioritized(u32 slot, bool on);
+  bool read_deprioritized(u32 slot) const;
+
+  // ---------------- epoch fencing ----------------
+
+  /// Current configuration epoch of a group (see ReplicaGroup::fence_epoch).
+  u64 group_fence_epoch(u32 group) const { return groups_[group].fence_epoch; }
+  /// Results / acks / movement steps refused because their captured
+  /// epoch was stale (fleet-wide, monotonic).
+  u64 fence_refusals() const { return fence_refusals_; }
+  /// Quorum-read positions resolved from the group journal because the
+  /// consulted members disagreed or faulted.
+  u64 quorum_read_resolves() const { return quorum_read_resolves_; }
+  /// TEST HOOK — models a zombie dispatch: the next `count` epoch
+  /// captures for `group` record an epoch one behind the group's real
+  /// one, exactly what a member declared dead mid-wave would present
+  /// when its late results arrive. The merge path must refuse them
+  /// (kFencedEpoch), journal nothing, and ack nothing.
+  void test_age_dispatch(u32 group, u64 count = 1);
 
   // ---------------- online migration ----------------
 
@@ -380,6 +431,9 @@ class ShardedPimStore {
   }
 
   u32 group_count() const { return static_cast<u32>(groups_.size()); }
+  /// The configuration the store was built with (policy loops read
+  /// modules_per_shard to normalize per-member cost observations).
+  const ShardOptions& options() const { return opts_; }
   /// Group a slot belongs to (kNoGroup for spares / decommissioned).
   u32 group_of(u32 slot) const { return slots_[slot].group; }
   std::pair<Key, Key> group_range(u32 group) const {
@@ -434,8 +488,11 @@ class ShardedPimStore {
   void maybe_compact_journal(ReplicaGroup& g);
   /// Appends an acked-writes record to the group journal (and, when the
   /// group is a migration source or under repair, the relevant subset to
-  /// that delta log).
-  void journal_acked(u32 group, LogRecord record);
+  /// that delta log). `epoch` is the configuration epoch the ack was
+  /// earned under: a stale epoch is refused outright — nothing reaches
+  /// the journal or either delta tee (the fencing gate for durability).
+  /// Returns whether the record was accepted.
+  bool journal_acked(u32 group, u64 epoch, LogRecord record);
   /// Rebuilds a slot's machine+list from contents (failover / revive /
   /// anti-entropy escalation). Group journal state is the caller's
   /// business.
@@ -449,6 +506,23 @@ class ShardedPimStore {
   /// when every member is dead. `tried` is a bitmask of member INDEXES
   /// already attempted this batch (retargeting); pass 0 for first try.
   u32 read_member(u32 group, u32 tried = 0) const;
+  /// read_member + convergence-on-switch: when the group is dirty (a
+  /// live member missed an acked write) the chosen member is first
+  /// converged against the journal replay, so a read never serves a
+  /// value older than one the caller already observed — per-key
+  /// monotonic reads survive primary demotion and retargeting.
+  u32 serving_member(u32 group, u32 tried = 0);
+  /// Digest-checks one live member against the group's authoritative
+  /// replay and read-repairs (or rebuilds) it in place. Returns true
+  /// when the member was divergent. Reports into `rep` when non-null
+  /// (the anti-entropy audit shares this path).
+  bool converge_member(u32 group, u32 slot, const std::map<Key, Value>& want,
+                       u64 want_digest, AntiEntropyReport* rep);
+  /// Epoch a dispatch to `group` should capture right now (the group's
+  /// fence_epoch, aged by the zombie test hook when armed).
+  u64 dispatch_epoch(u32 group);
+  /// Quorum read path (ShardOptions::quorum_reads && write_quorum > 1).
+  std::vector<GetResult> quorum_batch_get(std::span<const Key> keys);
   /// Groups positions by owning replica group: wave[k] = (group, positions).
   template <typename KeyOf>
   std::vector<std::pair<u32, std::vector<u64>>> split_by_group(u64 n, KeyOf&& key_of) const;
@@ -460,6 +534,7 @@ class ShardedPimStore {
   void observe_shard_health(u32 slot, bool wave_failed);
   Status shard_down_status(u32 group) const;
   Status no_quorum_status(u32 group, u32 acked) const;
+  Status fenced_status(u32 group, u64 seen, u64 current) const;
 
   /// Shared driver for the three write ops: fans each group sub-batch
   /// out to EVERY live member in one wave, merges per-position with
@@ -486,6 +561,9 @@ class ShardedPimStore {
     std::map<Key, Value> staged;     // target contents shadow
     std::vector<LogRecord> delta;    // acked writes into [lo, hi) since start
     u64 delta_applied = 0;           // drain cursor (resumable after faults)
+    u64 start_epoch = 0;  // source group's fence_epoch at start; any bump
+                          // since fences the movement (it aborts, never
+                          // installs under a configuration it didn't see)
   };
   struct RepairState {
     u32 group = 0;
@@ -499,6 +577,7 @@ class ShardedPimStore {
     std::map<Key, Value> staged;
     std::vector<LogRecord> delta;  // acked group writes since start
     u64 delta_applied = 0;
+    u64 start_epoch = 0;  // group's fence_epoch at start (see MigrationState)
   };
   void abort_migration_for(u32 slot);
   void finish_migration();  // drain delta + cutover (one atomic step)
@@ -519,6 +598,10 @@ class ShardedPimStore {
   /// Fleet-wide chaos plan, re-derived per slot at every (re-)provision
   /// so failed-over / migrated shards inherit the chaos regime.
   std::optional<sim::FaultPlan> fleet_plan_;
+  /// Per-group count of epoch captures the zombie test hook ages.
+  std::vector<u64> aged_dispatches_;
+  u64 fence_refusals_ = 0;
+  u64 quorum_read_resolves_ = 0;
 };
 
 template <typename KeyOf>

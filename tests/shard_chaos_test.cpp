@@ -1,0 +1,382 @@
+// Chaos + consistency harness tests (DESIGN.md §5.12). The sweep runs
+// 50+ distinct seeded schedules across R ∈ {1, 2, 3} — kills, revives,
+// stalls, flaky links, migrations and fence races interleaved with a
+// random workload — and requires zero consistency violations: no acked
+// write lost, no refused write visible past its audit, per-key
+// monotonic (in fact exact) reads, and final bit-equality with a
+// single-Machine oracle replaying only the acked sub-batches. Every
+// failure reprints its seed; PIM_CHAOS_SEED=<seed> replays exactly that
+// schedule via the SeedReplay case. The direct tests pin the fencing
+// semantics the harness relies on: zombie dispatches are refused, and
+// movement-vs-configuration races resolve by epoch, never by timing.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "reference_model.hpp"
+#include "shard/chaos.hpp"
+#include "shard/policy.hpp"
+#include "shard/sharded_store.hpp"
+#include "test_util.hpp"
+
+namespace pim {
+namespace {
+
+using shard::PolicyOptions;
+using shard::ShardOptions;
+using shard::ShardPolicy;
+using shard::ShardState;
+using shard::ShardedPimStore;
+using shard::chaos::ChaosOptions;
+using shard::chaos::ChaosReport;
+using shard::chaos::run_chaos;
+
+/// Where a failing run's history goes (the CI jobs upload this dir).
+std::string artifact_path(u64 seed) {
+  const char* dir = std::getenv("PIM_CHAOS_ARTIFACT_DIR");
+  return std::string(dir != nullptr ? dir : ".") + "/chaos_seed_" +
+         std::to_string(seed) + ".jsonl";
+}
+
+void expect_clean(const ChaosReport& rep) {
+  EXPECT_TRUE(rep.ok) << rep.summary();
+  if (!rep.ok) rep.dump_jsonl(artifact_path(rep.seed));
+}
+
+void run_sweep(u32 replication, u32 write_quorum, bool quorum_reads,
+               bool gray, u64 seed_base, u32 seeds) {
+  for (u32 i = 0; i < seeds; ++i) {
+    ChaosOptions o;
+    o.seed = seed_base + i;
+    o.replication = replication;
+    o.write_quorum = write_quorum;
+    o.quorum_reads = quorum_reads;
+    o.gray_detection = gray;
+    expect_clean(run_chaos(o));
+  }
+}
+
+// ---------------------------------------------------------------------
+// The sweep: >= 50 distinct seeds total across R in {1, 2, 3}, with
+// quorum writes, quorum reads and the gray detector mixed in.
+// ---------------------------------------------------------------------
+
+TEST(ShardChaos, SweepR1) {
+  run_sweep(/*replication=*/1, /*write_quorum=*/1, /*quorum_reads=*/false,
+            /*gray=*/false, /*seed_base=*/0x11000, /*seeds=*/14);
+}
+
+TEST(ShardChaos, SweepR2) {
+  run_sweep(2, 1, false, false, 0x22000, 10);
+  run_sweep(2, 2, false, false, 0x22100, 5);
+  run_sweep(2, 1, false, /*gray=*/true, 0x22200, 4);
+}
+
+TEST(ShardChaos, SweepR3) {
+  run_sweep(3, 1, false, false, 0x33000, 8);
+  run_sweep(3, 2, /*quorum_reads=*/true, false, 0x33100, 6);
+  run_sweep(3, 2, true, /*gray=*/true, 0x33200, 4);
+}
+
+// One-command replay: PIM_CHAOS_SEED=<seed> reruns exactly that
+// schedule (R = 2 by default; PIM_CHAOS_R overrides).
+TEST(ShardChaos, SeedReplay) {
+  ChaosOptions o;
+  const char* seed = std::getenv("PIM_CHAOS_SEED");
+  o.seed = seed != nullptr ? std::strtoull(seed, nullptr, 0) : 0x22000;
+  const char* r = std::getenv("PIM_CHAOS_R");
+  o.replication = r != nullptr ? static_cast<u32>(std::atoi(r)) : 2;
+  const ChaosReport rep = run_chaos(o);
+  EXPECT_TRUE(rep.ok) << rep.summary();
+  if (!rep.ok) {
+    rep.dump_jsonl(artifact_path(rep.seed));
+    ADD_FAILURE() << "history dumped to " << artifact_path(rep.seed);
+  }
+}
+
+// ---------------------------------------------------------------------
+// The checker must CATCH a stale-epoch ack: the injection hook ages one
+// dispatch (the zombie), records the fenced-refused write as acked —
+// exactly what a zombie member acking under an old configuration would
+// produce — and the final-state check must flag the lost write, with
+// the seed in the report for replay.
+// ---------------------------------------------------------------------
+
+TEST(ShardChaos, StaleAckInjectionIsCaughtByChecker) {
+  ChaosOptions o;
+  o.seed = 0xBADACCu;
+  o.replication = 2;
+  o.inject_stale_ack = true;
+  const ChaosReport rep = shard::chaos::run_chaos(o);
+  ASSERT_FALSE(rep.ok) << "an injected stale-epoch ack went undetected";
+  bool lost = false;
+  for (const std::string& v : rep.violations) {
+    if (v.find("acked write lost") != std::string::npos) lost = true;
+  }
+  EXPECT_TRUE(lost) << rep.summary();
+  EXPECT_NE(rep.summary().find(std::to_string(rep.seed)), std::string::npos)
+      << "a failing report must carry its seed for replay";
+  EXPECT_NE(rep.summary().find("PIM_CHAOS_SEED"), std::string::npos);
+  // The artifact dump is what CI uploads on failure.
+  const std::string path = artifact_path(rep.seed);
+  EXPECT_TRUE(rep.dump_jsonl(path));
+}
+
+// ---------------------------------------------------------------------
+// Zombie semantics, pinned directly on the store: a dispatch captured
+// under an old epoch (the member was killed and revived mid-wave) must
+// be refused — never acked, never journaled, never served.
+// ---------------------------------------------------------------------
+
+ShardOptions chaos_opts(u32 replication, u32 shards = 2, u32 spares = 2) {
+  ShardOptions o;
+  o.shards = shards;
+  o.spares = spares;
+  o.replication = replication;
+  o.modules_per_shard = 8;
+  o.domain_lo = 0;
+  o.domain_hi = 1'000'000'000;
+  o.migration_chunk = 64;
+  return o;
+}
+
+TEST(ShardChaos, ZombieMemberIsFencedOutOfAcksAndReads) {
+  ShardedPimStore store(chaos_opts(2));
+  rnd::Xoshiro256ss rng(0x50B1Eu);
+  const auto pairs = test::make_sorted_pairs(300, rng);
+  store.build(pairs);
+
+  const auto [g0lo, g0hi] = store.group_range(0);
+  const auto [g1lo, g1hi] = store.group_range(1);
+  const Key k0 = g0lo + 7;
+  const Key k1 = g1lo + 7;
+  const u64 journal0 = store.group_journal_records(0);
+
+  // A mixed batch whose group-0 wave was dispatched under a stale epoch:
+  // exactly the group-0 positions come back kFencedEpoch (unacked,
+  // unjournaled); the group-1 positions ack normally.
+  store.test_age_dispatch(0);
+  const auto st = store.batch_upsert(
+      std::vector<std::pair<Key, Value>>{{k0, 111}, {k1, 222}});
+  EXPECT_EQ(st[0].code(), StatusCode::kFencedEpoch) << st[0].to_string();
+  EXPECT_TRUE(st[1].ok()) << st[1].to_string();
+  EXPECT_EQ(store.group_journal_records(0), journal0)
+      << "a fenced write must never reach the journal";
+  EXPECT_GE(store.fence_refusals(), 1u);
+
+  // The zombie window also never serves reads: both get attempts (the
+  // initial dispatch and its one same-call retry) are aged, so the read
+  // is refused rather than answered under the old configuration.
+  store.test_age_dispatch(0, 2);
+  auto grs = store.batch_get(std::vector<Key>{k0});
+  EXPECT_EQ(grs[0].status.code(), StatusCode::kFencedEpoch)
+      << grs[0].status.to_string();
+
+  // A single aged dispatch is healed by the in-call retry: the second
+  // attempt observes the current epoch and serves.
+  store.test_age_dispatch(0);
+  grs = store.batch_get(std::vector<Key>{k0});
+  ASSERT_TRUE(grs[0].status.ok()) << grs[0].status.to_string();
+  EXPECT_FALSE(grs[0].found) << "the fenced upsert must not be visible";
+
+  // Re-admission at the current epoch: the same write now acks, commits
+  // and journals.
+  const auto st2 = store.batch_upsert(
+      std::vector<std::pair<Key, Value>>{{k0, 111}});
+  ASSERT_TRUE(st2[0].ok()) << st2[0].to_string();
+  EXPECT_GT(store.group_journal_records(0), journal0);
+  grs = store.batch_get(std::vector<Key>{k0});
+  ASSERT_TRUE(grs[0].status.ok());
+  EXPECT_TRUE(grs[0].found);
+  EXPECT_EQ(grs[0].value, 111u);
+  store.check_invariants();
+}
+
+// ---------------------------------------------------------------------
+// Movement-vs-configuration races resolve by epoch, never by timing: a
+// configuration change after a movement started invalidates the staged
+// copy, and the next step refuses with kFencedEpoch and aborts cleanly
+// (target recycled, group intact).
+// ---------------------------------------------------------------------
+
+TEST(ShardChaos, RepairInstallRacingConfigChangeResolvesByEpoch) {
+  ShardedPimStore store(chaos_opts(2));
+  rnd::Xoshiro256ss rng(0x4ACEu);
+  const auto pairs = test::make_sorted_pairs(400, rng);
+  store.build(pairs);
+
+  // Under-replicate group 0 and start rebuilding onto a spare.
+  const u32 dead = store.group_members(0)[0];
+  const u32 survivor = store.group_members(0)[1];
+  store.kill_shard(dead);
+  ASSERT_TRUE(store.start_repair(0).ok());
+  ASSERT_TRUE(store.repair_active());
+  ASSERT_TRUE(store.repair_step().ok());
+
+  // A configuration change lands mid-rebuild (here: a gray demotion of
+  // the copy source — any epoch bump works). The staged copy is now of
+  // unknown provenance relative to the new configuration.
+  ASSERT_TRUE(store.set_read_deprioritized(survivor, true).ok());
+
+  const Status st = store.repair_step();
+  EXPECT_EQ(st.code(), StatusCode::kFencedEpoch) << st.to_string();
+  EXPECT_FALSE(store.repair_active()) << "a fenced repair must abort";
+
+  // Nothing leaked: the group still serves, and a fresh repair (started
+  // under the new epoch) completes and reinstalls the member.
+  ASSERT_TRUE(store.set_read_deprioritized(survivor, false).ok());
+  ASSERT_TRUE(store.start_repair(0).ok());
+  u32 steps = 0;
+  while (store.repair_active() && steps++ < 256) {
+    ASSERT_TRUE(store.repair_step().ok());
+  }
+  ASSERT_FALSE(store.repair_active());
+  EXPECT_EQ(store.group_live_members(0), 2u);
+  store.check_invariants();
+}
+
+TEST(ShardChaos, MigrationCutoverRacingMemberBounceResolvesByEpoch) {
+  ShardedPimStore store(chaos_opts(2));
+  rnd::Xoshiro256ss rng(0x3A6u);
+  const auto pairs = test::make_sorted_pairs(400, rng);
+  store.build(pairs);
+  test::Ref ref(pairs.begin(), pairs.end());
+
+  // Split group 0's range out of member A; mid-copy, bounce member B
+  // (kill + instant revive — a member that left and rejoined). B is
+  // neither the migration's source nor target, so only the epoch says
+  // the configuration moved under the migration.
+  const u32 src = store.group_members(0)[0];
+  const u32 other = store.group_members(0)[1];
+  // Group 0 owns [kMinKey, hi); split the populated half of its range.
+  const auto [lo, hi] = store.group_range(0);
+  const Key clo = std::max<Key>(lo, 0);
+  ASSERT_TRUE(store.start_migration(src, clo + (hi - clo) / 2).ok());
+  ASSERT_TRUE(store.migration_step().ok());
+  ASSERT_TRUE(store.migration_active());
+
+  store.kill_shard(other);
+  store.revive_shard(other);
+
+  const Status st = store.migration_step();
+  EXPECT_EQ(st.code(), StatusCode::kFencedEpoch) << st.to_string();
+  EXPECT_FALSE(store.migration_active()) << "a fenced migration must abort";
+
+  // No ownership moved and nothing was lost: full contents still match.
+  const auto all = store.range_collect(0, 999'999'999);
+  ASSERT_TRUE(all.status.ok());
+  const std::vector<std::pair<Key, Value>> want(ref.begin(), ref.end());
+  EXPECT_EQ(all.pairs, want);
+  store.check_invariants();
+}
+
+// ---------------------------------------------------------------------
+// Gray-failure detection: a slow-but-alive member (stalled rounds, zero
+// failures — invisible to the fail-stop breaker) is read-deprioritized
+// after the streak threshold, and readmitted with hysteresis once its
+// cost returns to the group median.
+// ---------------------------------------------------------------------
+
+TEST(ShardChaos, GrayDetectorDemotesSlowMemberThenReadmits) {
+  ShardedPimStore store(chaos_opts(2, /*shards=*/2, /*spares=*/0));
+  rnd::Xoshiro256ss rng(0x6EA1u);
+  const auto pairs = test::make_sorted_pairs(400, rng);
+  store.build(pairs);
+
+  PolicyOptions po;
+  po.interval_ms = 0;
+  po.anti_entropy_groups = 1;
+  po.gray.enabled = true;
+  ShardPolicy policy(store, po);
+
+  auto wave = [&] {
+    std::vector<std::pair<Key, Value>> ups;
+    for (u32 i = 0; i < 16; ++i) {
+      ups.emplace_back(static_cast<Key>(rng.range(0, 1'000'000'000)), rng());
+    }
+    for (const Status& s : store.batch_upsert(ups)) {
+      ASSERT_TRUE(s.ok()) << s.to_string();
+    }
+    policy.step();
+  };
+
+  // Baseline ticks so every member has an EWMA before the stall starts.
+  for (u32 i = 0; i < 4; ++i) wave();
+  ASSERT_EQ(policy.stats().gray_demotions, 0u)
+      << "healthy members must never be demoted";
+
+  const u32 victim = store.group_members(0)[0];
+  ASSERT_TRUE(store.slow_shard(victim, 10.0).ok());
+  for (u32 i = 0; i < 12 && !store.read_deprioritized(victim); ++i) wave();
+  EXPECT_TRUE(store.read_deprioritized(victim))
+      << "a 10x-stalled member was never demoted";
+  EXPECT_GE(policy.stats().gray_demotions, 1u);
+  // Demotion is a read-path decision only: the member still acks writes.
+  EXPECT_EQ(store.shard_state(victim), ShardState::kLive);
+
+  // Recovery: clear the stall and the detector readmits — but only
+  // after the healthy streak, so one good tick is not enough (hysteresis).
+  ASSERT_TRUE(store.clear_shard_chaos(victim).ok());
+  wave();
+  EXPECT_TRUE(store.read_deprioritized(victim))
+      << "readmission must take readmit_after healthy ticks, not one";
+  for (u32 i = 0; i < 16 && store.read_deprioritized(victim); ++i) wave();
+  EXPECT_FALSE(store.read_deprioritized(victim))
+      << "a recovered member was never readmitted";
+  EXPECT_GE(policy.stats().gray_readmissions, 1u);
+  store.check_invariants();
+}
+
+// ---------------------------------------------------------------------
+// Read-your-quorum (opt-in): with write_quorum = 2, a read consults
+// enough members to intersect every write quorum, so a write refused
+// for lack of quorum — transiently applied on a survivor — can never be
+// served as if it were acked.
+// ---------------------------------------------------------------------
+
+TEST(ShardChaos, QuorumReadsHideRefusedWrites) {
+  auto opts = chaos_opts(2, /*shards=*/2, /*spares=*/0);
+  opts.write_quorum = 2;
+  opts.quorum_reads = true;
+  ShardedPimStore store(opts);
+  rnd::Xoshiro256ss rng(0x9042u);
+  const auto pairs = test::make_sorted_pairs(400, rng);
+  store.build(pairs);
+  test::Ref ref(pairs.begin(), pairs.end());
+
+  const auto [g0lo, g0hi] = store.group_range(0);
+  Key fresh = g0lo + 424242;
+  while (ref.contains(fresh)) ++fresh;
+
+  // One member down: writes can no longer quorum, but the survivor
+  // transiently applies them before the refusal rolls back.
+  store.kill_shard(store.group_members(0)[0]);
+  const auto st =
+      store.batch_upsert(std::vector<std::pair<Key, Value>>{{fresh, 999}});
+  ASSERT_EQ(st[0].code(), StatusCode::kNoQuorum) << st[0].to_string();
+
+  // A quorum read must NOT see the refused write: with only one live
+  // member it cannot reach read-quorum agreement and resolves from the
+  // journal replay — the acked state.
+  const auto grs = store.batch_get(std::vector<Key>{fresh});
+  ASSERT_TRUE(grs[0].status.ok()) << grs[0].status.to_string();
+  EXPECT_FALSE(grs[0].found) << "a refused write leaked through quorum reads";
+  EXPECT_GE(store.quorum_read_resolves(), 1u);
+
+  // Restored strength: acked writes are served by quorum agreement.
+  store.revive_shard(store.group_members(0)[0]);
+  const auto st2 =
+      store.batch_upsert(std::vector<std::pair<Key, Value>>{{fresh, 1000}});
+  ASSERT_TRUE(st2[0].ok());
+  const auto grs2 = store.batch_get(std::vector<Key>{fresh});
+  ASSERT_TRUE(grs2[0].status.ok());
+  EXPECT_TRUE(grs2[0].found);
+  EXPECT_EQ(grs2[0].value, 1000u);
+  store.check_invariants();
+}
+
+}  // namespace
+}  // namespace pim

@@ -27,6 +27,7 @@ TEST(Status, EveryCodeHasADistinctName) {
   EXPECT_EQ(names.count("SHARD_DOWN"), 1u);
   EXPECT_EQ(names.count("MIGRATION_IN_PROGRESS"), 1u);
   EXPECT_EQ(names.count("NO_QUORUM"), 1u);
+  EXPECT_EQ(names.count("FENCED_EPOCH"), 1u);
   // The sentinel itself is not a code.
   EXPECT_STREQ(status_code_name(StatusCode::kStatusCodeCount), "UNKNOWN");
 }
@@ -52,6 +53,23 @@ TEST(Status, ShardCodesCarryTheirIdentityThroughStatusError) {
     EXPECT_EQ(e.code(), StatusCode::kNoQuorum);
     EXPECT_EQ(e.status().message(), "1 of 2 replicas acked");
     EXPECT_NE(std::string(e.what()).find("NO_QUORUM"), std::string::npos);
+  }
+
+  // The fencing refusal (DESIGN.md §5.12): a result produced under a
+  // configuration that changed before it was applied. Distinct from
+  // kNoQuorum (the group was reachable; the epoch moved) and preserved
+  // through per-key Status reassembly like every other shard code.
+  const Status fenced(StatusCode::kFencedEpoch,
+                      "group 3 configuration changed (epoch 4 -> 5)");
+  EXPECT_EQ(fenced.to_string(),
+            "FENCED_EPOCH: group 3 configuration changed (epoch 4 -> 5)");
+  try {
+    throw StatusError(fenced);
+  } catch (const StatusError& e) {
+    EXPECT_EQ(e.code(), StatusCode::kFencedEpoch);
+    EXPECT_EQ(e.status().message(),
+              "group 3 configuration changed (epoch 4 -> 5)");
+    EXPECT_NE(std::string(e.what()).find("FENCED_EPOCH"), std::string::npos);
   }
 }
 
