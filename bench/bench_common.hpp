@@ -10,8 +10,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
+#include <vector>
 #include <memory>
 #include <string>
 
@@ -118,6 +120,24 @@ inline void report_degraded(benchmark::State& state, const sim::FaultCounters& f
   state.counters["hedged_ops"] = static_cast<double>(fc.hedges);
   state.counters["hedge_wins"] = static_cast<double>(fc.hedge_wins);
   state.counters["hedge_waste"] = static_cast<double>(fc.hedge_waste);
+}
+
+/// Nearest-rank percentile over a SORTED sample: the smallest element
+/// such that at least p of the sample is <= it (index ceil(p*n) - 1).
+/// The old truncating form floor(p * (n-1)) read one slot too low for
+/// high percentiles on small samples — e.g. n = 48, p = 0.99 indexed 46
+/// instead of 47 and silently reported the second-worst batch as p99.
+/// Every latency-percentile counter (SHARD_GrayFailure, bench_serve)
+/// must use this helper so the benches stay mutually comparable.
+template <typename T>
+inline double percentile(const std::vector<T>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  if (p <= 0.0) return static_cast<double>(sorted.front());
+  u64 rank = static_cast<u64>(
+      std::ceil(p * static_cast<double>(sorted.size())));
+  if (rank == 0) rank = 1;
+  if (rank > sorted.size()) rank = sorted.size();
+  return static_cast<double>(sorted[rank - 1]);
 }
 
 /// Keys sampled uniformly from the stored key set (Get/Update hits).

@@ -1,0 +1,215 @@
+// SERVE — end-to-end client latency through the serving front end
+// (DESIGN.md §5.13). Concurrent client threads issue single ops; the
+// front end group-commits them into store batches and (optionally)
+// pipelines consecutive windows: CPU-side staging of window k+1 and
+// reply distribution of window k-1 overlap the shard rounds of window
+// k. The sweep runs the identical closed-loop workload with pipelining
+// OFF and ON per shard count.
+//
+// Reported per case:
+//  * p50/p99/p999_rounds — end-to-end client latency in FLEET ROUNDS
+//    (submission to reply, on the front end's round clock): queueing
+//    delay from group commit and pipeline depth measured in the same
+//    currency as execution, the paper's cost unit.
+//  * ops_per_sec — sustained wall-clock completion rate. Unlike the
+//    model-metric benches, wall time is the point here: pipelining is
+//    host-side concurrency, invisible to per-batch round counts. The CI
+//    gate requires pipelined >= unpipelined on this counter.
+//  * windows / window_ops_avg / coalesced — group-commit shape.
+//
+// Latency percentiles depend on thread interleaving, so they are NOT
+// bit-deterministic across runs (unlike every other bench counter);
+// the CI gate only compares the two modes' ops_per_sec within one run.
+#include <algorithm>
+#include <chrono>
+#include <deque>
+#include <future>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "serve/serving_frontend.hpp"
+#include "shard/sharded_store.hpp"
+
+namespace pim::bench {
+namespace {
+
+using serve::FrontEndOptions;
+using serve::ServingFrontEnd;
+using shard::ShardOptions;
+using shard::ShardedPimStore;
+
+constexpr u32 kClients = 4;
+constexpr u32 kOpsPerClient = 4000;
+constexpr u32 kInflightPerClient = 64;  // x4 clients == max_batch: full windows
+
+ShardOptions serve_opts(u32 shards) {
+  ShardOptions o;
+  o.shards = shards;
+  o.spares = 1;
+  o.modules_per_shard = 8;
+  o.seed = 0x5EB5EEDull;
+  return o;
+}
+
+// One client's closed-loop stream: keep kInflightPerClient ops in
+// flight, harvest the oldest future before issuing the next op. Mixed
+// classes (half gets, quarter upserts, eighth erases, eighth
+// successors) over the shared key domain, hot keys included so window
+// coalescing has duplicates to fold.
+void client_loop(ServingFrontEnd& fe, u64 seed,
+                 const std::vector<std::pair<Key, Value>>& pairs,
+                 std::vector<u64>& latencies, u64& unserved) {
+  rnd::Xoshiro256ss rng(seed);
+  struct Slot {
+    std::future<serve::GetReply> get;
+    std::future<serve::UpsertReply> ups;
+    std::future<serve::EraseReply> ers;
+    std::future<serve::SuccessorReply> suc;
+    int kind = 0;
+  };
+  std::deque<Slot> inflight;
+  auto settle = [&](Slot& s) {
+    Status st;
+    u64 lat = 0;
+    switch (s.kind) {
+      case 0: {
+        auto r = s.get.get();
+        st = r.status;
+        lat = r.latency_rounds;
+        break;
+      }
+      case 1: {
+        auto r = s.ups.get();
+        st = r.status;
+        lat = r.latency_rounds;
+        break;
+      }
+      case 2: {
+        auto r = s.ers.get();
+        st = r.status;
+        lat = r.latency_rounds;
+        break;
+      }
+      default: {
+        auto r = s.suc.get();
+        st = r.status;
+        lat = r.latency_rounds;
+        break;
+      }
+    }
+    if (st.ok()) {
+      latencies.push_back(lat);
+    } else {
+      ++unserved;
+    }
+  };
+  for (u32 i = 0; i < kOpsPerClient; ++i) {
+    Slot s;
+    const u64 dice = rng.below(8);
+    const Key stored = pairs[rng.below(pairs.size())].first;
+    if (dice < 4) {
+      s.kind = 0;
+      // 1-in-4 gets hit a hot stored key: duplicate reads coalesce.
+      s.get = fe.submit_get(dice == 0 ? pairs[0].first : stored);
+    } else if (dice < 6) {
+      s.kind = 1;
+      s.ups = fe.submit_upsert(rng.range(0, 1'000'000'000), rng());
+    } else if (dice < 7) {
+      s.kind = 2;
+      s.ers = fe.submit_erase(stored);
+    } else {
+      s.kind = 3;
+      s.suc = fe.submit_successor(rng.range(0, 1'000'000'000));
+    }
+    inflight.push_back(std::move(s));
+    if (inflight.size() >= kInflightPerClient) {
+      settle(inflight.front());
+      inflight.pop_front();
+    }
+  }
+  while (!inflight.empty()) {
+    settle(inflight.front());
+    inflight.pop_front();
+  }
+}
+
+// state.range(0) = shard count, state.range(1) = pipelined (0/1).
+void SERVE_Latency(benchmark::State& state) {
+  const u32 shards = static_cast<u32>(state.range(0));
+  const bool pipelined = state.range(1) != 0;
+  for (auto _ : state) {
+    ShardedPimStore store(serve_opts(shards));
+    rnd::Xoshiro256ss rng(0x5EB5E10ull);
+    std::map<Key, Value> m;
+    while (m.size() < std::max<u64>(4096, u64{1024} * shards)) {
+      m.emplace(rng.range(0, 1'000'000'000), rng());
+    }
+    const std::vector<std::pair<Key, Value>> pairs(m.begin(), m.end());
+    store.build(pairs);
+
+    FrontEndOptions fo;
+    fo.max_batch = u64{kClients} * kInflightPerClient;
+    fo.max_delay_rounds = 32;
+    fo.pipeline = pipelined;
+    ServingFrontEnd fe(store, fo);
+
+    std::vector<std::vector<u64>> lat(kClients);
+    std::vector<u64> unserved(kClients, 0);
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<std::thread> clients;
+    clients.reserve(kClients);
+    for (u32 c = 0; c < kClients; ++c) {
+      clients.emplace_back([&, c] {
+        client_loop(fe, 0xC11E47ull + c, pairs, lat[c], unserved[c]);
+      });
+    }
+    for (auto& t : clients) t.join();
+    fe.drain();
+    const auto t1 = std::chrono::steady_clock::now();
+    const auto st = fe.stats();
+    fe.stop();
+
+    std::vector<u64> all;
+    u64 failed = 0;
+    for (u32 c = 0; c < kClients; ++c) {
+      all.insert(all.end(), lat[c].begin(), lat[c].end());
+      failed += unserved[c];
+    }
+    std::sort(all.begin(), all.end());
+    const double secs =
+        std::chrono::duration_cast<std::chrono::duration<double>>(t1 - t0).count();
+
+    state.counters["p50_rounds"] = percentile(all, 0.50);
+    state.counters["p99_rounds"] = percentile(all, 0.99);
+    state.counters["p999_rounds"] = percentile(all, 0.999);
+    state.counters["ops_per_sec"] =
+        secs > 0.0 ? static_cast<double>(all.size()) / secs : 0.0;
+    state.counters["completed_ops"] = static_cast<double>(all.size());
+    state.counters["unserved_ops"] = static_cast<double>(failed);
+    state.counters["windows"] = static_cast<double>(st.windows);
+    state.counters["window_ops_avg"] =
+        st.windows ? static_cast<double>(st.completed) / static_cast<double>(st.windows)
+                   : 0.0;
+    state.counters["window_ops_max"] = static_cast<double>(st.max_window_ops);
+    state.counters["coalesced_reads"] = static_cast<double>(st.coalesced_reads);
+    state.counters["coalesced_writes"] = static_cast<double>(st.coalesced_writes);
+    state.counters["flush_full"] = static_cast<double>(st.flush_full);
+    state.counters["flush_idle"] = static_cast<double>(st.flush_idle);
+    state.counters["flush_delay"] = static_cast<double>(st.flush_delay);
+  }
+}
+BENCHMARK(SERVE_Latency)
+    ->Args({4, 0})
+    ->Args({4, 1})
+    ->Args({16, 0})
+    ->Args({16, 1})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+}  // namespace
+}  // namespace pim::bench
+
+BENCHMARK_MAIN();

@@ -346,14 +346,10 @@ void SHARD_GrayFailure(benchmark::State& state) {
       }
     }
     std::sort(batch_rounds.begin(), batch_rounds.end());
-    const auto pct = [&](double p) {
-      return static_cast<double>(
-          batch_rounds[static_cast<u64>(p * (batch_rounds.size() - 1))]);
-    };
     state.counters["avail"] =
         static_cast<double>(completed) / static_cast<double>(completed + unserved);
-    state.counters["p50_rounds"] = pct(0.50);
-    state.counters["p99_rounds"] = pct(0.99);
+    state.counters["p50_rounds"] = percentile(batch_rounds, 0.50);
+    state.counters["p99_rounds"] = percentile(batch_rounds, 0.99);
     state.counters["gray_demotions"] =
         static_cast<double>(policy.stats().gray_demotions);
     state.counters["gray_readmissions"] =

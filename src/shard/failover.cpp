@@ -140,8 +140,15 @@ void ShardedPimStore::set_shard_fault_plan(u32 slot, const sim::FaultPlan& plan)
   if (plan.enabled && s.state == ShardState::kLive) {
     // Establish the shard's internal journal while it is healthy, so
     // module-level crash recovery works from the first faulty batch on.
+    // Best-effort: the probe already runs under the new plan, so with a
+    // tight op deadline armed it can blow its budget — that must not
+    // escape a chaos-injection call (the first real batch will surface
+    // per-key errors through the normal status channel instead).
     const Key lo = shard_range(slot).first;
-    (void)s.list->batch_get(std::vector<Key>{lo == kMinKey ? Key{0} : lo});
+    try {
+      (void)s.list->batch_get(std::vector<Key>{lo == kMinKey ? Key{0} : lo});
+    } catch (const StatusError&) {
+    }
   }
 }
 

@@ -19,14 +19,28 @@ ShardWorkers::~ShardWorkers() {
   }
 }
 
+void ShardWorkers::reserve_slots(u32 n) {
+  std::lock_guard lock(registry_mu_);
+  PIM_CHECK(cells_.empty(), "reserve_slots must be called exactly once");
+  // vector<atomic<T*>>(n) value-initializes every cell to nullptr; the
+  // vector is never resized again, so post()'s lock-free loads are safe.
+  cells_ = std::vector<std::atomic<Worker*>>(n);
+  workers_.resize(n);
+}
+
 ShardWorkers::Worker& ShardWorkers::worker_for(u32 slot) {
-  if (slot >= workers_.size()) workers_.resize(slot + 1);
-  if (workers_[slot] == nullptr) {
-    workers_[slot] = std::make_unique<Worker>();
-    Worker* w = workers_[slot].get();
-    w->thread = std::thread([this, w] { worker_loop(*w); });
-  }
-  return *workers_[slot];
+  PIM_CHECK(slot < cells_.size(),
+            "worker_for: slot outside the reserved registry");
+  // Fast path: the worker was already published (one acquire load).
+  if (Worker* w = cells_[slot].load(std::memory_order_acquire)) return *w;
+  // Slow path: first job for this slot — spawn under the registry lock.
+  std::lock_guard lock(registry_mu_);
+  if (Worker* w = cells_[slot].load(std::memory_order_relaxed)) return *w;
+  workers_[slot] = std::make_unique<Worker>();
+  Worker* w = workers_[slot].get();
+  w->thread = std::thread([this, w] { worker_loop(*w); });
+  cells_[slot].store(w, std::memory_order_release);
+  return *w;
 }
 
 void ShardWorkers::post(u32 slot, std::function<void()> job) {

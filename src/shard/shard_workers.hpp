@@ -16,8 +16,17 @@
 // machine executor) goes through the process-wide par::ThreadPool, which
 // tolerates concurrent external callers: whoever enters second drains its
 // own batch inline.
+//
+// Thread safety: post() may be reached from more than one thread over the
+// store's lifetime (the ShardPolicy thread and whichever thread drives the
+// serving layer's batches take turns under the store mutex, and the
+// registry must stay coherent across that handoff). The slot registry is
+// therefore pre-sized once via reserve_slots() and workers spawn lazily
+// behind a registry mutex, published through an atomic pointer — the post
+// fast path is one acquire load, no lock, once a worker exists.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <functional>
 #include <memory>
@@ -36,6 +45,11 @@ class ShardWorkers {
 
   ShardWorkers(const ShardWorkers&) = delete;
   ShardWorkers& operator=(const ShardWorkers&) = delete;
+
+  /// Fixes the slot registry's size (call once, before the first post;
+  /// the store's slot count is fixed at construction). Posting to a slot
+  /// >= n is a programming error afterwards.
+  void reserve_slots(u32 n);
 
   /// Queues `job` on shard slot's dedicated worker (lazily spawned).
   /// Jobs posted to distinct slots run concurrently; jobs posted to one
@@ -63,7 +77,13 @@ class ShardWorkers {
   void worker_loop(Worker& w);
   Worker& worker_for(u32 slot);
 
+  // Ownership (mutated only under registry_mu_; walked lock-free in the
+  // destructor, by which point no poster may be live).
   std::vector<std::unique_ptr<Worker>> workers_;  // index == shard slot
+  // Publication: cells_[slot] flips nullptr -> worker exactly once. Sized
+  // by reserve_slots() before any post, so readers never race a resize.
+  std::vector<std::atomic<Worker*>> cells_;
+  std::mutex registry_mu_;  // guards lazy spawn + workers_ writes
 
   std::mutex done_mu_;
   std::condition_variable done_cv_;

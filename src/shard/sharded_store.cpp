@@ -44,6 +44,10 @@ ShardedPimStore::ShardedPimStore(ShardOptions opts) : opts_(std::move(opts)) {
   if (Status v = validate_shard_options(opts_); !v.ok()) throw StatusError(v);
   const u32 r = opts_.replication;
   slots_.resize(static_cast<size_t>(opts_.shards) * r + opts_.spares);
+  // The slot count is fixed for the store's lifetime (migration grows
+  // groups_, never slots_): pre-size the worker registry once so post()
+  // never resizes it — concurrent posters only ever read the cells.
+  workers_.reserve_slots(static_cast<u32>(slots_.size()));
   const u64 span =
       static_cast<u64>(opts_.domain_hi - opts_.domain_lo) / opts_.shards;
   groups_.resize(opts_.shards);

@@ -266,8 +266,17 @@ class ShardedPimStore {
   void set_fleet_fault_plan(const sim::FaultPlan& plan);
   /// Installs a plan on one shard's machine (per-shard chaos).
   void set_shard_fault_plan(u32 slot, const sim::FaultPlan& plan);
-  /// Per-batch deadline forwarded to every live shard's skiplist.
+  /// Per-batch deadline forwarded to every live shard's skiplist — and,
+  /// via provision(), to every shard created AFTER the call (failover /
+  /// revive targets, repair builds, migration targets): a replacement
+  /// member enforces the same budget as the shard it replaced.
   void set_op_deadline(core::PimSkipList::OpDeadline d);
+  /// Deadline a slot's structure currently enforces (zero-field default
+  /// for dead slots). Observability for the propagation contract above.
+  core::PimSkipList::OpDeadline shard_op_deadline(u32 slot) const {
+    return slots_[slot].list == nullptr ? core::PimSkipList::OpDeadline{}
+                                        : slots_[slot].list->op_deadline();
+  }
 
   // ---------------- gray-failure chaos ----------------
 

@@ -1,0 +1,427 @@
+// ServingFrontEnd tests (DESIGN.md §5.13): concurrent clients issuing
+// single ops through the queue/batcher/pipeline stack must observe
+// exactly the semantics of the serialization the replies report. Every
+// reply carries its window sequence number, so the tests rebuild the
+// total order (windows ascending; within a window the store's class
+// order — upserts, deletes, gets, successors — with found flags against
+// the window's write point) and replay the ACKED ops into the
+// reference-model oracle. The chaos case runs kill/revive cycles
+// underneath serving and requires the surviving acks to agree
+// bit-identically with the oracle at the end — kNoQuorum/kShardDown
+// refusals must land on exactly the affected client ops and must never
+// become visible. Also pinned: pipelined and unpipelined modes produce
+// semantically identical serialization, duplicate coalescing preserves
+// the batch contract, admission control sheds at the door, and stop()
+// completes (never abandons) every accepted op.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <future>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "reference_model.hpp"
+#include "serve/serving_frontend.hpp"
+#include "shard/sharded_store.hpp"
+#include "test_util.hpp"
+
+namespace pim {
+namespace {
+
+using serve::FrontEndOptions;
+using serve::ServingFrontEnd;
+using shard::ShardOptions;
+using shard::ShardState;
+using shard::ShardedPimStore;
+using test::Ref;
+
+ShardOptions serve_opts(u32 replication = 1, u32 write_quorum = 1) {
+  ShardOptions o;
+  o.shards = 4;
+  o.spares = 2;
+  o.modules_per_shard = 8;
+  o.domain_lo = 0;
+  o.domain_hi = 1'000'000'000;
+  o.replication = replication;
+  o.write_quorum = write_quorum;
+  return o;
+}
+
+// One client-visible op with the reply it got — enough to rebuild the
+// serialization afterwards (window seq + per-client submission order).
+struct OpLog {
+  enum Kind { kUpsert, kErase, kGet, kSucc } kind;
+  Key key = 0;
+  Value value = 0;  // upsert payload
+  u64 seq = 0;      // window that served it
+  Status status;
+  bool flag = false;   // get/succ: found; erase: erased
+  Value got = 0;       // get: value
+  Key succ_key = 0;    // successor: answer
+  u64 order = 0;       // per-client submission index (ticket order)
+};
+
+/// Replays the acked ops of a window-ordered log into the oracle and
+/// checks every served read against it. `log` must hold each window's
+/// ops in ticket order (per-client submission order suffices when each
+/// client has at most one op per window, or when there is one client).
+void replay_and_check(Ref& ref, const std::vector<OpLog>& log) {
+  u64 i = 0;
+  while (i < log.size()) {
+    const u64 seq = log[i].seq;
+    u64 j = i;
+    while (j < log.size() && log[j].seq == seq) ++j;
+    // Window [i, j): writes first, in class order, acked only.
+    std::vector<std::pair<Key, Value>> ups;
+    for (u64 k = i; k < j; ++k) {
+      if (log[k].kind == OpLog::kUpsert && log[k].status.ok()) {
+        ups.emplace_back(log[k].key, log[k].value);
+      }
+    }
+    test::ref_upsert(ref, ups);  // duplicate keys: first occurrence wins
+    // Deletes: erased flags reflect the state after the window's upserts
+    // (the store runs the delete batch second).
+    for (u64 k = i; k < j; ++k) {
+      if (log[k].kind != OpLog::kErase || !log[k].status.ok()) continue;
+      EXPECT_EQ(log[k].flag, ref.contains(log[k].key))
+          << "erase flag diverged at window " << seq << " key " << log[k].key;
+    }
+    for (u64 k = i; k < j; ++k) {
+      if (log[k].kind == OpLog::kErase && log[k].status.ok()) ref.erase(log[k].key);
+    }
+    // Reads observe the window's writes.
+    for (u64 k = i; k < j; ++k) {
+      const OpLog& op = log[k];
+      if (!op.status.ok()) continue;
+      if (op.kind == OpLog::kGet) {
+        auto it = ref.find(op.key);
+        EXPECT_EQ(op.flag, it != ref.end())
+            << "get found diverged at window " << seq << " key " << op.key;
+        if (it != ref.end() && op.flag) {
+          EXPECT_EQ(op.got, it->second)
+              << "get value diverged at window " << seq << " key " << op.key;
+        }
+      } else if (op.kind == OpLog::kSucc) {
+        auto it = ref.lower_bound(op.key);
+        EXPECT_EQ(op.flag, it != ref.end())
+            << "successor found diverged at window " << seq;
+        if (it != ref.end() && op.flag) {
+          EXPECT_EQ(op.succ_key, it->first)
+              << "successor key diverged at window " << seq;
+        }
+      }
+    }
+    i = j;
+  }
+}
+
+/// Window-major, ticket-minor order (stable on per-client order).
+void sort_log(std::vector<OpLog>& log) {
+  std::stable_sort(log.begin(), log.end(), [](const OpLog& a, const OpLog& b) {
+    return a.seq != b.seq ? a.seq < b.seq : a.order < b.order;
+  });
+}
+
+// ---------------------------------------------------------------------
+// Single-threaded semantics: a deterministic burst submitted without
+// waiting, so windows carry many ops from one client — coalescing and
+// class ordering are exercised hard. Runs identically in both modes.
+// ---------------------------------------------------------------------
+void run_burst_mode(bool pipeline) {
+  ShardedPimStore store(serve_opts());
+  rnd::Xoshiro256ss rng(0x5EB5E001u);
+  const auto pairs = test::make_sorted_pairs(800, rng);
+  store.build(pairs);
+  Ref ref(pairs.begin(), pairs.end());
+
+  FrontEndOptions fo;
+  fo.max_batch = 64;
+  fo.max_delay_rounds = 16;
+  fo.pipeline = pipeline;
+  ServingFrontEnd fe(store, fo);
+
+  struct Pending {
+    OpLog base;
+    std::future<serve::GetReply> get;
+    std::future<serve::UpsertReply> ups;
+    std::future<serve::EraseReply> ers;
+    std::future<serve::SuccessorReply> suc;
+  };
+  std::vector<Pending> inflight;
+  u64 order = 0;
+  for (u32 burst = 0; burst < 12; ++burst) {
+    for (u32 i = 0; i < 96; ++i) {
+      Pending p;
+      p.base.order = order++;
+      const u64 dice = rng.below(10);
+      const Key hot = pairs[rng.below(pairs.size())].first;
+      if (dice < 3) {
+        p.base.kind = OpLog::kUpsert;
+        // A quarter of upserts reuse a hot key: duplicate writes in one
+        // window must coalesce first-occurrence-wins.
+        p.base.key = (dice == 0) ? hot : rng.range(0, 1'000'000'000);
+        p.base.value = rng();
+        p.ups = fe.submit_upsert(p.base.key, p.base.value);
+      } else if (dice < 5) {
+        p.base.kind = OpLog::kErase;
+        p.base.key = (dice == 3) ? hot : rng.range(0, 1'000'000'000);
+        p.ers = fe.submit_erase(p.base.key);
+      } else if (dice < 8) {
+        p.base.kind = OpLog::kGet;
+        p.base.key = hot;  // duplicate reads coalesce
+        p.get = fe.submit_get(p.base.key);
+      } else {
+        p.base.kind = OpLog::kSucc;
+        p.base.key = rng.range(0, 1'000'000'000);
+        p.suc = fe.submit_successor(p.base.key);
+      }
+      inflight.push_back(std::move(p));
+    }
+    fe.drain();
+  }
+
+  std::vector<OpLog> log;
+  log.reserve(inflight.size());
+  for (Pending& p : inflight) {
+    OpLog e = p.base;
+    switch (e.kind) {
+      case OpLog::kUpsert: {
+        auto r = p.ups.get();
+        e.seq = r.batch_seq;
+        e.status = r.status;
+        break;
+      }
+      case OpLog::kErase: {
+        auto r = p.ers.get();
+        e.seq = r.batch_seq;
+        e.status = r.status;
+        e.flag = r.erased;
+        break;
+      }
+      case OpLog::kGet: {
+        auto r = p.get.get();
+        e.seq = r.batch_seq;
+        e.status = r.status;
+        e.flag = r.found;
+        e.got = r.value;
+        break;
+      }
+      case OpLog::kSucc: {
+        auto r = p.suc.get();
+        e.seq = r.batch_seq;
+        e.status = r.status;
+        e.flag = r.found;
+        e.succ_key = r.key;
+        break;
+      }
+    }
+    EXPECT_TRUE(e.status.ok()) << e.status.to_string();
+    log.push_back(std::move(e));
+  }
+  sort_log(log);
+  replay_and_check(ref, log);
+
+  const auto st = fe.stats();
+  EXPECT_EQ(st.accepted, log.size());
+  EXPECT_EQ(st.completed, log.size());
+  EXPECT_EQ(st.rejected, 0u);
+  EXPECT_GT(st.windows, 0u);
+  EXPECT_GT(st.coalesced_reads, 0u) << "duplicate gets never coalesced";
+  fe.stop();
+
+  // The store agrees with the oracle bit-for-bit.
+  const auto all = store.range_collect(0, 1'000'000'000);
+  ASSERT_TRUE(all.status.ok());
+  const std::vector<std::pair<Key, Value>> expect(ref.begin(), ref.end());
+  EXPECT_EQ(all.pairs, expect);
+  store.check_invariants();
+}
+
+TEST(ServeFrontEnd, BurstSemanticsPipelined) { run_burst_mode(true); }
+TEST(ServeFrontEnd, BurstSemanticsUnpipelined) { run_burst_mode(false); }
+
+// ---------------------------------------------------------------------
+// K blocking client threads under kill/revive chaos. Each client owns a
+// disjoint write key space and blocks on every reply, so it contributes
+// at most one op per window and the (window, per-client order) sort
+// reconstructs the exact serialization. R = 2 with write_quorum = 2:
+// while a member is dead, writes to its group refuse with kNoQuorum —
+// those land on exactly the affected clients' ops and must stay
+// invisible; reads retarget to the surviving member and keep serving.
+// ---------------------------------------------------------------------
+TEST(ServeFrontEnd, ConcurrentClientsUnderChaosAgreeWithOracle) {
+  ShardedPimStore store(serve_opts(/*replication=*/2, /*write_quorum=*/2));
+  rnd::Xoshiro256ss rng(0x5EB5E002u);
+  const auto pairs = test::make_sorted_pairs(600, rng);
+  store.build(pairs);
+  Ref ref(pairs.begin(), pairs.end());
+
+  FrontEndOptions fo;
+  fo.max_batch = 32;
+  fo.max_delay_rounds = 8;
+  fo.pipeline = true;
+  ServingFrontEnd fe(store, fo);
+
+  constexpr u32 kClients = 4;
+  constexpr u32 kOpsPerClient = 160;
+  constexpr Key kStride = 1'000'000'000 / kClients;
+  std::vector<std::vector<OpLog>> logs(kClients);
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (u32 c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      // Writes stay inside the client's own stripe — no two clients ever
+      // write the same key, so every window's writes have distinct keys.
+      rnd::Xoshiro256ss crng(0xC11E47u + c);
+      const Key lo = static_cast<Key>(c) * kStride;
+      std::vector<OpLog>& log = logs[c];
+      for (u32 i = 0; i < kOpsPerClient; ++i) {
+        OpLog e;
+        e.order = i;
+        const u64 dice = crng.below(10);
+        if (dice < 4) {
+          e.kind = OpLog::kUpsert;
+          e.key = lo + crng.range(0, kStride - 1);
+          e.value = crng();
+          auto r = fe.upsert(e.key, e.value);
+          e.seq = r.batch_seq;
+          e.status = r.status;
+        } else if (dice < 6) {
+          e.kind = OpLog::kErase;
+          e.key = lo + crng.range(0, kStride - 1);
+          auto r = fe.erase(e.key);
+          e.seq = r.batch_seq;
+          e.status = r.status;
+          e.flag = r.erased;
+        } else if (dice < 9) {
+          e.kind = OpLog::kGet;
+          e.key = crng.range(0, 1'000'000'000);  // reads roam everywhere
+          auto r = fe.get(e.key);
+          e.seq = r.batch_seq;
+          e.status = r.status;
+          e.flag = r.found;
+          e.got = r.value;
+        } else {
+          e.kind = OpLog::kSucc;
+          e.key = crng.range(0, 1'000'000'000);
+          auto r = fe.successor(e.key);
+          e.seq = r.batch_seq;
+          e.status = r.status;
+          e.flag = r.found;
+          e.succ_key = r.key;
+        }
+        log.push_back(std::move(e));
+      }
+    });
+  }
+
+  // Kill/revive cycles underneath serving, serialized against the
+  // executor through the front end's store mutex (the deployment's
+  // "policy thread" seat).
+  rnd::Xoshiro256ss xrng(0xC4405u);
+  for (u32 cycle = 0; cycle < 5; ++cycle) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(15));
+    u32 victim;
+    {
+      std::lock_guard lock(fe.store_mutex());
+      victim = store.route(static_cast<Key>(xrng.below(1'000'000'000)));
+      store.kill_shard(victim);
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(15));
+    {
+      std::lock_guard lock(fe.store_mutex());
+      store.revive_shard(victim);
+    }
+  }
+
+  for (auto& t : clients) t.join();
+  fe.drain();
+  fe.stop();
+
+  std::vector<OpLog> log;
+  for (auto& l : logs) {
+    for (auto& e : l) log.push_back(std::move(e));
+  }
+  sort_log(log);
+  // Status taxonomy: every reply is either served (kOk) or refused with
+  // a fault-tier code — never an invented one, never silently dropped.
+  u64 refused = 0;
+  for (const OpLog& e : log) {
+    if (e.status.ok()) continue;
+    ++refused;
+    const StatusCode c = e.status.code();
+    EXPECT_TRUE(c == StatusCode::kNoQuorum || c == StatusCode::kShardDown ||
+                c == StatusCode::kFencedEpoch || c == StatusCode::kUnavailable)
+        << "unexpected refusal: " << e.status.to_string();
+  }
+  EXPECT_EQ(log.size(), static_cast<u64>(kClients) * kOpsPerClient);
+
+  replay_and_check(ref, log);
+
+  // Final contents: bit-identical with the oracle that replayed acked
+  // ops only — no acked write lost, no refused write visible.
+  const auto all = store.range_collect(0, 1'000'000'000);
+  ASSERT_TRUE(all.status.ok());
+  const std::vector<std::pair<Key, Value>> expect(ref.begin(), ref.end());
+  EXPECT_EQ(all.pairs, expect);
+  store.check_invariants();
+}
+
+// ---------------------------------------------------------------------
+// Admission control + lifecycle edges.
+// ---------------------------------------------------------------------
+TEST(ServeFrontEnd, AdmissionControlShedsAtTheDoor) {
+  ShardedPimStore store(serve_opts());
+  rnd::Xoshiro256ss rng(0x5EB5E003u);
+  const auto pairs = test::make_sorted_pairs(200, rng);
+  store.build(pairs);
+
+  FrontEndOptions fo;
+  fo.max_batch = 8;
+  fo.max_queue_ops = 4;
+  ServingFrontEnd fe(store, fo);
+
+  std::vector<std::future<serve::GetReply>> futs;
+  for (u32 i = 0; i < 256; ++i) futs.push_back(fe.submit_get(pairs[i % pairs.size()].first));
+  u64 ok = 0, shed = 0;
+  for (auto& f : futs) {
+    const auto r = f.get();
+    if (r.status.ok()) {
+      ++ok;
+    } else {
+      ASSERT_EQ(r.status.code(), StatusCode::kResourceExhausted) << r.status.to_string();
+      EXPECT_EQ(r.batch_seq, 0u) << "a shed op must never reach a window";
+      ++shed;
+    }
+  }
+  EXPECT_GT(ok, 0u);
+  EXPECT_GT(shed, 0u) << "max_queue_ops = 4 never shed under a 256-op flood";
+  const auto st = fe.stats();
+  EXPECT_EQ(st.rejected, shed);
+  EXPECT_EQ(st.completed, ok);
+}
+
+TEST(ServeFrontEnd, StopCompletesEverythingThenRefuses) {
+  ShardedPimStore store(serve_opts());
+  rnd::Xoshiro256ss rng(0x5EB5E004u);
+  const auto pairs = test::make_sorted_pairs(200, rng);
+  store.build(pairs);
+
+  ServingFrontEnd fe(store, FrontEndOptions{});
+  std::vector<std::future<serve::UpsertReply>> futs;
+  for (u32 i = 0; i < 64; ++i) futs.push_back(fe.submit_upsert(static_cast<Key>(i) * 7 + 1, i));
+  fe.stop();
+  for (auto& f : futs) {
+    const auto r = f.get();  // stop() never abandons an accepted op
+    EXPECT_TRUE(r.status.ok()) << r.status.to_string();
+  }
+  const auto r = fe.get(pairs[0].first);
+  EXPECT_EQ(r.status.code(), StatusCode::kUnavailable);
+  // Idempotent.
+  fe.stop();
+}
+
+}  // namespace
+}  // namespace pim

@@ -479,5 +479,95 @@ TEST(ShardedStore, MidBatchKillKeepsAckedWritesAndDropsUnackedOnes) {
   store.check_invariants();
 }
 
+// Regression pin for the deadline-propagation contract (DESIGN.md §5.10,
+// ISSUE 9 satellite): a per-op deadline set once on the store must be
+// enforced by every shard created AFTER the call — failover targets
+// (journal replay into a spare), revived victims, and migration targets
+// all go through provision(), which stamps the stored deadline onto the
+// fresh skiplist. If provision() ever stops doing that, a replacement
+// shard would silently serve without the budget the operator set fleet-
+// wide, and this test fails both structurally (the accessor) and
+// behaviorally (the replacement never surfaces kDeadlineExceeded).
+TEST(ShardedStore, OpDeadlinePropagatesToReplacementShards) {
+  ShardOptions o = small_opts();
+  o.spares = 3;  // failover target + migration target + slack
+  ShardedPimStore store(o);
+  rnd::Xoshiro256ss rng(0xDEAD11AEu);
+  const auto pairs = test::make_sorted_pairs(1200, rng);
+  store.build(pairs);
+
+  const core::PimSkipList::OpDeadline d{/*max_rounds=*/0, /*max_retries=*/2};
+  store.set_op_deadline(d);
+  for (u32 s = 0; s < store.slots(); ++s) {
+    if (store.shard_state(s) != ShardState::kLive) continue;
+    EXPECT_EQ(store.shard_op_deadline(s).max_retries, d.max_retries)
+        << "live slot " << s << " missed the fleet-wide deadline";
+  }
+
+  // --- Failover target (journal replay into a spare). ---
+  const Key probe = pairs[100].first;
+  const u32 victim = store.route(probe);
+  store.kill_shard(victim);
+  ASSERT_TRUE(store.failover(victim).ok());
+  const u32 replacement = store.route(probe);
+  ASSERT_NE(replacement, victim);
+  EXPECT_EQ(store.shard_op_deadline(replacement).max_retries, d.max_retries)
+      << "failover target was provisioned without the deadline";
+
+  // Behavioral half: the replacement actually enforces the budget. Make
+  // only the replacement flaky (95% drops eat retransmissions) — a
+  // 2-retry budget cannot drain a sub-batch through that link, so every
+  // key the replacement owns must surface kDeadlineExceeded, while keys
+  // owned by healthy shards keep completing.
+  ASSERT_TRUE(store.flaky_shard(replacement, 0.95).ok());
+  std::vector<Key> owned, foreign;
+  for (const auto& [k, v] : pairs) {
+    (store.route(k) == replacement ? owned : foreign).push_back(k);
+    if (owned.size() >= 8 && foreign.size() >= 8) break;
+  }
+  ASSERT_GE(owned.size(), 1u);
+  const auto got = store.batch_get(owned);
+  for (u64 i = 0; i < owned.size(); ++i) {
+    EXPECT_EQ(got[i].status.code(), StatusCode::kDeadlineExceeded)
+        << "replacement shard served key " << owned[i]
+        << " without enforcing the propagated deadline: "
+        << got[i].status.to_string();
+  }
+  const auto fine = store.batch_get(foreign);
+  for (u64 i = 0; i < foreign.size(); ++i) {
+    EXPECT_TRUE(fine[i].status.ok()) << fine[i].status.to_string();
+  }
+  ASSERT_TRUE(store.clear_shard_chaos(replacement).ok());
+
+  // --- Revive target (in-place rebuild; victim comes back as a spare
+  // with a freshly provisioned structure). ---
+  store.revive_shard(victim);
+  EXPECT_EQ(store.shard_op_deadline(victim).max_retries, d.max_retries)
+      << "revived slot was provisioned without the deadline";
+
+  // --- Migration target (chunked copy onto a spare, then cutover). ---
+  const u32 source = store.route(pairs[700].first);
+  const auto [lo, hi] = store.shard_range(source);
+  Key split = 0;
+  u64 in_range = 0;
+  for (const auto& [k, v] : pairs) {
+    if (k > lo && k < hi) {
+      ++in_range;
+      if (in_range == 8) split = k;  // strictly inside, non-degenerate
+    }
+  }
+  ASSERT_GT(split, lo);
+  ASSERT_TRUE(store.start_migration(source, split).ok());
+  while (store.migration_active()) {
+    ASSERT_TRUE(store.migration_step().ok());
+  }
+  for (u32 s = 0; s < store.slots(); ++s) {
+    if (store.shard_state(s) != ShardState::kLive) continue;
+    EXPECT_EQ(store.shard_op_deadline(s).max_retries, d.max_retries)
+        << "slot " << s << " lost the deadline across migration";
+  }
+  store.check_invariants();
+}
+
 }  // namespace
 }  // namespace pim
